@@ -1,0 +1,30 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper figure: it runs the experiment
+under ``pytest-benchmark`` (single round — experiments are
+deterministic), prints the same rows/series the paper's figure plots,
+and asserts the figure's qualitative shape so the suite is
+self-validating.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Experiments are deterministic and expensive; repeated rounds would
+    only re-measure identical work.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure reproduction block."""
+    print(f"\n===== {title} =====")
+    print(body)

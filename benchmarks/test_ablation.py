@@ -1,0 +1,44 @@
+"""Ablation: isolate each HeterBO mechanism (DESIGN.md extension)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.ablation import ablation_prior_study, ablation_study
+
+
+def test_ablation_tight_budget(benchmark):
+    """Protective stop and cost-awareness under a $40 budget."""
+    result = run_once(benchmark, ablation_study)
+    emit("Ablation (tight budget) - HeterBO minus one mechanism",
+         result.render())
+    # full HeterBO never violates the budget
+    assert result.violation_rate("heterbo") == 0.0
+    # removing the protective stop loses the compliance guarantee
+    assert result.violation_rate("no-protective-stop") > 0.0
+    # removing cost-awareness raises profiling spend
+    assert (
+        result.mean_profile_dollars("no-cost-awareness")
+        > result.mean_profile_dollars("heterbo")
+    )
+    # everything-removed reference is the worst profiler and violates
+    assert result.violation_rate("convbo") == 1.0
+    assert (
+        result.mean_profile_dollars("convbo")
+        > 3 * result.mean_profile_dollars("heterbo")
+    )
+
+
+def test_ablation_concave_prior(benchmark):
+    """The prior on a plateau-curve (ring all-reduce) workload."""
+    result = run_once(benchmark, ablation_prior_study)
+    emit("Ablation (plateau workload) - concave prior",
+         result.render())
+    # pruning plateaued scale-out saves real profiling money
+    assert (
+        result.mean_profile_dollars("heterbo")
+        < result.mean_profile_dollars("no-concave-prior")
+    )
+    # and does not cost training quality (totals no worse)
+    assert (
+        result.mean_total_dollars("heterbo")
+        <= result.mean_total_dollars("no-concave-prior") * 1.02
+    )

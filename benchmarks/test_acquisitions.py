@@ -1,0 +1,17 @@
+"""Acquisition sweep: EI vs POI vs UCB under cost normalisation."""
+
+from conftest import emit, run_once
+
+from repro.experiments.acquisitions import acquisition_comparison
+
+
+def test_acquisition_sweep(benchmark):
+    result = run_once(benchmark, acquisition_comparison)
+    emit("Extension - HeterBO base acquisition sweep", result.render())
+    # the constraint machinery is acquisition-independent: every
+    # variant complies at every seed
+    for acq in ("ei", "poi", "ucb"):
+        assert result.violation_rate(acq) == 0.0, acq
+    # EI (the paper's choice) is within 25% of the best variant
+    best = min(result.mean_total_hours(a) for a in ("ei", "poi", "ucb"))
+    assert result.mean_total_hours("ei") <= best * 1.25

@@ -1,0 +1,25 @@
+"""Fig. 1: instance price spread and equal-cost deployment comparison."""
+
+from conftest import emit, run_once
+
+from repro.experiments.motivation import (
+    fig1a_normalized_prices,
+    fig1b_equal_cost_deployments,
+)
+
+
+def test_fig1a(benchmark):
+    """Fig. 1(a): normalised hourly cost; p2.8xlarge ~42.5x c5.xlarge."""
+    result = run_once(benchmark, fig1a_normalized_prices)
+    emit("Fig. 1(a) - normalised hourly instance cost", result.render())
+    assert result.normalized["c5.xlarge"] == 1.0
+    assert 42.0 < result.normalized["p2.8xlarge"] < 43.0
+
+
+def test_fig1b(benchmark):
+    """Fig. 1(b): Char-RNN at equal hourly cost; 10x c5.4xlarge wins."""
+    result = run_once(benchmark, fig1b_equal_cost_deployments)
+    emit("Fig. 1(b) - Char-RNN training time at equal hourly cost",
+         result.render())
+    assert result.best == "10x c5.4xlarge"
+    assert result.worst_to_best_ratio > 2.0

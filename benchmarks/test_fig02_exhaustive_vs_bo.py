@@ -1,0 +1,19 @@
+"""Fig. 2: exhaustive vs ConvBO — profiling rivals training."""
+
+from conftest import emit, run_once
+
+from repro.experiments.motivation import fig2_exhaustive_vs_convbo
+
+
+def test_fig2(benchmark):
+    result = run_once(benchmark, fig2_exhaustive_vs_convbo)
+    emit("Fig. 2 - exhaustive vs ConvBO (ResNet + CIFAR-10)",
+         result.render())
+    # exhaustive profiles a subset of the grid (paper: 180 of 3,100)
+    assert result.exhaustive_points > 20
+    # both methods find a configuration of the same training quality
+    assert result.convbo_train_hours <= result.exhaustive_train_hours * 1.2
+    # BO profiles far cheaper than exhaustive, but profiling is still
+    # on the order of training time (the paper's motivation)
+    assert result.convbo_profile_dollars < result.exhaustive_profile_dollars
+    assert result.convbo_profile_hours > 0.3 * result.convbo_train_hours

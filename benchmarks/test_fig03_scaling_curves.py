@@ -1,0 +1,19 @@
+"""Fig. 3: Char-RNN scale-up and scale-out speed curves."""
+
+from conftest import emit, run_once
+
+from repro.experiments.motivation import fig3_scaling_curves
+
+
+def test_fig3(benchmark):
+    result = run_once(benchmark, fig3_scaling_curves)
+    emit("Fig. 3 - Char-RNN training speed vs scale-up / scale-out",
+         result.render())
+    # (a) scale-up is non-linear in price order
+    speeds = list(result.scale_up.values())
+    assert speeds != sorted(speeds)
+    # (b) scale-out is concave with an interior peak
+    counts = sorted(result.scale_out)
+    peak = result.scale_out_peak
+    assert counts[0] < peak < counts[-1]
+    assert result.scale_out[counts[-1]] < 0.8 * result.scale_out[peak]

@@ -1,0 +1,14 @@
+"""Fig. 5: per-step cost saving / speedup of ConvBO (mostly negative)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.motivation import fig5_convbo_step_gains
+
+
+def test_fig5(benchmark):
+    result = run_once(benchmark, fig5_convbo_step_gains)
+    emit("Fig. 5 - ConvBO per-step marginal gains (AlexNet + CIFAR-10)",
+         result.render())
+    # "most profiling steps do not bring benefits"
+    assert result.n_negative_cost_steps >= len(result.steps) // 2
+    assert len(result.steps) >= 5

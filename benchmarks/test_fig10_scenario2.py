@@ -1,0 +1,16 @@
+"""Fig. 10: Scenario-2 (cheapest within a 6 h deadline)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.scenarios_exp import fig10_scenario2
+
+
+def test_fig10(benchmark):
+    result = run_once(benchmark, fig10_scenario2)
+    emit("Fig. 10 - Scenario-2: cheapest training within 6 h",
+         result.render())
+    # HeterBO meets the deadline end-to-end; ConvBO overruns it
+    assert result.heterbo.constraint_met
+    assert not result.convbo.constraint_met
+    # deadline-awareness costs HeterBO little: still cheaper than ConvBO
+    assert result.heterbo.total_dollars < result.convbo.total_dollars

@@ -1,0 +1,18 @@
+"""Fig. 11: Scenario-3 (fastest within a $100 budget)."""
+
+from conftest import emit, run_once
+
+from repro.experiments.scenarios_exp import fig11_scenario3
+
+
+def test_fig11(benchmark):
+    result = run_once(benchmark, fig11_scenario3)
+    emit("Fig. 11 - Scenario-3: fastest training within $100",
+         result.render())
+    # the paper: HeterBO lands at $96 of $100; ConvBO spends $225
+    assert result.heterbo.constraint_met
+    assert result.heterbo.total_dollars <= 100.0
+    assert not result.convbo.constraint_met
+    assert result.convbo.total_dollars > 130.0
+    # profiling-spend fraction (paper: 21%)
+    assert result.profiling_cost_fraction < 0.4

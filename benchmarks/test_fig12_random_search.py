@@ -1,0 +1,21 @@
+"""Fig. 12: random search total-time distribution vs HeterBO."""
+
+from conftest import emit, run_once
+
+from repro.experiments.comparisons import fig12_random_search
+
+
+def test_fig12(benchmark):
+    result = run_once(benchmark, fig12_random_search)
+    emit("Fig. 12 - random search (whiskers) vs HeterBO mean",
+         result.render())
+    ks = result.probe_counts
+    # variance shrinks as probes grow ...
+    spread_small = result.whiskers[ks[0]][4] - result.whiskers[ks[0]][0]
+    spread_large = result.whiskers[ks[-1]][4] - result.whiskers[ks[-1]][0]
+    assert spread_large < spread_small
+    # ... but total time balloons with the profiling bill
+    assert result.whiskers[ks[-1]][2] > result.whiskers[ks[1]][2]
+    # HeterBO's mean beats the medians of all sufficiently-sampled runs
+    medians = [result.whiskers[k][2] for k in ks[2:]]
+    assert all(result.heterbo_mean_hours < m for m in medians)

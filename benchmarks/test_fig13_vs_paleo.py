@@ -1,0 +1,24 @@
+"""Fig. 13: ConvBO vs Paleo vs HeterBO vs Opt, $80 budget."""
+
+from conftest import emit, run_once
+
+from repro.experiments.comparisons import fig13_vs_paleo
+
+
+def test_fig13(benchmark):
+    result = run_once(benchmark, fig13_vs_paleo)
+    emit("Fig. 13 - vs Paleo ($80 budget, Inception-V3 + ImageNet)",
+         result.render())
+    heterbo = result.reports["heterbo"]
+    convbo = result.reports["convbo"]
+    paleo = result.reports["paleo"]
+    # HeterBO stays under budget; ConvBO does not
+    assert heterbo.constraint_met
+    assert not convbo.constraint_met
+    # Paleo pays nothing for profiling but its analytic pick misses
+    assert paleo.search.profile_dollars == 0.0
+    assert not paleo.constraint_met
+    # Paleo over-scales (communication-nuance blindness)
+    assert paleo.search.best.count > heterbo.search.best.count
+    # HeterBO lands near the oracle's training time
+    assert heterbo.train_seconds <= result.opt_seconds * 1.5

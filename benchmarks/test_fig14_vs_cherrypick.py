@@ -1,0 +1,20 @@
+"""Fig. 14: ConvBO vs CherryPick vs HeterBO vs Opt, 20 h limit."""
+
+from conftest import emit, run_once
+
+from repro.experiments.comparisons import fig14_vs_cherrypick
+
+
+def test_fig14(benchmark):
+    result = run_once(benchmark, fig14_vs_cherrypick)
+    emit("Fig. 14 - vs CherryPick (20 h limit, Char-RNN)",
+         result.render())
+    heterbo = result.reports["heterbo"]
+    convbo = result.reports["convbo"]
+    cherrypick = result.reports["cherrypick"]
+    # HeterBO alone meets the deadline end-to-end
+    assert heterbo.constraint_met
+    assert not convbo.constraint_met
+    assert not cherrypick.constraint_met
+    # CherryPick overruns despite its favourably trimmed space
+    assert cherrypick.total_seconds > 20 * 3600.0

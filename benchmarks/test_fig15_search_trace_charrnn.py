@@ -1,0 +1,20 @@
+"""Fig. 15: HeterBO search trace, Char-RNN over three types, $120."""
+
+from conftest import emit, run_once
+
+from repro.experiments.traces import fig15_charrnn_trace
+
+
+def test_fig15(benchmark):
+    result = run_once(benchmark, fig15_charrnn_trace)
+    emit("Fig. 15 - HeterBO search trace (Char-RNN, $120 budget)",
+         result.render())
+    # signature behaviour: single-node probe of each type first
+    assert result.initial_steps_are_single_node
+    # every type gets probed; exploitation concentrates on the winner
+    per_type = result.steps_per_type
+    assert all(per_type[t] for t in result.instance_types)
+    assert result.report.search.best.instance_type == "c5.4xlarge"
+    # the budget covers profiling + training
+    assert result.report.constraint_met
+    assert result.report.total_dollars <= result.budget_dollars

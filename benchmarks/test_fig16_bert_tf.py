@@ -1,0 +1,18 @@
+"""Fig. 16: HeterBO search trace, BERT/TensorFlow, ring, $100."""
+
+from conftest import emit, run_once
+
+from repro.experiments.traces import fig16_bert_tensorflow_trace
+
+
+def test_fig16(benchmark):
+    result = run_once(benchmark, fig16_bert_tensorflow_trace)
+    emit("Fig. 16 - HeterBO search trace (BERT/TensorFlow, $100)",
+         result.render())
+    assert result.initial_steps_are_single_node
+    assert result.report.constraint_met
+    # BERT is transformer-heavy: the GPU type must win
+    assert result.report.search.best.instance_type == "p2.xlarge"
+    # exploration visited the CPU types but did not camp on them
+    per_type = result.steps_per_type
+    assert len(per_type["p2.xlarge"]) >= len(per_type["c5n.xlarge"])

@@ -1,0 +1,24 @@
+"""Fig. 18: budget sensitivity across all methods."""
+
+from conftest import emit, run_once
+
+from repro.experiments.sensitivity import fig18_budget_sensitivity
+
+
+def test_fig18(benchmark):
+    result = run_once(benchmark, fig18_budget_sensitivity)
+    emit("Fig. 18 - total cost/time vs budget (ResNet + CIFAR-10)",
+         result.render())
+    budgets = result.budgets
+    for budget in budgets:
+        # HeterBO respects every budget
+        assert result.reports[(budget, "heterbo")].constraint_met, budget
+        # ConvBO busts every budget, by a lot
+        assert result.total_dollars(budget, "convbo") > budget * 1.5
+        # HeterBO is always faster end-to-end than ConvBO
+        assert result.speedup_vs("convbo", budget) > 1.0
+    # budget-aware strengthened baselines comply or come close, but
+    # HeterBO still wins on time at the largest budget
+    big = budgets[-1]
+    assert result.total_dollars(big, "bo_imprd") <= big * 1.05
+    assert result.speedup_vs("convbo", big) > 1.2

@@ -1,0 +1,23 @@
+"""Fig. 19: speedup and cost saving vs ConvBO as model size grows."""
+
+from conftest import emit, run_once
+
+from repro.experiments.scalability import fig19_model_size_scaling
+
+
+def test_fig19(benchmark):
+    result = run_once(benchmark, fig19_model_size_scaling)
+    emit("Fig. 19 - HeterBO advantage vs model size (6.4M -> 20B)",
+         result.render())
+    models = list(result.models)
+    speedups = [result.speedup(m) for m in models]
+    savings = [result.cost_saving(m) for m in models]
+    # HeterBO wins for every model size
+    assert all(s > 1.0 for s in speedups)
+    assert all(s > 0.0 for s in savings)
+    # the advantage grows with model size (paper: 1.3x -> 6.5x and
+    # 69% -> 92%); we require the end-to-end trend, not monotonicity
+    # at every intermediate point
+    assert speedups[-1] > 2.0 * speedups[0]
+    assert savings[-1] > savings[0]
+    assert max(speedups) == speedups[-1]

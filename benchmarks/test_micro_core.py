@@ -1,0 +1,81 @@
+"""Micro-benchmarks: latency of the core numerical kernels.
+
+Unlike the figure benches (which regenerate paper results once), these
+measure the hot paths repeatedly: GP hyperparameter fitting, posterior
+prediction over the full deployment grid, and acquisition scoring.
+They guard against performance regressions in the from-scratch
+GP/kernel code — a search performs dozens of fits and thousands of
+predictions per run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.catalog import paper_catalog
+from repro.core.acquisition import expected_improvement_min
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import default_deployment_kernel
+from repro.core.search_space import DeploymentSpace
+
+
+@pytest.fixture(scope="module")
+def observations():
+    """A realistic mid-search observation set: 25 points, 2-D features."""
+    rng = np.random.default_rng(0)
+    space = DeploymentSpace(paper_catalog(), max_count=50)
+    deployments = list(space)
+    picks = rng.choice(len(deployments), size=25, replace=False)
+    X = space.encode_many([deployments[i] for i in picks])
+    y = rng.normal(5.0, 1.5, size=25)
+    return space, X, y
+
+
+def test_gp_fit_latency(benchmark, observations):
+    """Full marginal-likelihood fit with 3 restarts on 25 points."""
+    _, X, y = observations
+
+    def fit():
+        gp = GaussianProcess(
+            default_deployment_kernel(), optimize_restarts=3, seed=0
+        )
+        gp.fit(X, y)
+        return gp
+
+    gp = benchmark(fit)
+    assert gp.is_fitted
+
+
+def test_gp_predict_full_grid(benchmark, observations):
+    """Posterior mean/std over the full 1,000-point deployment grid."""
+    space, X, y = observations
+    gp = GaussianProcess(
+        default_deployment_kernel(), optimize_restarts=0
+    )
+    gp.fit(X, y)
+    Xstar = space.encode_many(list(space))
+
+    mu, sigma = benchmark(gp.predict, Xstar)
+    assert mu.shape == (len(space),)
+    assert (sigma >= 0).all()
+
+
+def test_ei_scoring_full_grid(benchmark, observations):
+    """Closed-form EI over the full grid (pure numpy path)."""
+    space, X, y = observations
+    gp = GaussianProcess(
+        default_deployment_kernel(), optimize_restarts=0
+    )
+    gp.fit(X, y)
+    mu, sigma = gp.predict(space.encode_many(list(space)))
+
+    ei = benchmark(expected_improvement_min, mu, sigma, float(y.min()))
+    assert (ei >= 0).all()
+
+
+def test_space_encoding(benchmark):
+    """Feature encoding of the full grid (runs once per GP refit)."""
+    space = DeploymentSpace(paper_catalog(), max_count=50)
+    deployments = list(space)
+
+    X = benchmark(space.encode_many, deployments)
+    assert X.shape == (len(space), 2)

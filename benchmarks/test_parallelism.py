@@ -1,0 +1,24 @@
+"""Parallel profiling: wall-clock savings from concurrent probes."""
+
+from conftest import emit, run_once
+
+from repro.experiments.parallelism import parallel_profiling_study
+
+
+def test_parallel_profiling(benchmark):
+    result = run_once(benchmark, parallel_profiling_study)
+    emit("Extension - concurrent batched profiling", result.render())
+    batches = sorted(result.reports)
+    # compliance holds at every batch size
+    for batch in batches:
+        assert result.violation_rate(batch) == 0.0, batch
+    # batching shrinks wall-clock profiling time materially
+    assert (
+        result.mean_profile_hours(batches[-1])
+        < 0.7 * result.mean_profile_hours(1)
+    )
+    # and end-to-end time improves or holds
+    assert (
+        result.mean_total_hours(batches[-1])
+        <= result.mean_total_hours(1) * 1.05
+    )

@@ -1,0 +1,16 @@
+"""Noise robustness: compliance and regret across jitter levels."""
+
+from conftest import emit, run_once
+
+from repro.experiments.robustness import noise_robustness_study
+
+
+def test_noise_robustness(benchmark):
+    result = run_once(benchmark, noise_robustness_study)
+    emit("Extension - HeterBO under measurement noise", result.render())
+    # the protective machinery holds at every noise level
+    for sigma in result.sigmas:
+        assert result.violation_rate(sigma) == 0.0, sigma
+    # quality is near-oracle when quiet, and degrades gracefully
+    assert result.mean_regret(result.sigmas[0]) < 1.6
+    assert result.mean_regret(result.sigmas[-1]) < 3.0

@@ -1,0 +1,22 @@
+"""Spot training: bid sweep trade-off curve."""
+
+from conftest import emit, run_once
+
+from repro.experiments.spot_study import spot_bid_study
+
+
+def test_spot_bid_sweep(benchmark):
+    result = run_once(benchmark, spot_bid_study)
+    emit("Extension - spot training bid sweep", result.render())
+    bids = sorted(result.outcomes)
+    lo, hi = result.outcomes[bids[0]], result.outcomes[bids[-1]]
+    # every bid saves money vs on-demand
+    for o in result.outcomes.values():
+        assert o.cost_saving > 0.2
+    # aggressive bids save more dollars but inflate wall clock
+    assert lo.dollars <= hi.dollars
+    assert lo.seconds >= hi.seconds
+    assert lo.revocations >= hi.revocations
+    # a generous bid is never revoked and matches on-demand time
+    assert hi.revocations == 0
+    assert hi.time_inflation < 1.01

@@ -1,0 +1,25 @@
+"""Warm-start transfer: re-search cost after a job change."""
+
+from conftest import emit, run_once
+
+from repro.experiments.warmstart import warm_start_study
+
+
+def test_warm_start(benchmark):
+    result = run_once(benchmark, warm_start_study)
+    emit("Extension - warm-started re-search after a batch change",
+         result.render())
+    # warm start cuts probes and profiling spend materially ...
+    assert (
+        result.mean_profile_steps("warm")
+        < 0.7 * result.mean_profile_steps("cold")
+    )
+    assert (
+        result.mean_profile_dollars("warm")
+        < result.mean_profile_dollars("cold")
+    )
+    # ... without degrading the chosen deployment
+    assert (
+        result.mean_train_seconds("warm")
+        <= result.mean_train_seconds("cold") * 1.1
+    )

@@ -1,0 +1,26 @@
+"""Profiling-window sensitivity: cost/quality along window length."""
+
+from conftest import emit, run_once
+
+from repro.experiments.window_study import profiling_window_study
+
+
+def test_window_sweep(benchmark):
+    result = run_once(benchmark, profiling_window_study)
+    emit("Extension - profiling-window length sweep", result.render())
+    windows = sorted(result.reports)
+    # the guarantee is window-independent
+    for minutes in windows:
+        assert result.violation_rate(minutes) == 0.0, minutes
+    # longer windows cost more profiling money per unit of search
+    assert (
+        result.mean_profile_dollars(windows[0])
+        < result.mean_profile_dollars(windows[-1])
+    )
+    # the paper's 10-minute window buys no training-quality advantage
+    # over shorter windows on this workload (its margin is conservative);
+    # very long windows crowd out exploration within the budget
+    assert (
+        result.mean_train_seconds(windows[0])
+        <= result.mean_train_seconds(windows[-1]) * 1.1
+    )

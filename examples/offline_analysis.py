@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Offline trace analysis: save once, re-plan forever (extension).
+
+Profiling costs real money, so the trace of a finished search is an
+asset.  This example runs one budgeted search, saves its trace to JSON,
+and then answers three questions offline — no further cloud spend:
+
+1. What are all my Pareto-efficient options (time vs cost)?
+2. Under a *different* constraint (a tight deadline), what should I run?
+3. If I were willing to profile a bit more, where should probes go?
+
+Run:
+    python examples/offline_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import HeterBO, Scenario
+from repro.core.advisor import OfflineAdvisor
+from repro.core.pareto import search_pareto_front
+from repro.core.result import DeploymentReport
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentConfig, run_strategy
+from repro.io import load_report, save_report
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        model="char-rnn",
+        dataset="char-corpus",
+        epochs=6,
+        seed=2,
+        instance_types=(
+            "c5.xlarge", "c5.4xlarge", "c5n.4xlarge", "p2.xlarge",
+        ),
+        max_count=24,
+    )
+    run = run_strategy(
+        HeterBO(seed=2), Scenario.fastest_within(100.0), config
+    )
+    print(f"search done: {run.report.search.n_steps} probes, "
+          f"${run.report.search.profile_dollars:.2f} of profiling spend")
+
+    # persist the trace (recorded profiling costs)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_report(run.report, Path(tmp) / "trace.json")
+        reloaded = load_report(path)
+    print(f"trace round-tripped through JSON: "
+          f"{len(reloaded.search.trials)} trials")
+
+    job = config.job()
+    space = config.space()
+
+    # 1. Pareto front
+    front = search_pareto_front(reloaded.search, space, job.total_samples)
+    print("\n1. Pareto-efficient options observed:")
+    print(format_table(
+        ["deployment", "train time", "train cost"],
+        [
+            (str(p.deployment), f"{p.train_seconds / 3600:.2f} h",
+             f"${p.train_dollars:.2f}")
+            for p in front
+        ],
+    ))
+
+    # 2. re-plan under a new constraint
+    advisor = OfflineAdvisor(reloaded.search, space, job.total_samples)
+    deadline = Scenario.cheapest_within(6 * 3600.0)
+    rec = advisor.recommend(deadline)
+    print(f"\n2. {deadline.describe()}")
+    if rec is None:
+        print("   no measured deployment fits - profile more first")
+    else:
+        print(f"   run {rec.deployment}: "
+              f"{rec.train_seconds / 3600:.2f} h, "
+              f"${rec.train_dollars:.2f} - zero new profiling spend")
+
+    # 3. where would new probes help?
+    print("\n3. most informative next probes (GP expected improvement):")
+    for d in advisor.suggest_probes(3):
+        print(f"   {d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: deploy a training job with MLCD in a dozen lines.
+
+The scenario: you have $100 and a ResNet to train on CIFAR-10, and you
+want it trained as fast as possible without busting the budget
+(the paper's Scenario-3).  MLCD searches the deployment space with
+HeterBO — profiling candidate clusters at their real cost, which counts
+against your budget — then trains on the winner.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import MLCD, UserRequirements
+
+
+def main() -> None:
+    mlcd = MLCD(seed=7)
+    report = mlcd.deploy(
+        model="resnet",
+        dataset="cifar10",
+        platform="tensorflow",
+        epochs=20,
+        global_batch=128,
+        requirements=UserRequirements(budget_dollars=100.0),
+    )
+
+    print(report.summary())
+    print()
+    print("Search trace:")
+    for trial in report.search.trials:
+        marker = "x" if trial.failed else " "
+        print(
+            f"  step {trial.step:2d} [{marker}] {str(trial.deployment):>18s}"
+            f"  {trial.measured_speed:8.1f} samples/s"
+            f"  probe ${trial.profile_dollars:7.2f}"
+            f"  spent ${trial.spent_dollars:8.2f}"
+            f"  ({trial.note})"
+        )
+
+    assert report.constraint_met, "HeterBO must respect the budget"
+    print("\nBudget respected: total "
+          f"${report.total_dollars:.2f} <= $100.00")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Visualise how HeterBO walks a mixed scale-up/scale-out space.
+
+Reproduces the paper's Fig. 15 view as ASCII: per instance type, the
+true scale-out speed curve with the probes HeterBO actually took
+marked on it — showing the single-node starts, the bracketing jumps,
+and the regions the concave prior pruned away.
+
+Run:
+    python examples/search_trace.py
+"""
+
+from repro.cloud.catalog import default_catalog
+from repro.experiments.traces import fig15_charrnn_trace
+from repro.sim.throughput import TrainingSimulator
+
+BAR_WIDTH = 46
+
+
+def main() -> None:
+    trace = fig15_charrnn_trace()
+    simulator = TrainingSimulator()
+    catalog = default_catalog()
+
+    # Recover the job to plot the true curves the search was exploring.
+    config_counts = [1, 2, 3, 5, 8, 12, 18, 26, 36, 50]
+    from repro.experiments.runner import ExperimentConfig
+    job = ExperimentConfig(
+        model="char-rnn", dataset="char-corpus", epochs=6.0
+    ).job()
+
+    probes = trace.steps_per_type
+    all_speeds = [
+        simulator.true_speed(catalog[name], n, job)
+        for name in trace.instance_types
+        for n in config_counts
+        if simulator.is_feasible(catalog[name], n, job)
+    ]
+    scale = max(all_speeds)
+
+    for name in trace.instance_types:
+        probed_counts = {count: step for step, count, _ in probes[name]}
+        print(f"\n=== {name} "
+              f"(${catalog[name].hourly_price:.3f}/h/node) ===")
+        for n in config_counts:
+            if not simulator.is_feasible(catalog[name], n, job):
+                print(f"  n={n:3d} (infeasible)")
+                continue
+            speed = simulator.true_speed(catalog[name], n, job)
+            bar = "#" * max(1, int(BAR_WIDTH * speed / scale))
+            marker = (
+                f"  <- probed (step {probed_counts[n]})"
+                if n in probed_counts
+                else ""
+            )
+            print(f"  n={n:3d} {bar:<{BAR_WIDTH}s} {speed:7.1f}{marker}")
+
+    search = trace.report.search
+    print(f"\nchosen: {search.best} | stop: {search.stop_reason}")
+    print(f"profiling spend: ${search.profile_dollars:.2f} of "
+          f"${trace.budget_dollars:.0f} budget; "
+          f"total ${trace.report.total_dollars:.2f}")
+
+
+if __name__ == "__main__":
+    main()

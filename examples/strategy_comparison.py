@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Compare every search strategy on one workload.
+
+Runs HeterBO, ConvBO, CherryPick, random search, Paleo and the
+budget-aware strengthened baselines on the same BERT fine-tuning job
+under a $150 budget, each in its own fresh simulated-cloud world with
+identical measurement noise, and prints a ranking table plus the
+ground-truth optimum for reference.
+
+Run:
+    python examples/strategy_comparison.py
+"""
+
+from repro.baselines import (
+    BudgetAwareConvBO,
+    CherryPick,
+    ConvBO,
+    Paleo,
+    RandomSearch,
+)
+from repro.core import HeterBO, Scenario
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentConfig, run_oracle, run_strategy
+
+BUDGET = 150.0
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        model="bert",
+        dataset="bert-corpus",
+        protocol="ring",
+        epochs=0.02,
+        seed=11,
+        instance_types=(
+            "c5n.4xlarge", "p2.xlarge", "p2.8xlarge", "p3.2xlarge",
+        ),
+        max_count=20,
+    )
+    scenario = Scenario.fastest_within(BUDGET)
+
+    strategies = [
+        HeterBO(seed=11),
+        ConvBO(seed=11),
+        CherryPick(seed=11, allowed_types=["p2.xlarge", "p3.2xlarge"]),
+        BudgetAwareConvBO(seed=11),
+        RandomSearch(n_probes=8, seed=11),
+        Paleo(),
+    ]
+
+    rows = []
+    for strategy in strategies:
+        report = run_strategy(strategy, scenario, config).report
+        rows.append((
+            strategy.name,
+            str(report.search.best),
+            f"{report.search.profile_seconds / 3600:.2f} h",
+            f"{report.total_seconds / 3600:.2f} h",
+            f"${report.total_dollars:.2f}",
+            "yes" if report.constraint_met else "NO",
+        ))
+
+    opt_deployment, _, opt_seconds, opt_dollars = run_oracle(scenario, config)
+    rows.append((
+        "opt (oracle)",
+        str(opt_deployment),
+        "0.00 h",
+        f"{opt_seconds / 3600:.2f} h",
+        f"${opt_dollars:.2f}",
+        "yes",
+    ))
+
+    print(scenario.describe())
+    print(f"workload: {config.job().describe()}")
+    print()
+    print(format_table(
+        ["strategy", "chosen", "profiling", "total time", "total cost",
+         "in budget?"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

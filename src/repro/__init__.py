@@ -1,0 +1,38 @@
+"""HeterBO / MLCD — reproduction of "Not All Explorations Are Equal:
+Harnessing Heterogeneous Profiling Cost for Efficient MLaaS Training"
+(IPDPS 2020).
+
+Public API tour:
+
+- :class:`repro.MLCD` — the end-to-end deployment system; hand it a
+  model/dataset/platform and a deadline or budget and it searches with
+  HeterBO and trains the winner.
+- :class:`repro.HeterBO` and the baselines in :mod:`repro.baselines` —
+  search strategies over the deployment space.
+- :mod:`repro.cloud` — the simulated EC2 substrate.
+- :mod:`repro.sim` — the distributed-training performance simulator.
+- :mod:`repro.experiments` — one entry point per paper figure.
+"""
+
+from repro.core.heterbo import HeterBO
+from repro.core.result import DeploymentReport, SearchResult, TrialRecord
+from repro.core.scenarios import Scenario, ScenarioKind
+from repro.core.search_space import Deployment, DeploymentSpace
+from repro.mlcd.scenario_analyzer import UserRequirements
+from repro.mlcd.system import MLCD
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Deployment",
+    "DeploymentReport",
+    "DeploymentSpace",
+    "HeterBO",
+    "MLCD",
+    "Scenario",
+    "ScenarioKind",
+    "SearchResult",
+    "TrialRecord",
+    "UserRequirements",
+    "__version__",
+]

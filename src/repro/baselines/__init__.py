@@ -1,0 +1,36 @@
+"""Baseline search strategies the paper compares against.
+
+- :class:`~repro.baselines.convbo.ConvBO` — conventional BO: random
+  initial design, raw EI, uniform exploration cost, constraint-
+  oblivious (Sec. II-D);
+- :class:`~repro.baselines.cherrypick.CherryPick` — ConvBO plus
+  experience-based search-space trimming and a 10 % EI stop threshold
+  (NSDI '17);
+- :class:`~repro.baselines.paleo.Paleo` — analytical performance model,
+  zero profiling cost, blind to protocol nuances (ICLR '17);
+- :class:`~repro.baselines.random_search.RandomSearch` — k uniform
+  probes (Fig. 12);
+- :class:`~repro.baselines.exhaustive.ExhaustiveSearch` /
+  :func:`~repro.baselines.exhaustive.oracle_best` — profile-everything
+  and the zero-cost ground-truth optimum ("Opt" in the figures);
+- :mod:`~repro.baselines.improved` — budget-aware strengthened
+  variants BO_imprd / CP_imprd (Fig. 18).
+"""
+
+from repro.baselines.cherrypick import CherryPick
+from repro.baselines.convbo import ConvBO
+from repro.baselines.exhaustive import ExhaustiveSearch, oracle_best
+from repro.baselines.improved import BudgetAwareCherryPick, BudgetAwareConvBO
+from repro.baselines.paleo import Paleo
+from repro.baselines.random_search import RandomSearch
+
+__all__ = [
+    "BudgetAwareCherryPick",
+    "BudgetAwareConvBO",
+    "CherryPick",
+    "ConvBO",
+    "ExhaustiveSearch",
+    "Paleo",
+    "RandomSearch",
+    "oracle_best",
+]

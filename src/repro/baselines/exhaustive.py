@@ -1,0 +1,113 @@
+"""Exhaustive profiling and the ground-truth oracle ("Opt").
+
+The paper's Fig. 2 motivates BO by showing exhaustive profiling — even
+a 180-point subset of the 3,100-point space — costs as much as
+training itself.  :class:`ExhaustiveSearch` reproduces that: it probes
+a strided subset of the space and picks the best.
+
+:func:`oracle_best` is the "Opt" reference bar in Figs. 13, 14 and 18:
+the best deployment according to the *noise-free simulator truth*, at
+zero profiling cost.  No real system can achieve it; strategies are
+judged by how close they get.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import GPSearchEngine, SearchContext, SearchStrategy
+from repro.core.scenarios import Objective, Scenario
+from repro.core.search_space import Deployment, DeploymentSpace
+from repro.sim.throughput import TrainingJob, TrainingSimulator
+
+__all__ = ["ExhaustiveSearch", "oracle_best"]
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Profile every deployment in a (possibly strided) grid.
+
+    Parameters
+    ----------
+    count_stride:
+        Probe every ``count_stride``-th node count per type.  The
+        paper's Fig. 2 exhaustive run covered 180 of 3,100 points —
+        roughly ``count_stride=17`` on the full grid.
+    """
+
+    name = "exhaustive"
+
+    def __init__(self, *, count_stride: int = 1, seed: int = 0) -> None:
+        if count_stride < 1:
+            raise ValueError(f"count_stride must be >= 1, got {count_stride}")
+        # max_steps is set generously; the initial design IS the search.
+        super().__init__(max_steps=1_000_000, seed=seed)
+        self.count_stride = count_stride
+
+    def initial_deployments(self, context: SearchContext) -> list[Deployment]:
+        picks: list[Deployment] = []
+        for name in context.space.instance_types:
+            counts = context.space.counts[:: self.count_stride]
+            picks.extend(Deployment(name, c) for c in counts)
+        return picks
+
+    def score_candidates(
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        candidates: list[Deployment],
+    ) -> np.ndarray:
+        return np.zeros(len(candidates))
+
+    def should_stop(
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        candidates: list[Deployment],
+        scores: np.ndarray,
+    ) -> str | None:
+        return "exhaustive grid complete"
+
+
+def oracle_best(
+    space: DeploymentSpace,
+    simulator: TrainingSimulator,
+    job: TrainingJob,
+    scenario: Scenario,
+) -> tuple[Deployment, float, float]:
+    """Ground-truth optimum ``(deployment, true_speed, objective)``.
+
+    The objective is training time (seconds) or cost (dollars) per the
+    scenario; constrained scenarios restrict to deployments whose
+    *training alone* fits the limit (the oracle pays no profiling).
+
+    Raises
+    ------
+    ValueError
+        If no feasible deployment exists under the scenario.
+    """
+    best: tuple[float, Deployment, float] | None = None
+    for d in space:
+        itype = space.catalog[d.instance_type]
+        if not simulator.is_feasible(itype, d.count, job):
+            continue
+        speed = simulator.true_speed(itype, d.count, job)
+        seconds = job.total_samples / speed
+        dollars = seconds * space.hourly_price(d) / 3600.0
+        if scenario.objective is Objective.COST:
+            obj = dollars
+            if seconds > scenario.deadline_seconds:
+                continue
+        else:
+            obj = seconds
+            limit = scenario.budget_dollars
+            if limit is not None and dollars > limit:
+                continue
+        if best is None or obj < best[0]:
+            best = (obj, d, speed)
+    if best is None:
+        raise ValueError(
+            f"no feasible deployment for {job.describe()} under "
+            f"{scenario.describe()}"
+        )
+    obj, d, speed = best
+    return d, speed, obj

@@ -1,0 +1,45 @@
+"""Simulated public-cloud substrate.
+
+The paper evaluates MLCD on AWS EC2.  This package provides the cloud
+substrate the rest of the library runs against: an instance catalog with
+the paper's instance families and realistic hourly prices, a logical
+clock, per-second billing, cluster lifecycle management, and a
+CloudWatch-style metric store.
+
+The substrate is fully deterministic: all time comes from
+:class:`~repro.cloud.clock.LogicalClock` and all randomness is injected
+by callers, so experiments regenerate identical results run-to-run.
+"""
+
+from repro.cloud.billing import BillingLedger, LedgerEntry
+from repro.cloud.catalog import (
+    InstanceCatalog,
+    azure_like_catalog,
+    default_catalog,
+    paper_catalog,
+)
+from repro.cloud.clock import LogicalClock
+from repro.cloud.cluster import Cluster, ClusterState
+from repro.cloud.cloudwatch import MetricStore, MetricDatum
+from repro.cloud.instance import InstanceFamily, InstanceType
+from repro.cloud.provider import AccountLimits, SimulatedCloud
+from repro.cloud.spot import SpotMarket
+
+__all__ = [
+    "AccountLimits",
+    "BillingLedger",
+    "Cluster",
+    "ClusterState",
+    "InstanceCatalog",
+    "InstanceFamily",
+    "InstanceType",
+    "LedgerEntry",
+    "LogicalClock",
+    "MetricDatum",
+    "MetricStore",
+    "SimulatedCloud",
+    "SpotMarket",
+    "azure_like_catalog",
+    "default_catalog",
+    "paper_catalog",
+]

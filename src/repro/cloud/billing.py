@@ -1,0 +1,127 @@
+"""Per-second billing ledger for the simulated cloud.
+
+Real BO-for-cloud systems must account for every dollar spent during
+both *profiling* and *training* — HeterBO's protective stop condition is
+precisely a statement about the ledger ("reserve the necessary training
+cost required to finish training from the best point found so far").
+The ledger therefore tags every entry with a purpose so experiments can
+report the paper's profile/train cost breakdowns (Figs. 9–14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["BillingLedger", "LedgerEntry"]
+
+
+@dataclass(frozen=True, slots=True)
+class LedgerEntry:
+    """One billed usage interval.
+
+    Attributes
+    ----------
+    timestamp:
+        Logical time (seconds) at which the charge was recorded.
+    instance_type:
+        SKU billed.
+    count:
+        Number of instances billed.
+    seconds:
+        Duration billed (per-second billing, no rounding).
+    dollars:
+        Total charge for the interval.
+    purpose:
+        Free-form tag; the library uses ``"profiling"`` and
+        ``"training"`` plus optional strategy-specific tags.
+    """
+
+    timestamp: float
+    instance_type: str
+    count: int
+    seconds: float
+    dollars: float
+    purpose: str
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+        if self.dollars < 0:
+            raise ValueError(f"dollars must be >= 0, got {self.dollars}")
+
+
+class BillingLedger:
+    """Append-only record of charges with purpose-tagged breakdowns."""
+
+    def __init__(self) -> None:
+        self._entries: list[LedgerEntry] = []
+
+    def charge(
+        self,
+        *,
+        timestamp: float,
+        instance_type: str,
+        count: int,
+        seconds: float,
+        dollars: float,
+        purpose: str,
+    ) -> LedgerEntry:
+        """Record a charge and return the created entry."""
+        entry = LedgerEntry(
+            timestamp=timestamp,
+            instance_type=instance_type,
+            count=count,
+            seconds=seconds,
+            dollars=dollars,
+            purpose=purpose,
+        )
+        self._entries.append(entry)
+        return entry
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> list[LedgerEntry]:
+        """A copy of all entries in charge order."""
+        return list(self._entries)
+
+    def total(self, purpose: str | None = None) -> float:
+        """Total dollars spent, optionally restricted to one purpose."""
+        return sum(
+            e.dollars
+            for e in self._entries
+            if purpose is None or e.purpose == purpose
+        )
+
+    def total_seconds(self, purpose: str | None = None) -> float:
+        """Total billed wall-seconds (not instance-seconds)."""
+        return sum(
+            e.seconds
+            for e in self._entries
+            if purpose is None or e.purpose == purpose
+        )
+
+    def breakdown(self) -> dict[str, float]:
+        """Dollars grouped by purpose tag."""
+        out: dict[str, float] = {}
+        for e in self._entries:
+            out[e.purpose] = out.get(e.purpose, 0.0) + e.dollars
+        return out
+
+    def remaining(self, budget: float) -> float:
+        """Budget left after all charges (may be negative if overspent)."""
+        return budget - self.total()
+
+    def would_exceed(self, budget: float, additional: float) -> bool:
+        """Whether spending ``additional`` more dollars would bust ``budget``."""
+        if additional < 0:
+            raise ValueError(f"additional must be >= 0, got {additional}")
+        return self.total() + additional > budget

@@ -1,0 +1,74 @@
+"""Deterministic logical clock used by the whole simulation.
+
+Every component that would consult wall-clock time on a real cloud
+(billing, profiling windows, training runs, deadlines) instead reads and
+advances a shared :class:`LogicalClock`.  Time is represented in seconds
+as a float.  The clock only moves forward; attempting to rewind raises.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LogicalClock"]
+
+
+class LogicalClock:
+    """A monotonically non-decreasing simulated clock.
+
+    Parameters
+    ----------
+    start:
+        Initial time in seconds.  Defaults to ``0.0``.
+
+    Examples
+    --------
+    >>> clock = LogicalClock()
+    >>> clock.advance(60.0)
+    60.0
+    >>> clock.now
+    60.0
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock start must be >= 0, got {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time.
+
+        Raises
+        ------
+        ValueError
+            If ``seconds`` is negative or not finite.
+        """
+        seconds = float(seconds)
+        if not seconds >= 0.0:  # also rejects NaN
+            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to an absolute ``timestamp``.
+
+        Raises
+        ------
+        ValueError
+            If ``timestamp`` is in the past.
+        """
+        timestamp = float(timestamp)
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {timestamp}"
+            )
+        self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LogicalClock(now={self._now:.3f}s)"

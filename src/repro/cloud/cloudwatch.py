@@ -1,0 +1,140 @@
+"""CloudWatch-style metric store.
+
+MLCD's Cloud Interface "collect[s] measurements through cloud tools
+(e.g., CloudWatch in AWS)".  The simulated equivalent is a namespaced
+time-series store: the profiler pushes per-iteration throughput samples
+and queries summary statistics to decide whether the measurement is
+statistically stable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["MetricDatum", "MetricStore", "MetricStatistics"]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricDatum:
+    """A single metric observation."""
+
+    namespace: str
+    metric: str
+    timestamp: float
+    value: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.value):
+            raise ValueError(
+                f"{self.namespace}/{self.metric}: non-finite value "
+                f"{self.value!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class MetricStatistics:
+    """Summary statistics over a metric window (CloudWatch GetMetricStatistics)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Relative dispersion; the profiler's stability criterion."""
+        if self.mean == 0.0:
+            return math.inf
+        return self.stddev / abs(self.mean)
+
+
+class MetricStore:
+    """Namespaced append-only metric time-series."""
+
+    def __init__(self) -> None:
+        self._data: dict[tuple[str, str], list[MetricDatum]] = {}
+
+    def put(
+        self, namespace: str, metric: str, timestamp: float, value: float
+    ) -> MetricDatum:
+        """Record one observation and return it."""
+        datum = MetricDatum(
+            namespace=namespace, metric=metric,
+            timestamp=timestamp, value=value,
+        )
+        series = self._data.setdefault((namespace, metric), [])
+        if series and timestamp < series[-1].timestamp:
+            raise ValueError(
+                f"{namespace}/{metric}: out-of-order timestamp "
+                f"{timestamp} < {series[-1].timestamp}"
+            )
+        series.append(datum)
+        return datum
+
+    def put_many(
+        self,
+        namespace: str,
+        metric: str,
+        timestamps: Sequence[float],
+        values: Sequence[float],
+    ) -> None:
+        """Record a batch of observations."""
+        if len(timestamps) != len(values):
+            raise ValueError(
+                f"timestamps ({len(timestamps)}) and values "
+                f"({len(values)}) length mismatch"
+            )
+        for t, v in zip(timestamps, values):
+            self.put(namespace, metric, t, v)
+
+    def series(self, namespace: str, metric: str) -> list[MetricDatum]:
+        """All observations for one metric, in time order."""
+        return list(self._data.get((namespace, metric), []))
+
+    def values(self, namespace: str, metric: str) -> list[float]:
+        """Raw metric values in time order."""
+        return [d.value for d in self._data.get((namespace, metric), [])]
+
+    def namespaces(self) -> list[str]:
+        """Distinct namespaces with data, in first-seen order."""
+        seen: dict[str, None] = {}
+        for ns, _metric in self._data:
+            seen.setdefault(ns, None)
+        return list(seen)
+
+    def statistics(
+        self,
+        namespace: str,
+        metric: str,
+        *,
+        since: float = float("-inf"),
+    ) -> MetricStatistics:
+        """Summary statistics over observations with ``timestamp >= since``.
+
+        Raises
+        ------
+        KeyError
+            If the metric has no observations in the window.
+        """
+        window = [
+            d.value
+            for d in self._data.get((namespace, metric), [])
+            if d.timestamp >= since
+        ]
+        if not window:
+            raise KeyError(
+                f"no data for {namespace}/{metric} since {since}"
+            )
+        n = len(window)
+        mean = sum(window) / n
+        var = sum((v - mean) ** 2 for v in window) / n
+        return MetricStatistics(
+            count=n,
+            mean=mean,
+            minimum=min(window),
+            maximum=max(window),
+            stddev=math.sqrt(var),
+        )

@@ -1,0 +1,100 @@
+"""Cluster lifecycle for the simulated cloud.
+
+A :class:`Cluster` is a homogeneous group of instances of a single type
+(the paper's deployment scheme ``D(m, n)`` always uses one type).  The
+lifecycle mirrors EC2 semantics: clusters are launched PENDING, become
+RUNNING after a setup delay, and are billed from launch until
+termination.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cloud.instance import InstanceType
+
+__all__ = ["Cluster", "ClusterState"]
+
+_cluster_ids = itertools.count(1)
+
+
+class ClusterState(enum.Enum):
+    """Lifecycle states of a cluster."""
+    PENDING = "pending"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+@dataclass(slots=True)
+class Cluster:
+    """A launched group of ``count`` × ``instance_type`` machines.
+
+    Billing accrues from ``launched_at`` to ``terminated_at`` (setup
+    time is billed, as on a real cloud — this is why profiling a large
+    cluster is expensive even before the first training step).
+    """
+
+    instance_type: InstanceType
+    count: int
+    launched_at: float
+    setup_seconds: float
+    cluster_id: int = field(default_factory=lambda: next(_cluster_ids))
+    state: ClusterState = ClusterState.PENDING
+    terminated_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.setup_seconds < 0:
+            raise ValueError(
+                f"setup_seconds must be >= 0, got {self.setup_seconds}"
+            )
+
+    @property
+    def ready_at(self) -> float:
+        """Logical time when the cluster becomes RUNNING."""
+        return self.launched_at + self.setup_seconds
+
+    def mark_running(self, now: float) -> None:
+        """Transition PENDING → RUNNING once setup time has elapsed."""
+        if self.state is ClusterState.TERMINATED:
+            raise RuntimeError(f"cluster {self.cluster_id} already terminated")
+        if now < self.ready_at:
+            raise RuntimeError(
+                f"cluster {self.cluster_id} not ready until {self.ready_at}, "
+                f"now={now}"
+            )
+        self.state = ClusterState.RUNNING
+
+    def terminate(self, now: float) -> float:
+        """Terminate the cluster; returns billable seconds since launch.
+
+        Idempotent termination is an error: callers own the lifecycle and
+        double-termination indicates a bookkeeping bug.
+        """
+        if self.state is ClusterState.TERMINATED:
+            raise RuntimeError(
+                f"cluster {self.cluster_id} terminated twice"
+            )
+        if now < self.launched_at:
+            raise ValueError(
+                f"termination time {now} precedes launch {self.launched_at}"
+            )
+        self.state = ClusterState.TERMINATED
+        self.terminated_at = now
+        return now - self.launched_at
+
+    @property
+    def billable_seconds(self) -> float:
+        """Seconds billed so far (requires termination)."""
+        if self.terminated_at is None:
+            raise RuntimeError(
+                f"cluster {self.cluster_id} still running; terminate first"
+            )
+        return self.terminated_at - self.launched_at
+
+    def cost(self) -> float:
+        """Total dollar cost of this cluster's lifetime."""
+        return self.instance_type.cost_for(self.billable_seconds, self.count)

@@ -1,0 +1,120 @@
+"""Instance type descriptions for the simulated cloud.
+
+An :class:`InstanceType` is a purely *descriptive* record — vCPUs,
+accelerators, memory, network and price — mirroring what a cloud
+provider's API would return.  Performance modelling (effective FLOP
+rates, utilisation by model family, …) lives in :mod:`repro.sim.hardware`
+so that the cloud substrate stays provider-like and the simulator owns
+all performance assumptions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["InstanceFamily", "InstanceType"]
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+class InstanceFamily(enum.Enum):
+    """Hardware family of an instance (drives the performance model)."""
+
+    CPU_COMPUTE = "cpu-compute"  # e.g. c4 / c5: compute-optimised CPU
+    CPU_NETWORK = "cpu-network"  # e.g. c5n: network-enhanced CPU
+    GPU_K80 = "gpu-k80"  # e.g. p2: NVIDIA K80
+    GPU_V100 = "gpu-v100"  # e.g. p3: NVIDIA V100
+
+    @property
+    def is_gpu(self) -> bool:
+        return self in (InstanceFamily.GPU_K80, InstanceFamily.GPU_V100)
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceType:
+    """Immutable description of one rentable instance type.
+
+    Attributes
+    ----------
+    name:
+        Provider SKU, e.g. ``"c5.4xlarge"``.
+    family:
+        Hardware family used by the performance model.
+    vcpus:
+        Number of virtual CPUs.
+    memory_gib:
+        Host RAM in GiB.
+    gpus:
+        Number of discrete accelerators (0 for CPU instances).
+    gpu_memory_gib:
+        Memory per accelerator in GiB (0 for CPU instances).
+    network_gbps:
+        Sustainable network bandwidth in Gbit/s.  "Up to X" burst SKUs
+        are recorded at their sustainable (lower) rate.
+    hourly_price:
+        On-demand price in dollars per hour.
+    """
+
+    name: str
+    family: InstanceFamily
+    vcpus: int
+    memory_gib: float
+    gpus: int = 0
+    gpu_memory_gib: float = 0.0
+    network_gbps: float = 10.0
+    hourly_price: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("instance name must be non-empty")
+        if self.vcpus <= 0:
+            raise ValueError(f"{self.name}: vcpus must be positive")
+        if self.memory_gib <= 0:
+            raise ValueError(f"{self.name}: memory_gib must be positive")
+        if self.gpus < 0:
+            raise ValueError(f"{self.name}: gpus must be >= 0")
+        if self.gpus > 0 and self.gpu_memory_gib <= 0:
+            raise ValueError(
+                f"{self.name}: GPU instances need gpu_memory_gib > 0"
+            )
+        if self.network_gbps <= 0:
+            raise ValueError(f"{self.name}: network_gbps must be positive")
+        if self.hourly_price <= 0:
+            raise ValueError(f"{self.name}: hourly_price must be positive")
+        if self.family.is_gpu != (self.gpus > 0):
+            raise ValueError(
+                f"{self.name}: family {self.family.value!r} inconsistent "
+                f"with gpus={self.gpus}"
+            )
+
+    @property
+    def is_gpu(self) -> bool:
+        """Whether this type carries accelerators."""
+        return self.gpus > 0
+
+    @property
+    def price_per_second(self) -> float:
+        """On-demand price in dollars per second (per-second billing)."""
+        return self.hourly_price / _SECONDS_PER_HOUR
+
+    def cost_for(self, seconds: float, count: int = 1) -> float:
+        """Dollar cost of running ``count`` instances for ``seconds``.
+
+        Raises
+        ------
+        ValueError
+            If ``seconds`` is negative or ``count`` is not positive.
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return self.price_per_second * seconds * count
+
+    def normalized_price(self, reference: "InstanceType") -> float:
+        """Hourly price expressed as a multiple of ``reference``'s price.
+
+        Used to reproduce Fig. 1(a), where c5.xlarge is normalised to 1.
+        """
+        return self.hourly_price / reference.hourly_price

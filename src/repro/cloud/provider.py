@@ -1,0 +1,201 @@
+"""The simulated cloud provider facade.
+
+:class:`SimulatedCloud` ties together the catalog, logical clock,
+billing ledger, metric store and cluster lifecycle — it is the single
+object experiments hand to MLCD in place of an AWS account.  Account
+limits mirror the paper's testbed ("up to 100 c5, c5n, c4 instances and
+50 p2, p3 instances are used").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.billing import BillingLedger
+from repro.cloud.catalog import InstanceCatalog, default_catalog
+from repro.cloud.clock import LogicalClock
+from repro.cloud.cloudwatch import MetricStore
+from repro.cloud.cluster import Cluster, ClusterState
+from repro.cloud.instance import InstanceType
+
+__all__ = ["AccountLimits", "InsufficientCapacityError", "SimulatedCloud"]
+
+
+class InsufficientCapacityError(RuntimeError):
+    """The provider could not fulfil a launch right now.
+
+    Real clouds throw these intermittently (EC2's
+    ``InsufficientInstanceCapacity``); they are transient and carry no
+    information about the deployment's training performance.
+    """
+
+#: Paper profiler setup: "each profiling takes 10 minutes (including
+#: initial setup and warm-up)".  We attribute a fixed slice of that to
+#: cluster setup; the per-3-nodes increment lives in
+#: :mod:`repro.profiling.cost`.
+DEFAULT_SETUP_SECONDS = 120.0
+
+
+@dataclass(frozen=True, slots=True)
+class AccountLimits:
+    """Per-account concurrency limits, as vCPU-class caps.
+
+    Mirrors the paper's testbed scale: at most 100 concurrent CPU
+    instances and 50 concurrent GPU instances.
+    """
+
+    max_cpu_instances: int = 100
+    max_gpu_instances: int = 50
+
+    def cap_for(self, itype: InstanceType) -> int:
+        """Concurrency cap applying to this instance type's class."""
+        return self.max_gpu_instances if itype.is_gpu else self.max_cpu_instances
+
+
+class SimulatedCloud:
+    """A deterministic stand-in for a public-cloud account.
+
+    Parameters
+    ----------
+    catalog:
+        Instance catalog; defaults to the paper's EC2 subset.
+    clock:
+        Shared logical clock; a fresh one is created if omitted.
+    limits:
+        Account concurrency limits.
+    setup_seconds:
+        PENDING → RUNNING delay applied to every cluster launch.
+    """
+
+    def __init__(
+        self,
+        catalog: InstanceCatalog | None = None,
+        *,
+        clock: LogicalClock | None = None,
+        limits: AccountLimits | None = None,
+        setup_seconds: float = DEFAULT_SETUP_SECONDS,
+        launch_failure_rate: float = 0.0,
+        failure_seed: int = 0,
+    ) -> None:
+        if setup_seconds < 0:
+            raise ValueError(f"setup_seconds must be >= 0, got {setup_seconds}")
+        if not 0.0 <= launch_failure_rate < 1.0:
+            raise ValueError(
+                f"launch_failure_rate must be in [0, 1), got "
+                f"{launch_failure_rate}"
+            )
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.clock = clock if clock is not None else LogicalClock()
+        self.limits = limits if limits is not None else AccountLimits()
+        self.setup_seconds = setup_seconds
+        self.launch_failure_rate = launch_failure_rate
+        self.failure_seed = failure_seed
+        self._launch_attempts = 0
+        self.ledger = BillingLedger()
+        self.metrics = MetricStore()
+        self._active: list[Cluster] = []
+
+    # -- capacity ------------------------------------------------------------
+    def active_clusters(self) -> list[Cluster]:
+        """Clusters not yet terminated."""
+        return [c for c in self._active if c.state is not ClusterState.TERMINATED]
+
+    def _active_count(self, *, gpu: bool) -> int:
+        return sum(
+            c.count
+            for c in self.active_clusters()
+            if c.instance_type.is_gpu == gpu
+        )
+
+    def available_capacity(self, instance_type: str) -> int:
+        """How many more instances of ``instance_type`` may be launched."""
+        itype = self.catalog[instance_type]
+        used = self._active_count(gpu=itype.is_gpu)
+        return max(0, self.limits.cap_for(itype) - used)
+
+    # -- lifecycle -----------------------------------------------------------
+    def _launch_fails_transiently(self) -> bool:
+        """Seeded per-attempt draw for injected capacity failures."""
+        if self.launch_failure_rate == 0.0:
+            return False
+        import hashlib
+        import struct
+
+        h = hashlib.blake2b(digest_size=8)
+        h.update(repr((self.failure_seed, self._launch_attempts)).encode())
+        raw = struct.unpack("<Q", h.digest())[0]
+        return (raw / 2**64) < self.launch_failure_rate
+
+    def launch(self, instance_type: str, count: int) -> Cluster:
+        """Launch a homogeneous cluster.
+
+        Raises
+        ------
+        RuntimeError
+            If the launch exceeds account limits (a planning error).
+        InsufficientCapacityError
+            Transient injected failure (see ``launch_failure_rate``);
+            retrying later may succeed.
+        """
+        itype = self.catalog[instance_type]
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        capacity = self.available_capacity(instance_type)
+        if count > capacity:
+            raise RuntimeError(
+                f"launch of {count}x {instance_type} exceeds account limit; "
+                f"only {capacity} available"
+            )
+        self._launch_attempts += 1
+        if self._launch_fails_transiently():
+            raise InsufficientCapacityError(
+                f"transient capacity shortage for {count}x {instance_type}"
+            )
+        cluster = Cluster(
+            instance_type=itype,
+            count=count,
+            launched_at=self.clock.now,
+            setup_seconds=self.setup_seconds,
+        )
+        self._active.append(cluster)
+        return cluster
+
+    def wait_until_ready(self, cluster: Cluster) -> None:
+        """Advance the clock to the cluster's ready time and mark RUNNING."""
+        if cluster.state is ClusterState.TERMINATED:
+            raise RuntimeError("cannot wait on a terminated cluster")
+        if self.clock.now < cluster.ready_at:
+            self.clock.advance_to(cluster.ready_at)
+        cluster.mark_running(self.clock.now)
+
+    def run_for(self, cluster: Cluster, seconds: float) -> None:
+        """Advance the clock while ``cluster`` runs (must be RUNNING)."""
+        if cluster.state is not ClusterState.RUNNING:
+            raise RuntimeError(
+                f"cluster {cluster.cluster_id} is {cluster.state.value}, "
+                "expected running"
+            )
+        self.clock.advance(seconds)
+
+    def terminate(self, cluster: Cluster, *, purpose: str) -> float:
+        """Terminate and bill the cluster; returns dollars charged."""
+        seconds = cluster.terminate(self.clock.now)
+        dollars = cluster.instance_type.cost_for(seconds, cluster.count)
+        self.ledger.charge(
+            timestamp=self.clock.now,
+            instance_type=cluster.instance_type.name,
+            count=cluster.count,
+            seconds=seconds,
+            dollars=dollars,
+            purpose=purpose,
+        )
+        return dollars
+
+    # -- convenience ---------------------------------------------------------
+    def total_spend(self, purpose: str | None = None) -> float:
+        """Dollars spent so far, optionally filtered by purpose tag."""
+        return self.ledger.total(purpose)
+
+    def elapsed(self) -> float:
+        """Simulated seconds since account creation."""
+        return self.clock.now

@@ -1,0 +1,199 @@
+"""Spot-market model: transient instances with revocation.
+
+The paper's related work (Proteus, EuroSys '17) trains on transient
+revocable instances for large savings.  This substrate adds a spot
+market to the simulated cloud:
+
+- per-type spot **price process**: a mean-reverting AR(1) walk on a
+  fixed tick, expressed as a multiplicative factor of the on-demand
+  price, deterministic given (seed, type) — the same experiment always
+  sees the same market;
+- **bid semantics**: a cluster runs while the spot factor stays at or
+  below the user's bid factor and is revoked at the first tick it
+  rises above it.
+
+The training-side consequences (checkpointing, lost work, restarts)
+live in :class:`repro.mlcd.spot.SpotTrainingExecutor`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+from repro.cloud.catalog import InstanceCatalog
+
+__all__ = ["SpotMarket"]
+
+_MAX_TICKS_SEARCH = 10_000_000
+
+
+def _tick_noise(seed: int, instance_type: str, tick: int) -> float:
+    """Deterministic standard-normal draw for one (type, tick)."""
+    h = hashlib.blake2b(digest_size=8)
+    h.update(repr((seed, instance_type, tick)).encode())
+    raw = struct.unpack("<Q", h.digest())[0]
+    rng = np.random.default_rng(raw)
+    return float(rng.standard_normal())
+
+
+class SpotMarket:
+    """Mean-reverting spot prices per instance type.
+
+    The factor process is ``f_{k+1} = mean + phi (f_k - mean) +
+    volatility * eps_k`` clipped to ``[floor, ceiling]``.
+
+    Parameters
+    ----------
+    catalog:
+        Types the market quotes.
+    seed:
+        Market seed (one market per experiment world).
+    tick_seconds:
+        Price update interval (real spot markets reprice in minutes).
+    mean / floor / ceiling:
+        Long-run mean and clip bounds of the on-demand fraction.
+    phi:
+        AR(1) persistence in (0, 1).
+    volatility:
+        Innovation scale.
+    """
+
+    def __init__(
+        self,
+        catalog: InstanceCatalog,
+        *,
+        seed: int = 0,
+        tick_seconds: float = 300.0,
+        mean: float = 0.40,
+        floor: float = 0.20,
+        ceiling: float = 1.0,
+        phi: float = 0.97,
+        volatility: float = 0.05,
+    ) -> None:
+        if tick_seconds <= 0:
+            raise ValueError(f"tick_seconds must be positive, got {tick_seconds}")
+        if not 0.0 < floor <= mean <= ceiling:
+            raise ValueError(
+                f"need 0 < floor <= mean <= ceiling, got "
+                f"{floor}, {mean}, {ceiling}"
+            )
+        if not 0.0 < phi < 1.0:
+            raise ValueError(f"phi must be in (0, 1), got {phi}")
+        if volatility < 0:
+            raise ValueError(f"volatility must be >= 0, got {volatility}")
+        self.catalog = catalog
+        self.seed = seed
+        self.tick_seconds = float(tick_seconds)
+        self.mean = mean
+        self.floor = floor
+        self.ceiling = ceiling
+        self.phi = phi
+        self.volatility = volatility
+        # factor series cache per type (extended lazily)
+        self._series: dict[str, list[float]] = {}
+
+    # -- price process ---------------------------------------------------------------
+    def _factors(self, instance_type: str, upto_tick: int) -> list[float]:
+        if instance_type not in self.catalog:
+            raise KeyError(f"unknown instance type {instance_type!r}")
+        series = self._series.setdefault(instance_type, [self.mean])
+        while len(series) <= upto_tick:
+            k = len(series)
+            eps = _tick_noise(self.seed, instance_type, k)
+            nxt = (
+                self.mean
+                + self.phi * (series[-1] - self.mean)
+                + self.volatility * eps
+            )
+            series.append(min(max(nxt, self.floor), self.ceiling))
+        return series
+
+    def tick_of(self, time: float) -> int:
+        """Index of the price tick containing ``time``."""
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        return int(time // self.tick_seconds)
+
+    def price_factor(self, instance_type: str, time: float) -> float:
+        """Spot price as a fraction of on-demand at ``time``."""
+        return self._factors(instance_type, self.tick_of(time))[
+            self.tick_of(time)
+        ]
+
+    def price_per_hour(self, instance_type: str, time: float) -> float:
+        """Spot price in dollars per hour at ``time``."""
+        return (
+            self.catalog[instance_type].hourly_price
+            * self.price_factor(instance_type, time)
+        )
+
+    # -- bid semantics ------------------------------------------------------------------
+    def next_revocation(
+        self,
+        instance_type: str,
+        start_time: float,
+        bid_factor: float,
+        *,
+        horizon_seconds: float,
+    ) -> float | None:
+        """First time after ``start_time`` the spot factor exceeds the
+        bid, or ``None`` if none occurs within the horizon."""
+        if bid_factor <= 0:
+            raise ValueError(f"bid_factor must be positive, got {bid_factor}")
+        if horizon_seconds <= 0:
+            raise ValueError(
+                f"horizon_seconds must be positive, got {horizon_seconds}"
+            )
+        first = self.tick_of(start_time) + 1
+        last = min(
+            self.tick_of(start_time + horizon_seconds),
+            first + _MAX_TICKS_SEARCH,
+        )
+        factors = self._factors(instance_type, last)
+        for tick in range(first, last + 1):
+            if factors[tick] > bid_factor:
+                return tick * self.tick_seconds
+        return None
+
+    def next_availability(
+        self,
+        instance_type: str,
+        start_time: float,
+        bid_factor: float,
+        *,
+        horizon_seconds: float,
+    ) -> float | None:
+        """First time at or after ``start_time`` the spot factor is at
+        or below the bid (capacity obtainable), or ``None``."""
+        if bid_factor <= 0:
+            raise ValueError(f"bid_factor must be positive, got {bid_factor}")
+        first = self.tick_of(start_time)
+        last = min(
+            self.tick_of(start_time + horizon_seconds),
+            first + _MAX_TICKS_SEARCH,
+        )
+        factors = self._factors(instance_type, last)
+        for tick in range(first, last + 1):
+            if factors[tick] <= bid_factor:
+                return max(tick * self.tick_seconds, start_time)
+        return None
+
+    def mean_factor(
+        self, instance_type: str, start_time: float, end_time: float
+    ) -> float:
+        """Average price factor over an interval (for billing)."""
+        if end_time < start_time:
+            raise ValueError("end_time precedes start_time")
+        if end_time == start_time:
+            return self.price_factor(instance_type, start_time)
+        first, last = self.tick_of(start_time), self.tick_of(end_time)
+        factors = self._factors(instance_type, last)
+        total = 0.0
+        for tick in range(first, last + 1):
+            lo = max(start_time, tick * self.tick_seconds)
+            hi = min(end_time, (tick + 1) * self.tick_seconds)
+            total += factors[tick] * max(0.0, hi - lo)
+        return total / (end_time - start_time)

@@ -1,0 +1,77 @@
+"""Core contribution: HeterBO and its Bayesian-optimization machinery.
+
+Layout:
+
+- :mod:`repro.core.kernels` / :mod:`repro.core.gp` — from-scratch
+  Gaussian-process regression (the BO prior function, Sec. III-C);
+- :mod:`repro.core.acquisition` — EI/UCB/POI and the constraint-aware
+  True Expected Improvement of Eqs. 5–6;
+- :mod:`repro.core.search_space` — the deployment space ``D(m, n)``;
+- :mod:`repro.core.scenarios` — the paper's three user scenarios
+  (Eqs. 1–3);
+- :mod:`repro.core.prior` — the concave scale-out prior;
+- :mod:`repro.core.engine` — the GP-driven search loop shared by
+  HeterBO and the BO baselines;
+- :mod:`repro.core.heterbo` — the HeterBO search method itself.
+"""
+
+from repro.core.advisor import OfflineAdvisor, Recommendation
+from repro.core.acquisition import (
+    expected_improvement_max,
+    expected_improvement_min,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+from repro.core.engine import GPSearchEngine, SearchStrategy
+from repro.core.gp import GaussianProcess
+from repro.core.heterbo import HeterBO
+from repro.core.kernels import (
+    CategoricalKernel,
+    ConstantKernel,
+    Kernel,
+    Matern52Kernel,
+    ProductKernel,
+    RBFKernel,
+    SumKernel,
+    WhiteKernel,
+)
+from repro.core.parallel import ParallelHeterBO
+from repro.core.pareto import ParetoPoint, pareto_front, search_pareto_front
+from repro.core.prior import ConcaveScaleOutPrior
+from repro.core.result import DeploymentReport, SearchResult, TrialRecord
+from repro.core.scenarios import Objective, Scenario, ScenarioKind
+from repro.core.search_space import Deployment, DeploymentSpace
+
+__all__ = [
+    "CategoricalKernel",
+    "ConcaveScaleOutPrior",
+    "ConstantKernel",
+    "Deployment",
+    "DeploymentReport",
+    "DeploymentSpace",
+    "GPSearchEngine",
+    "GaussianProcess",
+    "HeterBO",
+    "Kernel",
+    "Matern52Kernel",
+    "Objective",
+    "OfflineAdvisor",
+    "ParallelHeterBO",
+    "ParetoPoint",
+    "ProductKernel",
+    "RBFKernel",
+    "Recommendation",
+    "Scenario",
+    "ScenarioKind",
+    "SearchResult",
+    "SearchStrategy",
+    "SumKernel",
+    "TrialRecord",
+    "WhiteKernel",
+    "expected_improvement_max",
+    "expected_improvement_min",
+    "pareto_front",
+    "probability_of_improvement",
+    "search_pareto_front",
+    "upper_confidence_bound",
+]

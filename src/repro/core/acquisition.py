@@ -1,0 +1,147 @@
+"""Acquisition functions (paper Sec. II-D and III-C).
+
+The three classical acquisitions the paper discusses — EI, UCB, POI —
+plus the constraint-aware True Expected Improvement (TEI, Eqs. 5–6)
+and the heterogeneous-cost penalisation (Eqs. 7–8) that together form
+HeterBO's acquisition.
+
+Sign conventions: the BO engine *minimises* an objective (training
+time or monetary cost), so the minimisation EI is primary; the
+maximisation variants are provided for the speed-space view used in
+the paper's illustrative figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "expected_improvement_max",
+    "expected_improvement_min",
+    "probability_of_improvement",
+    "true_expected_improvement",
+    "upper_confidence_bound",
+]
+
+
+def _validate(mu: np.ndarray, sigma: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    mu = np.asarray(mu, dtype=float)
+    sigma = np.asarray(sigma, dtype=float)
+    if mu.shape != sigma.shape:
+        raise ValueError(
+            f"mu shape {mu.shape} != sigma shape {sigma.shape}"
+        )
+    if np.any(sigma < 0):
+        raise ValueError("sigma must be non-negative")
+    return mu, sigma
+
+
+def expected_improvement_min(
+    mu: np.ndarray, sigma: np.ndarray, best: float, xi: float = 0.0
+) -> np.ndarray:
+    """EI for a *minimisation* objective (Eq. 4, adapted to min).
+
+    ``EI(D) = (best - mu - xi) Φ(z) + sigma φ(z)`` with
+    ``z = (best - mu - xi) / sigma``.  Zero-variance points return the
+    deterministic improvement ``max(best - mu - xi, 0)``.
+    """
+    mu, sigma = _validate(mu, sigma)
+    delta = best - mu - xi
+    out = np.maximum(delta, 0.0)
+    positive = sigma > 0
+    if np.any(positive):
+        # denormal sigmas can overflow the division; clip z to +-40,
+        # beyond which cdf is exactly {0, 1} and pdf exactly 0 in
+        # float64, so the clipped values are not approximations
+        with np.errstate(over="ignore", divide="ignore"):
+            z = np.clip(delta[positive] / sigma[positive], -40.0, 40.0)
+        out = out.astype(float)
+        out[positive] = delta[positive] * stats.norm.cdf(z) + sigma[
+            positive
+        ] * stats.norm.pdf(z)
+    return np.maximum(out, 0.0)
+
+
+def expected_improvement_max(
+    mu: np.ndarray, sigma: np.ndarray, best: float, xi: float = 0.0
+) -> np.ndarray:
+    """EI for a *maximisation* objective (e.g. training speed)."""
+    return expected_improvement_min(-np.asarray(mu, dtype=float), sigma, -best, xi)
+
+
+def probability_of_improvement(
+    mu: np.ndarray, sigma: np.ndarray, best: float, xi: float = 0.0
+) -> np.ndarray:
+    """POI for a minimisation objective: ``P(y < best - xi)``."""
+    mu, sigma = _validate(mu, sigma)
+    delta = best - mu - xi
+    out = (delta > 0).astype(float)
+    positive = sigma > 0
+    with np.errstate(over="ignore", divide="ignore"):
+        z = np.clip(delta[positive] / sigma[positive], -40.0, 40.0)
+    out[positive] = stats.norm.cdf(z)
+    return out
+
+
+def upper_confidence_bound(
+    mu: np.ndarray, sigma: np.ndarray, kappa: float = 2.0
+) -> np.ndarray:
+    """Lower-confidence bound score for minimisation (named UCB per the
+    paper); *larger is better*: ``-(mu - kappa sigma)``."""
+    mu, sigma = _validate(mu, sigma)
+    if kappa < 0:
+        raise ValueError(f"kappa must be >= 0, got {kappa}")
+    return -(mu - kappa * sigma)
+
+
+def true_expected_improvement(
+    ei: np.ndarray,
+    *,
+    constraint_limit: float,
+    consumed: float,
+    probe_cost: np.ndarray,
+    projected_completion: np.ndarray,
+) -> np.ndarray:
+    """True Expected Improvement: remaining slack after a probe (Eqs. 5–6).
+
+    The paper defines, for a deadline ``Tmax``:
+    ``TEI(D) = Tmax - Tprofile - S / EI(D)``, and analogously for a
+    budget with ``× P(m)``.  Read as: the slack left after (a) spending
+    the probe's cost and (b) completing training at the improved rate
+    the probe is expected to unlock.  ``S / EI`` alone degenerates as
+    EI → 0, so we expose the completion term as an explicit argument
+    (``projected_completion``: the candidate's projected total training
+    time or cost, computed by the caller from the EI-adjusted speed) —
+    the semantics of Eqs. 5–6 with a non-degenerate denominator.
+
+    A negative TEI marks the probe *infeasible*: exploring it could
+    strand the user unable to finish within the constraint.
+
+    Parameters
+    ----------
+    ei:
+        Expected improvement of each candidate (used only for shape
+        validation; retained to mirror the paper's signature).
+    constraint_limit:
+        ``Tmax`` (seconds) or ``Cmax`` (dollars).
+    consumed:
+        Time elapsed / money spent so far.
+    probe_cost:
+        ``T_profile`` or ``C_profile`` per candidate (Eqs. 7–8).
+    projected_completion:
+        Projected training time/cost per candidate after the probe.
+    """
+    ei = np.asarray(ei, dtype=float)
+    probe_cost = np.asarray(probe_cost, dtype=float)
+    projected_completion = np.asarray(projected_completion, dtype=float)
+    if ei.shape != probe_cost.shape or ei.shape != projected_completion.shape:
+        raise ValueError(
+            "ei, probe_cost and projected_completion must share a shape; "
+            f"got {ei.shape}, {probe_cost.shape}, {projected_completion.shape}"
+        )
+    if np.any(probe_cost < 0) or np.any(projected_completion < 0):
+        raise ValueError("costs must be non-negative")
+    if consumed < 0:
+        raise ValueError(f"consumed must be >= 0, got {consumed}")
+    return constraint_limit - consumed - probe_cost - projected_completion

@@ -1,0 +1,165 @@
+"""Offline deployment advisor: re-plan from a recorded trace.
+
+Profiling measurements are assets (they cost real money); a saved
+search trace answers new questions for free:
+
+- *"Same job, but now I have a $60 budget instead of $120 — what should
+  I run?"* → :meth:`OfflineAdvisor.recommend` re-ranks the measured
+  deployments under the new scenario.
+- *"If I could afford a few more probes, where should they go?"* →
+  :meth:`OfflineAdvisor.suggest_probes` refits the GP surrogate on the
+  recorded measurements and returns the top-EI unmeasured deployments.
+
+Works from live :class:`~repro.core.result.SearchResult` objects or
+traces reloaded via :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.acquisition import expected_improvement_min
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import default_deployment_kernel
+from repro.core.result import SearchResult
+from repro.core.scenarios import Objective, Scenario
+from repro.core.search_space import Deployment, DeploymentSpace
+
+__all__ = ["OfflineAdvisor", "Recommendation"]
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """An advised deployment with its measured projections."""
+
+    deployment: Deployment
+    measured_speed: float
+    train_seconds: float
+    train_dollars: float
+
+    def fits(self, scenario: Scenario) -> bool:
+        """Whether the projected training satisfies the constraint
+        (fresh budget — no resources consumed yet)."""
+        if scenario.kind.value == "scenario-2":
+            return self.train_seconds <= scenario.deadline_seconds
+        if scenario.kind.value == "scenario-3":
+            return self.train_dollars <= scenario.budget_dollars
+        return True
+
+
+class OfflineAdvisor:
+    """Answer deployment questions from a recorded search trace.
+
+    Parameters
+    ----------
+    search:
+        The recorded trace (its trials carry measured speeds).
+    space:
+        The deployment space the trace was gathered on (for prices and
+        candidate enumeration).
+    total_samples:
+        The job size ``S`` the new question concerns — may differ from
+        the recorded job's (e.g. more epochs); measured *speeds*
+        transfer, totals rescale.
+    """
+
+    def __init__(
+        self,
+        search: SearchResult,
+        space: DeploymentSpace,
+        total_samples: int,
+    ) -> None:
+        if total_samples <= 0:
+            raise ValueError(
+                f"total_samples must be positive, got {total_samples}"
+            )
+        self.search = search
+        self.space = space
+        self.total_samples = total_samples
+        self._measured: dict[Deployment, float] = {}
+        for trial in search.trials:
+            if not trial.failed and trial.deployment in space:
+                # keep the latest measurement of a deployment
+                self._measured[trial.deployment] = trial.measured_speed
+        self._gp: GaussianProcess | None = None
+
+    # -- measured-set analysis ---------------------------------------------------
+    def options(self) -> list[Recommendation]:
+        """All measured deployments with projected time/cost."""
+        out = []
+        for deployment, speed in self._measured.items():
+            seconds = self.total_samples / speed
+            dollars = seconds * self.space.hourly_price(deployment) / 3600.0
+            out.append(Recommendation(
+                deployment=deployment,
+                measured_speed=speed,
+                train_seconds=seconds,
+                train_dollars=dollars,
+            ))
+        return sorted(out, key=lambda r: r.train_seconds)
+
+    def recommend(self, scenario: Scenario) -> Recommendation | None:
+        """Best measured deployment under a (possibly new) scenario.
+
+        Returns ``None`` when no measured deployment satisfies the
+        constraint — the honest answer; `suggest_probes` then says
+        where new measurements would be most informative.
+        """
+        feasible = [r for r in self.options() if r.fits(scenario)]
+        if not feasible:
+            return None
+        if scenario.objective is Objective.COST:
+            return min(feasible, key=lambda r: r.train_dollars)
+        return min(feasible, key=lambda r: r.train_seconds)
+
+    # -- surrogate-driven suggestions ------------------------------------------------
+    def _fit_gp(self) -> GaussianProcess:
+        if self._gp is None:
+            if not self._measured:
+                raise RuntimeError(
+                    "trace contains no successful measurements"
+                )
+            deployments = list(self._measured)
+            X = self.space.encode_many(deployments)
+            y = np.log2([self._measured[d] for d in deployments])
+            self._gp = GaussianProcess(
+                default_deployment_kernel(), optimize_restarts=3, seed=0
+            ).fit(X, y)
+        return self._gp
+
+    def suggest_probes(
+        self, k: int = 3, *, scenario: Scenario | None = None
+    ) -> list[Deployment]:
+        """Top-``k`` unmeasured deployments by EI under the scenario
+        objective (time EI when no scenario is given)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        scenario = scenario if scenario is not None else Scenario.fastest()
+        gp = self._fit_gp()
+        candidates = [
+            d for d in self.space if d not in self._measured
+        ]
+        if not candidates:
+            return []
+        mu_s, sigma_s = gp.predict(self.space.encode_many(candidates))
+        if scenario.objective is Objective.COST:
+            consts = np.array([
+                np.log2(
+                    self.total_samples
+                    * self.space.hourly_price(d) / 3600.0
+                )
+                for d in candidates
+            ])
+            best = min(
+                r.train_dollars for r in self.options()
+            )
+        else:
+            consts = np.full(len(candidates), np.log2(self.total_samples))
+            best = min(r.train_seconds for r in self.options())
+        ei = expected_improvement_min(
+            consts - mu_s, sigma_s, float(np.log2(best))
+        )
+        order = np.argsort(ei)[::-1][:k]
+        return [candidates[int(i)] for i in order]

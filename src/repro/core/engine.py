@@ -1,0 +1,513 @@
+"""GP-driven search loop shared by HeterBO and the BO baselines.
+
+The engine models **log2 training speed** as a GP over the deployment
+features ``[type index, log2 n]``.  Both of the paper's objectives are
+monotone transforms of speed with *known* per-deployment constants::
+
+    time(D) = S / y(D)              -> log2 time = log2 S        - log2 y
+    cost(D) = S * p(D) / y(D)       -> log2 cost = log2(S p(D))  - log2 y
+
+so the GP posterior over log2-speed induces an exact Gaussian posterior
+over the log2-objective, and EI can be computed analytically in
+log-objective space (an EI of 0.14 log2-units ≈ a 10 % expected
+improvement ratio).  This keeps one surrogate serving all three
+scenarios — matching the paper, whose BO always models training speed.
+
+Failed probes (infeasible deployments) enter the GP at a speed floor:
+they are strong evidence that a region is bad, and on a real cloud they
+cost money, so pretending they never happened would bias the search.
+"""
+
+from __future__ import annotations
+
+import abc
+import logging
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.acquisition import expected_improvement_min
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import default_deployment_kernel
+from repro.core.result import SearchResult, TrialRecord
+from repro.core.scenarios import Objective, Scenario
+from repro.core.search_space import Deployment, DeploymentSpace
+from repro.profiling.profiler import ProfileResult, Profiler
+from repro.sim.throughput import TrainingJob
+
+__all__ = ["GPSearchEngine", "SearchContext", "SearchStrategy"]
+
+logger = logging.getLogger(__name__)
+
+#: Speed assigned to failed probes before the log transform
+#: (samples/s); far below any real deployment.
+SPEED_FLOOR = 1e-3
+
+
+@dataclass(frozen=True, slots=True)
+class SearchContext:
+    """Everything a strategy needs to search: the world and the task."""
+
+    space: DeploymentSpace
+    profiler: Profiler
+    job: TrainingJob
+    scenario: Scenario
+
+    @property
+    def total_samples(self) -> int:
+        """Total samples the job must process (``S``)."""
+        return self.job.total_samples
+
+    def price_per_second(self, deployment: Deployment) -> float:
+        """Cluster price of a deployment in dollars per second."""
+        return self.space.hourly_price(deployment) / 3600.0
+
+    # -- resource accounting (the cloud is the source of truth) -------------------
+    def elapsed_seconds(self) -> float:
+        """Simulated wall-clock seconds consumed so far."""
+        return self.profiler.cloud.elapsed()
+
+    def spent_dollars(self) -> float:
+        """Dollars charged to the ledger so far."""
+        return self.profiler.cloud.total_spend()
+
+    def consumed(self) -> float:
+        """Elapsed seconds or spent dollars, per the scenario's constraint."""
+        if self.scenario.objective is Objective.COST:
+            # scenario-2 constrains *time*; consumed is elapsed seconds
+            return self.elapsed_seconds()
+        return (
+            self.spent_dollars()
+            if self.scenario.penalty_resource is Objective.COST
+            else self.elapsed_seconds()
+        )
+
+    # -- objective helpers ---------------------------------------------------------
+    def train_seconds(self, deployment: Deployment, speed: float) -> float:
+        """Estimated training time at a measured speed."""
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        return self.total_samples / speed
+
+    def train_dollars(self, deployment: Deployment, speed: float) -> float:
+        """Estimated training cost at a measured speed."""
+        return self.train_seconds(deployment, speed) * self.price_per_second(
+            deployment
+        )
+
+    def objective_value(
+        self,
+        deployment: Deployment,
+        speed: float,
+        objective: Objective | None = None,
+    ) -> float:
+        """Training time or cost (excludes profiling).
+
+        ``objective`` defaults to the scenario's; strategies may
+        override it (e.g. chasing feasibility in time-space before
+        optimising cost under a deadline).
+        """
+        objective = objective if objective is not None else self.scenario.objective
+        if objective is Objective.COST:
+            return self.train_dollars(deployment, speed)
+        return self.train_seconds(deployment, speed)
+
+    def probe_seconds(self, deployment: Deployment) -> float:
+        """Profiling wall-clock cost of probing a deployment."""
+        return self.profiler.profiling_seconds(deployment.count)
+
+    def probe_dollars(self, deployment: Deployment) -> float:
+        """Profiling dollar cost of probing a deployment."""
+        return self.profiler.profiling_dollars(
+            deployment.instance_type, deployment.count
+        )
+
+    def probe_penalty(self, deployment: Deployment) -> float:
+        """``PL`` of Eqs. 7–8 in the scenario's penalty resource."""
+        if self.scenario.penalty_resource is Objective.COST:
+            return self.probe_dollars(deployment)
+        return self.probe_seconds(deployment)
+
+
+class GPSearchEngine:
+    """Observation store + GP surrogate + objective-space EI."""
+
+    def __init__(self, context: SearchContext, *, seed: int = 0) -> None:
+        self.context = context
+        self._observations: list[tuple[Deployment, float]] = []
+        self._visited: set[Deployment] = set()
+        self._gp = GaussianProcess(
+            default_deployment_kernel(), optimize_restarts=3, seed=seed
+        )
+        self._fitted = False
+
+    # -- observations ---------------------------------------------------------------
+    def add_observation(self, result: ProfileResult) -> Deployment:
+        """Record a probe outcome.
+
+        Transient capacity failures carry no performance information:
+        they enter neither the GP nor the visited set (the deployment
+        may be retried later).  Infeasible failures are real evidence
+        and are recorded at the speed floor.
+        """
+        deployment = Deployment(result.instance_type, result.count)
+        if result.failure_reason == "capacity":
+            return deployment
+        self._observations.append((deployment, result.speed))
+        self._visited.add(deployment)
+        self._fitted = False
+        return deployment
+
+    @property
+    def n_observations(self) -> int:
+        """Number of recorded observations."""
+        return len(self._observations)
+
+    def visited(self, deployment: Deployment) -> bool:
+        """Whether this deployment has already been probed."""
+        return deployment in self._visited
+
+    def successful_observations(self) -> list[tuple[Deployment, float]]:
+        """All (deployment, speed) pairs with positive speed."""
+        return [(d, y) for d, y in self._observations if y > 0]
+
+    # -- surrogate ---------------------------------------------------------------------
+    def fit(self) -> None:
+        """Refit the GP surrogate on all recorded observations."""
+        if not self._observations:
+            raise RuntimeError("no observations to fit")
+        X = self.context.space.encode_many(
+            [d for d, _ in self._observations]
+        )
+        speeds = np.array([s for _, s in self._observations], dtype=float)
+        # Failed probes enter at a *dynamic* floor: a couple of octaves
+        # below the slowest success.  A fixed tiny floor would put the
+        # failures many octaves below everything else, inflating the
+        # standardised variance and keeping EI artificially alive in
+        # regions the data already condemned.
+        successes = speeds[speeds > 0]
+        floor = SPEED_FLOOR
+        if successes.size:
+            floor = max(floor, float(successes.min()) / 4.0)
+        y = np.log2(np.maximum(speeds, floor))
+        self._gp.fit(X, y)
+        self._fitted = True
+
+    def predict_log2_speed(
+        self, deployments: list[Deployment]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean/std of log2 speed at the deployments."""
+        if not self._fitted:
+            raise RuntimeError("fit() before predict")
+        X = self.context.space.encode_many(deployments)
+        return self._gp.predict(X)
+
+    # -- objective space -----------------------------------------------------------------
+    def _log2_objective_constant(
+        self, deployment: Deployment, objective: Objective
+    ) -> float:
+        """``c`` such that log2 objective = c - log2 speed."""
+        S = self.context.total_samples
+        if objective is Objective.COST:
+            return float(
+                np.log2(S * self.context.price_per_second(deployment))
+            )
+        return float(np.log2(S))
+
+    def best_incumbent(
+        self,
+        *,
+        objective: Objective | None = None,
+        incumbent_filter=None,
+    ) -> tuple[Deployment, float, float] | None:
+        """``(deployment, measured_speed, objective_value)`` of the best
+        successful observation, or None.
+
+        Parameters
+        ----------
+        objective:
+            Override the scenario objective (see
+            :meth:`SearchContext.objective_value`).
+        incumbent_filter:
+            Optional ``(deployment, speed) -> bool`` predicate; only
+            passing observations qualify (constraint-aware strategies
+            restrict the incumbent to constraint-feasible points).
+        """
+        successes = self.successful_observations()
+        if incumbent_filter is not None:
+            successes = [
+                (d, y) for d, y in successes if incumbent_filter(d, y)
+            ]
+        if not successes:
+            return None
+        scored = [
+            (self.context.objective_value(d, y, objective), d, y)
+            for d, y in successes
+        ]
+        obj, d, y = min(scored, key=lambda t: t[0])
+        return d, y, obj
+
+    def _objective_moments(
+        self, candidates: list[Deployment], objective: Objective
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gaussian (mu, sigma) of log2-objective per candidate."""
+        mu_s, sigma_s = self.predict_log2_speed(candidates)
+        consts = np.array([
+            self._log2_objective_constant(d, objective) for d in candidates
+        ])
+        return consts - mu_s, sigma_s
+
+    def objective_ei(
+        self,
+        candidates: list[Deployment],
+        *,
+        xi: float = 0.0,
+        objective: Objective | None = None,
+        incumbent_filter=None,
+    ) -> np.ndarray:
+        """EI (log2-objective units, minimisation) per candidate.
+
+        Returns zeros when no observation qualifies as an incumbent
+        (every point is then equally "improving"; strategies fall back
+        to their initial design or a feasibility-chasing objective).
+        """
+        objective = (
+            objective if objective is not None
+            else self.context.scenario.objective
+        )
+        incumbent = self.best_incumbent(
+            objective=objective, incumbent_filter=incumbent_filter
+        )
+        if incumbent is None or not candidates:
+            return np.zeros(len(candidates))
+        _, _, best_obj = incumbent
+        mu_g, sigma_g = self._objective_moments(candidates, objective)
+        return expected_improvement_min(
+            mu_g, sigma_g, float(np.log2(best_obj)), xi
+        )
+
+    def improvement_probability(
+        self,
+        candidates: list[Deployment],
+        *,
+        objective: Objective | None = None,
+        incumbent_filter=None,
+    ) -> np.ndarray:
+        """P(candidate beats the incumbent objective)."""
+        from repro.core.acquisition import probability_of_improvement
+
+        objective = (
+            objective if objective is not None
+            else self.context.scenario.objective
+        )
+        incumbent = self.best_incumbent(
+            objective=objective, incumbent_filter=incumbent_filter
+        )
+        if incumbent is None or not candidates:
+            return np.ones(len(candidates))
+        _, _, best_obj = incumbent
+        mu_g, sigma_g = self._objective_moments(candidates, objective)
+        return probability_of_improvement(
+            mu_g, sigma_g, float(np.log2(best_obj))
+        )
+
+    def objective_thompson(
+        self,
+        candidates: list[Deployment],
+        *,
+        rng: np.random.Generator,
+        objective: Objective | None = None,
+    ) -> np.ndarray:
+        """Thompson-sampling score: one joint posterior draw of the
+        log2-objective, negated and shifted to be non-negative (larger
+        is better).  Randomised exploration with exact posterior
+        calibration."""
+        objective = (
+            objective if objective is not None
+            else self.context.scenario.objective
+        )
+        if not candidates:
+            return np.zeros(0)
+        if not self._fitted:
+            raise RuntimeError("fit() before objective_thompson")
+        X = self.context.space.encode_many(candidates)
+        draw = self._gp.sample(X, n_samples=1, rng=rng)[0]
+        consts = np.array([
+            self._log2_objective_constant(d, objective) for d in candidates
+        ])
+        scores = -(consts - draw)  # minimise objective = maximise -g
+        return scores - scores.min()
+
+    def objective_ucb(
+        self,
+        candidates: list[Deployment],
+        *,
+        kappa: float = 2.0,
+        objective: Objective | None = None,
+    ) -> np.ndarray:
+        """Confidence-bound score in log2-objective space (larger is
+        better); shifted to be non-negative so cost division keeps the
+        candidate ordering meaningful."""
+        from repro.core.acquisition import upper_confidence_bound
+
+        objective = (
+            objective if objective is not None
+            else self.context.scenario.objective
+        )
+        if not candidates:
+            return np.zeros(0)
+        mu_g, sigma_g = self._objective_moments(candidates, objective)
+        raw = upper_confidence_bound(mu_g, sigma_g, kappa)
+        return raw - raw.min()
+
+
+class SearchStrategy(abc.ABC):
+    """Template-method search loop.
+
+    Subclasses override the hooks to express their policy; the loop
+    itself (profile → record → refit → propose) is shared so that
+    cost accounting is identical across strategies.
+    """
+
+    #: Human-readable strategy name (used in reports and figures).
+    name: str = "base"
+
+    def __init__(
+        self, *, max_steps: int = 30, seed: int = 0, xi: float = 0.0
+    ) -> None:
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        self.max_steps = max_steps
+        self.seed = seed
+        self.xi = xi
+
+    # -- hooks -------------------------------------------------------------------
+    @abc.abstractmethod
+    def initial_deployments(self, context: SearchContext) -> list[Deployment]:
+        """The initial design (profiled before any GP is fitted)."""
+
+    def candidate_deployments(
+        self, context: SearchContext, engine: GPSearchEngine
+    ) -> list[Deployment]:
+        """Unvisited deployments eligible for the next probe."""
+        return [d for d in context.space if not engine.visited(d)]
+
+    @abc.abstractmethod
+    def score_candidates(
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        candidates: list[Deployment],
+    ) -> np.ndarray:
+        """Acquisition score per candidate (larger is better)."""
+
+    @abc.abstractmethod
+    def should_stop(
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        candidates: list[Deployment],
+        scores: np.ndarray,
+    ) -> str | None:
+        """Stop reason, or None to continue."""
+
+    def on_observation(
+        self, context: SearchContext, result: ProfileResult
+    ) -> None:
+        """Called after each probe (e.g. to update a prior)."""
+
+    def select_best(
+        self, context: SearchContext, engine: GPSearchEngine
+    ) -> tuple[Deployment, float] | None:
+        """Final ``(deployment, measured_speed)`` choice.
+
+        Default: the best incumbent under the scenario objective,
+        ignoring resources already consumed (constraint-aware
+        strategies override this).
+        """
+        incumbent = engine.best_incumbent()
+        if incumbent is None:
+            return None
+        deployment, speed, _ = incumbent
+        return deployment, speed
+
+    # -- loop ---------------------------------------------------------------------
+    def _probe(
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        deployment: Deployment,
+        trials: list[TrialRecord],
+        note: str,
+    ) -> ProfileResult:
+        result = context.profiler.profile(
+            deployment.instance_type, deployment.count, context.job
+        )
+        engine.add_observation(result)
+        trials.append(TrialRecord(
+            step=len(trials) + 1,
+            deployment=deployment,
+            measured_speed=result.speed,
+            profile_seconds=result.seconds,
+            profile_dollars=result.dollars,
+            elapsed_seconds=context.elapsed_seconds(),
+            spent_dollars=context.spent_dollars(),
+            note=note,
+        ))
+        self.on_observation(context, result)
+        logger.debug(
+            "%s probe %d: %s -> %.2f samples/s (%s) "
+            "[probe $%.2f, spent $%.2f, elapsed %.2f h]",
+            self.name, len(trials), deployment, result.speed,
+            result.failure_reason or "ok", result.dollars,
+            context.spent_dollars(), context.elapsed_seconds() / 3600,
+        )
+        return result
+
+    def search(self, context: SearchContext) -> SearchResult:
+        """Run the search loop and return the result trace."""
+        engine = GPSearchEngine(context, seed=self.seed)
+        trials: list[TrialRecord] = []
+        stop_reason = "max steps reached"
+
+        for deployment in self.initial_deployments(context):
+            if len(trials) >= self.max_steps:
+                break
+            self._probe(context, engine, deployment, trials, "initial")
+
+        while len(trials) < self.max_steps:
+            if engine.n_observations == 0:
+                stop_reason = "no observations possible"
+                break
+            engine.fit()
+            candidates = self.candidate_deployments(context, engine)
+            if not candidates:
+                stop_reason = "search space exhausted"
+                break
+            scores = self.score_candidates(context, engine, candidates)
+            reason = self.should_stop(context, engine, candidates, scores)
+            if reason is not None:
+                stop_reason = reason
+                break
+            chosen = candidates[int(np.argmax(scores))]
+            self._probe(context, engine, chosen, trials, "explore")
+
+        selection = self.select_best(context, engine)
+        best, best_speed = (None, 0.0) if selection is None else selection
+        logger.info(
+            "%s finished after %d probes: best=%s (%.2f samples/s), "
+            "profiling %.2f h / $%.2f, stop: %s",
+            self.name, len(trials), best, best_speed,
+            context.elapsed_seconds() / 3600, context.spent_dollars(),
+            stop_reason,
+        )
+        return SearchResult(
+            strategy=self.name,
+            scenario=context.scenario,
+            trials=tuple(trials),
+            best=best,
+            best_measured_speed=best_speed,
+            profile_seconds=context.elapsed_seconds(),
+            profile_dollars=context.spent_dollars(),
+            stop_reason=stop_reason,
+        )

@@ -1,0 +1,495 @@
+"""HeterBO: cost-aware, prior-guided, constraint-guaranteeing BO search.
+
+The paper's contribution (Sec. III), assembled from four mechanisms on
+top of the shared GP engine:
+
+1. **Cheap initial design** — one single-node probe per instance type
+   ("we select a single node of each instance type as our initial
+   explore points to avoid unnecessary large cost").
+2. **Heterogeneous-cost acquisition** — EI divided by the profiling
+   penalty ``PL`` (Eqs. 7–8): a point must promise proportionally more
+   improvement to justify a probe that costs 100× more.
+3. **Constraint awareness** — candidates are filtered by (a) the
+   *protective reserve*: after paying for the probe, the budget/deadline
+   must still cover finishing training on the current best deployment
+   (with a safety margin for measurement noise), and (b) the candidate's
+   own True Expected Improvement (Eqs. 5–6): even an optimistic
+   (95 % upper-confidence) outcome must fit the constraint.
+4. **Concave scale-out prior** — once a per-type down-slope is
+   observed, larger node counts for that type are pruned
+   (:class:`~repro.core.prior.ConcaveScaleOutPrior`).
+
+Stopping: the search ends when no candidate passes the protective
+filters ("protective stop"), when the best feasible expected
+improvement falls below a threshold, or at ``max_steps``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from repro.core.engine import GPSearchEngine, SearchContext, SearchStrategy
+from repro.core.prior import ConcaveScaleOutPrior
+from repro.core.scenarios import Objective, ScenarioKind
+from repro.core.search_space import Deployment
+from repro.profiling.profiler import ProfileResult
+
+__all__ = ["HeterBO"]
+
+logger = logging.getLogger(__name__)
+
+#: 97.5 % one-sided z-score — the paper's 95 % confidence interval.
+_Z95 = 1.959963984540054
+
+
+class HeterBO(SearchStrategy):
+    """The HeterBO search method (paper Sec. III).
+
+    Parameters
+    ----------
+    ei_threshold:
+        Stop when the best feasible EI (log2-objective units) drops
+        below this; 0.03 log2-units ≈ a 2 % expected improvement.
+    min_poi:
+        Candidates whose probability of improving on the incumbent is
+        below this are not worth any probe cost.
+    reserve_margin:
+        Multiplier on the incumbent's estimated completion cost when
+        reserving budget (guards against measurement noise).
+    use_concave_prior:
+        Disable to ablate the ML-specific prior.
+    cost_aware:
+        Disable to ablate the heterogeneous-cost penalty (EI is then
+        used raw, as in conventional BO).
+    acquisition:
+        Base acquisition before cost penalisation: ``"ei"`` (the
+        paper's choice, Sec. III-C), ``"poi"`` or ``"ucb"`` (the two
+        alternatives Sec. II-D surveys).  EI also drives the stop
+        condition and the TEI completion term regardless of this
+        setting, since the paper's constraint machinery is defined in
+        EI terms.
+    warm_start:
+        Optional :class:`~repro.core.result.SearchResult` from a
+        *related* job (e.g. the same model at a different batch size).
+        Absolute speeds do not transfer across jobs, so old
+        measurements never enter the GP; instead the initial design
+        re-probes the old search's best deployments first (cheap,
+        high-value anchors), falling back to single-node probes only
+        for instance types the old search never ranked.  This addresses
+        the paper's Sec. II-C complaint that "if there are any changes
+        made in the training job (e.g., using a different batch size),
+        the expensive search needs to be re-performed again".
+    """
+
+    name = "heterbo"
+
+    _ACQUISITIONS = ("ei", "poi", "ucb", "ts")
+
+    def __init__(
+        self,
+        *,
+        max_steps: int = 30,
+        seed: int = 0,
+        xi: float = 0.0,
+        ei_threshold: float = 0.03,
+        min_poi: float = 0.05,
+        reserve_margin: float = 1.05,
+        use_concave_prior: bool = True,
+        cost_aware: bool = True,
+        protective_stop: bool = True,
+        acquisition: str = "ei",
+        ucb_kappa: float = 2.0,
+        warm_start=None,
+        warm_top_k: int = 3,
+    ) -> None:
+        super().__init__(max_steps=max_steps, seed=seed, xi=xi)
+        if ei_threshold < 0:
+            raise ValueError(f"ei_threshold must be >= 0, got {ei_threshold}")
+        if not 0.0 <= min_poi < 1.0:
+            raise ValueError(f"min_poi must be in [0, 1), got {min_poi}")
+        if reserve_margin < 1.0:
+            raise ValueError(
+                f"reserve_margin must be >= 1, got {reserve_margin}"
+            )
+        if acquisition not in self._ACQUISITIONS:
+            raise ValueError(
+                f"acquisition must be one of {self._ACQUISITIONS}, "
+                f"got {acquisition!r}"
+            )
+        if ucb_kappa < 0:
+            raise ValueError(f"ucb_kappa must be >= 0, got {ucb_kappa}")
+        self.ei_threshold = ei_threshold
+        self.min_poi = min_poi
+        self.reserve_margin = reserve_margin
+        self.use_concave_prior = use_concave_prior
+        self.cost_aware = cost_aware
+        self.protective_stop = protective_stop
+        if warm_top_k < 1:
+            raise ValueError(f"warm_top_k must be >= 1, got {warm_top_k}")
+        self.acquisition = acquisition
+        self.ucb_kappa = ucb_kappa
+        self.warm_start = warm_start
+        self.warm_top_k = warm_top_k
+        self.prior = ConcaveScaleOutPrior()
+        self._last_feasible_ei: float = np.inf
+        self._last_any_feasible: bool = True
+        self._ts_rng = np.random.default_rng((seed, 0x7F4A7C15))
+
+    # -- initial design --------------------------------------------------------------
+    def _warm_anchor_deployments(
+        self, context: SearchContext
+    ) -> list[Deployment]:
+        """Old search's best deployments, restricted to the current space."""
+        if self.warm_start is None:
+            return []
+        successes = [
+            t for t in self.warm_start.trials
+            if not t.failed and t.deployment in context.space
+        ]
+        successes.sort(key=lambda t: t.measured_speed, reverse=True)
+        anchors: list[Deployment] = []
+        for t in successes:
+            if t.deployment not in anchors:
+                anchors.append(t.deployment)
+            if len(anchors) >= self.warm_top_k:
+                break
+        return anchors
+
+    def initial_deployments(self, context: SearchContext) -> list[Deployment]:
+        """One single-node probe per instance type, cheapest first.
+
+        With a warm start, the previous search's best deployments are
+        re-probed first and single-node probes only cover the instance
+        types the old search never measured.
+
+        Probes that would by themselves breach the constraint are
+        skipped (protective behaviour starts at step one).
+        """
+        anchors = self._warm_anchor_deployments(context)
+        warm_types = (
+            {t.deployment.instance_type for t in self.warm_start.trials}
+            if self.warm_start is not None
+            else set()
+        )
+        singles = [
+            Deployment(name, 1)
+            for name in context.space.instance_types
+            if name not in warm_types
+        ]
+        singles.sort(key=context.space.hourly_price)
+        design = anchors + singles
+        if not self.protective_stop:
+            return design
+        kept = []
+        for d in design:
+            if self._probe_fits_constraint(context, d, incumbent_cost=0.0):
+                kept.append(d)
+        return kept
+
+    # -- constraint machinery -----------------------------------------------------------
+    def _probe_fits_constraint(
+        self,
+        context: SearchContext,
+        deployment: Deployment,
+        incumbent_cost: float,
+    ) -> bool:
+        """Protective reserve: probe + incumbent completion must fit.
+
+        ``incumbent_cost`` is the estimated resource (seconds or
+        dollars, matching the constraint) to finish training on the
+        current best deployment; 0.0 when there is no incumbent yet.
+        """
+        scenario = context.scenario
+        if scenario.kind is ScenarioKind.MIN_COST_DEADLINE:
+            return (
+                context.elapsed_seconds()
+                + context.probe_seconds(deployment)
+                + incumbent_cost * self.reserve_margin
+                <= scenario.deadline_seconds
+            )
+        if scenario.kind is ScenarioKind.MIN_TIME_BUDGET:
+            return (
+                context.spent_dollars()
+                + context.probe_dollars(deployment)
+                + incumbent_cost * self.reserve_margin
+                <= scenario.budget_dollars
+            )
+        return True
+
+    def _incumbent_completion_cost(
+        self, context: SearchContext, engine: GPSearchEngine
+    ) -> float:
+        """Constraint resource needed to finish training on the
+        deployment the search would select *right now*.
+
+        The reserve protects the would-be selection (the best
+        constraint-feasible observation), not the unconstrained
+        objective optimum — under a deadline the cheapest observation
+        is typically a tiny cluster that could never finish in time,
+        and reserving for a doomed deployment (or for nothing, once it
+        is declared doomed) lets the search burn the very slack the
+        real selection needs.
+
+        Returns 0.0 when nothing feasible has been observed yet: there
+        is nothing to protect, and exploration is the only path to
+        feasibility.
+        """
+        selection = self.select_best(context, engine)
+        if selection is None:
+            return 0.0
+        deployment, speed = selection
+        scenario = context.scenario
+        if scenario.kind is ScenarioKind.MIN_COST_DEADLINE:
+            cost = context.train_seconds(deployment, speed)
+            remaining = scenario.deadline_seconds - context.elapsed_seconds()
+        elif scenario.kind is ScenarioKind.MIN_TIME_BUDGET:
+            cost = context.train_dollars(deployment, speed)
+            remaining = scenario.budget_dollars - context.spent_dollars()
+        else:
+            return 0.0
+        # select_best falls back to infeasible observations when no
+        # feasible one exists; a selection that cannot finish within
+        # the remaining constraint is nothing to protect.
+        return cost if cost <= remaining else 0.0
+
+    def _optimistic_completion(
+        self,
+        context: SearchContext,
+        candidates: list[Deployment],
+        mu_log2: np.ndarray,
+        sigma_log2: np.ndarray,
+    ) -> np.ndarray:
+        """Constraint-resource use if the candidate *optimistically*
+        became the new training deployment (TEI completion term)."""
+        optimistic_speed = np.exp2(mu_log2 + _Z95 * sigma_log2)
+        seconds = context.total_samples / optimistic_speed
+        if context.scenario.kind is ScenarioKind.MIN_TIME_BUDGET:
+            prices = np.array(
+                [context.price_per_second(d) for d in candidates]
+            )
+            return seconds * prices
+        return seconds
+
+    def _candidate_probe_cost_in_constraint_units(
+        self, context: SearchContext, candidates: list[Deployment]
+    ) -> np.ndarray:
+        if context.scenario.kind is ScenarioKind.MIN_TIME_BUDGET:
+            return np.array([context.probe_dollars(d) for d in candidates])
+        return np.array([context.probe_seconds(d) for d in candidates])
+
+    # -- hooks ----------------------------------------------------------------------------
+    def candidate_deployments(
+        self, context: SearchContext, engine: GPSearchEngine
+    ) -> list[Deployment]:
+        candidates = super().candidate_deployments(context, engine)
+        if self.use_concave_prior:
+            candidates = [
+                d
+                for d in candidates
+                if self.prior.allows(d.instance_type, d.count)
+            ]
+        return candidates
+
+    def on_observation(
+        self, context: SearchContext, result: ProfileResult
+    ) -> None:
+        # transient capacity failures say nothing about the speedup
+        # curve; feeding them to the prior would wrongly cap the type
+        if result.failure_reason == "capacity":
+            return
+        before = self.prior.max_allowed(result.instance_type)
+        self.prior.observe(result.instance_type, result.count, result.speed)
+        after = self.prior.max_allowed(result.instance_type)
+        if after != before:
+            logger.debug(
+                "concave prior caps %s scale-out at n=%s "
+                "(was %s) after observing n=%d at %.1f samples/s",
+                result.instance_type, after, before,
+                result.count, result.speed,
+            )
+
+    def _acquisition_view(self, context: SearchContext, engine: GPSearchEngine):
+        """``(objective, incumbent_filter)`` for the acquisition.
+
+        Under a deadline (scenario-2) the cost-minimisation EI must be
+        anchored to the best *deadline-feasible* observation — the
+        unconstrained cost optimum is typically a tiny, too-slow
+        cluster.  While no feasible observation exists yet, the search
+        chases feasibility by minimising time instead.
+        """
+        scenario = context.scenario
+        if scenario.kind is not ScenarioKind.MIN_COST_DEADLINE:
+            return scenario.objective, None
+
+        def deadline_feasible(d: Deployment, y: float) -> bool:
+            return (
+                context.elapsed_seconds() + context.train_seconds(d, y)
+                <= scenario.deadline_seconds
+            )
+
+        if engine.best_incumbent(incumbent_filter=deadline_feasible) is None:
+            return Objective.TIME, None
+        return Objective.COST, deadline_feasible
+
+    def score_candidates(
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        candidates: list[Deployment],
+    ) -> np.ndarray:
+        objective, incumbent_filter = self._acquisition_view(context, engine)
+        ei = engine.objective_ei(
+            candidates, xi=self.xi,
+            objective=objective, incumbent_filter=incumbent_filter,
+        )
+        if self.acquisition == "poi":
+            base = engine.improvement_probability(
+                candidates,
+                objective=objective, incumbent_filter=incumbent_filter,
+            )
+        elif self.acquisition == "ucb":
+            base = engine.objective_ucb(
+                candidates, kappa=self.ucb_kappa, objective=objective
+            )
+        elif self.acquisition == "ts":
+            base = engine.objective_thompson(
+                candidates, rng=self._ts_rng, objective=objective
+            )
+        else:
+            base = ei
+        feasible = np.ones(len(candidates), dtype=bool)
+
+        if engine.best_incumbent() is not None:
+            poi = engine.improvement_probability(
+                candidates,
+                objective=objective, incumbent_filter=incumbent_filter,
+            )
+            feasible &= poi >= self.min_poi
+
+        if self.protective_stop and context.scenario.is_constrained:
+            incumbent_cost = self._incumbent_completion_cost(context, engine)
+            reserve_ok = np.array([
+                self._probe_fits_constraint(context, d, incumbent_cost)
+                for d in candidates
+            ])
+            feasible &= reserve_ok
+            # True Expected Improvement (Eqs. 5-6): even an optimistic
+            # candidate must fit within the remaining constraint slack.
+            mu, sigma = engine.predict_log2_speed(candidates)
+            completion = self._optimistic_completion(
+                context, candidates, mu, sigma
+            )
+            probe = self._candidate_probe_cost_in_constraint_units(
+                context, candidates
+            )
+            limit = context.scenario.constraint_limit
+            consumed = (
+                context.spent_dollars()
+                if context.scenario.kind is ScenarioKind.MIN_TIME_BUDGET
+                else context.elapsed_seconds()
+            )
+            tei = limit - consumed - probe - completion
+            # Cheap-probe exception: very early, the GP anchors on slow
+            # single-node speeds and even the 95 % optimistic completion
+            # can look infeasible for *every* candidate, although
+            # scale-out routinely buys 10-50x.  A probe consuming <= 8 %
+            # of the constraint cannot by itself endanger it, so such
+            # probes stay allowed while total consumption is below 35 %
+            # of the limit.  Expensive probes always need TEI >= 0.
+            cheap = (probe <= 0.08 * limit) & (consumed <= 0.35 * limit)
+            feasible &= (tei >= 0.0) | cheap
+
+        if self.cost_aware:
+            penalty = np.array(
+                [context.probe_penalty(d) for d in candidates]
+            )
+            scores = base / penalty
+        else:
+            scores = base.copy()
+
+        scores = np.where(feasible, scores, -np.inf)
+        feasible_ei = ei[feasible]
+        self._last_any_feasible = bool(feasible.any())
+        self._last_feasible_ei = (
+            float(feasible_ei.max()) if feasible_ei.size else 0.0
+        )
+        return scores
+
+    def should_stop(
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        candidates: list[Deployment],
+        scores: np.ndarray,
+    ) -> str | None:
+        if not self._last_any_feasible:
+            return "protective stop: no candidate fits the constraint"
+        if (
+            engine.best_incumbent() is not None
+            and self._last_feasible_ei < self.ei_threshold
+        ):
+            return (
+                f"converged: best feasible EI {self._last_feasible_ei:.4f} "
+                f"< {self.ei_threshold}"
+            )
+        return None
+
+    def select_best(
+        self, context: SearchContext, engine: GPSearchEngine
+    ) -> tuple[Deployment, float] | None:
+        """Constraint-aware selection: the objective-best deployment
+        whose remaining completion cost fits what is left of the
+        constraint; falls back to the objective-best overall."""
+        successes = engine.successful_observations()
+        if not successes:
+            return None
+        scenario = context.scenario
+        feasible: list[tuple[float, Deployment, float]] = []
+        for d, y in successes:
+            obj = context.objective_value(d, y)
+            # The reserve margin applies here too: the training estimate
+            # comes from a noisy measurement and excludes cluster setup,
+            # so a selection must fit with the same safety factor the
+            # exploration reserve used — otherwise a pick estimated at
+            # 99.9 % of the budget overruns when reality differs by 1 %.
+            if scenario.kind is ScenarioKind.MIN_COST_DEADLINE:
+                ok = (
+                    context.elapsed_seconds()
+                    + context.train_seconds(d, y) * self.reserve_margin
+                    <= scenario.deadline_seconds
+                )
+            elif scenario.kind is ScenarioKind.MIN_TIME_BUDGET:
+                ok = (
+                    context.spent_dollars()
+                    + context.train_dollars(d, y) * self.reserve_margin
+                    <= scenario.budget_dollars
+                )
+            else:
+                ok = True
+            if ok:
+                feasible.append((obj, d, y))
+        pool = feasible
+        if not pool:
+            # Nothing fits the constraint: pick the least-violating
+            # deployment (minimum constraint-resource use), not the
+            # objective-best — the objective optimum under a budget is
+            # the *fastest* deployment, i.e. usually the most expensive.
+            if scenario.kind is ScenarioKind.MIN_TIME_BUDGET:
+                pool = [
+                    (context.train_dollars(d, y), d, y)
+                    for d, y in successes
+                ]
+            elif scenario.kind is ScenarioKind.MIN_COST_DEADLINE:
+                pool = [
+                    (context.train_seconds(d, y), d, y)
+                    for d, y in successes
+                ]
+            else:
+                pool = [
+                    (context.objective_value(d, y), d, y)
+                    for d, y in successes
+                ]
+        _, best, speed = min(pool, key=lambda t: t[0])
+        return best, speed

@@ -1,0 +1,523 @@
+"""Covariance kernels for Gaussian-process regression, from scratch.
+
+All hyperparameters live in log space (``theta``), which makes the
+positivity constraint implicit and conditions the marginal-likelihood
+optimisation.  Every kernel provides analytic gradients of the
+covariance matrix w.r.t. ``theta``; the property-based tests check them
+against finite differences.
+
+The deployment space is mixed discrete: dimension 0 is an instance-type
+*index* (categorical — "c5.xlarge" and "p3.16xlarge" are not 14 apart
+in any meaningful metric) and dimension 1 is ``log2(n)``.  The default
+deployment kernel is therefore
+``Constant * (Categorical(dim 0) * Matern52(dim 1)) + White``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "CategoricalKernel",
+    "ConstantKernel",
+    "Kernel",
+    "Matern52Kernel",
+    "ProductKernel",
+    "RBFKernel",
+    "SumKernel",
+    "WhiteKernel",
+    "default_deployment_kernel",
+]
+
+_LOG_BOUND = (np.log(1e-5), np.log(1e5))
+
+
+def _as_2d(X: np.ndarray) -> np.ndarray:
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X[:, None]
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    return X
+
+
+class Kernel(abc.ABC):
+    """Covariance function with log-space hyperparameters.
+
+    Subclasses implement :meth:`__call__` (cross-covariance) and
+    :meth:`gradient` (covariance plus per-hyperparameter gradients on a
+    single input set).
+    """
+
+    @property
+    @abc.abstractmethod
+    def theta(self) -> np.ndarray:
+        """Current hyperparameters, log-transformed."""
+
+    @theta.setter
+    @abc.abstractmethod
+    def theta(self, value: np.ndarray) -> None: ...
+
+    @property
+    @abc.abstractmethod
+    def bounds(self) -> list[tuple[float, float]]:
+        """Per-hyperparameter (low, high) bounds in log space."""
+
+    @abc.abstractmethod
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        """Covariance matrix between rows of ``X`` and ``Z`` (or ``X``)."""
+
+    @abc.abstractmethod
+    def gradient(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(K(X, X), dK)`` where ``dK[i]`` is ∂K/∂theta_i."""
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        """``diag(K(X, X))`` in O(n) — predictive-variance hot path.
+
+        The default falls back to the full matrix; concrete kernels
+        override with closed forms.
+        """
+        return np.diag(self(X)).copy()
+
+    @property
+    def n_params(self) -> int:
+        """Number of hyperparameters."""
+        return len(self.theta)
+
+    def _set_theta_checked(self, value: np.ndarray, expected: int) -> np.ndarray:
+        value = np.asarray(value, dtype=float).ravel()
+        if value.shape != (expected,):
+            raise ValueError(
+                f"{type(self).__name__} expects {expected} hyperparameters, "
+                f"got shape {value.shape}"
+            )
+        if not np.all(np.isfinite(value)):
+            raise ValueError(f"non-finite theta: {value}")
+        return value
+
+    # operator sugar -----------------------------------------------------------
+    def __mul__(self, other: "Kernel") -> "ProductKernel":
+        return ProductKernel(self, other)
+
+    def __add__(self, other: "Kernel") -> "SumKernel":
+        return SumKernel(self, other)
+
+
+def _log_bounds(
+    bounds: tuple[float, float] | None, default: tuple[float, float]
+) -> tuple[float, float]:
+    """Validate raw-space (low, high) bounds and convert to log space."""
+    if bounds is None:
+        return default
+    lo, hi = bounds
+    if not 0 < lo < hi:
+        raise ValueError(f"bounds must satisfy 0 < low < high, got {bounds}")
+    return (float(np.log(lo)), float(np.log(hi)))
+
+
+class ConstantKernel(Kernel):
+    """``k(x, z) = variance`` — the output-scale factor."""
+
+    def __init__(
+        self,
+        variance: float = 1.0,
+        bounds: tuple[float, float] | None = None,
+    ) -> None:
+        if variance <= 0:
+            raise ValueError(f"variance must be positive, got {variance}")
+        self._log_variance = float(np.log(variance))
+        self._bounds = _log_bounds(bounds, _LOG_BOUND)
+
+    @property
+    def variance(self) -> float:
+        """Current variance hyperparameter (raw space)."""
+        return float(np.exp(self._log_variance))
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([self._log_variance])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        (self._log_variance,) = self._set_theta_checked(value, 1)
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return [self._bounds]
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        X = _as_2d(X)
+        Z = X if Z is None else _as_2d(Z)
+        return np.full((X.shape[0], Z.shape[0]), self.variance)
+
+    def gradient(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        K = self(X)
+        # d variance / d log variance = variance, so dK = K.
+        return K, K[None, :, :].copy()
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(_as_2d(X).shape[0], self.variance)
+
+
+class WhiteKernel(Kernel):
+    """``k(x, z) = noise * 1[x is z]`` — observation noise.
+
+    Off-diagonal is zero even for coincident points in cross-covariance
+    (noise is per-observation, not per-location).
+    """
+
+    def __init__(
+        self,
+        noise: float = 1e-4,
+        bounds: tuple[float, float] | None = None,
+    ) -> None:
+        if noise <= 0:
+            raise ValueError(f"noise must be positive, got {noise}")
+        self._log_noise = float(np.log(noise))
+        self._bounds = _log_bounds(bounds, (np.log(1e-8), np.log(1e2)))
+
+    @property
+    def noise(self) -> float:
+        """Current noise hyperparameter (raw space)."""
+        return float(np.exp(self._log_noise))
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([self._log_noise])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        (self._log_noise,) = self._set_theta_checked(value, 1)
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return [self._bounds]
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        X = _as_2d(X)
+        if Z is None:
+            return self.noise * np.eye(X.shape[0])
+        Z = _as_2d(Z)
+        return np.zeros((X.shape[0], Z.shape[0]))
+
+    def gradient(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        K = self(X)
+        return K, K[None, :, :].copy()
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(_as_2d(X).shape[0], self.noise)
+
+
+class RBFKernel(Kernel):
+    """Squared-exponential kernel with ARD lengthscales.
+
+    ``k(x, z) = exp(-0.5 * sum_d ((x_d - z_d) / l_d)^2)``; restrict to a
+    subset of input dimensions with ``dims``.
+    """
+
+    def __init__(
+        self,
+        lengthscales: float | list[float] = 1.0,
+        dims: list[int] | None = None,
+        bounds: tuple[float, float] | None = None,
+    ) -> None:
+        ls = np.atleast_1d(np.asarray(lengthscales, dtype=float))
+        if np.any(ls <= 0):
+            raise ValueError(f"lengthscales must be positive, got {ls}")
+        self._log_ls = np.log(ls)
+        self._bounds = _log_bounds(bounds, _LOG_BOUND)
+        self.dims = list(dims) if dims is not None else None
+        if self.dims is not None and len(self.dims) != len(ls):
+            raise ValueError(
+                f"dims ({len(self.dims)}) and lengthscales ({len(ls)}) "
+                "length mismatch"
+            )
+
+    @property
+    def lengthscales(self) -> np.ndarray:
+        """Current lengthscales (raw space)."""
+        return np.exp(self._log_ls)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return self._log_ls.copy()
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self._log_ls = self._set_theta_checked(value, len(self._log_ls))
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return [self._bounds] * len(self._log_ls)
+
+    def _select(self, X: np.ndarray) -> np.ndarray:
+        X = _as_2d(X)
+        if self.dims is not None:
+            return X[:, self.dims]
+        if X.shape[1] != len(self._log_ls) and len(self._log_ls) == 1:
+            # isotropic over all dims
+            return X
+        if X.shape[1] != len(self._log_ls):
+            raise ValueError(
+                f"X has {X.shape[1]} dims but kernel has "
+                f"{len(self._log_ls)} lengthscales"
+            )
+        return X
+
+    def _scaled_sqdist(
+        self, X: np.ndarray, Z: np.ndarray
+    ) -> np.ndarray:
+        ls = self.lengthscales
+        Xs, Zs = X / ls, Z / ls
+        d2 = (
+            np.sum(Xs**2, axis=1)[:, None]
+            + np.sum(Zs**2, axis=1)[None, :]
+            - 2.0 * Xs @ Zs.T
+        )
+        return np.maximum(d2, 0.0)
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        Xs = self._select(X)
+        Zs = Xs if Z is None else self._select(Z)
+        return np.exp(-0.5 * self._scaled_sqdist(Xs, Zs))
+
+    def gradient(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        Xs = self._select(X)
+        K = np.exp(-0.5 * self._scaled_sqdist(Xs, Xs))
+        ls = self.lengthscales
+        grads = np.empty((len(ls), K.shape[0], K.shape[1]))
+        for d in range(len(ls)):
+            if len(ls) == 1 and Xs.shape[1] > 1:
+                diff2 = self._scaled_sqdist(Xs, Xs)
+            else:
+                diff2 = ((Xs[:, d][:, None] - Xs[None, :, d]) / ls[d]) ** 2
+            # d/d log l of exp(-0.5 diff^2/l^2-part) = K * diff2
+            grads[d] = K * diff2
+        return K, grads
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.ones(_as_2d(X).shape[0])
+
+
+class Matern52Kernel(Kernel):
+    """Matérn ν=5/2 kernel (isotropic over selected dims).
+
+    The standard surrogate choice for computer-systems response
+    surfaces (CherryPick uses Matérn 5/2): once-differentiable sample
+    paths suit performance curves better than the RBF's infinite
+    smoothness.
+    """
+
+    _SQRT5 = float(np.sqrt(5.0))
+
+    def __init__(
+        self,
+        lengthscale: float = 1.0,
+        dims: list[int] | None = None,
+        bounds: tuple[float, float] | None = None,
+    ) -> None:
+        if lengthscale <= 0:
+            raise ValueError(f"lengthscale must be positive, got {lengthscale}")
+        self._log_ls = float(np.log(lengthscale))
+        self._bounds = _log_bounds(bounds, _LOG_BOUND)
+        self.dims = list(dims) if dims is not None else None
+
+    @property
+    def lengthscale(self) -> float:
+        """Current lengthscale (raw space)."""
+        return float(np.exp(self._log_ls))
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([self._log_ls])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        (self._log_ls,) = self._set_theta_checked(value, 1)
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return [self._bounds]
+
+    def _select(self, X: np.ndarray) -> np.ndarray:
+        X = _as_2d(X)
+        return X[:, self.dims] if self.dims is not None else X
+
+    @staticmethod
+    def _dist(X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        d2 = (
+            np.sum(X**2, axis=1)[:, None]
+            + np.sum(Z**2, axis=1)[None, :]
+            - 2.0 * X @ Z.T
+        )
+        return np.sqrt(np.maximum(d2, 0.0))
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        Xs = self._select(X)
+        Zs = Xs if Z is None else self._select(Z)
+        r = self._dist(Xs, Zs) / self.lengthscale
+        s = self._SQRT5 * r
+        return (1.0 + s + s**2 / 3.0) * np.exp(-s)
+
+    def gradient(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        Xs = self._select(X)
+        r = self._dist(Xs, Xs) / self.lengthscale
+        s = self._SQRT5 * r
+        K = (1.0 + s + s**2 / 3.0) * np.exp(-s)
+        # dK/d log l = (s^2/3) * (1 + s) * exp(-s)
+        dK = (s**2 / 3.0) * (1.0 + s) * np.exp(-s)
+        return K, dK[None, :, :]
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.ones(_as_2d(X).shape[0])
+
+
+class CategoricalKernel(Kernel):
+    """Exchangeable kernel over one integer-coded categorical dimension.
+
+    ``k(x, z) = 1`` when the categories match and ``exp(-1/l)`` when
+    they differ: ``l → 0`` makes types independent, ``l → ∞`` pools
+    them.  The GP learns from the data how much instance types share.
+    """
+
+    def __init__(
+        self,
+        lengthscale: float = 1.0,
+        dim: int = 0,
+        bounds: tuple[float, float] | None = None,
+    ) -> None:
+        if lengthscale <= 0:
+            raise ValueError(f"lengthscale must be positive, got {lengthscale}")
+        self._log_ls = float(np.log(lengthscale))
+        self._bounds = _log_bounds(bounds, (np.log(1e-2), np.log(1e3)))
+        self.dim = int(dim)
+
+    @property
+    def lengthscale(self) -> float:
+        """Current lengthscale (raw space)."""
+        return float(np.exp(self._log_ls))
+
+    @property
+    def cross_correlation(self) -> float:
+        """Covariance between two distinct categories."""
+        return float(np.exp(-1.0 / self.lengthscale))
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([self._log_ls])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        (self._log_ls,) = self._set_theta_checked(value, 1)
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return [self._bounds]
+
+    def _mismatch(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        xc = _as_2d(X)[:, self.dim]
+        zc = _as_2d(Z)[:, self.dim]
+        return (np.abs(xc[:, None] - zc[None, :]) > 1e-9).astype(float)
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        Z = X if Z is None else Z
+        mism = self._mismatch(X, Z)
+        return np.where(mism > 0, self.cross_correlation, 1.0)
+
+    def gradient(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        mism = self._mismatch(X, X)
+        K = np.where(mism > 0, self.cross_correlation, 1.0)
+        # k = exp(-1/l); dk/d log l = k / l  (only where categories differ)
+        dK = np.where(mism > 0, K / self.lengthscale, 0.0)
+        return K, dK[None, :, :]
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.ones(_as_2d(X).shape[0])
+
+
+class _Composite(Kernel):
+    """Shared hyperparameter plumbing for binary composite kernels."""
+
+    def __init__(self, left: Kernel, right: Kernel) -> None:
+        self.left = left
+        self.right = right
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.concatenate([self.left.theta, self.right.theta])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float).ravel()
+        nl = self.left.n_params
+        if value.shape != (nl + self.right.n_params,):
+            raise ValueError(
+                f"{type(self).__name__} expects "
+                f"{nl + self.right.n_params} hyperparameters, "
+                f"got shape {value.shape}"
+            )
+        self.left.theta = value[:nl]
+        self.right.theta = value[nl:]
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return self.left.bounds + self.right.bounds
+
+
+class ProductKernel(_Composite):
+    """``k = k_left * k_right`` (elementwise)."""
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        return self.left(X, Z) * self.right(X, Z)
+
+    def gradient(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        Kl, dKl = self.left.gradient(X)
+        Kr, dKr = self.right.gradient(X)
+        grads = np.concatenate([dKl * Kr[None], dKr * Kl[None]], axis=0)
+        return Kl * Kr, grads
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.left.diag(X) * self.right.diag(X)
+
+
+class SumKernel(_Composite):
+    """``k = k_left + k_right``."""
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        return self.left(X, Z) + self.right(X, Z)
+
+    def gradient(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        Kl, dKl = self.left.gradient(X)
+        Kr, dKr = self.right.gradient(X)
+        return Kl + Kr, np.concatenate([dKl, dKr], axis=0)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.left.diag(X) + self.right.diag(X)
+
+
+def default_deployment_kernel() -> Kernel:
+    """The kernel used over ``(type index, log2 n)`` deployment features.
+
+    Hyperparameter bounds encode the physics of the problem and keep
+    small-sample marginal-likelihood fits honest:
+
+    - the Matérn lengthscale along ``log2 n`` is capped at 2.5 octaves —
+      the scale-out curve genuinely bends within a few doublings, and
+      an unbounded fit on early observations (which often share a
+      single ``n``) would otherwise flatten the surrogate and collapse
+      extrapolation uncertainty;
+    - observation noise is capped well below the signal variance —
+      profiling jitter is a few percent, and letting the fit explain
+      real structure as noise would blind the acquisition;
+    - signal variance is kept from collapsing for the same reason.
+    """
+    return (
+        ConstantKernel(1.0, bounds=(0.05, 1e3))
+        * (
+            CategoricalKernel(1.0, dim=0, bounds=(1e-2, 10.0))
+            * Matern52Kernel(1.0, dims=[1], bounds=(0.25, 2.5))
+        )
+        + WhiteKernel(1e-3, bounds=(1e-6, 0.05))
+    )

@@ -1,0 +1,88 @@
+"""Time/cost Pareto analysis of observed deployments.
+
+A search produces measurements of many deployments; the user's real
+trade-off is two-dimensional (training time vs training cost).  This
+module extracts the Pareto-efficient subset of a search trace so MLCD
+can show the user *all* of their non-dominated options, not just the
+scenario's argmin — the multi-objective reporting extension from
+DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import SearchResult
+from repro.core.search_space import Deployment, DeploymentSpace
+
+__all__ = ["ParetoPoint", "pareto_front", "search_pareto_front"]
+
+
+@dataclass(frozen=True, slots=True)
+class ParetoPoint:
+    """One non-dominated deployment option."""
+
+    deployment: Deployment
+    measured_speed: float
+    train_seconds: float
+    train_dollars: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Strictly better on one axis, no worse on the other."""
+        return (
+            self.train_seconds <= other.train_seconds
+            and self.train_dollars <= other.train_dollars
+            and (
+                self.train_seconds < other.train_seconds
+                or self.train_dollars < other.train_dollars
+            )
+        )
+
+
+def pareto_front(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset, sorted by ascending training time.
+
+    Deduplicates identical (time, cost) pairs, keeping the first.
+    """
+    ordered = sorted(
+        points, key=lambda p: (p.train_seconds, p.train_dollars)
+    )
+    front: list[ParetoPoint] = []
+    best_cost = float("inf")
+    seen: set[tuple[float, float]] = set()
+    for p in ordered:
+        key = (p.train_seconds, p.train_dollars)
+        if key in seen:
+            continue
+        if p.train_dollars < best_cost:
+            front.append(p)
+            best_cost = p.train_dollars
+            seen.add(key)
+    return front
+
+
+def search_pareto_front(
+    result: SearchResult,
+    space: DeploymentSpace,
+    total_samples: int,
+) -> list[ParetoPoint]:
+    """Pareto-efficient deployments among a search's successful probes.
+
+    Uses measured speeds; times/costs are full-training projections,
+    matching what the scenario objectives optimise.
+    """
+    if total_samples <= 0:
+        raise ValueError(f"total_samples must be positive, got {total_samples}")
+    points = []
+    for trial in result.trials:
+        if trial.failed:
+            continue
+        seconds = total_samples / trial.measured_speed
+        dollars = seconds * space.hourly_price(trial.deployment) / 3600.0
+        points.append(ParetoPoint(
+            deployment=trial.deployment,
+            measured_speed=trial.measured_speed,
+            train_seconds=seconds,
+            train_dollars=dollars,
+        ))
+    return pareto_front(points)

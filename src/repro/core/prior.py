@@ -1,0 +1,134 @@
+"""The ML-specific concave scale-out prior (paper Secs. II-D, III-C).
+
+"Once HeterBO detects two nearby deployments with declining training
+speed, i.e., predicting it is on the down slope of the Concave-shape
+curve, it prevents exploring further scale-out deployments to avoid
+unnecessary overheads."
+
+The prior is tracked *per instance type* (the paper applies it only to
+scale-out; scale-up "may have a more complex behavior due to the
+complex memory hierarchy" and is left to the GP).  A relative tolerance
+keeps measurement noise from triggering spurious pruning.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+__all__ = ["ConcaveScaleOutPrior"]
+
+
+class ConcaveScaleOutPrior:
+    """Detects the down-slope of the scale-out speedup curve.
+
+    Two trigger rules, both per instance type:
+
+    - **decline** (the paper's rule): a lower speed at a higher node
+      count means the curve's down-slope has been reached;
+    - **plateau** (diminishing returns): scale-out speedup below
+      ``plateau_tolerance`` per node-count *doubling* means further
+      scale-out cannot win — equal speed at higher ``n`` is strictly
+      worse in both time (no gain) and cost (same time, more nodes).
+      This extends the paper's rule to ring-all-reduce-style curves
+      that flatten without ever declining within the search range.
+
+    Parameters
+    ----------
+    decline_tolerance:
+        Minimum relative speed drop between two increasing node counts
+        to count as a decline (filters profiling noise).
+    plateau_tolerance:
+        Per-doubling relative speedup below which the curve counts as
+        plateaued.  Pairs closer than ``min_doubling_gap`` doublings
+        apart are ignored (noise guard).
+    """
+
+    def __init__(
+        self,
+        decline_tolerance: float = 0.03,
+        plateau_tolerance: float = 0.10,
+        min_doubling_gap: float = 0.4,
+    ) -> None:
+        if not 0.0 <= decline_tolerance < 1.0:
+            raise ValueError(
+                f"decline_tolerance must be in [0, 1), got {decline_tolerance}"
+            )
+        if plateau_tolerance < 0:
+            raise ValueError(
+                f"plateau_tolerance must be >= 0, got {plateau_tolerance}"
+            )
+        if min_doubling_gap <= 0:
+            raise ValueError(
+                f"min_doubling_gap must be positive, got {min_doubling_gap}"
+            )
+        self.decline_tolerance = decline_tolerance
+        self.plateau_tolerance = plateau_tolerance
+        self.min_doubling_gap = min_doubling_gap
+        # per type: observations sorted by count
+        self._obs: dict[str, list[tuple[int, float]]] = {}
+        # per type: smallest count at which a decline was confirmed
+        self._cap: dict[str, int] = {}
+
+    def observe(self, instance_type: str, count: int, speed: float) -> None:
+        """Record a profiled point and update the per-type cap.
+
+        Failed probes (``speed == 0``) are recorded too: a cluster that
+        cannot run the job at scale ``n`` is the strongest possible
+        down-slope signal.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if speed < 0:
+            raise ValueError(f"speed must be >= 0, got {speed}")
+        series = self._obs.setdefault(instance_type, [])
+        insort(series, (count, speed))
+        self._recompute_cap(instance_type)
+
+    def _recompute_cap(self, instance_type: str) -> None:
+        """Re-derive the cap from the full observation series.
+
+        The cap is a *pure function* of the observed (count, speed)
+        multiset — never carried over from earlier partial views — so
+        observation order cannot matter, and later observations can
+        legitimately lift a cap that an earlier noisy pair suggested.
+        """
+        from math import log2
+
+        series = self._obs[instance_type]
+        self._cap.pop(instance_type, None)
+        for (n_lo, s_lo), (n_hi, s_hi) in zip(series, series[1:]):
+            if n_hi == n_lo:
+                continue
+            # decline rule (the paper's): down-slope reached
+            if s_hi < s_lo * (1.0 - self.decline_tolerance):
+                self._cap[instance_type] = n_hi
+                return
+            # plateau rule: non-negative speedup per doubling below
+            # tolerance.  Declines (even small ones within the decline
+            # tolerance) are the decline rule's exclusive business, so
+            # the two tolerances stay independent knobs.
+            doublings = log2(n_hi / n_lo)
+            if (
+                s_hi >= s_lo > 0
+                and doublings >= self.min_doubling_gap
+            ):
+                # log-space per-doubling growth avoids overflow on
+                # extreme speed ratios
+                growth = log2(s_hi / s_lo) / doublings
+                if growth < log2(1.0 + self.plateau_tolerance):
+                    self._cap[instance_type] = n_hi
+                    return
+
+    def max_allowed(self, instance_type: str) -> int | None:
+        """Largest node count still worth exploring, or ``None`` if
+        no decline has been observed for this type."""
+        return self._cap.get(instance_type)
+
+    def allows(self, instance_type: str, count: int) -> bool:
+        """Whether the prior permits exploring (type, count)."""
+        cap = self._cap.get(instance_type)
+        return cap is None or count <= cap
+
+    def pruned_types(self) -> dict[str, int]:
+        """All per-type caps currently in force."""
+        return dict(self._cap)

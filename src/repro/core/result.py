@@ -1,0 +1,163 @@
+"""Search and deployment result records.
+
+Two levels of results:
+
+- :class:`SearchResult` — what a search strategy produces: the trial
+  trace (one record per profiling step, Figs. 9(a), 15–17) and the
+  chosen deployment with profiling totals;
+- :class:`DeploymentReport` — what the user receives after MLCD also
+  *executes* training on the chosen deployment: total time/cost with
+  the profile/train breakdown the paper's bar charts show
+  (Figs. 9(b)–14), plus constraint compliance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scenarios import Objective, Scenario, ScenarioKind
+from repro.core.search_space import Deployment
+
+__all__ = ["DeploymentReport", "SearchResult", "TrialRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrialRecord:
+    """One profiling step of a search.
+
+    Attributes
+    ----------
+    step:
+        1-based profiling step index.
+    deployment:
+        The deployment probed.
+    measured_speed:
+        Mean measured training speed (samples/s); 0.0 for failed probes.
+    profile_seconds / profile_dollars:
+        Resources this probe consumed.
+    elapsed_seconds / spent_dollars:
+        Cumulative totals *after* this probe.
+    note:
+        Why this point was chosen ("initial", "explore", …).
+    """
+
+    step: int
+    deployment: Deployment
+    measured_speed: float
+    profile_seconds: float
+    profile_dollars: float
+    elapsed_seconds: float
+    spent_dollars: float
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+        if self.measured_speed < 0:
+            raise ValueError(
+                f"measured_speed must be >= 0, got {self.measured_speed}"
+            )
+
+    @property
+    def failed(self) -> bool:
+        """Whether this record carries no measurement."""
+        return self.measured_speed == 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """Outcome of a deployment search (before training execution)."""
+
+    strategy: str
+    scenario: Scenario
+    trials: tuple[TrialRecord, ...]
+    best: Deployment | None
+    best_measured_speed: float
+    profile_seconds: float
+    profile_dollars: float
+    stop_reason: str
+
+    def __post_init__(self) -> None:
+        if self.best is not None and self.best_measured_speed <= 0:
+            raise ValueError(
+                "a chosen deployment must have positive measured speed"
+            )
+
+    @property
+    def n_steps(self) -> int:
+        """Number of profiling steps taken."""
+        return len(self.trials)
+
+    def trials_for_type(self, instance_type: str) -> list[TrialRecord]:
+        """Trace restricted to one instance type (per-panel view of
+        Figs. 15–17)."""
+        return [
+            t for t in self.trials
+            if t.deployment.instance_type == instance_type
+        ]
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"strategy      : {self.strategy}",
+            f"scenario      : {self.scenario.describe()}",
+            f"profiling     : {self.n_steps} steps, "
+            f"{self.profile_seconds / 3600:.2f} h, "
+            f"${self.profile_dollars:.2f}",
+            f"best          : {self.best} "
+            f"({self.best_measured_speed:.1f} samples/s)",
+            f"stop reason   : {self.stop_reason}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class DeploymentReport:
+    """Search plus training execution: the end-to-end outcome."""
+
+    search: SearchResult
+    train_seconds: float = 0.0
+    train_dollars: float = 0.0
+    trained: bool = False
+    #: Extra annotations (experiment harness use).
+    tags: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Profiling + training wall-clock (the paper's "Total Time")."""
+        return self.search.profile_seconds + self.train_seconds
+
+    @property
+    def total_dollars(self) -> float:
+        """Profiling + training spend (the paper's "Total Cost")."""
+        return self.search.profile_dollars + self.train_dollars
+
+    @property
+    def constraint_met(self) -> bool:
+        """Whether the user's hard constraint was respected end-to-end."""
+        scenario = self.search.scenario
+        if not self.trained:
+            return False
+        if scenario.kind is ScenarioKind.MIN_COST_DEADLINE:
+            return self.total_seconds <= scenario.deadline_seconds + 1e-6
+        if scenario.kind is ScenarioKind.MIN_TIME_BUDGET:
+            return self.total_dollars <= scenario.budget_dollars + 1e-6
+        return True
+
+    def objective_value(self) -> float:
+        """The scenario's objective, measured end-to-end."""
+        if self.search.scenario.objective is Objective.COST:
+            return self.total_dollars
+        return self.total_seconds
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            self.search.summary(),
+            f"training      : {self.train_seconds / 3600:.2f} h, "
+            f"${self.train_dollars:.2f}",
+            f"total         : {self.total_seconds / 3600:.2f} h, "
+            f"${self.total_dollars:.2f}",
+            f"constraint met: {self.constraint_met}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""The paper's three deployment scenarios (Sec. III-A/B, Eqs. 1–3).
+
+- **Scenario-1** — finish as fast as possible, unlimited budget:
+  ``min T(D)``.
+- **Scenario-2** — finish before a deadline at the lowest cost:
+  ``min C(D) s.t. T(D) <= Tmax`` (the deadline covers profiling *plus*
+  training).
+- **Scenario-3** — finish as fast as possible within a budget:
+  ``min T(D) s.t. C(D) <= Cmax`` (the budget covers profiling *plus*
+  training).
+
+The scenario also fixes which resource the heterogeneous-cost penalty
+is expressed in: wall-clock seconds when the binding resource is time,
+dollars when it is money.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Objective", "Scenario", "ScenarioKind"]
+
+
+class Objective(enum.Enum):
+    """What the user is minimising."""
+
+    TIME = "time"
+    COST = "cost"
+
+
+class ScenarioKind(enum.Enum):
+    """The paper's three scenario identities (Eqs. 1-3)."""
+    MIN_TIME_UNBOUNDED = "scenario-1"
+    MIN_COST_DEADLINE = "scenario-2"
+    MIN_TIME_BUDGET = "scenario-3"
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """A user requirement: objective plus (optional) hard constraint.
+
+    Use the factory classmethods; the constructor validates the
+    kind/field combinations.
+    """
+
+    kind: ScenarioKind
+    deadline_seconds: float | None = None
+    budget_dollars: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ScenarioKind.MIN_TIME_UNBOUNDED:
+            if self.deadline_seconds is not None or self.budget_dollars is not None:
+                raise ValueError("scenario-1 takes no constraints")
+        elif self.kind is ScenarioKind.MIN_COST_DEADLINE:
+            if self.deadline_seconds is None or self.deadline_seconds <= 0:
+                raise ValueError(
+                    f"scenario-2 needs a positive deadline, got "
+                    f"{self.deadline_seconds}"
+                )
+            if self.budget_dollars is not None:
+                raise ValueError("scenario-2 takes no budget")
+        elif self.kind is ScenarioKind.MIN_TIME_BUDGET:
+            if self.budget_dollars is None or self.budget_dollars <= 0:
+                raise ValueError(
+                    f"scenario-3 needs a positive budget, got "
+                    f"{self.budget_dollars}"
+                )
+            if self.deadline_seconds is not None:
+                raise ValueError("scenario-3 takes no deadline")
+
+    # -- factories -------------------------------------------------------------
+    @classmethod
+    def fastest(cls) -> "Scenario":
+        """Scenario-1: min time, unlimited budget (Eq. 1)."""
+        return cls(ScenarioKind.MIN_TIME_UNBOUNDED)
+
+    @classmethod
+    def cheapest_within(cls, deadline_seconds: float) -> "Scenario":
+        """Scenario-2: min cost subject to a deadline (Eq. 2)."""
+        return cls(
+            ScenarioKind.MIN_COST_DEADLINE, deadline_seconds=deadline_seconds
+        )
+
+    @classmethod
+    def fastest_within(cls, budget_dollars: float) -> "Scenario":
+        """Scenario-3: min time subject to a budget (Eq. 3)."""
+        return cls(ScenarioKind.MIN_TIME_BUDGET, budget_dollars=budget_dollars)
+
+    # -- semantics -------------------------------------------------------------
+    @property
+    def objective(self) -> Objective:
+        """The quantity being minimised."""
+        if self.kind is ScenarioKind.MIN_COST_DEADLINE:
+            return Objective.COST
+        return Objective.TIME
+
+    @property
+    def is_constrained(self) -> bool:
+        """Whether the scenario carries a hard limit."""
+        return self.kind is not ScenarioKind.MIN_TIME_UNBOUNDED
+
+    @property
+    def penalty_resource(self) -> Objective:
+        """Which resource the profiling-cost penalty is measured in.
+
+        The paper penalises exploration in the resource that binds:
+        profiling *time* under a deadline (and in the unconstrained
+        time-minimisation scenario), profiling *dollars* under a
+        budget.
+        """
+        if self.kind is ScenarioKind.MIN_TIME_BUDGET:
+            return Objective.COST
+        return Objective.TIME
+
+    @property
+    def constraint_limit(self) -> float | None:
+        """The numeric limit (seconds or dollars), if constrained."""
+        if self.kind is ScenarioKind.MIN_COST_DEADLINE:
+            return self.deadline_seconds
+        if self.kind is ScenarioKind.MIN_TIME_BUDGET:
+            return self.budget_dollars
+        return None
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        if self.kind is ScenarioKind.MIN_TIME_UNBOUNDED:
+            return "scenario-1: fastest training, unlimited budget"
+        if self.kind is ScenarioKind.MIN_COST_DEADLINE:
+            return (
+                f"scenario-2: cheapest training within "
+                f"{self.deadline_seconds / 3600:.2f} h"
+            )
+        return (
+            f"scenario-3: fastest training within "
+            f"${self.budget_dollars:.2f}"
+        )

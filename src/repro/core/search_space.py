@@ -1,0 +1,176 @@
+"""Deployment search space ``D(m, n)`` (paper Sec. III-B).
+
+A deployment is an (instance type, instance count) pair.  With AWS's
+62 types and a 50-node rule of thumb the paper counts 3,100 schemes;
+here the space is built from an :class:`~repro.cloud.catalog.InstanceCatalog`
+subset and a count range, and provides the feature encoding the GP
+surrogate operates on: ``[type index, log2(count)]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.cloud.catalog import InstanceCatalog
+
+__all__ = ["Deployment", "DeploymentSpace"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Deployment:
+    """One deployment scheme ``D(m, n)``."""
+
+    instance_type: str
+    count: int
+
+    def __post_init__(self) -> None:
+        if not self.instance_type:
+            raise ValueError("instance_type must be non-empty")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    def __str__(self) -> str:
+        return f"{self.count}x {self.instance_type}"
+
+
+class DeploymentSpace:
+    """The finite grid of candidate deployments.
+
+    Parameters
+    ----------
+    catalog:
+        Instance types forming the scale-up axis.
+    max_count:
+        Largest node count on the scale-out axis (paper: 50).
+    counts:
+        Explicit count list; overrides ``max_count`` when given.
+    per_type_max:
+        Optional per-type scale-out caps overriding the global limit
+        (the paper's testbed runs "up to 100 c5, c5n, c4 instances and
+        50 p2, p3 instances").
+    """
+
+    def __init__(
+        self,
+        catalog: InstanceCatalog,
+        *,
+        max_count: int = 50,
+        counts: list[int] | None = None,
+        per_type_max: dict[str, int] | None = None,
+    ) -> None:
+        if counts is not None:
+            if not counts:
+                raise ValueError("counts must be non-empty")
+            if any(c < 1 for c in counts):
+                raise ValueError(f"counts must be >= 1, got {counts}")
+            self.counts = sorted(set(counts))
+        else:
+            if max_count < 1:
+                raise ValueError(f"max_count must be >= 1, got {max_count}")
+            self.counts = list(range(1, max_count + 1))
+        self.catalog = catalog
+        self._type_index = {name: i for i, name in enumerate(catalog.names)}
+        self.per_type_max: dict[str, int] = {}
+        if per_type_max:
+            for name, cap in per_type_max.items():
+                if name not in self._type_index:
+                    raise KeyError(
+                        f"per_type_max names unknown type {name!r}"
+                    )
+                if cap < 1:
+                    raise ValueError(
+                        f"per_type_max[{name!r}] must be >= 1, got {cap}"
+                    )
+                self.per_type_max[name] = cap
+
+    def _counts_for(self, instance_type: str) -> list[int]:
+        cap = self.per_type_max.get(instance_type)
+        if cap is None:
+            return self.counts
+        return [c for c in self.counts if c <= cap]
+
+    # -- enumeration --------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(
+            len(self._counts_for(name)) for name in self._type_index
+        )
+
+    def __iter__(self) -> Iterator[Deployment]:
+        for name in self.catalog.names:
+            for count in self._counts_for(name):
+                yield Deployment(name, count)
+
+    def __contains__(self, deployment: object) -> bool:
+        return (
+            isinstance(deployment, Deployment)
+            and deployment.instance_type in self._type_index
+            and deployment.count in self._counts_for(
+                deployment.instance_type
+            )
+        )
+
+    @property
+    def instance_types(self) -> list[str]:
+        """Instance type names in space order."""
+        return list(self._type_index)
+
+    def deployments_for_type(self, instance_type: str) -> list[Deployment]:
+        """All deployments of one type, by ascending count."""
+        if instance_type not in self._type_index:
+            raise KeyError(f"type {instance_type!r} not in space")
+        return [
+            Deployment(instance_type, c)
+            for c in self._counts_for(instance_type)
+        ]
+
+    def filtered(
+        self, predicate: Callable[[Deployment], bool]
+    ) -> list[Deployment]:
+        """All deployments satisfying ``predicate`` (space order)."""
+        return [d for d in self if predicate(d)]
+
+    # -- pricing -------------------------------------------------------------------
+    def hourly_price(self, deployment: Deployment) -> float:
+        """Cluster price in dollars/hour for a deployment."""
+        return (
+            self.catalog[deployment.instance_type].hourly_price
+            * deployment.count
+        )
+
+    # -- GP features -----------------------------------------------------------------
+    def type_index(self, instance_type: str) -> int:
+        """Stable integer index of an instance type (GP feature)."""
+        try:
+            return self._type_index[instance_type]
+        except KeyError:
+            raise KeyError(
+                f"type {instance_type!r} not in space; "
+                f"known: {list(self._type_index)}"
+            ) from None
+
+    def encode(self, deployment: Deployment) -> np.ndarray:
+        """Feature vector ``[type index, log2(count)]`` for the GP."""
+        return np.array([
+            float(self.type_index(deployment.instance_type)),
+            float(np.log2(deployment.count)),
+        ])
+
+    def encode_many(self, deployments: list[Deployment]) -> np.ndarray:
+        """Feature matrix with one row per deployment."""
+        if not deployments:
+            return np.empty((0, 2))
+        return np.stack([self.encode(d) for d in deployments])
+
+    def restrict_types(self, names: list[str]) -> "DeploymentSpace":
+        """A new space over a subset of instance types (CherryPick's
+        experience-based trimming)."""
+        return DeploymentSpace(
+            self.catalog.subset(names),
+            per_type_max={
+                n: c for n, c in self.per_type_max.items() if n in names
+            },
+            counts=self.counts
+        )

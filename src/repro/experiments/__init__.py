@@ -1,0 +1,47 @@
+"""Experiment harness: one entry point per paper figure.
+
+Every experiment function is deterministic given its seed, builds a
+fresh simulated cloud per strategy run (so billing and deadlines are
+attributed per run, as on a real account), and returns a structured
+result object with a ``render()`` method that prints the same
+rows/series the paper's figure shows.
+
+Index (see DESIGN.md for the full mapping):
+
+====== ==========================================================
+Figure Function
+====== ==========================================================
+1(a)   :func:`repro.experiments.motivation.fig1a_normalized_prices`
+1(b)   :func:`repro.experiments.motivation.fig1b_equal_cost_deployments`
+2      :func:`repro.experiments.motivation.fig2_exhaustive_vs_convbo`
+3      :func:`repro.experiments.motivation.fig3_scaling_curves`
+5      :func:`repro.experiments.motivation.fig5_convbo_step_gains`
+9      :func:`repro.experiments.scenarios_exp.fig9_scenario1`
+10     :func:`repro.experiments.scenarios_exp.fig10_scenario2`
+11     :func:`repro.experiments.scenarios_exp.fig11_scenario3`
+12     :func:`repro.experiments.comparisons.fig12_random_search`
+13     :func:`repro.experiments.comparisons.fig13_vs_paleo`
+14     :func:`repro.experiments.comparisons.fig14_vs_cherrypick`
+15     :func:`repro.experiments.traces.fig15_charrnn_trace`
+16     :func:`repro.experiments.traces.fig16_bert_tensorflow_trace`
+17     :func:`repro.experiments.traces.fig17_bert_mxnet_trace`
+18     :func:`repro.experiments.sensitivity.fig18_budget_sensitivity`
+19     :func:`repro.experiments.scalability.fig19_model_size_scaling`
+====== ==========================================================
+
+Extension studies (DESIGN.md §5): :mod:`repro.experiments.ablation`,
+:mod:`repro.experiments.acquisitions`,
+:mod:`repro.experiments.robustness`,
+:mod:`repro.experiments.parallelism`,
+:mod:`repro.experiments.warmstart` and
+:mod:`repro.experiments.spot_study`.
+"""
+
+from repro.experiments.runner import ExperimentConfig, StrategyRun, run_oracle, run_strategy
+
+__all__ = [
+    "ExperimentConfig",
+    "StrategyRun",
+    "run_oracle",
+    "run_strategy",
+]

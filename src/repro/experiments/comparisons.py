@@ -1,0 +1,235 @@
+"""Baseline comparisons: Figs. 12, 13 and 14.
+
+- Fig. 12 — random search with varying probe counts vs HeterBO: high
+  variance at small k, ballooning profiling cost at large k.
+- Fig. 13 — ConvBO vs Paleo vs HeterBO vs Opt under an $80 budget
+  (Inception-V3 + ImageNet): Paleo has zero profiling cost but picks a
+  suboptimal deployment; HeterBO lands near Opt, under budget.
+- Fig. 14 — ConvBO vs CherryPick vs HeterBO vs Opt under a 20 h time
+  limit (Char-RNN): CherryPick overruns despite a favourably trimmed
+  search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.cherrypick import CherryPick
+from repro.baselines.convbo import ConvBO
+from repro.baselines.paleo import Paleo
+from repro.baselines.random_search import RandomSearch
+from repro.core.heterbo import HeterBO
+from repro.core.result import DeploymentReport
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+from repro.experiments.reporting import format_dollars, format_table
+from repro.experiments.runner import ExperimentConfig, run_oracle, run_strategy
+
+__all__ = [
+    "Fig12Result",
+    "MethodBars",
+    "fig12_random_search",
+    "fig13_vs_paleo",
+    "fig14_vs_cherrypick",
+]
+
+
+# -- Fig. 12 ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Fig12Result:
+    """Whisker statistics of random-search total time per probe count."""
+
+    probe_counts: list[int]
+    #: per probe count: (min, q1, median, q3, max) of total hours
+    whiskers: dict[int, tuple[float, float, float, float, float]]
+    heterbo_mean_hours: float
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        rows = []
+        for k in self.probe_counts:
+            lo, q1, med, q3, hi = self.whiskers[k]
+            rows.append((
+                str(k), f"{lo:.2f}", f"{q1:.2f}", f"{med:.2f}",
+                f"{q3:.2f}", f"{hi:.2f}",
+            ))
+        table = format_table(
+            ["probes", "min (h)", "q1", "median", "q3", "max"], rows
+        )
+        return (
+            f"{table}\n"
+            f"HeterBO mean: {self.heterbo_mean_hours:.2f} h"
+        )
+
+
+def fig12_random_search(
+    *,
+    probe_counts: tuple[int, ...] = (1, 4, 7, 10, 13, 16, 19, 27, 36),
+    n_seeds: int = 10,
+    epochs: float = 30.0,
+) -> Fig12Result:
+    """Fig. 12: random search vs HeterBO, total time distribution.
+
+    Same workload as the scenario experiments (ResNet + CIFAR-10,
+    scale-out over c5.4xlarge), scenario-1.
+    """
+    from repro.experiments.scenarios_exp import scenario_config
+
+    scenario = Scenario.fastest()
+    whiskers: dict[int, tuple[float, float, float, float, float]] = {}
+    for k in probe_counts:
+        totals = []
+        for seed in range(n_seeds):
+            config = scenario_config(epochs=epochs, seed=seed)
+            run = run_strategy(
+                RandomSearch(n_probes=k, seed=seed), scenario, config
+            )
+            totals.append(run.report.total_seconds / 3600.0)
+        arr = np.asarray(totals)
+        whiskers[k] = (
+            float(arr.min()),
+            float(np.percentile(arr, 25)),
+            float(np.percentile(arr, 50)),
+            float(np.percentile(arr, 75)),
+            float(arr.max()),
+        )
+
+    heterbo_totals = []
+    for seed in range(n_seeds):
+        config = scenario_config(epochs=epochs, seed=seed)
+        run = run_strategy(HeterBO(seed=seed), scenario, config)
+        heterbo_totals.append(run.report.total_seconds / 3600.0)
+    return Fig12Result(
+        probe_counts=list(probe_counts),
+        whiskers=whiskers,
+        heterbo_mean_hours=float(np.mean(heterbo_totals)),
+    )
+
+
+# -- Figs. 13/14 shared shape --------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MethodBars:
+    """Per-method total cost/time bars with profile/train breakdown."""
+
+    scenario: Scenario
+    reports: dict[str, DeploymentReport]
+    opt_deployment: Deployment
+    opt_seconds: float
+    opt_dollars: float
+
+    def total_hours(self, method: str) -> float:
+        """End-to-end hours (profiling + training) for one entry."""
+        return self.reports[method].total_seconds / 3600.0
+
+    def total_dollars(self, method: str) -> float:
+        """End-to-end dollars (profiling + training) for one entry."""
+        return self.reports[method].total_dollars
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        rows = []
+        for name, report in self.reports.items():
+            rows.append((
+                name,
+                f"{report.search.profile_seconds / 3600:.2f} h",
+                f"{report.train_seconds / 3600:.2f} h",
+                f"{report.total_seconds / 3600:.2f} h",
+                format_dollars(report.search.profile_dollars),
+                format_dollars(report.train_dollars),
+                format_dollars(report.total_dollars),
+                str(report.search.best),
+                "yes" if report.constraint_met else "NO",
+            ))
+        rows.append((
+            "opt",
+            "0.00 h",
+            f"{self.opt_seconds / 3600:.2f} h",
+            f"{self.opt_seconds / 3600:.2f} h",
+            "$0.00",
+            format_dollars(self.opt_dollars),
+            format_dollars(self.opt_dollars),
+            str(self.opt_deployment),
+            "yes",
+        ))
+        table = format_table(
+            ["method", "profile t", "train t", "total t",
+             "profile $", "train $", "total $", "chosen", "meets?"],
+            rows,
+        )
+        return f"{self.scenario.describe()}\n{table}"
+
+
+def fig13_vs_paleo(
+    *, budget_dollars: float = 80.0, epochs: float = 3.0, seed: int = 0
+) -> MethodBars:
+    """Fig. 13: ConvBO vs Paleo vs HeterBO vs Opt, budget $80.
+
+    Inception-V3 + ImageNet on TensorFlow.  Paleo pays no profiling but
+    its bandwidth-only communication model over-scales and misses the
+    optimum; ConvBO busts the budget on profiling.
+    """
+    config = ExperimentConfig(
+        model="inception-v3",
+        dataset="imagenet",
+        epochs=epochs,
+        seed=seed,
+        instance_types=(
+            "c5.4xlarge", "c5.9xlarge", "c5n.4xlarge",
+            "p2.xlarge", "p2.8xlarge", "p3.2xlarge",
+        ),
+        max_count=20,
+    )
+    scenario = Scenario.fastest_within(budget_dollars)
+    reports = {
+        "convbo": run_strategy(ConvBO(seed=seed), scenario, config).report,
+        "paleo": run_strategy(Paleo(), scenario, config).report,
+        "heterbo": run_strategy(HeterBO(seed=seed), scenario, config).report,
+    }
+    opt_d, _, opt_s, opt_c = run_oracle(scenario, config)
+    return MethodBars(
+        scenario=scenario, reports=reports,
+        opt_deployment=opt_d, opt_seconds=opt_s, opt_dollars=opt_c,
+    )
+
+
+def fig14_vs_cherrypick(
+    *, deadline_hours: float = 20.0, epochs: float = 16.0, seed: int = 0
+) -> MethodBars:
+    """Fig. 14: ConvBO vs CherryPick vs HeterBO vs Opt, 20 h limit.
+
+    Char-RNN on TensorFlow.  CherryPick gets a favourably trimmed
+    space (the GPU types its "experience" would exclude are removed),
+    yet still overruns: it is blind to the time profiling consumes.
+    """
+    config = ExperimentConfig(
+        model="char-rnn",
+        dataset="char-corpus",
+        epochs=epochs,
+        seed=seed,
+        instance_types=(
+            "c5.xlarge", "c5.2xlarge", "c5.4xlarge",
+            "c5n.4xlarge", "p2.xlarge",
+        ),
+        max_count=30,
+    )
+    scenario = Scenario.cheapest_within(deadline_hours * 3600.0)
+    cherrypick = CherryPick(
+        seed=seed,
+        allowed_types=["c5.2xlarge", "c5.4xlarge", "c5n.4xlarge"],
+    )
+    reports = {
+        "convbo": run_strategy(ConvBO(seed=seed), scenario, config).report,
+        "cherrypick": run_strategy(cherrypick, scenario, config).report,
+        "heterbo": run_strategy(HeterBO(seed=seed), scenario, config).report,
+    }
+    opt_d, _, opt_s, opt_c = run_oracle(scenario, config)
+    return MethodBars(
+        scenario=scenario, reports=reports,
+        opt_deployment=opt_d, opt_seconds=opt_s, opt_dollars=opt_c,
+    )

@@ -1,0 +1,345 @@
+"""Motivation figures: Figs. 1(a), 1(b), 2, 3 and 5.
+
+These reproduce Sec. I–II's evidence that (a) instance prices vary
+wildly, (b) the best equal-cost deployment is non-obvious, (c)
+exhaustive profiling and even conventional BO spend as much on
+profiling as on training, (d) scale-up/scale-out behaviour is
+non-linear with a concave scale-out curve, and (e) most ConvBO steps
+do not pay for themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.convbo import ConvBO
+from repro.baselines.exhaustive import ExhaustiveSearch
+from repro.cloud.catalog import default_catalog
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+from repro.experiments.reporting import format_dollars, format_table
+from repro.experiments.runner import ExperimentConfig, run_strategy
+from repro.sim.throughput import TrainingSimulator
+
+__all__ = [
+    "fig1a_normalized_prices",
+    "fig1b_equal_cost_deployments",
+    "fig2_exhaustive_vs_convbo",
+    "fig3_scaling_curves",
+    "fig5_convbo_step_gains",
+]
+
+
+# -- Fig. 1(a) -----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Fig1aResult:
+    """Normalised hourly prices (c5.xlarge = 1)."""
+
+    normalized: dict[str, float]
+
+    @property
+    def max_ratio(self) -> float:
+        """The paper highlights p2.8xlarge at 42.5x c5.xlarge."""
+        return max(self.normalized.values())
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        rows = [
+            (name, f"{v:.2f}x")
+            for name, v in sorted(
+                self.normalized.items(), key=lambda kv: kv[1]
+            )
+        ]
+        return format_table(["instance", "price vs c5.xlarge"], rows)
+
+
+def fig1a_normalized_prices() -> Fig1aResult:
+    """Fig. 1(a): hourly cost of EC2 instances normalised to c5.xlarge."""
+    catalog = default_catalog()
+    anchor = catalog["c5.xlarge"]
+    return Fig1aResult(normalized={
+        t.name: t.normalized_price(anchor) for t in catalog
+    })
+
+
+# -- Fig. 1(b) -----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Fig1bResult:
+    """Training time of Char-RNN under three equal-hourly-cost deployments."""
+
+    hours: dict[str, float]
+    hourly_cost: dict[str, float]
+
+    @property
+    def best(self) -> str:
+        """Label of the fastest deployment in the comparison."""
+        return min(self.hours, key=self.hours.get)
+
+    @property
+    def worst_to_best_ratio(self) -> float:
+        """Training-time spread between worst and best option."""
+        return max(self.hours.values()) / min(self.hours.values())
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        rows = [
+            (name, f"{h:.2f} h", format_dollars(self.hourly_cost[name]) + "/h")
+            for name, h in self.hours.items()
+        ]
+        return format_table(["deployment", "training time", "cluster price"], rows)
+
+
+def fig1b_equal_cost_deployments(epochs: float = 2.0) -> Fig1bResult:
+    """Fig. 1(b): 40x c5.xlarge vs 10x c5.4xlarge vs 9x p2.xlarge.
+
+    All three clusters cost ~the same per hour; the mid-size CPU
+    cluster wins by ~2-3x, and neither extreme (many cheap CPUs, few
+    GPUs) is competitive.
+    """
+    config = ExperimentConfig(
+        model="char-rnn", dataset="char-corpus", epochs=epochs
+    )
+    simulator = TrainingSimulator()
+    catalog = config.catalog()
+    job = config.job()
+    deployments = [
+        Deployment("c5.xlarge", 40),
+        Deployment("c5.4xlarge", 10),
+        Deployment("p2.xlarge", 9),
+    ]
+    hours: dict[str, float] = {}
+    hourly: dict[str, float] = {}
+    for d in deployments:
+        itype = catalog[d.instance_type]
+        hours[str(d)] = (
+            simulator.training_seconds(itype, d.count, job) / 3600.0
+        )
+        hourly[str(d)] = itype.hourly_price * d.count
+    return Fig1bResult(hours=hours, hourly_cost=hourly)
+
+
+# -- Fig. 2 --------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Fig2Result:
+    """Exhaustive vs ConvBO: total time/cost with profile/train split."""
+
+    exhaustive_profile_hours: float
+    exhaustive_train_hours: float
+    exhaustive_profile_dollars: float
+    exhaustive_train_dollars: float
+    convbo_profile_hours: float
+    convbo_train_hours: float
+    convbo_profile_dollars: float
+    convbo_train_dollars: float
+    exhaustive_points: int
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        rows = [
+            (
+                "exhaustive",
+                f"{self.exhaustive_points}",
+                f"{self.exhaustive_profile_hours:.2f} h",
+                f"{self.exhaustive_train_hours:.2f} h",
+                format_dollars(self.exhaustive_profile_dollars),
+                format_dollars(self.exhaustive_train_dollars),
+            ),
+            (
+                "convbo",
+                "-",
+                f"{self.convbo_profile_hours:.2f} h",
+                f"{self.convbo_train_hours:.2f} h",
+                format_dollars(self.convbo_profile_dollars),
+                format_dollars(self.convbo_train_dollars),
+            ),
+        ]
+        return format_table(
+            ["method", "points", "profile time", "train time",
+             "profile cost", "train cost"],
+            rows,
+        )
+
+
+def fig2_exhaustive_vs_convbo(
+    *, epochs: float = 250.0, seed: int = 0
+) -> Fig2Result:
+    """Fig. 2: profiling on par with training for both searches.
+
+    ResNet + CIFAR-10.  The exhaustive run profiles a strided subset
+    (the paper also subsets: 180 of 3,100 points).
+    """
+    config = ExperimentConfig(
+        model="resnet", dataset="cifar10", epochs=epochs, seed=seed,
+        instance_types=(
+            "c5.xlarge", "c5.4xlarge", "c5n.4xlarge", "p2.xlarge",
+            "p3.2xlarge",
+        ),
+        max_count=50,
+    )
+    scenario = Scenario.fastest()
+    exhaustive = run_strategy(
+        ExhaustiveSearch(count_stride=8), scenario, config
+    )
+    convbo = run_strategy(ConvBO(seed=seed), scenario, config)
+    ex_report, bo_report = exhaustive.report, convbo.report
+    return Fig2Result(
+        exhaustive_profile_hours=ex_report.search.profile_seconds / 3600,
+        exhaustive_train_hours=ex_report.train_seconds / 3600,
+        exhaustive_profile_dollars=ex_report.search.profile_dollars,
+        exhaustive_train_dollars=ex_report.train_dollars,
+        convbo_profile_hours=bo_report.search.profile_seconds / 3600,
+        convbo_train_hours=bo_report.train_seconds / 3600,
+        convbo_profile_dollars=bo_report.search.profile_dollars,
+        convbo_train_dollars=bo_report.train_dollars,
+        exhaustive_points=ex_report.search.n_steps,
+    )
+
+
+# -- Fig. 3 --------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Fig3Result:
+    """Char-RNN training speed vs scale-up and scale-out."""
+
+    scale_up: dict[str, float]  # instance type -> speed at fixed count
+    scale_out: dict[int, float]  # node count -> speed on one type
+    scale_out_type: str
+    fixed_count: int
+
+    @property
+    def scale_out_peak(self) -> int:
+        """Node count at the scale-out curve's maximum speed."""
+        return max(self.scale_out, key=self.scale_out.get)
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        up = format_table(
+            ["instance type", f"speed @ n={self.fixed_count}"],
+            [(k, f"{v:.1f}") for k, v in self.scale_up.items()],
+        )
+        out = format_table(
+            ["nodes", f"speed ({self.scale_out_type})"],
+            [(str(k), f"{v:.1f}") for k, v in self.scale_out.items()],
+        )
+        return f"(a) scale-up\n{up}\n\n(b) scale-out\n{out}"
+
+
+def fig3_scaling_curves(
+    *, fixed_count: int = 8, scale_out_type: str = "c5.4xlarge"
+) -> Fig3Result:
+    """Fig. 3: non-linear scale-up; concave scale-out."""
+    config = ExperimentConfig(model="char-rnn", dataset="char-corpus")
+    simulator = TrainingSimulator()
+    catalog = config.catalog()
+    job = config.job()
+    up_types = [
+        "c4.2xlarge", "c5.xlarge", "c5.2xlarge", "c5.4xlarge",
+        "c5.9xlarge", "c5n.4xlarge", "p2.xlarge", "p3.2xlarge",
+    ]
+    scale_up = {
+        name: simulator.true_speed(catalog[name], fixed_count, job)
+        for name in up_types
+    }
+    counts = [1, 2, 4, 8, 12, 16, 20, 24, 30, 40, 50]
+    itype = catalog[scale_out_type]
+    scale_out = {
+        n: simulator.true_speed(itype, n, job) for n in counts
+    }
+    return Fig3Result(
+        scale_up=scale_up,
+        scale_out=scale_out,
+        scale_out_type=scale_out_type,
+        fixed_count=fixed_count,
+    )
+
+
+# -- Fig. 5 --------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Fig5Result:
+    """Per-step marginal gains of ConvBO (often negative)."""
+
+    steps: list[int]
+    cost_saving_dollars: list[float]
+    speedup_hours: list[float]
+
+    @property
+    def n_negative_cost_steps(self) -> int:
+        """How many ConvBO steps lost money on net."""
+        return sum(1 for v in self.cost_saving_dollars if v < 0)
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        rows = [
+            (str(s), f"{c:+.2f}", f"{h:+.3f}")
+            for s, c, h in zip(
+                self.steps, self.cost_saving_dollars, self.speedup_hours
+            )
+        ]
+        return format_table(
+            ["profiling step", "cost saving ($)", "speedup (h)"], rows
+        )
+
+
+def fig5_convbo_step_gains(
+    *, epochs: float = 40.0, seed: int = 1
+) -> Fig5Result:
+    """Fig. 5: marginal value of each ConvBO profiling step.
+
+    For step k, the gain is the reduction in the incumbent's estimated
+    training cost/time minus what the step itself cost.  "Most
+    profiling steps do not bring benefits and can lead to lower
+    performance."  AlexNet + CIFAR-10.
+    """
+    config = ExperimentConfig(
+        model="alexnet", dataset="cifar10", epochs=epochs, seed=seed,
+        instance_types=(
+            "c5.xlarge", "c5.4xlarge", "c5n.4xlarge", "p2.xlarge",
+            "p3.2xlarge",
+        ),
+    )
+    run = run_strategy(
+        ConvBO(seed=seed, max_steps=12), Scenario.fastest(), config,
+        train=False,
+    )
+    trials = run.report.search.trials
+    space = config.space()
+    samples = config.job().total_samples
+
+    def incumbent_after(k: int) -> tuple[float, float] | None:
+        """(train_seconds, train_dollars) of the best probe among 1..k."""
+        best: tuple[float, float] | None = None
+        for t in trials[:k]:
+            if t.measured_speed <= 0:
+                continue
+            seconds = samples / t.measured_speed
+            dollars = seconds * space.hourly_price(t.deployment) / 3600.0
+            if best is None or seconds < best[0]:
+                best = (seconds, dollars)
+        return best
+
+    steps, cost_saving, speedup = [], [], []
+    for k in range(2, len(trials) + 1):
+        prev = incumbent_after(k - 1)
+        cur = incumbent_after(k)
+        if prev is None or cur is None:
+            continue
+        probe = trials[k - 1]
+        steps.append(k)
+        cost_saving.append(
+            (prev[1] - cur[1]) - probe.profile_dollars
+        )
+        speedup.append(
+            ((prev[0] - cur[0]) - probe.profile_seconds) / 3600.0
+        )
+    return Fig5Result(
+        steps=steps, cost_saving_dollars=cost_saving, speedup_hours=speedup
+    )

@@ -1,0 +1,104 @@
+"""Parallel-profiling study (extension).
+
+Measures what batched concurrent probing buys over the paper's
+sequential search: wall-clock profiling time and end-to-end totals
+across batch sizes, on the deadline scenario where time is the binding
+resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.heterbo import HeterBO
+from repro.core.parallel import ParallelHeterBO
+from repro.core.result import DeploymentReport
+from repro.core.scenarios import Scenario
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentConfig, run_strategy
+
+__all__ = ["ParallelismResult", "parallel_profiling_study"]
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelismResult:
+    """Seed-averaged outcomes per batch size (1 = sequential HeterBO)."""
+
+    deadline_hours: float
+    reports: dict[int, tuple[DeploymentReport, ...]]
+
+    def mean_profile_hours(self, batch: int) -> float:
+        """Seed-averaged wall-clock profiling hours."""
+        rs = self.reports[batch]
+        return sum(r.search.profile_seconds for r in rs) / len(rs) / 3600.0
+
+    def mean_total_hours(self, batch: int) -> float:
+        """Seed-averaged end-to-end wall-clock hours."""
+        rs = self.reports[batch]
+        return sum(r.total_seconds for r in rs) / len(rs) / 3600.0
+
+    def mean_total_dollars(self, batch: int) -> float:
+        """Seed-averaged end-to-end spend in dollars."""
+        rs = self.reports[batch]
+        return sum(r.total_dollars for r in rs) / len(rs)
+
+    def violation_rate(self, batch: int) -> float:
+        """Fraction of runs that violated the constraint."""
+        rs = self.reports[batch]
+        return sum(not r.constraint_met for r in rs) / len(rs)
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        rows = [
+            (
+                "sequential" if batch == 1 else f"batch={batch}",
+                f"{self.mean_profile_hours(batch):.2f} h",
+                f"{self.mean_total_hours(batch):.2f} h",
+                f"${self.mean_total_dollars(batch):.2f}",
+                f"{self.violation_rate(batch) * 100:.0f}%",
+            )
+            for batch in self.reports
+        ]
+        return (
+            f"parallel profiling, {self.deadline_hours:.0f} h deadline, "
+            "seed-averaged\n"
+            + format_table(
+                ["mode", "profiling time", "total time", "total $",
+                 "violations"],
+                rows,
+            )
+        )
+
+
+def parallel_profiling_study(
+    *,
+    deadline_hours: float = 12.0,
+    batch_sizes: tuple[int, ...] = (1, 2, 4),
+    epochs: float = 8.0,
+    n_seeds: int = 3,
+) -> ParallelismResult:
+    """Sweep batch sizes on a deadline-bound Char-RNN deployment."""
+    scenario = Scenario.cheapest_within(deadline_hours * 3600.0)
+    reports: dict[int, tuple[DeploymentReport, ...]] = {}
+    for batch in batch_sizes:
+        runs = []
+        for seed in range(n_seeds):
+            config = ExperimentConfig(
+                model="char-rnn",
+                dataset="char-corpus",
+                epochs=epochs,
+                seed=seed,
+                instance_types=(
+                    "c5.xlarge", "c5.4xlarge", "c5n.4xlarge", "p2.xlarge",
+                ),
+                max_count=24,
+            )
+            strategy = (
+                HeterBO(seed=seed) if batch == 1
+                else ParallelHeterBO(seed=seed, batch_size=batch)
+            )
+            runs.append(run_strategy(strategy, scenario, config).report)
+        reports[batch] = tuple(runs)
+    return ParallelismResult(
+        deadline_hours=deadline_hours, reports=reports
+    )

@@ -1,0 +1,156 @@
+"""Experiment runner: fresh-world strategy execution.
+
+Each strategy run gets its own :class:`~repro.cloud.provider.SimulatedCloud`
+so that clocks, ledgers and account limits are per-run — mirroring the
+paper's methodology where each search method deploys the job on its own
+AWS session.  Noise is seeded identically across strategies within an
+experiment, so every strategy faces the *same* noisy world and
+differences are attributable to the search policy alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cloud.catalog import InstanceCatalog, default_catalog
+from repro.cloud.provider import SimulatedCloud
+from repro.core.engine import SearchStrategy
+from repro.core.result import DeploymentReport
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment, DeploymentSpace
+from repro.baselines.exhaustive import oracle_best
+from repro.mlcd.deployment_engine import DeploymentEngine
+from repro.profiling.profiler import Profiler
+from repro.sim.noise import NoiseModel
+from repro.sim.throughput import TrainingJob, TrainingSimulator
+from repro.mlcd.platform_interface import MLPlatformInterface
+
+__all__ = ["ExperimentConfig", "StrategyRun", "run_oracle", "run_strategy"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """One experiment's workload and world parameters.
+
+    Attributes
+    ----------
+    model, dataset, platform, protocol, global_batch, epochs:
+        The training job (names resolved via the ML Platform
+        Interface).
+    instance_types:
+        Catalog subset to search over; ``None`` = the full paper
+        catalog.
+    max_count:
+        Scale-out limit.
+    seed:
+        Seeds measurement noise (and strategy randomness, unless the
+        strategy was built with its own seed).
+    noise_sigma:
+        Iteration throughput jitter.
+    unstable_fraction:
+        Fraction of deployments that are noisy neighbours (3x jitter;
+        exercises the profiler's window extension).
+    """
+
+    model: str
+    dataset: str
+    platform: str = "tensorflow"
+    protocol: str | None = None
+    global_batch: int | None = None
+    epochs: float = 1.0
+    instance_types: tuple[str, ...] | None = None
+    max_count: int = 50
+    seed: int = 0
+    noise_sigma: float = 0.03
+    unstable_fraction: float = 0.0
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        """Copy of this config with a different seed."""
+        return replace(self, seed=seed)
+
+    def catalog(self) -> InstanceCatalog:
+        """Resolve the instance catalog for this config."""
+        base = default_catalog()
+        if self.instance_types is None:
+            return base
+        return base.subset(list(self.instance_types))
+
+    def job(self) -> TrainingJob:
+        """Resolve the training job for this config."""
+        return MLPlatformInterface().build_job(
+            model=self.model,
+            dataset=self.dataset,
+            platform=self.platform,
+            protocol=self.protocol,
+            global_batch=self.global_batch,
+            epochs=self.epochs,
+        )
+
+    def space(self) -> DeploymentSpace:
+        """Build the deployment space for this config."""
+        return DeploymentSpace(self.catalog(), max_count=self.max_count)
+
+
+@dataclass(frozen=True, slots=True)
+class StrategyRun:
+    """A completed strategy run plus its world handles (for inspection)."""
+
+    report: DeploymentReport
+    engine: DeploymentEngine
+    config: ExperimentConfig
+
+    @property
+    def strategy_name(self) -> str:
+        """Name of the strategy that produced this run."""
+        return self.report.search.strategy
+
+
+def _build_world(config: ExperimentConfig) -> DeploymentEngine:
+    catalog = config.catalog()
+    cloud = SimulatedCloud(catalog)
+    simulator = TrainingSimulator()
+    profiler = Profiler(
+        cloud,
+        simulator,
+        noise=NoiseModel(
+            sigma=config.noise_sigma,
+            seed=config.seed,
+            unstable_fraction=config.unstable_fraction,
+        ),
+    )
+    return DeploymentEngine(config.space(), profiler, simulator)
+
+
+def run_strategy(
+    strategy: SearchStrategy,
+    scenario: Scenario,
+    config: ExperimentConfig,
+    *,
+    train: bool = True,
+) -> StrategyRun:
+    """Run one strategy in a fresh world; optionally skip training."""
+    engine = _build_world(config)
+    job = config.job()
+    if train:
+        report = engine.deploy(strategy, job, scenario)
+    else:
+        search = engine.search(strategy, job, scenario)
+        report = DeploymentReport(search=search)
+    return StrategyRun(report=report, engine=engine, config=config)
+
+
+def run_oracle(
+    scenario: Scenario, config: ExperimentConfig
+) -> tuple[Deployment, float, float, float]:
+    """Ground-truth optimum: ``(deployment, speed, seconds, dollars)``.
+
+    The oracle's "total" equals its training cost — it pays no
+    profiling (the paper's "Opt" reference bars).
+    """
+    space = config.space()
+    simulator = TrainingSimulator()
+    job = config.job()
+    deployment, speed, _ = oracle_best(space, simulator, job, scenario)
+    seconds = job.total_samples / speed
+    dollars = seconds * space.hourly_price(deployment) / 3600.0
+    return deployment, speed, seconds, dollars

@@ -1,0 +1,156 @@
+"""Scalability study: Fig. 19.
+
+Speedup (ConvBO total time / HeterBO total time) and cost saving
+(1 - HeterBO total cost / ConvBO total cost) as model size grows from
+AlexNet (6.4M parameters) through ResNet (60.3M) and BERT (340M) to
+the simulated ZeRO 8B/20B configurations.  The paper reports speedup
+growing 1.3× → 6.5× and cost saving 69 % → 92 %: bigger models mean a
+bigger, more expensive search space, which rewards cost-aware search
+more.
+
+The 8B/20B points are simulated in the paper too ("Due to the resource
+limitation, the results of model size 8B and 20B are simulated based
+on the training speed and system settings from ZeRO").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.convbo import ConvBO
+from repro.core.heterbo import HeterBO
+from repro.core.result import DeploymentReport
+from repro.core.scenarios import Scenario
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentConfig, run_strategy
+
+__all__ = ["Fig19Result", "fig19_model_size_scaling"]
+
+
+#: Per-model workload settings: dataset, epochs, protocol and the
+#: instance subset.  Sample counts shrink as models grow (nobody
+#: trains a 20B model for 30 CIFAR epochs), while the *search space*
+#: grows with model size — "larger model size results in larger
+#: deployment search space" is exactly the paper's explanation for why
+#: HeterBO's advantage grows: big-model spaces are full of expensive
+#: (and partly infeasible) deployments that cost-oblivious search
+#: wastes real money probing.
+_WORKLOADS: dict[str, dict] = {
+    "alexnet": dict(
+        dataset="cifar10", epochs=20.0, protocol=None,
+        instance_types=("c5.xlarge", "c5.4xlarge", "p2.xlarge"),
+        max_count=20,
+    ),
+    "resnet": dict(
+        dataset="cifar10", epochs=10.0, protocol=None,
+        instance_types=("c5.xlarge", "c5.4xlarge", "p2.xlarge", "p3.2xlarge"),
+        max_count=30,
+    ),
+    "bert": dict(
+        dataset="bert-corpus", epochs=0.02, protocol="ring",
+        instance_types=(
+            "c5n.4xlarge", "c5n.9xlarge", "p2.xlarge", "p2.8xlarge",
+            "p3.2xlarge", "p3.8xlarge",
+        ),
+        max_count=40,
+    ),
+    "zero-8b": dict(
+        dataset="bert-corpus", epochs=0.008, protocol="ring",
+        instance_types=(
+            "p2.8xlarge", "p2.16xlarge", "p3.2xlarge", "p3.8xlarge",
+            "p3.16xlarge",
+        ),
+        max_count=50,
+    ),
+    "zero-20b": dict(
+        dataset="bert-corpus", epochs=0.004, protocol="ring",
+        instance_types=(
+            "p2.8xlarge", "p2.16xlarge", "p3.2xlarge", "p3.8xlarge",
+            "p3.16xlarge",
+        ),
+        max_count=50,
+    ),
+}
+
+_MODEL_SIZES = {
+    "alexnet": "6.4M",
+    "resnet": "60.3M",
+    "bert": "340M",
+    "zero-8b": "8B",
+    "zero-20b": "20B",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Fig19Result:
+    """Speedup and cost saving of HeterBO over ConvBO by model size.
+
+    Reports are seed-averaged: per model, ``heterbo``/``convbo`` hold
+    one report per seed and the metrics average over them.
+    """
+
+    models: tuple[str, ...]
+    heterbo: dict[str, tuple[DeploymentReport, ...]]
+    convbo: dict[str, tuple[DeploymentReport, ...]]
+
+    @staticmethod
+    def _mean(values: list[float]) -> float:
+        return sum(values) / len(values)
+
+    def speedup(self, model: str) -> float:
+        """Seed-averaged total-time ratio of ConvBO over HeterBO."""
+        return self._mean(
+            [r.total_seconds for r in self.convbo[model]]
+        ) / self._mean([r.total_seconds for r in self.heterbo[model]])
+
+    def cost_saving(self, model: str) -> float:
+        """Fraction of ConvBO's total spend that HeterBO saves."""
+        return 1.0 - (
+            self._mean([r.total_dollars for r in self.heterbo[model]])
+            / self._mean([r.total_dollars for r in self.convbo[model]])
+        )
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        rows = [
+            (
+                _MODEL_SIZES[m],
+                m,
+                f"{self.speedup(m):.2f}x",
+                f"{self.cost_saving(m) * 100:.0f}%",
+            )
+            for m in self.models
+        ]
+        return format_table(
+            ["size", "model", "speedup vs convbo", "cost saving"], rows
+        )
+
+
+def fig19_model_size_scaling(*, n_seeds: int = 3) -> Fig19Result:
+    """Fig. 19: HeterBO's advantage grows with model size."""
+    heterbo: dict[str, tuple[DeploymentReport, ...]] = {}
+    convbo: dict[str, tuple[DeploymentReport, ...]] = {}
+    for model, w in _WORKLOADS.items():
+        h_runs, c_runs = [], []
+        for seed in range(n_seeds):
+            config = ExperimentConfig(
+                model=model,
+                dataset=w["dataset"],
+                epochs=w["epochs"],
+                protocol=w["protocol"],
+                seed=seed,
+                instance_types=w["instance_types"],
+                max_count=w["max_count"],
+            )
+            scenario = Scenario.fastest()
+            h_runs.append(
+                run_strategy(HeterBO(seed=seed), scenario, config).report
+            )
+            c_runs.append(
+                run_strategy(ConvBO(seed=seed), scenario, config).report
+            )
+        heterbo[model] = tuple(h_runs)
+        convbo[model] = tuple(c_runs)
+    return Fig19Result(
+        models=tuple(_WORKLOADS), heterbo=heterbo, convbo=convbo
+    )

@@ -1,0 +1,79 @@
+"""Spot-training study (extension; Proteus-flavoured related work).
+
+For the deployment HeterBO would pick, sweep the spot bid factor and
+measure the dollars-vs-wall-clock trade-off against on-demand
+execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.spot import SpotMarket
+from repro.core.scenarios import Scenario
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentConfig, run_oracle
+from repro.mlcd.spot import SpotOutcome, SpotTrainingExecutor
+from repro.sim.throughput import TrainingSimulator
+
+__all__ = ["SpotStudyResult", "spot_bid_study"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpotStudyResult:
+    """Outcomes per bid factor for one deployment/workload."""
+
+    deployment: str
+    outcomes: dict[float, SpotOutcome]
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        rows = []
+        for bid, o in sorted(self.outcomes.items()):
+            rows.append((
+                f"{bid:.2f}",
+                f"{o.seconds / 3600:.2f} h",
+                f"x{o.time_inflation:.2f}",
+                f"${o.dollars:.2f}",
+                f"{o.cost_saving * 100:.0f}%",
+                str(o.revocations),
+            ))
+        any_outcome = next(iter(self.outcomes.values()))
+        return (
+            f"spot training of {self.deployment} "
+            f"(on-demand: {any_outcome.on_demand_seconds / 3600:.2f} h, "
+            f"${any_outcome.on_demand_dollars:.2f})\n"
+            + format_table(
+                ["bid", "wall clock", "inflation", "cost", "saving",
+                 "revocations"],
+                rows,
+            )
+        )
+
+
+def spot_bid_study(
+    *,
+    bids: tuple[float, ...] = (0.3, 0.45, 0.6, 1.0),
+    epochs: float = 8.0,
+    market_seed: int = 3,
+) -> SpotStudyResult:
+    """Bid sweep on the oracle-optimal Char-RNN deployment."""
+    config = ExperimentConfig(
+        model="char-rnn",
+        dataset="char-corpus",
+        epochs=epochs,
+        instance_types=("c5.xlarge", "c5.4xlarge", "c5n.4xlarge"),
+        max_count=24,
+    )
+    deployment, _, _, _ = run_oracle(Scenario.fastest(), config)
+    catalog = config.catalog()
+    market = SpotMarket(catalog, seed=market_seed)
+    executor = SpotTrainingExecutor(
+        market, TrainingSimulator(), catalog
+    )
+    job = config.job()
+    outcomes = {
+        bid: executor.execute(deployment, job, bid_factor=bid)
+        for bid in bids
+    }
+    return SpotStudyResult(deployment=str(deployment), outcomes=outcomes)

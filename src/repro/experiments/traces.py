@@ -1,0 +1,147 @@
+"""Search-trace figures: Figs. 15, 16 and 17.
+
+These show *how* HeterBO searches a mixed scale-up/scale-out space:
+single-node probes of every type first, then exploration to bracket
+the concave curve, then exploitation inside the bracket — under a
+monetary budget, with both profiling and training paid from it.
+
+- Fig. 15 — Char-RNN over TensorFlow, budget $120, PS protocol, types
+  c5.xlarge / c5.4xlarge / p2.xlarge;
+- Fig. 16 — BERT over TensorFlow, budget $100, ring all-reduce, types
+  c5n.xlarge / c5n.4xlarge / p2.xlarge;
+- Fig. 17 — BERT over MXNet, budget $120, same types (platform
+  independence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.heterbo import HeterBO
+from repro.core.result import DeploymentReport
+from repro.core.scenarios import Scenario
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentConfig, run_strategy
+
+__all__ = [
+    "TraceResult",
+    "fig15_charrnn_trace",
+    "fig16_bert_tensorflow_trace",
+    "fig17_bert_mxnet_trace",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceResult:
+    """A HeterBO search trace over a mixed type/count space."""
+
+    report: DeploymentReport
+    budget_dollars: float
+    instance_types: tuple[str, ...]
+
+    @property
+    def steps_per_type(self) -> dict[str, list[tuple[int, int, float]]]:
+        """Per type: ``(step, count, speed)`` — the panels of
+        Figs. 15–17."""
+        out: dict[str, list[tuple[int, int, float]]] = {
+            t: [] for t in self.instance_types
+        }
+        for t in self.report.search.trials:
+            out[t.deployment.instance_type].append(
+                (t.step, t.deployment.count, t.measured_speed)
+            )
+        return out
+
+    @property
+    def initial_steps_are_single_node(self) -> bool:
+        """HeterBO's signature: the first probes are one node of each
+        type ("HeterBO first profiles each instance type with only 1
+        instance to get a sense of their performance in the interest
+        of profiling cost")."""
+        n_types = len(self.instance_types)
+        head = self.report.search.trials[:n_types]
+        return all(t.deployment.count == 1 for t in head)
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        sections = []
+        for itype, steps in self.steps_per_type.items():
+            rows = [
+                (str(step), str(count), f"{speed:.1f}")
+                for step, count, speed in steps
+            ]
+            table = format_table(["step", "nodes", "speed (samples/s)"], rows)
+            sections.append(f"[{itype}]\n{table}")
+        summary = (
+            f"budget ${self.budget_dollars:.0f} -> "
+            f"chose {self.report.search.best}, "
+            f"total ${self.report.total_dollars:.2f}, "
+            f"constraint met: {self.report.constraint_met}"
+        )
+        return "\n\n".join(sections) + "\n\n" + summary
+
+
+def _run_trace(
+    config: ExperimentConfig, budget: float
+) -> TraceResult:
+    scenario = Scenario.fastest_within(budget)
+    run = run_strategy(HeterBO(seed=config.seed), scenario, config)
+    return TraceResult(
+        report=run.report,
+        budget_dollars=budget,
+        instance_types=config.instance_types,
+    )
+
+
+def fig15_charrnn_trace(
+    *, budget_dollars: float = 120.0, epochs: float = 6.0, seed: int = 7
+) -> TraceResult:
+    """Fig. 15: Char-RNN/TensorFlow over three instance types, $120."""
+    config = ExperimentConfig(
+        model="char-rnn",
+        dataset="char-corpus",
+        epochs=epochs,
+        seed=seed,
+        instance_types=("c5.xlarge", "c5.4xlarge", "p2.xlarge"),
+        max_count=50,
+    )
+    return _run_trace(config, budget_dollars)
+
+
+def fig16_bert_tensorflow_trace(
+    *, budget_dollars: float = 100.0, epochs: float = 0.01, seed: int = 3
+) -> TraceResult:
+    """Fig. 16: BERT/TensorFlow with ring all-reduce, $100.
+
+    BERT is trained "with ring all-reduce communication topology
+    instead of parameter server" (Sec. V-D).
+    """
+    config = ExperimentConfig(
+        model="bert",
+        dataset="bert-corpus",
+        platform="tensorflow",
+        protocol="ring",
+        epochs=epochs,
+        seed=seed,
+        instance_types=("c5n.xlarge", "c5n.4xlarge", "p2.xlarge"),
+        max_count=20,
+    )
+    return _run_trace(config, budget_dollars)
+
+
+def fig17_bert_mxnet_trace(
+    *, budget_dollars: float = 120.0, epochs: float = 0.01, seed: int = 3
+) -> TraceResult:
+    """Fig. 17: BERT/MXNet with ring all-reduce, $120 (platform
+    independence: the search dynamics mirror Fig. 16's)."""
+    config = ExperimentConfig(
+        model="bert",
+        dataset="bert-corpus",
+        platform="mxnet",
+        protocol="ring",
+        epochs=epochs,
+        seed=seed,
+        instance_types=("c5n.xlarge", "c5n.4xlarge", "p2.xlarge"),
+        max_count=20,
+    )
+    return _run_trace(config, budget_dollars)

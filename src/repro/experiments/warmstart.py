@@ -1,0 +1,103 @@
+"""Warm-start transfer study (extension).
+
+The paper (Sec. II-C) laments that any change to the training job —
+"e.g., using a different batch size" — forces the expensive search to
+re-run from scratch.  This experiment quantifies the mitigation: search
+job A (one batch size), then search job B (a different batch size)
+cold vs warm-started from A's trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.heterbo import HeterBO
+from repro.core.result import DeploymentReport
+from repro.core.scenarios import Scenario
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentConfig, run_strategy
+
+__all__ = ["WarmStartResult", "warm_start_study"]
+
+
+@dataclass(frozen=True, slots=True)
+class WarmStartResult:
+    """Seed-paired cold vs warm outcomes on the changed job."""
+
+    cold: tuple[DeploymentReport, ...]
+    warm: tuple[DeploymentReport, ...]
+
+    @staticmethod
+    def _mean(values) -> float:
+        values = list(values)
+        return sum(values) / len(values)
+
+    def mean_profile_dollars(self, mode: str) -> float:
+        """Seed-averaged profiling spend in dollars."""
+        rs = self.cold if mode == "cold" else self.warm
+        return self._mean(r.search.profile_dollars for r in rs)
+
+    def mean_profile_steps(self, mode: str) -> float:
+        """Seed-averaged number of probes."""
+        rs = self.cold if mode == "cold" else self.warm
+        return self._mean(r.search.n_steps for r in rs)
+
+    def mean_train_seconds(self, mode: str) -> float:
+        """Seed-averaged training time of the chosen deployment."""
+        rs = self.cold if mode == "cold" else self.warm
+        return self._mean(r.train_seconds for r in rs)
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        rows = [
+            (
+                mode,
+                f"{self.mean_profile_steps(mode):.1f}",
+                f"${self.mean_profile_dollars(mode):.2f}",
+                f"{self.mean_train_seconds(mode) / 3600:.2f} h",
+            )
+            for mode in ("cold", "warm")
+        ]
+        return (
+            "re-search after a batch-size change\n"
+            + format_table(
+                ["mode", "probes", "profiling $", "chosen train time"],
+                rows,
+            )
+        )
+
+
+def warm_start_study(
+    *,
+    budget_dollars: float = 100.0,
+    epochs: float = 6.0,
+    n_seeds: int = 4,
+) -> WarmStartResult:
+    """Cold vs warm re-search after a global-batch change (128 -> 192)."""
+    scenario = Scenario.fastest_within(budget_dollars)
+    base = ExperimentConfig(
+        model="char-rnn",
+        dataset="char-corpus",
+        epochs=epochs,
+        global_batch=128,
+        instance_types=(
+            "c5.xlarge", "c5.4xlarge", "c5n.4xlarge", "p2.xlarge",
+        ),
+        max_count=24,
+    )
+    cold_runs, warm_runs = [], []
+    for seed in range(n_seeds):
+        job_a = replace(base, seed=seed)
+        job_b = replace(base, seed=seed + 1000, global_batch=192)
+        trace_a = run_strategy(
+            HeterBO(seed=seed), scenario, job_a
+        ).report.search
+        cold_runs.append(
+            run_strategy(HeterBO(seed=seed), scenario, job_b).report
+        )
+        warm_runs.append(
+            run_strategy(
+                HeterBO(seed=seed, warm_start=trace_a), scenario, job_b
+            ).report
+        )
+    return WarmStartResult(cold=tuple(cold_runs), warm=tuple(warm_runs))

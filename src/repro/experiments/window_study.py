@@ -1,0 +1,121 @@
+"""Profiling-window sensitivity study (extension).
+
+The paper fixes the profiling window at 10 minutes per probe.  Shorter
+windows are cheaper but average fewer iterations, so measured speeds
+are noisier — which can mislead selection; longer windows buy precision
+with money and time.  This study sweeps the window length (with
+iteration counts scaled proportionally) and measures where the paper's
+choice sits on the cost/quality curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.provider import SimulatedCloud
+from repro.core.heterbo import HeterBO
+from repro.core.result import DeploymentReport
+from repro.core.scenarios import Scenario
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentConfig
+from repro.mlcd.deployment_engine import DeploymentEngine
+from repro.profiling.cost import ProfilingCostModel
+from repro.profiling.profiler import Profiler
+from repro.sim.noise import NoiseModel
+from repro.sim.throughput import TrainingSimulator
+
+__all__ = ["WindowStudyResult", "profiling_window_study"]
+
+
+@dataclass(frozen=True, slots=True)
+class WindowStudyResult:
+    """Seed-averaged outcomes per profiling-window length."""
+
+    budget: float
+    #: window minutes -> reports
+    reports: dict[float, tuple[DeploymentReport, ...]]
+
+    def mean_profile_dollars(self, minutes: float) -> float:
+        """Seed-averaged profiling spend in dollars."""
+        rs = self.reports[minutes]
+        return sum(r.search.profile_dollars for r in rs) / len(rs)
+
+    def mean_train_seconds(self, minutes: float) -> float:
+        """Seed-averaged training time of the chosen deployment."""
+        rs = self.reports[minutes]
+        return sum(r.train_seconds for r in rs) / len(rs)
+
+    def violation_rate(self, minutes: float) -> float:
+        """Fraction of runs that violated the constraint."""
+        rs = self.reports[minutes]
+        return sum(not r.constraint_met for r in rs) / len(rs)
+
+    def render(self) -> str:
+        """Plain-text rows/series for this figure or study."""
+        rows = [
+            (
+                f"{minutes:g} min",
+                f"${self.mean_profile_dollars(minutes):.2f}",
+                f"{self.mean_train_seconds(minutes) / 3600:.2f} h",
+                f"{self.violation_rate(minutes) * 100:.0f}%",
+            )
+            for minutes in self.reports
+        ]
+        return (
+            f"profiling-window sweep, budget ${self.budget:.0f}, "
+            "seed-averaged\n"
+            + format_table(
+                ["window", "profiling $", "chosen train time",
+                 "violations"],
+                rows,
+            )
+        )
+
+
+def profiling_window_study(
+    *,
+    window_minutes: tuple[float, ...] = (4.0, 7.0, 10.0, 20.0),
+    budget_dollars: float = 100.0,
+    epochs: float = 6.0,
+    n_seeds: int = 4,
+    noise_sigma: float = 0.10,
+) -> WindowStudyResult:
+    """Sweep the profiling-window length on a noisy budgeted workload.
+
+    Noise is set high (10 % iteration jitter) so the precision
+    difference between windows is visible in selection quality.
+    """
+    config = ExperimentConfig(
+        model="char-rnn",
+        dataset="char-corpus",
+        epochs=epochs,
+        instance_types=(
+            "c5.xlarge", "c5.4xlarge", "c5n.4xlarge", "p2.xlarge",
+        ),
+        max_count=24,
+    )
+    scenario = Scenario.fastest_within(budget_dollars)
+    reports: dict[float, tuple[DeploymentReport, ...]] = {}
+    for minutes in window_minutes:
+        runs = []
+        for seed in range(n_seeds):
+            cloud = SimulatedCloud(config.catalog())
+            profiler = Profiler(
+                cloud,
+                TrainingSimulator(),
+                cost_model=ProfilingCostModel(
+                    base_seconds=minutes * 60.0,
+                    extra_seconds_per_3_nodes=minutes * 6.0,
+                ),
+                noise=NoiseModel(sigma=noise_sigma, seed=seed),
+                # iterations averaged scale with the window
+                samples_per_window=max(3, int(30 * minutes / 10.0)),
+            )
+            engine = DeploymentEngine(
+                config.space(), profiler, TrainingSimulator()
+            )
+            runs.append(
+                engine.deploy(HeterBO(seed=seed), config.job(), scenario)
+            )
+        reports[minutes] = tuple(runs)
+    return WindowStudyResult(budget=budget_dollars, reports=reports)

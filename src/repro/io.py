@@ -1,0 +1,154 @@
+"""Serialisation: JSON round-trips for search results and reports.
+
+Profiling on a real cloud costs money, so search traces are assets:
+MLCD persists every run's trace so analyses (Pareto fronts, figure
+regeneration, warm-starting a related search) can run offline against
+*recorded* profiling costs without touching the cloud again.
+
+The format is a versioned plain-JSON document; no pickling, so traces
+are portable across library versions that keep the schema.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.result import DeploymentReport, SearchResult, TrialRecord
+from repro.core.scenarios import Scenario, ScenarioKind
+from repro.core.search_space import Deployment
+
+__all__ = [
+    "report_from_json",
+    "report_to_json",
+    "load_report",
+    "save_report",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def _scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
+    return {
+        "kind": scenario.kind.value,
+        "deadline_seconds": scenario.deadline_seconds,
+        "budget_dollars": scenario.budget_dollars,
+    }
+
+
+def _scenario_from_dict(data: dict[str, Any]) -> Scenario:
+    return Scenario(
+        kind=ScenarioKind(data["kind"]),
+        deadline_seconds=data.get("deadline_seconds"),
+        budget_dollars=data.get("budget_dollars"),
+    )
+
+
+def _trial_to_dict(trial: TrialRecord) -> dict[str, Any]:
+    return {
+        "step": trial.step,
+        "instance_type": trial.deployment.instance_type,
+        "count": trial.deployment.count,
+        "measured_speed": trial.measured_speed,
+        "profile_seconds": trial.profile_seconds,
+        "profile_dollars": trial.profile_dollars,
+        "elapsed_seconds": trial.elapsed_seconds,
+        "spent_dollars": trial.spent_dollars,
+        "note": trial.note,
+    }
+
+
+def _trial_from_dict(data: dict[str, Any]) -> TrialRecord:
+    return TrialRecord(
+        step=data["step"],
+        deployment=Deployment(data["instance_type"], data["count"]),
+        measured_speed=data["measured_speed"],
+        profile_seconds=data["profile_seconds"],
+        profile_dollars=data["profile_dollars"],
+        elapsed_seconds=data["elapsed_seconds"],
+        spent_dollars=data["spent_dollars"],
+        note=data.get("note", ""),
+    )
+
+
+def report_to_json(report: DeploymentReport) -> str:
+    """Serialise a report (with its full search trace) to JSON."""
+    search = report.search
+    doc = {
+        "schema_version": _SCHEMA_VERSION,
+        "search": {
+            "strategy": search.strategy,
+            "scenario": _scenario_to_dict(search.scenario),
+            "trials": [_trial_to_dict(t) for t in search.trials],
+            "best": (
+                None if search.best is None else {
+                    "instance_type": search.best.instance_type,
+                    "count": search.best.count,
+                }
+            ),
+            "best_measured_speed": search.best_measured_speed,
+            "profile_seconds": search.profile_seconds,
+            "profile_dollars": search.profile_dollars,
+            "stop_reason": search.stop_reason,
+        },
+        "train_seconds": report.train_seconds,
+        "train_dollars": report.train_dollars,
+        "trained": report.trained,
+        "tags": dict(report.tags),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def report_from_json(text: str) -> DeploymentReport:
+    """Deserialise a report produced by :func:`report_to_json`.
+
+    Raises
+    ------
+    ValueError
+        On schema mismatch or malformed documents.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from exc
+    version = doc.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {version!r}; "
+            f"expected {_SCHEMA_VERSION}"
+        )
+    s = doc["search"]
+    best = s.get("best")
+    search = SearchResult(
+        strategy=s["strategy"],
+        scenario=_scenario_from_dict(s["scenario"]),
+        trials=tuple(_trial_from_dict(t) for t in s["trials"]),
+        best=(
+            None if best is None
+            else Deployment(best["instance_type"], best["count"])
+        ),
+        best_measured_speed=s["best_measured_speed"],
+        profile_seconds=s["profile_seconds"],
+        profile_dollars=s["profile_dollars"],
+        stop_reason=s["stop_reason"],
+    )
+    return DeploymentReport(
+        search=search,
+        train_seconds=doc["train_seconds"],
+        train_dollars=doc["train_dollars"],
+        trained=doc["trained"],
+        tags=dict(doc.get("tags", {})),
+    )
+
+
+def save_report(report: DeploymentReport, path: str | Path) -> Path:
+    """Write a report to ``path``; returns the resolved path."""
+    path = Path(path)
+    path.write_text(report_to_json(report))
+    return path
+
+
+def load_report(path: str | Path) -> DeploymentReport:
+    """Read a report written by :func:`save_report`."""
+    return report_from_json(Path(path).read_text())

@@ -1,0 +1,35 @@
+"""MLCD: the fully automated MLaaS training Cloud Deployment system.
+
+Reproduces the Fig. 8 architecture:
+
+- :mod:`repro.mlcd.scenario_analyzer` — turns user requirements into a
+  :class:`~repro.core.scenarios.Scenario`;
+- :mod:`repro.mlcd.cloud_interface` — the cloud-control abstraction
+  (launch/terminate/measure) with the simulated-AWS implementation;
+- :mod:`repro.mlcd.platform_interface` — ML-platform abstraction
+  (TensorFlow/MXNet, PS/ring all-reduce) that assembles
+  :class:`~repro.sim.throughput.TrainingJob` objects;
+- :mod:`repro.mlcd.deployment_engine` — wires a search strategy
+  (HeterBO by default) to the Profiler;
+- :mod:`repro.mlcd.system` — the :class:`~repro.mlcd.system.MLCD`
+  facade: search, then train on the chosen deployment, and report.
+"""
+
+from repro.mlcd.cloud_interface import CloudInterface, SimulatedCloudInterface
+from repro.mlcd.deployment_engine import DeploymentEngine
+from repro.mlcd.platform_interface import MLPlatformInterface
+from repro.mlcd.scenario_analyzer import ScenarioAnalyzer, UserRequirements
+from repro.mlcd.spot import SpotOutcome, SpotTrainingExecutor
+from repro.mlcd.system import MLCD
+
+__all__ = [
+    "CloudInterface",
+    "DeploymentEngine",
+    "MLCD",
+    "MLPlatformInterface",
+    "ScenarioAnalyzer",
+    "SimulatedCloudInterface",
+    "SpotOutcome",
+    "SpotTrainingExecutor",
+    "UserRequirements",
+]

@@ -1,0 +1,94 @@
+"""MLCD Cloud Interface (paper Sec. IV).
+
+"MLCD supports different cloud services through Cloud Interface (e.g.,
+AWS, Google Cloud, Azure).  It provides the cloud control operations
+such as launch/suspend/manage instance, collect measurements through
+cloud tools (e.g., CloudWatch in AWS)."
+
+:class:`CloudInterface` is the protocol; adding a real provider means
+implementing it.  :class:`SimulatedCloudInterface` backs it with
+:class:`~repro.cloud.provider.SimulatedCloud` and is what every
+experiment uses.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cloud.catalog import InstanceCatalog
+from repro.cloud.cloudwatch import MetricStatistics
+from repro.cloud.cluster import Cluster
+from repro.cloud.provider import SimulatedCloud
+
+__all__ = ["CloudInterface", "SimulatedCloudInterface"]
+
+
+class CloudInterface(abc.ABC):
+    """Provider-neutral cloud control operations."""
+
+    @property
+    @abc.abstractmethod
+    def catalog(self) -> InstanceCatalog:
+        """Instance types this provider offers."""
+
+    @abc.abstractmethod
+    def launch_cluster(self, instance_type: str, count: int) -> Cluster:
+        """Launch a homogeneous cluster and wait until it is running."""
+
+    @abc.abstractmethod
+    def run_cluster(self, cluster: Cluster, seconds: float) -> None:
+        """Let a running cluster execute for ``seconds``."""
+
+    @abc.abstractmethod
+    def terminate_cluster(self, cluster: Cluster, *, purpose: str) -> float:
+        """Terminate and bill a cluster; returns dollars charged."""
+
+    @abc.abstractmethod
+    def get_metric_statistics(
+        self, namespace: str, metric: str
+    ) -> MetricStatistics:
+        """CloudWatch-style summary statistics for a metric."""
+
+    @abc.abstractmethod
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds since the session began."""
+
+    @abc.abstractmethod
+    def total_spend(self, purpose: str | None = None) -> float:
+        """Dollars spent so far, optionally by purpose tag."""
+
+
+class SimulatedCloudInterface(CloudInterface):
+    """Cloud Interface backed by the deterministic simulated provider."""
+
+    def __init__(self, cloud: SimulatedCloud) -> None:
+        self.cloud = cloud
+
+    @property
+    def catalog(self) -> InstanceCatalog:
+        """Resolve the instance catalog for this config."""
+        return self.cloud.catalog
+
+    def launch_cluster(self, instance_type: str, count: int) -> Cluster:
+        cluster = self.cloud.launch(instance_type, count)
+        self.cloud.wait_until_ready(cluster)
+        return cluster
+
+    def run_cluster(self, cluster: Cluster, seconds: float) -> None:
+        self.cloud.run_for(cluster, seconds)
+
+    def terminate_cluster(self, cluster: Cluster, *, purpose: str) -> float:
+        return self.cloud.terminate(cluster, purpose=purpose)
+
+    def get_metric_statistics(
+        self, namespace: str, metric: str
+    ) -> MetricStatistics:
+        return self.cloud.metrics.statistics(namespace, metric)
+
+    def elapsed_seconds(self) -> float:
+        """Simulated wall-clock seconds consumed so far."""
+        return self.cloud.elapsed()
+
+    def total_spend(self, purpose: str | None = None) -> float:
+        """Dollars spent so far, optionally filtered by purpose tag."""
+        return self.cloud.total_spend(purpose)

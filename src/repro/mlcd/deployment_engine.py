@@ -1,0 +1,117 @@
+"""MLCD Deployment Engine (paper Sec. IV).
+
+"We use HeterBO search method to drive the deployment engine to search
+for the best deployment schemes based on the Profiler's feedback."
+
+The engine owns the search/execute split:
+
+- :meth:`DeploymentEngine.search` runs any
+  :class:`~repro.core.engine.SearchStrategy` against the Profiler;
+- :meth:`DeploymentEngine.execute_training` launches the chosen
+  deployment and runs the job to completion at its *true* speed (the
+  real world does not read our GP), billing under ``"training"``.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import SearchContext, SearchStrategy
+from repro.core.result import DeploymentReport, SearchResult
+from repro.core.search_space import Deployment, DeploymentSpace
+from repro.profiling.profiler import Profiler
+from repro.sim.throughput import (
+    InfeasibleDeploymentError,
+    TrainingJob,
+    TrainingSimulator,
+)
+
+__all__ = ["DeploymentEngine"]
+
+
+class DeploymentEngine:
+    """Search-then-train orchestration over one simulated cloud."""
+
+    def __init__(
+        self,
+        space: DeploymentSpace,
+        profiler: Profiler,
+        simulator: TrainingSimulator,
+    ) -> None:
+        self.space = space
+        self.profiler = profiler
+        self.simulator = simulator
+
+    @property
+    def cloud(self):
+        """The simulated cloud this engine operates on."""
+        return self.profiler.cloud
+
+    def search(
+        self,
+        strategy: SearchStrategy,
+        job: TrainingJob,
+        scenario,
+    ) -> SearchResult:
+        """Run one search strategy to completion."""
+        context = SearchContext(
+            space=self.space,
+            profiler=self.profiler,
+            job=job,
+            scenario=scenario,
+        )
+        return strategy.search(context)
+
+    def execute_training(
+        self, deployment: Deployment, job: TrainingJob
+    ) -> tuple[float, float]:
+        """Train the job to completion on ``deployment``.
+
+        Returns
+        -------
+        (seconds, dollars):
+            Wall-clock training time (including cluster setup) and the
+            billed training cost.
+
+        Raises
+        ------
+        InfeasibleDeploymentError
+            If the chosen deployment cannot run the job (a search bug —
+            strategies should never select a failed probe).
+        """
+        itype = self.space.catalog[deployment.instance_type]
+        self.simulator.check_feasible(itype, deployment.count, job)
+        true_speed = self.simulator.true_speed(itype, deployment.count, job)
+        train_seconds = job.total_samples / true_speed
+
+        start = self.cloud.clock.now
+        cluster = self.cloud.launch(
+            deployment.instance_type, deployment.count
+        )
+        self.cloud.wait_until_ready(cluster)
+        self.cloud.run_for(cluster, train_seconds)
+        dollars = self.cloud.terminate(cluster, purpose="training")
+        return self.cloud.clock.now - start, dollars
+
+    def deploy(
+        self,
+        strategy: SearchStrategy,
+        job: TrainingJob,
+        scenario,
+    ) -> DeploymentReport:
+        """Search, then train on the result (the full MLCD pipeline)."""
+        search = self.search(strategy, job, scenario)
+        if search.best is None:
+            return DeploymentReport(search=search)
+        try:
+            seconds, dollars = self.execute_training(search.best, job)
+        except InfeasibleDeploymentError:
+            # A measured-successful probe should always train; reaching
+            # this means the search selected an unprofiled deployment.
+            return DeploymentReport(
+                search=search, tags={"error": "chosen deployment infeasible"}
+            )
+        return DeploymentReport(
+            search=search,
+            train_seconds=seconds,
+            train_dollars=dollars,
+            trained=True,
+        )

@@ -1,0 +1,70 @@
+"""MLCD ML Platform Interface (paper Sec. IV).
+
+"MLCD supports popular ML training platforms (such as TensorFlow,
+MXNet, PyTorch) and connects them with the Cloud Interface to enable
+various ML platform features, such as PS and all-reduce communication
+protocols."
+
+The interface resolves user-facing names (model, dataset, platform,
+protocol) into a fully-specified :class:`~repro.sim.throughput.TrainingJob`,
+validating the combination before anything is launched.
+"""
+
+from __future__ import annotations
+
+from repro.sim.comm import CommProtocol
+from repro.sim.datasets import get_dataset
+from repro.sim.platforms import get_platform, list_platforms
+from repro.sim.throughput import TrainingJob
+from repro.sim.zoo import get_model
+
+__all__ = ["MLPlatformInterface"]
+
+_PROTOCOL_ALIASES = {
+    "ps": CommProtocol.PARAMETER_SERVER,
+    "parameter-server": CommProtocol.PARAMETER_SERVER,
+    "parameter_server": CommProtocol.PARAMETER_SERVER,
+    "ring": CommProtocol.RING_ALLREDUCE,
+    "ring-allreduce": CommProtocol.RING_ALLREDUCE,
+    "allreduce": CommProtocol.RING_ALLREDUCE,
+}
+
+
+class MLPlatformInterface:
+    """Resolves and validates training-job specifications."""
+
+    def supported_platforms(self) -> list[str]:
+        """Names of the ML platforms the simulator models."""
+        return list_platforms()
+
+    def resolve_protocol(self, protocol: str | None) -> CommProtocol | None:
+        """Parse a protocol name; ``None`` defers to the platform default."""
+        if protocol is None:
+            return None
+        try:
+            return _PROTOCOL_ALIASES[protocol.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown protocol {protocol!r}; "
+                f"known: {sorted(_PROTOCOL_ALIASES)}"
+            ) from None
+
+    def build_job(
+        self,
+        *,
+        model: str,
+        dataset: str,
+        platform: str = "tensorflow",
+        protocol: str | None = None,
+        global_batch: int | None = None,
+        epochs: float = 1.0,
+    ) -> TrainingJob:
+        """Assemble a validated :class:`TrainingJob` from names."""
+        return TrainingJob(
+            model=get_model(model),
+            dataset=get_dataset(dataset),
+            platform=get_platform(platform),
+            protocol=self.resolve_protocol(protocol),
+            global_batch=global_batch,
+            epochs=epochs,
+        )

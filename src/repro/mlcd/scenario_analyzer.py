@@ -1,0 +1,55 @@
+"""MLCD Scenario Analyzer (paper Sec. IV).
+
+"The Scenario Analyzer takes the training requirements from user
+(e.g., training deadline, budget) and forms them into the search
+constraints and feeds them into the HeterBO Deployment Engine."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scenarios import Scenario
+
+__all__ = ["ScenarioAnalyzer", "UserRequirements"]
+
+
+@dataclass(frozen=True, slots=True)
+class UserRequirements:
+    """Raw user intent, before analysis.
+
+    At most one of ``deadline_hours`` / ``budget_dollars`` may be set,
+    mirroring the paper's three scenarios.  (Supporting both at once is
+    listed as an extension in DESIGN.md.)
+    """
+
+    deadline_hours: float | None = None
+    budget_dollars: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_hours is not None and self.deadline_hours <= 0:
+            raise ValueError(
+                f"deadline_hours must be positive, got {self.deadline_hours}"
+            )
+        if self.budget_dollars is not None and self.budget_dollars <= 0:
+            raise ValueError(
+                f"budget_dollars must be positive, got {self.budget_dollars}"
+            )
+        if self.deadline_hours is not None and self.budget_dollars is not None:
+            raise ValueError(
+                "set a deadline or a budget, not both (paper scenarios 1-3)"
+            )
+
+
+class ScenarioAnalyzer:
+    """Maps :class:`UserRequirements` to the formal scenario (Eqs. 1–3)."""
+
+    def analyze(self, requirements: UserRequirements) -> Scenario:
+        """Map raw user requirements to a formal scenario."""
+        if requirements.deadline_hours is not None:
+            return Scenario.cheapest_within(
+                requirements.deadline_hours * 3600.0
+            )
+        if requirements.budget_dollars is not None:
+            return Scenario.fastest_within(requirements.budget_dollars)
+        return Scenario.fastest()

@@ -1,0 +1,178 @@
+"""Spot training executor: checkpointed training on revocable instances.
+
+Runs a chosen deployment's training on the spot market instead of
+on-demand capacity: the cluster executes while the spot price stays at
+or below the bid, checkpoints periodically, loses since-last-checkpoint
+progress on revocation, pays a restart overhead, and waits out price
+spikes.  This quantifies the Proteus-style trade-off the paper's
+related work points at: large dollar savings for longer, jittery
+wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.catalog import InstanceCatalog
+from repro.cloud.spot import SpotMarket
+from repro.core.search_space import Deployment
+from repro.sim.throughput import TrainingJob, TrainingSimulator
+
+__all__ = ["SpotOutcome", "SpotTrainingExecutor"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpotOutcome:
+    """Result of one spot training run."""
+
+    seconds: float
+    dollars: float
+    revocations: int
+    wasted_seconds: float  # lost progress + restart overheads
+    on_demand_seconds: float
+    on_demand_dollars: float
+
+    @property
+    def cost_saving(self) -> float:
+        """Fraction of the on-demand bill saved."""
+        return 1.0 - self.dollars / self.on_demand_dollars
+
+    @property
+    def time_inflation(self) -> float:
+        """Wall-clock ratio vs uninterrupted on-demand training."""
+        return self.seconds / self.on_demand_seconds
+
+
+class SpotTrainingExecutor:
+    """Simulates checkpointed training against a spot market.
+
+    Parameters
+    ----------
+    market:
+        The spot price process.
+    simulator:
+        Ground-truth performance oracle (spot instances are the same
+        hardware; only pricing and availability differ).
+    catalog:
+        Instance catalog (for on-demand reference pricing).
+    checkpoint_seconds:
+        Checkpoint cadence; on revocation, progress since the last
+        checkpoint is lost.
+    restart_seconds:
+        Cluster re-acquisition + model reload time after a revocation.
+    max_revocations:
+        Safety bound; exceeding it raises (a bid far below the price
+        floor would otherwise never finish).
+    """
+
+    def __init__(
+        self,
+        market: SpotMarket,
+        simulator: TrainingSimulator,
+        catalog: InstanceCatalog,
+        *,
+        checkpoint_seconds: float = 600.0,
+        restart_seconds: float = 180.0,
+        max_revocations: int = 1000,
+    ) -> None:
+        if checkpoint_seconds <= 0:
+            raise ValueError(
+                f"checkpoint_seconds must be positive, got {checkpoint_seconds}"
+            )
+        if restart_seconds < 0:
+            raise ValueError(
+                f"restart_seconds must be >= 0, got {restart_seconds}"
+            )
+        if max_revocations < 0:
+            raise ValueError(
+                f"max_revocations must be >= 0, got {max_revocations}"
+            )
+        self.market = market
+        self.simulator = simulator
+        self.catalog = catalog
+        self.checkpoint_seconds = checkpoint_seconds
+        self.restart_seconds = restart_seconds
+        self.max_revocations = max_revocations
+
+    def execute(
+        self,
+        deployment: Deployment,
+        job: TrainingJob,
+        *,
+        bid_factor: float = 1.0,
+        start_time: float = 0.0,
+    ) -> SpotOutcome:
+        """Train the job to completion on spot capacity.
+
+        Raises
+        ------
+        RuntimeError
+            If the bid is below the market's floor (capacity never
+            materialises) or revocations exceed ``max_revocations``.
+        """
+        itype = self.catalog[deployment.instance_type]
+        if bid_factor < self.market.floor:
+            raise RuntimeError(
+                f"bid factor {bid_factor} is below the market floor "
+                f"{self.market.floor}; capacity will never be granted"
+            )
+        speed = self.simulator.true_speed(itype, deployment.count, job)
+        needed = job.total_samples / speed  # productive seconds required
+        on_demand_dollars = itype.cost_for(needed, deployment.count)
+
+        horizon = max(needed * 50.0, 100 * self.market.tick_seconds)
+        now = start_time
+        done = 0.0  # productive (checkpointed) seconds banked
+        dollars = 0.0
+        wasted = 0.0
+        revocations = 0
+
+        while done < needed:
+            grant = self.market.next_availability(
+                deployment.instance_type, now, bid_factor,
+                horizon_seconds=horizon,
+            )
+            if grant is None:
+                raise RuntimeError(
+                    "no spot capacity within the simulation horizon"
+                )
+            now = grant
+            revocation = self.market.next_revocation(
+                deployment.instance_type, now, bid_factor,
+                horizon_seconds=horizon,
+            )
+            completion = now + (needed - done)
+            end = completion if revocation is None else min(
+                completion, revocation
+            )
+            ran = end - now
+            factor = self.market.mean_factor(
+                deployment.instance_type, now, end
+            )
+            dollars += (
+                itype.hourly_price * factor * deployment.count * ran / 3600.0
+            )
+            if end == completion:
+                done = needed
+                now = end
+                break
+            # revoked: keep only fully checkpointed progress
+            banked = (ran // self.checkpoint_seconds) * self.checkpoint_seconds
+            done += banked
+            wasted += (ran - banked) + self.restart_seconds
+            revocations += 1
+            if revocations > self.max_revocations:
+                raise RuntimeError(
+                    f"exceeded {self.max_revocations} revocations; "
+                    f"bid {bid_factor} is too aggressive for this market"
+                )
+            now = end + self.restart_seconds
+
+        return SpotOutcome(
+            seconds=now - start_time,
+            dollars=dollars,
+            revocations=revocations,
+            wasted_seconds=wasted,
+            on_demand_seconds=needed,
+            on_demand_dollars=on_demand_dollars,
+        )

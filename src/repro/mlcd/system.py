@@ -1,0 +1,133 @@
+"""The MLCD facade: the paper's end-to-end automated deployment system.
+
+One call deploys a training job the way the paper's Fig. 8 pipeline
+does: the Scenario Analyzer parses the user's requirements, the
+Deployment Engine drives HeterBO against the Profiler, and the chosen
+deployment is trained to completion on the cloud.
+
+Example
+-------
+>>> from repro.mlcd import MLCD, UserRequirements
+>>> mlcd = MLCD(seed=7)
+>>> report = mlcd.deploy(
+...     model="resnet", dataset="cifar10",
+...     requirements=UserRequirements(budget_dollars=100.0),
+... )
+>>> report.constraint_met
+True
+"""
+
+from __future__ import annotations
+
+from repro.cloud.catalog import InstanceCatalog, default_catalog
+from repro.cloud.provider import SimulatedCloud
+from repro.core.engine import SearchStrategy
+from repro.core.heterbo import HeterBO
+from repro.core.result import DeploymentReport
+from repro.core.search_space import DeploymentSpace
+from repro.mlcd.cloud_interface import SimulatedCloudInterface
+from repro.mlcd.deployment_engine import DeploymentEngine
+from repro.mlcd.platform_interface import MLPlatformInterface
+from repro.mlcd.scenario_analyzer import ScenarioAnalyzer, UserRequirements
+from repro.profiling.profiler import Profiler
+from repro.sim.noise import NoiseModel
+from repro.sim.throughput import TrainingSimulator
+
+__all__ = ["MLCD"]
+
+
+class MLCD:
+    """Fully automated MLaaS training cloud deployment.
+
+    Parameters
+    ----------
+    catalog:
+        Instance types to search over (defaults to the paper's EC2
+        subset).
+    max_count:
+        Scale-out limit per type (paper rule of thumb: 50).
+    strategy:
+        Search strategy; HeterBO with default settings if omitted.
+    seed:
+        Drives measurement noise and any strategy randomness.
+    noise_sigma:
+        Relative iteration-to-iteration throughput jitter.
+    """
+
+    def __init__(
+        self,
+        *,
+        catalog: InstanceCatalog | None = None,
+        max_count: int = 50,
+        strategy: SearchStrategy | None = None,
+        seed: int = 0,
+        noise_sigma: float = 0.03,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.cloud = SimulatedCloud(self.catalog)
+        self.cloud_interface = SimulatedCloudInterface(self.cloud)
+        self.platform_interface = MLPlatformInterface()
+        self.scenario_analyzer = ScenarioAnalyzer()
+        self.simulator = TrainingSimulator()
+        self.space = DeploymentSpace(self.catalog, max_count=max_count)
+        self.profiler = Profiler(
+            self.cloud,
+            self.simulator,
+            noise=NoiseModel(sigma=noise_sigma, seed=seed),
+        )
+        self.engine = DeploymentEngine(
+            self.space, self.profiler, self.simulator
+        )
+        self.strategy = strategy if strategy is not None else HeterBO(seed=seed)
+        self._last_job = None
+
+    def deploy(
+        self,
+        *,
+        model: str,
+        dataset: str,
+        platform: str = "tensorflow",
+        protocol: str | None = None,
+        global_batch: int | None = None,
+        epochs: float = 1.0,
+        requirements: UserRequirements | None = None,
+    ) -> DeploymentReport:
+        """Search for the best deployment and train the job on it.
+
+        One MLCD instance owns one simulated cloud session; call
+        ``deploy`` once per instance so billing and deadlines are
+        attributed to a single job (create a fresh MLCD per job).
+        """
+        if self.cloud.elapsed() > 0:
+            raise RuntimeError(
+                "this MLCD session already ran a deployment; create a "
+                "fresh MLCD per job so time/budget accounting is per-job"
+            )
+        job = self.platform_interface.build_job(
+            model=model,
+            dataset=dataset,
+            platform=platform,
+            protocol=protocol,
+            global_batch=global_batch,
+            epochs=epochs,
+        )
+        scenario = self.scenario_analyzer.analyze(
+            requirements if requirements is not None else UserRequirements()
+        )
+        self._last_job = job
+        return self.engine.deploy(self.strategy, job, scenario)
+
+    def pareto_options(self, report: DeploymentReport):
+        """Non-dominated (time, cost) deployment options the search saw.
+
+        Beyond the scenario's single answer, the search trace usually
+        contains several Pareto-efficient alternatives (e.g. "25 %
+        slower for half the cost"); this surfaces them all.
+        """
+        from repro.core.pareto import search_pareto_front
+
+        if self._last_job is None:
+            raise RuntimeError("pareto_options() before deploy()")
+        return search_pareto_front(
+            report.search, self.space, self._last_job.total_samples
+        )

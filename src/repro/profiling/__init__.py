@@ -1,0 +1,15 @@
+"""Profiling layer: measured training speed at heterogeneous cost.
+
+This is the boundary between the search strategies (which see only
+measurements and prices) and the simulator (which knows the truth).
+:mod:`repro.profiling.cost` implements the paper's profiling-cost
+formula (Sec. V-A: 10 minutes per profiling run plus 1 minute per 3
+extra nodes), and :mod:`repro.profiling.profiler` implements the MLCD
+Profiler component (Sec. IV), including the stability-driven window
+extension.
+"""
+
+from repro.profiling.cost import ProfilingCostModel
+from repro.profiling.profiler import ProfileResult, Profiler
+
+__all__ = ["ProfileResult", "Profiler", "ProfilingCostModel"]

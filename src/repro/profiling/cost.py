@@ -1,0 +1,58 @@
+"""Heterogeneous profiling-cost model (paper Eqs. 7–8).
+
+The paper's Profiler setup: "For single node, each profiling takes 10
+minutes (including initial setup and warm-up), we add extra 1 minute to
+the profiling time for every increase of 3 extra nodes to offset the
+longer setup and warm-up time as well as the randomness in measurement."
+
+The *monetary* profiling cost is then ``P(m) * n * t(m, n)`` — this is
+the heterogeneity HeterBO exploits: a 10-minute probe of 50 p3.16xlarge
+costs ~$204 while a 10-minute probe of one c5.xlarge costs ~$0.03.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance import InstanceType
+
+__all__ = ["ProfilingCostModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProfilingCostModel:
+    """Profiling time and money for a deployment ``(m, n)``.
+
+    Attributes
+    ----------
+    base_seconds:
+        Profiling time for a single node (includes cluster setup and
+        warm-up).  Paper: 10 minutes.
+    extra_seconds_per_3_nodes:
+        Additional time per 3 extra nodes.  Paper: 1 minute.
+    """
+
+    base_seconds: float = 600.0
+    extra_seconds_per_3_nodes: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.base_seconds <= 0:
+            raise ValueError(
+                f"base_seconds must be positive, got {self.base_seconds}"
+            )
+        if self.extra_seconds_per_3_nodes < 0:
+            raise ValueError(
+                "extra_seconds_per_3_nodes must be >= 0, got "
+                f"{self.extra_seconds_per_3_nodes}"
+            )
+
+    def profiling_seconds(self, count: int) -> float:
+        """``t(m, n)``: wall-clock seconds to profile an ``n``-node cluster."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        extra_units = (count - 1) // 3
+        return self.base_seconds + extra_units * self.extra_seconds_per_3_nodes
+
+    def profiling_dollars(self, itype: InstanceType, count: int) -> float:
+        """``PL_C = P(m) * n * t(m, n)`` (Eq. 8)."""
+        return itype.cost_for(self.profiling_seconds(count), count)

@@ -1,0 +1,391 @@
+"""MLCD Profiler (paper Sec. IV).
+
+"The Profiler takes the deployment information from HeterBO Deployment
+Engine and executes the model training for certain iterations.  It
+records the training time and monetary cost and feedback these
+measurements to the HeterBO Deployment Engine.  To achieve statistic
+stability of profiling, Profiler monitors the training throughput
+across iterations and extends the profiling time when large discrepancy
+is observed."
+
+Against the simulated cloud, a profiling run:
+
+1. launches a cluster (billed from launch, including setup),
+2. observes noisy per-iteration throughput for the profiling window,
+3. extends the window while the coefficient of variation is above the
+   stability threshold (bounded number of extensions),
+4. terminates the cluster and charges the ledger under ``"profiling"``.
+
+Infeasible deployments (model does not fit, too many workers) fail
+*after* the cluster has been paid for — as they would on a real cloud —
+and surface as a zero-speed measurement rather than an exception, so
+search strategies experience failed probes as wasted spend.
+
+:meth:`Profiler.profile_batch` profiles several deployments
+*concurrently* (distinct clusters overlap in wall-clock time, subject
+to account limits): money spent is the same as sequential probing, but
+elapsed time is the longest window rather than the sum — the lever the
+parallel search extension (:class:`repro.core.parallel.ParallelHeterBO`)
+exploits under deadlines.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.provider import SimulatedCloud
+from repro.profiling.cost import ProfilingCostModel
+from repro.sim.noise import NoiseModel
+from repro.sim.throughput import (
+    InfeasibleDeploymentError,
+    TrainingJob,
+    TrainingSimulator,
+)
+
+__all__ = ["ProfileResult", "Profiler"]
+
+logger = logging.getLogger(__name__)
+
+#: Iterations sampled per profiling window; enough for a stable mean
+#: without pretending we measured thousands of steps in ten minutes.
+_SAMPLES_PER_WINDOW = 30
+
+#: CV above which the window is extended (cloud throughput is normally
+#: within a few percent iteration-to-iteration).
+_DEFAULT_STABILITY_CV = 0.08
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileResult:
+    """Outcome of profiling one deployment.
+
+    Attributes
+    ----------
+    instance_type, count:
+        The deployment profiled.
+    speed:
+        Measured mean training speed in samples/s (0.0 for failed runs).
+    seconds:
+        Wall-clock profiling time actually spent (includes extensions).
+    dollars:
+        Money charged to the ledger for this probe.
+    iteration_speeds:
+        The raw per-iteration observations.
+    extensions:
+        How many times the stability monitor extended the window.
+    failed:
+        True when the probe produced no measurement.
+    failure_reason:
+        ``""`` for successes, ``"infeasible"`` when the deployment
+        cannot run the job (a real performance signal), ``"capacity"``
+        for transient provider failures (no performance information —
+        search strategies must not treat these as evidence).
+    """
+
+    instance_type: str
+    count: int
+    speed: float
+    seconds: float
+    dollars: float
+    iteration_speeds: tuple[float, ...]
+    extensions: int
+    failed: bool
+    failure_reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.speed < 0:
+            raise ValueError(f"speed must be >= 0, got {self.speed}")
+
+
+@dataclass(frozen=True, slots=True)
+class _MeasurementPlan:
+    """Pure outcome of a measurement before the clock/billing dance.
+
+    ``run_seconds`` counts post-setup execution time; ``None``
+    observations mark an infeasible (failed) run.
+    """
+
+    observations: tuple[float, ...] | None
+    run_seconds: float
+    extensions: int
+
+    @property
+    def failed(self) -> bool:
+        """Whether this record carries no measurement."""
+        return self.observations is None
+
+
+class Profiler:
+    """Measures deployments on the simulated cloud at their true cost.
+
+    Parameters
+    ----------
+    cloud:
+        The account to launch on (clock + ledger + metrics).
+    simulator:
+        Ground-truth performance oracle.
+    cost_model:
+        Profiling-window duration model (Eqs. 7–8).
+    noise:
+        Measurement noise; defaults to a quiet 3 % jitter.
+    stability_cv:
+        Coefficient-of-variation threshold above which the window is
+        extended.
+    max_extensions:
+        Upper bound on window extensions per probe.
+    """
+
+    def __init__(
+        self,
+        cloud: SimulatedCloud,
+        simulator: TrainingSimulator,
+        *,
+        cost_model: ProfilingCostModel | None = None,
+        noise: NoiseModel | None = None,
+        stability_cv: float = _DEFAULT_STABILITY_CV,
+        max_extensions: int = 2,
+        launch_retries: int = 2,
+        retry_backoff_seconds: float = 60.0,
+        samples_per_window: int = _SAMPLES_PER_WINDOW,
+    ) -> None:
+        if stability_cv <= 0:
+            raise ValueError(f"stability_cv must be positive, got {stability_cv}")
+        if max_extensions < 0:
+            raise ValueError(
+                f"max_extensions must be >= 0, got {max_extensions}"
+            )
+        if launch_retries < 0:
+            raise ValueError(
+                f"launch_retries must be >= 0, got {launch_retries}"
+            )
+        if retry_backoff_seconds < 0:
+            raise ValueError(
+                f"retry_backoff_seconds must be >= 0, got "
+                f"{retry_backoff_seconds}"
+            )
+        if samples_per_window < 2:
+            raise ValueError(
+                f"samples_per_window must be >= 2, got {samples_per_window}"
+            )
+        self.cloud = cloud
+        self.simulator = simulator
+        self.cost_model = cost_model or ProfilingCostModel()
+        self.noise = noise or NoiseModel()
+        self.stability_cv = stability_cv
+        self.max_extensions = max_extensions
+        self.launch_retries = launch_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.samples_per_window = samples_per_window
+
+    # -- cost previews (used by acquisition functions) -------------------------
+    def profiling_seconds(self, count: int) -> float:
+        """``T_profile`` for an ``n``-node probe, before any extension."""
+        return self.cost_model.profiling_seconds(count)
+
+    def profiling_dollars(self, instance_type: str, count: int) -> float:
+        """``C_profile`` for a probe, before any extension."""
+        itype = self.cloud.catalog[instance_type]
+        return self.cost_model.profiling_dollars(itype, count)
+
+    # -- measurement planning (pure: no clock, no billing) ----------------------
+    def _plan_measurement(
+        self, instance_type: str, count: int, job: TrainingJob,
+        setup_seconds: float,
+    ) -> _MeasurementPlan:
+        """Decide what a probe will observe and how long it will run."""
+        itype = self.cloud.catalog[instance_type]
+        window_seconds = self.cost_model.profiling_seconds(count)
+        try:
+            true_speed = self.simulator.true_speed(itype, count, job)
+        except InfeasibleDeploymentError:
+            remaining = max(0.0, window_seconds - setup_seconds)
+            return _MeasurementPlan(
+                observations=None,
+                run_seconds=min(remaining, 60.0),
+                extensions=0,
+            )
+
+        key = (instance_type, count, job.describe())
+        observations: list[float] = []
+        run_seconds = 0.0
+        window = 0
+        while True:
+            chunk = (
+                window_seconds - setup_seconds if window == 0
+                else window_seconds * 0.5
+            )
+            run_seconds += max(chunk, 1.0)
+            samples = self.noise.measure(
+                true_speed, key, self.samples_per_window, window=window
+            )
+            observations.extend(samples.tolist())
+            arr = np.asarray(observations)
+            cv = arr.std() / abs(arr.mean()) if arr.mean() != 0 else np.inf
+            if cv <= self.stability_cv or window >= self.max_extensions:
+                break
+            window += 1
+        return _MeasurementPlan(
+            observations=tuple(observations),
+            run_seconds=run_seconds,
+            extensions=window,
+        )
+
+    def _emit_metrics(
+        self, cluster, plan: _MeasurementPlan, start: float, end: float
+    ) -> None:
+        if plan.failed:
+            return
+        times = np.linspace(start, end, len(plan.observations))
+        self.cloud.metrics.put_many(
+            f"cluster-{cluster.cluster_id}",
+            "training_speed",
+            times.tolist(),
+            list(plan.observations),
+        )
+
+    @staticmethod
+    def _result_from(
+        instance_type: str, count: int, plan: _MeasurementPlan,
+        seconds: float, dollars: float,
+    ) -> ProfileResult:
+        if plan.failed:
+            return ProfileResult(
+                instance_type=instance_type, count=count, speed=0.0,
+                seconds=seconds, dollars=dollars,
+                iteration_speeds=(), extensions=0, failed=True,
+                failure_reason="infeasible",
+            )
+        return ProfileResult(
+            instance_type=instance_type, count=count,
+            speed=float(np.mean(plan.observations)),
+            seconds=seconds, dollars=dollars,
+            iteration_speeds=plan.observations,
+            extensions=plan.extensions, failed=False,
+        )
+
+    def _capacity_failure_result(
+        self, instance_type: str, count: int, seconds: float
+    ) -> ProfileResult:
+        """A probe abandoned after launch retries: wall time burned,
+        nothing billed (the instances never materialised)."""
+        return ProfileResult(
+            instance_type=instance_type, count=count, speed=0.0,
+            seconds=seconds, dollars=0.0,
+            iteration_speeds=(), extensions=0, failed=True,
+            failure_reason="capacity",
+        )
+
+    def _launch_with_retry(self, instance_type: str, count: int):
+        """Launch with bounded retries; ``None`` after exhausting them.
+
+        Each failed attempt burns ``retry_backoff_seconds`` of wall
+        clock (the real-world wait before re-requesting capacity).
+        """
+        from repro.cloud.provider import InsufficientCapacityError
+
+        for attempt in range(self.launch_retries + 1):
+            try:
+                return self.cloud.launch(instance_type, count)
+            except InsufficientCapacityError:
+                logger.debug(
+                    "capacity shortage launching %dx %s "
+                    "(attempt %d/%d); backing off %.0f s",
+                    count, instance_type, attempt + 1,
+                    self.launch_retries + 1, self.retry_backoff_seconds,
+                )
+                self.cloud.clock.advance(self.retry_backoff_seconds)
+        logger.warning(
+            "abandoning probe of %dx %s after %d capacity failures",
+            count, instance_type, self.launch_retries + 1,
+        )
+        return None
+
+    # -- sequential measurement ---------------------------------------------------
+    def profile(
+        self, instance_type: str, count: int, job: TrainingJob
+    ) -> ProfileResult:
+        """Profile one deployment, advancing the clock and the ledger."""
+        start = self.cloud.clock.now
+        cluster = self._launch_with_retry(instance_type, count)
+        if cluster is None:
+            return self._capacity_failure_result(
+                instance_type, count, self.cloud.clock.now - start
+            )
+        self.cloud.wait_until_ready(cluster)
+        plan = self._plan_measurement(
+            instance_type, count, job, cluster.setup_seconds
+        )
+        start = self.cloud.clock.now
+        self.cloud.run_for(cluster, plan.run_seconds)
+        self._emit_metrics(cluster, plan, start, self.cloud.clock.now)
+        dollars = self.cloud.terminate(cluster, purpose="profiling")
+        return self._result_from(
+            instance_type, count, plan, cluster.billable_seconds, dollars
+        )
+
+    # -- concurrent measurement -----------------------------------------------------
+    def profile_batch(
+        self,
+        deployments: list[tuple[str, int]],
+        job: TrainingJob,
+    ) -> list[ProfileResult]:
+        """Profile several deployments concurrently.
+
+        All clusters launch together (the account limits must admit the
+        whole batch); each runs for its own window and is terminated —
+        and billed — at its own completion time.  Elapsed wall-clock is
+        the *longest* probe, total spend is the *sum*.
+
+        Results are returned in input order.
+
+        Raises
+        ------
+        RuntimeError
+            If the batch exceeds account capacity; the caller chooses
+            batch sizes, so this is a planning bug, not a cloud hiccup.
+        """
+        if not deployments:
+            return []
+        results: list[ProfileResult | None] = [None] * len(deployments)
+        clusters: dict[int, object] = {}
+        launch_start = self.cloud.clock.now
+        for i, (instance_type, count) in enumerate(deployments):
+            cluster = self._launch_with_retry(instance_type, count)
+            if cluster is None:
+                results[i] = self._capacity_failure_result(
+                    instance_type, count,
+                    self.cloud.clock.now - launch_start,
+                )
+            else:
+                clusters[i] = cluster
+        for cluster in clusters.values():
+            self.cloud.wait_until_ready(cluster)
+        plans = {
+            i: self._plan_measurement(
+                deployments[i][0], deployments[i][1], job,
+                cluster.setup_seconds,
+            )
+            for i, cluster in clusters.items()
+        }
+        start = self.cloud.clock.now
+        # terminate in completion order so the shared clock only moves
+        # forward while each cluster is billed for exactly its window
+        order = sorted(clusters, key=lambda i: plans[i].run_seconds)
+        for i in order:
+            cluster, plan = clusters[i], plans[i]
+            completion = start + plan.run_seconds
+            if self.cloud.clock.now < completion:
+                self.cloud.clock.advance_to(completion)
+            self._emit_metrics(cluster, plan, start, completion)
+            dollars = self.cloud.terminate(cluster, purpose="profiling")
+            instance_type, count = deployments[i]
+            results[i] = self._result_from(
+                instance_type, count, plan,
+                cluster.billable_seconds, dollars,
+            )
+        return results

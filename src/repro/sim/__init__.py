@@ -1,0 +1,56 @@
+"""Distributed-training performance simulator (ground truth).
+
+The paper profiles real TensorFlow/MXNet training jobs on EC2; this
+package is the substitute substrate.  It produces, for any deployment
+``D(m, n)`` and training job, the *true* steady-state training speed in
+samples/s, from first-principles components:
+
+- :mod:`repro.sim.hardware` — effective per-instance compute rates by
+  hardware family and model family (why Char-RNN likes CPUs and CNNs
+  like GPUs);
+- :mod:`repro.sim.comm` — parameter-server and ring-all-reduce
+  communication-time models (why scale-out speedup is concave);
+- :mod:`repro.sim.platforms` — TensorFlow vs MXNet efficiency and
+  compute/communication overlap;
+- :mod:`repro.sim.throughput` — the strong-scaling step-time model that
+  composes the above;
+- :mod:`repro.sim.noise` — seeded measurement noise so profiling looks
+  like measurement, not table lookup.
+
+Search strategies never import this package directly — they see it only
+through :class:`repro.profiling.profiler.Profiler` measurements, exactly
+as the paper's BO treats training as a black box.
+"""
+
+from repro.sim.comm import CommProtocol, ps_time_per_step, ring_time_per_step
+from repro.sim.datasets import DatasetSpec, get_dataset
+from repro.sim.hardware import HardwareModel, effective_gflops
+from repro.sim.models import ModelFamily, ModelSpec
+from repro.sim.noise import NoiseModel
+from repro.sim.platforms import Platform, get_platform
+from repro.sim.throughput import (
+    InfeasibleDeploymentError,
+    TrainingJob,
+    TrainingSimulator,
+)
+from repro.sim.zoo import get_model, list_models
+
+__all__ = [
+    "CommProtocol",
+    "DatasetSpec",
+    "HardwareModel",
+    "InfeasibleDeploymentError",
+    "ModelFamily",
+    "ModelSpec",
+    "NoiseModel",
+    "Platform",
+    "TrainingJob",
+    "TrainingSimulator",
+    "effective_gflops",
+    "get_dataset",
+    "get_model",
+    "get_platform",
+    "list_models",
+    "ps_time_per_step",
+    "ring_time_per_step",
+]

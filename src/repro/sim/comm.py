@@ -1,0 +1,117 @@
+"""Communication-time models: parameter server and ring all-reduce.
+
+These two distribution topologies are the ones the paper evaluates
+("the two widely used ML distribution topologies, namely, parameter
+server (PS), and ring all-reduce", Sec. V-A).  Both models share the
+structure that produces the paper's concave scale-out speedup prior:
+
+- a bandwidth term that saturates near ``2G / bw`` as ``n`` grows, and
+- a latency/contention term that *grows* with ``n``,
+
+so per-step communication time is non-decreasing in ``n`` while per-node
+compute time shrinks like ``1/n`` under strong scaling — speedup rises,
+peaks, then falls (Sec. II-D, Fig. 3(b)).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "CommProtocol",
+    "ps_time_per_step",
+    "ring_time_per_step",
+    "comm_time_per_step",
+]
+
+_BITS_PER_BYTE = 8.0
+_GBPS_TO_BYTES_PER_S = 1e9 / _BITS_PER_BYTE
+
+#: Per-peer synchronisation latency for the PS topology (seconds).
+#: Models straggler/sync effects that grow with worker count.
+PS_LATENCY_PER_WORKER_S = 0.012
+
+#: PS incast contention: the bandwidth term inflates by
+#: ``1 + PS_INCAST_FACTOR * (n - 1)`` as more workers push
+#: simultaneously into the co-located PS shards.
+PS_INCAST_FACTOR = 0.03
+
+#: Per-phase latency of the ring (seconds): each of the ``2(n-1)``
+#: ring phases pays one network round-trip + kernel launch.
+RING_LATENCY_PER_PHASE_S = 0.0015
+
+#: Protocol efficiency: achieved fraction of NIC line rate.
+PS_BW_EFFICIENCY = 0.70
+RING_BW_EFFICIENCY = 0.85
+
+
+class CommProtocol(enum.Enum):
+    """Gradient-synchronisation topology."""
+
+    PARAMETER_SERVER = "ps"
+    RING_ALLREDUCE = "ring"
+
+
+def _validate(grad_bytes: int, n_workers: int, bw_gbps: float) -> None:
+    if grad_bytes <= 0:
+        raise ValueError(f"grad_bytes must be positive, got {grad_bytes}")
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if bw_gbps <= 0:
+        raise ValueError(f"bw_gbps must be positive, got {bw_gbps}")
+
+
+def ps_time_per_step(
+    grad_bytes: int, n_workers: int, bw_gbps: float
+) -> float:
+    """Per-step gradient sync time under a co-located parameter server.
+
+    With PS shards spread across the ``n`` workers, each worker pushes
+    and pulls ``G * (n-1)/n`` bytes per step (its own shard is local).
+    Incast contention inflates the effective transfer, and a per-worker
+    synchronisation latency accumulates.
+
+    A single worker needs no network communication.
+    """
+    _validate(grad_bytes, n_workers, bw_gbps)
+    if n_workers == 1:
+        return 0.0
+    bw = bw_gbps * _GBPS_TO_BYTES_PER_S * PS_BW_EFFICIENCY
+    remote_fraction = (n_workers - 1) / n_workers
+    transfer = 2.0 * grad_bytes * remote_fraction / bw
+    incast = 1.0 + PS_INCAST_FACTOR * (n_workers - 1)
+    latency = PS_LATENCY_PER_WORKER_S * (n_workers - 1)
+    return transfer * incast + latency
+
+
+def ring_time_per_step(
+    grad_bytes: int, n_workers: int, bw_gbps: float
+) -> float:
+    """Per-step gradient sync time under ring all-reduce.
+
+    The classic ``2G(n-1)/(n * bw)`` bandwidth-optimal transfer plus
+    ``2(n-1)`` sequential phase latencies.  Bandwidth use is near
+    constant in ``n`` but latency grows linearly — large rings stop
+    helping (the down-slope of the concave prior).
+    """
+    _validate(grad_bytes, n_workers, bw_gbps)
+    if n_workers == 1:
+        return 0.0
+    bw = bw_gbps * _GBPS_TO_BYTES_PER_S * RING_BW_EFFICIENCY
+    transfer = 2.0 * grad_bytes * (n_workers - 1) / (n_workers * bw)
+    latency = 2.0 * (n_workers - 1) * RING_LATENCY_PER_PHASE_S
+    return transfer + latency
+
+
+def comm_time_per_step(
+    protocol: CommProtocol,
+    grad_bytes: int,
+    n_workers: int,
+    bw_gbps: float,
+) -> float:
+    """Dispatch to the protocol-specific model."""
+    if protocol is CommProtocol.PARAMETER_SERVER:
+        return ps_time_per_step(grad_bytes, n_workers, bw_gbps)
+    if protocol is CommProtocol.RING_ALLREDUCE:
+        return ring_time_per_step(grad_bytes, n_workers, bw_gbps)
+    raise ValueError(f"unknown protocol {protocol!r}")

@@ -1,0 +1,74 @@
+"""Dataset descriptions.
+
+Training time for a fixed deployment is ``epochs * samples / speed``;
+the dataset supplies the sample count.  Sizes match the datasets named
+in the paper (CIFAR-10, ImageNet, a character corpus for Char-RNN, and
+a BERT pre-training corpus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DatasetSpec", "get_dataset", "list_datasets"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """Performance-relevant description of a training dataset."""
+
+    name: str
+    num_samples: int
+    sample_bytes: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dataset name must be non-empty")
+        if self.num_samples <= 0:
+            raise ValueError(f"{self.name}: num_samples must be positive")
+        if self.sample_bytes <= 0:
+            raise ValueError(f"{self.name}: sample_bytes must be positive")
+
+    def samples_for_epochs(self, epochs: float) -> int:
+        """Total samples processed to train for ``epochs`` epochs."""
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        return int(round(self.num_samples * epochs))
+
+
+_REGISTRY: dict[str, DatasetSpec] = {
+    "cifar10": DatasetSpec("cifar10", num_samples=50_000, sample_bytes=3_072),
+    "imagenet": DatasetSpec(
+        "imagenet", num_samples=1_281_167, sample_bytes=110_000
+    ),
+    # ~100 MiB character corpus chunked into 256-char training samples.
+    "char-corpus": DatasetSpec(
+        "char-corpus", num_samples=400_000, sample_bytes=256
+    ),
+    # BERT pre-training corpus (Wikipedia + BookCorpus) as 512-token
+    # sequences.
+    "bert-corpus": DatasetSpec(
+        "bert-corpus", num_samples=2_500_000, sample_bytes=2_048
+    ),
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset by name.
+
+    Raises
+    ------
+    KeyError
+        With the known names listed, if ``name`` is unknown.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_datasets() -> list[str]:
+    """Registered dataset names."""
+    return sorted(_REGISTRY)

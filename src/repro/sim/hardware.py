@@ -1,0 +1,143 @@
+"""Hardware performance model: instance spec → effective compute rate.
+
+The paper's central motivating observation (Figs. 1(b), 3) is that the
+performance/cost ranking of instance types depends on the *model
+family*: GEMM-heavy CNNs and transformers utilise GPUs well, while
+latency-bound RNNs (many small sequential kernels per step) utilise
+them poorly, so mid-size CPU clusters can beat GPU clusters at equal
+hourly cost.  We encode that with:
+
+- a peak FLOP rate per instance derived from its vCPU count or GPU
+  count and generation;
+- a utilisation factor per (hardware family, model family) pair;
+- a fixed per-step host overhead per (hardware family, model family)
+  pair — this is what makes RNNs genuinely bad on GPUs (per-timestep
+  kernel launches) independent of problem size.
+
+All constants are module-level and deliberately table-driven so the
+calibration tests (`tests/sim/test_calibration.py`) can assert the
+paper's qualitative shapes against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance import InstanceFamily, InstanceType
+from repro.sim.models import ModelFamily
+
+__all__ = [
+    "HardwareModel",
+    "effective_gflops",
+    "peak_gflops",
+    "step_overhead_seconds",
+]
+
+#: Peak fp32 GFLOP/s per vCPU by CPU generation (AVX-512 for c5/c5n,
+#: AVX2 for c4).  vCPUs are hyperthreads, so these are per-thread
+#: effective peaks, not per-core theoretical peaks.
+_CPU_PEAK_GFLOPS_PER_VCPU: dict[InstanceFamily, float] = {
+    InstanceFamily.CPU_COMPUTE: 30.0,
+    InstanceFamily.CPU_NETWORK: 30.0,
+}
+
+#: Peak fp32 GFLOP/s per accelerator.
+_GPU_PEAK_GFLOPS: dict[InstanceFamily, float] = {
+    InstanceFamily.GPU_K80: 4_100.0,  # one GK210 die
+    InstanceFamily.GPU_V100: 14_000.0,
+}
+
+#: c4 runs AVX2 rather than AVX-512; scale its CPU peak down.
+_C4_GENERATION_FACTOR = 0.6
+
+#: Fraction of peak FLOPs actually achieved, by (is_gpu, model family).
+#: RNN utilisation on GPUs is very low: small recurrent GEMMs cannot
+#: fill the device and each timestep is a separate kernel.
+_UTILIZATION: dict[tuple[bool, ModelFamily], float] = {
+    (False, ModelFamily.CNN): 0.10,
+    (False, ModelFamily.RNN): 0.18,
+    (False, ModelFamily.TRANSFORMER): 0.08,
+    (True, ModelFamily.CNN): 0.42,
+    (True, ModelFamily.RNN): 0.025,
+    (True, ModelFamily.TRANSFORMER): 0.48,
+}
+
+#: Fixed per-step host-side overhead in seconds by (is_gpu, model
+#: family): kernel launch, input pipeline and framework dispatch.  The
+#: large GPU/RNN entry models per-timestep kernel launches over long
+#: sequences.
+_STEP_OVERHEAD_S: dict[tuple[bool, ModelFamily], float] = {
+    (False, ModelFamily.CNN): 0.010,
+    (False, ModelFamily.RNN): 0.015,
+    (False, ModelFamily.TRANSFORMER): 0.020,
+    (True, ModelFamily.CNN): 0.005,
+    (True, ModelFamily.RNN): 0.220,
+    (True, ModelFamily.TRANSFORMER): 0.008,
+}
+
+#: Multi-accelerator scaling inside one instance is imperfect (PCIe
+#: contention on p2/p3): each extra GPU contributes this fraction.
+_INTRA_NODE_GPU_EFFICIENCY = 0.88
+
+
+def peak_gflops(itype: InstanceType) -> float:
+    """Theoretical peak GFLOP/s of one instance.
+
+    Public because analytical baselines (Paleo) build their estimates
+    from spec-sheet peaks rather than measured utilisation.
+    """
+    if itype.is_gpu:
+        per_gpu = _GPU_PEAK_GFLOPS[itype.family]
+        if itype.gpus == 1:
+            return per_gpu
+        # First GPU at full rate, the rest derated for PCIe contention.
+        return per_gpu * (1 + (itype.gpus - 1) * _INTRA_NODE_GPU_EFFICIENCY)
+    per_vcpu = _CPU_PEAK_GFLOPS_PER_VCPU[itype.family]
+    if itype.name.startswith("c4."):
+        per_vcpu *= _C4_GENERATION_FACTOR
+    return per_vcpu * itype.vcpus
+
+
+def effective_gflops(itype: InstanceType, family: ModelFamily) -> float:
+    """Achieved GFLOP/s of ``itype`` on a model of ``family``.
+
+    This is peak × utilisation; per-step fixed overheads are separate
+    (see :func:`step_overhead_seconds`) because they do not scale with
+    batch size.
+    """
+    return peak_gflops(itype) * _UTILIZATION[(itype.is_gpu, family)]
+
+
+def step_overhead_seconds(itype: InstanceType, family: ModelFamily) -> float:
+    """Fixed per-training-step host overhead on ``itype`` for ``family``."""
+    return _STEP_OVERHEAD_S[(itype.is_gpu, family)]
+
+
+@dataclass(frozen=True, slots=True)
+class HardwareModel:
+    """Bundled hardware queries for one instance type.
+
+    A convenience façade used by :class:`repro.sim.throughput.TrainingSimulator`;
+    keeps the free functions above as the single source of truth.
+    """
+
+    instance_type: InstanceType
+
+    def compute_seconds(
+        self, family: ModelFamily, gflops: float
+    ) -> float:
+        """Seconds to execute ``gflops`` GFLOPs of ``family`` work."""
+        if gflops < 0:
+            raise ValueError(f"gflops must be >= 0, got {gflops}")
+        return gflops / effective_gflops(self.instance_type, family)
+
+    def step_overhead(self, family: ModelFamily) -> float:
+        """Fixed per-step host overhead for a model family."""
+        return step_overhead_seconds(self.instance_type, family)
+
+    @property
+    def device_memory_gib(self) -> float:
+        """Memory available to hold model state and activations."""
+        if self.instance_type.is_gpu:
+            return self.instance_type.gpus * self.instance_type.gpu_memory_gib
+        return self.instance_type.memory_gib

@@ -1,0 +1,116 @@
+"""ML model descriptions consumed by the performance simulator.
+
+A :class:`ModelSpec` captures exactly the properties that determine
+distributed-training performance — parameter count (gradient volume),
+FLOPs per sample, and the model *family*, which drives hardware
+utilisation (RNNs are latency-bound and utilise GPUs poorly; CNNs and
+transformers are GEMM-heavy and utilise them well).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ModelFamily", "ModelSpec"]
+
+_BYTES_PER_PARAM = 4  # fp32 gradients
+
+
+class ModelFamily(enum.Enum):
+    """Architectural family; selects hardware-utilisation constants."""
+
+    CNN = "cnn"
+    RNN = "rnn"
+    TRANSFORMER = "transformer"
+
+
+@dataclass(frozen=True, slots=True)
+class ModelSpec:
+    """Performance-relevant description of one trainable model.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"resnet"``.
+    family:
+        Architectural family.
+    params:
+        Trainable parameter count.
+    gflops_per_sample:
+        Forward+backward GFLOPs for one training sample.
+    default_batch:
+        Global batch size used in experiments (strong scaling keeps this
+        fixed as ``n`` grows, per the paper's Sec. V-A).
+    activation_gib_per_sample:
+        Activation memory per sample in GiB; bounds per-worker batch by
+        device memory.
+    shard_states:
+        Whether weight/optimiser state is sharded across workers
+        (ZeRO-style).  If True, per-worker state memory is
+        ``weight_gib / n``; otherwise state is fully replicated.
+    """
+
+    name: str
+    family: ModelFamily
+    params: int
+    gflops_per_sample: float
+    default_batch: int
+    activation_gib_per_sample: float = 0.01
+    shard_states: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("model name must be non-empty")
+        if self.params <= 0:
+            raise ValueError(f"{self.name}: params must be positive")
+        if self.gflops_per_sample <= 0:
+            raise ValueError(
+                f"{self.name}: gflops_per_sample must be positive"
+            )
+        if self.default_batch < 1:
+            raise ValueError(f"{self.name}: default_batch must be >= 1")
+        if self.activation_gib_per_sample <= 0:
+            raise ValueError(
+                f"{self.name}: activation_gib_per_sample must be positive"
+            )
+
+    @property
+    def gradient_bytes(self) -> int:
+        """Per-step gradient volume exchanged by data-parallel workers."""
+        return self.params * _BYTES_PER_PARAM
+
+    @property
+    def weight_gib(self) -> float:
+        """Model weights size in GiB (weights + same-size gradients)."""
+        return 2 * self.params * _BYTES_PER_PARAM / 2**30
+
+    def per_worker_state_gib(self, count: int) -> float:
+        """Weight + gradient state held by each of ``count`` workers."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if self.shard_states:
+            return self.weight_gib / count
+        return self.weight_gib
+
+    def scaled(
+        self, name: str, params: int, *, shard_states: bool | None = None
+    ) -> "ModelSpec":
+        """A copy scaled to ``params`` parameters.
+
+        FLOPs scale linearly with parameters within a family; used to
+        build the ZeRO-style 8B/20B specs for the Fig. 19 scalability
+        study, mirroring how the paper extrapolates beyond its testbed.
+        """
+        ratio = params / self.params
+        return ModelSpec(
+            name=name,
+            family=self.family,
+            params=params,
+            gflops_per_sample=self.gflops_per_sample * ratio,
+            default_batch=self.default_batch,
+            activation_gib_per_sample=self.activation_gib_per_sample * ratio,
+            shard_states=(
+                self.shard_states if shard_states is None else shard_states
+            ),
+        )

@@ -1,0 +1,110 @@
+"""Seeded measurement-noise model.
+
+Profiling a real cluster never returns the true steady-state speed —
+iteration times jitter with input pipeline hiccups, network weather and
+stragglers.  The noise model makes simulated profiling behave like
+measurement while keeping experiments exactly reproducible: the noise
+for a given (seed, deployment, iteration) triple is a pure function, so
+re-profiling the *same* deployment in the *same* experiment yields the
+same samples, and different deployments get independent noise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+__all__ = ["NoiseModel"]
+
+
+def _stable_seed(*parts: object) -> int:
+    """A 64-bit seed derived deterministically from ``parts``.
+
+    Uses blake2b rather than ``hash()`` so results do not depend on
+    ``PYTHONHASHSEED`` or process state.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        h.update(repr(part).encode())
+        h.update(b"\x1f")
+    return struct.unpack("<Q", h.digest())[0]
+
+
+class NoiseModel:
+    """Multiplicative lognormal noise on measured throughput.
+
+    Parameters
+    ----------
+    sigma:
+        Lognormal shape parameter; ~0.03 gives ±3 % typical iteration
+        jitter, matching a healthy cloud cluster.
+    seed:
+        Experiment-level seed; all noise derives from it.
+    unstable_fraction:
+        Probability that a deployment is "unstable" (e.g. a noisy
+        neighbour), tripling its jitter.  Exercises the profiler's
+        window-extension logic.
+    """
+
+    def __init__(
+        self,
+        sigma: float = 0.03,
+        seed: int = 0,
+        unstable_fraction: float = 0.0,
+    ) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if not 0.0 <= unstable_fraction <= 1.0:
+            raise ValueError(
+                f"unstable_fraction must be in [0, 1], got {unstable_fraction}"
+            )
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+        self.unstable_fraction = float(unstable_fraction)
+
+    def _rng(self, *key: object) -> np.random.Generator:
+        return np.random.default_rng(_stable_seed(self.seed, *key))
+
+    def is_unstable(self, deployment_key: object) -> bool:
+        """Whether this deployment drew the noisy-neighbour straw."""
+        if self.unstable_fraction == 0.0:
+            return False
+        rng = self._rng("unstable", deployment_key)
+        return bool(rng.random() < self.unstable_fraction)
+
+    def sample_factors(
+        self, deployment_key: object, count: int, *, window: int = 0
+    ) -> np.ndarray:
+        """Multiplicative noise factors for ``count`` iterations.
+
+        ``window`` distinguishes successive profiling windows of the
+        same deployment so an extended window sees fresh (but still
+        deterministic) samples.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        sigma = self.sigma
+        if self.is_unstable(deployment_key):
+            sigma *= 3.0
+        if sigma == 0.0:
+            return np.ones(count)
+        rng = self._rng("factors", deployment_key, window)
+        # mean-one lognormal: E[exp(N(-s^2/2, s^2))] = 1
+        return rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=count)
+
+    def measure(
+        self,
+        true_value: float,
+        deployment_key: object,
+        count: int,
+        *,
+        window: int = 0,
+    ) -> np.ndarray:
+        """``count`` noisy observations of ``true_value``."""
+        if true_value <= 0:
+            raise ValueError(f"true_value must be positive, got {true_value}")
+        return true_value * self.sample_factors(
+            deployment_key, count, window=window
+        )

@@ -1,0 +1,99 @@
+"""ML training platform models (TensorFlow, MXNet).
+
+The paper implements BERT "on two popular ML platforms TensorFlow and
+MXNet" to show HeterBO is platform-independent (Figs. 16–17).  For the
+simulator, a platform contributes:
+
+- a compute-efficiency factor (graph-level optimisation quality),
+- a compute/communication overlap fraction (how much of gradient sync
+  hides behind backprop), and
+- its default distribution protocol per the paper's setups (PS for the
+  CNN/RNN experiments; ring all-reduce for BERT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.comm import CommProtocol
+
+__all__ = ["Platform", "get_platform", "list_platforms"]
+
+
+@dataclass(frozen=True, slots=True)
+class Platform:
+    """Performance-relevant description of a training platform.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"tensorflow"``.
+    compute_efficiency:
+        Multiplier on effective FLOP rate (1.0 = reference).
+    overlap_fraction:
+        Fraction of communication time hidden behind computation,
+        in ``[0, 1)``.
+    default_protocol:
+        Protocol used when a job does not specify one.
+    """
+
+    name: str
+    compute_efficiency: float
+    overlap_fraction: float
+    default_protocol: CommProtocol
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("platform name must be non-empty")
+        if self.compute_efficiency <= 0:
+            raise ValueError(
+                f"{self.name}: compute_efficiency must be positive"
+            )
+        if not 0.0 <= self.overlap_fraction < 1.0:
+            raise ValueError(
+                f"{self.name}: overlap_fraction must be in [0, 1), "
+                f"got {self.overlap_fraction}"
+            )
+
+    def effective_comm_time(self, comm_seconds: float,
+                            compute_seconds: float) -> float:
+        """Exposed (non-hidden) communication time per step.
+
+        Overlap can hide at most the computation time: a step cannot
+        hide 3 s of communication behind 1 s of compute.
+        """
+        if comm_seconds < 0 or compute_seconds < 0:
+            raise ValueError("times must be >= 0")
+        hidden = min(comm_seconds * self.overlap_fraction, compute_seconds)
+        return comm_seconds - hidden
+
+
+_REGISTRY: dict[str, Platform] = {
+    "tensorflow": Platform(
+        name="tensorflow",
+        compute_efficiency=1.00,
+        overlap_fraction=0.30,
+        default_protocol=CommProtocol.PARAMETER_SERVER,
+    ),
+    "mxnet": Platform(
+        name="mxnet",
+        compute_efficiency=1.08,
+        overlap_fraction=0.45,
+        default_protocol=CommProtocol.PARAMETER_SERVER,
+    ),
+}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_platforms() -> list[str]:
+    """Registered platform names."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,259 @@
+"""Ground-truth training speed for a deployment.
+
+``TrainingSimulator.true_speed`` composes the hardware, communication
+and platform models into a strong-scaling step-time model:
+
+- the global batch ``B`` is fixed (the paper uses strong scaling "to
+  avoid the scale-out level impacting accuracy");
+- each of ``n`` workers computes ``B/n`` samples per step, so per-node
+  compute time shrinks like ``1/n``;
+- gradient synchronisation time is non-decreasing in ``n``;
+- some communication hides behind compute (platform overlap).
+
+Together these produce the concave scale-out speedup the paper uses as
+its ML-specific prior, with an interior optimum that depends on model,
+instance type and protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.instance import InstanceType
+from repro.sim.comm import CommProtocol, comm_time_per_step
+from repro.sim.datasets import DatasetSpec
+from repro.sim.hardware import HardwareModel
+from repro.sim.models import ModelSpec
+from repro.sim.platforms import Platform
+
+__all__ = ["InfeasibleDeploymentError", "TrainingJob", "TrainingSimulator"]
+
+
+class InfeasibleDeploymentError(ValueError):
+    """Raised when a deployment cannot run the job at all.
+
+    Examples: more workers than the global batch can feed, or a model
+    that does not fit device memory even at per-worker batch 1.  On a
+    real cloud such a launch *still costs money* before failing; the
+    profiler converts this exception into a failed (zero-speed)
+    measurement that is billed normally.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class TrainingJob:
+    """A complete description of one training job.
+
+    Attributes
+    ----------
+    model, dataset, platform:
+        Specs from :mod:`repro.sim`.
+    protocol:
+        Gradient-sync topology; ``None`` uses the platform default.
+    global_batch:
+        Strong-scaling global batch; ``None`` uses the model default.
+    epochs:
+        Passes over the dataset; with ``dataset.num_samples`` this fixes
+        the total sample count ``S`` in the paper's Eqs. 5–6.
+    """
+
+    model: ModelSpec
+    dataset: DatasetSpec
+    platform: Platform
+    protocol: CommProtocol | None = None
+    global_batch: int | None = None
+    epochs: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.global_batch is not None and self.global_batch < 1:
+            raise ValueError(
+                f"global_batch must be >= 1, got {self.global_batch}"
+            )
+
+    @property
+    def batch(self) -> int:
+        """Effective global batch size."""
+        return (
+            self.global_batch
+            if self.global_batch is not None
+            else self.model.default_batch
+        )
+
+    @property
+    def effective_protocol(self) -> CommProtocol:
+        """The protocol actually used (explicit or platform default)."""
+        return (
+            self.protocol
+            if self.protocol is not None
+            else self.platform.default_protocol
+        )
+
+    @property
+    def total_samples(self) -> int:
+        """Total samples to process: ``S = epochs * |dataset|``."""
+        return self.dataset.samples_for_epochs(self.epochs)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.model.name}/{self.dataset.name} on {self.platform.name} "
+            f"({self.effective_protocol.value}, batch={self.batch}, "
+            f"epochs={self.epochs:g})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class StepBreakdown:
+    """Per-step time decomposition (diagnostics and Paleo's inputs)."""
+
+    compute_seconds: float
+    comm_seconds: float
+    exposed_comm_seconds: float
+    overhead_seconds: float
+
+    @property
+    def step_seconds(self) -> float:
+        """Total per-step time."""
+        return (
+            self.compute_seconds
+            + self.overhead_seconds
+            + self.exposed_comm_seconds
+        )
+
+
+@dataclass(frozen=True)
+class TrainingSimulator:
+    """Deterministic ground-truth performance oracle.
+
+    The simulator is *noise-free*; measurement noise belongs to the
+    profiler layer.  All methods validate feasibility and raise
+    :class:`InfeasibleDeploymentError` for impossible deployments.
+    """
+
+    #: Minimum feasible per-worker batch.
+    min_worker_batch: int = 1
+    _hardware_cache: dict[str, HardwareModel] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _hardware(self, itype: InstanceType) -> HardwareModel:
+        hw = self._hardware_cache.get(itype.name)
+        if hw is None:
+            hw = HardwareModel(itype)
+            self._hardware_cache[itype.name] = hw
+        return hw
+
+    # -- feasibility ----------------------------------------------------------
+    def check_feasible(
+        self, itype: InstanceType, count: int, job: TrainingJob
+    ) -> None:
+        """Raise :class:`InfeasibleDeploymentError` if (itype, count) can't run job."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        batch = job.batch
+        if count * self.min_worker_batch > batch:
+            raise InfeasibleDeploymentError(
+                f"{count} workers cannot share a global batch of {batch}"
+            )
+        hw = self._hardware(itype)
+        per_worker_batch = batch / count
+        needed_gib = (
+            job.model.per_worker_state_gib(count)
+            + job.model.activation_gib_per_sample * per_worker_batch
+        )
+        if needed_gib > hw.device_memory_gib:
+            raise InfeasibleDeploymentError(
+                f"{job.model.name} needs {needed_gib:.1f} GiB per worker at "
+                f"batch {per_worker_batch:.0f}; {itype.name} has "
+                f"{hw.device_memory_gib:.1f} GiB"
+            )
+
+    def is_feasible(
+        self, itype: InstanceType, count: int, job: TrainingJob
+    ) -> bool:
+        """Boolean form of :meth:`check_feasible`."""
+        try:
+            self.check_feasible(itype, count, job)
+        except InfeasibleDeploymentError:
+            return False
+        return True
+
+    # -- core model -----------------------------------------------------------
+    def step_breakdown(
+        self, itype: InstanceType, count: int, job: TrainingJob
+    ) -> StepBreakdown:
+        """Per-step time decomposition for a feasible deployment."""
+        self.check_feasible(itype, count, job)
+        hw = self._hardware(itype)
+        family = job.model.family
+        per_worker_batch = job.batch / count
+        compute = hw.compute_seconds(
+            family, per_worker_batch * job.model.gflops_per_sample
+        ) / job.platform.compute_efficiency
+        overhead = hw.step_overhead(family)
+        comm = comm_time_per_step(
+            job.effective_protocol,
+            job.model.gradient_bytes,
+            count,
+            itype.network_gbps,
+        )
+        exposed = job.platform.effective_comm_time(comm, compute)
+        return StepBreakdown(
+            compute_seconds=compute,
+            comm_seconds=comm,
+            exposed_comm_seconds=exposed,
+            overhead_seconds=overhead,
+        )
+
+    def true_speed(
+        self, itype: InstanceType, count: int, job: TrainingJob
+    ) -> float:
+        """Steady-state training speed in samples/s (noise-free)."""
+        breakdown = self.step_breakdown(itype, count, job)
+        return job.batch / breakdown.step_seconds
+
+    def training_seconds(
+        self, itype: InstanceType, count: int, job: TrainingJob
+    ) -> float:
+        """Time to process all of the job's samples at steady state."""
+        return job.total_samples / self.true_speed(itype, count, job)
+
+    def training_cost(
+        self, itype: InstanceType, count: int, job: TrainingJob
+    ) -> float:
+        """Dollar cost of the full training run on this deployment."""
+        seconds = self.training_seconds(itype, count, job)
+        return itype.cost_for(seconds, count)
+
+    # -- curve helpers (Fig. 3) -------------------------------------------------
+    def scale_out_curve(
+        self,
+        itype: InstanceType,
+        counts: list[int],
+        job: TrainingJob,
+    ) -> list[float]:
+        """Speeds across node counts (0.0 marks infeasible points)."""
+        out: list[float] = []
+        for n in counts:
+            if self.is_feasible(itype, n, job):
+                out.append(self.true_speed(itype, n, job))
+            else:
+                out.append(0.0)
+        return out
+
+    def scale_up_curve(
+        self,
+        itypes: list[InstanceType],
+        count: int,
+        job: TrainingJob,
+    ) -> list[float]:
+        """Speeds across instance types at a fixed node count."""
+        out: list[float] = []
+        for itype in itypes:
+            if self.is_feasible(itype, count, job):
+                out.append(self.true_speed(itype, count, job))
+            else:
+                out.append(0.0)
+        return out

@@ -1,0 +1,106 @@
+"""Model zoo: the models the paper evaluates.
+
+Parameter counts follow the paper where it states them (Fig. 19 lists
+6.4M for AlexNet's convolutional trunk, 60.3M for ResNet, 340M for
+BERT, plus the 8B/20B ZeRO configurations the paper itself simulates);
+the remaining specs use standard published numbers.
+"""
+
+from __future__ import annotations
+
+from repro.sim.models import ModelFamily, ModelSpec
+
+__all__ = ["get_model", "list_models", "register_model"]
+
+_REGISTRY: dict[str, ModelSpec] = {}
+
+
+def register_model(spec: ModelSpec) -> ModelSpec:
+    """Add a model to the registry (rejects duplicates)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"model {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_models() -> list[str]:
+    """Registered model names."""
+    return sorted(_REGISTRY)
+
+
+register_model(ModelSpec(
+    name="alexnet",
+    family=ModelFamily.CNN,
+    params=6_400_000,
+    gflops_per_sample=2.1,  # fwd+bwd, 224x224 input
+    default_batch=512,
+    activation_gib_per_sample=0.004,
+))
+register_model(ModelSpec(
+    name="resnet",
+    family=ModelFamily.CNN,
+    params=60_300_000,
+    gflops_per_sample=12.0,
+    default_batch=256,
+    activation_gib_per_sample=0.03,
+))
+register_model(ModelSpec(
+    name="inception-v3",
+    family=ModelFamily.CNN,
+    params=23_800_000,
+    gflops_per_sample=17.1,
+    default_batch=256,
+    activation_gib_per_sample=0.025,
+))
+register_model(ModelSpec(
+    name="char-rnn",
+    family=ModelFamily.RNN,
+    # 3-layer LSTM, hidden 1024: ~25M params, truncated BPTT.
+    params=25_000_000,
+    gflops_per_sample=4.0,
+    default_batch=128,
+    activation_gib_per_sample=0.002,
+))
+_bert = register_model(ModelSpec(
+    name="bert",
+    family=ModelFamily.TRANSFORMER,
+    params=340_000_000,
+    gflops_per_sample=290.0,  # seq len 512, fwd+bwd
+    default_batch=256,
+    activation_gib_per_sample=0.02,
+))
+# ZeRO-style large transformers; the paper simulates these two points
+# for the Fig. 19 scalability study.  ZeRO shards optimiser state and
+# weights across data-parallel workers, so per-worker state memory
+# shrinks with the cluster — small deployments are genuinely
+# infeasible.  Activation memory is set for ZeRO's micro-batched
+# execution (activations are recomputed/checkpointed, so they do not
+# scale linearly with parameter count).
+register_model(ModelSpec(
+    name="zero-8b",
+    family=ModelFamily.TRANSFORMER,
+    params=8_000_000_000,
+    gflops_per_sample=6_800.0,
+    default_batch=512,
+    activation_gib_per_sample=0.08,
+    shard_states=True,
+))
+register_model(ModelSpec(
+    name="zero-20b",
+    family=ModelFamily.TRANSFORMER,
+    params=20_000_000_000,
+    gflops_per_sample=17_000.0,
+    default_batch=512,
+    activation_gib_per_sample=0.12,
+    shard_states=True,
+))

@@ -1,0 +1,76 @@
+"""CherryPick: trimmed space, 10% EI stop."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cherrypick import CherryPick
+from repro.core.engine import SearchContext
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+
+
+@pytest.fixture
+def context(small_space, profiler, charrnn_job):
+    return SearchContext(
+        space=small_space,
+        profiler=profiler,
+        job=charrnn_job,
+        scenario=Scenario.fastest(),
+    )
+
+
+class TestTrimming:
+    def test_search_confined_to_allowed_types(self, context):
+        strategy = CherryPick(seed=0, allowed_types=["c5.4xlarge"])
+        result = strategy.search(context)
+        assert all(
+            t.deployment.instance_type == "c5.4xlarge"
+            for t in result.trials
+        )
+
+    def test_initial_design_respects_allowlist(self, context):
+        strategy = CherryPick(seed=0, allowed_types=["c5.xlarge"])
+        initial = strategy.initial_deployments(context)
+        assert all(d.instance_type == "c5.xlarge" for d in initial)
+
+    def test_empty_allowlist_intersection_rejected(self, context):
+        strategy = CherryPick(seed=0, allowed_types=["m5.24xlarge"])
+        with pytest.raises(ValueError, match="excludes"):
+            strategy.initial_deployments(context)
+
+    def test_none_allowlist_keeps_full_space(self, context):
+        strategy = CherryPick(seed=0, allowed_types=None)
+        from repro.core.engine import GPSearchEngine
+        engine = GPSearchEngine(context)
+        assert len(strategy.candidate_deployments(context, engine)) == len(
+            context.space
+        )
+
+
+class TestStopThreshold:
+    def test_default_is_ten_percent(self):
+        assert CherryPick().ei_threshold == pytest.approx(np.log2(1.1))
+
+    def test_stops_earlier_than_convbo(self, small_space, charrnn_job,
+                                       small_catalog, simulator):
+        """The coarser threshold means fewer probes than ConvBO on the
+        same world."""
+        from repro.baselines.convbo import ConvBO
+        from repro.cloud.provider import SimulatedCloud
+        from repro.profiling.profiler import Profiler
+        from repro.sim.noise import NoiseModel
+
+        def run(strategy):
+            cloud = SimulatedCloud(small_catalog)
+            profiler = Profiler(
+                cloud, simulator, noise=NoiseModel(sigma=0.03, seed=5)
+            )
+            context = SearchContext(
+                space=small_space, profiler=profiler,
+                job=charrnn_job, scenario=Scenario.fastest(),
+            )
+            return strategy.search(context)
+
+        cherry = run(CherryPick(seed=5, max_steps=25))
+        conv = run(ConvBO(seed=5, max_steps=25))
+        assert cherry.n_steps <= conv.n_steps

@@ -1,0 +1,87 @@
+"""Budget-aware strengthened baselines (BO_imprd / CP_imprd)."""
+
+import pytest
+
+from repro.baselines.improved import BudgetAwareCherryPick, BudgetAwareConvBO
+from repro.core.engine import SearchContext
+from repro.core.scenarios import Scenario
+
+
+@pytest.fixture
+def make_context(small_space, profiler, charrnn_job):
+    def _make(scenario):
+        return SearchContext(
+            space=small_space,
+            profiler=profiler,
+            job=charrnn_job,
+            scenario=scenario,
+        )
+    return _make
+
+
+class TestBudgetAwareConvBO:
+    def test_name(self):
+        assert BudgetAwareConvBO().name == "bo_imprd"
+
+    def test_stops_to_protect_incumbent(self, make_context):
+        """Once a feasible incumbent exists, the next probe never eats
+        the money needed to train it."""
+        budget = 40.0
+        context = make_context(Scenario.fastest_within(budget))
+        result = BudgetAwareConvBO(seed=0, max_steps=20).search(context)
+        if result.best is not None:
+            train = context.train_dollars(
+                result.best, result.best_measured_speed
+            )
+            assert result.profile_dollars + train <= budget * 1.02
+
+    def test_unconstrained_behaves_like_convbo(self, make_context):
+        from repro.baselines.convbo import ConvBO
+
+        context = make_context(Scenario.fastest())
+        improved = BudgetAwareConvBO(seed=0, max_steps=8).search(context)
+        # fresh world for vanilla ConvBO
+        assert improved.n_steps >= 3  # budget-awareness is a no-op here
+
+    def test_selection_accounts_for_spend(self, make_context):
+        """Unlike ConvBO, selection subtracts money already spent."""
+        budget = 35.0
+        context = make_context(Scenario.fastest_within(budget))
+        result = BudgetAwareConvBO(seed=1, max_steps=15).search(context)
+        if result.best is not None:
+            train = context.train_dollars(
+                result.best, result.best_measured_speed
+            )
+            assert result.profile_dollars + train <= budget * 1.02
+
+
+class TestBudgetAwareCherryPick:
+    def test_name(self):
+        assert BudgetAwareCherryPick().name == "cp_imprd"
+
+    def test_respects_allowlist_and_budget(self, make_context):
+        budget = 40.0
+        context = make_context(Scenario.fastest_within(budget))
+        strategy = BudgetAwareCherryPick(
+            seed=0, allowed_types=["c5.4xlarge"], max_steps=15
+        )
+        result = strategy.search(context)
+        assert all(
+            t.deployment.instance_type == "c5.4xlarge"
+            for t in result.trials
+        )
+        if result.best is not None:
+            train = context.train_dollars(
+                result.best, result.best_measured_speed
+            )
+            assert result.profile_dollars + train <= budget * 1.02
+
+    def test_deadline_scenario_protects_time(self, make_context):
+        deadline = 10 * 3600.0
+        context = make_context(Scenario.cheapest_within(deadline))
+        result = BudgetAwareCherryPick(seed=0, max_steps=15).search(context)
+        if result.best is not None:
+            train = context.train_seconds(
+                result.best, result.best_measured_speed
+            )
+            assert result.profile_seconds + train <= deadline * 1.02

@@ -1,0 +1,89 @@
+"""Paleo: zero-cost analytical selection and its blind spots."""
+
+import pytest
+
+from repro.baselines.paleo import Paleo
+from repro.core.engine import SearchContext
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+
+
+@pytest.fixture
+def make_context(small_space, profiler, charrnn_job):
+    def _make(scenario=None):
+        return SearchContext(
+            space=small_space,
+            profiler=profiler,
+            job=charrnn_job,
+            scenario=scenario or Scenario.fastest(),
+        )
+    return _make
+
+
+class TestZeroProfiling:
+    def test_no_trials_no_cost(self, make_context):
+        result = Paleo().search(make_context())
+        assert result.trials == ()
+        assert result.profile_seconds == 0.0
+        assert result.profile_dollars == 0.0
+        assert result.best is not None
+
+    def test_cloud_untouched(self, make_context):
+        context = make_context()
+        Paleo().search(context)
+        assert context.profiler.cloud.elapsed() == 0.0
+        assert context.profiler.cloud.total_spend() == 0.0
+
+
+class TestAnalyticalModel:
+    def test_predicted_speed_positive_for_feasible(self, make_context):
+        context = make_context()
+        speed = Paleo().predicted_speed(context, Deployment("c5.4xlarge", 4))
+        assert speed > 0
+
+    def test_over_batch_deployment_zero(self, make_context):
+        context = make_context()
+        d = Deployment("c5.xlarge", context.job.batch + 1)
+        assert Paleo().predicted_speed(context, d) == 0.0
+
+    def test_no_latency_terms_means_monotone_scale_out(self, make_context):
+        """Paleo's blindness: without incast/latency its predicted
+        speed never declines with n — it cannot see the down-slope
+        HeterBO's prior exploits."""
+        context = make_context()
+        paleo = Paleo()
+        speeds = [
+            paleo.predicted_speed(context, Deployment("c5.4xlarge", n))
+            for n in range(1, 33)
+        ]
+        assert all(b >= a * 0.999 for a, b in zip(speeds, speeds[1:]))
+
+    def test_overestimates_rnn_on_gpu(self, make_context):
+        """Paleo's CNN-calibrated utilisation overrates GPUs for RNNs
+        relative to the (family-aware) ground truth."""
+        context = make_context()
+        d = Deployment("p2.xlarge", 4)
+        predicted = Paleo().predicted_speed(context, d)
+        truth = context.profiler.simulator.true_speed(
+            context.space.catalog["p2.xlarge"], 4, context.job
+        )
+        assert predicted > 1.5 * truth
+
+
+class TestSelection:
+    def test_respects_constraint_in_prediction_space(self, make_context):
+        """Paleo filters by its *predicted* costs; its chosen
+        deployment is predicted-feasible even if actually worse."""
+        context = make_context(Scenario.fastest_within(50.0))
+        result = Paleo().search(context)
+        assert result.best is not None
+        predicted_speed = result.best_measured_speed
+        seconds = context.total_samples / predicted_speed
+        dollars = seconds * context.price_per_second(result.best)
+        assert dollars <= 50.0 * 1.001
+
+    def test_infeasible_space_returns_no_best(self, make_context):
+        context = make_context(Scenario.fastest_within(1e-6))
+        result = Paleo().search(context)
+        assert result.best is None
+        assert "no feasible" in result.stop_reason

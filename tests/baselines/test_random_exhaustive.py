@@ -1,0 +1,114 @@
+"""RandomSearch, ExhaustiveSearch and the oracle."""
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveSearch, oracle_best
+from repro.baselines.random_search import RandomSearch
+from repro.core.engine import SearchContext
+from repro.core.scenarios import Scenario
+from repro.core.search_space import DeploymentSpace
+from repro.sim.throughput import TrainingSimulator
+
+
+@pytest.fixture
+def context(small_space, profiler, charrnn_job):
+    return SearchContext(
+        space=small_space,
+        profiler=profiler,
+        job=charrnn_job,
+        scenario=Scenario.fastest(),
+    )
+
+
+class TestRandomSearch:
+    def test_probes_exactly_k(self, context):
+        result = RandomSearch(n_probes=5, seed=0).search(context)
+        assert result.n_steps == 5
+
+    def test_zero_probes_rejected(self):
+        with pytest.raises(ValueError, match="n_probes"):
+            RandomSearch(n_probes=0)
+
+    def test_picks_best_probe(self, context):
+        result = RandomSearch(n_probes=6, seed=0).search(context)
+        speeds = [t.measured_speed for t in result.trials]
+        assert result.best_measured_speed == max(speeds)
+
+    def test_seeds_vary_designs(self, context):
+        a = RandomSearch(n_probes=4, seed=0).initial_deployments(context)
+        b = RandomSearch(n_probes=4, seed=3).initial_deployments(context)
+        assert a != b
+
+    def test_k_capped_at_space_size(self, small_catalog, profiler,
+                                    charrnn_job):
+        space = DeploymentSpace(small_catalog, counts=[1, 2])
+        context = SearchContext(
+            space=space, profiler=profiler,
+            job=charrnn_job, scenario=Scenario.fastest(),
+        )
+        result = RandomSearch(n_probes=100, seed=0).search(context)
+        assert result.n_steps == len(space)
+
+
+class TestExhaustiveSearch:
+    def test_full_grid_coverage(self, small_catalog, profiler, charrnn_job):
+        space = DeploymentSpace(small_catalog, counts=[1, 2, 4])
+        context = SearchContext(
+            space=space, profiler=profiler,
+            job=charrnn_job, scenario=Scenario.fastest(),
+        )
+        result = ExhaustiveSearch().search(context)
+        assert result.n_steps == len(space)
+
+    def test_stride_subsamples(self, context):
+        result = ExhaustiveSearch(count_stride=10).search(context)
+        expected = len(context.space.counts[::10]) * 3
+        assert result.n_steps == expected
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError, match="count_stride"):
+            ExhaustiveSearch(count_stride=0)
+
+
+class TestOracle:
+    def test_oracle_beats_everything_probed(self, context):
+        d, speed, obj = oracle_best(
+            context.space, context.profiler.simulator, context.job,
+            Scenario.fastest(),
+        )
+        sim = context.profiler.simulator
+        catalog = context.space.catalog
+        for cand in context.space:
+            itype = catalog[cand.instance_type]
+            if sim.is_feasible(itype, cand.count, context.job):
+                assert speed >= sim.true_speed(itype, cand.count, context.job)
+
+    def test_oracle_respects_budget(self, small_space, simulator,
+                                    charrnn_job):
+        scenario = Scenario.fastest_within(30.0)
+        d, speed, obj = oracle_best(
+            small_space, simulator, charrnn_job, scenario
+        )
+        seconds = charrnn_job.total_samples / speed
+        dollars = seconds * small_space.hourly_price(d) / 3600.0
+        assert dollars <= 30.0
+
+    def test_oracle_respects_deadline(self, small_space, simulator,
+                                      charrnn_job):
+        scenario = Scenario.cheapest_within(4 * 3600.0)
+        d, speed, obj = oracle_best(
+            small_space, simulator, charrnn_job, scenario
+        )
+        assert charrnn_job.total_samples / speed <= 4 * 3600.0
+        assert obj == pytest.approx(
+            (charrnn_job.total_samples / speed)
+            * small_space.hourly_price(d) / 3600.0
+        )
+
+    def test_impossible_constraint_raises(self, small_space, simulator,
+                                          charrnn_job):
+        with pytest.raises(ValueError, match="no feasible"):
+            oracle_best(
+                small_space, simulator, charrnn_job,
+                Scenario.fastest_within(1e-9),
+            )

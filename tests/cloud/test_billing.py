@@ -1,0 +1,142 @@
+"""BillingLedger: charge recording, breakdowns, budget arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.billing import BillingLedger, LedgerEntry
+
+
+def charge(ledger, dollars, purpose="profiling", **kw):
+    defaults = dict(
+        timestamp=0.0, instance_type="c5.xlarge", count=1, seconds=600.0
+    )
+    defaults.update(kw)
+    return ledger.charge(dollars=dollars, purpose=purpose, **defaults)
+
+
+class TestEntryValidation:
+    def test_valid_entry(self):
+        e = LedgerEntry(
+            timestamp=1.0, instance_type="c5.xlarge", count=2,
+            seconds=60.0, dollars=0.01, purpose="profiling",
+        )
+        assert e.count == 2
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            LedgerEntry(
+                timestamp=0, instance_type="x", count=0,
+                seconds=1, dollars=1, purpose="p",
+            )
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError, match="seconds"):
+            LedgerEntry(
+                timestamp=0, instance_type="x", count=1,
+                seconds=-1, dollars=1, purpose="p",
+            )
+
+    def test_negative_dollars_rejected(self):
+        with pytest.raises(ValueError, match="dollars"):
+            LedgerEntry(
+                timestamp=0, instance_type="x", count=1,
+                seconds=1, dollars=-0.01, purpose="p",
+            )
+
+
+class TestTotals:
+    def test_empty_ledger_totals_zero(self):
+        assert BillingLedger().total() == 0.0
+
+    def test_total_sums_charges(self):
+        ledger = BillingLedger()
+        charge(ledger, 1.5)
+        charge(ledger, 2.5)
+        assert ledger.total() == pytest.approx(4.0)
+
+    def test_total_by_purpose(self):
+        ledger = BillingLedger()
+        charge(ledger, 1.0, purpose="profiling")
+        charge(ledger, 10.0, purpose="training")
+        assert ledger.total("profiling") == pytest.approx(1.0)
+        assert ledger.total("training") == pytest.approx(10.0)
+
+    def test_total_seconds_by_purpose(self):
+        ledger = BillingLedger()
+        charge(ledger, 1.0, purpose="profiling", seconds=600)
+        charge(ledger, 1.0, purpose="training", seconds=7200)
+        assert ledger.total_seconds("training") == pytest.approx(7200)
+
+    def test_breakdown(self):
+        ledger = BillingLedger()
+        charge(ledger, 1.0, purpose="profiling")
+        charge(ledger, 2.0, purpose="profiling")
+        charge(ledger, 5.0, purpose="training")
+        assert ledger.breakdown() == pytest.approx(
+            {"profiling": 3.0, "training": 5.0}
+        )
+
+    def test_len_and_iter(self):
+        ledger = BillingLedger()
+        charge(ledger, 1.0)
+        charge(ledger, 2.0)
+        assert len(ledger) == 2
+        assert [e.dollars for e in ledger] == [1.0, 2.0]
+
+    def test_entries_returns_copy(self):
+        ledger = BillingLedger()
+        charge(ledger, 1.0)
+        ledger.entries.clear()
+        assert len(ledger) == 1
+
+
+class TestBudget:
+    def test_remaining(self):
+        ledger = BillingLedger()
+        charge(ledger, 30.0)
+        assert ledger.remaining(100.0) == pytest.approx(70.0)
+
+    def test_remaining_can_go_negative(self):
+        ledger = BillingLedger()
+        charge(ledger, 130.0)
+        assert ledger.remaining(100.0) == pytest.approx(-30.0)
+
+    def test_would_exceed_true(self):
+        ledger = BillingLedger()
+        charge(ledger, 90.0)
+        assert ledger.would_exceed(100.0, 11.0)
+
+    def test_would_exceed_false_at_boundary(self):
+        ledger = BillingLedger()
+        charge(ledger, 90.0)
+        assert not ledger.would_exceed(100.0, 10.0)
+
+    def test_would_exceed_negative_additional_rejected(self):
+        with pytest.raises(ValueError, match="additional"):
+            BillingLedger().would_exceed(100.0, -1.0)
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=30))
+    def test_total_equals_sum(self, amounts):
+        ledger = BillingLedger()
+        for a in amounts:
+            charge(ledger, a)
+        assert ledger.total() == pytest.approx(sum(amounts))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e4),
+                st.sampled_from(["profiling", "training", "other"]),
+            ),
+            max_size=30,
+        )
+    )
+    def test_breakdown_partitions_total(self, charges):
+        ledger = BillingLedger()
+        for dollars, purpose in charges:
+            charge(ledger, dollars, purpose=purpose)
+        assert sum(ledger.breakdown().values()) == pytest.approx(
+            ledger.total()
+        )

@@ -1,0 +1,100 @@
+"""InstanceCatalog: lookup, subsets, and the paper's price structure."""
+
+import pytest
+
+from repro.cloud.catalog import InstanceCatalog, default_catalog, paper_catalog
+from repro.cloud.instance import InstanceFamily
+
+
+class TestLookup:
+    def test_contains(self, catalog):
+        assert "c5.xlarge" in catalog
+        assert "m5.xlarge" not in catalog
+
+    def test_getitem(self, catalog):
+        assert catalog["c5.4xlarge"].vcpus == 16
+
+    def test_get_alias(self, catalog):
+        assert catalog.get("p2.xlarge") is catalog["p2.xlarge"]
+
+    def test_unknown_name_lists_known(self, catalog):
+        with pytest.raises(KeyError, match="c5.xlarge"):
+            catalog["nonexistent.2xlarge"]
+
+    def test_len_matches_names(self, catalog):
+        assert len(catalog) == len(catalog.names)
+
+    def test_iteration_order_matches_names(self, catalog):
+        assert [t.name for t in catalog] == catalog.names
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self, catalog):
+        t = catalog["c5.xlarge"]
+        with pytest.raises(ValueError, match="duplicate"):
+            InstanceCatalog([t, t])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            InstanceCatalog([])
+
+
+class TestQueries:
+    def test_cheapest_is_c5_xlarge(self, catalog):
+        assert catalog.cheapest().name == "c5.xlarge"
+
+    def test_cpu_gpu_partition(self, catalog):
+        cpus = catalog.cpu_types()
+        gpus = catalog.gpu_types()
+        assert len(cpus) + len(gpus) == len(catalog)
+        assert all(not t.is_gpu for t in cpus)
+        assert all(t.is_gpu for t in gpus)
+
+    def test_families_present(self, catalog):
+        fams = catalog.families()
+        assert set(fams) == {
+            InstanceFamily.CPU_COMPUTE,
+            InstanceFamily.CPU_NETWORK,
+            InstanceFamily.GPU_K80,
+            InstanceFamily.GPU_V100,
+        }
+
+    def test_subset_preserves_order(self, catalog):
+        sub = catalog.subset(["p2.xlarge", "c5.xlarge"])
+        assert sub.names == ["p2.xlarge", "c5.xlarge"]
+
+    def test_subset_unknown_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.subset(["nope.xlarge"])
+
+
+class TestPaperPrices:
+    """Fig. 1(a)'s structure is a calibration contract."""
+
+    def test_p2_8xlarge_is_about_42x(self, catalog):
+        norm = catalog.normalized_prices()
+        assert norm["p2.8xlarge"] == pytest.approx(42.5, abs=0.5)
+
+    def test_anchor_normalizes_to_one(self, catalog):
+        assert catalog.normalized_prices()["c5.xlarge"] == 1.0
+
+    def test_all_ratios_at_least_one(self, catalog):
+        assert all(v >= 1.0 for v in catalog.normalized_prices().values())
+
+    def test_within_family_price_scales_with_vcpus(self, catalog):
+        """Larger shapes in one family cost proportionally more."""
+        c5 = sorted(
+            (t for t in catalog if t.name.startswith("c5.")),
+            key=lambda t: t.vcpus,
+        )
+        for small, big in zip(c5, c5[1:]):
+            ratio = big.hourly_price / small.hourly_price
+            vcpu_ratio = big.vcpus / small.vcpus
+            assert ratio == pytest.approx(vcpu_ratio, rel=0.15)
+
+    def test_paper_testbed_families_present(self, catalog):
+        for prefix in ("c4.", "c5.", "c5n.", "p2.", "p3."):
+            assert any(t.name.startswith(prefix) for t in catalog)
+
+    def test_default_catalog_is_paper_catalog(self):
+        assert default_catalog().names == paper_catalog().names

@@ -1,0 +1,66 @@
+"""LogicalClock: monotonicity and validation."""
+
+import pytest
+
+from repro.cloud.clock import LogicalClock
+
+
+class TestConstruction:
+    def test_default_start_is_zero(self):
+        assert LogicalClock().now == 0.0
+
+    def test_custom_start(self):
+        assert LogicalClock(100.0).now == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            LogicalClock(-1.0)
+
+
+class TestAdvance:
+    def test_advance_moves_forward(self):
+        clock = LogicalClock()
+        clock.advance(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_returns_new_time(self):
+        clock = LogicalClock(5.0)
+        assert clock.advance(2.5) == 7.5
+
+    def test_advance_accumulates(self):
+        clock = LogicalClock()
+        for _ in range(10):
+            clock.advance(1.5)
+        assert clock.now == pytest.approx(15.0)
+
+    def test_zero_advance_allowed(self):
+        clock = LogicalClock(3.0)
+        clock.advance(0.0)
+        assert clock.now == 3.0
+
+    def test_negative_advance_rejected(self):
+        clock = LogicalClock()
+        with pytest.raises(ValueError, match="advance"):
+            clock.advance(-0.1)
+
+    def test_nan_advance_rejected(self):
+        clock = LogicalClock()
+        with pytest.raises(ValueError):
+            clock.advance(float("nan"))
+
+
+class TestAdvanceTo:
+    def test_advance_to_future(self):
+        clock = LogicalClock(1.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_to_now_is_noop(self):
+        clock = LogicalClock(4.0)
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+    def test_rewind_rejected(self):
+        clock = LogicalClock(10.0)
+        with pytest.raises(ValueError, match="rewind"):
+            clock.advance_to(9.0)

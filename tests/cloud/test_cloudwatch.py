@@ -1,0 +1,99 @@
+"""MetricStore: time-series recording and summary statistics."""
+
+import math
+
+import pytest
+
+from repro.cloud.cloudwatch import MetricDatum, MetricStore
+
+
+class TestPut:
+    def test_put_returns_datum(self):
+        store = MetricStore()
+        d = store.put("ns", "speed", 0.0, 42.0)
+        assert isinstance(d, MetricDatum)
+        assert d.value == 42.0
+
+    def test_series_in_order(self):
+        store = MetricStore()
+        store.put("ns", "speed", 0.0, 1.0)
+        store.put("ns", "speed", 1.0, 2.0)
+        assert store.values("ns", "speed") == [1.0, 2.0]
+
+    def test_out_of_order_rejected(self):
+        store = MetricStore()
+        store.put("ns", "speed", 10.0, 1.0)
+        with pytest.raises(ValueError, match="out-of-order"):
+            store.put("ns", "speed", 5.0, 2.0)
+
+    def test_equal_timestamps_allowed(self):
+        store = MetricStore()
+        store.put("ns", "speed", 1.0, 1.0)
+        store.put("ns", "speed", 1.0, 2.0)
+        assert len(store.series("ns", "speed")) == 2
+
+    def test_non_finite_value_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            MetricStore().put("ns", "speed", 0.0, float("inf"))
+
+    def test_put_many(self):
+        store = MetricStore()
+        store.put_many("ns", "speed", [0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert store.values("ns", "speed") == [1.0, 2.0, 3.0]
+
+    def test_put_many_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            MetricStore().put_many("ns", "speed", [0.0], [1.0, 2.0])
+
+    def test_namespaces(self):
+        store = MetricStore()
+        store.put("a", "x", 0.0, 1.0)
+        store.put("b", "x", 0.0, 1.0)
+        assert store.namespaces() == ["a", "b"]
+
+    def test_metrics_namespaced_independently(self):
+        store = MetricStore()
+        store.put("a", "speed", 0.0, 1.0)
+        store.put("b", "speed", 0.0, 99.0)
+        assert store.values("a", "speed") == [1.0]
+
+
+class TestStatistics:
+    def test_basic_stats(self):
+        store = MetricStore()
+        store.put_many("ns", "m", [0, 1, 2, 3], [2.0, 4.0, 4.0, 6.0])
+        stats = store.statistics("ns", "m")
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 6.0
+        assert stats.stddev == pytest.approx(math.sqrt(2.0))
+
+    def test_cv(self):
+        store = MetricStore()
+        store.put_many("ns", "m", [0, 1], [10.0, 10.0])
+        assert store.statistics("ns", "m").coefficient_of_variation == 0.0
+
+    def test_cv_zero_mean_is_inf(self):
+        store = MetricStore()
+        store.put_many("ns", "m", [0, 1], [-1.0, 1.0])
+        assert math.isinf(
+            store.statistics("ns", "m").coefficient_of_variation
+        )
+
+    def test_since_window(self):
+        store = MetricStore()
+        store.put_many("ns", "m", [0, 10, 20], [1.0, 2.0, 3.0])
+        stats = store.statistics("ns", "m", since=10.0)
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(2.5)
+
+    def test_empty_window_raises(self):
+        store = MetricStore()
+        store.put("ns", "m", 0.0, 1.0)
+        with pytest.raises(KeyError, match="no data"):
+            store.statistics("ns", "m", since=100.0)
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            MetricStore().statistics("ns", "missing")

@@ -1,0 +1,92 @@
+"""Cluster lifecycle: state machine, billing windows, validation."""
+
+import pytest
+
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.cluster import Cluster, ClusterState
+
+
+@pytest.fixture
+def itype():
+    return paper_catalog()["c5.xlarge"]
+
+
+def make(itype, count=2, launched_at=100.0, setup=120.0):
+    return Cluster(
+        instance_type=itype, count=count,
+        launched_at=launched_at, setup_seconds=setup,
+    )
+
+
+class TestValidation:
+    def test_zero_count_rejected(self, itype):
+        with pytest.raises(ValueError, match="count"):
+            make(itype, count=0)
+
+    def test_negative_setup_rejected(self, itype):
+        with pytest.raises(ValueError, match="setup"):
+            make(itype, setup=-1.0)
+
+    def test_unique_ids(self, itype):
+        a, b = make(itype), make(itype)
+        assert a.cluster_id != b.cluster_id
+
+
+class TestLifecycle:
+    def test_starts_pending(self, itype):
+        assert make(itype).state is ClusterState.PENDING
+
+    def test_ready_at(self, itype):
+        assert make(itype, launched_at=100.0, setup=120.0).ready_at == 220.0
+
+    def test_mark_running_after_setup(self, itype):
+        c = make(itype)
+        c.mark_running(220.0)
+        assert c.state is ClusterState.RUNNING
+
+    def test_mark_running_too_early_rejected(self, itype):
+        c = make(itype)
+        with pytest.raises(RuntimeError, match="not ready"):
+            c.mark_running(150.0)
+
+    def test_terminate_returns_billable_seconds(self, itype):
+        c = make(itype, launched_at=100.0)
+        assert c.terminate(700.0) == pytest.approx(600.0)
+        assert c.state is ClusterState.TERMINATED
+
+    def test_double_terminate_rejected(self, itype):
+        c = make(itype)
+        c.terminate(700.0)
+        with pytest.raises(RuntimeError, match="twice"):
+            c.terminate(800.0)
+
+    def test_terminate_before_launch_rejected(self, itype):
+        c = make(itype, launched_at=100.0)
+        with pytest.raises(ValueError, match="precedes"):
+            c.terminate(50.0)
+
+    def test_mark_running_after_terminate_rejected(self, itype):
+        c = make(itype)
+        c.terminate(700.0)
+        with pytest.raises(RuntimeError, match="terminated"):
+            c.mark_running(800.0)
+
+
+class TestBilling:
+    def test_billable_seconds_requires_termination(self, itype):
+        c = make(itype)
+        with pytest.raises(RuntimeError, match="still running"):
+            _ = c.billable_seconds
+
+    def test_setup_time_is_billed(self, itype):
+        """Billing runs from launch, not from RUNNING — setup costs
+        money on a real cloud."""
+        c = make(itype, launched_at=0.0, setup=120.0)
+        c.mark_running(120.0)
+        c.terminate(120.0)
+        assert c.billable_seconds == pytest.approx(120.0)
+
+    def test_cost_uses_count_and_price(self, itype):
+        c = make(itype, count=10, launched_at=0.0)
+        c.terminate(3600.0)
+        assert c.cost() == pytest.approx(itype.hourly_price * 10)

@@ -1,0 +1,116 @@
+"""InstanceType: validation, pricing arithmetic, family consistency."""
+
+import pytest
+
+from repro.cloud.instance import InstanceFamily, InstanceType
+
+
+def cpu(name="c5.xlarge", price=0.17, **kw):
+    defaults = dict(
+        family=InstanceFamily.CPU_COMPUTE, vcpus=4, memory_gib=8.0,
+        network_gbps=2.5, hourly_price=price,
+    )
+    defaults.update(kw)
+    return InstanceType(name=name, **defaults)
+
+
+def gpu(name="p2.xlarge", price=0.9, **kw):
+    defaults = dict(
+        family=InstanceFamily.GPU_K80, vcpus=4, memory_gib=61.0,
+        gpus=1, gpu_memory_gib=12.0, network_gbps=1.25, hourly_price=price,
+    )
+    defaults.update(kw)
+    return InstanceType(name=name, **defaults)
+
+
+class TestValidation:
+    def test_valid_cpu_instance(self):
+        assert cpu().name == "c5.xlarge"
+
+    def test_valid_gpu_instance(self):
+        assert gpu().gpus == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            cpu(name="")
+
+    def test_zero_vcpus_rejected(self):
+        with pytest.raises(ValueError, match="vcpus"):
+            cpu(vcpus=0)
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ValueError, match="memory"):
+            cpu(memory_gib=-1.0)
+
+    def test_zero_price_rejected(self):
+        with pytest.raises(ValueError, match="price"):
+            cpu(price=0.0)
+
+    def test_zero_network_rejected(self):
+        with pytest.raises(ValueError, match="network"):
+            cpu(network_gbps=0.0)
+
+    def test_gpu_family_without_gpus_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            cpu(family=InstanceFamily.GPU_K80)
+
+    def test_cpu_family_with_gpus_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            gpu(family=InstanceFamily.CPU_COMPUTE)
+
+    def test_gpu_without_gpu_memory_rejected(self):
+        with pytest.raises(ValueError, match="gpu_memory"):
+            gpu(gpu_memory_gib=0.0)
+
+
+class TestFamily:
+    def test_gpu_families_flagged(self):
+        assert InstanceFamily.GPU_K80.is_gpu
+        assert InstanceFamily.GPU_V100.is_gpu
+
+    def test_cpu_families_not_flagged(self):
+        assert not InstanceFamily.CPU_COMPUTE.is_gpu
+        assert not InstanceFamily.CPU_NETWORK.is_gpu
+
+    def test_is_gpu_property_matches_gpus(self):
+        assert gpu().is_gpu
+        assert not cpu().is_gpu
+
+
+class TestPricing:
+    def test_price_per_second(self):
+        assert cpu(price=3.6).price_per_second == pytest.approx(0.001)
+
+    def test_cost_for_one_hour_one_instance(self):
+        assert cpu(price=0.17).cost_for(3600.0) == pytest.approx(0.17)
+
+    def test_cost_scales_with_count(self):
+        itype = cpu(price=1.0)
+        assert itype.cost_for(3600.0, count=10) == pytest.approx(10.0)
+
+    def test_cost_scales_linearly_with_time(self):
+        itype = cpu(price=1.0)
+        assert itype.cost_for(1800.0) == pytest.approx(
+            itype.cost_for(3600.0) / 2
+        )
+
+    def test_zero_seconds_costs_nothing(self):
+        assert cpu().cost_for(0.0) == 0.0
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError, match="seconds"):
+            cpu().cost_for(-1.0)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            cpu().cost_for(60.0, count=0)
+
+    def test_normalized_price(self):
+        anchor = cpu(price=0.17)
+        assert gpu(price=7.2).normalized_price(anchor) == pytest.approx(
+            42.3529, rel=1e-4
+        )
+
+    def test_normalized_price_self_is_one(self):
+        itype = cpu()
+        assert itype.normalized_price(itype) == 1.0

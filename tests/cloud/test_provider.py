@@ -1,0 +1,116 @@
+"""SimulatedCloud: launch/run/terminate flows, limits, billing ties."""
+
+import pytest
+
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.cluster import ClusterState
+from repro.cloud.provider import AccountLimits, SimulatedCloud
+
+
+@pytest.fixture
+def provider():
+    return SimulatedCloud(paper_catalog())
+
+
+class TestLaunch:
+    def test_launch_creates_pending_cluster(self, provider):
+        c = provider.launch("c5.xlarge", 4)
+        assert c.state is ClusterState.PENDING
+        assert c.count == 4
+
+    def test_launch_unknown_type_raises(self, provider):
+        with pytest.raises(KeyError):
+            provider.launch("z9.mega", 1)
+
+    def test_launch_zero_count_rejected(self, provider):
+        with pytest.raises(ValueError, match="count"):
+            provider.launch("c5.xlarge", 0)
+
+    def test_wait_until_ready_advances_clock(self, provider):
+        c = provider.launch("c5.xlarge", 1)
+        provider.wait_until_ready(c)
+        assert provider.clock.now == pytest.approx(c.setup_seconds)
+        assert c.state is ClusterState.RUNNING
+
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ValueError, match="setup"):
+            SimulatedCloud(paper_catalog(), setup_seconds=-1.0)
+
+
+class TestLimits:
+    def test_cpu_limit_enforced(self):
+        provider = SimulatedCloud(
+            paper_catalog(), limits=AccountLimits(max_cpu_instances=10)
+        )
+        provider.launch("c5.xlarge", 8)
+        with pytest.raises(RuntimeError, match="limit"):
+            provider.launch("c5.xlarge", 3)
+
+    def test_gpu_limit_independent_of_cpu(self):
+        provider = SimulatedCloud(
+            paper_catalog(),
+            limits=AccountLimits(max_cpu_instances=1, max_gpu_instances=5),
+        )
+        provider.launch("c5.xlarge", 1)
+        provider.launch("p2.xlarge", 5)  # must not raise
+
+    def test_capacity_frees_on_terminate(self):
+        provider = SimulatedCloud(
+            paper_catalog(), limits=AccountLimits(max_cpu_instances=10)
+        )
+        c = provider.launch("c5.xlarge", 10)
+        assert provider.available_capacity("c5.xlarge") == 0
+        provider.wait_until_ready(c)
+        provider.terminate(c, purpose="profiling")
+        assert provider.available_capacity("c5.xlarge") == 10
+
+    def test_paper_limits_default(self, provider):
+        assert provider.available_capacity("c5.xlarge") == 100
+        assert provider.available_capacity("p3.16xlarge") == 50
+
+
+class TestRunAndBill:
+    def test_run_requires_running_state(self, provider):
+        c = provider.launch("c5.xlarge", 1)
+        with pytest.raises(RuntimeError, match="pending"):
+            provider.run_for(c, 60.0)
+
+    def test_terminate_charges_ledger(self, provider):
+        c = provider.launch("c5.xlarge", 2)
+        provider.wait_until_ready(c)
+        provider.run_for(c, 3600.0 - c.setup_seconds)
+        dollars = provider.terminate(c, purpose="profiling")
+        # 2 instances for exactly one billed hour (incl. setup)
+        assert dollars == pytest.approx(0.17 * 2)
+        assert provider.total_spend("profiling") == pytest.approx(dollars)
+
+    def test_purpose_tags_separate(self, provider):
+        a = provider.launch("c5.xlarge", 1)
+        provider.wait_until_ready(a)
+        provider.run_for(a, 100.0)
+        provider.terminate(a, purpose="profiling")
+        b = provider.launch("c5.xlarge", 1)
+        provider.wait_until_ready(b)
+        provider.run_for(b, 100.0)
+        provider.terminate(b, purpose="training")
+        assert provider.total_spend("profiling") > 0
+        assert provider.total_spend("training") > 0
+        assert provider.total_spend() == pytest.approx(
+            provider.total_spend("profiling")
+            + provider.total_spend("training")
+        )
+
+    def test_elapsed_tracks_clock(self, provider):
+        c = provider.launch("c5.xlarge", 1)
+        provider.wait_until_ready(c)
+        provider.run_for(c, 500.0)
+        assert provider.elapsed() == pytest.approx(
+            c.setup_seconds + 500.0
+        )
+
+    def test_active_clusters_tracking(self, provider):
+        c = provider.launch("c5.xlarge", 1)
+        assert c in provider.active_clusters()
+        provider.wait_until_ready(c)
+        provider.terminate(c, purpose="x")
+        assert c not in provider.active_clusters()

@@ -1,0 +1,93 @@
+"""Stateful property test: cloud-provider lifecycle invariants.
+
+Hypothesis drives random interleavings of launch / ready / run /
+terminate and checks the accounting invariants that every higher layer
+relies on: capacity never goes negative, the ledger equals the sum of
+terminated cluster costs, and the clock never runs backwards.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.cluster import ClusterState
+from repro.cloud.provider import AccountLimits, SimulatedCloud
+
+CATALOG = paper_catalog().subset(["c5.xlarge", "c5.4xlarge", "p2.xlarge"])
+
+
+class CloudLifecycle(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cloud = SimulatedCloud(
+            CATALOG,
+            limits=AccountLimits(max_cpu_instances=20, max_gpu_instances=8),
+        )
+        self.pending = []
+        self.running = []
+        self.paid = 0.0
+
+    @rule(
+        name=st.sampled_from(CATALOG.names),
+        count=st.integers(min_value=1, max_value=6),
+    )
+    def launch(self, name, count):
+        if count <= self.cloud.available_capacity(name):
+            self.pending.append(self.cloud.launch(name, count))
+        else:
+            with pytest.raises(RuntimeError):
+                self.cloud.launch(name, count)
+
+    @precondition(lambda self: self.pending)
+    @rule()
+    def make_ready(self):
+        cluster = self.pending.pop(0)
+        self.cloud.wait_until_ready(cluster)
+        self.running.append(cluster)
+
+    @precondition(lambda self: self.running)
+    @rule(seconds=st.floats(min_value=0.0, max_value=5000.0))
+    def run(self, seconds):
+        self.cloud.run_for(self.running[0], seconds)
+
+    @precondition(lambda self: self.running)
+    @rule(purpose=st.sampled_from(["profiling", "training"]))
+    def terminate(self, purpose):
+        cluster = self.running.pop(0)
+        self.paid += self.cloud.terminate(cluster, purpose=purpose)
+
+    @invariant()
+    def capacity_never_negative(self):
+        for name in CATALOG.names:
+            assert self.cloud.available_capacity(name) >= 0
+
+    @invariant()
+    def ledger_matches_terminated_costs(self):
+        assert self.cloud.total_spend() == pytest.approx(self.paid)
+
+    @invariant()
+    def active_set_consistent(self):
+        active = self.cloud.active_clusters()
+        assert all(
+            c.state is not ClusterState.TERMINATED for c in active
+        )
+        # Cluster is a mutable dataclass (unhashable); compare by id
+        assert {c.cluster_id for c in self.pending + self.running} == {
+            c.cluster_id for c in active
+        }
+
+    @invariant()
+    def purposes_partition_total(self):
+        ledger = self.cloud.ledger
+        assert ledger.total("profiling") + ledger.total(
+            "training"
+        ) == pytest.approx(ledger.total())
+
+
+TestCloudLifecycle = CloudLifecycle.TestCase

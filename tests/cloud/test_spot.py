@@ -1,0 +1,132 @@
+"""SpotMarket: price process determinism, bid semantics, billing."""
+
+import pytest
+
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.spot import SpotMarket
+
+
+@pytest.fixture
+def market():
+    return SpotMarket(paper_catalog(), seed=1)
+
+
+class TestValidation:
+    def test_bad_tick_rejected(self):
+        with pytest.raises(ValueError, match="tick_seconds"):
+            SpotMarket(paper_catalog(), tick_seconds=0.0)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError, match="floor"):
+            SpotMarket(paper_catalog(), floor=0.5, mean=0.4)
+
+    def test_bad_phi_rejected(self):
+        with pytest.raises(ValueError, match="phi"):
+            SpotMarket(paper_catalog(), phi=1.0)
+
+    def test_unknown_type_rejected(self, market):
+        with pytest.raises(KeyError):
+            market.price_factor("m5.mega", 0.0)
+
+    def test_negative_time_rejected(self, market):
+        with pytest.raises(ValueError, match="time"):
+            market.price_factor("c5.xlarge", -1.0)
+
+
+class TestPriceProcess:
+    def test_factors_within_bounds(self, market):
+        for t in range(0, 200_000, 3000):
+            f = market.price_factor("c5.xlarge", float(t))
+            assert market.floor <= f <= market.ceiling
+
+    def test_deterministic_across_instances(self):
+        a = SpotMarket(paper_catalog(), seed=7)
+        b = SpotMarket(paper_catalog(), seed=7)
+        times = [0.0, 5000.0, 90000.0]
+        assert [a.price_factor("p2.xlarge", t) for t in times] == [
+            b.price_factor("p2.xlarge", t) for t in times
+        ]
+
+    def test_seeds_and_types_decorrelate(self, market):
+        other_seed = SpotMarket(paper_catalog(), seed=2)
+        t = 50_000.0
+        assert market.price_factor("c5.xlarge", t) != pytest.approx(
+            other_seed.price_factor("c5.xlarge", t)
+        )
+        assert market.price_factor("c5.xlarge", t) != pytest.approx(
+            market.price_factor("p2.xlarge", t)
+        )
+
+    def test_constant_within_tick(self, market):
+        assert market.price_factor("c5.xlarge", 10.0) == market.price_factor(
+            "c5.xlarge", 290.0
+        )
+
+    def test_price_per_hour_scales_on_demand(self, market):
+        t = 1234.0
+        expected = (
+            paper_catalog()["p2.xlarge"].hourly_price
+            * market.price_factor("p2.xlarge", t)
+        )
+        assert market.price_per_hour("p2.xlarge", t) == pytest.approx(expected)
+
+    def test_long_run_mean_near_target(self, market):
+        factors = [
+            market.price_factor("c5.4xlarge", t * 300.0)
+            for t in range(5000)
+        ]
+        mean = sum(factors) / len(factors)
+        assert mean == pytest.approx(market.mean, abs=0.1)
+
+
+class TestBidSemantics:
+    def test_high_bid_never_revoked(self, market):
+        assert market.next_revocation(
+            "c5.xlarge", 0.0, 1.5, horizon_seconds=1e6
+        ) is None
+
+    def test_low_bid_revoked_eventually(self, market):
+        t = market.next_revocation(
+            "c5.xlarge", 0.0, market.floor + 0.01, horizon_seconds=1e7
+        )
+        assert t is not None and t > 0.0
+
+    def test_availability_immediate_for_generous_bid(self, market):
+        assert market.next_availability(
+            "c5.xlarge", 1000.0, 1.0, horizon_seconds=1e6
+        ) == pytest.approx(1000.0)
+
+    def test_availability_none_below_floor(self, market):
+        assert market.next_availability(
+            "c5.xlarge", 0.0, market.floor / 2, horizon_seconds=1e6
+        ) is None
+
+    def test_revocation_respects_bid_ordering(self, market):
+        """A higher bid is revoked no earlier than a lower one."""
+        lo = market.next_revocation(
+            "p2.xlarge", 0.0, 0.35, horizon_seconds=1e7
+        )
+        hi = market.next_revocation(
+            "p2.xlarge", 0.0, 0.55, horizon_seconds=1e7
+        )
+        if lo is not None and hi is not None:
+            assert hi >= lo
+
+    def test_bad_bid_rejected(self, market):
+        with pytest.raises(ValueError, match="bid_factor"):
+            market.next_revocation("c5.xlarge", 0.0, 0.0,
+                                   horizon_seconds=1e6)
+
+
+class TestBilling:
+    def test_mean_factor_within_bounds(self, market):
+        f = market.mean_factor("c5.xlarge", 100.0, 90_000.0)
+        assert market.floor <= f <= market.ceiling
+
+    def test_mean_factor_single_tick(self, market):
+        f = market.mean_factor("c5.xlarge", 10.0, 200.0)
+        assert f == pytest.approx(market.price_factor("c5.xlarge", 10.0))
+
+    def test_mean_factor_reversed_interval_rejected(self, market):
+        with pytest.raises(ValueError, match="precedes"):
+            market.mean_factor("c5.xlarge", 100.0, 50.0)

@@ -1,0 +1,79 @@
+"""Shared fixtures: catalogs, jobs, simulated worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.catalog import InstanceCatalog, paper_catalog
+from repro.cloud.provider import SimulatedCloud
+from repro.core.search_space import DeploymentSpace
+from repro.profiling.profiler import Profiler
+from repro.sim.comm import CommProtocol
+from repro.sim.datasets import get_dataset
+from repro.sim.noise import NoiseModel
+from repro.sim.platforms import get_platform
+from repro.sim.throughput import TrainingJob, TrainingSimulator
+from repro.sim.zoo import get_model
+
+
+@pytest.fixture
+def catalog() -> InstanceCatalog:
+    return paper_catalog()
+
+
+@pytest.fixture
+def small_catalog() -> InstanceCatalog:
+    """Three types spanning cheap CPU / mid CPU / GPU."""
+    return paper_catalog().subset(["c5.xlarge", "c5.4xlarge", "p2.xlarge"])
+
+
+@pytest.fixture
+def simulator() -> TrainingSimulator:
+    return TrainingSimulator()
+
+
+@pytest.fixture
+def charrnn_job() -> TrainingJob:
+    return TrainingJob(
+        model=get_model("char-rnn"),
+        dataset=get_dataset("char-corpus"),
+        platform=get_platform("tensorflow"),
+        epochs=2.0,
+    )
+
+
+@pytest.fixture
+def resnet_job() -> TrainingJob:
+    return TrainingJob(
+        model=get_model("resnet"),
+        dataset=get_dataset("cifar10"),
+        platform=get_platform("tensorflow"),
+        global_batch=128,
+        epochs=10.0,
+    )
+
+
+@pytest.fixture
+def bert_ring_job() -> TrainingJob:
+    return TrainingJob(
+        model=get_model("bert"),
+        dataset=get_dataset("bert-corpus"),
+        platform=get_platform("tensorflow"),
+        protocol=CommProtocol.RING_ALLREDUCE,
+        epochs=0.01,
+    )
+
+
+@pytest.fixture
+def cloud(small_catalog) -> SimulatedCloud:
+    return SimulatedCloud(small_catalog)
+
+
+@pytest.fixture
+def profiler(cloud, simulator) -> Profiler:
+    return Profiler(cloud, simulator, noise=NoiseModel(sigma=0.03, seed=0))
+
+
+@pytest.fixture
+def small_space(small_catalog) -> DeploymentSpace:
+    return DeploymentSpace(small_catalog, max_count=20)

@@ -1,0 +1,226 @@
+"""Acquisition functions: EI/POI/UCB/TEI identities and properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.acquisition import (
+    expected_improvement_max,
+    expected_improvement_min,
+    probability_of_improvement,
+    true_expected_improvement,
+    upper_confidence_bound,
+)
+
+floats = st.floats(min_value=-50, max_value=50)
+sigmas = st.floats(min_value=0.0, max_value=20.0)
+
+
+class TestExpectedImprovementMin:
+    def test_zero_sigma_deterministic_improvement(self):
+        ei = expected_improvement_min(
+            np.array([3.0, 7.0]), np.array([0.0, 0.0]), best=5.0
+        )
+        np.testing.assert_allclose(ei, [2.0, 0.0])
+
+    def test_worse_mean_high_sigma_still_positive(self):
+        ei = expected_improvement_min(
+            np.array([10.0]), np.array([5.0]), best=5.0
+        )
+        assert ei[0] > 0
+
+    def test_ei_increases_with_sigma(self):
+        mu = np.array([6.0, 6.0])
+        ei = expected_improvement_min(mu, np.array([0.5, 3.0]), best=5.0)
+        assert ei[1] > ei[0]
+
+    def test_ei_decreases_with_mu(self):
+        sigma = np.array([1.0, 1.0])
+        ei = expected_improvement_min(np.array([4.0, 6.0]), sigma, best=5.0)
+        assert ei[0] > ei[1]
+
+    def test_xi_reduces_ei(self):
+        mu, sigma = np.array([4.0]), np.array([1.0])
+        assert expected_improvement_min(mu, sigma, 5.0, xi=1.0) < (
+            expected_improvement_min(mu, sigma, 5.0, xi=0.0)
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            expected_improvement_min(np.zeros(2), np.zeros(3), 0.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError, match="sigma"):
+            expected_improvement_min(np.zeros(1), np.array([-1.0]), 0.0)
+
+    @given(mu=floats, sigma=sigmas, best=floats)
+    @settings(max_examples=200)
+    def test_nonnegative(self, mu, sigma, best):
+        ei = expected_improvement_min(
+            np.array([mu]), np.array([sigma]), best
+        )
+        assert ei[0] >= 0.0
+
+    @given(mu=floats, sigma=st.floats(min_value=0.01, max_value=20), best=floats)
+    @settings(max_examples=200)
+    def test_bounded_by_expectation_identity(self, mu, sigma, best):
+        """EI <= E|best - Y| and EI >= max(best - mu, 0) - analytic
+        sanity from the closed form."""
+        ei = expected_improvement_min(
+            np.array([mu]), np.array([sigma]), best
+        )[0]
+        assert ei >= max(best - mu, 0.0) - 1e-9
+        assert ei <= abs(best - mu) + sigma
+
+    def test_monte_carlo_agreement(self):
+        """The closed form equals E[max(best - Y, 0)]."""
+        rng = np.random.default_rng(0)
+        mu, sigma, best = 4.0, 2.0, 5.0
+        samples = rng.normal(mu, sigma, size=400_000)
+        mc = np.maximum(best - samples, 0.0).mean()
+        ei = expected_improvement_min(
+            np.array([mu]), np.array([sigma]), best
+        )[0]
+        assert ei == pytest.approx(mc, rel=0.01)
+
+
+class TestMaxMinDuality:
+    @given(mu=floats, sigma=sigmas, best=floats)
+    @settings(max_examples=100)
+    def test_max_equals_reflected_min(self, mu, sigma, best):
+        a = expected_improvement_max(
+            np.array([mu]), np.array([sigma]), best
+        )[0]
+        b = expected_improvement_min(
+            np.array([-mu]), np.array([sigma]), -best
+        )[0]
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-12)
+
+
+class TestPOI:
+    def test_symmetric_point_is_half(self):
+        poi = probability_of_improvement(
+            np.array([5.0]), np.array([1.0]), best=5.0
+        )
+        assert poi[0] == pytest.approx(0.5)
+
+    def test_zero_sigma_indicator(self):
+        poi = probability_of_improvement(
+            np.array([3.0, 7.0]), np.array([0.0, 0.0]), best=5.0
+        )
+        np.testing.assert_allclose(poi, [1.0, 0.0])
+
+    @given(mu=floats, sigma=sigmas, best=floats)
+    @settings(max_examples=200)
+    def test_in_unit_interval(self, mu, sigma, best):
+        poi = probability_of_improvement(
+            np.array([mu]), np.array([sigma]), best
+        )[0]
+        assert 0.0 <= poi <= 1.0
+
+    def test_monotone_in_mu(self):
+        sigma = np.array([1.0, 1.0])
+        poi = probability_of_improvement(
+            np.array([4.0, 6.0]), sigma, best=5.0
+        )
+        assert poi[0] > poi[1]
+
+
+class TestUCB:
+    def test_prefers_lower_mean(self):
+        ucb = upper_confidence_bound(
+            np.array([1.0, 2.0]), np.array([0.5, 0.5])
+        )
+        assert ucb[0] > ucb[1]
+
+    def test_prefers_higher_sigma(self):
+        ucb = upper_confidence_bound(
+            np.array([2.0, 2.0]), np.array([0.1, 2.0])
+        )
+        assert ucb[1] > ucb[0]
+
+    def test_kappa_zero_is_negated_mean(self):
+        mu = np.array([1.5, -2.0])
+        np.testing.assert_allclose(
+            upper_confidence_bound(mu, np.array([1.0, 1.0]), kappa=0.0), -mu
+        )
+
+    def test_negative_kappa_rejected(self):
+        with pytest.raises(ValueError, match="kappa"):
+            upper_confidence_bound(np.zeros(1), np.zeros(1), kappa=-1.0)
+
+
+class TestTEI:
+    def test_positive_slack(self):
+        tei = true_expected_improvement(
+            np.array([0.1]),
+            constraint_limit=100.0,
+            consumed=10.0,
+            probe_cost=np.array([5.0]),
+            projected_completion=np.array([50.0]),
+        )
+        assert tei[0] == pytest.approx(35.0)
+
+    def test_negative_marks_infeasible(self):
+        tei = true_expected_improvement(
+            np.array([0.1]),
+            constraint_limit=100.0,
+            consumed=90.0,
+            probe_cost=np.array([5.0]),
+            projected_completion=np.array([50.0]),
+        )
+        assert tei[0] < 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            true_expected_improvement(
+                np.zeros(2),
+                constraint_limit=1.0,
+                consumed=0.0,
+                probe_cost=np.zeros(3),
+                projected_completion=np.zeros(2),
+            )
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            true_expected_improvement(
+                np.zeros(1),
+                constraint_limit=1.0,
+                consumed=0.0,
+                probe_cost=np.array([-1.0]),
+                projected_completion=np.zeros(1),
+            )
+
+    def test_negative_consumed_rejected(self):
+        with pytest.raises(ValueError, match="consumed"):
+            true_expected_improvement(
+                np.zeros(1),
+                constraint_limit=1.0,
+                consumed=-0.1,
+                probe_cost=np.zeros(1),
+                projected_completion=np.zeros(1),
+            )
+
+    @given(
+        limit=st.floats(min_value=1, max_value=1e4),
+        consumed=st.floats(min_value=0, max_value=1e4),
+        probe=st.floats(min_value=0, max_value=1e3),
+        completion=st.floats(min_value=0, max_value=1e4),
+    )
+    @settings(max_examples=100)
+    def test_monotone_in_all_costs(self, limit, consumed, probe, completion):
+        base = true_expected_improvement(
+            np.zeros(1),
+            constraint_limit=limit,
+            consumed=consumed,
+            probe_cost=np.array([probe]),
+            projected_completion=np.array([completion]),
+        )[0]
+        more_probe = true_expected_improvement(
+            np.zeros(1),
+            constraint_limit=limit,
+            consumed=consumed,
+            probe_cost=np.array([probe + 1.0]),
+            projected_completion=np.array([completion]),
+        )[0]
+        assert more_probe < base

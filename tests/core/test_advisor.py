@@ -1,0 +1,163 @@
+"""OfflineAdvisor: re-planning from recorded traces."""
+
+import pytest
+
+from repro.core.advisor import OfflineAdvisor, Recommendation
+from repro.core.engine import SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.result import SearchResult, TrialRecord
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+
+
+def trace_with(measurements, scenario=None):
+    """Build a synthetic SearchResult from (type, count, speed) triples."""
+    trials = tuple(
+        TrialRecord(
+            step=i + 1,
+            deployment=Deployment(itype, count),
+            measured_speed=speed,
+            profile_seconds=600.0,
+            profile_dollars=0.5,
+            elapsed_seconds=600.0 * (i + 1),
+            spent_dollars=0.5 * (i + 1),
+        )
+        for i, (itype, count, speed) in enumerate(measurements)
+    )
+    best = max(
+        (t for t in trials if not t.failed),
+        key=lambda t: t.measured_speed,
+        default=None,
+    )
+    return SearchResult(
+        strategy="heterbo",
+        scenario=scenario or Scenario.fastest(),
+        trials=trials,
+        best=best.deployment if best else None,
+        best_measured_speed=best.measured_speed if best else 0.0,
+        profile_seconds=600.0 * len(trials),
+        profile_dollars=0.5 * len(trials),
+        stop_reason="t",
+    )
+
+
+@pytest.fixture
+def advisor(small_space):
+    trace = trace_with([
+        ("c5.xlarge", 1, 5.0),
+        ("c5.4xlarge", 4, 70.0),
+        ("c5.4xlarge", 12, 128.0),
+        ("p2.xlarge", 1, 24.0),
+    ])
+    return OfflineAdvisor(trace, small_space, total_samples=800_000)
+
+
+class TestOptions:
+    def test_sorted_by_time(self, advisor):
+        opts = advisor.options()
+        times = [o.train_seconds for o in opts]
+        assert times == sorted(times)
+
+    def test_projection_arithmetic(self, advisor, small_space):
+        opts = {o.deployment: o for o in advisor.options()}
+        o = opts[Deployment("c5.4xlarge", 12)]
+        assert o.train_seconds == pytest.approx(800_000 / 128.0)
+        assert o.train_dollars == pytest.approx(
+            o.train_seconds * small_space.hourly_price(o.deployment) / 3600
+        )
+
+    def test_failed_probes_excluded(self, small_space):
+        trace = trace_with([("c5.xlarge", 1, 0.0), ("c5.xlarge", 2, 10.0)])
+        advisor = OfflineAdvisor(trace, small_space, total_samples=1000)
+        assert len(advisor.options()) == 1
+
+    def test_latest_measurement_wins(self, small_space):
+        trace = trace_with([
+            ("c5.xlarge", 2, 10.0), ("c5.xlarge", 2, 12.0),
+        ])
+        advisor = OfflineAdvisor(trace, small_space, total_samples=1000)
+        [only] = advisor.options()
+        assert only.measured_speed == 12.0
+
+    def test_bad_samples_rejected(self, small_space):
+        with pytest.raises(ValueError, match="total_samples"):
+            OfflineAdvisor(trace_with([]), small_space, total_samples=0)
+
+
+class TestRecommend:
+    def test_unconstrained_picks_fastest(self, advisor):
+        rec = advisor.recommend(Scenario.fastest())
+        assert rec.deployment == Deployment("c5.4xlarge", 12)
+
+    def test_budget_reranks(self, advisor):
+        # 12x c5.4xlarge costs ~$14.2; a tight budget forces cheaper
+        rec = advisor.recommend(Scenario.fastest_within(10.0))
+        assert rec is not None
+        assert rec.train_dollars <= 10.0
+        assert rec.deployment != Deployment("c5.4xlarge", 12)
+
+    def test_deadline_picks_cheapest_feasible(self, advisor):
+        rec = advisor.recommend(Scenario.cheapest_within(4 * 3600.0))
+        assert rec is not None
+        assert rec.train_seconds <= 4 * 3600.0
+        feasible = [
+            o for o in advisor.options()
+            if o.train_seconds <= 4 * 3600.0
+        ]
+        assert rec.train_dollars == min(o.train_dollars for o in feasible)
+
+    def test_impossible_constraint_returns_none(self, advisor):
+        assert advisor.recommend(Scenario.fastest_within(0.001)) is None
+
+
+class TestSuggestProbes:
+    def test_suggestions_are_unmeasured(self, advisor):
+        suggestions = advisor.suggest_probes(3)
+        measured = {o.deployment for o in advisor.options()}
+        assert len(suggestions) == 3
+        assert not set(suggestions) & measured
+
+    def test_k_validated(self, advisor):
+        with pytest.raises(ValueError, match="k"):
+            advisor.suggest_probes(0)
+
+    def test_empty_trace_raises(self, small_space):
+        advisor = OfflineAdvisor(
+            trace_with([("c5.xlarge", 1, 0.0)]), small_space, 1000
+        )
+        with pytest.raises(RuntimeError, match="no successful"):
+            advisor.suggest_probes(1)
+
+    def test_suggestions_favor_promising_region(self, advisor):
+        """With a rising measured curve on c5.4xlarge, the top
+        suggestions cluster near/beyond the measured frontier rather
+        than at the known-slow single nodes."""
+        suggestions = advisor.suggest_probes(3)
+        assert any(
+            d.instance_type == "c5.4xlarge" and d.count > 4
+            for d in suggestions
+        )
+
+
+class TestRoundTripIntegration:
+    def test_advisor_from_serialized_live_trace(
+        self, small_space, profiler, charrnn_job, tmp_path
+    ):
+        from repro.io import load_report, save_report
+        from repro.core.result import DeploymentReport
+
+        context = SearchContext(
+            space=small_space, profiler=profiler,
+            job=charrnn_job, scenario=Scenario.fastest(),
+        )
+        result = HeterBO(seed=0).search(context)
+        path = save_report(
+            DeploymentReport(search=result), tmp_path / "trace.json"
+        )
+        reloaded = load_report(path)
+        advisor = OfflineAdvisor(
+            reloaded.search, small_space, charrnn_job.total_samples
+        )
+        rec = advisor.recommend(Scenario.fastest())
+        assert rec is not None
+        assert rec.deployment == result.best

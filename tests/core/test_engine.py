@@ -1,0 +1,266 @@
+"""GPSearchEngine + SearchContext: objective transforms and the loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import GPSearchEngine, SearchContext, SearchStrategy
+from repro.core.scenarios import Objective, Scenario
+from repro.core.search_space import Deployment
+from repro.profiling.profiler import ProfileResult
+
+
+@pytest.fixture
+def context(small_space, profiler, charrnn_job):
+    return SearchContext(
+        space=small_space,
+        profiler=profiler,
+        job=charrnn_job,
+        scenario=Scenario.fastest(),
+    )
+
+
+def fake_result(itype="c5.4xlarge", count=1, speed=20.0):
+    return ProfileResult(
+        instance_type=itype, count=count, speed=speed,
+        seconds=600.0, dollars=0.2,
+        iteration_speeds=(speed,), extensions=0, failed=speed == 0.0,
+    )
+
+
+class TestSearchContext:
+    def test_train_seconds(self, context):
+        d = Deployment("c5.4xlarge", 4)
+        assert context.train_seconds(d, 100.0) == pytest.approx(
+            context.total_samples / 100.0
+        )
+
+    def test_train_dollars(self, context, small_catalog):
+        d = Deployment("c5.4xlarge", 4)
+        seconds = context.train_seconds(d, 100.0)
+        expected = seconds * small_catalog["c5.4xlarge"].hourly_price * 4 / 3600
+        assert context.train_dollars(d, 100.0) == pytest.approx(expected)
+
+    def test_objective_value_time_vs_cost(self, context):
+        d = Deployment("c5.4xlarge", 4)
+        assert context.objective_value(
+            d, 10.0, Objective.TIME
+        ) == context.train_seconds(d, 10.0)
+        assert context.objective_value(
+            d, 10.0, Objective.COST
+        ) == context.train_dollars(d, 10.0)
+
+    def test_nonpositive_speed_rejected(self, context):
+        with pytest.raises(ValueError, match="speed"):
+            context.train_seconds(Deployment("c5.xlarge", 1), 0.0)
+
+    def test_probe_costs_delegate_to_profiler(self, context):
+        d = Deployment("c5.4xlarge", 7)
+        assert context.probe_seconds(d) == context.profiler.profiling_seconds(7)
+        assert context.probe_dollars(d) == pytest.approx(
+            context.profiler.profiling_dollars("c5.4xlarge", 7)
+        )
+
+    def test_penalty_resource_switches(
+        self, small_space, profiler, charrnn_job
+    ):
+        d = Deployment("c5.4xlarge", 4)
+        time_ctx = SearchContext(
+            small_space, profiler, charrnn_job, Scenario.fastest()
+        )
+        cost_ctx = SearchContext(
+            small_space, profiler, charrnn_job, Scenario.fastest_within(100.0)
+        )
+        assert time_ctx.probe_penalty(d) == time_ctx.probe_seconds(d)
+        assert cost_ctx.probe_penalty(d) == cost_ctx.probe_dollars(d)
+
+
+class TestEngineObservations:
+    def test_add_and_visit(self, context):
+        engine = GPSearchEngine(context)
+        d = engine.add_observation(fake_result())
+        assert engine.visited(d)
+        assert engine.n_observations == 1
+
+    def test_successful_observations_exclude_failures(self, context):
+        engine = GPSearchEngine(context)
+        engine.add_observation(fake_result(speed=10.0))
+        engine.add_observation(fake_result(count=2, speed=0.0))
+        assert len(engine.successful_observations()) == 1
+
+    def test_best_incumbent_none_when_all_failed(self, context):
+        engine = GPSearchEngine(context)
+        engine.add_observation(fake_result(speed=0.0))
+        assert engine.best_incumbent() is None
+
+    def test_best_incumbent_minimises_objective(self, context):
+        engine = GPSearchEngine(context)
+        engine.add_observation(fake_result(count=1, speed=10.0))
+        engine.add_observation(fake_result(count=2, speed=30.0))
+        best, speed, _ = engine.best_incumbent()
+        assert best.count == 2  # faster = less time objective
+
+    def test_incumbent_filter(self, context):
+        engine = GPSearchEngine(context)
+        engine.add_observation(fake_result(count=1, speed=10.0))
+        engine.add_observation(fake_result(count=2, speed=30.0))
+        best, _, _ = engine.best_incumbent(
+            incumbent_filter=lambda d, y: d.count == 1
+        )
+        assert best.count == 1
+
+    def test_fit_before_observations_raises(self, context):
+        with pytest.raises(RuntimeError, match="no observations"):
+            GPSearchEngine(context).fit()
+
+    def test_predict_before_fit_raises(self, context):
+        engine = GPSearchEngine(context)
+        engine.add_observation(fake_result())
+        with pytest.raises(RuntimeError, match="fit"):
+            engine.predict_log2_speed([Deployment("c5.xlarge", 1)])
+
+
+class TestEngineSurrogate:
+    def test_prediction_tracks_observations(self, context):
+        engine = GPSearchEngine(context)
+        for count, speed in [(1, 20.0), (2, 38.0), (4, 70.0)]:
+            engine.add_observation(fake_result(count=count, speed=speed))
+        engine.fit()
+        mu, _ = engine.predict_log2_speed([Deployment("c5.4xlarge", 2)])
+        assert mu[0] == pytest.approx(np.log2(38.0), abs=0.3)
+
+    def test_ei_zero_without_incumbent(self, context):
+        engine = GPSearchEngine(context)
+        engine.add_observation(fake_result(speed=0.0))
+        engine.fit()
+        ei = engine.objective_ei([Deployment("c5.xlarge", 2)])
+        np.testing.assert_array_equal(ei, [0.0])
+
+    def test_ei_positive_for_promising_region(self, context):
+        engine = GPSearchEngine(context)
+        for count, speed in [(1, 20.0), (2, 38.0)]:
+            engine.add_observation(fake_result(count=count, speed=speed))
+        engine.fit()
+        ei = engine.objective_ei([Deployment("c5.4xlarge", 8)])
+        assert ei[0] > 0.0
+
+    def test_improvement_probability_in_unit_interval(self, context):
+        engine = GPSearchEngine(context)
+        for count, speed in [(1, 20.0), (2, 38.0), (8, 90.0)]:
+            engine.add_observation(fake_result(count=count, speed=speed))
+        engine.fit()
+        cands = [Deployment("c5.4xlarge", n) for n in (3, 4, 16)]
+        poi = engine.improvement_probability(cands)
+        assert ((poi >= 0) & (poi <= 1)).all()
+
+    def test_dynamic_floor_for_failures(self, context):
+        """A failure enters the GP a bounded distance below successes,
+        not at the absolute floor."""
+        engine = GPSearchEngine(context)
+        engine.add_observation(fake_result(count=1, speed=64.0))
+        engine.add_observation(
+            fake_result(itype="c5.xlarge", count=1, speed=0.0)
+        )
+        engine.fit()
+        mu, _ = engine.predict_log2_speed([Deployment("c5.xlarge", 1)])
+        assert mu[0] > np.log2(1e-3)
+
+
+class _GreedyStrategy(SearchStrategy):
+    """Minimal concrete strategy for loop tests."""
+
+    name = "greedy-test"
+
+    def initial_deployments(self, context):
+        return [Deployment("c5.4xlarge", 1), Deployment("c5.4xlarge", 2)]
+
+    def score_candidates(self, context, engine, candidates):
+        return engine.objective_ei(candidates)
+
+    def should_stop(self, context, engine, candidates, scores):
+        if engine.n_observations >= 4:
+            return "enough"
+        return None
+
+
+class TestLoop:
+    def test_loop_respects_max_steps(self, context):
+        strategy = _GreedyStrategy(max_steps=3)
+        result = strategy.search(context)
+        assert result.n_steps == 3
+
+    def test_loop_stop_reason_from_hook(self, context):
+        strategy = _GreedyStrategy(max_steps=10)
+        result = strategy.search(context)
+        assert result.stop_reason == "enough"
+        assert result.n_steps == 4
+
+    def test_trials_have_cumulative_accounting(self, context):
+        result = _GreedyStrategy(max_steps=4).search(context)
+        spends = [t.spent_dollars for t in result.trials]
+        assert spends == sorted(spends)
+        assert result.profile_dollars == pytest.approx(spends[-1])
+
+    def test_no_deployment_probed_twice(self, context):
+        result = _GreedyStrategy(max_steps=6).search(context)
+        probed = [t.deployment for t in result.trials]
+        assert len(probed) == len(set(probed))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_steps"):
+            _GreedyStrategy(max_steps=0)
+
+
+class TestUCBScores:
+    def test_ucb_shape_and_nonnegative(self, context):
+        engine = GPSearchEngine(context)
+        for count, speed in [(1, 20.0), (2, 38.0), (4, 70.0)]:
+            engine.add_observation(fake_result(count=count, speed=speed))
+        engine.fit()
+        cands = [Deployment("c5.4xlarge", n) for n in (3, 8, 16)]
+        scores = engine.objective_ucb(cands)
+        assert scores.shape == (3,)
+        assert (scores >= 0).all()
+
+    def test_ucb_prefers_predicted_better_objective(self, context):
+        engine = GPSearchEngine(context)
+        for count, speed in [(1, 20.0), (2, 38.0), (4, 70.0)]:
+            engine.add_observation(fake_result(count=count, speed=speed))
+        engine.fit()
+        # n=8 extrapolates the rising curve; n=1 neighborhood is known slow
+        fast, slow = Deployment("c5.4xlarge", 8), Deployment("c5.4xlarge", 1)
+        scores = engine.objective_ucb([fast, slow])
+        assert scores[0] > scores[1]
+
+    def test_ucb_empty_candidates(self, context):
+        engine = GPSearchEngine(context)
+        engine.add_observation(fake_result())
+        engine.fit()
+        assert engine.objective_ucb([]).shape == (0,)
+
+
+class TestConsumedResource:
+    def test_scenario1_consumes_time(self, small_space, profiler,
+                                     charrnn_job):
+        ctx = SearchContext(
+            small_space, profiler, charrnn_job, Scenario.fastest()
+        )
+        profiler.profile("c5.xlarge", 1, charrnn_job)
+        assert ctx.consumed() == ctx.elapsed_seconds()
+
+    def test_scenario2_consumes_time(self, small_space, profiler,
+                                     charrnn_job):
+        ctx = SearchContext(
+            small_space, profiler, charrnn_job,
+            Scenario.cheapest_within(3600.0),
+        )
+        profiler.profile("c5.xlarge", 1, charrnn_job)
+        assert ctx.consumed() == ctx.elapsed_seconds()
+
+    def test_scenario3_consumes_dollars(self, small_space, profiler,
+                                        charrnn_job):
+        ctx = SearchContext(
+            small_space, profiler, charrnn_job,
+            Scenario.fastest_within(100.0),
+        )
+        profiler.profile("c5.xlarge", 1, charrnn_job)
+        assert ctx.consumed() == ctx.spent_dollars()

@@ -1,0 +1,205 @@
+"""Gaussian process: interpolation, uncertainty, LML fitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import (
+    ConstantKernel,
+    Matern52Kernel,
+    RBFKernel,
+    WhiteKernel,
+)
+
+
+def smooth_kernel():
+    return ConstantKernel(1.0) * RBFKernel(1.0) + WhiteKernel(1e-5)
+
+
+class TestBasics:
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero observations"):
+            GaussianProcess().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            GaussianProcess().fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_negative_restarts_rejected(self):
+        with pytest.raises(ValueError, match="restarts"):
+            GaussianProcess(optimize_restarts=-1)
+
+    def test_n_observations(self):
+        gp = GaussianProcess(smooth_kernel())
+        gp.fit(np.arange(4.0)[:, None], np.arange(4.0))
+        assert gp.n_observations == 4
+        assert gp.is_fitted
+
+
+class TestPosterior:
+    def test_interpolates_training_points(self):
+        X = np.linspace(0, 5, 8)[:, None]
+        y = np.sin(X).ravel()
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        gp.fit(X, y)
+        mu, _ = gp.predict(X)
+        np.testing.assert_allclose(mu, y, atol=0.02)
+
+    def test_uncertainty_grows_away_from_data(self):
+        X = np.array([[0.0], [1.0]])
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        gp.fit(X, np.array([0.0, 1.0]))
+        _, sigma_near = gp.predict(np.array([[0.5]]))
+        _, sigma_far = gp.predict(np.array([[10.0]]))
+        assert sigma_far[0] > sigma_near[0]
+
+    def test_sigma_nonnegative_everywhere(self):
+        X = np.linspace(0, 3, 5)[:, None]
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=2, seed=0)
+        gp.fit(X, np.random.default_rng(0).normal(size=5))
+        _, sigma = gp.predict(np.linspace(-5, 8, 50)[:, None])
+        assert (sigma >= 0).all()
+
+    def test_far_extrapolation_reverts_to_mean(self):
+        X = np.linspace(0, 2, 6)[:, None]
+        y = 5.0 + np.sin(X).ravel()
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        gp.fit(X, y)
+        mu, _ = gp.predict(np.array([[100.0]]))
+        assert mu[0] == pytest.approx(y.mean(), abs=0.5)
+
+    def test_single_observation(self):
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        gp.fit(np.array([[1.0]]), np.array([3.0]))
+        mu, sigma = gp.predict(np.array([[1.0], [50.0]]))
+        assert mu[0] == pytest.approx(3.0, abs=1e-3)
+        assert sigma[1] > sigma[0]
+
+    def test_target_scale_invariance(self):
+        """Standardisation: same data at 1000x scale gives 1000x
+        predictions."""
+        X = np.linspace(0, 4, 7)[:, None]
+        y = np.sin(X).ravel() + 2.0
+        a = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        a.fit(X, y)
+        b = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        b.fit(X, 1000.0 * y)
+        mu_a, sigma_a = a.predict(np.array([[2.2]]))
+        mu_b, sigma_b = b.predict(np.array([[2.2]]))
+        assert mu_b[0] == pytest.approx(1000.0 * mu_a[0], rel=1e-6)
+        assert sigma_b[0] == pytest.approx(1000.0 * sigma_a[0], rel=1e-6)
+
+
+class TestHyperparameterFit:
+    def test_fitting_improves_lml(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 6, size=(25, 1))
+        y = np.sin(2 * X).ravel() + 0.05 * rng.normal(size=25)
+
+        kernel = ConstantKernel(1.0) * RBFKernel(5.0) + WhiteKernel(0.5)
+        frozen = GaussianProcess(kernel, optimize_restarts=0)
+        frozen.fit(X, y)
+        lml_frozen = frozen.log_marginal_likelihood()
+
+        kernel2 = ConstantKernel(1.0) * RBFKernel(5.0) + WhiteKernel(0.5)
+        fitted = GaussianProcess(kernel2, optimize_restarts=3, seed=0)
+        fitted.fit(X, y)
+        assert fitted.log_marginal_likelihood() > lml_frozen
+
+    def test_learns_noise_level(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 6, size=(40, 1))
+        y = np.sin(X).ravel() + 0.3 * rng.normal(size=40)
+        kernel = ConstantKernel(1.0) * RBFKernel(1.0) + WhiteKernel(0.05)
+        gp = GaussianProcess(kernel, optimize_restarts=6, seed=0)
+        gp.fit(X, y)
+        # standardised targets have unit variance; the 0.3 noise share
+        # of std(y)~0.72 is ~0.17 in variance terms
+        learned_noise = np.exp(kernel.theta[-1])
+        assert learned_noise == pytest.approx(0.18, abs=0.1)
+
+    def test_fit_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 4, size=(10, 1))
+        y = np.cos(X).ravel()
+        thetas = []
+        for _ in range(2):
+            kernel = ConstantKernel(1.0) * Matern52Kernel(1.0) + WhiteKernel(1e-3)
+            gp = GaussianProcess(kernel, optimize_restarts=3, seed=11)
+            gp.fit(X, y)
+            thetas.append(kernel.theta.copy())
+        np.testing.assert_allclose(thetas[0], thetas[1])
+
+    def test_respects_bounds(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0.0, 0.0, 0.0001])
+        kernel = (
+            ConstantKernel(1.0, bounds=(0.5, 2.0))
+            * RBFKernel(1.0, bounds=(0.5, 2.0))
+            + WhiteKernel(1e-3, bounds=(1e-4, 1e-2))
+        )
+        gp = GaussianProcess(kernel, optimize_restarts=3, seed=0)
+        gp.fit(X, y)
+        for value, (lo, hi) in zip(kernel.theta, kernel.bounds):
+            assert lo - 1e-9 <= value <= hi + 1e-9
+
+    def test_refit_replaces_posterior(self):
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        gp.fit(np.array([[0.0]]), np.array([1.0]))
+        gp.fit(np.array([[0.0], [1.0]]), np.array([1.0, 2.0]))
+        assert gp.n_observations == 2
+        mu, _ = gp.predict(np.array([[1.0]]))
+        assert mu[0] == pytest.approx(2.0, abs=0.05)
+
+    def test_duplicate_inputs_dont_crash(self):
+        """Jittered Cholesky handles repeated rows."""
+        X = np.array([[1.0], [1.0], [1.0], [2.0]])
+        y = np.array([1.0, 1.1, 0.9, 2.0])
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=2, seed=0)
+        gp.fit(X, y)
+        mu, _ = gp.predict(np.array([[1.0]]))
+        assert mu[0] == pytest.approx(1.0, abs=0.2)
+
+
+class TestPosteriorSampling:
+    def test_sample_shape(self):
+        X = np.linspace(0, 3, 5)[:, None]
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        gp.fit(X, np.sin(X).ravel())
+        draws = gp.sample(np.linspace(0, 3, 7)[:, None], n_samples=4)
+        assert draws.shape == (4, 7)
+
+    def test_sample_mean_matches_posterior(self):
+        X = np.linspace(0, 3, 6)[:, None]
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        gp.fit(X, np.sin(X).ravel() + 2.0)
+        Xs = np.array([[1.2], [2.7]])
+        rng = np.random.default_rng(0)
+        draws = gp.sample(Xs, n_samples=4000, rng=rng)
+        mu, sigma = gp.predict(Xs)
+        np.testing.assert_allclose(draws.mean(axis=0), mu, atol=0.05)
+        np.testing.assert_allclose(
+            draws.std(axis=0), sigma, atol=0.05
+        )
+
+    def test_sample_pins_training_points(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1.0, 3.0, 2.0])
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        gp.fit(X, y)
+        draws = gp.sample(X, n_samples=50, rng=np.random.default_rng(1))
+        np.testing.assert_allclose(draws.std(axis=0), 0.0, atol=0.05)
+
+    def test_unfitted_sample_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            GaussianProcess().sample(np.zeros((1, 2)))
+
+    def test_bad_n_samples_rejected(self):
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        gp.fit(np.array([[0.0]]), np.array([1.0]))
+        with pytest.raises(ValueError, match="n_samples"):
+            gp.sample(np.array([[1.0]]), n_samples=0)

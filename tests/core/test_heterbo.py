@@ -1,0 +1,220 @@
+"""HeterBO: initial design, cost-aware acquisition, guarantees, prior."""
+
+import pytest
+
+from repro.core.engine import SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+
+
+@pytest.fixture
+def make_context(small_space, profiler, charrnn_job):
+    def _make(scenario):
+        return SearchContext(
+            space=small_space,
+            profiler=profiler,
+            job=charrnn_job,
+            scenario=scenario,
+        )
+    return _make
+
+
+class TestConstruction:
+    def test_defaults(self):
+        h = HeterBO()
+        assert h.cost_aware and h.use_concave_prior and h.protective_stop
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ei_threshold"):
+            HeterBO(ei_threshold=-1.0)
+        with pytest.raises(ValueError, match="min_poi"):
+            HeterBO(min_poi=1.0)
+        with pytest.raises(ValueError, match="reserve_margin"):
+            HeterBO(reserve_margin=0.9)
+
+
+class TestInitialDesign:
+    def test_single_node_per_type_cheapest_first(self, make_context):
+        context = make_context(Scenario.fastest())
+        initial = HeterBO().initial_deployments(context)
+        assert all(d.count == 1 for d in initial)
+        assert [d.instance_type for d in initial] == [
+            "c5.xlarge", "c5.4xlarge", "p2.xlarge",
+        ]
+
+    def test_initial_probes_filtered_by_tiny_budget(self, make_context):
+        """A budget below even a GPU single-node probe skips that probe."""
+        context = make_context(Scenario.fastest_within(0.12))
+        initial = HeterBO().initial_deployments(context)
+        names = [d.instance_type for d in initial]
+        assert "p2.xlarge" not in names  # 1x p2 probe costs $0.15
+        assert "c5.xlarge" in names
+
+
+class TestSearchBehaviour:
+    def test_finds_near_optimal_scale_out(self, make_context):
+        """On the concave Char-RNN curve the optimum is ~16-20 nodes of
+        c5.4xlarge; HeterBO must land within 25% of the optimal speed."""
+        context = make_context(Scenario.fastest())
+        result = HeterBO(seed=1).search(context)
+        sim = context.profiler.simulator
+        catalog = context.space.catalog
+        best_true = max(
+            sim.true_speed(catalog[d.instance_type], d.count, context.job)
+            for d in context.space
+            if sim.is_feasible(catalog[d.instance_type], d.count, context.job)
+        )
+        chosen = result.best
+        chosen_true = sim.true_speed(
+            catalog[chosen.instance_type], chosen.count, context.job
+        )
+        assert chosen_true > 0.75 * best_true
+
+    def test_trace_notes_initial_vs_explore(self, make_context):
+        result = HeterBO(seed=1).search(make_context(Scenario.fastest()))
+        notes = [t.note for t in result.trials]
+        assert notes[:3] == ["initial"] * 3
+        assert "explore" in notes[3:]
+
+    def test_concave_prior_prunes_after_decline(self, make_context):
+        context = make_context(Scenario.fastest())
+        strategy = HeterBO(seed=1)
+        strategy.search(context)
+        # the Char-RNN curve declines within range for every type probed
+        # deeply; at least one cap must be in force by the end
+        assert strategy.prior.pruned_types()
+
+    def test_ablation_flags_accepted(self, make_context):
+        """Ablated variants still complete a search."""
+        for kwargs in (
+            dict(cost_aware=False),
+            dict(use_concave_prior=False),
+            dict(protective_stop=False),
+        ):
+            result = HeterBO(seed=1, **kwargs).search(
+                make_context(Scenario.fastest())
+            )
+            assert result.best is not None
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("budget", [5.0, 20.0, 60.0])
+    def test_profiling_never_exceeds_budget(self, make_context, budget):
+        context = make_context(Scenario.fastest_within(budget))
+        result = HeterBO(seed=2).search(context)
+        assert result.profile_dollars <= budget
+
+    def test_budget_selection_reserves_training(self, make_context):
+        budget = 60.0
+        context = make_context(Scenario.fastest_within(budget))
+        result = HeterBO(seed=2).search(context)
+        assert result.best is not None
+        train = context.train_dollars(result.best, result.best_measured_speed)
+        assert result.profile_dollars + train <= budget * 1.01
+
+    def test_deadline_selection_reserves_time(self, make_context):
+        deadline = 12 * 3600.0
+        context = make_context(Scenario.cheapest_within(deadline))
+        result = HeterBO(seed=2).search(context)
+        assert result.best is not None
+        train = context.train_seconds(result.best, result.best_measured_speed)
+        assert result.profile_seconds + train <= deadline * 1.01
+
+    def test_stop_reason_is_informative(self, make_context):
+        result = HeterBO(seed=2).search(
+            make_context(Scenario.fastest_within(3.0))
+        )
+        assert result.stop_reason  # non-empty, whatever branch fired
+
+
+class TestAcquisitionVariants:
+    def test_unknown_acquisition_rejected(self):
+        with pytest.raises(ValueError, match="acquisition"):
+            HeterBO(acquisition="thompson")
+
+    def test_negative_kappa_rejected(self):
+        with pytest.raises(ValueError, match="ucb_kappa"):
+            HeterBO(acquisition="ucb", ucb_kappa=-1.0)
+
+    @pytest.mark.parametrize("acq", ["ei", "poi", "ucb"])
+    def test_all_acquisitions_complete_and_comply(self, make_context, acq):
+        budget = 60.0
+        context = make_context(Scenario.fastest_within(budget))
+        result = HeterBO(seed=3, acquisition=acq).search(context)
+        assert result.best is not None
+        assert result.profile_dollars <= budget
+
+
+class TestWarmStart:
+    def _trace(self, context, seed=5):
+        return HeterBO(seed=seed).search(context)
+
+    def test_warm_anchors_probed_first(self, make_context):
+        trace = self._trace(make_context(Scenario.fastest()))
+        context = make_context(Scenario.fastest())
+        strategy = HeterBO(seed=6, warm_start=trace, warm_top_k=2)
+        initial = strategy.initial_deployments(context)
+        best_two = sorted(
+            (t for t in trace.trials if not t.failed),
+            key=lambda t: t.measured_speed, reverse=True,
+        )[:2]
+        assert initial[:2] == [t.deployment for t in best_two]
+
+    def test_warm_skips_known_type_singles(self, make_context):
+        trace = self._trace(make_context(Scenario.fastest()))
+        context = make_context(Scenario.fastest())
+        strategy = HeterBO(seed=6, warm_start=trace)
+        initial = strategy.initial_deployments(context)
+        probed_types = {t.deployment.instance_type for t in trace.trials}
+        singles = [d for d in initial if d.count == 1
+                   and d not in strategy._warm_anchor_deployments(context)]
+        assert all(
+            d.instance_type not in probed_types for d in singles
+        )
+
+    def test_warm_top_k_validation(self):
+        with pytest.raises(ValueError, match="warm_top_k"):
+            HeterBO(warm_top_k=0)
+
+    def test_warm_search_fewer_probes_same_quality(self, make_context):
+        trace = self._trace(make_context(Scenario.fastest()))
+        cold = HeterBO(seed=7).search(make_context(Scenario.fastest()))
+        warm = HeterBO(seed=7, warm_start=trace).search(
+            make_context(Scenario.fastest())
+        )
+        assert warm.n_steps <= cold.n_steps
+        assert warm.best_measured_speed >= 0.9 * cold.best_measured_speed
+
+
+class TestThompsonAcquisition:
+    def test_ts_completes_and_complies(self, make_context):
+        budget = 60.0
+        context = make_context(Scenario.fastest_within(budget))
+        result = HeterBO(seed=4, acquisition="ts").search(context)
+        assert result.best is not None
+        assert result.profile_dollars <= budget
+
+    def test_ts_deterministic_given_seed(self, small_catalog, profiler,
+                                         charrnn_job, small_space):
+        from repro.cloud.provider import SimulatedCloud
+        from repro.profiling.profiler import Profiler
+        from repro.sim.noise import NoiseModel
+        from repro.sim.throughput import TrainingSimulator
+
+        def run():
+            cloud = SimulatedCloud(small_catalog)
+            prof = Profiler(
+                cloud, TrainingSimulator(),
+                noise=NoiseModel(sigma=0.03, seed=6),
+            )
+            ctx = SearchContext(
+                space=small_space, profiler=prof,
+                job=charrnn_job, scenario=Scenario.fastest(),
+            )
+            return HeterBO(seed=6, acquisition="ts").search(ctx)
+
+        a, b = run(), run()
+        assert [t.deployment for t in a.trials] == [
+            t.deployment for t in b.trials
+        ]

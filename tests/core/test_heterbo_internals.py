@@ -1,0 +1,172 @@
+"""HeterBO internals: the constraint machinery, unit by unit."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import GPSearchEngine, SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.scenarios import Objective, Scenario
+from repro.core.search_space import Deployment
+from repro.profiling.profiler import ProfileResult
+
+
+@pytest.fixture
+def make_context(small_space, profiler, charrnn_job):
+    def _make(scenario):
+        return SearchContext(
+            space=small_space,
+            profiler=profiler,
+            job=charrnn_job,
+            scenario=scenario,
+        )
+    return _make
+
+
+def observe(engine, count=4, speed=50.0, itype="c5.4xlarge"):
+    engine.add_observation(ProfileResult(
+        instance_type=itype, count=count, speed=speed,
+        seconds=600.0, dollars=0.5, iteration_speeds=(speed,),
+        extensions=0, failed=False,
+    ))
+
+
+class TestProbeFitsConstraint:
+    def test_unconstrained_always_fits(self, make_context):
+        context = make_context(Scenario.fastest())
+        strategy = HeterBO()
+        assert strategy._probe_fits_constraint(
+            context, Deployment("p2.xlarge", 20), incumbent_cost=1e12
+        )
+
+    def test_budget_reserve_arithmetic(self, make_context):
+        budget = 10.0
+        context = make_context(Scenario.fastest_within(budget))
+        strategy = HeterBO(reserve_margin=1.0)
+        d = Deployment("c5.xlarge", 1)
+        probe = context.probe_dollars(d)
+        # fits exactly at the boundary
+        assert strategy._probe_fits_constraint(
+            context, d, incumbent_cost=budget - probe
+        )
+        assert not strategy._probe_fits_constraint(
+            context, d, incumbent_cost=budget - probe + 0.01
+        )
+
+    def test_margin_scales_reserve(self, make_context):
+        budget = 10.0
+        context = make_context(Scenario.fastest_within(budget))
+        d = Deployment("c5.xlarge", 1)
+        probe = context.probe_dollars(d)
+        incumbent = (budget - probe) / 1.05
+        tight = HeterBO(reserve_margin=1.05)
+        loose = HeterBO(reserve_margin=1.0)
+        assert tight._probe_fits_constraint(context, d, incumbent)
+        assert not tight._probe_fits_constraint(
+            context, d, incumbent * 1.01
+        )
+        assert loose._probe_fits_constraint(context, d, incumbent * 1.01)
+
+
+class TestIncumbentCompletionCost:
+    def test_no_observations_zero(self, make_context):
+        context = make_context(Scenario.fastest_within(100.0))
+        strategy = HeterBO()
+        engine = GPSearchEngine(context)
+        assert strategy._incumbent_completion_cost(context, engine) == 0.0
+
+    def test_feasible_selection_costed(self, make_context):
+        context = make_context(Scenario.fastest_within(1000.0))
+        strategy = HeterBO()
+        engine = GPSearchEngine(context)
+        observe(engine, count=4, speed=100.0)
+        cost = strategy._incumbent_completion_cost(context, engine)
+        expected = context.train_dollars(Deployment("c5.4xlarge", 4), 100.0)
+        assert cost == pytest.approx(expected)
+
+    def test_doomed_selection_zero(self, make_context):
+        """If even the best observation cannot finish within what is
+        left, there is nothing to reserve for."""
+        context = make_context(Scenario.fastest_within(0.5))
+        strategy = HeterBO()
+        engine = GPSearchEngine(context)
+        observe(engine, count=4, speed=1.0)  # absurdly slow = expensive
+        assert strategy._incumbent_completion_cost(context, engine) == 0.0
+
+
+class TestAcquisitionView:
+    def test_scenario1_uses_time_unfiltered(self, make_context):
+        context = make_context(Scenario.fastest())
+        strategy = HeterBO()
+        engine = GPSearchEngine(context)
+        objective, flt = strategy._acquisition_view(context, engine)
+        assert objective is Objective.TIME
+        assert flt is None
+
+    def test_scenario3_uses_time_unfiltered(self, make_context):
+        context = make_context(Scenario.fastest_within(100.0))
+        strategy = HeterBO()
+        engine = GPSearchEngine(context)
+        objective, flt = strategy._acquisition_view(context, engine)
+        assert objective is Objective.TIME
+        assert flt is None
+
+    def test_scenario2_without_feasible_chases_time(self, make_context):
+        context = make_context(Scenario.cheapest_within(3600.0))
+        strategy = HeterBO()
+        engine = GPSearchEngine(context)
+        observe(engine, count=1, speed=1.0)  # needs ~9 days: infeasible
+        objective, flt = strategy._acquisition_view(context, engine)
+        assert objective is Objective.TIME
+        assert flt is None
+
+    def test_scenario2_with_feasible_minimises_cost(self, make_context):
+        context = make_context(Scenario.cheapest_within(100 * 3600.0))
+        strategy = HeterBO()
+        engine = GPSearchEngine(context)
+        observe(engine, count=4, speed=100.0)  # ~2.2h: feasible
+        objective, flt = strategy._acquisition_view(context, engine)
+        assert objective is Objective.COST
+        assert flt is not None
+        assert flt(Deployment("c5.4xlarge", 4), 100.0)
+        assert not flt(Deployment("c5.4xlarge", 1), 0.1)
+
+
+class TestOptimisticCompletion:
+    def test_time_units_for_deadline(self, make_context):
+        context = make_context(Scenario.cheapest_within(3600.0))
+        strategy = HeterBO()
+        candidates = [Deployment("c5.4xlarge", 4)]
+        mu = np.array([np.log2(100.0)])
+        sigma = np.array([0.0])
+        completion = strategy._optimistic_completion(
+            context, candidates, mu, sigma
+        )
+        assert completion[0] == pytest.approx(
+            context.total_samples / 100.0
+        )
+
+    def test_dollar_units_for_budget(self, make_context):
+        context = make_context(Scenario.fastest_within(100.0))
+        strategy = HeterBO()
+        d = Deployment("c5.4xlarge", 4)
+        mu, sigma = np.array([np.log2(100.0)]), np.array([0.0])
+        completion = strategy._optimistic_completion(
+            context, [d], mu, sigma
+        )
+        seconds = context.total_samples / 100.0
+        assert completion[0] == pytest.approx(
+            seconds * context.price_per_second(d)
+        )
+
+    def test_sigma_makes_completion_optimistic(self, make_context):
+        context = make_context(Scenario.fastest_within(100.0))
+        strategy = HeterBO()
+        d = Deployment("c5.4xlarge", 4)
+        mu = np.array([np.log2(100.0)])
+        certain = strategy._optimistic_completion(
+            context, [d], mu, np.array([0.0])
+        )
+        uncertain = strategy._optimistic_completion(
+            context, [d], mu, np.array([1.0])
+        )
+        assert uncertain[0] < certain[0]  # optimism shrinks the bill

@@ -1,0 +1,256 @@
+"""Kernels: PSD-ness, analytic gradients vs finite differences, bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kernels import (
+    CategoricalKernel,
+    ConstantKernel,
+    Matern52Kernel,
+    ProductKernel,
+    RBFKernel,
+    SumKernel,
+    WhiteKernel,
+    default_deployment_kernel,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def sample_X(n=6, d=2):
+    return RNG.normal(size=(n, d))
+
+
+def all_kernels():
+    return [
+        ConstantKernel(2.0),
+        WhiteKernel(0.1),
+        RBFKernel(1.3),
+        RBFKernel([0.7, 1.9]),
+        Matern52Kernel(0.8),
+        CategoricalKernel(1.5, dim=0),
+        ConstantKernel(1.5) * RBFKernel(0.9),
+        RBFKernel(1.1) + WhiteKernel(0.05),
+        ConstantKernel(1.0)
+        * (CategoricalKernel(1.0, dim=0) * Matern52Kernel(1.0, dims=[1]))
+        + WhiteKernel(1e-3),
+    ]
+
+
+def finite_diff_grads(kernel, X, eps=1e-6):
+    theta0 = kernel.theta.copy()
+    grads = []
+    for i in range(len(theta0)):
+        theta_plus, theta_minus = theta0.copy(), theta0.copy()
+        theta_plus[i] += eps
+        theta_minus[i] -= eps
+        kernel.theta = theta_plus
+        K_plus = kernel(X)
+        kernel.theta = theta_minus
+        K_minus = kernel(X)
+        grads.append((K_plus - K_minus) / (2 * eps))
+    kernel.theta = theta0
+    return np.stack(grads)
+
+
+class TestGradients:
+    @pytest.mark.parametrize(
+        "kernel", all_kernels(), ids=lambda k: type(k).__name__ + str(id(k) % 97)
+    )
+    def test_analytic_matches_finite_difference(self, kernel):
+        X = sample_X()
+        K, dK = kernel.gradient(X)
+        np.testing.assert_allclose(K, kernel(X), atol=1e-12)
+        fd = finite_diff_grads(kernel, X)
+        np.testing.assert_allclose(dK, fd, rtol=1e-4, atol=1e-6)
+
+    def test_gradient_shape(self):
+        kernel = RBFKernel([1.0, 2.0])
+        X = sample_X(5, 2)
+        K, dK = kernel.gradient(X)
+        assert K.shape == (5, 5)
+        assert dK.shape == (2, 5, 5)
+
+
+class TestPSD:
+    @pytest.mark.parametrize(
+        "kernel", all_kernels(), ids=lambda k: type(k).__name__ + str(id(k) % 97)
+    )
+    def test_covariance_psd(self, kernel):
+        X = sample_X(8)
+        K = kernel(X)
+        eigvals = np.linalg.eigvalsh((K + K.T) / 2)
+        assert eigvals.min() > -1e-9
+
+    @pytest.mark.parametrize(
+        "kernel", all_kernels(), ids=lambda k: type(k).__name__ + str(id(k) % 97)
+    )
+    def test_symmetric(self, kernel):
+        X = sample_X(7)
+        K = kernel(X)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+
+
+class TestThetaRoundTrip:
+    @pytest.mark.parametrize(
+        "kernel", all_kernels(), ids=lambda k: type(k).__name__ + str(id(k) % 97)
+    )
+    def test_set_get_roundtrip(self, kernel):
+        theta = kernel.theta + 0.1
+        kernel.theta = theta
+        np.testing.assert_allclose(kernel.theta, theta)
+
+    def test_wrong_length_rejected(self):
+        k = RBFKernel([1.0, 2.0])
+        with pytest.raises(ValueError, match="hyperparameters"):
+            k.theta = np.array([1.0])
+
+    def test_nonfinite_rejected(self):
+        k = RBFKernel(1.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            k.theta = np.array([np.nan])
+
+    def test_bounds_length_matches_theta(self):
+        for kernel in all_kernels():
+            assert len(kernel.bounds) == kernel.n_params
+
+
+class TestSpecificKernels:
+    def test_constant_value(self):
+        K = ConstantKernel(3.0)(sample_X(4))
+        np.testing.assert_allclose(K, 3.0)
+
+    def test_white_diag_only(self):
+        k = WhiteKernel(0.5)
+        X = sample_X(4)
+        np.testing.assert_allclose(k(X), 0.5 * np.eye(4))
+
+    def test_white_cross_is_zero(self):
+        k = WhiteKernel(0.5)
+        X = sample_X(4)
+        np.testing.assert_allclose(k(X, X), np.zeros((4, 4)))
+
+    def test_rbf_unit_diagonal(self):
+        K = RBFKernel(1.0)(sample_X(5))
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_rbf_decays_with_distance(self):
+        k = RBFKernel(1.0)
+        X = np.array([[0.0], [1.0], [5.0]])
+        K = k(X)
+        assert K[0, 1] > K[0, 2]
+
+    def test_matern_unit_diagonal(self):
+        K = Matern52Kernel(1.0)(sample_X(5))
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_categorical_same_category_is_one(self):
+        k = CategoricalKernel(1.0, dim=0)
+        X = np.array([[0.0, 1.0], [0.0, 9.0]])
+        np.testing.assert_allclose(k(X), 1.0)
+
+    def test_categorical_cross_below_one(self):
+        k = CategoricalKernel(1.0, dim=0)
+        X = np.array([[0.0, 0.0], [1.0, 0.0]])
+        K = k(X)
+        assert 0 < K[0, 1] < 1
+
+    def test_categorical_lengthscale_controls_pooling(self):
+        X = np.array([[0.0], [1.0]])
+        tight = CategoricalKernel(0.1)(X)[0, 1]
+        loose = CategoricalKernel(10.0)(X)[0, 1]
+        assert tight < loose
+
+    def test_dims_selects_columns(self):
+        k = Matern52Kernel(1.0, dims=[1])
+        X = np.array([[0.0, 1.0], [99.0, 1.0]])
+        # dim 0 differs wildly, dim 1 equal -> correlation 1
+        assert k(X)[0, 1] == pytest.approx(1.0)
+
+    def test_validation_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RBFKernel(0.0)
+        with pytest.raises(ValueError):
+            ConstantKernel(-1.0)
+        with pytest.raises(ValueError):
+            WhiteKernel(0.0)
+        with pytest.raises(ValueError):
+            Matern52Kernel(-2.0)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError, match="bounds"):
+            ConstantKernel(1.0, bounds=(2.0, 1.0))
+
+
+class TestComposites:
+    def test_product_is_elementwise(self):
+        X = sample_X(4)
+        a, b = RBFKernel(1.0), ConstantKernel(2.0)
+        np.testing.assert_allclose(
+            ProductKernel(a, b)(X), a(X) * b(X)
+        )
+
+    def test_sum_is_elementwise(self):
+        X = sample_X(4)
+        a, b = RBFKernel(1.0), WhiteKernel(0.1)
+        np.testing.assert_allclose(SumKernel(a, b)(X), a(X) + b(X))
+
+    def test_operator_sugar(self):
+        assert isinstance(RBFKernel() * ConstantKernel(), ProductKernel)
+        assert isinstance(RBFKernel() + WhiteKernel(), SumKernel)
+
+    def test_composite_theta_concatenates(self):
+        k = RBFKernel([1.0, 2.0]) + WhiteKernel(0.1)
+        assert k.n_params == 3
+
+    def test_composite_theta_routing(self):
+        left, right = RBFKernel(1.0), WhiteKernel(0.1)
+        k = left + right
+        k.theta = np.array([np.log(3.0), np.log(0.2)])
+        assert left.lengthscales[0] == pytest.approx(3.0)
+        assert right.noise == pytest.approx(0.2)
+
+
+class TestDefaultDeploymentKernel:
+    def test_shape_on_deployment_features(self):
+        k = default_deployment_kernel()
+        X = np.array([[0, 0], [0, 3], [1, 0], [2, 5]], dtype=float)
+        assert k(X).shape == (4, 4)
+
+    def test_same_type_near_counts_correlate_most(self):
+        k = default_deployment_kernel()
+        X = np.array([[0, 2.0], [0, 2.3], [1, 2.0]])
+        K = k(X)
+        assert K[0, 1] > K[0, 2]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.floats(min_value=0.0, max_value=6.0),
+            ),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_psd_on_arbitrary_deployment_sets(self, rows):
+        X = np.array(rows, dtype=float)
+        K = default_deployment_kernel()(X)
+        eigvals = np.linalg.eigvalsh((K + K.T) / 2)
+        assert eigvals.min() > -1e-8
+
+
+class TestDiag:
+    @pytest.mark.parametrize(
+        "kernel", all_kernels(), ids=lambda k: type(k).__name__ + str(id(k) % 97)
+    )
+    def test_diag_matches_full_matrix(self, kernel):
+        X = sample_X(7)
+        np.testing.assert_allclose(kernel.diag(X), np.diag(kernel(X)))
+
+    def test_diag_shape(self):
+        k = default_deployment_kernel()
+        X = sample_X(11)
+        assert k.diag(X).shape == (11,)

@@ -1,0 +1,164 @@
+"""ParallelHeterBO and Profiler.profile_batch."""
+
+import pytest
+
+from repro.core.engine import SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.parallel import ParallelHeterBO
+from repro.core.scenarios import Scenario
+
+
+@pytest.fixture
+def make_context(small_space, profiler, charrnn_job):
+    def _make(scenario):
+        return SearchContext(
+            space=small_space,
+            profiler=profiler,
+            job=charrnn_job,
+            scenario=scenario,
+        )
+    return _make
+
+
+class TestProfileBatch:
+    def test_empty_batch(self, profiler, charrnn_job):
+        assert profiler.profile_batch([], charrnn_job) == []
+
+    def test_results_in_input_order(self, profiler, charrnn_job):
+        results = profiler.profile_batch(
+            [("c5.4xlarge", 4), ("c5.xlarge", 1), ("p2.xlarge", 2)],
+            charrnn_job,
+        )
+        assert [(r.instance_type, r.count) for r in results] == [
+            ("c5.4xlarge", 4), ("c5.xlarge", 1), ("p2.xlarge", 2),
+        ]
+
+    def test_wallclock_is_longest_probe(self, profiler, charrnn_job):
+        profiler.profile_batch(
+            [("c5.xlarge", 1), ("c5.4xlarge", 10)], charrnn_job
+        )
+        # 10-node window = 600 + 3*60 = 780s; single node 600s
+        assert profiler.cloud.elapsed() == pytest.approx(
+            profiler.profiling_seconds(10)
+        )
+
+    def test_spend_is_sum_of_probes(self, profiler, charrnn_job):
+        results = profiler.profile_batch(
+            [("c5.xlarge", 1), ("c5.4xlarge", 4)], charrnn_job
+        )
+        assert profiler.cloud.total_spend("profiling") == pytest.approx(
+            sum(r.dollars for r in results)
+        )
+
+    def test_batch_matches_sequential_measurements(
+        self, small_catalog, simulator, charrnn_job
+    ):
+        """Same deployment, same seed: batched and sequential probes
+        measure the same speed (noise keyed by deployment, not order)."""
+        from repro.cloud.provider import SimulatedCloud
+        from repro.profiling.profiler import Profiler
+        from repro.sim.noise import NoiseModel
+
+        seq = Profiler(
+            SimulatedCloud(small_catalog), simulator,
+            noise=NoiseModel(sigma=0.03, seed=5),
+        )
+        par = Profiler(
+            SimulatedCloud(small_catalog), simulator,
+            noise=NoiseModel(sigma=0.03, seed=5),
+        )
+        a = seq.profile("c5.4xlarge", 4, charrnn_job)
+        [b] = par.profile_batch([("c5.4xlarge", 4)], charrnn_job)
+        assert a.speed == pytest.approx(b.speed)
+        assert a.dollars == pytest.approx(b.dollars)
+
+    def test_batch_over_capacity_raises(self, profiler, charrnn_job):
+        with pytest.raises(RuntimeError, match="limit"):
+            profiler.profile_batch(
+                [("c5.xlarge", 60), ("c5.4xlarge", 60)], charrnn_job
+            )
+
+    def test_failed_member_does_not_poison_batch(self, profiler):
+        from repro.sim.comm import CommProtocol
+        from repro.sim.datasets import get_dataset
+        from repro.sim.platforms import get_platform
+        from repro.sim.throughput import TrainingJob
+        from repro.sim.zoo import get_model
+
+        oom_job = TrainingJob(
+            model=get_model("zero-20b"),
+            dataset=get_dataset("bert-corpus"),
+            platform=get_platform("tensorflow"),
+            protocol=CommProtocol.RING_ALLREDUCE,
+        )
+        results = profiler.profile_batch(
+            [("p2.xlarge", 1), ("p2.xlarge", 2)], oom_job
+        )
+        assert all(r.failed for r in results)
+        assert all(r.dollars > 0 for r in results)
+
+
+class TestParallelHeterBO:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            ParallelHeterBO(batch_size=0)
+
+    def test_initial_design_is_one_wave(self, make_context):
+        context = make_context(Scenario.fastest())
+        result = ParallelHeterBO(seed=1, batch_size=3).search(context)
+        initial = [t for t in result.trials if t.note == "initial"]
+        assert len(initial) == 3
+        # all initial probes share the same post-batch elapsed time
+        assert len({t.elapsed_seconds for t in initial}) == 1
+
+    def test_profiling_wallclock_beats_sequential(
+        self, small_catalog, simulator, charrnn_job, small_space
+    ):
+        from repro.cloud.provider import SimulatedCloud
+        from repro.profiling.profiler import Profiler
+        from repro.sim.noise import NoiseModel
+
+        def run(strategy):
+            cloud = SimulatedCloud(small_catalog)
+            profiler = Profiler(
+                cloud, simulator, noise=NoiseModel(sigma=0.03, seed=2)
+            )
+            context = SearchContext(
+                space=small_space, profiler=profiler,
+                job=charrnn_job, scenario=Scenario.fastest(),
+            )
+            return strategy.search(context)
+
+        seq = run(HeterBO(seed=2))
+        par = run(ParallelHeterBO(seed=2, batch_size=3))
+        assert par.profile_seconds < seq.profile_seconds
+
+    def test_budget_guarantee_holds(self, make_context):
+        budget = 60.0
+        context = make_context(Scenario.fastest_within(budget))
+        result = ParallelHeterBO(seed=3, batch_size=3).search(context)
+        assert result.profile_dollars <= budget
+        if result.best is not None:
+            train = context.train_dollars(
+                result.best, result.best_measured_speed
+            )
+            assert result.profile_dollars + train <= budget * 1.01
+
+    def test_batch_diversity_no_near_duplicates(self, make_context):
+        context = make_context(Scenario.fastest())
+        result = ParallelHeterBO(seed=4, batch_size=4).search(context)
+        # group trials by recorded elapsed time = one batch each
+        batches: dict[float, list] = {}
+        for t in result.trials:
+            if t.note == "explore":
+                batches.setdefault(t.elapsed_seconds, []).append(t)
+        import numpy as np
+        for members in batches.values():
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    if a.deployment.instance_type == b.deployment.instance_type:
+                        gap = abs(
+                            np.log2(a.deployment.count)
+                            - np.log2(b.deployment.count)
+                        )
+                        assert gap >= 0.5

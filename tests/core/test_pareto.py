@@ -1,0 +1,143 @@
+"""Pareto-front analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pareto import ParetoPoint, pareto_front, search_pareto_front
+from repro.core.search_space import Deployment
+
+
+def point(seconds, dollars, name="t", count=1):
+    return ParetoPoint(
+        deployment=Deployment(name, count),
+        measured_speed=1.0,
+        train_seconds=seconds,
+        train_dollars=dollars,
+    )
+
+
+class TestDominates:
+    def test_strictly_better_both(self):
+        assert point(1, 1).dominates(point(2, 2))
+
+    def test_better_one_equal_other(self):
+        assert point(1, 2).dominates(point(2, 2))
+
+    def test_identical_does_not_dominate(self):
+        assert not point(1, 1).dominates(point(1, 1))
+
+    def test_tradeoff_neither_dominates(self):
+        a, b = point(1, 5), point(5, 1)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestFront:
+    def test_simple_front(self):
+        pts = [point(1, 10), point(5, 5), point(10, 1), point(6, 6)]
+        front = pareto_front(pts)
+        assert [(p.train_seconds, p.train_dollars) for p in front] == [
+            (1, 10), (5, 5), (10, 1),
+        ]
+
+    def test_dominated_point_excluded(self):
+        pts = [point(1, 1), point(2, 2)]
+        assert len(pareto_front(pts)) == 1
+
+    def test_duplicates_collapse(self):
+        pts = [point(1, 1), point(1, 1)]
+        assert len(pareto_front(pts)) == 1
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_sorted_by_time(self):
+        pts = [point(10, 1), point(1, 10), point(5, 5)]
+        front = pareto_front(pts)
+        times = [p.train_seconds for p in front]
+        assert times == sorted(times)
+
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=1e4),
+            st.floats(min_value=0.1, max_value=1e4),
+        ),
+        max_size=40,
+    ))
+    @settings(max_examples=100)
+    def test_front_is_mutually_nondominated(self, pairs):
+        pts = [point(s, d, count=i + 1) for i, (s, d) in enumerate(pairs)]
+        front = pareto_front(pts)
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not a.dominates(b)
+
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=1e4),
+            st.floats(min_value=0.1, max_value=1e4),
+        ),
+        min_size=1,
+        max_size=40,
+    ))
+    @settings(max_examples=100)
+    def test_every_point_dominated_by_or_on_front(self, pairs):
+        pts = [point(s, d, count=i + 1) for i, (s, d) in enumerate(pairs)]
+        front = pareto_front(pts)
+        for p in pts:
+            on_front = any(
+                f.train_seconds == p.train_seconds
+                and f.train_dollars == p.train_dollars
+                for f in front
+            )
+            dominated = any(f.dominates(p) for f in front)
+            assert on_front or dominated
+
+
+class TestSearchFront:
+    def test_front_from_search(self, small_space, profiler, charrnn_job):
+        from repro.core.engine import SearchContext
+        from repro.core.heterbo import HeterBO
+        from repro.core.scenarios import Scenario
+
+        context = SearchContext(
+            space=small_space, profiler=profiler,
+            job=charrnn_job, scenario=Scenario.fastest(),
+        )
+        result = HeterBO(seed=0).search(context)
+        front = search_pareto_front(
+            result, small_space, charrnn_job.total_samples
+        )
+        assert front
+        # the scenario's pick projects onto the front
+        speeds = [p.measured_speed for p in front]
+        assert result.best_measured_speed in speeds
+
+    def test_failed_probes_excluded(self, small_space):
+        from repro.core.result import SearchResult, TrialRecord
+        from repro.core.scenarios import Scenario
+
+        trials = (TrialRecord(
+            step=1, deployment=Deployment("c5.xlarge", 1),
+            measured_speed=0.0, profile_seconds=600, profile_dollars=0.03,
+            elapsed_seconds=600, spent_dollars=0.03,
+        ),)
+        result = SearchResult(
+            strategy="x", scenario=Scenario.fastest(), trials=trials,
+            best=None, best_measured_speed=0.0,
+            profile_seconds=600, profile_dollars=0.03, stop_reason="t",
+        )
+        assert search_pareto_front(result, small_space, 1000) == []
+
+    def test_bad_samples_rejected(self, small_space):
+        from repro.core.result import SearchResult
+        from repro.core.scenarios import Scenario
+
+        result = SearchResult(
+            strategy="x", scenario=Scenario.fastest(), trials=(),
+            best=None, best_measured_speed=0.0,
+            profile_seconds=0, profile_dollars=0, stop_reason="t",
+        )
+        with pytest.raises(ValueError, match="total_samples"):
+            search_pareto_front(result, small_space, 0)

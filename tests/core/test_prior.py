@@ -1,0 +1,158 @@
+"""Concave scale-out prior: decline and plateau detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.prior import ConcaveScaleOutPrior
+
+
+class TestDeclineRule:
+    def test_no_cap_before_any_decline(self):
+        prior = ConcaveScaleOutPrior()
+        prior.observe("t", 1, 10.0)
+        prior.observe("t", 4, 40.0)
+        assert prior.max_allowed("t") is None
+        assert prior.allows("t", 50)
+
+    def test_decline_caps_at_high_point(self):
+        prior = ConcaveScaleOutPrior()
+        prior.observe("t", 8, 100.0)
+        prior.observe("t", 16, 80.0)
+        assert prior.max_allowed("t") == 16
+        assert prior.allows("t", 16)
+        assert not prior.allows("t", 17)
+
+    def test_small_decline_within_tolerance_ignored(self):
+        prior = ConcaveScaleOutPrior(decline_tolerance=0.05, plateau_tolerance=0.0)
+        prior.observe("t", 8, 100.0)
+        prior.observe("t", 16, 97.0)  # 3% < 5% tolerance
+        assert prior.max_allowed("t") is None
+
+    def test_out_of_order_observations_sorted(self):
+        prior = ConcaveScaleOutPrior()
+        prior.observe("t", 16, 80.0)
+        prior.observe("t", 8, 100.0)  # arrives later but is smaller n
+        assert prior.max_allowed("t") == 16
+
+    def test_types_tracked_independently(self):
+        prior = ConcaveScaleOutPrior()
+        prior.observe("a", 8, 100.0)
+        prior.observe("a", 16, 50.0)
+        prior.observe("b", 8, 100.0)
+        assert not prior.allows("a", 32)
+        assert prior.allows("b", 32)
+
+    def test_failed_probe_is_decline_signal(self):
+        prior = ConcaveScaleOutPrior()
+        prior.observe("t", 8, 100.0)
+        prior.observe("t", 16, 0.0)
+        assert prior.max_allowed("t") == 16
+
+    def test_cap_only_tightens(self):
+        prior = ConcaveScaleOutPrior()
+        prior.observe("t", 8, 100.0)
+        prior.observe("t", 32, 50.0)
+        assert prior.max_allowed("t") == 32
+        prior.observe("t", 16, 60.0)  # earlier decline discovered
+        assert prior.max_allowed("t") == 16
+
+
+class TestPlateauRule:
+    def test_plateau_caps(self):
+        prior = ConcaveScaleOutPrior(plateau_tolerance=0.10)
+        prior.observe("t", 8, 100.0)
+        prior.observe("t", 16, 104.0)  # 4% gain per doubling < 10%
+        assert prior.max_allowed("t") == 16
+
+    def test_healthy_speedup_not_capped(self):
+        prior = ConcaveScaleOutPrior(plateau_tolerance=0.10)
+        prior.observe("t", 8, 100.0)
+        prior.observe("t", 16, 170.0)
+        assert prior.max_allowed("t") is None
+
+    def test_close_pairs_ignored(self):
+        """n=10 vs n=11 is 0.14 doublings — too noisy to judge."""
+        prior = ConcaveScaleOutPrior(
+            plateau_tolerance=0.10, min_doubling_gap=0.4
+        )
+        prior.observe("t", 10, 100.0)
+        prior.observe("t", 11, 100.5)
+        assert prior.max_allowed("t") is None
+
+    def test_plateau_disabled_at_zero_tolerance(self):
+        prior = ConcaveScaleOutPrior(plateau_tolerance=0.0)
+        prior.observe("t", 8, 100.0)
+        prior.observe("t", 16, 100.0)  # flat, but tolerance 0 => equal ok
+        assert prior.max_allowed("t") is None
+
+
+class TestValidation:
+    def test_bad_decline_tolerance(self):
+        with pytest.raises(ValueError, match="decline_tolerance"):
+            ConcaveScaleOutPrior(decline_tolerance=1.0)
+
+    def test_bad_plateau_tolerance(self):
+        with pytest.raises(ValueError, match="plateau_tolerance"):
+            ConcaveScaleOutPrior(plateau_tolerance=-0.1)
+
+    def test_bad_gap(self):
+        with pytest.raises(ValueError, match="min_doubling_gap"):
+            ConcaveScaleOutPrior(min_doubling_gap=0.0)
+
+    def test_bad_observation(self):
+        prior = ConcaveScaleOutPrior()
+        with pytest.raises(ValueError, match="count"):
+            prior.observe("t", 0, 1.0)
+        with pytest.raises(ValueError, match="speed"):
+            prior.observe("t", 1, -1.0)
+
+    def test_pruned_types_snapshot(self):
+        prior = ConcaveScaleOutPrior()
+        prior.observe("a", 4, 100.0)
+        prior.observe("a", 8, 10.0)
+        assert prior.pruned_types() == {"a": 8}
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=64),
+                st.floats(min_value=0.0, max_value=1e4),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100)
+    def test_allows_below_or_at_cap_always(self, observations):
+        prior = ConcaveScaleOutPrior()
+        for n, s in observations:
+            prior.observe("t", n, s)
+        cap = prior.max_allowed("t")
+        if cap is not None:
+            assert prior.allows("t", cap)
+            assert not prior.allows("t", cap + 1)
+        else:
+            assert prior.allows("t", 10**6)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=64),
+                st.floats(min_value=1.0, max_value=1e4),
+            ),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100)
+    def test_observation_order_irrelevant(self, observations):
+        forward, backward = ConcaveScaleOutPrior(), ConcaveScaleOutPrior()
+        for n, s in observations:
+            forward.observe("t", n, s)
+        for n, s in reversed(observations):
+            backward.observe("t", n, s)
+        # caps may differ transiently during insertion but the final
+        # series is identical, so the final cap must agree
+        assert forward.max_allowed("t") == backward.max_allowed("t")

@@ -1,0 +1,122 @@
+"""TrialRecord / SearchResult / DeploymentReport semantics."""
+
+import pytest
+
+from repro.core.result import DeploymentReport, SearchResult, TrialRecord
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+
+
+def trial(step=1, itype="c5.xlarge", count=1, speed=10.0, note=""):
+    return TrialRecord(
+        step=step,
+        deployment=Deployment(itype, count),
+        measured_speed=speed,
+        profile_seconds=600.0,
+        profile_dollars=0.03,
+        elapsed_seconds=600.0 * step,
+        spent_dollars=0.03 * step,
+        note=note,
+    )
+
+
+def search(scenario=None, best=Deployment("c5.xlarge", 4), speed=40.0,
+           trials=(), strategy="heterbo"):
+    return SearchResult(
+        strategy=strategy,
+        scenario=scenario or Scenario.fastest(),
+        trials=tuple(trials),
+        best=best,
+        best_measured_speed=speed,
+        profile_seconds=1200.0,
+        profile_dollars=5.0,
+        stop_reason="test",
+    )
+
+
+class TestTrialRecord:
+    def test_failed_property(self):
+        assert trial(speed=0.0).failed
+        assert not trial(speed=1.0).failed
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError, match="step"):
+            trial(step=0)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError, match="speed"):
+            trial(speed=-1.0)
+
+
+class TestSearchResult:
+    def test_best_requires_positive_speed(self):
+        with pytest.raises(ValueError, match="positive measured speed"):
+            search(speed=0.0)
+
+    def test_no_best_allowed(self):
+        assert search(best=None, speed=0.0).best is None
+
+    def test_n_steps(self):
+        assert search(trials=[trial(1), trial(2)]).n_steps == 2
+
+    def test_trials_for_type(self):
+        s = search(trials=[
+            trial(1, "c5.xlarge"), trial(2, "p2.xlarge"),
+            trial(3, "c5.xlarge"),
+        ])
+        assert len(s.trials_for_type("c5.xlarge")) == 2
+
+    def test_summary_contains_key_facts(self):
+        text = search().summary()
+        assert "heterbo" in text
+        assert "4x c5.xlarge" in text
+
+
+class TestDeploymentReport:
+    def test_totals_sum_profile_and_train(self):
+        r = DeploymentReport(
+            search=search(), train_seconds=3600.0, train_dollars=10.0,
+            trained=True,
+        )
+        assert r.total_seconds == pytest.approx(1200.0 + 3600.0)
+        assert r.total_dollars == pytest.approx(15.0)
+
+    def test_untrained_never_meets_constraint(self):
+        r = DeploymentReport(search=search())
+        assert not r.constraint_met
+
+    def test_scenario1_always_met_when_trained(self):
+        r = DeploymentReport(search=search(), trained=True)
+        assert r.constraint_met
+
+    def test_deadline_met_and_missed(self):
+        s = search(scenario=Scenario.cheapest_within(2 * 3600.0))
+        met = DeploymentReport(search=s, train_seconds=3600.0, trained=True)
+        missed = DeploymentReport(
+            search=s, train_seconds=3 * 3600.0, trained=True
+        )
+        assert met.constraint_met
+        assert not missed.constraint_met
+
+    def test_budget_met_and_missed(self):
+        s = search(scenario=Scenario.fastest_within(20.0))
+        met = DeploymentReport(search=s, train_dollars=10.0, trained=True)
+        missed = DeploymentReport(search=s, train_dollars=16.0, trained=True)
+        assert met.constraint_met
+        assert not missed.constraint_met
+
+    def test_objective_value_by_scenario(self):
+        time_r = DeploymentReport(
+            search=search(), train_seconds=100.0, trained=True
+        )
+        assert time_r.objective_value() == time_r.total_seconds
+        cost_r = DeploymentReport(
+            search=search(scenario=Scenario.cheapest_within(1e6)),
+            train_dollars=3.0,
+            trained=True,
+        )
+        assert cost_r.objective_value() == cost_r.total_dollars
+
+    def test_summary_mentions_constraint(self):
+        r = DeploymentReport(search=search(), trained=True)
+        assert "constraint met" in r.summary()

@@ -1,0 +1,93 @@
+"""Scenario formulation (Eqs. 1-3)."""
+
+import pytest
+
+from repro.core.scenarios import Objective, Scenario, ScenarioKind
+
+
+class TestFactories:
+    def test_scenario1(self):
+        s = Scenario.fastest()
+        assert s.kind is ScenarioKind.MIN_TIME_UNBOUNDED
+        assert not s.is_constrained
+        assert s.objective is Objective.TIME
+        assert s.constraint_limit is None
+
+    def test_scenario2(self):
+        s = Scenario.cheapest_within(6 * 3600.0)
+        assert s.kind is ScenarioKind.MIN_COST_DEADLINE
+        assert s.is_constrained
+        assert s.objective is Objective.COST
+        assert s.constraint_limit == 6 * 3600.0
+
+    def test_scenario3(self):
+        s = Scenario.fastest_within(100.0)
+        assert s.kind is ScenarioKind.MIN_TIME_BUDGET
+        assert s.objective is Objective.TIME
+        assert s.constraint_limit == 100.0
+
+
+class TestPenaltyResource:
+    def test_scenario1_penalises_time(self):
+        assert Scenario.fastest().penalty_resource is Objective.TIME
+
+    def test_scenario2_penalises_time(self):
+        assert (
+            Scenario.cheapest_within(3600.0).penalty_resource
+            is Objective.TIME
+        )
+
+    def test_scenario3_penalises_money(self):
+        assert (
+            Scenario.fastest_within(50.0).penalty_resource
+            is Objective.COST
+        )
+
+
+class TestValidation:
+    def test_scenario1_rejects_constraints(self):
+        with pytest.raises(ValueError, match="no constraints"):
+            Scenario(ScenarioKind.MIN_TIME_UNBOUNDED, deadline_seconds=10.0)
+
+    def test_scenario2_needs_deadline(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Scenario(ScenarioKind.MIN_COST_DEADLINE)
+
+    def test_scenario2_rejects_zero_deadline(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Scenario.cheapest_within(0.0)
+
+    def test_scenario2_rejects_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            Scenario(
+                ScenarioKind.MIN_COST_DEADLINE,
+                deadline_seconds=10.0,
+                budget_dollars=5.0,
+            )
+
+    def test_scenario3_needs_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            Scenario(ScenarioKind.MIN_TIME_BUDGET)
+
+    def test_scenario3_rejects_negative_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            Scenario.fastest_within(-5.0)
+
+    def test_scenario3_rejects_deadline(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Scenario(
+                ScenarioKind.MIN_TIME_BUDGET,
+                budget_dollars=5.0,
+                deadline_seconds=10.0,
+            )
+
+
+class TestDescribe:
+    def test_descriptions_are_distinct_and_informative(self):
+        d1 = Scenario.fastest().describe()
+        d2 = Scenario.cheapest_within(7200.0).describe()
+        d3 = Scenario.fastest_within(42.0).describe()
+        assert "scenario-1" in d1
+        assert "2.00 h" in d2
+        assert "$42.00" in d3
+        assert len({d1, d2, d3}) == 3

@@ -1,0 +1,171 @@
+"""DeploymentSpace: enumeration, pricing, GP feature encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.search_space import Deployment, DeploymentSpace
+
+
+class TestDeployment:
+    def test_str(self):
+        assert str(Deployment("c5.xlarge", 4)) == "4x c5.xlarge"
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            Deployment("c5.xlarge", 0)
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(ValueError, match="instance_type"):
+            Deployment("", 1)
+
+    def test_hashable_and_equal(self):
+        assert Deployment("a", 1) == Deployment("a", 1)
+        assert len({Deployment("a", 1), Deployment("a", 1)}) == 1
+
+    def test_ordering(self):
+        assert Deployment("a", 1) < Deployment("a", 2) < Deployment("b", 1)
+
+
+class TestEnumeration:
+    def test_size_is_product(self, small_catalog):
+        """The paper's 62 x 50 = 3,100 arithmetic."""
+        space = DeploymentSpace(small_catalog, max_count=50)
+        assert len(space) == 3 * 50
+
+    def test_iteration_covers_all(self, small_space):
+        all_d = list(small_space)
+        assert len(all_d) == len(small_space)
+        assert len(set(all_d)) == len(all_d)
+
+    def test_contains(self, small_space):
+        assert Deployment("c5.xlarge", 5) in small_space
+        assert Deployment("c5.xlarge", 999) not in small_space
+        assert Deployment("m5.xlarge", 1) not in small_space
+
+    def test_explicit_counts(self, small_catalog):
+        space = DeploymentSpace(small_catalog, counts=[1, 4, 16])
+        assert space.counts == [1, 4, 16]
+        assert len(space) == 9
+
+    def test_counts_deduplicated_sorted(self, small_catalog):
+        space = DeploymentSpace(small_catalog, counts=[4, 1, 4])
+        assert space.counts == [1, 4]
+
+    def test_bad_counts_rejected(self, small_catalog):
+        with pytest.raises(ValueError):
+            DeploymentSpace(small_catalog, counts=[])
+        with pytest.raises(ValueError):
+            DeploymentSpace(small_catalog, counts=[0, 1])
+        with pytest.raises(ValueError):
+            DeploymentSpace(small_catalog, max_count=0)
+
+    def test_deployments_for_type(self, small_space):
+        ds = small_space.deployments_for_type("c5.4xlarge")
+        assert all(d.instance_type == "c5.4xlarge" for d in ds)
+        assert [d.count for d in ds] == small_space.counts
+
+    def test_deployments_for_unknown_type_raises(self, small_space):
+        with pytest.raises(KeyError):
+            small_space.deployments_for_type("m5.large")
+
+    def test_filtered(self, small_space):
+        singles = small_space.filtered(lambda d: d.count == 1)
+        assert len(singles) == 3
+
+
+class TestPricing:
+    def test_hourly_price(self, small_space, small_catalog):
+        d = Deployment("c5.4xlarge", 10)
+        assert small_space.hourly_price(d) == pytest.approx(
+            small_catalog["c5.4xlarge"].hourly_price * 10
+        )
+
+
+class TestEncoding:
+    def test_encode_shape(self, small_space):
+        x = small_space.encode(Deployment("c5.4xlarge", 8))
+        assert x.shape == (2,)
+
+    def test_type_index_stable(self, small_space):
+        assert small_space.type_index("c5.xlarge") == 0
+        assert small_space.type_index("p2.xlarge") == 2
+
+    def test_count_encoded_log2(self, small_space):
+        x = small_space.encode(Deployment("c5.xlarge", 8))
+        assert x[1] == pytest.approx(3.0)
+
+    def test_encode_many_stacks(self, small_space):
+        X = small_space.encode_many([
+            Deployment("c5.xlarge", 1), Deployment("p2.xlarge", 4),
+        ])
+        np.testing.assert_allclose(X, [[0, 0], [2, 2]])
+
+    def test_encode_many_empty(self, small_space):
+        assert small_space.encode_many([]).shape == (0, 2)
+
+    def test_encode_unknown_type_raises(self, small_space):
+        with pytest.raises(KeyError, match="not in space"):
+            small_space.encode(Deployment("m5.large", 1))
+
+
+class TestRestriction:
+    def test_restrict_types(self, small_space):
+        sub = small_space.restrict_types(["c5.4xlarge"])
+        assert sub.instance_types == ["c5.4xlarge"]
+        assert sub.counts == small_space.counts
+
+
+class TestPerTypeMax:
+    def test_caps_counts_per_type(self, small_catalog):
+        space = DeploymentSpace(
+            small_catalog, max_count=20,
+            per_type_max={"p2.xlarge": 5},
+        )
+        assert len(space.deployments_for_type("p2.xlarge")) == 5
+        assert len(space.deployments_for_type("c5.xlarge")) == 20
+        assert Deployment("p2.xlarge", 6) not in space
+        assert Deployment("c5.xlarge", 6) in space
+
+    def test_len_accounts_for_caps(self, small_catalog):
+        space = DeploymentSpace(
+            small_catalog, max_count=10,
+            per_type_max={"p2.xlarge": 4, "c5.xlarge": 2},
+        )
+        assert len(space) == 2 + 10 + 4
+
+    def test_iteration_respects_caps(self, small_catalog):
+        space = DeploymentSpace(
+            small_catalog, max_count=10, per_type_max={"p2.xlarge": 3}
+        )
+        gpu_counts = [
+            d.count for d in space if d.instance_type == "p2.xlarge"
+        ]
+        assert gpu_counts == [1, 2, 3]
+
+    def test_unknown_type_rejected(self, small_catalog):
+        with pytest.raises(KeyError, match="unknown type"):
+            DeploymentSpace(
+                small_catalog, per_type_max={"m5.large": 5}
+            )
+
+    def test_bad_cap_rejected(self, small_catalog):
+        with pytest.raises(ValueError, match="per_type_max"):
+            DeploymentSpace(
+                small_catalog, per_type_max={"c5.xlarge": 0}
+            )
+
+    def test_restrict_types_keeps_caps(self, small_catalog):
+        space = DeploymentSpace(
+            small_catalog, max_count=10, per_type_max={"p2.xlarge": 3}
+        )
+        sub = space.restrict_types(["p2.xlarge"])
+        assert len(sub) == 3
+
+    def test_paper_testbed_limits(self, catalog):
+        """The paper's testbed: 100 CPU / 50 GPU instances."""
+        caps = {
+            t.name: (50 if t.is_gpu else 100) for t in catalog
+        }
+        space = DeploymentSpace(catalog, max_count=100, per_type_max=caps)
+        assert Deployment("c5.xlarge", 100) in space
+        assert Deployment("p3.16xlarge", 51) not in space

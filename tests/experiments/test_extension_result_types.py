@@ -1,0 +1,103 @@
+"""Extension-study result dataclasses on synthetic inputs."""
+
+import pytest
+
+from repro.core.result import DeploymentReport, SearchResult
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+from repro.experiments.parallelism import ParallelismResult
+from repro.experiments.robustness import RobustnessResult
+from repro.experiments.warmstart import WarmStartResult
+from repro.experiments.window_study import WindowStudyResult
+from repro.mlcd.spot import SpotOutcome
+
+
+def make_report(*, profile_seconds=3600.0, profile_dollars=10.0,
+                train_seconds=7200.0, train_dollars=50.0,
+                trained=True, scenario=None, n_steps=0):
+    from repro.core.result import TrialRecord
+
+    trials = tuple(
+        TrialRecord(
+            step=i + 1, deployment=Deployment("c5.xlarge", 1),
+            measured_speed=10.0, profile_seconds=600.0,
+            profile_dollars=1.0, elapsed_seconds=600.0 * (i + 1),
+            spent_dollars=1.0 * (i + 1),
+        )
+        for i in range(n_steps)
+    )
+    search = SearchResult(
+        strategy="x", scenario=scenario or Scenario.fastest(),
+        trials=trials, best=Deployment("c5.xlarge", 1),
+        best_measured_speed=10.0, profile_seconds=profile_seconds,
+        profile_dollars=profile_dollars, stop_reason="t",
+    )
+    return DeploymentReport(
+        search=search, train_seconds=train_seconds,
+        train_dollars=train_dollars, trained=trained,
+    )
+
+
+class TestParallelismResult:
+    def test_metrics_and_render(self):
+        fast = make_report(profile_seconds=1800.0)
+        slow = make_report(profile_seconds=7200.0)
+        result = ParallelismResult(
+            deadline_hours=12.0,
+            reports={1: (slow, slow), 4: (fast, fast)},
+        )
+        assert result.mean_profile_hours(1) == pytest.approx(2.0)
+        assert result.mean_profile_hours(4) == pytest.approx(0.5)
+        text = result.render()
+        assert "sequential" in text and "batch=4" in text
+
+
+class TestRobustnessResult:
+    def test_regret_and_violations(self):
+        good = make_report(train_seconds=3600.0)
+        bad = make_report(train_seconds=7200.0, trained=False,
+                          scenario=Scenario.fastest_within(1.0))
+        result = RobustnessResult(
+            budget=100.0,
+            sigmas=(0.01, 0.10),
+            reports={0.01: (good, good), 0.10: (good, bad)},
+            oracle_seconds=3600.0,
+        )
+        assert result.mean_regret(0.01) == pytest.approx(1.0)
+        assert result.violation_rate(0.10) == pytest.approx(0.5)
+        assert "noise sigma" in result.render()
+
+
+class TestWarmStartResult:
+    def test_means(self):
+        cold = make_report(profile_dollars=20.0, n_steps=10)
+        warm = make_report(profile_dollars=8.0, n_steps=4)
+        result = WarmStartResult(cold=(cold,), warm=(warm,))
+        assert result.mean_profile_steps("cold") == 10
+        assert result.mean_profile_steps("warm") == 4
+        assert result.mean_profile_dollars("warm") == pytest.approx(8.0)
+        assert "cold" in result.render()
+
+
+class TestWindowStudyResult:
+    def test_metrics(self):
+        short = make_report(profile_dollars=5.0, train_seconds=3600.0)
+        long = make_report(profile_dollars=40.0, train_seconds=3700.0)
+        result = WindowStudyResult(
+            budget=100.0,
+            reports={4.0: (short,), 20.0: (long,)},
+        )
+        assert result.mean_profile_dollars(4.0) == pytest.approx(5.0)
+        assert result.violation_rate(20.0) == 0.0
+        assert "4 min" in result.render()
+
+
+class TestSpotOutcome:
+    def test_derived_metrics(self):
+        o = SpotOutcome(
+            seconds=7200.0, dollars=20.0, revocations=2,
+            wasted_seconds=600.0, on_demand_seconds=3600.0,
+            on_demand_dollars=80.0,
+        )
+        assert o.cost_saving == pytest.approx(0.75)
+        assert o.time_inflation == pytest.approx(2.0)

@@ -1,0 +1,85 @@
+"""Extension experiments at reduced size: ablation, acquisitions,
+robustness (full-size runs live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.ablation import ablation_prior_study, ablation_study
+from repro.experiments.acquisitions import acquisition_comparison
+from repro.experiments.robustness import noise_robustness_study
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_study(n_seeds=2)
+
+    def test_heterbo_never_violates(self, result):
+        assert result.violation_rate("heterbo") == 0.0
+
+    def test_protective_stop_is_the_guarantee(self, result):
+        assert result.violation_rate("no-protective-stop") > 0.0
+
+    def test_cost_awareness_cuts_profiling_spend(self, result):
+        assert (
+            result.mean_profile_dollars("heterbo")
+            < result.mean_profile_dollars("no-cost-awareness")
+        )
+
+    def test_convbo_reference_worst(self, result):
+        assert (
+            result.mean_profile_dollars("convbo")
+            > result.mean_profile_dollars("heterbo")
+        )
+        assert result.violation_rate("convbo") == 1.0
+
+    def test_render_lists_all_variants(self, result):
+        text = result.render()
+        for v in result.reports:
+            assert v in text
+
+
+class TestPriorAblation:
+    def test_prior_saves_profiling_money(self):
+        result = ablation_prior_study(n_seeds=2)
+        assert (
+            result.mean_profile_dollars("heterbo")
+            < result.mean_profile_dollars("no-concave-prior")
+        )
+
+    def test_unconstrained_renders(self):
+        result = ablation_prior_study(n_seeds=1)
+        assert "unconstrained" in result.render()
+
+
+class TestAcquisitionComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return acquisition_comparison(n_seeds=2)
+
+    def test_all_variants_comply(self, result):
+        for acq in ("ei", "poi", "ucb"):
+            assert result.violation_rate(acq) == 0.0
+
+    def test_render_mentions_all(self, result):
+        text = result.render()
+        for acq in ("ei", "poi", "ucb"):
+            assert acq in text
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return noise_robustness_study(
+            sigmas=(0.02, 0.10), n_seeds=2
+        )
+
+    def test_compliance_across_noise(self, result):
+        for sigma in result.sigmas:
+            assert result.violation_rate(sigma) == 0.0
+
+    def test_regret_at_least_one(self, result):
+        for sigma in result.sigmas:
+            assert result.mean_regret(sigma) >= 0.95
+
+    def test_render(self, result):
+        assert "noise sigma" in result.render()

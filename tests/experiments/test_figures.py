@@ -1,0 +1,113 @@
+"""Figure experiments: each reproduces the paper's qualitative shape.
+
+The cheap figures run at default parameters; the heavier ones run at
+reduced sizes — the benchmarks run them at full size.
+"""
+
+import pytest
+
+from repro.experiments.motivation import (
+    fig1a_normalized_prices,
+    fig1b_equal_cost_deployments,
+    fig3_scaling_curves,
+    fig5_convbo_step_gains,
+)
+from repro.experiments.scenarios_exp import (
+    fig9_scenario1,
+    fig10_scenario2,
+    fig11_scenario3,
+)
+from repro.experiments.traces import fig15_charrnn_trace
+
+
+class TestFig1a:
+    def test_p2_8xlarge_ratio(self):
+        result = fig1a_normalized_prices()
+        assert result.max_ratio > 42.0
+        assert result.normalized["c5.xlarge"] == 1.0
+
+    def test_render_lists_all_types(self):
+        result = fig1a_normalized_prices()
+        assert result.render().count("\n") >= len(result.normalized)
+
+
+class TestFig1b:
+    def test_mid_cpu_wins(self):
+        result = fig1b_equal_cost_deployments()
+        assert result.best == "10x c5.4xlarge"
+
+    def test_spread_substantial(self):
+        assert fig1b_equal_cost_deployments().worst_to_best_ratio > 2.0
+
+    def test_hourly_costs_comparable(self):
+        result = fig1b_equal_cost_deployments()
+        costs = list(result.hourly_cost.values())
+        assert max(costs) / min(costs) < 1.3
+
+
+class TestFig3:
+    def test_scale_out_concave_with_interior_peak(self):
+        result = fig3_scaling_curves()
+        counts = sorted(result.scale_out)
+        assert counts[0] < result.scale_out_peak < counts[-1]
+
+    def test_scale_up_nonlinear(self):
+        result = fig3_scaling_curves()
+        speeds = list(result.scale_up.values())
+        assert speeds != sorted(speeds)
+
+
+class TestFig5:
+    def test_most_steps_unprofitable(self):
+        result = fig5_convbo_step_gains(epochs=20.0)
+        assert result.n_negative_cost_steps >= len(result.steps) // 2
+
+    def test_series_aligned(self):
+        result = fig5_convbo_step_gains(epochs=20.0)
+        assert len(result.steps) == len(result.cost_saving_dollars)
+        assert len(result.steps) == len(result.speedup_hours)
+
+
+class TestScenarioFigures:
+    def test_fig9_both_meet_unconstrained(self):
+        result = fig9_scenario1(epochs=10.0)
+        assert result.heterbo.constraint_met
+        assert result.convbo.constraint_met
+        assert result.heterbo.trained and result.convbo.trained
+
+    def test_fig10_heterbo_meets_deadline_convbo_does_not(self):
+        result = fig10_scenario2()
+        assert result.heterbo.constraint_met
+        assert not result.convbo.constraint_met
+
+    def test_fig11_heterbo_meets_budget_convbo_does_not(self):
+        result = fig11_scenario3()
+        assert result.heterbo.constraint_met
+        assert not result.convbo.constraint_met
+
+    def test_fig11_profiling_fraction_small(self):
+        """The paper reports HeterBO using ~21% of ConvBO's profiling
+        spend under a budget; we require < 50%."""
+        assert fig11_scenario3().profiling_cost_fraction < 0.5
+
+
+class TestFig15:
+    def test_initial_probes_single_node(self):
+        result = fig15_charrnn_trace()
+        assert result.initial_steps_are_single_node
+
+    def test_budget_respected(self):
+        result = fig15_charrnn_trace()
+        assert result.report.constraint_met
+        assert result.report.total_dollars <= result.budget_dollars
+
+    def test_every_type_probed(self):
+        result = fig15_charrnn_trace()
+        per_type = result.steps_per_type
+        assert all(per_type[t] for t in result.instance_types)
+
+    def test_render_has_one_section_per_type(self):
+        result = fig15_charrnn_trace()
+        text = result.render()
+        for t in result.instance_types:
+            assert f"[{t}]" in text

@@ -1,0 +1,50 @@
+"""Reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_dollars,
+    format_hours,
+    format_table,
+    ratio,
+)
+
+
+class TestFormatters:
+    def test_hours(self):
+        assert format_hours(5400.0) == "1.50 h"
+
+    def test_dollars(self):
+        assert format_dollars(3.14159) == "$3.14"
+
+    def test_ratio(self):
+        assert ratio(10.0, 4.0) == pytest.approx(2.5)
+
+    def test_ratio_zero_denominator_rejected(self):
+        with pytest.raises(ValueError, match="denominator"):
+            ratio(1.0, 0.0)
+
+
+class TestTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [["x", "y"], ["long", "z"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # all rows align on the same column start
+        assert lines[0].index("bbb") == lines[2].index("y")
+
+    def test_empty_rows_ok(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError, match="headers"):
+            format_table([], [])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells_stringified(self):
+        out = format_table(["n"], [[42], [3.5]])
+        assert "42" in out and "3.5" in out

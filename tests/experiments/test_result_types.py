@@ -1,0 +1,134 @@
+"""Experiment result dataclasses: metric helpers on synthetic reports."""
+
+import pytest
+
+from repro.core.result import DeploymentReport, SearchResult
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+from repro.experiments.comparisons import Fig12Result, MethodBars
+from repro.experiments.scalability import Fig19Result
+from repro.experiments.sensitivity import Fig18Result
+
+
+def make_report(
+    *, profile_seconds=3600.0, profile_dollars=10.0,
+    train_seconds=7200.0, train_dollars=50.0,
+    scenario=None, strategy="x",
+):
+    search = SearchResult(
+        strategy=strategy,
+        scenario=scenario or Scenario.fastest(),
+        trials=(),
+        best=Deployment("c5.xlarge", 2),
+        best_measured_speed=10.0,
+        profile_seconds=profile_seconds,
+        profile_dollars=profile_dollars,
+        stop_reason="t",
+    )
+    return DeploymentReport(
+        search=search, train_seconds=train_seconds,
+        train_dollars=train_dollars, trained=True,
+    )
+
+
+class TestFig18Result:
+    @pytest.fixture
+    def result(self):
+        budgets = (100.0, 200.0)
+        reports = {}
+        for b in budgets:
+            reports[(b, "convbo")] = make_report(train_seconds=36000.0)
+            reports[(b, "bo_imprd")] = make_report(train_seconds=18000.0)
+            reports[(b, "cherrypick")] = make_report(train_seconds=14400.0)
+            reports[(b, "cp_imprd")] = make_report(train_seconds=14400.0)
+            reports[(b, "heterbo")] = make_report(train_seconds=7200.0)
+        return Fig18Result(
+            budgets=budgets, reports=reports,
+            opt={b: (3600.0, 20.0) for b in budgets},
+        )
+
+    def test_total_hours(self, result):
+        assert result.total_hours(100.0, "heterbo") == pytest.approx(3.0)
+
+    def test_speedup_vs(self, result):
+        # convbo total 11 h vs heterbo total 3 h
+        assert result.speedup_vs("convbo", 100.0) == pytest.approx(11 / 3)
+
+    def test_max_speedups(self, result):
+        assert result.max_speedup_vs_convbo == pytest.approx(11 / 3)
+        assert result.max_speedup_vs_cherrypick == pytest.approx(5 / 3)
+
+    def test_render_has_both_tables(self, result):
+        text = result.render()
+        assert "(a) total cost" in text
+        assert "(b) total time" in text
+
+
+class TestFig19Result:
+    @pytest.fixture
+    def result(self):
+        fast = make_report(train_seconds=3600.0, train_dollars=10.0,
+                           profile_dollars=5.0)
+        slow = make_report(train_seconds=7200.0, train_dollars=40.0,
+                           profile_dollars=20.0)
+        # use a real zoo name: render() maps model -> parameter count
+        return Fig19Result(
+            models=("bert",),
+            heterbo={"bert": (fast, fast)},
+            convbo={"bert": (slow, slow)},
+        )
+
+    def test_speedup(self, result):
+        # totals: fast 3600+3600=7200s, slow 3600+7200=10800s
+        assert result.speedup("bert") == pytest.approx(10800.0 / 7200.0)
+
+    def test_cost_saving(self, result):
+        assert result.cost_saving("bert") == pytest.approx(1 - 15.0 / 60.0)
+
+    def test_render_mentions_model(self, result):
+        assert "bert" in result.render()
+        assert "340M" in result.render()
+
+
+class TestMethodBars:
+    @pytest.fixture
+    def bars(self):
+        scenario = Scenario.fastest_within(100.0)
+        return MethodBars(
+            scenario=scenario,
+            reports={
+                "a": make_report(scenario=scenario, strategy="a"),
+                "b": make_report(scenario=scenario, strategy="b",
+                                 train_dollars=200.0),
+            },
+            opt_deployment=Deployment("c5.xlarge", 4),
+            opt_seconds=1800.0,
+            opt_dollars=15.0,
+        )
+
+    def test_totals(self, bars):
+        assert bars.total_hours("a") == pytest.approx(3.0)
+        assert bars.total_dollars("b") == pytest.approx(210.0)
+
+    def test_render_includes_opt_row(self, bars):
+        assert "opt" in bars.render()
+        assert "4x c5.xlarge" in bars.render()
+
+    def test_render_flags_violations(self, bars):
+        # method b: $210 total > $100 budget
+        assert "NO" in bars.render()
+
+
+class TestFig12Result:
+    def test_render_and_fields(self):
+        result = Fig12Result(
+            probe_counts=[1, 4],
+            whiskers={
+                1: (9.0, 9.5, 10.0, 11.0, 20.0),
+                4: (10.0, 10.2, 10.4, 10.6, 11.0),
+            },
+            heterbo_mean_hours=10.8,
+        )
+        text = result.render()
+        assert "HeterBO mean: 10.80 h" in text
+        assert "20.00" in text

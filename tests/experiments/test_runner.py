@@ -1,0 +1,91 @@
+"""Experiment runner: world construction and strategy execution."""
+
+import pytest
+
+from repro.baselines.convbo import ConvBO
+from repro.core.heterbo import HeterBO
+from repro.core.scenarios import Scenario
+from repro.experiments.runner import (
+    ExperimentConfig,
+    run_oracle,
+    run_strategy,
+)
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(
+        model="char-rnn",
+        dataset="char-corpus",
+        epochs=2.0,
+        seed=4,
+        instance_types=("c5.xlarge", "c5.4xlarge"),
+        max_count=16,
+    )
+
+
+class TestConfig:
+    def test_catalog_subset(self, config):
+        assert config.catalog().names == ["c5.xlarge", "c5.4xlarge"]
+
+    def test_full_catalog_when_unset(self):
+        cfg = ExperimentConfig(model="resnet", dataset="cifar10")
+        assert len(cfg.catalog()) == 20
+
+    def test_job_resolution(self, config):
+        job = config.job()
+        assert job.model.name == "char-rnn"
+        assert job.epochs == 2.0
+
+    def test_with_seed(self, config):
+        assert config.with_seed(9).seed == 9
+        assert config.seed == 4  # original untouched
+
+    def test_space_dimensions(self, config):
+        assert len(config.space()) == 2 * 16
+
+
+class TestRunStrategy:
+    def test_fresh_world_per_run(self, config):
+        """Two runs of the same strategy see identical worlds."""
+        a = run_strategy(HeterBO(seed=4), Scenario.fastest(), config)
+        b = run_strategy(HeterBO(seed=4), Scenario.fastest(), config)
+        assert a.report.total_seconds == b.report.total_seconds
+        assert a.report.search.best == b.report.search.best
+
+    def test_same_noise_across_strategies(self, config):
+        """Different strategies face the same noisy measurements for
+        the same deployment."""
+        a = run_strategy(HeterBO(seed=4), Scenario.fastest(), config)
+        b = run_strategy(ConvBO(seed=4), Scenario.fastest(), config)
+        speeds_a = {
+            t.deployment: t.measured_speed for t in a.report.search.trials
+        }
+        speeds_b = {
+            t.deployment: t.measured_speed for t in b.report.search.trials
+        }
+        shared = set(speeds_a) & set(speeds_b)
+        assert shared  # designs overlap somewhere
+        for d in shared:
+            assert speeds_a[d] == pytest.approx(speeds_b[d])
+
+    def test_train_false_skips_training(self, config):
+        run = run_strategy(
+            HeterBO(seed=4), Scenario.fastest(), config, train=False
+        )
+        assert not run.report.trained
+        assert run.report.train_seconds == 0.0
+
+
+class TestRunOracle:
+    def test_oracle_totals_consistent(self, config):
+        d, speed, seconds, dollars = run_oracle(Scenario.fastest(), config)
+        assert seconds == pytest.approx(config.job().total_samples / speed)
+        assert dollars == pytest.approx(
+            seconds * config.space().hourly_price(d) / 3600.0
+        )
+
+    def test_oracle_at_least_as_good_as_any_strategy(self, config):
+        _, _, opt_seconds, _ = run_oracle(Scenario.fastest(), config)
+        run = run_strategy(HeterBO(seed=4), Scenario.fastest(), config)
+        assert run.report.train_seconds >= opt_seconds * 0.95

@@ -1,0 +1,121 @@
+"""End-to-end integration: full-stack flows across subsystems."""
+
+import pytest
+
+from repro.baselines import CherryPick, ConvBO, Paleo, RandomSearch
+from repro.core.heterbo import HeterBO
+from repro.core.scenarios import Scenario
+from repro.experiments.runner import ExperimentConfig, run_strategy
+from repro.mlcd.system import MLCD
+from repro.mlcd.scenario_analyzer import UserRequirements
+from repro.cloud.catalog import paper_catalog
+
+
+class TestAllStrategiesComplete:
+    """Every strategy completes every scenario kind on every workload
+    family (CNN/RNN/transformer) without raising."""
+
+    @pytest.fixture(params=["char-rnn", "resnet", "bert"])
+    def config(self, request):
+        settings = {
+            "char-rnn": dict(dataset="char-corpus", epochs=2.0, protocol=None),
+            "resnet": dict(dataset="cifar10", epochs=5.0, protocol=None),
+            "bert": dict(dataset="bert-corpus", epochs=0.005, protocol="ring"),
+        }[request.param]
+        return ExperimentConfig(
+            model=request.param,
+            seed=1,
+            instance_types=("c5.4xlarge", "c5n.4xlarge", "p2.xlarge"),
+            max_count=16,
+            **settings,
+        )
+
+    @pytest.mark.parametrize("strategy_factory", [
+        lambda: HeterBO(seed=1),
+        lambda: ConvBO(seed=1, max_steps=10),
+        lambda: CherryPick(seed=1, max_steps=10),
+        lambda: RandomSearch(n_probes=5, seed=1),
+        lambda: Paleo(),
+    ], ids=["heterbo", "convbo", "cherrypick", "random", "paleo"])
+    def test_scenario1_completes(self, config, strategy_factory):
+        run = run_strategy(strategy_factory(), Scenario.fastest(), config)
+        assert run.report.search.stop_reason
+        assert run.report.trained or run.report.search.best is None
+
+    def test_scenario2_and_3_heterbo(self, config):
+        for scenario in (
+            Scenario.cheapest_within(24 * 3600.0),
+            Scenario.fastest_within(100.0),
+        ):
+            run = run_strategy(HeterBO(seed=1), scenario, config)
+            assert run.report.trained
+
+
+class TestAccountingConsistency:
+    def test_ledger_equals_report_totals(self):
+        config = ExperimentConfig(
+            model="char-rnn", dataset="char-corpus", epochs=2.0, seed=2,
+            instance_types=("c5.xlarge", "c5.4xlarge"), max_count=12,
+        )
+        run = run_strategy(HeterBO(seed=2), Scenario.fastest(), config)
+        cloud = run.engine.cloud
+        assert run.report.total_dollars == pytest.approx(
+            cloud.total_spend()
+        )
+        assert run.report.search.profile_dollars == pytest.approx(
+            cloud.total_spend("profiling")
+        )
+        assert run.report.train_dollars == pytest.approx(
+            cloud.total_spend("training")
+        )
+
+    def test_trial_cumulative_matches_final(self):
+        config = ExperimentConfig(
+            model="char-rnn", dataset="char-corpus", epochs=2.0, seed=2,
+            instance_types=("c5.xlarge", "c5.4xlarge"), max_count=12,
+        )
+        run = run_strategy(HeterBO(seed=2), Scenario.fastest(), config)
+        trials = run.report.search.trials
+        assert trials[-1].spent_dollars == pytest.approx(
+            run.report.search.profile_dollars
+        )
+        assert trials[-1].spent_dollars == pytest.approx(
+            sum(t.profile_dollars for t in trials)
+        )
+
+
+class TestMLCDSmoke:
+    def test_mlcd_full_catalog_budget(self):
+        mlcd = MLCD(seed=5, max_count=20)
+        report = mlcd.deploy(
+            model="inception-v3", dataset="cifar10", epochs=3,
+            requirements=UserRequirements(budget_dollars=80.0),
+        )
+        assert report.trained
+        assert report.constraint_met
+
+    def test_mlcd_respects_subset_catalog(self):
+        catalog = paper_catalog().subset(["c5.xlarge", "c5.4xlarge"])
+        mlcd = MLCD(catalog=catalog, max_count=10, seed=5)
+        report = mlcd.deploy(
+            model="char-rnn", dataset="char-corpus", epochs=1,
+        )
+        assert report.search.best.instance_type in (
+            "c5.xlarge", "c5.4xlarge"
+        )
+
+
+class TestFailureRecovery:
+    def test_search_survives_infeasible_regions(self):
+        """ZeRO-20B: single-node probes of every type fail, yet the
+        search recovers and selects a working scale-out deployment."""
+        config = ExperimentConfig(
+            model="zero-20b", dataset="bert-corpus", epochs=0.002,
+            protocol="ring", seed=0,
+            instance_types=("p3.8xlarge", "p3.16xlarge"), max_count=16,
+        )
+        run = run_strategy(HeterBO(seed=0), Scenario.fastest(), config)
+        failed = [t for t in run.report.search.trials if t.failed]
+        assert failed, "expected some failed single-node probes"
+        assert run.report.trained
+        assert run.report.search.best.count > 1

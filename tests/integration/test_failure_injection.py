@@ -1,0 +1,160 @@
+"""Failure injection: transient capacity errors through the stack."""
+
+import pytest
+
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.provider import InsufficientCapacityError, SimulatedCloud
+from repro.core.engine import SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.scenarios import Scenario
+from repro.core.search_space import DeploymentSpace
+from repro.profiling.profiler import Profiler
+from repro.sim.noise import NoiseModel
+from repro.sim.throughput import TrainingSimulator
+
+
+@pytest.fixture
+def flaky_world(charrnn_job):
+    catalog = paper_catalog().subset(
+        ["c5.xlarge", "c5.4xlarge", "p2.xlarge"]
+    )
+
+    def make(rate: float, retries: int = 2):
+        cloud = SimulatedCloud(
+            catalog, launch_failure_rate=rate, failure_seed=7
+        )
+        profiler = Profiler(
+            cloud,
+            TrainingSimulator(),
+            noise=NoiseModel(sigma=0.03, seed=7),
+            launch_retries=retries,
+        )
+        space = DeploymentSpace(catalog, max_count=20)
+        return cloud, profiler, space
+
+    return make, charrnn_job
+
+
+class TestProviderInjection:
+    def test_zero_rate_never_fails(self, flaky_world):
+        make, _ = flaky_world
+        cloud, _, _ = make(0.0)
+        for _ in range(50):
+            c = cloud.launch("c5.xlarge", 1)
+            cloud.wait_until_ready(c)
+            cloud.terminate(c, purpose="x")
+
+    def test_nonzero_rate_fails_sometimes(self, flaky_world):
+        make, _ = flaky_world
+        cloud, _, _ = make(0.5)
+        failures = 0
+        for _ in range(40):
+            try:
+                c = cloud.launch("c5.xlarge", 1)
+                cloud.wait_until_ready(c)
+                cloud.terminate(c, purpose="x")
+            except InsufficientCapacityError:
+                failures += 1
+        assert 5 < failures < 35
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError, match="launch_failure_rate"):
+            SimulatedCloud(paper_catalog(), launch_failure_rate=1.0)
+
+    def test_failures_deterministic(self, flaky_world):
+        make, _ = flaky_world
+
+        def failure_pattern():
+            cloud, _, _ = make(0.5)
+            pattern = []
+            for _ in range(20):
+                try:
+                    c = cloud.launch("c5.xlarge", 1)
+                    cloud.wait_until_ready(c)
+                    cloud.terminate(c, purpose="x")
+                    pattern.append(True)
+                except InsufficientCapacityError:
+                    pattern.append(False)
+            return pattern
+
+        assert failure_pattern() == failure_pattern()
+
+
+class TestProfilerRetry:
+    def test_retry_recovers(self, flaky_world):
+        """With retries, a moderate failure rate still yields
+        measurements for most probes."""
+        make, job = flaky_world
+        _, profiler, _ = make(0.3, retries=3)
+        results = [
+            profiler.profile("c5.4xlarge", n, job) for n in range(1, 9)
+        ]
+        measured = [r for r in results if not r.failed]
+        assert len(measured) >= 6
+
+    def test_exhausted_retries_mark_capacity(self, flaky_world):
+        make, job = flaky_world
+        _, profiler, _ = make(0.9, retries=0)
+        results = [
+            profiler.profile("c5.4xlarge", n, job) for n in range(1, 12)
+        ]
+        capacity_failures = [
+            r for r in results if r.failure_reason == "capacity"
+        ]
+        assert capacity_failures
+        for r in capacity_failures:
+            assert r.dollars == 0.0  # nothing launched, nothing billed
+            assert r.seconds > 0.0  # but wall clock burned on backoff
+
+    def test_backoff_advances_clock(self, flaky_world):
+        make, job = flaky_world
+        cloud, profiler, _ = make(0.9, retries=1)
+        before = cloud.elapsed()
+        result = profiler.profile("c5.4xlarge", 1, job)
+        if result.failure_reason == "capacity":
+            assert cloud.elapsed() - before == pytest.approx(
+                2 * profiler.retry_backoff_seconds
+            )
+
+
+class TestSearchResilience:
+    def test_heterbo_completes_despite_flaky_cloud(self, flaky_world):
+        make, job = flaky_world
+        _, profiler, space = make(0.25, retries=2)
+        context = SearchContext(
+            space=space, profiler=profiler, job=job,
+            scenario=Scenario.fastest(),
+        )
+        result = HeterBO(seed=7).search(context)
+        assert result.best is not None
+
+    def test_capacity_failures_do_not_poison_prior(self, flaky_world):
+        """A capacity failure at high n must not cap the type."""
+        from repro.profiling.profiler import ProfileResult
+
+        strategy = HeterBO(seed=0)
+        strategy.on_observation(None, ProfileResult(
+            instance_type="c5.4xlarge", count=16, speed=0.0,
+            seconds=60.0, dollars=0.0, iteration_speeds=(),
+            extensions=0, failed=True, failure_reason="capacity",
+        ))
+        assert strategy.prior.max_allowed("c5.4xlarge") is None
+
+    def test_capacity_failures_stay_out_of_gp(self, flaky_world):
+        from repro.core.engine import GPSearchEngine
+        from repro.profiling.profiler import ProfileResult
+
+        make, job = flaky_world
+        _, profiler, space = make(0.0)
+        context = SearchContext(
+            space=space, profiler=profiler, job=job,
+            scenario=Scenario.fastest(),
+        )
+        engine = GPSearchEngine(context)
+        d = engine.add_observation(ProfileResult(
+            instance_type="c5.4xlarge", count=4, speed=0.0,
+            seconds=60.0, dollars=0.0, iteration_speeds=(),
+            extensions=0, failed=True, failure_reason="capacity",
+        ))
+        assert engine.n_observations == 0
+        assert not engine.visited(d)  # may be retried later

@@ -1,0 +1,80 @@
+"""Cross-seed guarantee properties: HeterBO's constraint compliance.
+
+The paper's core claim is not just that HeterBO is faster on average
+but that it "provide[s] guarantees for user-defined deployment
+requirements".  These tests sweep seeds and constraint levels and
+require the end-to-end (profiling + training) totals to respect the
+constraint every single time.
+"""
+
+import pytest
+
+from repro.baselines.convbo import ConvBO
+from repro.core.heterbo import HeterBO
+from repro.core.scenarios import Scenario
+from repro.experiments.runner import ExperimentConfig, run_strategy
+
+
+def config(seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        model="char-rnn",
+        dataset="char-corpus",
+        epochs=4.0,
+        seed=seed,
+        instance_types=("c5.xlarge", "c5.4xlarge", "p2.xlarge"),
+        max_count=24,
+    )
+
+
+class TestBudgetGuarantee:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_budget_never_violated(self, seed):
+        budget = 60.0
+        run = run_strategy(
+            HeterBO(seed=seed),
+            Scenario.fastest_within(budget),
+            config(seed),
+        )
+        assert run.report.trained
+        assert run.report.total_dollars <= budget * 1.001, (
+            f"seed {seed}: spent ${run.report.total_dollars:.2f}"
+        )
+
+    @pytest.mark.parametrize("budget", [25.0, 60.0, 150.0])
+    def test_budget_levels(self, budget):
+        run = run_strategy(
+            HeterBO(seed=0),
+            Scenario.fastest_within(budget),
+            config(0),
+        )
+        assert run.report.trained
+        assert run.report.total_dollars <= budget * 1.001
+
+
+class TestDeadlineGuarantee:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_deadline_never_violated(self, seed):
+        deadline = 14 * 3600.0
+        run = run_strategy(
+            HeterBO(seed=seed),
+            Scenario.cheapest_within(deadline),
+            config(seed),
+        )
+        assert run.report.trained
+        assert run.report.total_seconds <= deadline * 1.001, (
+            f"seed {seed}: took {run.report.total_seconds / 3600:.2f} h"
+        )
+
+
+class TestHeterBOvsConvBO:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_heterbo_profiling_cheaper_under_budget(self, seed):
+        """Under a budget, HeterBO's profiling spend never exceeds
+        ConvBO's (cost-aware acquisition + protective stop)."""
+        scenario = Scenario.fastest_within(60.0)
+        h = run_strategy(HeterBO(seed=seed), scenario, config(seed))
+        c = run_strategy(ConvBO(seed=seed), scenario, config(seed))
+        assert (
+            h.report.search.profile_dollars
+            <= c.report.search.profile_dollars * 1.001
+        )

@@ -1,0 +1,66 @@
+"""DeploymentEngine: search/train orchestration and billing split."""
+
+import pytest
+
+from repro.core.heterbo import HeterBO
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+from repro.mlcd.deployment_engine import DeploymentEngine
+from repro.sim.throughput import InfeasibleDeploymentError
+
+
+@pytest.fixture
+def engine(small_space, profiler, simulator):
+    return DeploymentEngine(small_space, profiler, simulator)
+
+
+class TestExecuteTraining:
+    def test_returns_time_and_cost(self, engine, charrnn_job):
+        seconds, dollars = engine.execute_training(
+            Deployment("c5.4xlarge", 4), charrnn_job
+        )
+        true_speed = engine.simulator.true_speed(
+            engine.space.catalog["c5.4xlarge"], 4, charrnn_job
+        )
+        expected = charrnn_job.total_samples / true_speed
+        # wall time includes cluster setup
+        assert seconds == pytest.approx(
+            expected + engine.cloud.setup_seconds
+        )
+        assert dollars > 0
+
+    def test_billed_under_training(self, engine, charrnn_job):
+        _, dollars = engine.execute_training(
+            Deployment("c5.4xlarge", 2), charrnn_job
+        )
+        assert engine.cloud.total_spend("training") == pytest.approx(dollars)
+        assert engine.cloud.total_spend("profiling") == 0.0
+
+    def test_infeasible_deployment_raises(self, engine, charrnn_job):
+        with pytest.raises(InfeasibleDeploymentError):
+            engine.execute_training(
+                Deployment("c5.xlarge", charrnn_job.batch + 1), charrnn_job
+            )
+
+
+class TestDeploy:
+    def test_full_pipeline(self, engine, charrnn_job):
+        report = engine.deploy(
+            HeterBO(seed=0), charrnn_job, Scenario.fastest()
+        )
+        assert report.trained
+        assert report.train_seconds > 0
+        assert report.total_dollars == pytest.approx(
+            engine.cloud.total_spend()
+        )
+
+    def test_profile_train_split_matches_ledger(self, engine, charrnn_job):
+        report = engine.deploy(
+            HeterBO(seed=0), charrnn_job, Scenario.fastest()
+        )
+        assert report.search.profile_dollars == pytest.approx(
+            engine.cloud.total_spend("profiling")
+        )
+        assert report.train_dollars == pytest.approx(
+            engine.cloud.total_spend("training")
+        )

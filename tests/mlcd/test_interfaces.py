@@ -1,0 +1,77 @@
+"""Cloud Interface and ML Platform Interface."""
+
+import pytest
+
+from repro.cloud.provider import SimulatedCloud
+from repro.mlcd.cloud_interface import SimulatedCloudInterface
+from repro.mlcd.platform_interface import MLPlatformInterface
+from repro.sim.comm import CommProtocol
+
+
+class TestSimulatedCloudInterface:
+    @pytest.fixture
+    def iface(self, small_catalog):
+        return SimulatedCloudInterface(SimulatedCloud(small_catalog))
+
+    def test_catalog_exposed(self, iface, small_catalog):
+        assert iface.catalog.names == small_catalog.names
+
+    def test_launch_waits_for_running(self, iface):
+        cluster = iface.launch_cluster("c5.xlarge", 2)
+        from repro.cloud.cluster import ClusterState
+        assert cluster.state is ClusterState.RUNNING
+
+    def test_run_and_terminate_bill(self, iface):
+        cluster = iface.launch_cluster("c5.xlarge", 1)
+        iface.run_cluster(cluster, 600.0)
+        dollars = iface.terminate_cluster(cluster, purpose="profiling")
+        assert dollars > 0
+        assert iface.total_spend("profiling") == pytest.approx(dollars)
+        assert iface.elapsed_seconds() > 600.0
+
+    def test_metric_statistics_roundtrip(self, iface):
+        iface.cloud.metrics.put_many(
+            "c", "speed", [0.0, 1.0], [10.0, 12.0]
+        )
+        stats = iface.get_metric_statistics("c", "speed")
+        assert stats.mean == pytest.approx(11.0)
+
+
+class TestMLPlatformInterface:
+    @pytest.fixture
+    def iface(self):
+        return MLPlatformInterface()
+
+    def test_supported_platforms(self, iface):
+        assert "tensorflow" in iface.supported_platforms()
+        assert "mxnet" in iface.supported_platforms()
+
+    def test_protocol_aliases(self, iface):
+        assert iface.resolve_protocol("ps") is CommProtocol.PARAMETER_SERVER
+        assert (
+            iface.resolve_protocol("ring-allreduce")
+            is CommProtocol.RING_ALLREDUCE
+        )
+        assert iface.resolve_protocol("RING") is CommProtocol.RING_ALLREDUCE
+
+    def test_none_protocol_defers(self, iface):
+        assert iface.resolve_protocol(None) is None
+
+    def test_unknown_protocol_rejected(self, iface):
+        with pytest.raises(ValueError, match="protocol"):
+            iface.resolve_protocol("smoke-signals")
+
+    def test_build_job_resolves_names(self, iface):
+        job = iface.build_job(
+            model="bert", dataset="bert-corpus",
+            platform="mxnet", protocol="ring",
+            global_batch=64, epochs=0.5,
+        )
+        assert job.model.name == "bert"
+        assert job.platform.name == "mxnet"
+        assert job.effective_protocol is CommProtocol.RING_ALLREDUCE
+        assert job.batch == 64
+
+    def test_build_job_unknown_model(self, iface):
+        with pytest.raises(KeyError):
+            iface.build_job(model="nope", dataset="cifar10")

@@ -1,0 +1,42 @@
+"""ScenarioAnalyzer and UserRequirements."""
+
+import pytest
+
+from repro.core.scenarios import ScenarioKind
+from repro.mlcd.scenario_analyzer import ScenarioAnalyzer, UserRequirements
+
+
+class TestUserRequirements:
+    def test_empty_is_scenario1(self):
+        r = UserRequirements()
+        assert r.deadline_hours is None and r.budget_dollars is None
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            UserRequirements(deadline_hours=-1.0)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            UserRequirements(budget_dollars=0.0)
+
+    def test_both_constraints_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            UserRequirements(deadline_hours=1.0, budget_dollars=1.0)
+
+
+class TestAnalyzer:
+    def test_no_requirements_scenario1(self):
+        s = ScenarioAnalyzer().analyze(UserRequirements())
+        assert s.kind is ScenarioKind.MIN_TIME_UNBOUNDED
+
+    def test_deadline_scenario2_converts_hours(self):
+        s = ScenarioAnalyzer().analyze(UserRequirements(deadline_hours=6.0))
+        assert s.kind is ScenarioKind.MIN_COST_DEADLINE
+        assert s.deadline_seconds == pytest.approx(21600.0)
+
+    def test_budget_scenario3(self):
+        s = ScenarioAnalyzer().analyze(
+            UserRequirements(budget_dollars=100.0)
+        )
+        assert s.kind is ScenarioKind.MIN_TIME_BUDGET
+        assert s.budget_dollars == 100.0

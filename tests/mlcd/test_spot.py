@@ -1,0 +1,103 @@
+"""SpotTrainingExecutor: checkpoint/restart semantics."""
+
+import pytest
+
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.spot import SpotMarket
+from repro.core.search_space import Deployment
+from repro.mlcd.spot import SpotTrainingExecutor
+from repro.sim.throughput import TrainingSimulator
+
+
+@pytest.fixture
+def world(charrnn_job):
+    catalog = paper_catalog()
+    market = SpotMarket(catalog, seed=3)
+    executor = SpotTrainingExecutor(market, TrainingSimulator(), catalog)
+    return market, executor, charrnn_job
+
+
+class TestExecution:
+    def test_generous_bid_matches_on_demand_time(self, world):
+        _, executor, job = world
+        outcome = executor.execute(
+            Deployment("c5.4xlarge", 8), job, bid_factor=1.0
+        )
+        assert outcome.revocations == 0
+        assert outcome.time_inflation == pytest.approx(1.0)
+        assert outcome.cost_saving > 0.3  # spot mean ~0.4 of on-demand
+
+    def test_aggressive_bid_trades_time_for_dollars(self, world):
+        market, executor, job = world
+        d = Deployment("c5.4xlarge", 8)
+        aggressive = executor.execute(
+            d, job, bid_factor=market.floor + 0.08
+        )
+        relaxed = executor.execute(d, job, bid_factor=1.0)
+        assert aggressive.revocations > 0
+        assert aggressive.seconds > relaxed.seconds
+        assert aggressive.dollars < relaxed.on_demand_dollars
+
+    def test_wasted_time_accounted(self, world):
+        market, executor, job = world
+        outcome = executor.execute(
+            Deployment("c5.4xlarge", 8), job,
+            bid_factor=market.floor + 0.08,
+        )
+        if outcome.revocations:
+            assert outcome.wasted_seconds > 0
+            # wall time >= productive time + waste
+            assert outcome.seconds >= (
+                outcome.on_demand_seconds + outcome.wasted_seconds
+            ) * 0.999
+
+    def test_bid_below_floor_rejected(self, world):
+        market, executor, job = world
+        with pytest.raises(RuntimeError, match="floor"):
+            executor.execute(
+                Deployment("c5.4xlarge", 8), job,
+                bid_factor=market.floor / 2,
+            )
+
+    def test_deterministic(self, world):
+        _, executor, job = world
+        d = Deployment("c5.4xlarge", 8)
+        a = executor.execute(d, job, bid_factor=0.45)
+        b = executor.execute(d, job, bid_factor=0.45)
+        assert a == b
+
+    def test_cost_never_exceeds_bid_ceiling(self, world):
+        """Every billed second is priced at <= bid x on-demand."""
+        market, executor, job = world
+        d = Deployment("c5.4xlarge", 8)
+        bid = 0.5
+        outcome = executor.execute(d, job, bid_factor=bid)
+        itype = paper_catalog()["c5.4xlarge"]
+        productive_plus_lost = (
+            outcome.on_demand_seconds
+            + outcome.wasted_seconds
+            - outcome.revocations * executor.restart_seconds
+        )
+        ceiling = (
+            itype.hourly_price * bid * d.count
+            * productive_plus_lost / 3600.0
+        )
+        assert outcome.dollars <= ceiling * 1.001
+
+
+class TestValidation:
+    def test_bad_checkpoint_rejected(self, world):
+        market, _, _ = world
+        with pytest.raises(ValueError, match="checkpoint"):
+            SpotTrainingExecutor(
+                market, TrainingSimulator(), paper_catalog(),
+                checkpoint_seconds=0.0,
+            )
+
+    def test_bad_restart_rejected(self, world):
+        market, _, _ = world
+        with pytest.raises(ValueError, match="restart"):
+            SpotTrainingExecutor(
+                market, TrainingSimulator(), paper_catalog(),
+                restart_seconds=-1.0,
+            )

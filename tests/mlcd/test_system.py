@@ -1,0 +1,100 @@
+"""MLCD facade: end-to-end deployments per scenario."""
+
+import pytest
+
+from repro.baselines.convbo import ConvBO
+from repro.cloud.catalog import paper_catalog
+from repro.mlcd.system import MLCD
+from repro.mlcd.scenario_analyzer import UserRequirements
+
+
+@pytest.fixture
+def small_mlcd_kwargs():
+    return dict(
+        catalog=paper_catalog().subset(
+            ["c5.xlarge", "c5.4xlarge", "p2.xlarge"]
+        ),
+        max_count=20,
+        seed=3,
+    )
+
+
+class TestDeploy:
+    def test_scenario1_unconstrained(self, small_mlcd_kwargs):
+        mlcd = MLCD(**small_mlcd_kwargs)
+        report = mlcd.deploy(
+            model="char-rnn", dataset="char-corpus", epochs=2,
+        )
+        assert report.trained
+        assert report.constraint_met
+
+    def test_scenario3_budget_respected(self, small_mlcd_kwargs):
+        mlcd = MLCD(**small_mlcd_kwargs)
+        report = mlcd.deploy(
+            model="char-rnn", dataset="char-corpus", epochs=2,
+            requirements=UserRequirements(budget_dollars=120.0),
+        )
+        assert report.constraint_met
+        assert report.total_dollars <= 120.0
+
+    def test_scenario2_deadline_respected(self, small_mlcd_kwargs):
+        mlcd = MLCD(**small_mlcd_kwargs)
+        report = mlcd.deploy(
+            model="char-rnn", dataset="char-corpus", epochs=2,
+            requirements=UserRequirements(deadline_hours=6.0),
+        )
+        assert report.constraint_met
+        assert report.total_seconds <= 6.0 * 3600.0
+
+    def test_custom_strategy(self, small_mlcd_kwargs):
+        mlcd = MLCD(strategy=ConvBO(seed=3), **small_mlcd_kwargs)
+        report = mlcd.deploy(
+            model="char-rnn", dataset="char-corpus", epochs=2,
+        )
+        assert report.search.strategy == "convbo"
+
+    def test_one_deploy_per_session(self, small_mlcd_kwargs):
+        mlcd = MLCD(**small_mlcd_kwargs)
+        mlcd.deploy(model="char-rnn", dataset="char-corpus", epochs=2)
+        with pytest.raises(RuntimeError, match="fresh MLCD"):
+            mlcd.deploy(model="char-rnn", dataset="char-corpus", epochs=2)
+
+    def test_platform_and_protocol_pass_through(self, small_mlcd_kwargs):
+        mlcd = MLCD(**small_mlcd_kwargs)
+        report = mlcd.deploy(
+            model="bert", dataset="bert-corpus",
+            platform="mxnet", protocol="ring", epochs=0.005,
+        )
+        assert report.trained
+
+    def test_default_catalog_used_when_omitted(self):
+        mlcd = MLCD(seed=0)
+        assert "p3.16xlarge" in mlcd.catalog
+
+
+class TestParetoOptions:
+    def test_pareto_before_deploy_rejected(self, small_mlcd_kwargs):
+        from repro.core.result import DeploymentReport, SearchResult
+        from repro.core.scenarios import Scenario
+
+        mlcd = MLCD(**small_mlcd_kwargs)
+        dummy = DeploymentReport(search=SearchResult(
+            strategy="x", scenario=Scenario.fastest(), trials=(),
+            best=None, best_measured_speed=0.0,
+            profile_seconds=0, profile_dollars=0, stop_reason="t",
+        ))
+        with pytest.raises(RuntimeError, match="before deploy"):
+            mlcd.pareto_options(dummy)
+
+    def test_pareto_options_after_deploy(self, small_mlcd_kwargs):
+        mlcd = MLCD(**small_mlcd_kwargs)
+        report = mlcd.deploy(
+            model="char-rnn", dataset="char-corpus", epochs=2,
+        )
+        front = mlcd.pareto_options(report)
+        assert front
+        # mutual non-domination
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not a.dominates(b)

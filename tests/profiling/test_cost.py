@@ -1,0 +1,62 @@
+"""ProfilingCostModel: the paper's profiling-cost formula."""
+
+import pytest
+
+from repro.cloud.catalog import paper_catalog
+from repro.profiling.cost import ProfilingCostModel
+
+
+@pytest.fixture
+def model():
+    return ProfilingCostModel()
+
+
+class TestTime:
+    def test_single_node_is_10_minutes(self, model):
+        assert model.profiling_seconds(1) == 600.0
+
+    def test_paper_increment_every_3_nodes(self, model):
+        """'extra 1 minute ... for every increase of 3 extra nodes'."""
+        assert model.profiling_seconds(4) == 660.0
+        assert model.profiling_seconds(7) == 720.0
+
+    def test_no_increment_below_threshold(self, model):
+        assert model.profiling_seconds(3) == 600.0
+
+    def test_fifty_nodes(self, model):
+        # 49 extra nodes -> 16 full increments of 3
+        assert model.profiling_seconds(50) == 600.0 + 16 * 60.0
+
+    def test_nondecreasing(self, model):
+        times = [model.profiling_seconds(n) for n in range(1, 101)]
+        assert times == sorted(times)
+
+    def test_zero_count_rejected(self, model):
+        with pytest.raises(ValueError, match="count"):
+            model.profiling_seconds(0)
+
+
+class TestMoney:
+    def test_formula_p_times_n_times_t(self, model):
+        itype = paper_catalog()["c5.xlarge"]
+        expected = (
+            itype.price_per_second * 4 * model.profiling_seconds(4)
+        )
+        assert model.profiling_dollars(itype, 4) == pytest.approx(expected)
+
+    def test_heterogeneity_spans_orders_of_magnitude(self, model):
+        """The core premise: probes differ enormously in price."""
+        catalog = paper_catalog()
+        cheap = model.profiling_dollars(catalog["c5.xlarge"], 1)
+        pricey = model.profiling_dollars(catalog["p3.16xlarge"], 50)
+        assert pricey > 1000 * cheap
+
+
+class TestValidation:
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError, match="base_seconds"):
+            ProfilingCostModel(base_seconds=0.0)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="extra_seconds"):
+            ProfilingCostModel(extra_seconds_per_3_nodes=-1.0)

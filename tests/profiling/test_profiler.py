@@ -1,0 +1,145 @@
+"""Profiler: measurement, billing, stability extension, failures."""
+
+import pytest
+
+from repro.cloud.provider import SimulatedCloud
+from repro.profiling.profiler import Profiler
+from repro.sim.noise import NoiseModel
+from repro.sim.throughput import TrainingSimulator
+
+
+class TestMeasurement:
+    def test_speed_close_to_truth(self, profiler, small_catalog, charrnn_job):
+        result = profiler.profile("c5.4xlarge", 4, charrnn_job)
+        truth = profiler.simulator.true_speed(
+            small_catalog["c5.4xlarge"], 4, charrnn_job
+        )
+        assert result.speed == pytest.approx(truth, rel=0.05)
+        assert not result.failed
+
+    def test_result_identifies_deployment(self, profiler, charrnn_job):
+        result = profiler.profile("c5.xlarge", 3, charrnn_job)
+        assert result.instance_type == "c5.xlarge"
+        assert result.count == 3
+
+    def test_iteration_speeds_recorded(self, profiler, charrnn_job):
+        result = profiler.profile("c5.xlarge", 1, charrnn_job)
+        assert len(result.iteration_speeds) >= 10
+
+    def test_deterministic_given_seed(
+        self, small_catalog, simulator, charrnn_job
+    ):
+        speeds = []
+        for _ in range(2):
+            cloud = SimulatedCloud(small_catalog)
+            profiler = Profiler(
+                cloud, simulator, noise=NoiseModel(sigma=0.03, seed=9)
+            )
+            speeds.append(profiler.profile("c5.4xlarge", 4, charrnn_job).speed)
+        assert speeds[0] == speeds[1]
+
+    def test_metrics_pushed_to_cloudwatch(self, profiler, charrnn_job):
+        profiler.profile("c5.xlarge", 1, charrnn_job)
+        namespaces = profiler.cloud.metrics.namespaces()
+        assert len(namespaces) == 1
+        values = profiler.cloud.metrics.values(namespaces[0], "training_speed")
+        assert len(values) >= 10
+
+
+class TestCostAccounting:
+    def test_clock_advances_by_profiling_window(self, profiler, charrnn_job):
+        result = profiler.profile("c5.xlarge", 1, charrnn_job)
+        assert profiler.cloud.elapsed() == pytest.approx(result.seconds)
+        assert result.seconds == pytest.approx(
+            profiler.profiling_seconds(1)
+        )
+
+    def test_ledger_charged_under_profiling(self, profiler, charrnn_job):
+        result = profiler.profile("c5.4xlarge", 4, charrnn_job)
+        assert profiler.cloud.total_spend("profiling") == pytest.approx(
+            result.dollars
+        )
+
+    def test_dollars_match_preview(self, profiler, charrnn_job):
+        preview = profiler.profiling_dollars("c5.4xlarge", 4)
+        result = profiler.profile("c5.4xlarge", 4, charrnn_job)
+        assert result.dollars == pytest.approx(preview)
+
+    def test_bigger_cluster_costs_more(self, profiler, charrnn_job):
+        small = profiler.profile("c5.xlarge", 1, charrnn_job)
+        large = profiler.profile("c5.xlarge", 10, charrnn_job)
+        assert large.dollars > 5 * small.dollars
+
+
+class TestStabilityExtension:
+    def test_quiet_deployment_not_extended(self, profiler, charrnn_job):
+        result = profiler.profile("c5.4xlarge", 4, charrnn_job)
+        assert result.extensions == 0
+
+    def test_noisy_deployment_extended(
+        self, small_catalog, simulator, charrnn_job
+    ):
+        cloud = SimulatedCloud(small_catalog)
+        profiler = Profiler(
+            cloud,
+            simulator,
+            noise=NoiseModel(sigma=0.10, seed=0, unstable_fraction=1.0),
+            stability_cv=0.05,
+            max_extensions=2,
+        )
+        result = profiler.profile("c5.4xlarge", 4, charrnn_job)
+        assert result.extensions >= 1
+        assert result.seconds > profiler.profiling_seconds(4)
+
+    def test_extension_bounded(self, small_catalog, simulator, charrnn_job):
+        cloud = SimulatedCloud(small_catalog)
+        profiler = Profiler(
+            cloud,
+            simulator,
+            noise=NoiseModel(sigma=0.5, seed=0, unstable_fraction=1.0),
+            stability_cv=0.01,
+            max_extensions=3,
+        )
+        result = profiler.profile("c5.4xlarge", 4, charrnn_job)
+        assert result.extensions == 3
+
+
+class TestFailedProbes:
+    @pytest.fixture
+    def oom_job(self):
+        """ZeRO-20B cannot fit any single node in the small catalog."""
+        from repro.sim.comm import CommProtocol
+        from repro.sim.datasets import get_dataset
+        from repro.sim.platforms import get_platform
+        from repro.sim.throughput import TrainingJob
+        from repro.sim.zoo import get_model
+
+        return TrainingJob(
+            model=get_model("zero-20b"),
+            dataset=get_dataset("bert-corpus"),
+            platform=get_platform("tensorflow"),
+            protocol=CommProtocol.RING_ALLREDUCE,
+        )
+
+    def test_infeasible_probe_fails_gracefully(self, profiler, oom_job):
+        result = profiler.profile("p2.xlarge", 1, oom_job)
+        assert result.failed
+        assert result.speed == 0.0
+        assert result.iteration_speeds == ()
+
+    def test_failed_probe_still_billed(self, profiler, oom_job):
+        result = profiler.profile("p2.xlarge", 1, oom_job)
+        assert result.dollars > 0
+        assert profiler.cloud.total_spend("profiling") == pytest.approx(
+            result.dollars
+        )
+
+
+class TestValidation:
+    def test_bad_stability_cv_rejected(self, cloud, simulator):
+        with pytest.raises(ValueError, match="stability_cv"):
+            Profiler(cloud, simulator, stability_cv=0.0)
+
+    def test_negative_extensions_rejected(self, cloud, simulator):
+        with pytest.raises(ValueError, match="max_extensions"):
+            Profiler(cloud, simulator, max_extensions=-1)

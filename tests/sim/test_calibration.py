@@ -1,0 +1,128 @@
+"""Calibration contracts: the paper's qualitative shapes.
+
+These tests pin the simulator to the structural facts the paper's
+evaluation depends on.  If a constant in ``repro.sim`` changes, these
+say whether the world still behaves like the paper's.
+"""
+
+import pytest
+
+from repro.cloud.catalog import paper_catalog
+from repro.sim.comm import CommProtocol
+from repro.sim.datasets import get_dataset
+from repro.sim.platforms import get_platform
+from repro.sim.throughput import TrainingJob, TrainingSimulator
+from repro.sim.zoo import get_model
+
+
+@pytest.fixture(scope="module")
+def cat():
+    return paper_catalog()
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return TrainingSimulator()
+
+
+@pytest.fixture(scope="module")
+def charrnn():
+    return TrainingJob(
+        model=get_model("char-rnn"),
+        dataset=get_dataset("char-corpus"),
+        platform=get_platform("tensorflow"),
+    )
+
+
+class TestFig1b:
+    """Equal hourly cost, very different training speed."""
+
+    def test_mid_cpu_cluster_wins(self, cat, sim, charrnn):
+        speeds = {
+            name: sim.true_speed(cat[name], n, charrnn)
+            for name, n in [
+                ("c5.xlarge", 40), ("c5.4xlarge", 10), ("p2.xlarge", 9),
+            ]
+        }
+        assert max(speeds, key=speeds.get) == "c5.4xlarge"
+
+    def test_spread_is_substantial(self, cat, sim, charrnn):
+        """The paper reports the right scheme can be ~3x faster; we
+        require at least 2x."""
+        speeds = [
+            sim.true_speed(cat[name], n, charrnn)
+            for name, n in [
+                ("c5.xlarge", 40), ("c5.4xlarge", 10), ("p2.xlarge", 9),
+            ]
+        ]
+        assert max(speeds) / min(speeds) > 2.0
+
+
+class TestFig3ConcaveScaleOut:
+    """The ML-specific prior: speedup rises, peaks, declines."""
+
+    def test_interior_peak(self, cat, sim, charrnn):
+        counts = list(range(1, 51))
+        speeds = sim.scale_out_curve(cat["c5.4xlarge"], counts, charrnn)
+        peak = speeds.index(max(speeds))
+        assert 4 < counts[peak] < 40
+
+    def test_clear_decline_after_peak(self, cat, sim, charrnn):
+        counts = list(range(1, 51))
+        speeds = sim.scale_out_curve(cat["c5.4xlarge"], counts, charrnn)
+        assert speeds[-1] < 0.8 * max(speeds)
+
+    def test_rise_before_peak_is_monotone(self, cat, sim, charrnn):
+        speeds = sim.scale_out_curve(cat["c5.4xlarge"], [1, 2, 4, 8], charrnn)
+        assert speeds == sorted(speeds)
+
+    def test_unimodal_up_to_tolerance(self, cat, sim, charrnn):
+        """Rises to the peak, falls after — no second hump."""
+        counts = list(range(1, 51))
+        speeds = sim.scale_out_curve(cat["c5.4xlarge"], counts, charrnn)
+        peak = speeds.index(max(speeds))
+        rising = speeds[: peak + 1]
+        falling = speeds[peak:]
+        assert all(b >= a * 0.999 for a, b in zip(rising, rising[1:]))
+        assert all(b <= a * 1.001 for a, b in zip(falling, falling[1:]))
+
+
+class TestModelHardwareAffinity:
+    def test_cnn_gpu_cheaper_per_epoch(self, cat, sim):
+        job = TrainingJob(
+            model=get_model("resnet"),
+            dataset=get_dataset("cifar10"),
+            platform=get_platform("tensorflow"),
+        )
+        cpu_cost = sim.training_cost(cat["c5.4xlarge"], 8, job)
+        gpu_cost = sim.training_cost(cat["p3.2xlarge"], 2, job)
+        assert gpu_cost < cpu_cost / 2
+
+    def test_rnn_cpu_competitive_per_dollar(self, cat, sim, charrnn):
+        cpu_cost = sim.training_cost(cat["c5.4xlarge"], 8, charrnn)
+        gpu_cost = sim.training_cost(cat["p2.xlarge"], 8, charrnn)
+        assert cpu_cost < gpu_cost
+
+    def test_transformer_gpu_dominates(self, cat, sim):
+        job = TrainingJob(
+            model=get_model("bert"),
+            dataset=get_dataset("bert-corpus"),
+            platform=get_platform("tensorflow"),
+            protocol=CommProtocol.RING_ALLREDUCE,
+        )
+        cpu_speed = sim.true_speed(cat["c5n.4xlarge"], 8, job)
+        gpu_speed = sim.true_speed(cat["p3.2xlarge"], 8, job)
+        assert gpu_speed > 10 * cpu_speed
+
+
+class TestScaleUpNonlinearity:
+    def test_price_performance_not_monotone(self, cat, sim, charrnn):
+        """Fig. 3(a): paying more per node does not monotonically buy
+        speed — the scale-up dimension is genuinely non-linear."""
+        by_price = sorted(
+            (t for t in cat if sim.is_feasible(t, 8, charrnn)),
+            key=lambda t: t.hourly_price,
+        )
+        speeds = [sim.true_speed(t, 8, charrnn) for t in by_price]
+        rising = all(b >= a for a, b in zip(speeds, speeds[1:]))
+        assert not rising

@@ -1,0 +1,115 @@
+"""Communication models: PS and ring all-reduce."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.comm import (
+    CommProtocol,
+    comm_time_per_step,
+    ps_time_per_step,
+    ring_time_per_step,
+)
+
+GRAD = 100 * 2**20  # 100 MiB
+
+
+class TestValidation:
+    @pytest.mark.parametrize("fn", [ps_time_per_step, ring_time_per_step])
+    def test_zero_grad_rejected(self, fn):
+        with pytest.raises(ValueError, match="grad_bytes"):
+            fn(0, 4, 10.0)
+
+    @pytest.mark.parametrize("fn", [ps_time_per_step, ring_time_per_step])
+    def test_zero_workers_rejected(self, fn):
+        with pytest.raises(ValueError, match="n_workers"):
+            fn(GRAD, 0, 10.0)
+
+    @pytest.mark.parametrize("fn", [ps_time_per_step, ring_time_per_step])
+    def test_zero_bw_rejected(self, fn):
+        with pytest.raises(ValueError, match="bw"):
+            fn(GRAD, 4, 0.0)
+
+
+class TestSingleWorker:
+    def test_ps_single_worker_free(self):
+        assert ps_time_per_step(GRAD, 1, 10.0) == 0.0
+
+    def test_ring_single_worker_free(self):
+        assert ring_time_per_step(GRAD, 1, 10.0) == 0.0
+
+
+class TestStructure:
+    def test_ps_nondecreasing_in_workers(self):
+        times = [ps_time_per_step(GRAD, n, 10.0) for n in range(2, 50)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_ring_nondecreasing_in_workers(self):
+        times = [ring_time_per_step(GRAD, n, 10.0) for n in range(2, 50)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_more_bandwidth_helps_ps(self):
+        assert ps_time_per_step(GRAD, 8, 25.0) < ps_time_per_step(GRAD, 8, 2.5)
+
+    def test_more_bandwidth_helps_ring(self):
+        assert ring_time_per_step(GRAD, 8, 25.0) < ring_time_per_step(
+            GRAD, 8, 2.5
+        )
+
+    def test_bigger_gradient_costs_more(self):
+        assert ps_time_per_step(2 * GRAD, 8, 10.0) > ps_time_per_step(
+            GRAD, 8, 10.0
+        )
+
+    def test_ring_scales_better_than_ps_at_large_n(self):
+        """Ring's bandwidth term is ~constant in n; PS suffers incast.
+
+        This is why the paper trains BERT with ring all-reduce."""
+        n = 40
+        assert ring_time_per_step(GRAD, n, 10.0) < ps_time_per_step(
+            GRAD, n, 10.0
+        )
+
+    def test_ring_bandwidth_term_saturates(self):
+        """In the bandwidth-dominated regime (slow NIC, big gradient),
+        doubling the ring barely changes per-step time: the transfer
+        term converges to ``2G/bw``."""
+        t16 = ring_time_per_step(GRAD, 16, 1.0)
+        t32 = ring_time_per_step(GRAD, 32, 1.0)
+        assert (t32 - t16) < 0.2 * t16
+
+
+class TestDispatch:
+    def test_dispatch_ps(self):
+        assert comm_time_per_step(
+            CommProtocol.PARAMETER_SERVER, GRAD, 8, 10.0
+        ) == ps_time_per_step(GRAD, 8, 10.0)
+
+    def test_dispatch_ring(self):
+        assert comm_time_per_step(
+            CommProtocol.RING_ALLREDUCE, GRAD, 8, 10.0
+        ) == ring_time_per_step(GRAD, 8, 10.0)
+
+    def test_dispatch_unknown_rejected(self):
+        with pytest.raises(ValueError, match="protocol"):
+            comm_time_per_step("carrier-pigeon", GRAD, 8, 10.0)
+
+
+class TestProperties:
+    @given(
+        grad=st.integers(min_value=1, max_value=10**10),
+        n=st.integers(min_value=1, max_value=200),
+        bw=st.floats(min_value=0.1, max_value=400.0),
+    )
+    def test_times_always_finite_nonnegative(self, grad, n, bw):
+        for fn in (ps_time_per_step, ring_time_per_step):
+            t = fn(grad, n, bw)
+            assert t >= 0.0
+            assert t < float("inf")
+
+    @given(
+        n=st.integers(min_value=2, max_value=100),
+        bw=st.floats(min_value=0.5, max_value=100.0),
+    )
+    def test_monotone_in_gradient_size(self, n, bw):
+        for fn in (ps_time_per_step, ring_time_per_step):
+            assert fn(2 * GRAD, n, bw) >= fn(GRAD, n, bw)

@@ -1,0 +1,44 @@
+"""DatasetSpec and the dataset registry."""
+
+import pytest
+
+from repro.sim.datasets import DatasetSpec, get_dataset, list_datasets
+
+
+class TestRegistry:
+    def test_paper_datasets_registered(self):
+        for name in ("cifar10", "imagenet", "char-corpus", "bert-corpus"):
+            assert name in list_datasets()
+
+    def test_get_returns_spec(self):
+        assert get_dataset("cifar10").num_samples == 50_000
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="cifar10"):
+            get_dataset("mnist-3d")
+
+    def test_imagenet_size(self):
+        assert get_dataset("imagenet").num_samples == 1_281_167
+
+
+class TestSpec:
+    def test_samples_for_epochs(self):
+        spec = DatasetSpec("d", num_samples=1000, sample_bytes=10)
+        assert spec.samples_for_epochs(2.5) == 2500
+
+    def test_fractional_epochs(self):
+        spec = DatasetSpec("d", num_samples=1000, sample_bytes=10)
+        assert spec.samples_for_epochs(0.1) == 100
+
+    def test_zero_epochs_rejected(self):
+        spec = DatasetSpec("d", num_samples=1000, sample_bytes=10)
+        with pytest.raises(ValueError, match="epochs"):
+            spec.samples_for_epochs(0.0)
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError, match="num_samples"):
+            DatasetSpec("d", num_samples=0, sample_bytes=10)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            DatasetSpec("", num_samples=1, sample_bytes=1)

@@ -1,0 +1,94 @@
+"""Hardware model: peaks, utilisation structure, overheads."""
+
+import pytest
+
+from repro.cloud.catalog import paper_catalog
+from repro.sim.hardware import (
+    HardwareModel,
+    effective_gflops,
+    peak_gflops,
+    step_overhead_seconds,
+)
+from repro.sim.models import ModelFamily
+
+
+@pytest.fixture
+def cat():
+    return paper_catalog()
+
+
+class TestPeaks:
+    def test_cpu_peak_scales_with_vcpus(self, cat):
+        small = peak_gflops(cat["c5.xlarge"])
+        big = peak_gflops(cat["c5.4xlarge"])
+        assert big == pytest.approx(4 * small)
+
+    def test_c4_generation_penalty(self, cat):
+        """c4 is AVX2; same vCPUs deliver fewer FLOPs than c5."""
+        c4 = peak_gflops(cat["c4.4xlarge"])
+        c5 = peak_gflops(cat["c5.4xlarge"])
+        assert c4 < c5
+
+    def test_v100_beats_k80(self, cat):
+        assert peak_gflops(cat["p3.2xlarge"]) > peak_gflops(cat["p2.xlarge"])
+
+    def test_multi_gpu_sublinear(self, cat):
+        """PCIe contention: 8 GPUs < 8x one GPU."""
+        one = peak_gflops(cat["p2.xlarge"])
+        eight = peak_gflops(cat["p2.8xlarge"])
+        assert one * 8 * 0.8 < eight < one * 8
+
+
+class TestUtilisation:
+    def test_rnn_prefers_cpu_per_dollar(self, cat):
+        """The Fig. 1(b) mechanism: per dollar, RNNs do better on CPUs."""
+        cpu, gpu = cat["c5.4xlarge"], cat["p2.xlarge"]
+        cpu_per_dollar = effective_gflops(cpu, ModelFamily.RNN) / cpu.hourly_price
+        gpu_per_dollar = effective_gflops(gpu, ModelFamily.RNN) / gpu.hourly_price
+        assert cpu_per_dollar > gpu_per_dollar
+
+    def test_cnn_prefers_gpu_per_dollar(self, cat):
+        cpu, gpu = cat["c5.4xlarge"], cat["p3.2xlarge"]
+        cpu_per_dollar = effective_gflops(cpu, ModelFamily.CNN) / cpu.hourly_price
+        gpu_per_dollar = effective_gflops(gpu, ModelFamily.CNN) / gpu.hourly_price
+        assert gpu_per_dollar > cpu_per_dollar
+
+    def test_effective_below_peak(self, cat):
+        for name in ("c5.xlarge", "p2.xlarge", "p3.16xlarge"):
+            for family in ModelFamily:
+                assert (
+                    effective_gflops(cat[name], family)
+                    < peak_gflops(cat[name])
+                )
+
+
+class TestOverheads:
+    def test_gpu_rnn_overhead_dominates(self, cat):
+        """Per-timestep kernel launches make GPU RNN steps costly."""
+        gpu_rnn = step_overhead_seconds(cat["p2.xlarge"], ModelFamily.RNN)
+        gpu_cnn = step_overhead_seconds(cat["p2.xlarge"], ModelFamily.CNN)
+        assert gpu_rnn > 10 * gpu_cnn
+
+    def test_all_overheads_positive(self, cat):
+        for family in ModelFamily:
+            for name in ("c5.xlarge", "p3.2xlarge"):
+                assert step_overhead_seconds(cat[name], family) > 0
+
+
+class TestHardwareModel:
+    def test_compute_seconds(self, cat):
+        hw = HardwareModel(cat["c5.xlarge"])
+        rate = effective_gflops(cat["c5.xlarge"], ModelFamily.CNN)
+        assert hw.compute_seconds(ModelFamily.CNN, rate) == pytest.approx(1.0)
+
+    def test_negative_gflops_rejected(self, cat):
+        with pytest.raises(ValueError, match="gflops"):
+            HardwareModel(cat["c5.xlarge"]).compute_seconds(
+                ModelFamily.CNN, -1.0
+            )
+
+    def test_device_memory_cpu(self, cat):
+        assert HardwareModel(cat["c5.xlarge"]).device_memory_gib == 8.0
+
+    def test_device_memory_gpu_sums_accelerators(self, cat):
+        assert HardwareModel(cat["p2.8xlarge"]).device_memory_gib == 96.0

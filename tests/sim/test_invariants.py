@@ -1,0 +1,145 @@
+"""Property-based invariants of the performance simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.catalog import paper_catalog
+from repro.sim.datasets import get_dataset
+from repro.sim.platforms import get_platform
+from repro.sim.throughput import TrainingJob, TrainingSimulator
+from repro.sim.zoo import get_model
+
+CATALOG = paper_catalog()
+SIM = TrainingSimulator()
+TYPES = ["c5.xlarge", "c5.4xlarge", "c5n.4xlarge", "p2.xlarge", "p3.2xlarge"]
+MODELS = ["alexnet", "resnet", "char-rnn", "bert"]
+
+
+def job_for(model: str, batch: int | None = None,
+            epochs: float = 1.0) -> TrainingJob:
+    datasets = {
+        "alexnet": "cifar10", "resnet": "cifar10",
+        "char-rnn": "char-corpus", "bert": "bert-corpus",
+    }
+    return TrainingJob(
+        model=get_model(model),
+        dataset=get_dataset(datasets[model]),
+        platform=get_platform("tensorflow"),
+        global_batch=batch,
+        epochs=epochs,
+    )
+
+
+class TestSpeedInvariants:
+    @given(
+        model=st.sampled_from(MODELS),
+        itype=st.sampled_from(TYPES),
+        n=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_speed_finite_positive_when_feasible(self, model, itype, n):
+        job = job_for(model)
+        instance = CATALOG[itype]
+        if SIM.is_feasible(instance, n, job):
+            speed = SIM.true_speed(instance, n, job)
+            assert 0 < speed < 1e9
+
+    @given(
+        model=st.sampled_from(MODELS),
+        itype=st.sampled_from(TYPES),
+        n=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_larger_batch_never_slower(self, model, itype, n):
+        """Fixed cluster: a larger global batch amortises per-step
+        overhead and sync, so throughput is non-decreasing in B."""
+        base = job_for(model)
+        bigger = job_for(model, batch=base.batch * 2)
+        instance = CATALOG[itype]
+        if SIM.is_feasible(instance, n, bigger) and SIM.is_feasible(
+            instance, n, base
+        ):
+            assert (
+                SIM.true_speed(instance, n, bigger)
+                >= SIM.true_speed(instance, n, base) * 0.999
+            )
+
+    @given(
+        model=st.sampled_from(MODELS),
+        itype=st.sampled_from(TYPES),
+        n=st.integers(min_value=1, max_value=50),
+        epochs=st.floats(min_value=0.1, max_value=50.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_training_time_linear_in_epochs(self, model, itype, n, epochs):
+        short = job_for(model, epochs=epochs)
+        double = job_for(model, epochs=2 * epochs)
+        instance = CATALOG[itype]
+        if SIM.is_feasible(instance, n, short):
+            ratio = SIM.training_seconds(instance, n, double) / (
+                SIM.training_seconds(instance, n, short)
+            )
+            # integer rounding of samples_for_epochs gives tiny slack
+            assert ratio == pytest.approx(2.0, rel=1e-3)
+
+    @given(
+        model=st.sampled_from(MODELS),
+        itype=st.sampled_from(TYPES),
+        n=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cost_is_price_times_time(self, model, itype, n):
+        job = job_for(model)
+        instance = CATALOG[itype]
+        if SIM.is_feasible(instance, n, job):
+            seconds = SIM.training_seconds(instance, n, job)
+            assert SIM.training_cost(instance, n, job) == pytest.approx(
+                instance.price_per_second * seconds * n
+            )
+
+
+class TestFeasibilityInvariants:
+    @given(
+        itype=st.sampled_from(TYPES),
+        n=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_replicated_feasibility_monotone_in_n(self, itype, n):
+        """For replicated-state models, if n workers fit, so do n+1
+        (per-worker activations shrink; state is constant)."""
+        job = job_for("resnet")
+        instance = CATALOG[itype]
+        if n + 1 <= job.batch and SIM.is_feasible(instance, n, job):
+            assert SIM.is_feasible(instance, n + 1, job)
+
+    @given(n=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_sharded_feasibility_monotone_in_n(self, n):
+        """ZeRO sharding: feasibility is also monotone upward."""
+        job = TrainingJob(
+            model=get_model("zero-8b"),
+            dataset=get_dataset("bert-corpus"),
+            platform=get_platform("tensorflow"),
+        )
+        instance = CATALOG["p3.16xlarge"]
+        if n + 1 <= job.batch and SIM.is_feasible(instance, n, job):
+            assert SIM.is_feasible(instance, n + 1, job)
+
+    @given(
+        model=st.sampled_from(MODELS),
+        itype=st.sampled_from(TYPES),
+        n=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_check_and_is_feasible_agree(self, model, itype, n):
+        from repro.sim.throughput import InfeasibleDeploymentError
+
+        job = job_for(model)
+        instance = CATALOG[itype]
+        flagged = SIM.is_feasible(instance, n, job)
+        try:
+            SIM.check_feasible(instance, n, job)
+            checked = True
+        except InfeasibleDeploymentError:
+            checked = False
+        assert flagged == checked

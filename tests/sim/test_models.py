@@ -1,0 +1,84 @@
+"""ModelSpec: validation, derived quantities, scaling."""
+
+import pytest
+
+from repro.sim.models import ModelFamily, ModelSpec
+
+
+def spec(**kw):
+    defaults = dict(
+        name="m", family=ModelFamily.CNN, params=1_000_000,
+        gflops_per_sample=1.0, default_batch=64,
+        activation_gib_per_sample=0.01,
+    )
+    defaults.update(kw)
+    return ModelSpec(**defaults)
+
+
+class TestValidation:
+    def test_valid(self):
+        assert spec().params == 1_000_000
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            spec(name="")
+
+    def test_zero_params_rejected(self):
+        with pytest.raises(ValueError, match="params"):
+            spec(params=0)
+
+    def test_zero_gflops_rejected(self):
+        with pytest.raises(ValueError, match="gflops"):
+            spec(gflops_per_sample=0.0)
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ValueError, match="batch"):
+            spec(default_batch=0)
+
+    def test_zero_activation_rejected(self):
+        with pytest.raises(ValueError, match="activation"):
+            spec(activation_gib_per_sample=0.0)
+
+
+class TestDerived:
+    def test_gradient_bytes_is_4_per_param(self):
+        assert spec(params=1000).gradient_bytes == 4000
+
+    def test_weight_gib_counts_weights_and_gradients(self):
+        s = spec(params=2**27)  # 128M params -> 0.5 GiB weights
+        assert s.weight_gib == pytest.approx(1.0)
+
+    def test_per_worker_state_replicated(self):
+        s = spec(params=2**27, shard_states=False)
+        assert s.per_worker_state_gib(8) == pytest.approx(s.weight_gib)
+
+    def test_per_worker_state_sharded(self):
+        s = spec(params=2**27, shard_states=True)
+        assert s.per_worker_state_gib(8) == pytest.approx(s.weight_gib / 8)
+
+    def test_per_worker_state_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            spec().per_worker_state_gib(0)
+
+
+class TestScaled:
+    def test_scaled_params(self):
+        big = spec().scaled("big", 10_000_000)
+        assert big.params == 10_000_000
+        assert big.name == "big"
+
+    def test_scaled_flops_proportional(self):
+        base = spec(gflops_per_sample=2.0)
+        big = base.scaled("big", base.params * 5)
+        assert big.gflops_per_sample == pytest.approx(10.0)
+
+    def test_scaled_preserves_family_and_batch(self):
+        base = spec(family=ModelFamily.TRANSFORMER, default_batch=256)
+        big = base.scaled("big", base.params * 2)
+        assert big.family is ModelFamily.TRANSFORMER
+        assert big.default_batch == 256
+
+    def test_scaled_shard_override(self):
+        base = spec(shard_states=False)
+        assert base.scaled("b", base.params * 2, shard_states=True).shard_states
+        assert not base.scaled("c", base.params * 2).shard_states

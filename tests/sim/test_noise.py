@@ -1,0 +1,103 @@
+"""NoiseModel: determinism, independence, statistical sanity."""
+
+import numpy as np
+import pytest
+
+from repro.sim.noise import NoiseModel
+
+
+class TestValidation:
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError, match="sigma"):
+            NoiseModel(sigma=-0.1)
+
+    def test_bad_unstable_fraction_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            NoiseModel(unstable_fraction=1.5)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            NoiseModel().sample_factors("k", 0)
+
+    def test_nonpositive_true_value_rejected(self):
+        with pytest.raises(ValueError, match="true_value"):
+            NoiseModel().measure(0.0, "k", 5)
+
+
+class TestDeterminism:
+    def test_same_key_same_samples(self):
+        nm = NoiseModel(sigma=0.05, seed=3)
+        a = nm.sample_factors(("c5.xlarge", 4), 10)
+        b = nm.sample_factors(("c5.xlarge", 4), 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        nm = NoiseModel(sigma=0.05, seed=3)
+        a = nm.sample_factors(("c5.xlarge", 4), 10)
+        b = nm.sample_factors(("c5.xlarge", 5), 10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = NoiseModel(sigma=0.05, seed=1).sample_factors("k", 10)
+        b = NoiseModel(sigma=0.05, seed=2).sample_factors("k", 10)
+        assert not np.array_equal(a, b)
+
+    def test_windows_differ_but_are_stable(self):
+        nm = NoiseModel(sigma=0.05, seed=0)
+        w0 = nm.sample_factors("k", 10, window=0)
+        w1 = nm.sample_factors("k", 10, window=1)
+        assert not np.array_equal(w0, w1)
+        np.testing.assert_array_equal(
+            w1, nm.sample_factors("k", 10, window=1)
+        )
+
+    def test_independent_of_pythonhashseed(self):
+        """Derives from blake2b, not hash() — a fixed key gives a fixed
+        first factor regardless of interpreter state."""
+        nm = NoiseModel(sigma=0.05, seed=0)
+        again = NoiseModel(sigma=0.05, seed=0)
+        assert nm.sample_factors("key", 1)[0] == again.sample_factors("key", 1)[0]
+
+
+class TestStatistics:
+    def test_zero_sigma_is_exact(self):
+        nm = NoiseModel(sigma=0.0)
+        np.testing.assert_array_equal(
+            nm.measure(100.0, "k", 5), np.full(5, 100.0)
+        )
+
+    def test_mean_one_factors(self):
+        nm = NoiseModel(sigma=0.05, seed=0)
+        factors = nm.sample_factors("k", 20_000)
+        assert factors.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_sigma_controls_spread(self):
+        tight = NoiseModel(sigma=0.01, seed=0).sample_factors("k", 5000)
+        wide = NoiseModel(sigma=0.10, seed=0).sample_factors("k", 5000)
+        assert wide.std() > 5 * tight.std()
+
+    def test_factors_positive(self):
+        factors = NoiseModel(sigma=0.2, seed=0).sample_factors("k", 1000)
+        assert (factors > 0).all()
+
+    def test_measure_scales_true_value(self):
+        nm = NoiseModel(sigma=0.05, seed=0)
+        m = nm.measure(50.0, "k", 100)
+        assert m.mean() == pytest.approx(50.0, rel=0.05)
+
+
+class TestUnstable:
+    def test_no_instability_by_default(self):
+        assert not NoiseModel().is_unstable("any")
+
+    def test_unstable_fraction_roughly_respected(self):
+        nm = NoiseModel(sigma=0.05, seed=0, unstable_fraction=0.3)
+        hits = sum(nm.is_unstable(i) for i in range(1000))
+        assert 200 < hits < 400
+
+    def test_unstable_deployment_noisier(self):
+        nm = NoiseModel(sigma=0.05, seed=0, unstable_fraction=1.0)
+        quiet = NoiseModel(sigma=0.05, seed=0, unstable_fraction=0.0)
+        assert nm.sample_factors("k", 2000).std() > 2 * quiet.sample_factors(
+            "k", 2000
+        ).std()

@@ -1,0 +1,69 @@
+"""Platform models: registry, overlap semantics."""
+
+import pytest
+
+from repro.sim.comm import CommProtocol
+from repro.sim.platforms import Platform, get_platform, list_platforms
+
+
+class TestRegistry:
+    def test_both_paper_platforms(self):
+        assert list_platforms() == ["mxnet", "tensorflow"]
+
+    def test_case_insensitive(self):
+        assert get_platform("TensorFlow") is get_platform("tensorflow")
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="tensorflow"):
+            get_platform("caffe2")
+
+    def test_default_protocols(self):
+        assert (
+            get_platform("tensorflow").default_protocol
+            is CommProtocol.PARAMETER_SERVER
+        )
+
+
+class TestValidation:
+    def test_zero_efficiency_rejected(self):
+        with pytest.raises(ValueError, match="efficiency"):
+            Platform("p", 0.0, 0.3, CommProtocol.PARAMETER_SERVER)
+
+    def test_overlap_one_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Platform("p", 1.0, 1.0, CommProtocol.PARAMETER_SERVER)
+
+    def test_negative_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Platform("p", 1.0, -0.1, CommProtocol.PARAMETER_SERVER)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            Platform("", 1.0, 0.3, CommProtocol.PARAMETER_SERVER)
+
+
+class TestOverlap:
+    def test_partial_hiding(self):
+        p = Platform("p", 1.0, 0.5, CommProtocol.PARAMETER_SERVER)
+        # 4s comm, plenty of compute: half hides
+        assert p.effective_comm_time(4.0, 100.0) == pytest.approx(2.0)
+
+    def test_hiding_capped_by_compute(self):
+        p = Platform("p", 1.0, 0.9, CommProtocol.PARAMETER_SERVER)
+        # wants to hide 9s but only 1s of compute exists
+        assert p.effective_comm_time(10.0, 1.0) == pytest.approx(9.0)
+
+    def test_zero_overlap_exposes_everything(self):
+        p = Platform("p", 1.0, 0.0, CommProtocol.PARAMETER_SERVER)
+        assert p.effective_comm_time(3.0, 100.0) == 3.0
+
+    def test_negative_times_rejected(self):
+        p = get_platform("tensorflow")
+        with pytest.raises(ValueError):
+            p.effective_comm_time(-1.0, 1.0)
+
+    def test_mxnet_hides_more_than_tensorflow(self):
+        tf, mx = get_platform("tensorflow"), get_platform("mxnet")
+        assert mx.effective_comm_time(10.0, 100.0) < tf.effective_comm_time(
+            10.0, 100.0
+        )

@@ -1,0 +1,188 @@
+"""TrainingSimulator: job semantics, feasibility, step model."""
+
+import pytest
+
+from repro.sim.comm import CommProtocol
+from repro.sim.datasets import get_dataset
+from repro.sim.platforms import get_platform
+from repro.sim.throughput import (
+    InfeasibleDeploymentError,
+    TrainingJob,
+    TrainingSimulator,
+)
+from repro.sim.zoo import get_model
+
+
+class TestTrainingJob:
+    def test_defaults_from_model_and_platform(self, charrnn_job):
+        assert charrnn_job.batch == get_model("char-rnn").default_batch
+        assert (
+            charrnn_job.effective_protocol
+            is CommProtocol.PARAMETER_SERVER
+        )
+
+    def test_explicit_batch_and_protocol(self):
+        job = TrainingJob(
+            model=get_model("bert"),
+            dataset=get_dataset("bert-corpus"),
+            platform=get_platform("tensorflow"),
+            protocol=CommProtocol.RING_ALLREDUCE,
+            global_batch=64,
+        )
+        assert job.batch == 64
+        assert job.effective_protocol is CommProtocol.RING_ALLREDUCE
+
+    def test_total_samples(self, charrnn_job):
+        assert charrnn_job.total_samples == 800_000  # 2 epochs x 400k
+
+    def test_zero_epochs_rejected(self):
+        with pytest.raises(ValueError, match="epochs"):
+            TrainingJob(
+                model=get_model("bert"),
+                dataset=get_dataset("bert-corpus"),
+                platform=get_platform("tensorflow"),
+                epochs=0.0,
+            )
+
+    def test_describe_mentions_key_facts(self, charrnn_job):
+        d = charrnn_job.describe()
+        assert "char-rnn" in d and "tensorflow" in d and "ps" in d
+
+
+class TestFeasibility:
+    def test_feasible_basic(self, simulator, catalog, charrnn_job):
+        simulator.check_feasible(catalog["c5.xlarge"], 4, charrnn_job)
+
+    def test_more_workers_than_batch_infeasible(
+        self, simulator, catalog, charrnn_job
+    ):
+        batch = charrnn_job.batch
+        with pytest.raises(InfeasibleDeploymentError, match="global batch"):
+            simulator.check_feasible(
+                catalog["c5.xlarge"], batch + 1, charrnn_job
+            )
+
+    def test_memory_bound_infeasible(self, simulator, catalog):
+        """ZeRO-20B cannot fit a single p3.16xlarge (state unsharded
+        at n=1)."""
+        job = TrainingJob(
+            model=get_model("zero-20b"),
+            dataset=get_dataset("bert-corpus"),
+            platform=get_platform("tensorflow"),
+            protocol=CommProtocol.RING_ALLREDUCE,
+        )
+        with pytest.raises(InfeasibleDeploymentError, match="GiB"):
+            simulator.check_feasible(catalog["p3.16xlarge"], 1, job)
+
+    def test_sharding_restores_feasibility_at_scale(
+        self, simulator, catalog
+    ):
+        job = TrainingJob(
+            model=get_model("zero-20b"),
+            dataset=get_dataset("bert-corpus"),
+            platform=get_platform("tensorflow"),
+            protocol=CommProtocol.RING_ALLREDUCE,
+        )
+        assert not simulator.is_feasible(catalog["p3.16xlarge"], 1, job)
+        assert simulator.is_feasible(catalog["p3.16xlarge"], 8, job)
+
+    def test_zero_count_rejected(self, simulator, catalog, charrnn_job):
+        with pytest.raises(ValueError, match="count"):
+            simulator.check_feasible(catalog["c5.xlarge"], 0, charrnn_job)
+
+
+class TestStepModel:
+    def test_breakdown_sums_to_step(self, simulator, catalog, charrnn_job):
+        b = simulator.step_breakdown(catalog["c5.4xlarge"], 8, charrnn_job)
+        assert b.step_seconds == pytest.approx(
+            b.compute_seconds + b.overhead_seconds + b.exposed_comm_seconds
+        )
+
+    def test_exposed_comm_never_exceeds_raw(
+        self, simulator, catalog, charrnn_job
+    ):
+        b = simulator.step_breakdown(catalog["c5.4xlarge"], 8, charrnn_job)
+        assert 0 <= b.exposed_comm_seconds <= b.comm_seconds
+
+    def test_single_node_no_comm(self, simulator, catalog, charrnn_job):
+        b = simulator.step_breakdown(catalog["c5.4xlarge"], 1, charrnn_job)
+        assert b.comm_seconds == 0.0
+
+    def test_speed_is_batch_over_step(self, simulator, catalog, charrnn_job):
+        itype = catalog["c5.4xlarge"]
+        b = simulator.step_breakdown(itype, 8, charrnn_job)
+        assert simulator.true_speed(itype, 8, charrnn_job) == pytest.approx(
+            charrnn_job.batch / b.step_seconds
+        )
+
+    def test_speed_deterministic(self, simulator, catalog, charrnn_job):
+        itype = catalog["c5.4xlarge"]
+        assert simulator.true_speed(itype, 8, charrnn_job) == (
+            simulator.true_speed(itype, 8, charrnn_job)
+        )
+
+    def test_infeasible_speed_raises(self, simulator, catalog, charrnn_job):
+        with pytest.raises(InfeasibleDeploymentError):
+            simulator.true_speed(
+                catalog["c5.xlarge"], charrnn_job.batch * 2, charrnn_job
+            )
+
+
+class TestAggregates:
+    def test_training_seconds(self, simulator, catalog, charrnn_job):
+        itype = catalog["c5.4xlarge"]
+        speed = simulator.true_speed(itype, 8, charrnn_job)
+        assert simulator.training_seconds(
+            itype, 8, charrnn_job
+        ) == pytest.approx(charrnn_job.total_samples / speed)
+
+    def test_training_cost(self, simulator, catalog, charrnn_job):
+        itype = catalog["c5.4xlarge"]
+        seconds = simulator.training_seconds(itype, 8, charrnn_job)
+        assert simulator.training_cost(
+            itype, 8, charrnn_job
+        ) == pytest.approx(itype.cost_for(seconds, 8))
+
+    def test_scale_out_curve_marks_infeasible_zero(
+        self, simulator, catalog, charrnn_job
+    ):
+        curve = simulator.scale_out_curve(
+            catalog["c5.4xlarge"], [1, charrnn_job.batch * 2], charrnn_job
+        )
+        assert curve[0] > 0
+        assert curve[1] == 0.0
+
+    def test_scale_up_curve(self, simulator, catalog, charrnn_job):
+        types = [catalog["c5.xlarge"], catalog["c5.4xlarge"]]
+        up = simulator.scale_up_curve(types, 4, charrnn_job)
+        assert up[1] > up[0]  # bigger shape is faster
+
+
+class TestPlatformEffects:
+    def test_mxnet_faster_than_tensorflow(self, simulator, catalog):
+        """MXNet's compute efficiency and overlap advantage show up."""
+        common = dict(
+            model=get_model("bert"),
+            dataset=get_dataset("bert-corpus"),
+            protocol=CommProtocol.RING_ALLREDUCE,
+        )
+        tf_job = TrainingJob(platform=get_platform("tensorflow"), **common)
+        mx_job = TrainingJob(platform=get_platform("mxnet"), **common)
+        itype = catalog["p3.2xlarge"]
+        assert simulator.true_speed(itype, 4, mx_job) > simulator.true_speed(
+            itype, 4, tf_job
+        )
+
+    def test_ring_beats_ps_for_bert_at_scale(self, simulator, catalog):
+        """The paper's reason for training BERT with ring all-reduce."""
+        common = dict(
+            model=get_model("bert"),
+            dataset=get_dataset("bert-corpus"),
+            platform=get_platform("tensorflow"),
+        )
+        ring = TrainingJob(protocol=CommProtocol.RING_ALLREDUCE, **common)
+        ps = TrainingJob(protocol=CommProtocol.PARAMETER_SERVER, **common)
+        itype = catalog["p3.2xlarge"]
+        assert simulator.true_speed(itype, 16, ring) > simulator.true_speed(
+            itype, 16, ps
+        )

@@ -1,0 +1,59 @@
+"""Model zoo: paper models, registry behaviour."""
+
+import pytest
+
+from repro.sim.models import ModelFamily, ModelSpec
+from repro.sim.zoo import get_model, list_models, register_model
+
+
+class TestPaperModels:
+    def test_all_paper_models_present(self):
+        for name in (
+            "alexnet", "resnet", "inception-v3", "char-rnn", "bert",
+            "zero-8b", "zero-20b",
+        ):
+            assert name in list_models()
+
+    def test_fig19_parameter_counts(self):
+        """The paper's Fig. 19 x-axis values."""
+        assert get_model("alexnet").params == 6_400_000
+        assert get_model("resnet").params == 60_300_000
+        assert get_model("bert").params == 340_000_000
+        assert get_model("zero-8b").params == 8_000_000_000
+        assert get_model("zero-20b").params == 20_000_000_000
+
+    def test_families(self):
+        assert get_model("resnet").family is ModelFamily.CNN
+        assert get_model("char-rnn").family is ModelFamily.RNN
+        assert get_model("bert").family is ModelFamily.TRANSFORMER
+
+    def test_zero_models_shard_state(self):
+        assert get_model("zero-8b").shard_states
+        assert get_model("zero-20b").shard_states
+        assert not get_model("bert").shard_states
+
+    def test_case_insensitive_lookup(self):
+        assert get_model("BERT") is get_model("bert")
+
+
+class TestRegistry:
+    def test_unknown_model_lists_known(self):
+        with pytest.raises(KeyError, match="alexnet"):
+            get_model("vgg-999")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_model(get_model("bert"))
+
+    def test_register_new_model(self):
+        spec = ModelSpec(
+            name="test-tiny-model", family=ModelFamily.CNN,
+            params=1000, gflops_per_sample=0.001, default_batch=8,
+        )
+        try:
+            assert register_model(spec) is spec
+            assert get_model("test-tiny-model") is spec
+        finally:
+            # keep the global registry clean for other tests
+            from repro.sim import zoo
+            zoo._REGISTRY.pop("test-tiny-model", None)

@@ -1,0 +1,151 @@
+"""CLI: argument handling and end-to-end subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestFigureCommand:
+    def test_list(self, capsys):
+        assert main(["figure", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "fig19" in out
+
+    def test_no_name_lists(self, capsys):
+        assert main(["figure"]) == 0
+        assert "available figures" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_cheap_figure_renders(self, capsys):
+        assert main(["figure", "fig1a"]) == 0
+        assert "c5.xlarge" in capsys.readouterr().out
+
+    def test_registry_covers_every_paper_figure(self):
+        from repro.cli import _figure_registry
+        names = set(_figure_registry())
+        for fig in ("fig1a", "fig1b", "fig2", "fig3", "fig5", "fig9",
+                    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+                    "fig16", "fig17", "fig18", "fig19"):
+            assert fig in names
+
+
+class TestDeployCommand:
+    def test_deploy_with_budget(self, capsys):
+        rc = main([
+            "deploy", "--model", "char-rnn", "--dataset", "char-corpus",
+            "--epochs", "1", "--budget", "80", "--max-count", "10",
+            "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "constraint met: True" in out
+
+    def test_deploy_pareto_flag(self, capsys):
+        rc = main([
+            "deploy", "--model", "char-rnn", "--dataset", "char-corpus",
+            "--epochs", "1", "--budget", "80", "--max-count", "10",
+            "--seed", "1", "--pareto",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pareto-efficient options" in out
+
+    def test_both_constraints_rejected(self, capsys):
+        rc = main([
+            "deploy", "--model", "char-rnn", "--dataset", "char-corpus",
+            "--budget", "80", "--deadline-hours", "5",
+        ])
+        assert rc == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_missing_model_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy", "--dataset", "cifar10"])
+
+
+class TestReportCommand:
+    def test_report_subset_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        rc = main(["report", "-o", str(out), "--only", "fig1a", "fig1b"])
+        assert rc == 0
+        text = out.read_text()
+        assert "## fig1a" in text and "## fig1b" in text
+        assert "c5.xlarge" in text
+
+    def test_report_unknown_figure(self, capsys):
+        assert main(["report", "--only", "fig99"]) == 2
+        assert "unknown figures" in capsys.readouterr().err
+
+    def test_report_stdout(self, capsys):
+        rc = main(["report", "--only", "fig1a"])
+        assert rc == 0
+        assert "reproduction report" in capsys.readouterr().out
+
+
+class TestAdviseCommand:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        from repro.core.result import DeploymentReport, SearchResult, TrialRecord
+        from repro.core.scenarios import Scenario
+        from repro.core.search_space import Deployment
+        from repro.io import save_report
+
+        trials = tuple(
+            TrialRecord(
+                step=i + 1,
+                deployment=Deployment("c5.4xlarge", n),
+                measured_speed=speed,
+                profile_seconds=600.0, profile_dollars=0.5,
+                elapsed_seconds=600.0 * (i + 1),
+                spent_dollars=0.5 * (i + 1),
+            )
+            for i, (n, speed) in enumerate([(1, 20.0), (4, 70.0), (12, 128.0)])
+        )
+        search = SearchResult(
+            strategy="heterbo", scenario=Scenario.fastest(), trials=trials,
+            best=Deployment("c5.4xlarge", 12), best_measured_speed=128.0,
+            profile_seconds=1800.0, profile_dollars=1.5, stop_reason="t",
+        )
+        return str(save_report(
+            DeploymentReport(search=search), tmp_path / "trace.json"
+        ))
+
+    def test_advise_unconstrained(self, trace_path, capsys):
+        rc = main(["advise", trace_path, "--samples", "800000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "12x c5.4xlarge" in out
+
+    def test_advise_budget_reranks(self, trace_path, capsys):
+        rc = main([
+            "advise", trace_path, "--samples", "800000", "--budget", "10",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "12x c5.4xlarge" not in out.splitlines()[1]
+
+    def test_advise_impossible(self, trace_path, capsys):
+        rc = main([
+            "advise", trace_path, "--samples", "800000",
+            "--budget", "0.001",
+        ])
+        assert rc == 1
+        assert "no measured deployment" in capsys.readouterr().out
+
+    def test_advise_suggest(self, trace_path, capsys):
+        rc = main([
+            "advise", trace_path, "--samples", "800000", "--suggest", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "worth probing next" in out
+
+    def test_advise_both_constraints_rejected(self, trace_path, capsys):
+        rc = main([
+            "advise", trace_path, "--samples", "800000",
+            "--budget", "10", "--deadline-hours", "4",
+        ])
+        assert rc == 2

@@ -1,0 +1,110 @@
+"""Serialisation round-trips."""
+
+import pytest
+
+from repro.core.result import DeploymentReport, SearchResult, TrialRecord
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+from repro.io import (
+    load_report,
+    report_from_json,
+    report_to_json,
+    save_report,
+)
+
+
+@pytest.fixture
+def report():
+    trials = tuple(
+        TrialRecord(
+            step=i + 1,
+            deployment=Deployment("c5.4xlarge", i + 1),
+            measured_speed=float(10 * (i + 1)),
+            profile_seconds=600.0,
+            profile_dollars=0.5,
+            elapsed_seconds=600.0 * (i + 1),
+            spent_dollars=0.5 * (i + 1),
+            note="explore" if i else "initial",
+        )
+        for i in range(3)
+    )
+    search = SearchResult(
+        strategy="heterbo",
+        scenario=Scenario.fastest_within(100.0),
+        trials=trials,
+        best=Deployment("c5.4xlarge", 3),
+        best_measured_speed=30.0,
+        profile_seconds=1800.0,
+        profile_dollars=1.5,
+        stop_reason="converged",
+    )
+    return DeploymentReport(
+        search=search,
+        train_seconds=7200.0,
+        train_dollars=40.0,
+        trained=True,
+        tags={"experiment": "unit-test"},
+    )
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, report):
+        restored = report_from_json(report_to_json(report))
+        assert restored == report
+
+    def test_totals_preserved(self, report):
+        restored = report_from_json(report_to_json(report))
+        assert restored.total_dollars == report.total_dollars
+        assert restored.constraint_met == report.constraint_met
+
+    def test_scenario_kinds_round_trip(self, report):
+        for scenario in (
+            Scenario.fastest(),
+            Scenario.cheapest_within(3600.0),
+            Scenario.fastest_within(10.0),
+        ):
+            src = DeploymentReport(search=SearchResult(
+                strategy="x", scenario=scenario, trials=(), best=None,
+                best_measured_speed=0.0, profile_seconds=0.0,
+                profile_dollars=0.0, stop_reason="t",
+            ))
+            restored = report_from_json(report_to_json(src))
+            assert restored.search.scenario == scenario
+
+    def test_none_best_round_trips(self):
+        src = DeploymentReport(search=SearchResult(
+            strategy="x", scenario=Scenario.fastest(), trials=(),
+            best=None, best_measured_speed=0.0,
+            profile_seconds=0.0, profile_dollars=0.0, stop_reason="t",
+        ))
+        assert report_from_json(report_to_json(src)).search.best is None
+
+    def test_file_round_trip(self, report, tmp_path):
+        path = save_report(report, tmp_path / "run.json")
+        assert load_report(path) == report
+
+    def test_live_search_round_trips(self, small_space, profiler,
+                                     charrnn_job):
+        from repro.core.engine import SearchContext
+        from repro.core.heterbo import HeterBO
+
+        context = SearchContext(
+            space=small_space, profiler=profiler,
+            job=charrnn_job, scenario=Scenario.fastest(),
+        )
+        result = HeterBO(seed=0).search(context)
+        live = DeploymentReport(search=result)
+        assert report_from_json(report_to_json(live)) == live
+
+
+class TestValidation:
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            report_from_json("{nope")
+
+    def test_wrong_schema_rejected(self, report):
+        text = report_to_json(report).replace(
+            '"schema_version": 1', '"schema_version": 99'
+        )
+        with pytest.raises(ValueError, match="schema version"):
+            report_from_json(text)

@@ -1,0 +1,78 @@
+"""Logging: the search narrates itself at DEBUG/INFO."""
+
+import logging
+
+import pytest
+
+from repro.core.engine import SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.scenarios import Scenario
+
+
+@pytest.fixture
+def context(small_space, profiler, charrnn_job):
+    return SearchContext(
+        space=small_space,
+        profiler=profiler,
+        job=charrnn_job,
+        scenario=Scenario.fastest(),
+    )
+
+
+class TestSearchLogging:
+    def test_probes_logged_at_debug(self, context, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.core.engine"):
+            HeterBO(seed=1).search(context)
+        probe_lines = [
+            r for r in caplog.records if "samples/s" in r.getMessage()
+        ]
+        assert len(probe_lines) >= 3
+
+    def test_summary_logged_at_info(self, context, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.core.engine"):
+            HeterBO(seed=1).search(context)
+        finished = [
+            r for r in caplog.records if "finished after" in r.getMessage()
+        ]
+        assert len(finished) == 1
+        assert "stop:" in finished[0].getMessage()
+
+    def test_prior_caps_logged(self, context, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.core.heterbo"):
+            HeterBO(seed=1).search(context)
+        capped = [
+            r for r in caplog.records
+            if "concave prior caps" in r.getMessage()
+        ]
+        assert capped  # the Char-RNN curve declines in range
+
+    def test_silent_at_warning_level(self, context, caplog):
+        with caplog.at_level(logging.WARNING):
+            HeterBO(seed=1).search(context)
+        assert not [
+            r for r in caplog.records if r.name.startswith("repro.")
+        ]
+
+
+class TestProfilerLogging:
+    def test_capacity_abandonment_warned(self, charrnn_job, caplog):
+        from repro.cloud.catalog import paper_catalog
+        from repro.cloud.provider import SimulatedCloud
+        from repro.profiling.profiler import Profiler
+        from repro.sim.noise import NoiseModel
+        from repro.sim.throughput import TrainingSimulator
+
+        cloud = SimulatedCloud(
+            paper_catalog().subset(["c5.xlarge"]),
+            launch_failure_rate=0.95, failure_seed=1,
+        )
+        profiler = Profiler(
+            cloud, TrainingSimulator(),
+            noise=NoiseModel(seed=1), launch_retries=0,
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.profiling"):
+            for n in range(1, 8):
+                profiler.profile("c5.xlarge", n, charrnn_job)
+        assert any(
+            "abandoning probe" in r.getMessage() for r in caplog.records
+        )
