@@ -81,8 +81,12 @@ class CherryPick(ConvBO):
     def candidate_deployments(
         self, context: SearchContext, engine: GPSearchEngine
     ) -> list[Deployment]:
-        return [
-            d
-            for d in super().candidate_deployments(context, engine)
-            if self._allowed(context, d)
-        ]
+        pool = super().candidate_deployments(context, engine)
+        kept = [d for d in pool if self._allowed(context, d)]
+        pruned = len(pool) - len(kept)
+        if pruned:
+            context.metrics.counter(
+                "search.candidates_pruned_total", unit="candidates"
+            ).inc(pruned, reason="allowlist")
+            context.tracer.set_attribute("pruned.allowlist", pruned)
+        return kept

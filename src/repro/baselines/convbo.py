@@ -75,6 +75,7 @@ class ConvBO(SearchStrategy):
     ) -> np.ndarray:
         ei = engine.objective_ei(candidates, xi=self.xi)
         self._last_max_ei = float(ei.max()) if ei.size else 0.0
+        context.tracer.set_attribute("ei.max", self._last_max_ei)
         return ei
 
     def should_stop(

@@ -48,6 +48,8 @@ class ExhaustiveSearch(SearchStrategy):
         for name in context.space.instance_types:
             counts = context.space.counts[:: self.count_stride]
             picks.extend(Deployment(name, c) for c in counts)
+        context.tracer.set_attribute("design.size", len(picks))
+        context.tracer.set_attribute("design.stride", self.count_stride)
         return picks
 
     def score_candidates(

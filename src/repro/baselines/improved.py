@@ -92,6 +92,13 @@ class _BudgetAwareMixin:
         incumbent_cost = self._incumbent_cost(context, engine)
         chosen = candidates[int(np.argmax(scores))]
         if not self._probe_is_safe(context, chosen, incumbent_cost):
+            context.tracer.set_attribute("reserve.stop", True)
+            context.tracer.set_attribute(
+                "reserve.incumbent_cost", incumbent_cost
+            )
+            context.metrics.counter(
+                "search.budget_aware_stops_total", unit="stops"
+            ).inc(strategy=self.name)
             return "budget-aware stop: next probe would strand the incumbent"
         return None
 

@@ -84,45 +84,59 @@ class Paleo(SearchStrategy):
     def search(self, context: SearchContext) -> SearchResult:
         """Pick the analytically-best deployment; no profiling happens."""
         scenario = context.scenario
-        best: tuple[float, Deployment, float] | None = None
-        for d in context.space:
-            speed = self.predicted_speed(context, d)
-            if speed <= 0:
-                continue
-            seconds = context.total_samples / speed
-            dollars = seconds * context.price_per_second(d)
-            if scenario.kind is ScenarioKind.MIN_COST_DEADLINE:
-                if seconds > scenario.deadline_seconds:
+        with context.tracer.span("search", {
+            "strategy": self.name,
+            "scenario": scenario.describe(),
+        }) as span:
+            best: tuple[float, Deployment, float] | None = None
+            n_evaluated = 0
+            for d in context.space:
+                speed = self.predicted_speed(context, d)
+                if speed <= 0:
                     continue
-                obj = dollars
-            elif scenario.kind is ScenarioKind.MIN_TIME_BUDGET:
-                if dollars > scenario.budget_dollars:
-                    continue
-                obj = seconds
-            else:
-                obj = seconds
-            if best is None or obj < best[0]:
-                best = (obj, d, speed)
+                n_evaluated += 1
+                seconds = context.total_samples / speed
+                dollars = seconds * context.price_per_second(d)
+                if scenario.kind is ScenarioKind.MIN_COST_DEADLINE:
+                    if seconds > scenario.deadline_seconds:
+                        continue
+                    obj = dollars
+                elif scenario.kind is ScenarioKind.MIN_TIME_BUDGET:
+                    if dollars > scenario.budget_dollars:
+                        continue
+                    obj = seconds
+                else:
+                    obj = seconds
+                if best is None or obj < best[0]:
+                    best = (obj, d, speed)
 
-        if best is None:
+            span.set_attribute("n_evaluated", n_evaluated)
+            span.set_attribute("n_steps", 0)
+            if best is None:
+                stop_reason = "analytical model found no feasible deployment"
+                span.set_attribute("stop_reason", stop_reason)
+                span.set_attribute("best", None)
+                return SearchResult(
+                    strategy=self.name,
+                    scenario=scenario,
+                    trials=(),
+                    best=None,
+                    best_measured_speed=0.0,
+                    profile_seconds=0.0,
+                    profile_dollars=0.0,
+                    stop_reason=stop_reason,
+                )
+            _, deployment, speed = best
+            stop_reason = "analytical model evaluated the full space"
+            span.set_attribute("stop_reason", stop_reason)
+            span.set_attribute("best", str(deployment))
             return SearchResult(
                 strategy=self.name,
                 scenario=scenario,
                 trials=(),
-                best=None,
-                best_measured_speed=0.0,
+                best=deployment,
+                best_measured_speed=speed,
                 profile_seconds=0.0,
                 profile_dollars=0.0,
-                stop_reason="analytical model found no feasible deployment",
+                stop_reason=stop_reason,
             )
-        _, deployment, speed = best
-        return SearchResult(
-            strategy=self.name,
-            scenario=scenario,
-            trials=(),
-            best=deployment,
-            best_measured_speed=speed,
-            profile_seconds=0.0,
-            profile_dollars=0.0,
-            stop_reason="analytical model evaluated the full space",
-        )

@@ -35,6 +35,8 @@ class RandomSearch(SearchStrategy):
         pool = list(context.space)
         k = min(self.n_probes, len(pool))
         picks = rng.choice(len(pool), size=k, replace=False)
+        context.tracer.set_attribute("design.size", k)
+        context.tracer.set_attribute("design.pool", len(pool))
         return [pool[i] for i in picks]
 
     def score_candidates(

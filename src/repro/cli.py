@@ -16,6 +16,14 @@ Two subcommands:
 - ``report`` — regenerate every figure into one markdown report::
 
       python -m repro.cli report -o reproduction_report.md
+
+- ``trace`` — inspect a saved search-trace artifact (see
+  ``deploy --trace-out``)::
+
+      python -m repro.cli deploy --model resnet --dataset cifar10 \\
+          --budget 100 --trace-out run.trace.jsonl
+      python -m repro.cli trace run.trace.jsonl
+      python -m repro.cli trace run.trace.jsonl --spans
 """
 
 from __future__ import annotations
@@ -100,6 +108,17 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
         print("specify --budget or --deadline-hours, not both",
               file=sys.stderr)
         return 2
+    if args.trace_out:
+        # fail before the (expensive) deployment, not after
+        from pathlib import Path
+
+        parent = Path(args.trace_out).resolve().parent
+        if not parent.is_dir():
+            print(
+                f"--trace-out directory does not exist: {parent}",
+                file=sys.stderr,
+            )
+            return 2
     requirements = UserRequirements(
         deadline_hours=args.deadline_hours,
         budget_dollars=args.budget,
@@ -115,6 +134,9 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
         requirements=requirements,
     )
     print(report.summary())
+    if args.trace_out:
+        mlcd.last_trace.save(args.trace_out)
+        print(f"wrote search trace to {args.trace_out}", file=sys.stderr)
     if args.pareto:
         print("\npareto-efficient options observed:")
         for p in mlcd.pareto_options(report):
@@ -204,6 +226,25 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0 if rec is not None else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import SearchTrace
+    from repro.obs.render import render_span_tree
+
+    try:
+        trace = SearchTrace.load(args.path)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"invalid trace file {args.path}: {exc}", file=sys.stderr)
+        return 2
+    print(trace.render())
+    if args.spans:
+        print()
+        print(render_span_tree(trace.spans))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -238,6 +279,8 @@ def build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--max-count", type=int, default=50)
     deploy.add_argument("--pareto", action="store_true",
                         help="also print the observed Pareto front")
+    deploy.add_argument("--trace-out", default=None,
+                        help="write the search-trace artifact (JSONL) here")
     deploy.set_defaults(func=_cmd_deploy)
 
     report = sub.add_parser(
@@ -262,6 +305,15 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--suggest", type=int, default=0,
                         help="also suggest K unmeasured probes")
     advise.set_defaults(func=_cmd_advise)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a search-trace artifact (see `deploy --trace-out`)",
+    )
+    trace.add_argument("path", help="path to a .trace.jsonl artifact")
+    trace.add_argument("--spans", action="store_true",
+                       help="also print the span tree")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

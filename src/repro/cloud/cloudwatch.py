@@ -11,19 +11,34 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 __all__ = ["MetricDatum", "MetricStore", "MetricStatistics"]
 
 
+def _normalize_dimensions(
+    dimensions: Mapping[str, str] | None,
+) -> tuple[tuple[str, str], ...]:
+    if not dimensions:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in dimensions.items()))
+
+
 @dataclass(frozen=True, slots=True)
 class MetricDatum:
-    """A single metric observation."""
+    """A single metric observation.
+
+    ``dimensions`` are CloudWatch-style labels — a sorted tuple of
+    ``(name, value)`` pairs, e.g. ``(("instance_type", "p2.xlarge"),)``
+    — attached per-datum so one metric can carry several labelled
+    series (the search metrics registry back-fills per-label values).
+    """
 
     namespace: str
     metric: str
     timestamp: float
     value: float
+    dimensions: tuple[tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.value):
@@ -31,6 +46,10 @@ class MetricDatum:
                 f"{self.namespace}/{self.metric}: non-finite value "
                 f"{self.value!r}"
             )
+
+    def dimensions_dict(self) -> dict[str, str]:
+        """Dimensions as a plain dict."""
+        return dict(self.dimensions)
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,12 +77,19 @@ class MetricStore:
         self._data: dict[tuple[str, str], list[MetricDatum]] = {}
 
     def put(
-        self, namespace: str, metric: str, timestamp: float, value: float
+        self,
+        namespace: str,
+        metric: str,
+        timestamp: float,
+        value: float,
+        *,
+        dimensions: Mapping[str, str] | None = None,
     ) -> MetricDatum:
         """Record one observation and return it."""
         datum = MetricDatum(
             namespace=namespace, metric=metric,
             timestamp=timestamp, value=value,
+            dimensions=_normalize_dimensions(dimensions),
         )
         series = self._data.setdefault((namespace, metric), [])
         if series and timestamp < series[-1].timestamp:
@@ -90,19 +116,51 @@ class MetricStore:
         for t, v in zip(timestamps, values):
             self.put(namespace, metric, t, v)
 
-    def series(self, namespace: str, metric: str) -> list[MetricDatum]:
-        """All observations for one metric, in time order."""
-        return list(self._data.get((namespace, metric), []))
+    def series(
+        self,
+        namespace: str,
+        metric: str,
+        *,
+        dimensions: Mapping[str, str] | None = None,
+    ) -> list[MetricDatum]:
+        """All observations for one metric, in time order.
 
-    def values(self, namespace: str, metric: str) -> list[float]:
-        """Raw metric values in time order."""
-        return [d.value for d in self._data.get((namespace, metric), [])]
+        ``dimensions`` filters to data whose dimensions exactly match.
+        """
+        data = self._data.get((namespace, metric), [])
+        if dimensions is None:
+            return list(data)
+        wanted = _normalize_dimensions(dimensions)
+        return [d for d in data if d.dimensions == wanted]
+
+    def values(
+        self,
+        namespace: str,
+        metric: str,
+        *,
+        dimensions: Mapping[str, str] | None = None,
+    ) -> list[float]:
+        """Raw metric values in time order (optionally one dimension
+        set's series — see :meth:`series`)."""
+        return [
+            d.value
+            for d in self.series(namespace, metric, dimensions=dimensions)
+        ]
 
     def namespaces(self) -> list[str]:
         """Distinct namespaces with data, in first-seen order."""
         seen: dict[str, None] = {}
         for ns, _metric in self._data:
             seen.setdefault(ns, None)
+        return list(seen)
+
+    def list_metrics(self, namespace: str) -> list[str]:
+        """Metric names recorded under ``namespace``, in first-seen
+        order (CloudWatch ``ListMetrics``)."""
+        seen: dict[str, None] = {}
+        for ns, metric in self._data:
+            if ns == namespace:
+                seen.setdefault(metric, None)
         return list(seen)
 
     def statistics(

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import abc
 import logging
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -32,6 +33,7 @@ from repro.core.kernels import default_deployment_kernel
 from repro.core.result import SearchResult, TrialRecord
 from repro.core.scenarios import Objective, Scenario
 from repro.core.search_space import Deployment, DeploymentSpace
+from repro.obs import NOOP_TRACER, MetricsRegistry, Tracer
 from repro.profiling.profiler import ProfileResult, Profiler
 from repro.sim.throughput import TrainingJob
 
@@ -46,12 +48,20 @@ SPEED_FLOOR = 1e-3
 
 @dataclass(frozen=True, slots=True)
 class SearchContext:
-    """Everything a strategy needs to search: the world and the task."""
+    """Everything a strategy needs to search: the world and the task.
+
+    ``tracer`` and ``metrics`` are the run's observability sinks; the
+    defaults (a shared no-op tracer and a fresh, unread registry) make
+    instrumented code paths free and behaviour-identical when nobody
+    is recording.
+    """
 
     space: DeploymentSpace
     profiler: Profiler
     job: TrainingJob
     scenario: Scenario
+    tracer: Tracer = NOOP_TRACER
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def total_samples(self) -> int:
@@ -176,22 +186,33 @@ class GPSearchEngine:
         """Refit the GP surrogate on all recorded observations."""
         if not self._observations:
             raise RuntimeError("no observations to fit")
-        X = self.context.space.encode_many(
-            [d for d, _ in self._observations]
+        wall_start = time.perf_counter()
+        with self.context.tracer.span(
+            "gp-fit", {"n_observations": len(self._observations)}
+        ):
+            X = self.context.space.encode_many(
+                [d for d, _ in self._observations]
+            )
+            speeds = np.array(
+                [s for _, s in self._observations], dtype=float
+            )
+            # Failed probes enter at a *dynamic* floor: a couple of
+            # octaves below the slowest success.  A fixed tiny floor
+            # would put the failures many octaves below everything
+            # else, inflating the standardised variance and keeping EI
+            # artificially alive in regions the data already condemned.
+            successes = speeds[speeds > 0]
+            floor = SPEED_FLOOR
+            if successes.size:
+                floor = max(floor, float(successes.min()) / 4.0)
+            y = np.log2(np.maximum(speeds, floor))
+            self._gp.fit(X, y)
+            self._fitted = True
+        metrics = self.context.metrics
+        metrics.counter("gp.fit_total").inc()
+        metrics.histogram("gp.fit_seconds", unit="s").observe(
+            time.perf_counter() - wall_start
         )
-        speeds = np.array([s for _, s in self._observations], dtype=float)
-        # Failed probes enter at a *dynamic* floor: a couple of octaves
-        # below the slowest success.  A fixed tiny floor would put the
-        # failures many octaves below everything else, inflating the
-        # standardised variance and keeping EI artificially alive in
-        # regions the data already condemned.
-        successes = speeds[speeds > 0]
-        floor = SPEED_FLOOR
-        if successes.size:
-            floor = max(floor, float(successes.min()) / 4.0)
-        y = np.log2(np.maximum(speeds, floor))
-        self._gp.fit(X, y)
-        self._fitted = True
 
     def predict_log2_speed(
         self, deployments: list[Deployment]
@@ -432,6 +453,34 @@ class SearchStrategy(abc.ABC):
         return deployment, speed
 
     # -- loop ---------------------------------------------------------------------
+    def _record_probe_telemetry(
+        self,
+        context: SearchContext,
+        span,
+        result: ProfileResult,
+        step: int,
+    ) -> None:
+        """Annotate a ``probe`` span and bump the probe metrics."""
+        span.set_attribute("step", step)
+        span.set_attribute("speed", result.speed)
+        span.set_attribute("cost_usd", result.dollars)
+        span.set_attribute("seconds", result.seconds)
+        span.set_attribute("failure_reason", result.failure_reason)
+        span.set_attribute("spent_usd", context.spent_dollars())
+        span.set_attribute("elapsed_s", context.elapsed_seconds())
+        metrics = context.metrics
+        metrics.counter("search.probes_total").inc(strategy=self.name)
+        metrics.counter("search.probe_dollars_total", unit="USD").inc(
+            result.dollars, instance_type=result.instance_type
+        )
+        metrics.counter("search.probe_seconds_total", unit="s").inc(
+            result.seconds
+        )
+        if result.failed:
+            metrics.counter("search.failed_probes_total").inc(
+                reason=result.failure_reason
+            )
+
     def _probe(
         self,
         context: SearchContext,
@@ -440,20 +489,29 @@ class SearchStrategy(abc.ABC):
         trials: list[TrialRecord],
         note: str,
     ) -> ProfileResult:
-        result = context.profiler.profile(
-            deployment.instance_type, deployment.count, context.job
-        )
-        engine.add_observation(result)
-        trials.append(TrialRecord(
-            step=len(trials) + 1,
-            deployment=deployment,
-            measured_speed=result.speed,
-            profile_seconds=result.seconds,
-            profile_dollars=result.dollars,
-            elapsed_seconds=context.elapsed_seconds(),
-            spent_dollars=context.spent_dollars(),
-            note=note,
-        ))
+        with context.tracer.span("probe", {
+            "deployment": str(deployment),
+            "instance_type": deployment.instance_type,
+            "count": deployment.count,
+            "note": note,
+        }) as span:
+            result = context.profiler.profile(
+                deployment.instance_type, deployment.count, context.job
+            )
+            engine.add_observation(result)
+            trials.append(TrialRecord(
+                step=len(trials) + 1,
+                deployment=deployment,
+                measured_speed=result.speed,
+                profile_seconds=result.seconds,
+                profile_dollars=result.dollars,
+                elapsed_seconds=context.elapsed_seconds(),
+                spent_dollars=context.spent_dollars(),
+                note=note,
+            ))
+            self._record_probe_telemetry(
+                context, span, result, len(trials)
+            )
         self.on_observation(context, result)
         logger.debug(
             "%s probe %d: %s -> %.2f samples/s (%s) "
@@ -470,30 +528,67 @@ class SearchStrategy(abc.ABC):
         trials: list[TrialRecord] = []
         stop_reason = "max steps reached"
 
-        for deployment in self.initial_deployments(context):
-            if len(trials) >= self.max_steps:
-                break
-            self._probe(context, engine, deployment, trials, "initial")
+        with context.tracer.span("search", {
+            "strategy": self.name,
+            "scenario": context.scenario.describe(),
+        }) as search_span:
+            for deployment in self.initial_deployments(context):
+                if len(trials) >= self.max_steps:
+                    break
+                with context.tracer.span("step", {"phase": "initial"}):
+                    self._probe(
+                        context, engine, deployment, trials, "initial"
+                    )
 
-        while len(trials) < self.max_steps:
-            if engine.n_observations == 0:
-                stop_reason = "no observations possible"
-                break
-            engine.fit()
-            candidates = self.candidate_deployments(context, engine)
-            if not candidates:
-                stop_reason = "search space exhausted"
-                break
-            scores = self.score_candidates(context, engine, candidates)
-            reason = self.should_stop(context, engine, candidates, scores)
-            if reason is not None:
-                stop_reason = reason
-                break
-            chosen = candidates[int(np.argmax(scores))]
-            self._probe(context, engine, chosen, trials, "explore")
+            while len(trials) < self.max_steps:
+                if engine.n_observations == 0:
+                    stop_reason = "no observations possible"
+                    break
+                with context.tracer.span(
+                    "step", {"phase": "explore"}
+                ) as step_span:
+                    engine.fit()
+                    candidates = self.candidate_deployments(context, engine)
+                    if not candidates:
+                        stop_reason = "search space exhausted"
+                        break
+                    with context.tracer.span(
+                        "candidate-scoring",
+                        {"n_candidates": len(candidates)},
+                    ) as scoring_span:
+                        scores = self.score_candidates(
+                            context, engine, candidates
+                        )
+                    reason = self.should_stop(
+                        context, engine, candidates, scores
+                    )
+                    if reason is not None:
+                        stop_reason = reason
+                        step_span.set_attribute("stop_reason", reason)
+                        break
+                    best_idx = int(np.argmax(scores))
+                    chosen = candidates[best_idx]
+                    scoring_span.set_attribute("chosen", str(chosen))
+                    scoring_span.set_attribute(
+                        "acquisition_value", float(scores[best_idx])
+                    )
+                    scoring_span.set_attribute(
+                        "pl_penalty", context.probe_penalty(chosen)
+                    )
+                    self._probe(context, engine, chosen, trials, "explore")
 
-        selection = self.select_best(context, engine)
-        best, best_speed = (None, 0.0) if selection is None else selection
+            selection = self.select_best(context, engine)
+            best, best_speed = (
+                (None, 0.0) if selection is None else selection
+            )
+            search_span.set_attribute("stop_reason", stop_reason)
+            search_span.set_attribute("n_steps", len(trials))
+            search_span.set_attribute(
+                "best", None if best is None else str(best)
+            )
+        context.metrics.gauge("search.steps_to_stop").set(
+            len(trials), strategy=self.name
+        )
         logger.info(
             "%s finished after %d probes: best=%s (%.2f samples/s), "
             "profiling %.2f h / $%.2f, stop: %s",

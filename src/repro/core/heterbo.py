@@ -285,11 +285,18 @@ class HeterBO(SearchStrategy):
     ) -> list[Deployment]:
         candidates = super().candidate_deployments(context, engine)
         if self.use_concave_prior:
+            n_before = len(candidates)
             candidates = [
                 d
                 for d in candidates
                 if self.prior.allows(d.instance_type, d.count)
             ]
+            pruned = n_before - len(candidates)
+            if pruned:
+                context.metrics.counter(
+                    "search.candidates_pruned_total"
+                ).inc(pruned, reason="prior")
+                context.tracer.set_attribute("pruned.prior", pruned)
         return candidates
 
     def on_observation(
@@ -360,13 +367,21 @@ class HeterBO(SearchStrategy):
         else:
             base = ei
         feasible = np.ones(len(candidates), dtype=bool)
+        tracer, metrics = context.tracer, context.metrics
 
         if engine.best_incumbent() is not None:
             poi = engine.improvement_probability(
                 candidates,
                 objective=objective, incumbent_filter=incumbent_filter,
             )
-            feasible &= poi >= self.min_poi
+            poi_ok = poi >= self.min_poi
+            feasible &= poi_ok
+            n_poi_blocked = int((~poi_ok).sum())
+            if n_poi_blocked:
+                metrics.counter("search.candidates_pruned_total").inc(
+                    n_poi_blocked, reason="poi"
+                )
+                tracer.set_attribute("pruned.poi", n_poi_blocked)
 
         if self.protective_stop and context.scenario.is_constrained:
             incumbent_cost = self._incumbent_completion_cost(context, engine)
@@ -375,6 +390,15 @@ class HeterBO(SearchStrategy):
                 for d in candidates
             ])
             feasible &= reserve_ok
+            n_reserve_blocked = int((~reserve_ok).sum())
+            if n_reserve_blocked:
+                metrics.counter("search.candidates_pruned_total").inc(
+                    n_reserve_blocked, reason="reserve"
+                )
+            tracer.set_attribute("reserve.blocked", n_reserve_blocked)
+            tracer.set_attribute(
+                "reserve.incumbent_cost", float(incumbent_cost)
+            )
             # True Expected Improvement (Eqs. 5-6): even an optimistic
             # candidate must fit within the remaining constraint slack.
             mu, sigma = engine.predict_log2_speed(candidates)
@@ -399,7 +423,14 @@ class HeterBO(SearchStrategy):
             # probes stay allowed while total consumption is below 35 %
             # of the limit.  Expensive probes always need TEI >= 0.
             cheap = (probe <= 0.08 * limit) & (consumed <= 0.35 * limit)
-            feasible &= (tei >= 0.0) | cheap
+            tei_ok = (tei >= 0.0) | cheap
+            feasible &= tei_ok
+            n_tei_blocked = int((~tei_ok).sum())
+            if n_tei_blocked:
+                metrics.counter("search.candidates_pruned_total").inc(
+                    n_tei_blocked, reason="tei"
+                )
+                tracer.set_attribute("pruned.tei", n_tei_blocked)
 
         if self.cost_aware:
             penalty = np.array(
@@ -414,6 +445,10 @@ class HeterBO(SearchStrategy):
         self._last_any_feasible = bool(feasible.any())
         self._last_feasible_ei = (
             float(feasible_ei.max()) if feasible_ei.size else 0.0
+        )
+        tracer.set_attribute("n_feasible", int(feasible.sum()))
+        tracer.set_attribute(
+            "best_feasible_ei", float(self._last_feasible_ei)
         )
         return scores
 

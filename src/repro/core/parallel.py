@@ -151,16 +151,29 @@ class ParallelHeterBO(HeterBO):
     ) -> None:
         for result in results:
             deployment = engine.add_observation(result)
-            trials.append(TrialRecord(
-                step=len(trials) + 1,
-                deployment=deployment,
-                measured_speed=result.speed,
-                profile_seconds=result.seconds,
-                profile_dollars=result.dollars,
-                elapsed_seconds=context.elapsed_seconds(),
-                spent_dollars=context.spent_dollars(),
-                note=note,
-            ))
+            # one probe span per profile, mirroring the sequential
+            # loop; durations are batch wall-clock, already spent by
+            # profile_batch, so the span carries attributes only
+            with context.tracer.span("probe", {
+                "deployment": str(deployment),
+                "instance_type": deployment.instance_type,
+                "count": deployment.count,
+                "note": note,
+                "batched": True,
+            }) as span:
+                trials.append(TrialRecord(
+                    step=len(trials) + 1,
+                    deployment=deployment,
+                    measured_speed=result.speed,
+                    profile_seconds=result.seconds,
+                    profile_dollars=result.dollars,
+                    elapsed_seconds=context.elapsed_seconds(),
+                    spent_dollars=context.spent_dollars(),
+                    note=note,
+                ))
+                self._record_probe_telemetry(
+                    context, span, result, len(trials)
+                )
             self.on_observation(context, result)
 
     # -- the batched loop --------------------------------------------------------------
@@ -169,42 +182,88 @@ class ParallelHeterBO(HeterBO):
         trials: list[TrialRecord] = []
         stop_reason = "max steps reached"
 
-        # initial design: all single-node probes in one concurrent wave
-        initial = self.initial_deployments(context)[: self.max_steps]
-        if initial:
-            results = context.profiler.profile_batch(
-                [(d.instance_type, d.count) for d in initial], context.job
-            )
-            self._record_batch(context, engine, results, trials, "initial")
+        with context.tracer.span("search", {
+            "strategy": self.name,
+            "scenario": context.scenario.describe(),
+            "batch_size": self.batch_size,
+        }) as search_span:
+            # initial design: all single-node probes in one concurrent
+            # wave
+            initial = self.initial_deployments(context)[: self.max_steps]
+            if initial:
+                with context.tracer.span("step", {
+                    "phase": "initial", "batch": len(initial),
+                }):
+                    results = context.profiler.profile_batch(
+                        [(d.instance_type, d.count) for d in initial],
+                        context.job,
+                    )
+                    self._record_batch(
+                        context, engine, results, trials, "initial"
+                    )
 
-        while len(trials) < self.max_steps:
-            if engine.n_observations == 0:
-                stop_reason = "no observations possible"
-                break
-            engine.fit()
-            candidates = self.candidate_deployments(context, engine)
-            if not candidates:
-                stop_reason = "search space exhausted"
-                break
-            scores = self.score_candidates(context, engine, candidates)
-            reason = self.should_stop(context, engine, candidates, scores)
-            if reason is not None:
-                stop_reason = reason
-                break
-            batch = self._select_batch(context, engine, candidates, scores)
-            if not batch:
-                stop_reason = (
-                    "protective stop: no batch fits the constraint"
-                )
-                break
-            batch = batch[: self.max_steps - len(trials)]
-            results = context.profiler.profile_batch(
-                [(d.instance_type, d.count) for d in batch], context.job
-            )
-            self._record_batch(context, engine, results, trials, "explore")
+            while len(trials) < self.max_steps:
+                if engine.n_observations == 0:
+                    stop_reason = "no observations possible"
+                    break
+                with context.tracer.span(
+                    "step", {"phase": "explore"}
+                ) as step_span:
+                    engine.fit()
+                    candidates = self.candidate_deployments(context, engine)
+                    if not candidates:
+                        stop_reason = "search space exhausted"
+                        break
+                    with context.tracer.span(
+                        "candidate-scoring",
+                        {"n_candidates": len(candidates)},
+                    ) as scoring_span:
+                        scores = self.score_candidates(
+                            context, engine, candidates
+                        )
+                    reason = self.should_stop(
+                        context, engine, candidates, scores
+                    )
+                    if reason is not None:
+                        stop_reason = reason
+                        step_span.set_attribute("stop_reason", reason)
+                        break
+                    batch = self._select_batch(
+                        context, engine, candidates, scores
+                    )
+                    if not batch:
+                        stop_reason = (
+                            "protective stop: no batch fits the constraint"
+                        )
+                        step_span.set_attribute(
+                            "stop_reason", stop_reason
+                        )
+                        break
+                    batch = batch[: self.max_steps - len(trials)]
+                    scoring_span.set_attribute(
+                        "batch", [str(d) for d in batch]
+                    )
+                    step_span.set_attribute("batch", len(batch))
+                    results = context.profiler.profile_batch(
+                        [(d.instance_type, d.count) for d in batch],
+                        context.job,
+                    )
+                    self._record_batch(
+                        context, engine, results, trials, "explore"
+                    )
 
-        selection = self.select_best(context, engine)
-        best, best_speed = (None, 0.0) if selection is None else selection
+            selection = self.select_best(context, engine)
+            best, best_speed = (
+                (None, 0.0) if selection is None else selection
+            )
+            search_span.set_attribute("stop_reason", stop_reason)
+            search_span.set_attribute("n_steps", len(trials))
+            search_span.set_attribute(
+                "best", None if best is None else str(best)
+            )
+        context.metrics.gauge("search.steps_to_stop").set(
+            len(trials), strategy=self.name
+        )
         return SearchResult(
             strategy=self.name,
             scenario=context.scenario,

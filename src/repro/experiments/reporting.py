@@ -8,7 +8,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "format_hours", "format_dollars", "ratio"]
+__all__ = [
+    "format_table",
+    "format_hours",
+    "format_dollars",
+    "format_rate",
+    "ratio",
+]
 
 
 def format_hours(seconds: float) -> str:
@@ -21,10 +27,18 @@ def format_dollars(dollars: float) -> str:
     return f"${dollars:.2f}"
 
 
+def format_rate(samples_per_s: float) -> str:
+    """Training speed -> ``"123.4 samples/s"``."""
+    return f"{samples_per_s:.1f} samples/s"
+
+
 def ratio(numerator: float, denominator: float) -> float:
     """Safe ratio used for the paper's "X×" improvement factors."""
     if denominator <= 0:
-        raise ValueError(f"denominator must be positive, got {denominator}")
+        raise ValueError(
+            f"ratio undefined for {numerator!r}/{denominator!r}: "
+            f"denominator must be positive"
+        )
     return numerator / denominator
 
 

@@ -20,6 +20,7 @@ from repro.core.scenarios import Scenario
 from repro.core.search_space import Deployment, DeploymentSpace
 from repro.baselines.exhaustive import oracle_best
 from repro.mlcd.deployment_engine import DeploymentEngine
+from repro.obs import RunRecorder, SearchTrace
 from repro.profiling.profiler import Profiler
 from repro.sim.noise import NoiseModel
 from repro.sim.throughput import TrainingJob, TrainingSimulator
@@ -98,6 +99,7 @@ class StrategyRun:
     report: DeploymentReport
     engine: DeploymentEngine
     config: ExperimentConfig
+    trace: SearchTrace | None = None
 
     @property
     def strategy_name(self) -> str:
@@ -105,10 +107,13 @@ class StrategyRun:
         return self.report.search.strategy
 
 
-def _build_world(config: ExperimentConfig) -> DeploymentEngine:
+def _build_world(
+    config: ExperimentConfig,
+) -> tuple[DeploymentEngine, RunRecorder]:
     catalog = config.catalog()
     cloud = SimulatedCloud(catalog)
     simulator = TrainingSimulator()
+    recorder = RunRecorder(clock=lambda: cloud.clock.now)
     profiler = Profiler(
         cloud,
         simulator,
@@ -117,8 +122,17 @@ def _build_world(config: ExperimentConfig) -> DeploymentEngine:
             seed=config.seed,
             unstable_fraction=config.unstable_fraction,
         ),
+        tracer=recorder.tracer,
+        metrics=recorder.metrics,
     )
-    return DeploymentEngine(config.space(), profiler, simulator)
+    engine = DeploymentEngine(
+        config.space(),
+        profiler,
+        simulator,
+        tracer=recorder.tracer,
+        metrics=recorder.metrics,
+    )
+    return engine, recorder
 
 
 def run_strategy(
@@ -129,14 +143,17 @@ def run_strategy(
     train: bool = True,
 ) -> StrategyRun:
     """Run one strategy in a fresh world; optionally skip training."""
-    engine = _build_world(config)
+    engine, recorder = _build_world(config)
     job = config.job()
     if train:
         report = engine.deploy(strategy, job, scenario)
     else:
         search = engine.search(strategy, job, scenario)
         report = DeploymentReport(search=search)
-    return StrategyRun(report=report, engine=engine, config=config)
+    trace = recorder.finalize(report.search)
+    return StrategyRun(
+        report=report, engine=engine, config=config, trace=trace
+    )
 
 
 def run_oracle(

@@ -22,6 +22,7 @@ from repro.core.result import DeploymentReport
 from repro.core.scenarios import Scenario
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import ExperimentConfig, run_strategy
+from repro.obs import SearchTrace
 
 __all__ = [
     "TraceResult",
@@ -38,6 +39,7 @@ class TraceResult:
     report: DeploymentReport
     budget_dollars: float
     instance_types: tuple[str, ...]
+    trace: SearchTrace | None = None
 
     @property
     def steps_per_type(self) -> dict[str, list[tuple[int, int, float]]]:
@@ -90,6 +92,7 @@ def _run_trace(
         report=run.report,
         budget_dollars=budget,
         instance_types=config.instance_types,
+        trace=run.trace,
     )
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.core.engine import SearchContext, SearchStrategy
 from repro.core.result import DeploymentReport, SearchResult
 from repro.core.search_space import Deployment, DeploymentSpace
+from repro.obs import NOOP_TRACER, MetricsRegistry, Tracer
 from repro.profiling.profiler import Profiler
 from repro.sim.throughput import (
     InfeasibleDeploymentError,
@@ -28,17 +29,28 @@ __all__ = ["DeploymentEngine"]
 
 
 class DeploymentEngine:
-    """Search-then-train orchestration over one simulated cloud."""
+    """Search-then-train orchestration over one simulated cloud.
+
+    ``tracer`` / ``metrics`` are propagated into every search's
+    :class:`~repro.core.engine.SearchContext`, so strategies, the GP
+    engine and the training execution all emit into one recording
+    (no-op by default).
+    """
 
     def __init__(
         self,
         space: DeploymentSpace,
         profiler: Profiler,
         simulator: TrainingSimulator,
+        *,
+        tracer: Tracer = NOOP_TRACER,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.space = space
         self.profiler = profiler
         self.simulator = simulator
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     @property
     def cloud(self):
@@ -57,6 +69,8 @@ class DeploymentEngine:
             profiler=self.profiler,
             job=job,
             scenario=scenario,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         return strategy.search(context)
 
@@ -101,14 +115,25 @@ class DeploymentEngine:
         search = self.search(strategy, job, scenario)
         if search.best is None:
             return DeploymentReport(search=search)
-        try:
-            seconds, dollars = self.execute_training(search.best, job)
-        except InfeasibleDeploymentError:
-            # A measured-successful probe should always train; reaching
-            # this means the search selected an unprofiled deployment.
-            return DeploymentReport(
-                search=search, tags={"error": "chosen deployment infeasible"}
-            )
+        with self.tracer.span("deploy", {
+            "deployment": str(search.best),
+        }) as span:
+            try:
+                seconds, dollars = self.execute_training(search.best, job)
+            except InfeasibleDeploymentError:
+                # A measured-successful probe should always train;
+                # reaching this means the search selected an unprofiled
+                # deployment.
+                span.set_attribute("error", "chosen deployment infeasible")
+                return DeploymentReport(
+                    search=search,
+                    tags={"error": "chosen deployment infeasible"},
+                )
+            span.set_attribute("seconds", seconds)
+            span.set_attribute("dollars", dollars)
+        self.metrics.counter(
+            "deploy.train_dollars_total", unit="USD"
+        ).inc(dollars)
         return DeploymentReport(
             search=search,
             train_seconds=seconds,

@@ -29,6 +29,7 @@ from repro.mlcd.cloud_interface import SimulatedCloudInterface
 from repro.mlcd.deployment_engine import DeploymentEngine
 from repro.mlcd.platform_interface import MLPlatformInterface
 from repro.mlcd.scenario_analyzer import ScenarioAnalyzer, UserRequirements
+from repro.obs import RunRecorder, SearchTrace
 from repro.profiling.profiler import Profiler
 from repro.sim.noise import NoiseModel
 from repro.sim.throughput import TrainingSimulator
@@ -70,16 +71,27 @@ class MLCD:
         self.scenario_analyzer = ScenarioAnalyzer()
         self.simulator = TrainingSimulator()
         self.space = DeploymentSpace(self.catalog, max_count=max_count)
+        # every deployment is recorded: spans are timed against the
+        # simulated clock, and finalize() turns the run into a
+        # SearchTrace artifact (self.last_trace)
+        self.recorder = RunRecorder(clock=lambda: self.cloud.clock.now)
         self.profiler = Profiler(
             self.cloud,
             self.simulator,
             noise=NoiseModel(sigma=noise_sigma, seed=seed),
+            tracer=self.recorder.tracer,
+            metrics=self.recorder.metrics,
         )
         self.engine = DeploymentEngine(
-            self.space, self.profiler, self.simulator
+            self.space,
+            self.profiler,
+            self.simulator,
+            tracer=self.recorder.tracer,
+            metrics=self.recorder.metrics,
         )
         self.strategy = strategy if strategy is not None else HeterBO(seed=seed)
         self._last_job = None
+        self.last_trace: SearchTrace | None = None
 
     def deploy(
         self,
@@ -115,7 +127,9 @@ class MLCD:
             requirements if requirements is not None else UserRequirements()
         )
         self._last_job = job
-        return self.engine.deploy(self.strategy, job, scenario)
+        report = self.engine.deploy(self.strategy, job, scenario)
+        self.last_trace = self.recorder.finalize(report.search)
+        return report
 
     def pareto_options(self, report: DeploymentReport):
         """Non-dominated (time, cost) deployment options the search saw.

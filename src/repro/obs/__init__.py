@@ -1,0 +1,45 @@
+"""Observability: structured tracing, metrics and run artifacts.
+
+The search stack (engine, strategies, Profiler, MLCD Deployment
+Engine) narrates itself through this layer:
+
+- :class:`~repro.obs.tracer.Tracer` — nested spans
+  (``search → step → {gp-fit, candidate-scoring, probe}``) with
+  attributes; the default :data:`~repro.obs.tracer.NOOP_TRACER` makes
+  instrumentation free when nobody is listening;
+- :class:`~repro.obs.metrics.MetricsRegistry` — counters / gauges /
+  histograms (probes issued, probe dollars by instance type, GP fit
+  durations, candidates pruned by reason) that can back-fill into the
+  simulated cloud's CloudWatch-style :class:`MetricStore`;
+- :class:`~repro.obs.recorder.RunRecorder` /
+  :class:`~repro.obs.recorder.SearchTrace` — a versioned JSONL
+  artifact per run, pretty-printed by ``python -m repro.cli trace``.
+
+See ``docs/observability.md`` for the span taxonomy and metric names.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramStats,
+    MetricsRegistry,
+)
+from repro.obs.recorder import TRACE_SCHEMA_VERSION, RunRecorder, SearchTrace
+from repro.obs.span import Span
+from repro.obs.tracer import NOOP_TRACER, RecordingTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramStats",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "RecordingTracer",
+    "RunRecorder",
+    "SearchTrace",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+]

@@ -1,0 +1,252 @@
+"""Process-local metrics registry.
+
+Counters, gauges and histograms keyed by name plus a label set —
+``counter("search.probe_dollars_total").inc(1.2, instance_type="p2")``
+— mirroring the Prometheus data model at simulator scale.  Instruments
+are cheap plain-dict accumulators: strategies record unconditionally
+and a run that nobody inspects costs a few dict writes.
+
+A registry can *back-fill* its final state into the simulated cloud's
+:class:`~repro.cloud.cloudwatch.MetricStore` (labels become CloudWatch
+dimensions), so search-level telemetry lands next to the profiler's
+raw throughput series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramStats",
+    "MetricsRegistry",
+]
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared name/unit/series bookkeeping."""
+
+    kind: str = ""
+
+    def __init__(self, name: str, unit: str = "", description: str = "") -> None:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+        self.unit = unit
+        self.description = description
+        self._series: dict[_LabelKey, Any] = {}
+
+    def labelsets(self) -> list[dict[str, str]]:
+        """Every label combination this instrument has seen."""
+        return [dict(key) for key in self._series]
+
+
+class Counter(_Instrument):
+    """Monotonically increasing sum per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name}: negative increment {amount}"
+            )
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one labelled series (0.0 if never touched)."""
+        return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all label sets."""
+        return sum(self._series.values())
+
+
+class Gauge(_Instrument):
+    """Last-written value per label set."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Overwrite the labelled series with ``value``."""
+        if not math.isfinite(value):
+            raise ValueError(
+                f"gauge {self.name}: non-finite value {value!r}"
+            )
+        self._series[_label_key(labels)] = float(value)
+
+    def value(self, **labels: Any) -> float | None:
+        """Current value, or ``None`` if never set."""
+        return self._series.get(_label_key(labels))
+
+
+@dataclass(slots=True)
+class HistogramStats:
+    """Streaming aggregate of one histogram series."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Histogram(_Instrument):
+    """Streaming count/sum/min/max aggregates per label set."""
+
+    kind = "histogram"
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation."""
+        if not math.isfinite(value):
+            raise ValueError(
+                f"histogram {self.name}: non-finite value {value!r}"
+            )
+        key = _label_key(labels)
+        stats = self._series.get(key)
+        if stats is None:
+            stats = self._series[key] = HistogramStats()
+        stats.observe(value)
+
+    def stats(self, **labels: Any) -> HistogramStats:
+        """Aggregates for one labelled series (zeros if never touched)."""
+        return self._series.get(_label_key(labels), HistogramStats())
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    ``counter`` / ``gauge`` / ``histogram`` are idempotent for a given
+    name; asking for an existing name with a different instrument kind
+    raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get_or_create(
+        self, cls: type, name: str, unit: str, description: str
+    ) -> Any:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            return existing
+        instrument = cls(name, unit=unit, description=description)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(
+        self, name: str, *, unit: str = "", description: str = ""
+    ) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, unit, description)
+
+    def gauge(
+        self, name: str, *, unit: str = "", description: str = ""
+    ) -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, unit, description)
+
+    def histogram(
+        self, name: str, *, unit: str = "", description: str = ""
+    ) -> Histogram:
+        """Get or create a histogram."""
+        return self._get_or_create(Histogram, name, unit, description)
+
+    def get(self, name: str) -> _Instrument | None:
+        """Look up an instrument without creating it."""
+        return self._instruments.get(name)
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- export --------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable dump of every instrument's series."""
+        out: dict[str, Any] = {}
+        for name, inst in sorted(self._instruments.items()):
+            series = []
+            for key, value in inst._series.items():
+                entry: dict[str, Any] = {"labels": dict(key)}
+                if inst.kind == "histogram":
+                    entry.update(
+                        count=value.count,
+                        sum=value.total,
+                        min=value.minimum,
+                        max=value.maximum,
+                        mean=value.mean,
+                    )
+                else:
+                    entry["value"] = value
+                series.append(entry)
+            out[name] = {
+                "kind": inst.kind,
+                "unit": inst.unit,
+                "series": series,
+            }
+        return out
+
+    def backfill(
+        self,
+        store: Any,
+        *,
+        namespace: str = "repro/search",
+        timestamp: float = 0.0,
+    ) -> int:
+        """Write final instrument values into a ``MetricStore``.
+
+        Counters and gauges land as one datum per label set; histograms
+        land as ``<name>.count`` / ``<name>.mean`` / ``<name>.max``.
+        Labels become CloudWatch-style dimensions.  Returns the number
+        of data points written.
+        """
+        written = 0
+        for name, inst in sorted(self._instruments.items()):
+            for key, value in inst._series.items():
+                dimensions = dict(key)
+                if inst.kind == "histogram":
+                    for suffix, v in (
+                        ("count", float(value.count)),
+                        ("mean", value.mean),
+                        ("max", value.maximum),
+                    ):
+                        store.put(
+                            namespace, f"{name}.{suffix}", timestamp, v,
+                            dimensions=dimensions,
+                        )
+                        written += 1
+                else:
+                    store.put(
+                        namespace, name, timestamp, float(value),
+                        dimensions=dimensions,
+                    )
+                    written += 1
+        return written

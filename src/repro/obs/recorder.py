@@ -1,0 +1,217 @@
+"""Run artifacts: recording a search into a portable trace.
+
+A :class:`RunRecorder` bundles the live halves of the observability
+layer (a :class:`~repro.obs.tracer.RecordingTracer` plus a
+:class:`~repro.obs.metrics.MetricsRegistry`); finalising it against a
+completed :class:`~repro.core.result.SearchResult` yields a
+:class:`SearchTrace` — a versioned, plain-JSON-lines artifact holding
+the span tree, the metric snapshot and a summary dict.  Traces are
+assets the same way `repro.io` reports are: probe dollars were really
+"paid", so the per-step record is worth keeping next to every figure.
+
+JSONL layout (one JSON object per line)::
+
+    {"kind": "header", "schema_version": 1, "strategy": ..., ...}
+    {"kind": "span", "name": "search", ...}        # one per span
+    {"kind": "metrics", "data": {...}}             # final line
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span
+from repro.obs.tracer import RecordingTracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.result import SearchResult
+
+__all__ = ["RunRecorder", "SearchTrace", "TRACE_SCHEMA_VERSION"]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SearchTrace:
+    """A recorded search run: spans + metrics + summary, versioned."""
+
+    strategy: str
+    scenario: str
+    stop_reason: str
+    best: str | None
+    summary: dict[str, Any]
+    spans: tuple[Span, ...]
+    metrics: dict[str, Any] = field(default_factory=dict)
+    schema_version: int = TRACE_SCHEMA_VERSION
+
+    # -- derived views -------------------------------------------------------
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name, in start order."""
+        return [s for s in self.spans if s.name == name]
+
+    def probe_rows(self) -> list[dict[str, Any]]:
+        """Per-probe records (one dict per ``probe`` span, in order)."""
+        rows = []
+        for span in self.find("probe"):
+            a = span.attributes
+            rows.append({
+                "step": a.get("step"),
+                "deployment": a.get("deployment"),
+                "note": a.get("note", ""),
+                "speed": a.get("speed"),
+                "cost_usd": a.get("cost_usd"),
+                "seconds": a.get("seconds"),
+                "spent_usd": a.get("spent_usd"),
+                "elapsed_s": a.get("elapsed_s"),
+                "failure_reason": a.get("failure_reason", ""),
+            })
+        return rows
+
+    @property
+    def probe_dollars_total(self) -> float:
+        """Sum of per-probe dollar costs recorded in the spans.
+
+        Reconciles exactly with the simulated cloud's billing ledger
+        under the ``"profiling"`` purpose tag (asserted in
+        ``tests/obs/test_instrumentation.py``).
+        """
+        return sum(r["cost_usd"] or 0.0 for r in self.probe_rows())
+
+    @property
+    def n_probes(self) -> int:
+        """Number of probe spans recorded."""
+        return len(self.find("probe"))
+
+    def render(self) -> str:
+        """Human-readable per-step table plus summary."""
+        from repro.obs.render import render_trace
+
+        return render_trace(self)
+
+    def render_spans(self) -> str:
+        """Indented span-tree view."""
+        from repro.obs.render import render_span_tree
+
+        return render_span_tree(self.spans)
+
+    # -- serialisation -------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialise to the versioned JSONL artifact format."""
+        lines = [json.dumps({
+            "kind": "header",
+            "schema_version": self.schema_version,
+            "strategy": self.strategy,
+            "scenario": self.scenario,
+            "stop_reason": self.stop_reason,
+            "best": self.best,
+            "summary": self.summary,
+        }, sort_keys=True)]
+        lines.extend(
+            json.dumps({"kind": "span", **s.to_dict()}, sort_keys=True)
+            for s in self.spans
+        )
+        lines.append(
+            json.dumps({"kind": "metrics", "data": self.metrics},
+                       sort_keys=True)
+        )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "SearchTrace":
+        """Parse a trace written by :meth:`to_jsonl`.
+
+        Raises
+        ------
+        ValueError
+            On malformed lines, a missing header, or an unsupported
+            schema version.
+        """
+        header: dict[str, Any] | None = None
+        spans: list[Span] = []
+        metrics: dict[str, Any] = {}
+        for i, line in enumerate(text.splitlines()):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"trace line {i + 1} is not valid JSON: {exc}"
+                ) from exc
+            kind = doc.get("kind")
+            if kind == "header":
+                header = doc
+            elif kind == "span":
+                spans.append(Span.from_dict(doc))
+            elif kind == "metrics":
+                metrics = doc.get("data", {})
+            else:
+                raise ValueError(
+                    f"trace line {i + 1}: unknown record kind {kind!r}"
+                )
+        if header is None:
+            raise ValueError("trace has no header record")
+        version = header.get("schema_version")
+        if version != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported trace schema version {version!r}; "
+                f"expected {TRACE_SCHEMA_VERSION}"
+            )
+        return cls(
+            strategy=header["strategy"],
+            scenario=header["scenario"],
+            stop_reason=header["stop_reason"],
+            best=header.get("best"),
+            summary=dict(header.get("summary", {})),
+            spans=tuple(spans),
+            metrics=metrics,
+            schema_version=version,
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the JSONL artifact; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_jsonl())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SearchTrace":
+        """Read a trace written by :meth:`save`."""
+        return cls.from_jsonl(Path(path).read_text())
+
+
+class RunRecorder:
+    """Live tracer + metrics for one search run.
+
+    Parameters
+    ----------
+    clock:
+        Tracer timebase; pass the run's simulated clock
+        (``lambda: cloud.clock.now``) so span timestamps reconcile
+        with billed time.
+    """
+
+    def __init__(self, *, clock=None) -> None:
+        self.tracer = RecordingTracer(clock=clock)
+        self.metrics = MetricsRegistry()
+
+    def finalize(self, result: "SearchResult") -> SearchTrace:
+        """Freeze the recording into a :class:`SearchTrace`."""
+        return SearchTrace(
+            strategy=result.strategy,
+            scenario=result.scenario.describe(),
+            stop_reason=result.stop_reason,
+            best=None if result.best is None else str(result.best),
+            summary={
+                "n_steps": len(result.trials),
+                "profile_seconds": result.profile_seconds,
+                "profile_dollars": result.profile_dollars,
+                "best_measured_speed": result.best_measured_speed,
+            },
+            spans=self.tracer.spans,
+            metrics=self.metrics.snapshot(),
+        )

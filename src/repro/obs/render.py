@@ -1,0 +1,88 @@
+"""Pretty-printing for recorded traces (the ``repro trace`` command).
+
+Imports from :mod:`repro.experiments.reporting` happen lazily inside
+the functions: ``repro.experiments`` imports the whole system at
+package level, and the observability layer must stay importable from
+the bottom of the stack (``repro.core.engine`` imports ``repro.obs``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import SearchTrace
+    from repro.obs.span import Span
+
+__all__ = ["render_span_tree", "render_trace"]
+
+
+def render_trace(trace: "SearchTrace") -> str:
+    """Per-step probe table plus run summary for one trace."""
+    from repro.experiments.reporting import (
+        format_dollars,
+        format_hours,
+        format_rate,
+        format_table,
+    )
+
+    rows = []
+    for r in trace.probe_rows():
+        speed = r["speed"]
+        rows.append((
+            "" if r["step"] is None else str(r["step"]),
+            str(r["deployment"]),
+            r["note"],
+            format_rate(speed) if speed else (r["failure_reason"] or "-"),
+            format_dollars(r["cost_usd"] or 0.0),
+            format_dollars(r["spent_usd"] or 0.0),
+            format_hours(r["elapsed_s"] or 0.0),
+        ))
+    table = format_table(
+        ["step", "deployment", "note", "speed", "probe $", "spent $",
+         "elapsed"],
+        rows,
+    )
+    summary = trace.summary
+    lines = [
+        f"strategy      : {trace.strategy}",
+        f"scenario      : {trace.scenario}",
+        "",
+        table,
+        "",
+        f"probes        : {trace.n_probes} "
+        f"({format_dollars(trace.probe_dollars_total)} profiling)",
+        f"profiling     : {format_hours(summary.get('profile_seconds', 0.0))}, "
+        f"{format_dollars(summary.get('profile_dollars', 0.0))}",
+        f"best          : {trace.best}",
+        f"stop reason   : {trace.stop_reason}",
+    ]
+    return "\n".join(lines)
+
+
+def render_span_tree(spans: Sequence["Span"]) -> str:
+    """Indented tree of spans with durations and key attributes."""
+    by_parent: dict[int | None, list["Span"]] = {}
+    for span in spans:
+        by_parent.setdefault(span.parent_id, []).append(span)
+
+    lines: list[str] = []
+
+    def walk(parent_id: int | None, depth: int) -> None:
+        for span in by_parent.get(parent_id, []):
+            attrs = ", ".join(
+                f"{k}={v}" for k, v in sorted(span.attributes.items())
+            )
+            wall = (
+                f" [{span.wall_seconds * 1e3:.1f} ms]"
+                if span.wall_seconds is not None else ""
+            )
+            lines.append(
+                f"{'  ' * depth}{span.name} "
+                f"(+{span.duration:.1f}s{wall})"
+                + (f" {{{attrs}}}" if attrs else "")
+            )
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)

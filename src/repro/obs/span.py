@@ -1,0 +1,89 @@
+"""Structured trace spans.
+
+A :class:`Span` is one timed, attributed operation in a search run.
+Spans nest: ``search → step → {gp-fit, candidate-scoring, probe}`` at
+the strategy layer, plus ``profile`` / ``deploy`` spans from the
+Profiler and the MLCD Deployment Engine.  Two timebases coexist:
+
+- ``start`` / ``end`` come from the tracer's clock — the *simulated*
+  cloud clock when one exists, so span durations line up with billed
+  time — and
+- ``wall_seconds`` is always real ``perf_counter`` time, which is what
+  matters for "how long did the GP fit take" questions the simulated
+  clock cannot answer (it does not advance during computation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Span"]
+
+
+@dataclass(slots=True)
+class Span:
+    """One operation in a trace.
+
+    Attributes
+    ----------
+    name:
+        Span type (``"search"``, ``"step"``, ``"probe"``, …).
+    span_id / parent_id:
+        Tree structure; ``parent_id`` is ``None`` for roots.
+    start / end:
+        Tracer-clock timestamps; ``end`` is ``None`` while open.
+    wall_seconds:
+        Real elapsed seconds (``None`` while open).
+    attributes:
+        Arbitrary JSON-serialisable key/value annotations.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+    end: float | None = None
+    wall_seconds: float | None = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Annotate this span."""
+        self.attributes[key] = value
+
+    @property
+    def finished(self) -> bool:
+        """Whether the span has been closed."""
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Tracer-clock duration; 0.0 while the span is open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation (see :mod:`repro.obs.recorder`)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "wall_seconds": self.wall_seconds,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Rebuild a span serialised by :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start=data["start"],
+            end=data.get("end"),
+            wall_seconds=data.get("wall_seconds"),
+            attributes=dict(data.get("attributes", {})),
+        )

@@ -1,0 +1,178 @@
+"""Tracers: the emission side of the observability layer.
+
+Everything in the search stack emits through a :class:`Tracer`.  The
+base class *is* the no-op implementation — a stateless singleton whose
+``span()`` returns a shared do-nothing context manager, so instrumented
+code paths cost one attribute lookup and one method call when tracing
+is off (the default).  :class:`RecordingTracer` keeps every span for
+later serialisation by :class:`~repro.obs.recorder.RunRecorder`.
+
+The tracer clock is injectable: search runs pass the simulated cloud
+clock (``lambda: cloud.clock.now``) so span timestamps reconcile with
+billed time; standalone use falls back to ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator
+
+from repro.obs.span import Span
+
+__all__ = ["NOOP_TRACER", "RecordingTracer", "Tracer"]
+
+
+class _NoopSpan:
+    """Shared do-nothing span; reentrant because it is stateless."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """No-op tracer; the default everywhere.
+
+    Instrumented code never checks ``enabled`` — it calls ``span()`` /
+    ``set_attribute()`` unconditionally and this class makes those
+    calls free.  Subclasses that actually record override them.
+    """
+
+    enabled: bool = False
+
+    def span(
+        self, name: str, attributes: dict[str, Any] | None = None
+    ) -> Any:
+        """Context manager for one operation; yields the span."""
+        return _NOOP_SPAN
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Annotate the innermost open span (no-op here)."""
+
+    def current_span(self) -> Span | None:
+        """The innermost open span, or ``None``."""
+        return None
+
+
+#: Process-wide shared no-op tracer (stateless, safe to share).
+NOOP_TRACER = Tracer()
+
+
+class _SpanContext:
+    """Context manager driving one recorded span's lifecycle."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span", "_wall_start")
+
+    def __init__(
+        self,
+        tracer: "RecordingTracer",
+        name: str,
+        attributes: dict[str, Any] | None,
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Span | None = None
+        self._wall_start = 0.0
+
+    def __enter__(self) -> Span:
+        self._wall_start = time.perf_counter()
+        self._span = self._tracer._start(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._span is not None
+        if exc_type is not None:
+            self._span.set_attribute("error", repr(exc))
+        self._tracer._finish(
+            self._span, time.perf_counter() - self._wall_start
+        )
+        return False
+
+
+class RecordingTracer(Tracer):
+    """Tracer that keeps every span, in start order.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time in seconds.
+        Pass the simulated clock (``lambda: cloud.clock.now``) when one
+        exists; defaults to ``time.monotonic``.
+    """
+
+    enabled = True
+
+    def __init__(
+        self, *, clock: Callable[[], float] | None = None
+    ) -> None:
+        self._clock = clock if clock is not None else time.monotonic
+        self._stack: list[Span] = []
+        self._spans: list[Span] = []
+        self._next_id = 1
+
+    # -- emission ------------------------------------------------------------
+    def span(
+        self, name: str, attributes: dict[str, Any] | None = None
+    ) -> _SpanContext:
+        return _SpanContext(self, name, attributes)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        if self._stack:
+            self._stack[-1].set_attribute(key, value)
+
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def _start(
+        self, name: str, attributes: dict[str, Any] | None
+    ) -> Span:
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start=self._clock(),
+            attributes=dict(attributes) if attributes else {},
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        self._spans.append(span)
+        return span
+
+    def _finish(self, span: Span, wall_seconds: float) -> None:
+        span.end = self._clock()
+        span.wall_seconds = wall_seconds
+        # tolerate out-of-order exits (exceptions unwinding): pop down
+        # to and including this span
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Every span seen so far, in start order."""
+        return tuple(self._spans)
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name, in start order."""
+        return [s for s in self._spans if s.name == name]
+
+    def children(self, span: Span) -> list[Span]:
+        """Direct children of ``span``, in start order."""
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def iter_roots(self) -> Iterator[Span]:
+        """Spans with no parent, in start order."""
+        return (s for s in self._spans if s.parent_id is None)

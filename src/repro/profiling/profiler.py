@@ -37,6 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cloud.provider import SimulatedCloud
+from repro.obs import NOOP_TRACER, MetricsRegistry, Tracer
 from repro.profiling.cost import ProfilingCostModel
 from repro.sim.noise import NoiseModel
 from repro.sim.throughput import (
@@ -138,6 +139,10 @@ class Profiler:
         extended.
     max_extensions:
         Upper bound on window extensions per probe.
+    tracer / metrics:
+        Observability sinks (see :mod:`repro.obs`).  Pass the *same*
+        tracer the search strategies use so ``profile`` spans nest
+        under their ``probe`` spans; defaults are no-op.
     """
 
     def __init__(
@@ -152,6 +157,8 @@ class Profiler:
         launch_retries: int = 2,
         retry_backoff_seconds: float = 60.0,
         samples_per_window: int = _SAMPLES_PER_WINDOW,
+        tracer: Tracer = NOOP_TRACER,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if stability_cv <= 0:
             raise ValueError(f"stability_cv must be positive, got {stability_cv}")
@@ -181,6 +188,8 @@ class Profiler:
         self.launch_retries = launch_retries
         self.retry_backoff_seconds = retry_backoff_seconds
         self.samples_per_window = samples_per_window
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # -- cost previews (used by acquisition functions) -------------------------
     def profiling_seconds(self, count: int) -> float:
@@ -292,6 +301,9 @@ class Profiler:
             try:
                 return self.cloud.launch(instance_type, count)
             except InsufficientCapacityError:
+                self.metrics.counter(
+                    "profiler.capacity_retries_total"
+                ).inc(instance_type=instance_type)
                 logger.debug(
                     "capacity shortage launching %dx %s "
                     "(attempt %d/%d); backing off %.0f s",
@@ -299,6 +311,9 @@ class Profiler:
                     self.launch_retries + 1, self.retry_backoff_seconds,
                 )
                 self.cloud.clock.advance(self.retry_backoff_seconds)
+        self.metrics.counter("profiler.abandoned_probes_total").inc(
+            instance_type=instance_type
+        )
         logger.warning(
             "abandoning probe of %dx %s after %d capacity failures",
             count, instance_type, self.launch_retries + 1,
@@ -306,27 +321,48 @@ class Profiler:
         return None
 
     # -- sequential measurement ---------------------------------------------------
+    def _observe_result(self, result: ProfileResult) -> ProfileResult:
+        """Bump profiler-level metrics for one finished probe."""
+        self.metrics.counter("profiler.probes_total").inc(
+            instance_type=result.instance_type
+        )
+        if result.extensions:
+            self.metrics.counter(
+                "profiler.window_extensions_total"
+            ).inc(result.extensions)
+        return result
+
     def profile(
         self, instance_type: str, count: int, job: TrainingJob
     ) -> ProfileResult:
         """Profile one deployment, advancing the clock and the ledger."""
-        start = self.cloud.clock.now
-        cluster = self._launch_with_retry(instance_type, count)
-        if cluster is None:
-            return self._capacity_failure_result(
-                instance_type, count, self.cloud.clock.now - start
+        with self.tracer.span("profile", {
+            "instance_type": instance_type, "count": count,
+        }) as span:
+            start = self.cloud.clock.now
+            cluster = self._launch_with_retry(instance_type, count)
+            if cluster is None:
+                span.set_attribute("outcome", "capacity")
+                return self._observe_result(self._capacity_failure_result(
+                    instance_type, count, self.cloud.clock.now - start
+                ))
+            self.cloud.wait_until_ready(cluster)
+            plan = self._plan_measurement(
+                instance_type, count, job, cluster.setup_seconds
             )
-        self.cloud.wait_until_ready(cluster)
-        plan = self._plan_measurement(
-            instance_type, count, job, cluster.setup_seconds
-        )
-        start = self.cloud.clock.now
-        self.cloud.run_for(cluster, plan.run_seconds)
-        self._emit_metrics(cluster, plan, start, self.cloud.clock.now)
-        dollars = self.cloud.terminate(cluster, purpose="profiling")
-        return self._result_from(
-            instance_type, count, plan, cluster.billable_seconds, dollars
-        )
+            start = self.cloud.clock.now
+            self.cloud.run_for(cluster, plan.run_seconds)
+            self._emit_metrics(cluster, plan, start, self.cloud.clock.now)
+            dollars = self.cloud.terminate(cluster, purpose="profiling")
+            span.set_attribute(
+                "outcome", "infeasible" if plan.failed else "ok"
+            )
+            span.set_attribute("extensions", plan.extensions)
+            span.set_attribute("cost_usd", dollars)
+            return self._observe_result(self._result_from(
+                instance_type, count, plan, cluster.billable_seconds,
+                dollars,
+            ))
 
     # -- concurrent measurement -----------------------------------------------------
     def profile_batch(
@@ -351,41 +387,47 @@ class Profiler:
         """
         if not deployments:
             return []
-        results: list[ProfileResult | None] = [None] * len(deployments)
-        clusters: dict[int, object] = {}
-        launch_start = self.cloud.clock.now
-        for i, (instance_type, count) in enumerate(deployments):
-            cluster = self._launch_with_retry(instance_type, count)
-            if cluster is None:
-                results[i] = self._capacity_failure_result(
-                    instance_type, count,
-                    self.cloud.clock.now - launch_start,
+        with self.tracer.span(
+            "profile-batch", {"n_deployments": len(deployments)}
+        ):
+            results: list[ProfileResult | None] = [None] * len(deployments)
+            clusters: dict[int, object] = {}
+            launch_start = self.cloud.clock.now
+            for i, (instance_type, count) in enumerate(deployments):
+                cluster = self._launch_with_retry(instance_type, count)
+                if cluster is None:
+                    results[i] = self._capacity_failure_result(
+                        instance_type, count,
+                        self.cloud.clock.now - launch_start,
+                    )
+                else:
+                    clusters[i] = cluster
+            for cluster in clusters.values():
+                self.cloud.wait_until_ready(cluster)
+            plans = {
+                i: self._plan_measurement(
+                    deployments[i][0], deployments[i][1], job,
+                    cluster.setup_seconds,
                 )
-            else:
-                clusters[i] = cluster
-        for cluster in clusters.values():
-            self.cloud.wait_until_ready(cluster)
-        plans = {
-            i: self._plan_measurement(
-                deployments[i][0], deployments[i][1], job,
-                cluster.setup_seconds,
-            )
-            for i, cluster in clusters.items()
-        }
-        start = self.cloud.clock.now
-        # terminate in completion order so the shared clock only moves
-        # forward while each cluster is billed for exactly its window
-        order = sorted(clusters, key=lambda i: plans[i].run_seconds)
-        for i in order:
-            cluster, plan = clusters[i], plans[i]
-            completion = start + plan.run_seconds
-            if self.cloud.clock.now < completion:
-                self.cloud.clock.advance_to(completion)
-            self._emit_metrics(cluster, plan, start, completion)
-            dollars = self.cloud.terminate(cluster, purpose="profiling")
-            instance_type, count = deployments[i]
-            results[i] = self._result_from(
-                instance_type, count, plan,
-                cluster.billable_seconds, dollars,
-            )
-        return results
+                for i, cluster in clusters.items()
+            }
+            start = self.cloud.clock.now
+            # terminate in completion order so the shared clock only
+            # moves forward while each cluster is billed for exactly
+            # its window
+            order = sorted(clusters, key=lambda i: plans[i].run_seconds)
+            for i in order:
+                cluster, plan = clusters[i], plans[i]
+                completion = start + plan.run_seconds
+                if self.cloud.clock.now < completion:
+                    self.cloud.clock.advance_to(completion)
+                self._emit_metrics(cluster, plan, start, completion)
+                dollars = self.cloud.terminate(cluster, purpose="profiling")
+                instance_type, count = deployments[i]
+                results[i] = self._result_from(
+                    instance_type, count, plan,
+                    cluster.billable_seconds, dollars,
+                )
+            for result in results:
+                self._observe_result(result)
+            return results

@@ -58,6 +58,60 @@ class TestPut:
         assert store.values("a", "speed") == [1.0]
 
 
+class TestDimensions:
+    def test_datum_carries_dimensions(self):
+        store = MetricStore()
+        d = store.put(
+            "ns", "dollars", 0.0, 1.5,
+            dimensions={"instance_type": "p2.xlarge"},
+        )
+        assert d.dimensions == (("instance_type", "p2.xlarge"),)
+        assert d.dimensions_dict() == {"instance_type": "p2.xlarge"}
+
+    def test_dimensions_normalised_sorted(self):
+        store = MetricStore()
+        d = store.put("ns", "m", 0.0, 1.0, dimensions={"b": "2", "a": "1"})
+        assert d.dimensions == (("a", "1"), ("b", "2"))
+
+    def test_default_no_dimensions(self):
+        store = MetricStore()
+        assert store.put("ns", "m", 0.0, 1.0).dimensions == ()
+
+    def test_series_filters_on_exact_dimensions(self):
+        store = MetricStore()
+        store.put("ns", "m", 0.0, 1.0, dimensions={"type": "cpu"})
+        store.put("ns", "m", 1.0, 2.0, dimensions={"type": "gpu"})
+        store.put("ns", "m", 2.0, 3.0)
+        assert store.values("ns", "m", dimensions={"type": "cpu"}) == [1.0]
+        assert store.values("ns", "m", dimensions={"type": "gpu"}) == [2.0]
+        # no filter returns everything
+        assert store.values("ns", "m") == [1.0, 2.0, 3.0]
+
+    def test_empty_filter_matches_undimensioned_only(self):
+        store = MetricStore()
+        store.put("ns", "m", 0.0, 1.0, dimensions={"type": "cpu"})
+        store.put("ns", "m", 1.0, 2.0)
+        assert store.values("ns", "m", dimensions={}) == [2.0]
+
+
+class TestListMetrics:
+    def test_first_seen_order(self):
+        store = MetricStore()
+        store.put("ns", "b", 0.0, 1.0)
+        store.put("ns", "a", 0.0, 1.0)
+        store.put("ns", "b", 1.0, 2.0)
+        assert store.list_metrics("ns") == ["b", "a"]
+
+    def test_namespaces_isolated(self):
+        store = MetricStore()
+        store.put("a", "x", 0.0, 1.0)
+        store.put("b", "y", 0.0, 1.0)
+        assert store.list_metrics("a") == ["x"]
+
+    def test_unknown_namespace_empty(self):
+        assert MetricStore().list_metrics("nope") == []
+
+
 class TestStatistics:
     def test_basic_stats(self):
         store = MetricStore()

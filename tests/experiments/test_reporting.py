@@ -5,6 +5,7 @@ import pytest
 from repro.experiments.reporting import (
     format_dollars,
     format_hours,
+    format_rate,
     format_table,
     ratio,
 )
@@ -17,12 +18,23 @@ class TestFormatters:
     def test_dollars(self):
         assert format_dollars(3.14159) == "$3.14"
 
+    def test_rate(self):
+        assert format_rate(433.17) == "433.2 samples/s"
+
     def test_ratio(self):
         assert ratio(10.0, 4.0) == pytest.approx(2.5)
 
     def test_ratio_zero_denominator_rejected(self):
         with pytest.raises(ValueError, match="denominator"):
             ratio(1.0, 0.0)
+
+    def test_ratio_error_names_both_operands(self):
+        with pytest.raises(ValueError, match=r"3\.5.*0\.0"):
+            ratio(3.5, 0.0)
+
+    def test_ratio_negative_denominator_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ratio(1.0, -2.0)
 
 
 class TestTable:

@@ -1,0 +1,209 @@
+"""The search narrates itself through spans and metrics.
+
+Companion to ``tests/test_logging.py``: same worlds, but asserting on
+the structured telemetry instead of log lines.
+"""
+
+import pytest
+
+from repro.core.engine import SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.parallel import ParallelHeterBO
+from repro.core.scenarios import Scenario
+from repro.obs import MetricsRegistry, RecordingTracer, RunRecorder
+from repro.profiling.profiler import Profiler
+from repro.sim.noise import NoiseModel
+
+
+@pytest.fixture
+def recorder(cloud) -> RunRecorder:
+    return RunRecorder(clock=lambda: cloud.clock.now)
+
+
+@pytest.fixture
+def context(small_space, cloud, simulator, charrnn_job, recorder):
+    profiler = Profiler(
+        cloud, simulator, noise=NoiseModel(sigma=0.03, seed=0),
+        tracer=recorder.tracer, metrics=recorder.metrics,
+    )
+    # $30 is tight enough that every protective filter (prior, POI,
+    # reserve, TEI) prunes at least once on this world
+    return SearchContext(
+        space=small_space,
+        profiler=profiler,
+        job=charrnn_job,
+        scenario=Scenario.fastest_within(30.0),
+        tracer=recorder.tracer,
+        metrics=recorder.metrics,
+    )
+
+
+class TestSpanEmission:
+    def test_one_probe_span_per_trial_with_cost(self, context, recorder):
+        result = HeterBO(seed=1).search(context)
+        probes = recorder.tracer.find("probe")
+        assert len(probes) == len(result.trials)
+        for span, trial in zip(probes, result.trials):
+            assert span.attributes["cost_usd"] == pytest.approx(
+                trial.profile_dollars
+            )
+            assert span.attributes["deployment"] == str(trial.deployment)
+
+    def test_probe_dollars_reconcile_with_billing_ledger(
+        self, context, recorder, cloud
+    ):
+        result = HeterBO(seed=1).search(context)
+        trace = recorder.finalize(result)
+        assert trace.probe_dollars_total == pytest.approx(
+            cloud.total_spend("profiling")
+        )
+
+    def test_span_taxonomy_nests(self, context, recorder):
+        HeterBO(seed=1).search(context)
+        tracer = recorder.tracer
+        roots = list(tracer.iter_roots())
+        assert [s.name for s in roots] == ["search"]
+        search = roots[0]
+        steps = tracer.children(search)
+        assert steps and all(s.name == "step" for s in steps)
+        explore = [
+            s for s in steps if s.attributes.get("phase") == "explore"
+        ]
+        assert explore
+        child_names = {c.name for c in tracer.children(explore[0])}
+        assert "gp-fit" in child_names
+        assert "candidate-scoring" in child_names
+
+    def test_profile_spans_nest_under_probe_spans(self, context, recorder):
+        HeterBO(seed=1).search(context)
+        tracer = recorder.tracer
+        for probe in tracer.find("probe"):
+            names = [c.name for c in tracer.children(probe)]
+            assert names == ["profile"]
+
+    def test_search_span_records_outcome(self, context, recorder):
+        result = HeterBO(seed=1).search(context)
+        (search,) = recorder.tracer.find("search")
+        assert search.attributes["strategy"] == "heterbo"
+        assert search.attributes["stop_reason"] == result.stop_reason
+        assert search.attributes["n_steps"] == len(result.trials)
+        assert search.attributes["best"] == str(result.best)
+
+    def test_spans_timed_on_simulated_clock(self, context, recorder, cloud):
+        HeterBO(seed=1).search(context)
+        (search,) = recorder.tracer.find("search")
+        assert search.duration == pytest.approx(cloud.elapsed())
+        # computation costs no simulated time but real wall time
+        fits = recorder.tracer.find("gp-fit")
+        assert fits and all(f.duration == 0.0 for f in fits)
+        assert all(f.wall_seconds > 0.0 for f in fits)
+
+
+class TestMetricsEmission:
+    def test_probe_counters(self, context, recorder):
+        result = HeterBO(seed=1).search(context)
+        metrics = recorder.metrics
+        probes = metrics.counter("search.probes_total")
+        assert probes.total() == len(result.trials)
+        dollars = metrics.counter("search.probe_dollars_total")
+        assert dollars.total() == pytest.approx(result.profile_dollars)
+        # per-instance-type attribution covers the whole spend
+        by_type = {
+            tuple(labels.items()): dollars.value(**labels)
+            for labels in dollars.labelsets()
+        }
+        assert len(by_type) >= 2
+
+    def test_gp_fit_metrics(self, context, recorder):
+        HeterBO(seed=1).search(context)
+        metrics = recorder.metrics
+        n_fits = metrics.counter("gp.fit_total").total()
+        assert n_fits >= 1
+        stats = metrics.histogram("gp.fit_seconds").stats()
+        assert stats.count == n_fits
+        assert stats.total > 0.0
+
+    def test_pruning_counters(self, context, recorder):
+        HeterBO(seed=1).search(context)
+        pruned = recorder.metrics.counter("search.candidates_pruned_total")
+        # the Char-RNN curve declines in range, so the concave prior
+        # must prune, and the budget forces reserve blocking
+        assert pruned.value(reason="prior") > 0
+        assert pruned.value(reason="reserve") > 0
+
+    def test_steps_to_stop_gauge(self, context, recorder):
+        result = HeterBO(seed=1).search(context)
+        gauge = recorder.metrics.gauge("search.steps_to_stop")
+        assert gauge.value(strategy="heterbo") == len(result.trials)
+
+
+class TestNoopDefault:
+    def _run(self, small_space, small_catalog, charrnn_job, tracer=None,
+             metrics=None):
+        from repro.cloud.provider import SimulatedCloud
+        from repro.sim.throughput import TrainingSimulator
+
+        cloud = SimulatedCloud(small_catalog)
+        kwargs = {}
+        if tracer is not None:
+            kwargs["tracer"] = tracer
+        if metrics is not None:
+            kwargs["metrics"] = metrics
+        profiler = Profiler(
+            cloud, TrainingSimulator(),
+            noise=NoiseModel(sigma=0.03, seed=0), **kwargs,
+        )
+        context = SearchContext(
+            space=small_space,
+            profiler=profiler,
+            job=charrnn_job,
+            scenario=Scenario.fastest_within(80.0),
+            **kwargs,
+        )
+        return HeterBO(seed=1).search(context)
+
+    def test_tracing_does_not_change_the_search(
+        self, small_space, small_catalog, charrnn_job
+    ):
+        plain = self._run(small_space, small_catalog, charrnn_job)
+        tracer = RecordingTracer()
+        traced = self._run(
+            small_space, small_catalog, charrnn_job,
+            tracer=tracer, metrics=MetricsRegistry(),
+        )
+        assert traced == plain
+        assert tracer.spans  # the traced run really recorded
+
+    def test_default_context_uses_shared_noop_tracer(
+        self, small_space, profiler, charrnn_job
+    ):
+        from repro.obs import NOOP_TRACER
+
+        context = SearchContext(
+            space=small_space, profiler=profiler, job=charrnn_job,
+            scenario=Scenario.fastest(),
+        )
+        assert context.tracer is NOOP_TRACER
+
+
+class TestParallelInstrumentation:
+    def test_batched_probe_spans(self, context, recorder):
+        result = ParallelHeterBO(seed=1, batch_size=2).search(context)
+        probes = recorder.tracer.find("probe")
+        assert len(probes) == len(result.trials)
+        assert all(p.attributes.get("batched") for p in probes)
+        trace = recorder.finalize(result)
+        assert trace.probe_dollars_total == pytest.approx(
+            result.profile_dollars
+        )
+
+
+class TestBackfillIntoCloudWatch:
+    def test_search_metrics_land_in_the_store(self, context, recorder, cloud):
+        HeterBO(seed=1).search(context)
+        written = recorder.metrics.backfill(
+            cloud.metrics, timestamp=cloud.clock.now
+        )
+        assert written > 0
+        names = cloud.metrics.list_metrics("repro/search")
+        assert "search.probes_total" in names

@@ -1,0 +1,145 @@
+"""Metrics registry: instruments, labels, snapshot and backfill."""
+
+import pytest
+
+from repro.cloud.cloudwatch import MetricStore
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("probes")
+        c.inc()
+        c.inc(2.0)
+        assert c.value() == 3.0
+
+    def test_labelled_series_independent(self):
+        c = Counter("dollars")
+        c.inc(1.5, instance_type="c5.xlarge")
+        c.inc(2.5, instance_type="p2.xlarge")
+        assert c.value(instance_type="c5.xlarge") == 1.5
+        assert c.value(instance_type="p2.xlarge") == 2.5
+        assert c.total() == 4.0
+
+    def test_label_order_irrelevant(self):
+        c = Counter("x")
+        c.inc(1.0, a="1", b="2")
+        assert c.value(b="2", a="1") == 1.0
+
+    def test_untouched_series_reads_zero(self):
+        assert Counter("x").value(foo="bar") == 0.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Counter("x").inc(-1.0)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("steps")
+        g.set(3.0)
+        g.set(7.0)
+        assert g.value() == 7.0
+
+    def test_unset_is_none(self):
+        assert Gauge("steps").value() is None
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            Gauge("x").set(float("nan"))
+
+
+class TestHistogram:
+    def test_streaming_aggregates(self):
+        h = Histogram("fit_seconds")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        stats = h.stats()
+        assert stats.count == 3
+        assert stats.total == 6.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_empty_stats(self):
+        stats = Histogram("x").stats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            Histogram("x").observe(float("inf"))
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            MetricsRegistry().counter("")
+
+    def test_get_does_not_create(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        assert len(reg) == 0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("probes", unit="probes").inc(3.0, strategy="heterbo")
+        reg.histogram("fit").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["probes"]["kind"] == "counter"
+        assert snap["probes"]["unit"] == "probes"
+        assert snap["probes"]["series"] == [
+            {"labels": {"strategy": "heterbo"}, "value": 3.0}
+        ]
+        hist = snap["fit"]["series"][0]
+        assert hist["count"] == 1 and hist["mean"] == 2.0
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.0, k="v")
+        json.dumps(reg.snapshot())
+
+
+class TestBackfill:
+    def test_counters_and_gauges_land_with_dimensions(self):
+        reg = MetricsRegistry()
+        reg.counter("search.probes_total").inc(4.0, strategy="heterbo")
+        reg.gauge("search.steps_to_stop").set(9.0)
+        store = MetricStore()
+        written = reg.backfill(store, namespace="ns", timestamp=5.0)
+        assert written == 2
+        assert store.values(
+            "ns", "search.probes_total",
+            dimensions={"strategy": "heterbo"},
+        ) == [4.0]
+        assert store.values("ns", "search.steps_to_stop") == [9.0]
+
+    def test_histograms_explode_to_suffixed_metrics(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("gp.fit_seconds")
+        h.observe(1.0)
+        h.observe(3.0)
+        store = MetricStore()
+        written = reg.backfill(store)
+        assert written == 3
+        ns = "repro/search"
+        assert store.values(ns, "gp.fit_seconds.count") == [2.0]
+        assert store.values(ns, "gp.fit_seconds.mean") == [2.0]
+        assert store.values(ns, "gp.fit_seconds.max") == [3.0]
+        assert set(store.list_metrics(ns)) == {
+            "gp.fit_seconds.count", "gp.fit_seconds.mean",
+            "gp.fit_seconds.max",
+        }

@@ -1,0 +1,140 @@
+"""Run recorder: SearchTrace construction and JSONL round-trips."""
+
+import pytest
+
+from repro.core.result import SearchResult, TrialRecord
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+from repro.obs import RunRecorder, SearchTrace, TRACE_SCHEMA_VERSION
+
+
+@pytest.fixture
+def recorded() -> tuple[RunRecorder, SearchResult]:
+    recorder = RunRecorder()
+    with recorder.tracer.span("search", {"strategy": "heterbo"}):
+        with recorder.tracer.span("step", {"phase": "initial"}):
+            with recorder.tracer.span("probe", {
+                "deployment": "1x c5.xlarge", "step": 1,
+                "cost_usd": 0.5, "speed": 10.0, "note": "initial",
+            }):
+                pass
+        with recorder.tracer.span("step", {"phase": "explore"}):
+            with recorder.tracer.span("probe", {
+                "deployment": "4x c5.xlarge", "step": 2,
+                "cost_usd": 1.5, "speed": 30.0, "note": "explore",
+            }):
+                pass
+    recorder.metrics.counter("search.probes_total").inc(2.0)
+    result = SearchResult(
+        strategy="heterbo",
+        scenario=Scenario.fastest(),
+        trials=(
+            TrialRecord(
+                step=1, deployment=Deployment("c5.xlarge", 1),
+                measured_speed=10.0, profile_seconds=600.0,
+                profile_dollars=0.5, elapsed_seconds=600.0,
+                spent_dollars=0.5, note="initial",
+            ),
+            TrialRecord(
+                step=2, deployment=Deployment("c5.xlarge", 4),
+                measured_speed=30.0, profile_seconds=600.0,
+                profile_dollars=1.5, elapsed_seconds=1200.0,
+                spent_dollars=2.0, note="explore",
+            ),
+        ),
+        best=Deployment("c5.xlarge", 4),
+        best_measured_speed=30.0,
+        profile_seconds=1200.0,
+        profile_dollars=2.0,
+        stop_reason="test complete",
+    )
+    return recorder, result
+
+
+class TestFinalize:
+    def test_trace_carries_run_identity(self, recorded):
+        recorder, result = recorded
+        trace = recorder.finalize(result)
+        assert trace.strategy == "heterbo"
+        assert trace.best == "4x c5.xlarge"
+        assert trace.stop_reason == "test complete"
+        assert trace.schema_version == TRACE_SCHEMA_VERSION
+
+    def test_summary(self, recorded):
+        recorder, result = recorded
+        trace = recorder.finalize(result)
+        assert trace.summary == {
+            "n_steps": 2,
+            "profile_seconds": 1200.0,
+            "profile_dollars": 2.0,
+            "best_measured_speed": 30.0,
+        }
+
+    def test_probe_views(self, recorded):
+        recorder, result = recorded
+        trace = recorder.finalize(result)
+        assert trace.n_probes == 2
+        assert trace.probe_dollars_total == pytest.approx(2.0)
+        rows = trace.probe_rows()
+        assert rows[0]["deployment"] == "1x c5.xlarge"
+        assert rows[1]["note"] == "explore"
+
+    def test_metrics_snapshot_included(self, recorded):
+        recorder, result = recorded
+        trace = recorder.finalize(result)
+        assert trace.metrics["search.probes_total"]["kind"] == "counter"
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self, recorded):
+        recorder, result = recorded
+        trace = recorder.finalize(result)
+        again = SearchTrace.from_jsonl(trace.to_jsonl())
+        assert again == trace
+
+    def test_save_load(self, recorded, tmp_path):
+        recorder, result = recorded
+        trace = recorder.finalize(result)
+        path = trace.save(tmp_path / "run.trace.jsonl")
+        assert SearchTrace.load(path) == trace
+
+    def test_one_json_object_per_line(self, recorded):
+        import json
+
+        recorder, result = recorded
+        text = recorder.finalize(result).to_jsonl()
+        lines = text.strip().splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert docs[0]["kind"] == "header"
+        assert docs[-1]["kind"] == "metrics"
+        assert all(d["kind"] == "span" for d in docs[1:-1])
+
+    def test_render_delegates(self, recorded):
+        recorder, result = recorded
+        trace = recorder.finalize(result)
+        out = trace.render()
+        assert "heterbo" in out
+        assert "4x c5.xlarge" in out
+        tree = trace.render_spans()
+        assert "search" in tree and "probe" in tree
+
+
+class TestJsonlValidation:
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            SearchTrace.from_jsonl("{nope")
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="no header"):
+            SearchTrace.from_jsonl('{"kind": "metrics", "data": {}}')
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown record kind"):
+            SearchTrace.from_jsonl('{"kind": "mystery"}')
+
+    def test_unsupported_schema_version_rejected(self, recorded):
+        recorder, result = recorded
+        text = recorder.finalize(result).to_jsonl()
+        text = text.replace('"schema_version": 1', '"schema_version": 99')
+        with pytest.raises(ValueError, match="schema version"):
+            SearchTrace.from_jsonl(text)

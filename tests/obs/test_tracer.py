@@ -1,0 +1,135 @@
+"""Tracers: span nesting, ordering, clocks and the no-op path."""
+
+import pytest
+
+from repro.obs import NOOP_TRACER, RecordingTracer, Tracer
+from repro.obs.span import Span
+
+
+class TestNoopTracer:
+    def test_module_singleton_is_base_class(self):
+        assert type(NOOP_TRACER) is Tracer
+        assert NOOP_TRACER.enabled is False
+
+    def test_span_is_shared_and_reentrant(self):
+        a = NOOP_TRACER.span("outer")
+        b = NOOP_TRACER.span("inner")
+        assert a is b  # one shared stateless sentinel
+        with a as sa:
+            with b as sb:
+                sa.set_attribute("k", 1)
+                sb.set_attribute("k", 2)
+
+    def test_set_attribute_outside_span_is_noop(self):
+        NOOP_TRACER.set_attribute("orphan", 1)
+        assert NOOP_TRACER.current_span() is None
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with NOOP_TRACER.span("x"):
+                raise RuntimeError("boom")
+
+
+class TestRecordingTracer:
+    def test_spans_in_start_order(self):
+        tracer = RecordingTracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [s.name for s in tracer.spans] == ["a", "b", "c"]
+
+    def test_nesting_via_parent_ids(self):
+        tracer = RecordingTracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert tracer.children(root) == [child]
+        assert list(tracer.iter_roots()) == [root]
+
+    def test_siblings_share_parent(self):
+        tracer = RecordingTracer()
+        with tracer.span("root") as root:
+            with tracer.span("s1") as s1:
+                pass
+            with tracer.span("s2") as s2:
+                pass
+        assert s1.parent_id == root.span_id
+        assert s2.parent_id == root.span_id
+
+    def test_attributes_at_open_and_late(self):
+        tracer = RecordingTracer()
+        with tracer.span("op", {"x": 1}) as span:
+            span.set_attribute("y", 2)
+        span.set_attribute("z", 3)  # post-close annotation allowed
+        assert span.attributes == {"x": 1, "y": 2, "z": 3}
+
+    def test_set_attribute_targets_innermost(self):
+        tracer = RecordingTracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                tracer.set_attribute("k", "v")
+        assert inner.attributes == {"k": "v"}
+        assert "k" not in outer.attributes
+
+    def test_current_span(self):
+        tracer = RecordingTracer()
+        assert tracer.current_span() is None
+        with tracer.span("a") as a:
+            assert tracer.current_span() is a
+        assert tracer.current_span() is None
+
+    def test_injected_clock_times_spans(self):
+        fake = {"now": 100.0}
+        tracer = RecordingTracer(clock=lambda: fake["now"])
+        with tracer.span("op") as span:
+            fake["now"] = 160.0
+        assert span.start == 100.0
+        assert span.end == 160.0
+        assert span.duration == 60.0
+
+    def test_wall_seconds_recorded_independently(self):
+        # simulated clock frozen -> zero span duration, but wall time
+        # of the computation is still captured
+        tracer = RecordingTracer(clock=lambda: 42.0)
+        with tracer.span("op") as span:
+            sum(range(1000))
+        assert span.duration == 0.0
+        assert span.wall_seconds >= 0.0
+
+    def test_exception_annotates_and_closes(self):
+        tracer = RecordingTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("op") as span:
+                raise ValueError("bad")
+        assert span.finished
+        assert "ValueError" in span.attributes["error"]
+        assert tracer.current_span() is None
+
+    def test_find_by_name(self):
+        tracer = RecordingTracer()
+        with tracer.span("step"):
+            pass
+        with tracer.span("step"):
+            pass
+        assert len(tracer.find("step")) == 2
+        assert tracer.find("missing") == []
+
+    def test_span_ids_unique_and_increasing(self):
+        tracer = RecordingTracer()
+        for _ in range(5):
+            with tracer.span("x"):
+                pass
+        ids = [s.span_id for s in tracer.spans]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_unfinished_span_duration_zero(self):
+        span = Span(name="open", span_id=1, parent_id=None, start=5.0)
+        assert not span.finished
+        assert span.duration == 0.0

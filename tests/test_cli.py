@@ -85,6 +85,51 @@ class TestReportCommand:
         assert "reproduction report" in capsys.readouterr().out
 
 
+class TestTraceCommand:
+    @pytest.fixture
+    def trace_file(self, tmp_path, capsys):
+        rc = main([
+            "deploy", "--model", "char-rnn", "--dataset", "char-corpus",
+            "--epochs", "1", "--budget", "80", "--max-count", "10",
+            "--seed", "1", "--trace-out", str(tmp_path / "run.trace.jsonl"),
+        ])
+        assert rc == 0
+        capsys.readouterr()  # discard the deploy output
+        return str(tmp_path / "run.trace.jsonl")
+
+    def test_trace_renders_per_step_table(self, trace_file, capsys):
+        assert main(["trace", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "strategy      : heterbo" in out
+        assert "step" in out and "probe $" in out
+        assert "initial" in out
+
+    def test_trace_probe_dollars_match_ledger(self, trace_file, capsys):
+        from repro.obs import SearchTrace
+
+        assert main(["trace", trace_file]) == 0
+        out = capsys.readouterr().out
+        trace = SearchTrace.load(trace_file)
+        # the rendered total is the same number the artifact carries,
+        # which reconciles with the billing ledger (tests/obs)
+        assert f"${trace.probe_dollars_total:.2f}" in out
+
+    def test_trace_spans_flag(self, trace_file, capsys):
+        assert main(["trace", trace_file, "--spans"]) == 0
+        out = capsys.readouterr().out
+        assert "search" in out and "gp-fit" in out
+
+    def test_trace_missing_file(self, capsys):
+        assert main(["trace", "/nonexistent/run.trace.jsonl"]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_trace_invalid_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["trace", str(bad)]) == 2
+        assert "invalid trace file" in capsys.readouterr().err
+
+
 class TestAdviseCommand:
     @pytest.fixture
     def trace_path(self, tmp_path):
