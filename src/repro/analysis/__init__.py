@@ -1,0 +1,45 @@
+"""``repro.analysis`` — the repo's self-hosted static-analysis framework.
+
+A small, pluggable AST linter (stdlib :mod:`ast`, no third-party
+dependencies) that enforces the reproduction's *repo-specific*
+invariants — the properties the paper's cost-savings claims rest on
+and that generic linters cannot know about:
+
+- **RL001** determinism: no wall-clock or unseeded randomness in the
+  search/simulation packages (the simulated clock and explicit
+  ``numpy.random.Generator`` instances are the only nondeterminism
+  sources allowed);
+- **RL002** no float ``==``/``!=`` on measured quantities (money,
+  throughput, time) — exact float equality is how "probe failed"
+  sentinels silently rot;
+- **RL003** units discipline: identifiers carrying dollars, dollars
+  per hour, seconds or simulation steps follow a suffix convention,
+  and additive arithmetic across mismatched units is flagged;
+- **RL004** hygiene: bare/silent ``except``, mutable default
+  arguments, shadowed builtins.
+
+See ``docs/static-analysis.md`` for the rule catalogue with bad/good
+examples and the suppression workflow.  The ``repro lint`` CLI
+subcommand (:mod:`repro.analysis.cli`) runs the analyzer with text or
+JSON output, inline suppressions and a checked-in baseline file.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, ModuleContext, Rule, rule_by_id
+from repro.analysis.runner import AnalysisReport, Analyzer, analyze_paths
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisReport",
+    "Analyzer",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "analyze_paths",
+    "rule_by_id",
+]

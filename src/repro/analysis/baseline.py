@@ -1,0 +1,146 @@
+"""Baseline suppression file for ``repro lint``.
+
+A baseline is the *audited debt list*: findings that existed when a
+rule was introduced and have an explicit justification for staying.
+It is a checked-in JSON file; every entry carries the finding's
+fingerprint (line-drift tolerant, see
+:class:`~repro.analysis.findings.Finding`) and a human justification.
+CI fails on any finding not in the baseline — and the review workflow
+is that the baseline only ever shrinks.
+
+File format::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "RL002", "path": "src/...", "fingerprint": "...",
+         "justification": "why this one stays"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "DEFAULT_BASELINE_NAME"]
+
+BASELINE_VERSION = 1
+
+#: Conventional baseline filename at the repo root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One suppressed finding with its justification."""
+
+    rule: str
+    path: str
+    fingerprint: str
+    justification: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """A set of baselined finding fingerprints."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+        self._fingerprints = {e.fingerprint for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Whether ``finding`` is covered by a baseline entry."""
+        return finding.fingerprint in self._fingerprints
+
+    def stale_entries(self, findings: Iterable[Finding]) -> list[BaselineEntry]:
+        """Entries whose finding no longer exists (candidates for
+        removal — the baseline only ever shrinks)."""
+        live = {f.fingerprint for f in findings}
+        return [e for e in self.entries if e.fingerprint not in live]
+
+    # -- serialisation -------------------------------------------------------
+    def to_json(self) -> str:
+        doc = {
+            "version": BASELINE_VERSION,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+        return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        """Parse a baseline document.
+
+        Raises
+        ------
+        ValueError
+            On malformed JSON, a wrong version, or entries missing
+            required keys.
+        """
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version "
+                f"{doc.get('version') if isinstance(doc, dict) else doc!r}; "
+                f"expected {BASELINE_VERSION}"
+            )
+        entries = []
+        for i, raw in enumerate(doc.get("entries", [])):
+            try:
+                entries.append(BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    fingerprint=raw["fingerprint"],
+                    justification=raw.get("justification", ""),
+                ))
+            except (TypeError, KeyError) as exc:
+                raise ValueError(
+                    f"baseline entry {i} is malformed: {exc}"
+                ) from exc
+        return cls(entries)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        return cls.from_json(path.read_text())
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], justification: str
+    ) -> "Baseline":
+        """Build a baseline covering ``findings`` (``--write-baseline``)."""
+        return cls([
+            BaselineEntry(
+                rule=f.rule_id,
+                path=f.path,
+                fingerprint=f.fingerprint,
+                justification=justification,
+            )
+            for f in findings
+        ])

@@ -1,0 +1,122 @@
+"""``repro lint`` — the static-analysis CLI.
+
+Exit codes follow linter convention:
+
+- ``0`` — clean (no findings beyond inline suppressions + baseline);
+- ``1`` — at least one live finding;
+- ``2`` — usage or I/O error (unknown rule, unreadable baseline, …).
+
+Examples::
+
+    repro lint src/repro
+    repro lint src/repro --format json
+    repro lint src/repro --select RL001,RL002
+    repro lint src/repro --write-baseline --justification "pre-RL debt"
+    repro lint src/repro --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.runner import Analyzer
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro lint``'s arguments to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE_NAME, metavar="FILE",
+        help=f"baseline suppression file (default: {DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--justification", default="baselined pre-existing finding",
+        help="justification recorded with --write-baseline entries",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def _select_rules(spec: str | None) -> list[Rule]:
+    if spec is None:
+        return list(ALL_RULES)
+    wanted = [part.strip() for part in spec.split(",") if part.strip()]
+    by_id = {rule.rule_id: rule for rule in ALL_RULES}
+    unknown = [rule_id for rule_id in wanted if rule_id not in by_id]
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+    return [by_id[rule_id] for rule_id in wanted]
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint``; returns the process exit code."""
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    try:
+        rules = _select_rules(args.select)
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+    analyzer = Analyzer(rules, baseline=baseline)
+    report = analyzer.run(args.paths)
+
+    if args.write_baseline:
+        # findings + already-baselined entries: rewriting keeps only
+        # what is live right now, so stale entries drop automatically
+        updated = Baseline.from_findings(
+            list(report.findings) + list(report.baselined),
+            args.justification,
+        )
+        updated.save(args.baseline)
+        print(
+            f"wrote {len(updated)} baseline entr"
+            f"{'y' if len(updated) == 1 else 'ies'} to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    if report.errors:
+        return 2
+    return 0 if report.clean else 1

@@ -1,0 +1,109 @@
+"""RL002 — no float ``==``/``!=`` on measured quantities.
+
+Money, throughput and time values in this codebase are floats that
+come out of arithmetic (per-second billing, noisy measurement means,
+unit conversions).  Testing them with exact equality is how sentinel
+conventions rot: ``measured_speed == 0.0`` silently stops meaning
+"probe failed" the moment anything adds noise or rounding upstream.
+
+The rule flags ``==`` / ``!=`` comparisons where
+
+- either operand is a float literal (``x == 0.0``, ``rate != 1.0``),
+  or
+- either operand is the integer literal ``0`` and the other operand's
+  terminal identifier names a measured quantity (``mean``, ``speed``,
+  ``dollars`` …) — the ``arr.mean() != 0`` spelling of the same bug.
+
+Replacements that pass: ordered predicates (``speed > 0.0``),
+``math.isclose`` / ``numpy.isclose`` with an explicit tolerance, or an
+explicit failure flag carried alongside the value.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["FloatEqualityRule"]
+
+#: Identifier fragments that mark a value as a measured/derived
+#: quantity for the int-zero variant of the rule.
+_QUANTITY_TOKENS = (
+    "mean", "speed", "dollars", "usd", "cost", "price", "rate",
+    "throughput", "seconds", "budget", "fraction", "sigma", "std",
+    "stddev", "variance", "hours", "latency",
+)
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    if isinstance(node, ast.UnaryOp):
+        return _terminal_name(node.operand)
+    return None
+
+
+def _is_quantity(node: ast.expr) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(token in lowered for token in _QUANTITY_TOKENS)
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_literal(node.operand)
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_int_zero(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and type(node.value) is int
+        and node.value == 0
+    )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """RL002: exact float equality on measured quantities."""
+
+    rule_id = "RL002"
+    title = "no float ==/!= on monetary/throughput/time quantities"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands, operands[1:]
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield context.finding(
+                        self.rule_id, node,
+                        "exact float equality against a float literal; "
+                        "use an ordered predicate, math.isclose with an "
+                        "explicit tolerance, or an explicit flag",
+                    )
+                    break
+                if (_is_int_zero(left) and _is_quantity(right)) or (
+                    _is_int_zero(right) and _is_quantity(left)
+                ):
+                    yield context.finding(
+                        self.rule_id, node,
+                        "exact equality of a measured quantity against "
+                        "0; use an ordered predicate or math.isclose "
+                        "with an explicit tolerance",
+                    )
+                    break

@@ -1,0 +1,129 @@
+"""RL001 — determinism: no wall-clock, no unseeded randomness.
+
+HeterBO's cost-savings claims only reproduce when every run is
+bit-deterministic: the simulated clock (:mod:`repro.cloud.clock`) is
+the single timebase for search logic, and all randomness flows through
+explicitly seeded :class:`numpy.random.Generator` instances threaded
+through parameters.  This rule bans, inside the search/simulation
+packages (``repro/{core,sim,cloud,baselines}``):
+
+- ``time.time()`` / ``time.time_ns()`` and ``datetime`` "now"
+  constructors (``now``, ``utcnow``, ``today``, ``fromtimestamp`` on
+  the current clock) — wall-clock reads that make decisions depend on
+  when the run happened;
+- any use of the stdlib :mod:`random` module — a process-global,
+  implicitly seeded RNG;
+- ``numpy.random`` *module-level* functions (``np.random.normal``,
+  ``np.random.seed``, …) — global-state RNG calls.  Constructing
+  generators (``np.random.default_rng``, ``Generator``, ``PCG64``,
+  ``SeedSequence``) is allowed: an explicit generator with an explicit
+  seed *is* the convention.
+
+``time.perf_counter`` / ``time.monotonic`` stay allowed: they time
+real computation for telemetry (span ``wall_seconds``) and never feed
+search decisions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["DeterminismRule"]
+
+#: Path components that put a module in RL001 scope.
+_SCOPED_PACKAGES = ("core", "sim", "cloud", "baselines")
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+}
+
+#: numpy.random attributes that are explicit-generator constructors,
+#: not global-state draws.
+_NUMPY_GENERATOR_OK = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "BitGenerator",
+}
+
+
+def _in_scope(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return any(p in _SCOPED_PACKAGES for p in parts[:-1])
+
+
+@register
+class DeterminismRule(Rule):
+    """RL001: simulated clock + seeded Generators only."""
+
+    rule_id = "RL001"
+    title = (
+        "no wall-clock or unseeded randomness in "
+        "repro/{core,sim,cloud,baselines}"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_scope(path)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_imports(context)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(context, node)
+
+    def _check_imports(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield context.finding(
+                    self.rule_id, node,
+                    "stdlib `random` is a process-global RNG; thread a "
+                    "seeded numpy.random.Generator through parameters "
+                    "instead",
+                )
+
+    def _check_call(
+        self, context: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        target = context.resolve_call(node)
+        if target is None:
+            return
+        if target in _WALL_CLOCK_CALLS:
+            yield context.finding(
+                self.rule_id, node,
+                f"wall-clock call `{target}()`; search logic must read "
+                "the simulated clock (repro.cloud.clock)",
+            )
+            return
+        if target.startswith("random."):
+            yield context.finding(
+                self.rule_id, node,
+                f"global-RNG call `{target}()`; thread a seeded "
+                "numpy.random.Generator through parameters instead",
+            )
+            return
+        if target.startswith("numpy.random."):
+            attr = target.removeprefix("numpy.random.")
+            if attr not in _NUMPY_GENERATOR_OK:
+                yield context.finding(
+                    self.rule_id, node,
+                    f"global-state `numpy.random.{attr}()`; use an "
+                    "explicit numpy.random.Generator (default_rng(seed)) "
+                    "threaded through parameters",
+                )

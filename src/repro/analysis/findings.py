@@ -1,0 +1,88 @@
+"""Lint findings: what a rule reports and how findings are identified.
+
+A :class:`Finding` pinpoints one rule violation.  Its
+:attr:`~Finding.fingerprint` identifies the finding *stably across
+line-number drift*: it hashes the rule, the file, the normalised
+source snippet and the occurrence index among identical snippets in
+that file — so a baseline entry keeps matching after unrelated edits
+shift the code, but stops matching (and therefore resurfaces) when
+the flagged line itself changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Finding"]
+
+
+def _normalise_snippet(snippet: str) -> str:
+    """Collapse whitespace so formatting churn keeps the fingerprint."""
+    return " ".join(snippet.split())
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Attributes
+    ----------
+    rule_id:
+        Rule identifier (``"RL001"`` … ``"RL004"``).
+    path:
+        File the finding is in, as given to the analyzer
+        (repo-relative in normal use).
+    line / col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable description of the violation.
+    snippet:
+        The stripped source line the finding points at.
+    occurrence:
+        0-based index of this finding among findings of the same rule
+        with the same normalised snippet in the same file — it
+        disambiguates repeated identical violations for the baseline.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    occurrence: int = field(default=0, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-drift tolerant)."""
+        h = hashlib.blake2b(digest_size=12)
+        for part in (
+            self.rule_id,
+            self.path,
+            _normalise_snippet(self.snippet),
+            str(self.occurrence),
+        ):
+            h.update(part.encode())
+            h.update(b"\x1f")
+        return h.hexdigest()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation (the ``--format json`` schema)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """One-line text rendering (``path:line:col: RLxxx message``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.message}"
+        )

@@ -1,0 +1,166 @@
+"""RL004 — hygiene: silent excepts, mutable defaults, shadowed builtins.
+
+Three classic Python failure modes that are especially corrosive in a
+reproduction whose value is *trust* in its numbers:
+
+- **bare / silent ``except``** — ``except:`` catches
+  ``KeyboardInterrupt`` and ``SystemExit``; an ``except`` whose body
+  is only ``pass`` swallows evidence.  Failed probes are data in this
+  system (they cost money); discarding exceptions silently corrupts
+  the ledger-reconciled story the telemetry tells.
+- **mutable default arguments** — a shared list/dict/set default is
+  cross-run state, i.e. a determinism bug waiting for the second call.
+- **shadowed builtins** — rebinding ``list``/``type``/``id`` at
+  function or module scope turns later uses into actions at a
+  distance.  Class *attributes* and methods are exempt (attribute
+  scope never shadows the builtin namespace).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["HygieneRule"]
+
+_BUILTIN_NAMES = frozenset(
+    name for name in dir(builtins) if not name.startswith("_")
+)
+
+
+def _is_silent_body(body: list[ast.stmt]) -> bool:
+    """Whether a handler body does nothing (``pass`` / ``...`` only)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ) and stmt.value.value is ...:
+            continue
+        return False
+    return True
+
+
+def _mutable_default(node: ast.expr) -> str | None:
+    """Describe a mutable default expression, or ``None`` if safe."""
+    if isinstance(node, ast.List):
+        return "[]"
+    if isinstance(node, ast.Dict):
+        return "{}"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "dict", "set")
+        and not node.args
+        and not node.keywords
+    ):
+        return f"{node.func.id}()"
+    return None
+
+
+@register
+class HygieneRule(Rule):
+    """RL004: silent excepts, mutable defaults, shadowed builtins."""
+
+    rule_id = "RL004"
+    title = "no bare/silent except, mutable defaults, shadowed builtins"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        class_bodies: set[int] = set()
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    class_bodies.add(id(stmt))
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(context, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(context, node)
+                yield from self._check_shadowing_def(
+                    context, node, in_class=id(node) in class_bodies
+                )
+            elif isinstance(node, ast.Assign):
+                if id(node) in class_bodies:
+                    continue
+                yield from self._check_shadowing_assign(context, node)
+
+    # -- silent excepts ------------------------------------------------------
+    def _check_handler(
+        self, context: ModuleContext, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield context.finding(
+                self.rule_id, node,
+                "bare `except:` catches SystemExit/KeyboardInterrupt; "
+                "name the exception type",
+            )
+            return
+        if _is_silent_body(node.body):
+            yield context.finding(
+                self.rule_id, node,
+                "silent exception handler (body is only pass); handle, "
+                "log, or re-raise — failed operations are data here",
+            )
+
+    # -- mutable defaults ----------------------------------------------------
+    def _check_defaults(
+        self,
+        context: ModuleContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            described = _mutable_default(default)
+            if described is not None:
+                yield context.finding(
+                    self.rule_id, default,
+                    f"mutable default argument {described} is shared "
+                    "across calls; default to None and create inside",
+                )
+
+    # -- shadowed builtins ---------------------------------------------------
+    def _check_shadowing_def(
+        self,
+        context: ModuleContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        *,
+        in_class: bool,
+    ) -> Iterator[Finding]:
+        if not in_class and node.name in _BUILTIN_NAMES:
+            yield context.finding(
+                self.rule_id, node,
+                f"function `{node.name}` shadows the builtin of the "
+                "same name",
+            )
+        args = node.args
+        for arg in (
+            args.posonlyargs + args.args + args.kwonlyargs
+        ):
+            if arg.arg in _BUILTIN_NAMES:
+                yield context.finding(
+                    self.rule_id, arg,
+                    f"parameter `{arg.arg}` shadows a builtin",
+                )
+
+    def _check_shadowing_assign(
+        self, context: ModuleContext, node: ast.Assign
+    ) -> Iterator[Finding]:
+        for target in node.targets:
+            for sub in ast.walk(target):
+                if (
+                    isinstance(sub, ast.Name)
+                    and isinstance(sub.ctx, ast.Store)
+                    and sub.id in _BUILTIN_NAMES
+                ):
+                    yield context.finding(
+                        self.rule_id, sub,
+                        f"assignment to `{sub.id}` shadows a builtin",
+                    )

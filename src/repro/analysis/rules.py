@@ -1,0 +1,187 @@
+"""Rule plumbing: the module context rules see and the rule registry.
+
+Every rule is a :class:`Rule` subclass registered with
+:func:`register`.  Rules receive a :class:`ModuleContext` — the parsed
+AST plus the import-alias table — and yield
+:class:`~repro.analysis.findings.Finding` objects.  Rules never read
+files or handle suppressions themselves; the runner owns both.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "ALL_RULES",
+    "ModuleContext",
+    "Rule",
+    "register",
+    "rule_by_id",
+]
+
+
+@dataclass(slots=True)
+class ModuleContext:
+    """One parsed module, ready for rules to inspect.
+
+    Attributes
+    ----------
+    path:
+        The file path as given to the analyzer (used in findings and
+        for path-scoped rules).
+    tree:
+        Parsed module AST.
+    lines:
+        Source split into lines (for snippets).
+    aliases:
+        Local name → canonical module path for plain imports
+        (``import numpy as np`` → ``{"np": "numpy"}``).
+    from_imports:
+        Local name → canonical dotted origin for from-imports
+        (``from datetime import datetime`` →
+        ``{"datetime": "datetime.datetime"}``).
+    """
+
+    path: str
+    tree: ast.Module
+    lines: list[str]
+    aliases: dict[str, str] = field(default_factory=dict)
+    from_imports: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleContext":
+        """Parse ``source`` and collect the module's import tables."""
+        tree = ast.parse(source, filename=path)
+        ctx = cls(path=path, tree=tree, lines=source.splitlines())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    ctx.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative import: not an external module
+                    continue
+                for alias in node.names:
+                    ctx.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return ctx
+
+    def snippet(self, lineno: int) -> str:
+        """The stripped source line at 1-based ``lineno``."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Canonical dotted name of a call target, or ``None``.
+
+        ``time.time()`` → ``"time.time"`` (through ``import time``);
+        ``np.random.normal()`` → ``"numpy.random.normal"``;
+        ``datetime.now()`` after ``from datetime import datetime`` →
+        ``"datetime.datetime.now"``.  Calls on local objects resolve
+        to ``None``.
+        """
+        parts: list[str] = []
+        obj: ast.expr = node.func
+        while isinstance(obj, ast.Attribute):
+            parts.append(obj.attr)
+            obj = obj.value
+        if not isinstance(obj, ast.Name):
+            return None
+        root = obj.id
+        parts.reverse()
+        if root in self.aliases:
+            return ".".join([self.aliases[root], *parts])
+        if root in self.from_imports:
+            return ".".join([self.from_imports[root], *parts])
+        if not parts:
+            return None
+        return None
+
+    def finding(
+        self,
+        rule_id: str,
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` (occurrence set later
+        by the runner)."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=rule_id,
+            path=self.path,
+            line=lineno,
+            col=col,
+            message=message,
+            snippet=self.snippet(lineno),
+        )
+
+
+class Rule(abc.ABC):
+    """One lint rule.
+
+    Class attributes
+    ----------------
+    rule_id:
+        Stable identifier used in findings, suppressions and the
+        baseline (``"RL001"`` …).
+    title:
+        One-line summary shown in ``repro lint --list-rules``.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on ``path`` (default: every file)."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+
+
+#: Registry of rule instances, in rule-id order.
+ALL_RULES: list[Rule] = []
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (one shared instance) to the
+    registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if any(r.rule_id == cls.rule_id for r in ALL_RULES):
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    ALL_RULES.append(cls())
+    ALL_RULES.sort(key=lambda r: r.rule_id)
+    return cls
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """Look up a registered rule.
+
+    Raises
+    ------
+    KeyError
+        If no rule with that id is registered.
+    """
+    for rule in ALL_RULES:
+        if rule.rule_id == rule_id:
+            return rule
+    raise KeyError(f"unknown rule {rule_id!r}")
+
+
+def _load_builtin_rules() -> None:
+    """Import the rule modules so their ``@register`` decorators run."""
+    from repro.analysis import comparisons, determinism, hygiene, units  # noqa: F401
+
+
+_load_builtin_rules()

@@ -1,0 +1,212 @@
+"""The analyzer: file discovery, rule dispatch, suppressions, report.
+
+The runner owns everything rules should not: reading files, deciding
+which rules apply where, numbering duplicate findings (for stable
+fingerprints), honouring inline suppressions and the baseline, and
+assembling the :class:`AnalysisReport` the CLI renders.
+
+Inline suppression syntax (same line as the finding)::
+
+    noisy = time.time()  # repro-lint: disable=RL001
+
+Multiple ids separate with commas; ``disable=all`` suppresses every
+rule on that line.  Inline suppressions are for *intentional,
+self-documenting* exceptions; systematic debt belongs in the baseline
+file where it carries a justification.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, ModuleContext, Rule
+
+__all__ = ["AnalysisReport", "Analyzer", "analyze_paths"]
+
+#: ``--format json`` schema version; bump on breaking output changes.
+REPORT_SCHEMA_VERSION = 1
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)"
+)
+
+
+def _inline_suppressions(line: str) -> set[str]:
+    """Rule ids suppressed by an inline comment on ``line``."""
+    match = _SUPPRESS_RE.search(line)
+    if not match:
+        return set()
+    return {part.strip() for part in match.group(1).split(",") if part.strip()}
+
+
+@dataclass(frozen=True, slots=True)
+class AnalysisReport:
+    """Outcome of one analyzer run."""
+
+    findings: tuple[Finding, ...]
+    suppressed: tuple[Finding, ...]
+    baselined: tuple[Finding, ...]
+    n_files: int
+    errors: tuple[str, ...] = field(default=())
+
+    @property
+    def clean(self) -> bool:
+        """No live findings and no file-level errors."""
+        return not self.findings and not self.errors
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """Live finding count per rule id, sorted by rule id."""
+        counts = Counter(f.rule_id for f in self.findings)
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, Any]:
+        """The stable ``--format json`` document."""
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "summary": {
+                "files": self.n_files,
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+                "by_rule": self.counts_by_rule(),
+                "clean": self.clean,
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "errors": list(self.errors),
+        }
+
+    def render_text(self) -> str:
+        """Human-readable report."""
+        lines = [f.render() for f in self.findings]
+        lines.extend(f"error: {e}" for e in self.errors)
+        by_rule = ", ".join(
+            f"{rule}: {n}" for rule, n in self.counts_by_rule().items()
+        )
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.n_files} file(s)"
+            + (f" [{by_rule}]" if by_rule else "")
+            + (
+                f"; {len(self.baselined)} baselined"
+                if self.baselined else ""
+            )
+            + (
+                f"; {len(self.suppressed)} suppressed inline"
+                if self.suppressed else ""
+            )
+        )
+        return "\n".join(lines)
+
+
+class Analyzer:
+    """Applies a rule set to source files.
+
+    Parameters
+    ----------
+    rules:
+        Rules to run; defaults to the full registry.
+    baseline:
+        Baseline suppressions; defaults to empty.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        *,
+        baseline: Baseline | None = None,
+    ) -> None:
+        self.rules = list(rules) if rules is not None else list(ALL_RULES)
+        self.baseline = baseline if baseline is not None else Baseline()
+
+    # -- discovery -----------------------------------------------------------
+    @staticmethod
+    def discover(paths: Iterable[str | Path]) -> tuple[list[Path], list[str]]:
+        """Expand files/directories into a sorted python-file list."""
+        files: set[Path] = set()
+        errors: list[str] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.update(path.rglob("*.py"))
+            elif path.is_file():
+                files.add(path)
+            else:
+                errors.append(f"no such file or directory: {path}")
+        return sorted(files), errors
+
+    # -- analysis ------------------------------------------------------------
+    def analyze_source(
+        self, path: str, source: str
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Lint one module's source.
+
+        Returns ``(live, inline_suppressed)`` findings, each with
+        occurrence indices assigned (baseline filtering happens in
+        :meth:`run`).
+        """
+        context = ModuleContext.parse(path, source)
+        raw: list[Finding] = []
+        for rule in self.rules:
+            if rule.applies_to(path):
+                raw.extend(rule.check(context))
+        raw.sort(key=lambda f: (f.line, f.col, f.rule_id))
+        # occurrence-number duplicates so fingerprints are unique
+        seen: Counter[tuple[str, str]] = Counter()
+        numbered: list[Finding] = []
+        for finding in raw:
+            key = (finding.rule_id, " ".join(finding.snippet.split()))
+            numbered.append(replace(finding, occurrence=seen[key]))
+            seen[key] += 1
+        live, suppressed = [], []
+        for finding in numbered:
+            disabled = _inline_suppressions(context.snippet(finding.line))
+            if finding.rule_id in disabled or "all" in disabled:
+                suppressed.append(finding)
+            else:
+                live.append(finding)
+        return live, suppressed
+
+    def run(self, paths: Iterable[str | Path]) -> AnalysisReport:
+        """Lint ``paths`` (files or directories) into a report."""
+        files, errors = self.discover(paths)
+        live_all: list[Finding] = []
+        suppressed_all: list[Finding] = []
+        for file in files:
+            try:
+                source = file.read_text()
+            except OSError as exc:
+                errors.append(f"cannot read {file}: {exc}")
+                continue
+            try:
+                live, suppressed = self.analyze_source(
+                    file.as_posix(), source
+                )
+            except SyntaxError as exc:
+                errors.append(f"cannot parse {file}: {exc}")
+                continue
+            live_all.extend(live)
+            suppressed_all.extend(suppressed)
+        baselined = [f for f in live_all if self.baseline.suppresses(f)]
+        remaining = [f for f in live_all if not self.baseline.suppresses(f)]
+        return AnalysisReport(
+            findings=tuple(remaining),
+            suppressed=tuple(suppressed_all),
+            baselined=tuple(baselined),
+            n_files=len(files),
+            errors=tuple(errors),
+        )
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> AnalysisReport:
+    """Convenience wrapper: build an :class:`Analyzer` and run it."""
+    return Analyzer(rules, baseline=baseline).run(paths)

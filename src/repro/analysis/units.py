@@ -1,0 +1,119 @@
+"""RL003 — units discipline via identifier suffixes.
+
+Quantities in this codebase cross three unit families that look
+identical to the type system — dollars, dollars per hour, seconds (and
+hours), and simulation steps.  The repo convention is to carry the
+unit in the identifier suffix::
+
+    probe_usd, spent_dollars          # money
+    price_usd_per_hr, cost_per_hour   # money rate
+    elapsed_s, profile_seconds        # time (seconds)
+    deadline_hours                    # time (hours)
+    warmup_steps                      # simulation steps
+
+This rule flags *additive* arithmetic (``+``/``-``) and comparisons
+between identifiers whose suffixes resolve to **different** units:
+``spent_dollars + elapsed_s`` is a bug no test may catch until the
+billing ledger drifts.  Multiplication and division are exempt — they
+are exactly how units legitimately convert
+(``deadline_hours * 3600.0``, ``dollars / seconds``).  Identifiers
+without a recognised suffix are unconstrained; the rule only ever
+fires when *both* sides declare conflicting units.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["UnitsRule", "unit_of_name"]
+
+#: Suffix → unit, longest suffixes first so ``_usd_per_hr`` wins over
+#: ``_usd``.
+_SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
+    ("_usd_per_hr", "USD/h"),
+    ("_per_hour", "USD/h"),
+    ("_per_hr", "USD/h"),
+    ("_dollars", "USD"),
+    ("_usd", "USD"),
+    ("_seconds", "s"),
+    ("_secs", "s"),
+    ("_s", "s"),
+    ("_hours", "h"),
+    ("_hrs", "h"),
+    ("_steps", "steps"),
+)
+
+
+def unit_of_name(name: str) -> str | None:
+    """The unit an identifier's suffix declares, or ``None``.
+
+    A bare suffix body (``s``, ``usd``) is not a declaration — only a
+    ``stem_suffix`` shape counts.
+    """
+    for suffix, unit in _SUFFIX_UNITS:
+        if name.endswith(suffix) and name != suffix.lstrip("_"):
+            return unit
+    return None
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    return None
+
+
+def _unit_of_expr(node: ast.expr) -> str | None:
+    """Best-effort unit of an expression.
+
+    Names, attributes and calls declare through their terminal
+    identifier; ``+``/``-`` propagate the declared side; anything else
+    (literals, ``*``, ``/``, subscripts) is unit-opaque.
+    """
+    name = _terminal_name(node)
+    if name is not None:
+        return unit_of_name(name)
+    if isinstance(node, ast.UnaryOp):
+        return _unit_of_expr(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub)
+    ):
+        return _unit_of_expr(node.left) or _unit_of_expr(node.right)
+    return None
+
+
+@register
+class UnitsRule(Rule):
+    """RL003: no additive mixing of mismatched unit suffixes."""
+
+    rule_id = "RL003"
+    title = "units suffix discipline (_usd, _usd_per_hr, _s, _steps)"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs = [(node.left, node.right)]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                pairs = list(zip(operands, operands[1:]))
+            else:
+                continue
+            for left, right in pairs:
+                lu, ru = _unit_of_expr(left), _unit_of_expr(right)
+                if lu is not None and ru is not None and lu != ru:
+                    yield context.finding(
+                        self.rule_id, node,
+                        f"mixes units `{lu}` and `{ru}` additively; "
+                        "convert explicitly (multiply/divide) before "
+                        "combining",
+                    )
+                    break

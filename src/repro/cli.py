@@ -24,6 +24,12 @@ Two subcommands:
           --budget 100 --trace-out run.trace.jsonl
       python -m repro.cli trace run.trace.jsonl
       python -m repro.cli trace run.trace.jsonl --spans
+
+- ``lint`` — run the repo's own static analyzer (see
+  ``docs/static-analysis.md``)::
+
+      python -m repro.cli lint src/repro
+      python -m repro.cli lint src/repro --format json
 """
 
 from __future__ import annotations
@@ -226,6 +232,12 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0 if rec is not None else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import SearchTrace
     from repro.obs.render import render_span_tree
@@ -314,6 +326,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--spans", action="store_true",
                        help="also print the span tree")
     trace.set_defaults(func=_cmd_trace)
+
+    from repro.analysis.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's static analyzer (docs/static-analysis.md)",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

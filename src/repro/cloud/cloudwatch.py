@@ -64,8 +64,13 @@ class MetricStatistics:
 
     @property
     def coefficient_of_variation(self) -> float:
-        """Relative dispersion; the profiler's stability criterion."""
-        if self.mean == 0.0:
+        """Relative dispersion; the profiler's stability criterion.
+
+        A (near-)zero mean has no meaningful relative dispersion and
+        reads as infinitely unstable; the tolerance is explicit rather
+        than an exact float-equality sentinel.
+        """
+        if math.isclose(self.mean, 0.0, abs_tol=1e-12):
             return math.inf
         return self.stddev / abs(self.mean)
 

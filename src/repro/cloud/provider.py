@@ -116,7 +116,7 @@ class SimulatedCloud:
     # -- lifecycle -----------------------------------------------------------
     def _launch_fails_transiently(self) -> bool:
         """Seeded per-attempt draw for injected capacity failures."""
-        if self.launch_failure_rate == 0.0:
+        if not self.launch_failure_rate > 0.0:
             return False
         import hashlib
         import struct

@@ -1,0 +1,168 @@
+"""Runtime contracts: opt-in invariant checks for the search stack.
+
+The static analyzer (:mod:`repro.analysis`) catches invariant
+violations that are visible in the source; this module catches the
+ones that only materialise at runtime — NaNs leaking out of the GP
+posterior, Gram matrices that stopped being symmetric, probe dollars
+that drifted from what the billing ledger actually charged.
+
+Contracts are **off by default** and enabled by setting the
+``REPRO_CONTRACTS`` environment variable (any value other than empty,
+``0``, ``false`` or ``off``).  The test suite enables them in
+``tests/conftest.py``; production runs pay nothing.  Every check is
+read-only: it inspects state and either returns or raises
+:class:`ContractViolation` — it never mutates, so a seeded run makes
+byte-for-byte identical decisions with contracts on or off.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.billing import BillingLedger
+    from repro.core.kernels import Kernel
+    from repro.core.result import TrialRecord
+
+__all__ = [
+    "ENV_VAR",
+    "ContractViolation",
+    "enabled",
+    "check_gram",
+    "check_posterior",
+    "check_acquisition",
+    "check_probe_billing",
+    "check_search_billing",
+    "check_ledger",
+]
+
+#: Environment variable gating all checks.
+ENV_VAR = "REPRO_CONTRACTS"
+
+#: Absolute tolerance for dollar reconciliation.  Ledger charges are
+#: exact floats copied into results, so any drift beyond accumulated
+#: rounding is a real accounting bug.
+_DOLLAR_ATOL = 1e-9
+_DOLLAR_RTOL = 1e-9
+
+
+class ContractViolation(AssertionError):
+    """A runtime invariant failed while ``REPRO_CONTRACTS`` was set."""
+
+
+def enabled() -> bool:
+    """Whether contracts are active for this process."""
+    return os.environ.get(ENV_VAR, "").lower() not in ("", "0", "false", "off")
+
+
+def _fail(message: str) -> None:
+    raise ContractViolation(message)
+
+
+# -- numerical contracts ------------------------------------------------------
+def check_gram(K: np.ndarray, kernel: "Kernel | None" = None) -> None:
+    """A Gram matrix must be finite, square and symmetric.
+
+    Positive definiteness is *not* asserted here — near-singular but
+    honest matrices are the jitter ladder's job — only the properties
+    that no amount of jitter can repair.
+    """
+    if not enabled():
+        return
+    K = np.asarray(K)
+    label = "" if kernel is None else f" (kernel theta {kernel.theta!r})"
+    if K.ndim != 2 or K.shape[0] != K.shape[1]:
+        _fail(f"Gram matrix must be square, got shape {K.shape}{label}")
+    if not np.all(np.isfinite(K)):
+        _fail(f"Gram matrix contains non-finite entries{label}")
+    asym = float(np.max(np.abs(K - K.T), initial=0.0))
+    scale = float(np.max(np.abs(K), initial=0.0))
+    if asym > 1e-8 * max(scale, 1.0):
+        _fail(
+            f"Gram matrix is not symmetric: max |K - K^T| = {asym:g} "
+            f"at scale {scale:g}{label}"
+        )
+
+
+def check_posterior(mu: np.ndarray, sigma: np.ndarray) -> None:
+    """GP posterior means must be finite; deviations finite and >= 0."""
+    if not enabled():
+        return
+    mu = np.asarray(mu)
+    sigma = np.asarray(sigma)
+    if not np.all(np.isfinite(mu)):
+        _fail(f"GP posterior mean contains non-finite values: {mu!r}")
+    if not np.all(np.isfinite(sigma)):
+        _fail(f"GP posterior sigma contains non-finite values: {sigma!r}")
+    if sigma.size and float(sigma.min()) < 0.0:
+        _fail(f"GP posterior sigma is negative: min={float(sigma.min())!r}")
+
+
+def check_acquisition(values: np.ndarray) -> None:
+    """Acquisition values must be finite and non-negative."""
+    if not enabled():
+        return
+    values = np.asarray(values)
+    if not np.all(np.isfinite(values)):
+        _fail(f"acquisition values contain non-finite entries: {values!r}")
+    if values.size and float(values.min()) < 0.0:
+        _fail(
+            f"acquisition values must be >= 0, got min "
+            f"{float(values.min())!r}"
+        )
+
+
+# -- billing contracts --------------------------------------------------------
+def _dollars_match(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=_DOLLAR_RTOL, abs_tol=_DOLLAR_ATOL)
+
+
+def check_probe_billing(probe_dollars: float, ledger_delta: float) -> None:
+    """One probe's reported dollars must equal what the ledger charged."""
+    if not enabled():
+        return
+    if probe_dollars < 0:
+        _fail(f"probe reported negative dollars: {probe_dollars!r}")
+    if ledger_delta < -_DOLLAR_ATOL:
+        _fail(f"ledger total decreased during a probe: {ledger_delta!r}")
+    if not _dollars_match(probe_dollars, ledger_delta):
+        _fail(
+            f"probe dollars ({probe_dollars!r}) do not reconcile with "
+            f"the ledger delta ({ledger_delta!r})"
+        )
+
+
+def check_search_billing(
+    trials: Iterable["TrialRecord"], profiling_delta: float
+) -> None:
+    """A search's trial dollars must sum to its profiling-purpose charges."""
+    if not enabled():
+        return
+    total = sum(t.profile_dollars for t in trials)
+    if not _dollars_match(total, profiling_delta):
+        _fail(
+            f"sum of trial profile_dollars ({total!r}) does not "
+            f"reconcile with the ledger's profiling charges "
+            f"({profiling_delta!r})"
+        )
+
+
+def check_ledger(ledger: "BillingLedger") -> None:
+    """Global ledger invariants: non-negative, breakdown sums to total."""
+    if not enabled():
+        return
+    total = ledger.total()
+    if total < 0:
+        _fail(f"ledger total is negative: {total!r}")
+    if ledger.total_seconds() < 0:
+        _fail(f"ledger total_seconds is negative: {ledger.total_seconds()!r}")
+    by_purpose = sum(ledger.breakdown().values())
+    if not _dollars_match(total, by_purpose):
+        _fail(
+            f"ledger purpose breakdown ({by_purpose!r}) does not sum "
+            f"to the total ({total!r})"
+        )

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import contracts
 from repro.core.acquisition import expected_improvement_min
 from repro.core.gp import GaussianProcess
 from repro.core.kernels import default_deployment_kernel
@@ -303,9 +304,11 @@ class GPSearchEngine:
             return np.zeros(len(candidates))
         _, _, best_obj = incumbent
         mu_g, sigma_g = self._objective_moments(candidates, objective)
-        return expected_improvement_min(
+        ei = expected_improvement_min(
             mu_g, sigma_g, float(np.log2(best_obj)), xi
         )
+        contracts.check_acquisition(ei)
+        return ei
 
     def improvement_probability(
         self,
@@ -495,8 +498,13 @@ class SearchStrategy(abc.ABC):
             "count": deployment.count,
             "note": note,
         }) as span:
+            billed_before = context.profiler.cloud.ledger.total()
             result = context.profiler.profile(
                 deployment.instance_type, deployment.count, context.job
+            )
+            contracts.check_probe_billing(
+                result.dollars,
+                context.profiler.cloud.ledger.total() - billed_before,
             )
             engine.add_observation(result)
             trials.append(TrialRecord(
@@ -508,6 +516,7 @@ class SearchStrategy(abc.ABC):
                 elapsed_seconds=context.elapsed_seconds(),
                 spent_dollars=context.spent_dollars(),
                 note=note,
+                failure_reason=result.failure_reason,
             ))
             self._record_probe_telemetry(
                 context, span, result, len(trials)
@@ -527,6 +536,7 @@ class SearchStrategy(abc.ABC):
         engine = GPSearchEngine(context, seed=self.seed)
         trials: list[TrialRecord] = []
         stop_reason = "max steps reached"
+        profiling_before = context.profiler.cloud.ledger.total("profiling")
 
         with context.tracer.span("search", {
             "strategy": self.name,
@@ -586,6 +596,11 @@ class SearchStrategy(abc.ABC):
             search_span.set_attribute(
                 "best", None if best is None else str(best)
             )
+        ledger = context.profiler.cloud.ledger
+        contracts.check_search_billing(
+            trials, ledger.total("profiling") - profiling_before
+        )
+        contracts.check_ledger(ledger)
         context.metrics.gauge("search.steps_to_stop").set(
             len(trials), strategy=self.name
         )

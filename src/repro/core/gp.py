@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import linalg, optimize
 
+from repro import contracts
 from repro.core.kernels import Kernel, default_deployment_kernel
 
 __all__ = ["GaussianProcess"]
@@ -28,8 +29,30 @@ _JITTER = 1e-10
 _MAX_JITTER_TRIES = 6
 
 
-def _chol_with_jitter(K: np.ndarray) -> np.ndarray:
-    """Cholesky factor of ``K`` with escalating diagonal jitter."""
+def _spectrum_diagnostics(K: np.ndarray) -> str:
+    """Eigenvalue range and condition estimate of a symmetrised matrix."""
+    try:
+        eigvals = np.linalg.eigvalsh((K + K.T) / 2.0)
+    except linalg.LinAlgError:  # pragma: no cover - eigvalsh on finite
+        return "spectrum unavailable"
+    lo, hi = float(eigvals[0]), float(eigvals[-1])
+    cond = hi / lo if lo > 0 else np.inf
+    return (
+        f"eigenvalues in [{lo:.3e}, {hi:.3e}], "
+        f"condition estimate {cond:.3e}"
+    )
+
+
+def _chol_with_jitter(
+    K: np.ndarray, kernel: Kernel | None = None
+) -> np.ndarray:
+    """Cholesky factor of ``K`` with a bounded escalating jitter ladder.
+
+    On final failure the error carries the kernel hyperparameters and
+    an eigenvalue/condition-number diagnosis, so the failing covariance
+    can be reconstructed from the message alone.
+    """
+    contracts.check_gram(K, kernel)
     jitter = _JITTER
     for _ in range(_MAX_JITTER_TRIES):
         try:
@@ -38,8 +61,14 @@ def _chol_with_jitter(K: np.ndarray) -> np.ndarray:
             )
         except linalg.LinAlgError:
             jitter *= 100.0
+    theta = (
+        "unknown" if kernel is None
+        else np.array2string(np.asarray(kernel.theta), precision=6)
+    )
     raise linalg.LinAlgError(
-        f"covariance not positive definite even with jitter {jitter:g}"
+        f"covariance ({K.shape[0]}x{K.shape[0]}) not positive definite "
+        f"even with jitter {jitter:g}: {_spectrum_diagnostics(K)}; "
+        f"kernel theta {theta}"
     )
 
 
@@ -155,7 +184,7 @@ class GaussianProcess:
                 self.kernel.theta = best_theta
 
         K = self.kernel(X)
-        self._L = _chol_with_jitter(K)
+        self._L = _chol_with_jitter(K, self.kernel)
         self._alpha = linalg.cho_solve((self._L, True), ys)
         return self
 
@@ -169,7 +198,7 @@ class GaussianProcess:
             Arrays of shape ``(len(Xstar),)`` in the original target
             units.
         """
-        if not self.is_fitted:
+        if self._X is None or self._L is None or self._alpha is None:
             raise RuntimeError("predict() before fit()")
         Xstar = np.atleast_2d(np.asarray(Xstar, dtype=float))
         Ks = self.kernel(self._X, Xstar)  # (n, m)
@@ -179,10 +208,10 @@ class GaussianProcess:
         # full m x m matrix
         prior_var = self.kernel.diag(Xstar)
         var = np.maximum(prior_var - np.sum(v**2, axis=0), 1e-12)
-        return (
-            mu * self._y_std + self._y_mean,
-            np.sqrt(var) * self._y_std,
-        )
+        mu_out = mu * self._y_std + self._y_mean
+        sigma_out = np.sqrt(var) * self._y_std
+        contracts.check_posterior(mu_out, sigma_out)
+        return mu_out, sigma_out
 
     def sample(
         self,
@@ -197,7 +226,7 @@ class GaussianProcess:
         ndarray of shape ``(n_samples, len(Xstar))`` in original target
         units.  Used by Thompson-sampling acquisition.
         """
-        if not self.is_fitted:
+        if self._X is None or self._L is None or self._alpha is None:
             raise RuntimeError("sample() before fit()")
         if n_samples < 1:
             raise ValueError(f"n_samples must be >= 1, got {n_samples}")
@@ -208,14 +237,14 @@ class GaussianProcess:
         v = linalg.solve_triangular(self._L, Ks, lower=True)
         cov = self.kernel(Xstar) - v.T @ v
         # joint draw needs the full posterior covariance factorised
-        Lp = _chol_with_jitter((cov + cov.T) / 2.0)
+        Lp = _chol_with_jitter((cov + cov.T) / 2.0, self.kernel)
         z = rng.standard_normal((Xstar.shape[0], n_samples))
         draws = mu[None, :] + (Lp @ z).T
         return draws * self._y_std + self._y_mean
 
     def log_marginal_likelihood(self) -> float:
         """LML of the standardised targets at the current hyperparameters."""
-        if not self.is_fitted:
+        if self._y_raw is None or self._L is None or self._alpha is None:
             raise RuntimeError("log_marginal_likelihood() before fit()")
         ys = (self._y_raw - self._y_mean) / self._y_std
         return (

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import contracts
 from repro.core.engine import GPSearchEngine, SearchContext
 from repro.core.heterbo import HeterBO
 from repro.core.result import SearchResult, TrialRecord
@@ -170,6 +171,7 @@ class ParallelHeterBO(HeterBO):
                     elapsed_seconds=context.elapsed_seconds(),
                     spent_dollars=context.spent_dollars(),
                     note=note,
+                    failure_reason=result.failure_reason,
                 ))
                 self._record_probe_telemetry(
                     context, span, result, len(trials)
@@ -181,6 +183,7 @@ class ParallelHeterBO(HeterBO):
         engine = GPSearchEngine(context, seed=self.seed)
         trials: list[TrialRecord] = []
         stop_reason = "max steps reached"
+        profiling_before = context.profiler.cloud.ledger.total("profiling")
 
         with context.tracer.span("search", {
             "strategy": self.name,
@@ -261,6 +264,11 @@ class ParallelHeterBO(HeterBO):
             search_span.set_attribute(
                 "best", None if best is None else str(best)
             )
+        ledger = context.profiler.cloud.ledger
+        contracts.check_search_billing(
+            trials, ledger.total("profiling") - profiling_before
+        )
+        contracts.check_ledger(ledger)
         context.metrics.gauge("search.steps_to_stop").set(
             len(trials), strategy=self.name
         )

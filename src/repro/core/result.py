@@ -39,6 +39,11 @@ class TrialRecord:
         Cumulative totals *after* this probe.
     note:
         Why this point was chosen ("initial", "explore", …).
+    failure_reason:
+        ``""`` for successful probes; otherwise why the probe carries
+        no measurement (``"infeasible"``, ``"capacity"``, …).  This is
+        the explicit failure flag — failure is *never* inferred from a
+        float-equality sentinel on ``measured_speed``.
     """
 
     step: int
@@ -49,6 +54,7 @@ class TrialRecord:
     elapsed_seconds: float
     spent_dollars: float
     note: str = ""
+    failure_reason: str = ""
 
     def __post_init__(self) -> None:
         if self.step < 1:
@@ -57,11 +63,23 @@ class TrialRecord:
             raise ValueError(
                 f"measured_speed must be >= 0, got {self.measured_speed}"
             )
+        # flag/measurement coherence: exactly one of them carries the
+        # probe's story
+        if self.failure_reason and self.measured_speed > 0:
+            raise ValueError(
+                f"a failed probe ({self.failure_reason!r}) cannot carry "
+                f"a measurement ({self.measured_speed} samples/s)"
+            )
+        if not self.failure_reason and not self.measured_speed > 0:
+            raise ValueError(
+                "a zero-speed record must carry a failure_reason; "
+                "failure is explicit, not a speed sentinel"
+            )
 
     @property
     def failed(self) -> bool:
         """Whether this record carries no measurement."""
-        return self.measured_speed == 0.0
+        return bool(self.failure_reason)
 
 
 @dataclass(frozen=True, slots=True)

@@ -56,10 +56,16 @@ def _trial_to_dict(trial: TrialRecord) -> dict[str, Any]:
         "elapsed_seconds": trial.elapsed_seconds,
         "spent_dollars": trial.spent_dollars,
         "note": trial.note,
+        "failure_reason": trial.failure_reason,
     }
 
 
 def _trial_from_dict(data: dict[str, Any]) -> TrialRecord:
+    # reports written before failure_reason existed marked failures by
+    # a zero speed; label them explicitly on load
+    failure_reason = data.get("failure_reason")
+    if failure_reason is None:
+        failure_reason = "" if data["measured_speed"] > 0 else "failed"
     return TrialRecord(
         step=data["step"],
         deployment=Deployment(data["instance_type"], data["count"]),
@@ -69,6 +75,7 @@ def _trial_from_dict(data: dict[str, Any]) -> TrialRecord:
         elapsed_seconds=data["elapsed_seconds"],
         spent_dollars=data["spent_dollars"],
         note=data.get("note", ""),
+        failure_reason=failure_reason,
     )
 
 

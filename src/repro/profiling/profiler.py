@@ -234,7 +234,10 @@ class Profiler:
             )
             observations.extend(samples.tolist())
             arr = np.asarray(observations)
-            cv = arr.std() / abs(arr.mean()) if arr.mean() != 0 else np.inf
+            mean = float(arr.mean())
+            # speeds are positive, so a non-positive mean means no
+            # usable signal: treat as maximally unstable
+            cv = float(arr.std()) / mean if mean > 0 else np.inf
             if cv <= self.stability_cv or window >= self.max_extensions:
                 break
             window += 1

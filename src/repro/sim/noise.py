@@ -69,7 +69,7 @@ class NoiseModel:
 
     def is_unstable(self, deployment_key: object) -> bool:
         """Whether this deployment drew the noisy-neighbour straw."""
-        if self.unstable_fraction == 0.0:
+        if not self.unstable_fraction > 0.0:
             return False
         rng = self._rng("unstable", deployment_key)
         return bool(rng.random() < self.unstable_fraction)
@@ -88,7 +88,7 @@ class NoiseModel:
         sigma = self.sigma
         if self.is_unstable(deployment_key):
             sigma *= 3.0
-        if sigma == 0.0:
+        if not sigma > 0.0:
             return np.ones(count)
         rng = self._rng("factors", deployment_key, window)
         # mean-one lognormal: E[exp(N(-s^2/2, s^2))] = 1

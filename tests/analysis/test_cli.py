@@ -1,0 +1,146 @@
+"""``repro lint`` end-to-end: exit codes, JSON schema, baseline flow."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DIRTY = "import time\nstamp = time.time()\n"
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    pkg = tmp_path / "core"
+    pkg.mkdir()
+    (pkg / "dirty.py").write_text(DIRTY)
+    (pkg / "clean.py").write_text("x = 1\n")
+    return tmp_path
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    pkg = tmp_path / "core"
+    pkg.mkdir()
+    (pkg / "clean.py").write_text("x = 1\n")
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_tree, capsys):
+        assert main(["lint", str(clean_tree), "--no-baseline"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out and "dirty.py" in out
+
+    def test_unknown_rule_exits_two(self, clean_tree, capsys):
+        assert main([
+            "lint", str(clean_tree), "--select", "RL999",
+        ]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main([
+            "lint", str(tmp_path / "absent"), "--no-baseline",
+        ]) == 2
+
+    def test_select_skips_other_rules(self, dirty_tree):
+        assert main([
+            "lint", str(dirty_tree), "--select", "RL002", "--no-baseline",
+        ]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004"):
+            assert rule_id in out
+
+
+class TestJsonFormat:
+    def test_schema_is_stable(self, dirty_tree, capsys):
+        assert main([
+            "lint", str(dirty_tree), "--format", "json", "--no-baseline",
+        ]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 1
+        assert set(doc) == {
+            "schema_version", "summary", "findings", "errors",
+        }
+        summary = doc["summary"]
+        assert set(summary) == {
+            "files", "findings", "suppressed", "baselined", "by_rule",
+            "clean",
+        }
+        assert summary["files"] == 2
+        assert summary["findings"] == 1
+        assert summary["clean"] is False
+        assert summary["by_rule"] == {"RL001": 1}
+        [finding] = doc["findings"]
+        assert set(finding) == {
+            "rule", "path", "line", "col", "message", "snippet",
+            "fingerprint",
+        }
+        assert finding["rule"] == "RL001"
+        assert doc["errors"] == []
+
+    def test_clean_json(self, clean_tree, capsys):
+        assert main([
+            "lint", str(clean_tree), "--format", "json", "--no-baseline",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["clean"] is True
+        assert doc["findings"] == []
+
+
+class TestBaselineFlow:
+    def test_write_then_lint_is_clean(self, dirty_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", str(dirty_tree), "--baseline", str(baseline),
+            "--write-baseline", "--justification", "pre-RL001 debt",
+        ]) == 0
+        assert "wrote 1 baseline" in capsys.readouterr().err
+        doc = json.loads(baseline.read_text())
+        assert doc["version"] == 1
+        [entry] = doc["entries"]
+        assert entry["justification"] == "pre-RL001 debt"
+
+        assert main([
+            "lint", str(dirty_tree), "--baseline", str(baseline),
+        ]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_fixed_finding_drops_from_rewritten_baseline(
+        self, dirty_tree, tmp_path
+    ):
+        baseline = tmp_path / "baseline.json"
+        main([
+            "lint", str(dirty_tree), "--baseline", str(baseline),
+            "--write-baseline",
+        ])
+        (dirty_tree / "core" / "dirty.py").write_text("x = 2\n")
+        main([
+            "lint", str(dirty_tree), "--baseline", str(baseline),
+            "--write-baseline",
+        ])
+        assert json.loads(baseline.read_text())["entries"] == []
+
+    def test_corrupt_baseline_exits_two(self, clean_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{broken")
+        assert main([
+            "lint", str(clean_tree), "--baseline", str(baseline),
+        ]) == 2
+        assert capsys.readouterr().err
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_no_findings(self):
+        """The tree this rule set was written for must lint clean."""
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert main(["lint", str(src), "--no-baseline"]) == 0

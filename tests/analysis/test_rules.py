@@ -1,0 +1,199 @@
+"""Per-rule fixtures: each RL rule on flagged and clean sources."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import ModuleContext, rule_by_id
+
+#: Default fixture path inside RL001 scope.
+CORE_PATH = "src/repro/core/fixture.py"
+
+
+def findings(rule_id, source, path=CORE_PATH):
+    rule = rule_by_id(rule_id)
+    if not rule.applies_to(path):
+        return []
+    context = ModuleContext.parse(path, textwrap.dedent(source))
+    return list(rule.check(context))
+
+
+class TestRL001Determinism:
+    def test_time_time_flagged(self):
+        found = findings("RL001", """\
+            import time
+            stamp = time.time()
+        """)
+        assert len(found) == 1
+        assert "wall-clock" in found[0].message
+
+    def test_datetime_now_flagged(self):
+        found = findings("RL001", """\
+            from datetime import datetime
+            stamp = datetime.now()
+        """)
+        assert len(found) == 1
+
+    def test_stdlib_random_call_flagged(self):
+        found = findings("RL001", """\
+            import random
+            x = random.random()
+        """)
+        assert len(found) == 1
+        assert "Generator" in found[0].message
+
+    def test_from_random_import_flagged(self):
+        found = findings("RL001", "from random import choice\n")
+        assert len(found) == 1
+
+    def test_numpy_global_rng_flagged(self):
+        found = findings("RL001", """\
+            import numpy as np
+            x = np.random.normal(0.0, 1.0)
+        """)
+        assert len(found) == 1
+        assert "default_rng" in found[0].message
+
+    def test_seeded_generator_allowed(self):
+        assert not findings("RL001", """\
+            import numpy as np
+            rng = np.random.default_rng(7)
+            x = rng.normal(0.0, 1.0)
+        """)
+
+    def test_perf_counter_allowed(self):
+        assert not findings("RL001", """\
+            import time
+            t0 = time.perf_counter()
+            t1 = time.monotonic()
+        """)
+
+    def test_out_of_scope_path_skipped(self):
+        source = "import time\nstamp = time.time()\n"
+        assert not findings("RL001", source, path="src/repro/obs/tracer.py")
+        assert findings("RL001", source, path="src/repro/sim/noise.py")
+
+
+class TestRL002FloatEquality:
+    def test_float_literal_equality_flagged(self):
+        found = findings("RL002", "ok = value == 0.0\n")
+        assert len(found) == 1
+        assert "float" in found[0].message
+
+    def test_float_literal_inequality_flagged(self):
+        assert len(findings("RL002", "bad = sigma != 1.5\n")) == 1
+
+    def test_quantity_vs_int_zero_flagged(self):
+        found = findings("RL002", "failed = measured_speed == 0\n")
+        assert len(found) == 1
+        assert "quantity" in found[0].message
+
+    def test_ordered_predicates_allowed(self):
+        assert not findings("RL002", """\
+            ok = speed > 0
+            stable = not sigma > 0.0
+        """)
+
+    def test_int_identity_on_counts_allowed(self):
+        assert not findings("RL002", "empty = n_items == 0\n")
+
+
+class TestRL003Units:
+    def test_mixed_addition_flagged(self):
+        found = findings("RL003", "total = spent_dollars + elapsed_s\n")
+        assert len(found) == 1
+        assert "USD" in found[0].message and "`s`" in found[0].message
+
+    def test_mixed_comparison_flagged(self):
+        assert len(
+            findings("RL003", "over = cost_usd > deadline_seconds\n")
+        ) == 1
+
+    def test_rate_vs_money_flagged(self):
+        assert len(
+            findings("RL003", "x = price_usd_per_hr - spent_usd\n")
+        ) == 1
+
+    def test_same_unit_spellings_allowed(self):
+        assert not findings("RL003", """\
+            total = probe_usd + train_dollars
+            wall = setup_seconds + run_secs
+        """)
+
+    def test_multiplicative_conversion_allowed(self):
+        assert not findings("RL003", """\
+            deadline_seconds = deadline_hours * 3600.0
+            dollars = price_usd_per_hr * elapsed_s / 3600.0
+        """)
+
+    def test_bare_suffix_body_is_not_a_declaration(self):
+        assert not findings("RL003", "x = s + spent_usd\n")
+
+
+class TestRL004Hygiene:
+    def test_bare_except_flagged(self):
+        found = findings("RL004", """\
+            try:
+                work()
+            except:
+                handle()
+        """)
+        assert len(found) == 1
+        assert "bare" in found[0].message
+
+    def test_silent_handler_flagged(self):
+        found = findings("RL004", """\
+            try:
+                work()
+            except ValueError:
+                pass
+        """)
+        assert len(found) == 1
+        assert "silent" in found[0].message
+
+    def test_handled_exception_allowed(self):
+        assert not findings("RL004", """\
+            try:
+                work()
+            except ValueError as exc:
+                log(exc)
+        """)
+
+    def test_mutable_default_flagged(self):
+        found = findings("RL004", "def f(items=[]):\n    return items\n")
+        assert len(found) == 1
+        assert "mutable default" in found[0].message
+
+    def test_mutable_default_call_flagged(self):
+        assert len(
+            findings("RL004", "def f(*, out=dict()):\n    return out\n")
+        ) == 1
+
+    def test_none_default_allowed(self):
+        assert not findings(
+            "RL004", "def f(items=None):\n    return items or []\n"
+        )
+
+    def test_module_level_builtin_shadow_flagged(self):
+        assert len(findings("RL004", "def sum(xs):\n    return xs\n")) == 1
+        assert len(findings("RL004", "list = [1, 2]\n")) == 1
+
+    def test_method_named_like_builtin_allowed(self):
+        assert not findings("RL004", """\
+            class Gauge:
+                def set(self, value):
+                    self.value = value
+        """)
+
+
+class TestRegistry:
+    def test_all_four_rules_registered(self):
+        from repro.analysis import ALL_RULES
+
+        assert [r.rule_id for r in ALL_RULES] == [
+            "RL001", "RL002", "RL003", "RL004",
+        ]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError, match="RL999"):
+            rule_by_id("RL999")

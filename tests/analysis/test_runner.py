@@ -1,0 +1,145 @@
+"""Analyzer runner: suppressions, fingerprints, baseline, report."""
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.runner import REPORT_SCHEMA_VERSION
+
+DIRTY = "import time\nstamp = time.time()\n"
+CORE_PATH = "src/repro/core/fixture.py"
+
+
+def analyze(source, path=CORE_PATH, **kwargs):
+    return Analyzer(**kwargs).analyze_source(path, source)
+
+
+class TestInlineSuppression:
+    def test_disable_by_id(self):
+        live, suppressed = analyze(
+            "import time\n"
+            "stamp = time.time()  # repro-lint: disable=RL001\n"
+        )
+        assert not live
+        assert len(suppressed) == 1
+
+    def test_disable_all(self):
+        live, suppressed = analyze(
+            "import time\n"
+            "stamp = time.time()  # repro-lint: disable=all\n"
+        )
+        assert not live and len(suppressed) == 1
+
+    def test_wrong_id_does_not_suppress(self):
+        live, suppressed = analyze(
+            "import time\n"
+            "stamp = time.time()  # repro-lint: disable=RL002\n"
+        )
+        assert len(live) == 1 and not suppressed
+
+
+class TestFingerprints:
+    def test_stable_under_line_drift(self):
+        [f1], _ = analyze(DIRTY)
+        [f2], _ = analyze("\n\n\n" + DIRTY)
+        assert f1.line != f2.line
+        assert f1.fingerprint == f2.fingerprint
+
+    def test_duplicate_snippets_get_distinct_fingerprints(self):
+        live, _ = analyze(
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()\n"
+            "a = time.time()\n"  # identical snippet to line 2
+        )
+        assert len(live) == 3
+        assert len({f.fingerprint for f in live}) == 3
+
+    def test_path_changes_fingerprint(self):
+        [f1], _ = analyze(DIRTY, path="src/repro/core/a.py")
+        [f2], _ = analyze(DIRTY, path="src/repro/core/b.py")
+        assert f1.fingerprint != f2.fingerprint
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses(self, tmp_path):
+        live, _ = analyze(DIRTY)
+        baseline = Baseline.from_findings(live, "known debt")
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        report_live = [f for f in live if not loaded.suppresses(f)]
+        assert not report_live
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_unrelated_entry_does_not_suppress(self):
+        live, _ = analyze(DIRTY)
+        baseline = Baseline([BaselineEntry(
+            rule="RL001", path=CORE_PATH,
+            fingerprint="0" * 24, justification="stale",
+        )])
+        assert all(not baseline.suppresses(f) for f in live)
+
+
+class TestRun:
+    def test_directory_run_reports_findings(self, tmp_path):
+        pkg = tmp_path / "core"
+        pkg.mkdir()
+        (pkg / "dirty.py").write_text(DIRTY)
+        (pkg / "clean.py").write_text("x = 1\n")
+        report = Analyzer().run([tmp_path])
+        assert report.n_files == 2
+        assert len(report.findings) == 1
+        assert not report.clean
+
+    def test_syntax_error_becomes_report_error(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        report = Analyzer().run([tmp_path])
+        assert report.errors and "cannot parse" in report.errors[0]
+        assert not report.clean
+
+    def test_missing_path_becomes_report_error(self, tmp_path):
+        report = Analyzer().run([tmp_path / "nope"])
+        assert report.errors and "no such file" in report.errors[0]
+
+    def test_baselined_findings_leave_report_clean(self, tmp_path):
+        pkg = tmp_path / "core"
+        pkg.mkdir()
+        (pkg / "dirty.py").write_text(DIRTY)
+        first = Analyzer().run([tmp_path])
+        baseline = Baseline.from_findings(list(first.findings), "debt")
+        second = Analyzer(baseline=baseline).run([tmp_path])
+        assert not second.findings
+        assert len(second.baselined) == 1
+        assert second.clean
+
+
+class TestReportDict:
+    def test_schema_keys(self, tmp_path):
+        pkg = tmp_path / "core"
+        pkg.mkdir()
+        (pkg / "dirty.py").write_text(DIRTY)
+        doc = Analyzer().run([tmp_path]).to_dict()
+        assert doc["schema_version"] == REPORT_SCHEMA_VERSION
+        assert set(doc) == {
+            "schema_version", "summary", "findings", "errors",
+        }
+        assert set(doc["summary"]) == {
+            "files", "findings", "suppressed", "baselined", "by_rule",
+            "clean",
+        }
+        [finding] = doc["findings"]
+        assert set(finding) == {
+            "rule", "path", "line", "col", "message", "snippet",
+            "fingerprint",
+        }
+        assert doc["summary"]["by_rule"] == {"RL001": 1}

@@ -1,8 +1,17 @@
-"""Shared fixtures: catalogs, jobs, simulated worlds."""
+"""Shared fixtures: catalogs, jobs, simulated worlds.
+
+The whole suite runs with runtime contracts armed (see
+:mod:`repro.contracts`): every search exercised by a test also checks
+GP-posterior finiteness and billing reconciliation for free.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+os.environ.setdefault("REPRO_CONTRACTS", "1")
 
 from repro.cloud.catalog import InstanceCatalog, paper_catalog
 from repro.cloud.provider import SimulatedCloud

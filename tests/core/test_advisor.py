@@ -21,6 +21,7 @@ def trace_with(measurements, scenario=None):
             profile_dollars=0.5,
             elapsed_seconds=600.0 * (i + 1),
             spent_dollars=0.5 * (i + 1),
+            failure_reason="" if speed > 0 else "probe failed",
         )
         for i, (itype, count, speed) in enumerate(measurements)
     )

@@ -1,0 +1,141 @@
+"""Property-based tests: kernel PSD, posterior sanity, acquisition.
+
+Hypothesis drives randomised hyperparameters and data through the GP
+stack; the properties here are the ones the runtime contracts
+(:mod:`repro.contracts`) assume hold everywhere.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acquisition import expected_improvement_min
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import default_deployment_kernel
+
+#: Deployment features are ``[type index, log2 count]``; draw them
+#: from the realistic ranges (3 types, up to 2^6 nodes).
+_features = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.floats(min_value=0.0, max_value=6.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+def _X(rows):
+    return np.array([[float(t), float(n)] for t, n in rows])
+
+
+def _theta_strategy():
+    kernel = default_deployment_kernel()
+    return st.tuples(*[
+        st.floats(min_value=lo, max_value=hi,
+                  allow_nan=False, allow_infinity=False)
+        for lo, hi in kernel.bounds
+    ])
+
+
+@settings(max_examples=40, deadline=None)
+@given(theta=_theta_strategy(),
+       rows=st.lists(_features, min_size=1, max_size=8))
+def test_gram_matrix_is_psd_under_random_hyperparameters(theta, rows):
+    kernel = default_deployment_kernel()
+    kernel.theta = np.array(theta)
+    K = kernel(_X(rows))
+    assert np.all(np.isfinite(K))
+    assert np.allclose(K, K.T)
+    eigvals = np.linalg.eigvalsh((K + K.T) / 2.0)
+    assert float(eigvals.min()) >= -1e-8 * max(1.0, float(eigvals.max()))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(_features, min_size=2, max_size=6, unique=True),
+    speeds=st.lists(
+        st.floats(min_value=0.5, max_value=12.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=6, max_size=6,
+    ),
+)
+def test_posterior_variance_nonnegative_and_shrinks_at_observations(
+    rows, speeds
+):
+    X = _X(rows)
+    y = np.array(speeds[: len(rows)])
+    gp = GaussianProcess(optimize_restarts=0, seed=0).fit(X, y)
+
+    grid = _X([(t, n) for t in range(3) for n in (0.0, 2.0, 4.0, 6.0)])
+    _, sigma_grid = gp.predict(grid)
+    assert np.all(np.isfinite(sigma_grid))
+    assert np.all(sigma_grid >= 0.0)
+
+    # at observed inputs the posterior deviation must not exceed the
+    # prior deviation (conditioning only removes uncertainty)
+    _, sigma_obs = gp.predict(X)
+    prior_sigma = np.sqrt(gp.kernel.diag(X)) * gp._y_std
+    assert np.all(sigma_obs <= prior_sigma + 1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(_features, min_size=2, max_size=6, unique=True),
+    speeds=st.lists(
+        st.floats(min_value=0.5, max_value=12.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=6, max_size=6,
+    ),
+)
+def test_posterior_mean_finite_and_interpolates_scale(rows, speeds):
+    X = _X(rows)
+    y = np.array(speeds[: len(rows)])
+    gp = GaussianProcess(optimize_restarts=0, seed=0).fit(X, y)
+    mu, sigma = gp.predict(X)
+    assert np.all(np.isfinite(mu))
+    # noise-regularised interpolation stays within the observed range
+    # plus a couple of posterior deviations
+    slack = 2.0 * sigma + 1e-6
+    assert np.all(mu >= y.min() - slack)
+    assert np.all(mu <= y.max() + slack)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    mu=st.lists(
+        st.floats(min_value=-50.0, max_value=50.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=8,
+    ),
+    sigma=st.lists(
+        st.floats(min_value=0.0, max_value=25.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=8, max_size=8,
+    ),
+    best=st.floats(min_value=-50.0, max_value=50.0,
+                   allow_nan=False, allow_infinity=False),
+    xi=st.floats(min_value=0.0, max_value=2.0,
+                 allow_nan=False, allow_infinity=False),
+)
+def test_acquisition_finite_and_nonnegative(mu, sigma, best, xi):
+    n = len(mu)
+    ei = expected_improvement_min(
+        np.array(mu), np.array(sigma[:n]), best, xi
+    )
+    assert ei.shape == (n,)
+    assert np.all(np.isfinite(ei))
+    assert np.all(ei >= 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mu=st.floats(min_value=-20.0, max_value=20.0,
+                 allow_nan=False, allow_infinity=False),
+    best=st.floats(min_value=-20.0, max_value=20.0,
+                   allow_nan=False, allow_infinity=False),
+)
+def test_acquisition_zero_variance_is_hard_threshold(mu, best):
+    """With sigma=0, EI reduces to max(best - mu, 0) (minimisation)."""
+    [ei] = expected_improvement_min(
+        np.array([mu]), np.array([0.0]), best, 0.0
+    )
+    assert ei == pytest.approx(max(best - mu, 0.0))

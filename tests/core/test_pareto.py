@@ -122,6 +122,7 @@ class TestSearchFront:
             step=1, deployment=Deployment("c5.xlarge", 1),
             measured_speed=0.0, profile_seconds=600, profile_dollars=0.03,
             elapsed_seconds=600, spent_dollars=0.03,
+            failure_reason="capacity",
         ),)
         result = SearchResult(
             strategy="x", scenario=Scenario.fastest(), trials=trials,

@@ -7,7 +7,10 @@ from repro.core.scenarios import Scenario
 from repro.core.search_space import Deployment
 
 
-def trial(step=1, itype="c5.xlarge", count=1, speed=10.0, note=""):
+def trial(step=1, itype="c5.xlarge", count=1, speed=10.0, note="",
+          failure_reason=""):
+    if not failure_reason and not speed > 0:
+        failure_reason = "probe failed"
     return TrialRecord(
         step=step,
         deployment=Deployment(itype, count),
@@ -17,6 +20,7 @@ def trial(step=1, itype="c5.xlarge", count=1, speed=10.0, note=""):
         elapsed_seconds=600.0 * step,
         spent_dollars=0.03 * step,
         note=note,
+        failure_reason=failure_reason,
     )
 
 
@@ -36,7 +40,7 @@ def search(scenario=None, best=Deployment("c5.xlarge", 4), speed=40.0,
 
 class TestTrialRecord:
     def test_failed_property(self):
-        assert trial(speed=0.0).failed
+        assert trial(speed=0.0, failure_reason="capacity").failed
         assert not trial(speed=1.0).failed
 
     def test_zero_step_rejected(self):
@@ -46,6 +50,19 @@ class TestTrialRecord:
     def test_negative_speed_rejected(self):
         with pytest.raises(ValueError, match="speed"):
             trial(speed=-1.0)
+
+    def test_failure_reason_with_measurement_rejected(self):
+        with pytest.raises(ValueError, match="cannot carry"):
+            trial(speed=5.0, failure_reason="capacity")
+
+    def test_zero_speed_without_reason_rejected(self):
+        with pytest.raises(ValueError, match="failure_reason"):
+            TrialRecord(
+                step=1, deployment=Deployment("c5.xlarge", 1),
+                measured_speed=0.0, profile_seconds=600.0,
+                profile_dollars=0.03, elapsed_seconds=600.0,
+                spent_dollars=0.03,
+            )
 
 
 class TestSearchResult:

@@ -1,0 +1,232 @@
+"""Runtime contracts: gating, each check, and decision identity.
+
+The decision-identity test is the load-bearing one: a seeded HeterBO
+run must produce the *same* search artifact with contracts on and off
+(modulo real wall-clock fields, which are nondeterministic either
+way), proving the checks observe without steering.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from scipy import linalg
+
+from repro import contracts
+from repro.cloud.billing import BillingLedger
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.provider import SimulatedCloud
+from repro.core.engine import SearchContext
+from repro.core.gp import _chol_with_jitter
+from repro.core.heterbo import HeterBO
+from repro.core.kernels import default_deployment_kernel
+from repro.core.result import TrialRecord
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment, DeploymentSpace
+from repro.obs import RunRecorder
+from repro.profiling.profiler import Profiler
+from repro.sim.noise import NoiseModel
+from repro.sim.throughput import TrainingSimulator
+
+
+@pytest.fixture
+def armed(monkeypatch):
+    monkeypatch.setenv(contracts.ENV_VAR, "1")
+
+
+@pytest.fixture
+def disarmed(monkeypatch):
+    monkeypatch.setenv(contracts.ENV_VAR, "0")
+
+
+class TestGating:
+    def test_enabled_values(self, monkeypatch):
+        for value, expected in [
+            ("1", True), ("yes", True), ("on", True),
+            ("", False), ("0", False), ("false", False), ("off", False),
+            ("FALSE", False), ("OFF", False),
+        ]:
+            monkeypatch.setenv(contracts.ENV_VAR, value)
+            assert contracts.enabled() is expected
+        monkeypatch.delenv(contracts.ENV_VAR)
+        assert not contracts.enabled()
+
+    def test_disarmed_checks_are_noops(self, disarmed):
+        contracts.check_posterior(np.array([np.nan]), np.array([-1.0]))
+        contracts.check_acquisition(np.array([-np.inf]))
+        contracts.check_probe_billing(1.0, 99.0)
+        contracts.check_gram(np.full((2, 3), np.nan))
+
+    def test_violation_is_assertion_error(self):
+        assert issubclass(contracts.ContractViolation, AssertionError)
+
+
+class TestNumericalChecks:
+    def test_posterior_nan_mean_rejected(self, armed):
+        with pytest.raises(contracts.ContractViolation, match="mean"):
+            contracts.check_posterior(
+                np.array([1.0, np.nan]), np.array([1.0, 1.0])
+            )
+
+    def test_posterior_negative_sigma_rejected(self, armed):
+        with pytest.raises(contracts.ContractViolation, match="negative"):
+            contracts.check_posterior(
+                np.array([1.0]), np.array([-0.5])
+            )
+
+    def test_posterior_clean_passes(self, armed):
+        contracts.check_posterior(np.array([1.0]), np.array([0.0]))
+
+    def test_gram_nonfinite_rejected(self, armed):
+        K = np.eye(3)
+        K[1, 1] = np.inf
+        with pytest.raises(contracts.ContractViolation, match="non-finite"):
+            contracts.check_gram(K)
+
+    def test_gram_asymmetric_rejected(self, armed):
+        K = np.eye(3)
+        K[0, 1] = 0.5
+        with pytest.raises(contracts.ContractViolation, match="symmetric"):
+            contracts.check_gram(K)
+
+    def test_gram_nonsquare_rejected(self, armed):
+        with pytest.raises(contracts.ContractViolation, match="square"):
+            contracts.check_gram(np.ones((2, 3)))
+
+    def test_acquisition_negative_rejected(self, armed):
+        with pytest.raises(contracts.ContractViolation, match=">= 0"):
+            contracts.check_acquisition(np.array([0.1, -0.2]))
+
+    def test_acquisition_nan_rejected(self, armed):
+        with pytest.raises(contracts.ContractViolation, match="finite"):
+            contracts.check_acquisition(np.array([np.nan]))
+
+
+class TestBillingChecks:
+    def test_probe_reconciles(self, armed):
+        contracts.check_probe_billing(0.5, 0.5)
+        contracts.check_probe_billing(0.0, 0.0)
+
+    def test_probe_mismatch_rejected(self, armed):
+        with pytest.raises(
+            contracts.ContractViolation, match="reconcile"
+        ):
+            contracts.check_probe_billing(0.5, 0.6)
+
+    def test_probe_negative_dollars_rejected(self, armed):
+        with pytest.raises(contracts.ContractViolation, match="negative"):
+            contracts.check_probe_billing(-0.1, -0.1)
+
+    def test_search_billing_reconciles(self, armed):
+        trials = [
+            TrialRecord(
+                step=i + 1, deployment=Deployment("c5.xlarge", 1),
+                measured_speed=10.0, profile_seconds=600.0,
+                profile_dollars=0.25, elapsed_seconds=600.0 * (i + 1),
+                spent_dollars=0.25 * (i + 1),
+            )
+            for i in range(3)
+        ]
+        contracts.check_search_billing(trials, 0.75)
+        with pytest.raises(
+            contracts.ContractViolation, match="profiling"
+        ):
+            contracts.check_search_billing(trials, 0.80)
+
+    def test_ledger_invariants_hold_on_real_ledger(self, armed):
+        ledger = BillingLedger()
+        ledger.charge(
+            timestamp=0.0, instance_type="c5.xlarge", count=2,
+            seconds=600.0, dollars=0.5, purpose="profiling",
+        )
+        ledger.charge(
+            timestamp=600.0, instance_type="c5.xlarge", count=2,
+            seconds=3600.0, dollars=3.0, purpose="training",
+        )
+        contracts.check_ledger(ledger)
+
+
+class TestCholeskyDiagnostics:
+    def test_failure_message_names_theta_and_condition(self, armed):
+        # eigenvalues 4 and -2: no jitter in the ladder can rescue it
+        K = np.array([[1.0, 3.0], [3.0, 1.0]])
+        kernel = default_deployment_kernel()
+        with pytest.raises(linalg.LinAlgError) as err:
+            _chol_with_jitter(K, kernel)
+        message = str(err.value)
+        assert "condition estimate" in message
+        assert "kernel theta" in message
+        assert "eigenvalues in" in message
+
+    def test_failure_without_kernel_says_unknown(self, disarmed):
+        K = np.array([[1.0, 3.0], [3.0, 1.0]])
+        with pytest.raises(linalg.LinAlgError, match="unknown"):
+            _chol_with_jitter(K)
+
+    def test_near_singular_rescued_by_jitter(self, armed):
+        # rank-1 PSD matrix: singular, but jitter makes it factorable
+        v = np.array([[1.0], [2.0]])
+        K = v @ v.T
+        L = _chol_with_jitter(K, default_deployment_kernel())
+        assert np.allclose(L @ L.T, K, atol=1e-6)
+
+
+def _run_search(seed=3):
+    catalog = paper_catalog().subset(["c5.xlarge", "c5.4xlarge"])
+    cloud = SimulatedCloud(catalog)
+    profiler = Profiler(
+        cloud, TrainingSimulator(),
+        noise=NoiseModel(sigma=0.03, seed=seed),
+    )
+    from repro.sim.datasets import get_dataset
+    from repro.sim.platforms import get_platform
+    from repro.sim.throughput import TrainingJob
+    from repro.sim.zoo import get_model
+
+    job = TrainingJob(
+        model=get_model("char-rnn"),
+        dataset=get_dataset("char-corpus"),
+        platform=get_platform("tensorflow"),
+        epochs=1.0,
+    )
+    recorder = RunRecorder(clock=lambda: cloud.clock.now)
+    context = SearchContext(
+        space=DeploymentSpace(catalog, max_count=8),
+        profiler=profiler,
+        job=job,
+        scenario=Scenario.fastest_within(40.0),
+        tracer=recorder.tracer,
+        metrics=recorder.metrics,
+    )
+    result = HeterBO(seed=seed, max_steps=6).search(context)
+    return recorder.finalize(result)
+
+
+def _canonical(trace):
+    """Trace JSONL with real-wall-clock fields stripped.
+
+    ``wall_seconds`` (span timing) and the ``gp.fit_seconds``
+    histogram measure host compute time: nondeterministic across runs
+    regardless of contracts, and irrelevant to decision identity.
+    """
+    lines = []
+    for line in trace.to_jsonl().splitlines():
+        doc = json.loads(line)
+        if doc["kind"] == "span":
+            doc.pop("wall_seconds", None)
+        elif doc["kind"] == "metrics":
+            doc["data"] = {
+                k: v for k, v in doc["data"].items()
+                if "seconds" not in k or k.endswith("_total")
+            }
+        lines.append(json.dumps(doc, sort_keys=True))
+    return "\n".join(lines)
+
+
+class TestDecisionIdentity:
+    def test_contracts_do_not_change_the_search(self, monkeypatch):
+        monkeypatch.setenv(contracts.ENV_VAR, "1")
+        with_contracts = _canonical(_run_search())
+        monkeypatch.setenv(contracts.ENV_VAR, "0")
+        without = _canonical(_run_search())
+        assert with_contracts == without
