@@ -46,8 +46,13 @@ class ConvBO(SearchStrategy):
         seed: int = 0,
         xi: float = 0.0,
         ei_threshold: float = 3e-5,
+        gp_refit: str = "always",
+        fast_lane: bool = True,
     ) -> None:
-        super().__init__(max_steps=max_steps, seed=seed, xi=xi)
+        super().__init__(
+            max_steps=max_steps, seed=seed, xi=xi,
+            gp_refit=gp_refit, fast_lane=fast_lane,
+        )
         if n_initial < 1:
             raise ValueError(f"n_initial must be >= 1, got {n_initial}")
         if ei_threshold < 0:

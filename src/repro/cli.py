@@ -30,6 +30,13 @@ Two subcommands:
 
       python -m repro.cli lint src/repro
       python -m repro.cli lint src/repro --format json
+
+- ``bench`` — time the search hot path and emit a versioned
+  ``BENCH_search.json`` artifact (see ``docs/performance.md``)::
+
+      python -m repro.cli bench -o BENCH_search.json
+      python -m repro.cli bench --quick
+      python -m repro.cli bench --validate BENCH_search.json
 """
 
 from __future__ import annotations
@@ -238,6 +245,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.perf.bench import render_summary, run_bench, validate_bench
+
+    if args.validate:
+        try:
+            doc = json.loads(Path(args.validate).read_text())
+        except FileNotFoundError:
+            print(f"no such artifact: {args.validate}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"invalid JSON in {args.validate}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = validate_bench(doc)
+        for problem in problems:
+            print(f"{args.validate}: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.validate}: valid BENCH_search.json "
+                  f"(schema v{doc['schema_version']})")
+        return 2 if problems else 0
+
+    doc = run_bench(
+        quick=args.quick, seed=args.seed, max_steps=args.max_steps
+    )
+    print(render_summary(doc))
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if doc["identity"]["byte_identical"] else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import SearchTrace
     from repro.obs.render import render_span_tree
@@ -335,6 +378,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the search hot path (docs/performance.md)",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="small space / few steps (CI smoke mode)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--max-steps", type=int, default=40)
+    bench.add_argument("-o", "--out", default=None,
+                       help="write the BENCH_search.json artifact here")
+    bench.add_argument("--validate", default=None, metavar="PATH",
+                       help="validate an existing artifact instead of "
+                            "running the benchmark")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

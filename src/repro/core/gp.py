@@ -28,6 +28,12 @@ __all__ = ["GaussianProcess"]
 _JITTER = 1e-10
 _MAX_JITTER_TRIES = 6
 
+#: Objective value returned by :meth:`GaussianProcess._neg_lml_and_grad`
+#: when the covariance at a candidate theta is not positive definite.
+#: Restart results at (or above) this penalty carry no likelihood
+#: information and must never be adopted as "best".
+_CHOL_FAILURE_PENALTY = 1e25
+
 
 def _spectrum_diagnostics(K: np.ndarray) -> str:
     """Eigenvalue range and condition estimate of a symmetrised matrix."""
@@ -43,22 +49,23 @@ def _spectrum_diagnostics(K: np.ndarray) -> str:
     )
 
 
-def _chol_with_jitter(
+def _chol_with_jitter_level(
     K: np.ndarray, kernel: Kernel | None = None
-) -> np.ndarray:
-    """Cholesky factor of ``K`` with a bounded escalating jitter ladder.
+) -> tuple[np.ndarray, float]:
+    """``(L, jitter)`` — Cholesky factor plus the jitter that succeeded.
 
-    On final failure the error carries the kernel hyperparameters and
-    an eigenvalue/condition-number diagnosis, so the failing covariance
-    can be reconstructed from the message alone.
+    The jitter level is what rank-1 border updates must add to new
+    diagonal entries so an incrementally extended factor stays the
+    exact factorisation of ``K + jitter * I``.
     """
     contracts.check_gram(K, kernel)
     jitter = _JITTER
     for _ in range(_MAX_JITTER_TRIES):
         try:
-            return linalg.cholesky(
+            L = linalg.cholesky(
                 K + jitter * np.eye(K.shape[0]), lower=True
             )
+            return L, jitter
         except linalg.LinAlgError:
             jitter *= 100.0
     theta = (
@@ -70,6 +77,18 @@ def _chol_with_jitter(
         f"even with jitter {jitter:g}: {_spectrum_diagnostics(K)}; "
         f"kernel theta {theta}"
     )
+
+
+def _chol_with_jitter(
+    K: np.ndarray, kernel: Kernel | None = None
+) -> np.ndarray:
+    """Cholesky factor of ``K`` with a bounded escalating jitter ladder.
+
+    On final failure the error carries the kernel hyperparameters and
+    an eigenvalue/condition-number diagnosis, so the failing covariance
+    can be reconstructed from the message alone.
+    """
+    return _chol_with_jitter_level(K, kernel)[0]
 
 
 class GaussianProcess:
@@ -101,6 +120,7 @@ class GaussianProcess:
             )
         self.kernel = kernel if kernel is not None else default_deployment_kernel()
         self.optimize_restarts = optimize_restarts
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._X: np.ndarray | None = None
         self._y_raw: np.ndarray | None = None
@@ -108,6 +128,7 @@ class GaussianProcess:
         self._y_std = 1.0
         self._L: np.ndarray | None = None
         self._alpha: np.ndarray | None = None
+        self._chol_jitter = _JITTER
 
     # -- fitting -----------------------------------------------------------------
     @property
@@ -163,10 +184,17 @@ class GaussianProcess:
 
         if self.optimize_restarts > 0 and len(y) >= 2:
             bounds = self.kernel.bounds
-            starts = [self.kernel.theta.copy()]
+            incumbent = self.kernel.theta.copy()
+            # Restart starts are drawn from an RNG derived from
+            # (seed, n): the draws for a fit at n observations are the
+            # same whether or not earlier fits happened, so a refit
+            # *schedule* that skips steps cannot perturb hyperparameter
+            # search determinism.
+            rng = np.random.default_rng((self._seed, len(y)))
+            starts = [incumbent]
             for _ in range(self.optimize_restarts - 1):
                 starts.append(np.array([
-                    self._rng.uniform(lo, hi) for lo, hi in bounds
+                    rng.uniform(lo, hi) for lo, hi in bounds
                 ]))
             best_theta, best_val = None, np.inf
             for start in starts:
@@ -178,13 +206,90 @@ class GaussianProcess:
                     bounds=bounds,
                     method="L-BFGS-B",
                 )
-                if res.fun < best_val:
+                # A restart stuck at the Cholesky-failure penalty never
+                # achieved a finite log marginal likelihood: its theta
+                # is not even factorisable, let alone "best".
+                if res.fun < best_val and res.fun < _CHOL_FAILURE_PENALTY:
                     best_val, best_theta = res.fun, res.x
-            if best_theta is not None:
-                self.kernel.theta = best_theta
+            # _neg_lml_and_grad sets kernel.theta as a side effect of
+            # every evaluation, so the kernel is left at whatever point
+            # the last optimizer run touched; restore the winner — or
+            # the incumbent, when no restart found a finite LML.
+            self.kernel.theta = (
+                best_theta if best_theta is not None else incumbent
+            )
 
         K = self.kernel(X)
-        self._L = _chol_with_jitter(K, self.kernel)
+        self._L, self._chol_jitter = _chol_with_jitter_level(K, self.kernel)
+        self._alpha = linalg.cho_solve((self._L, True), ys)
+        return self
+
+    # -- incremental updates (the surrogate fast lane) -----------------------------
+    def observe(self, x: np.ndarray, y: float) -> "GaussianProcess":
+        """Append one observation in O(n²) via a Cholesky border update.
+
+        Hyperparameters are kept; the factor of ``K + jitter*I`` is
+        extended by one row, targets are re-standardised over the full
+        history, and ``alpha`` is recomputed — so the posterior is
+        *exactly* what :meth:`fit` with ``optimize_restarts=0`` would
+        produce on the extended data (up to floating-point rounding).
+
+        Falls back to a full refactorisation at the current
+        hyperparameters if the bordered matrix is not positive definite
+        at the stored jitter level.
+        """
+        if self._X is None or self._L is None:
+            raise RuntimeError("observe() before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape != (1, self._X.shape[1]):
+            raise ValueError(
+                f"x must be a single {self._X.shape[1]}-feature row, "
+                f"got shape {x.shape}"
+            )
+        X_new = np.vstack([self._X, x])
+        y_new = np.append(self._y_raw, float(y))
+        k = self.kernel(self._X, x).ravel()
+        k_ss = float(self.kernel.diag(x)[0]) + self._chol_jitter
+        l12 = linalg.solve_triangular(self._L, k, lower=True)
+        l22_sq = k_ss - float(l12 @ l12)
+        if l22_sq <= 0.0:
+            # bordered matrix not PD at this jitter: refactorise fully
+            # (keeps hyperparameters, may escalate the jitter ladder)
+            self._X, self._y_raw = X_new, y_new
+            ys = self._standardise(y_new)
+            self._L, self._chol_jitter = _chol_with_jitter_level(
+                self.kernel(X_new), self.kernel
+            )
+            self._alpha = linalg.cho_solve((self._L, True), ys)
+            return self
+        n = X_new.shape[0]
+        L = np.zeros((n, n))
+        L[: n - 1, : n - 1] = self._L
+        L[n - 1, : n - 1] = l12
+        L[n - 1, n - 1] = np.sqrt(l22_sq)
+        self._X, self._y_raw, self._L = X_new, y_new, L
+        ys = self._standardise(y_new)
+        self._alpha = linalg.cho_solve((L, True), ys)
+        return self
+
+    def set_targets(self, y: np.ndarray) -> "GaussianProcess":
+        """Replace the targets without touching ``X`` or the factor.
+
+        O(n²).  Needed because the engine's dynamic speed floor can
+        retroactively move failed-probe targets when a new slowest
+        success arrives; the covariance (a function of ``X`` only) is
+        unaffected, so only standardisation and ``alpha`` change.
+        """
+        if self._X is None or self._L is None:
+            raise RuntimeError("set_targets() before fit()")
+        y = np.asarray(y, dtype=float).ravel()
+        if len(y) != self._X.shape[0]:
+            raise ValueError(
+                f"y has {len(y)} entries but the GP holds "
+                f"{self._X.shape[0]} observations"
+            )
+        self._y_raw = y
+        ys = self._standardise(y)
         self._alpha = linalg.cho_solve((self._L, True), ys)
         return self
 

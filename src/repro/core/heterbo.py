@@ -103,8 +103,13 @@ class HeterBO(SearchStrategy):
         ucb_kappa: float = 2.0,
         warm_start=None,
         warm_top_k: int = 3,
+        gp_refit: str = "always",
+        fast_lane: bool = True,
     ) -> None:
-        super().__init__(max_steps=max_steps, seed=seed, xi=xi)
+        super().__init__(
+            max_steps=max_steps, seed=seed, xi=xi,
+            gp_refit=gp_refit, fast_lane=fast_lane,
+        )
         if ei_threshold < 0:
             raise ValueError(f"ei_threshold must be >= 0, got {ei_threshold}")
         if not 0.0 <= min_poi < 1.0:
@@ -254,9 +259,47 @@ class HeterBO(SearchStrategy):
         # the remaining constraint is nothing to protect.
         return cost if cost <= remaining else 0.0
 
+    def _reserve_allows(
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        candidates: list[Deployment],
+        incumbent_cost: float,
+    ) -> np.ndarray:
+        """Boolean protective-reserve mask over the candidates.
+
+        The fast lane evaluates the reserve inequality vectorised —
+        elapsed/spent are constant across one scoring sweep and probe
+        costs come from the engine's per-deployment grids; the slow
+        lane keeps the historical per-candidate loop.  Both produce
+        identical masks (same additions, same order).
+        """
+        if not engine.fast_lane:
+            return np.array([
+                self._probe_fits_constraint(context, d, incumbent_cost)
+                for d in candidates
+            ])
+        scenario = context.scenario
+        if scenario.kind is ScenarioKind.MIN_COST_DEADLINE:
+            return (
+                context.elapsed_seconds()
+                + engine.probe_seconds_many(candidates)
+                + incumbent_cost * self.reserve_margin
+                <= scenario.deadline_seconds
+            )
+        if scenario.kind is ScenarioKind.MIN_TIME_BUDGET:
+            return (
+                context.spent_dollars()
+                + engine.probe_dollars_many(candidates)
+                + incumbent_cost * self.reserve_margin
+                <= scenario.budget_dollars
+            )
+        return np.ones(len(candidates), dtype=bool)
+
     def _optimistic_completion(
         self,
         context: SearchContext,
+        engine: GPSearchEngine,
         candidates: list[Deployment],
         mu_log2: np.ndarray,
         sigma_log2: np.ndarray,
@@ -266,18 +309,18 @@ class HeterBO(SearchStrategy):
         optimistic_speed = np.exp2(mu_log2 + _Z95 * sigma_log2)
         seconds = context.total_samples / optimistic_speed
         if context.scenario.kind is ScenarioKind.MIN_TIME_BUDGET:
-            prices = np.array(
-                [context.price_per_second(d) for d in candidates]
-            )
-            return seconds * prices
+            return seconds * engine.prices_per_second_many(candidates)
         return seconds
 
     def _candidate_probe_cost_in_constraint_units(
-        self, context: SearchContext, candidates: list[Deployment]
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        candidates: list[Deployment],
     ) -> np.ndarray:
         if context.scenario.kind is ScenarioKind.MIN_TIME_BUDGET:
-            return np.array([context.probe_dollars(d) for d in candidates])
-        return np.array([context.probe_seconds(d) for d in candidates])
+            return engine.probe_dollars_many(candidates)
+        return engine.probe_seconds_many(candidates)
 
     # -- hooks ----------------------------------------------------------------------------
     def candidate_deployments(
@@ -385,10 +428,9 @@ class HeterBO(SearchStrategy):
 
         if self.protective_stop and context.scenario.is_constrained:
             incumbent_cost = self._incumbent_completion_cost(context, engine)
-            reserve_ok = np.array([
-                self._probe_fits_constraint(context, d, incumbent_cost)
-                for d in candidates
-            ])
+            reserve_ok = self._reserve_allows(
+                context, engine, candidates, incumbent_cost
+            )
             feasible &= reserve_ok
             n_reserve_blocked = int((~reserve_ok).sum())
             if n_reserve_blocked:
@@ -403,10 +445,10 @@ class HeterBO(SearchStrategy):
             # candidate must fit within the remaining constraint slack.
             mu, sigma = engine.predict_log2_speed(candidates)
             completion = self._optimistic_completion(
-                context, candidates, mu, sigma
+                context, engine, candidates, mu, sigma
             )
             probe = self._candidate_probe_cost_in_constraint_units(
-                context, candidates
+                context, engine, candidates
             )
             limit = context.scenario.constraint_limit
             consumed = (
@@ -433,9 +475,7 @@ class HeterBO(SearchStrategy):
                 tracer.set_attribute("pruned.tei", n_tei_blocked)
 
         if self.cost_aware:
-            penalty = np.array(
-                [context.probe_penalty(d) for d in candidates]
-            )
+            penalty = engine.probe_penalties(candidates)
             scores = base / penalty
         else:
             scores = base.copy()

@@ -88,20 +88,23 @@ class ParallelHeterBO(HeterBO):
         self, context: SearchContext, batch: list[Deployment],
         extra: Deployment,
     ) -> bool:
-        """Whether the account limits admit the batch plus ``extra``."""
+        """Whether the account limits admit the batch plus ``extra``.
+
+        Mirrors :meth:`Profiler.profile_batch`, which launches members
+        one at a time: every launch must fit *its own type's* remaining
+        capacity, with same-class usage accumulated across the batch so
+        far.  Checking the summed class demand against a single member
+        type's limit would admit (or reject) mixed-type batches based
+        on whichever type happened to come first.
+        """
         cloud = context.profiler.cloud
-        members = batch + [extra]
-        for gpu in (False, True):
-            demand = sum(
-                d.count for d in members
-                if context.space.catalog[d.instance_type].is_gpu == gpu
-            )
-            types = [
-                d.instance_type for d in members
-                if context.space.catalog[d.instance_type].is_gpu == gpu
-            ]
-            if types and demand > cloud.available_capacity(types[0]):
+        planned = {False: 0, True: 0}
+        for d in batch + [extra]:
+            gpu = context.space.catalog[d.instance_type].is_gpu
+            available = cloud.available_capacity(d.instance_type)
+            if planned[gpu] + d.count > available:
                 return False
+            planned[gpu] += d.count
         return True
 
     def _select_batch(
@@ -180,7 +183,7 @@ class ParallelHeterBO(HeterBO):
 
     # -- the batched loop --------------------------------------------------------------
     def search(self, context: SearchContext) -> SearchResult:
-        engine = GPSearchEngine(context, seed=self.seed)
+        engine = self._make_engine(context)
         trials: list[TrialRecord] = []
         stop_reason = "max steps reached"
         profiling_before = context.profiler.cloud.ledger.total("profiling")

@@ -85,32 +85,80 @@ class DeploymentSpace:
                         f"per_type_max[{name!r}] must be >= 1, got {cap}"
                     )
                 self.per_type_max[name] = cap
+        # Precompute the whole grid once: enumeration, membership,
+        # feature encoding and pricing all become O(1) index lookups on
+        # the probe/scoring hot path instead of per-call Python loops.
+        self._counts_by_type: dict[str, list[int]] = {}
+        self._count_sets: dict[str, frozenset[int]] = {}
+        for name in self._type_index:
+            cap = self.per_type_max.get(name)
+            cs = (
+                self.counts if cap is None
+                else [c for c in self.counts if c <= cap]
+            )
+            self._counts_by_type[name] = cs
+            self._count_sets[name] = frozenset(cs)
+        self._deployments: tuple[Deployment, ...] = tuple(
+            Deployment(name, count)
+            for name in catalog.names
+            for count in self._counts_by_type[name]
+        )
+        self._deployment_index: dict[Deployment, int] = {
+            d: i for i, d in enumerate(self._deployments)
+        }
+        counts_arr = np.array(
+            [d.count for d in self._deployments], dtype=float
+        )
+        type_arr = np.array(
+            [float(self._type_index[d.instance_type])
+             for d in self._deployments]
+        )
+        self._features = np.column_stack([type_arr, np.log2(counts_arr)])
+        self._features.setflags(write=False)
+        self._hourly_prices = np.array([
+            catalog[d.instance_type].hourly_price * d.count
+            for d in self._deployments
+        ])
+        self._hourly_prices.setflags(write=False)
 
     def _counts_for(self, instance_type: str) -> list[int]:
-        cap = self.per_type_max.get(instance_type)
-        if cap is None:
-            return self.counts
-        return [c for c in self.counts if c <= cap]
+        return self._counts_by_type[instance_type]
 
     # -- enumeration --------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(
-            len(self._counts_for(name)) for name in self._type_index
-        )
+        return len(self._deployments)
 
     def __iter__(self) -> Iterator[Deployment]:
-        for name in self.catalog.names:
-            for count in self._counts_for(name):
-                yield Deployment(name, count)
+        return iter(self._deployments)
 
     def __contains__(self, deployment: object) -> bool:
         return (
             isinstance(deployment, Deployment)
-            and deployment.instance_type in self._type_index
-            and deployment.count in self._counts_for(
+            and deployment.instance_type in self._count_sets
+            and deployment.count in self._count_sets[
                 deployment.instance_type
-            )
+            ]
         )
+
+    @property
+    def deployments(self) -> tuple[Deployment, ...]:
+        """Every deployment in space order (precomputed, shared)."""
+        return self._deployments
+
+    def index_of(self, deployment: Deployment) -> int:
+        """Stable position of a deployment in space order.
+
+        Raises
+        ------
+        KeyError
+            If the deployment is not in the space.
+        """
+        try:
+            return self._deployment_index[deployment]
+        except KeyError:
+            raise KeyError(
+                f"deployment {deployment} not in space"
+            ) from None
 
     @property
     def instance_types(self) -> list[str]:
@@ -135,10 +183,21 @@ class DeploymentSpace:
     # -- pricing -------------------------------------------------------------------
     def hourly_price(self, deployment: Deployment) -> float:
         """Cluster price in dollars/hour for a deployment."""
+        idx = self._deployment_index.get(deployment)
+        if idx is not None:
+            return float(self._hourly_prices[idx])
         return (
             self.catalog[deployment.instance_type].hourly_price
             * deployment.count
         )
+
+    @property
+    def hourly_prices(self) -> np.ndarray:
+        """Cluster prices ($/h) for every deployment, in space order.
+
+        Read-only view over the precomputed grid.
+        """
+        return self._hourly_prices
 
     # -- GP features -----------------------------------------------------------------
     def type_index(self, instance_type: str) -> int:
@@ -153,16 +212,42 @@ class DeploymentSpace:
 
     def encode(self, deployment: Deployment) -> np.ndarray:
         """Feature vector ``[type index, log2(count)]`` for the GP."""
+        idx = self._deployment_index.get(deployment)
+        if idx is not None:
+            return self._features[idx].copy()
         return np.array([
             float(self.type_index(deployment.instance_type)),
             float(np.log2(deployment.count)),
         ])
 
+    @property
+    def feature_matrix(self) -> np.ndarray:
+        """GP features for every deployment, in space order.
+
+        Read-only view; one row per deployment, precomputed once at
+        construction.
+        """
+        return self._features
+
     def encode_many(self, deployments: list[Deployment]) -> np.ndarray:
-        """Feature matrix with one row per deployment."""
+        """Feature matrix with one row per deployment.
+
+        Deployments on the grid are gathered from the precomputed
+        feature matrix; off-grid deployments (e.g. a warm-start trace
+        measured on a larger space) fall back to per-row encoding.
+        """
         if not deployments:
             return np.empty((0, 2))
-        return np.stack([self.encode(d) for d in deployments])
+        index = self._deployment_index
+        try:
+            idx = np.fromiter(
+                (index[d] for d in deployments),
+                dtype=np.intp,
+                count=len(deployments),
+            )
+        except KeyError:
+            return np.stack([self.encode(d) for d in deployments])
+        return self._features[idx]
 
     def restrict_types(self, names: list[str]) -> "DeploymentSpace":
         """A new space over a subset of instance types (CherryPick's

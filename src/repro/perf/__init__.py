@@ -1,0 +1,18 @@
+"""Performance benchmarking for the search hot path.
+
+See :mod:`repro.perf.bench` and ``docs/performance.md``.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    canonical_trace_jsonl,
+    run_bench,
+    validate_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "canonical_trace_jsonl",
+    "run_bench",
+    "validate_bench",
+]

@@ -1,0 +1,401 @@
+"""Search hot-path benchmark (``repro bench``).
+
+Times the three layers the surrogate fast lane accelerates on the
+paper-scale deployment space (20 instance types × 50 node counts =
+1,000 schemes; see ``docs/performance.md``):
+
+- **gp-fit** — one full multi-restart hyperparameter refit vs. one
+  rank-1 :meth:`~repro.core.gp.GaussianProcess.observe` update at the
+  same observation count;
+- **scoring** — one ``objective_ei`` sweep over the whole grid with
+  the fast lane's vectorized feature/constant gathers vs. the
+  historical per-candidate Python loops;
+- **end-to-end** — a complete seeded HeterBO search, slow lane
+  (``fast_lane=False, gp_refit="always"``: the pre-fast-lane
+  behaviour) vs. fast lane (``fast_lane=True, gp_refit="doubling"``).
+
+The emitted ``BENCH_search.json`` is schema-versioned: the *fields*
+are deterministic (the schema carries no timestamps or host state);
+only the measured seconds vary between hosts.  A decision-identity
+check — fast lane on vs. off with the refit schedule forced to
+``"always"``, compared on canonicalised ``SearchTrace`` JSONL — rides
+along so a speedup can never be reported off a run that changed
+decisions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.provider import SimulatedCloud
+from repro.core.engine import SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.scenarios import Scenario
+from repro.core.search_space import DeploymentSpace
+from repro.obs import RunRecorder
+from repro.profiling.profiler import Profiler
+from repro.sim.datasets import get_dataset
+from repro.sim.noise import NoiseModel
+from repro.sim.platforms import get_platform
+from repro.sim.throughput import TrainingJob, TrainingSimulator
+from repro.sim.zoo import get_model
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "canonical_trace_jsonl",
+    "run_bench",
+    "validate_bench",
+]
+
+#: Version of the ``BENCH_search.json`` schema.
+BENCH_SCHEMA_VERSION = 1
+
+#: Per-section required keys of a schema-v1 artifact.
+_SCHEMA_V1: dict[str, tuple[str, ...]] = {
+    "config": (
+        "n_types", "max_count", "n_deployments", "seed", "max_steps",
+        "budget_dollars", "quick",
+    ),
+    "gp_fit": (
+        "n_observations", "full_refit_seconds", "rank1_update_seconds",
+        "speedup",
+    ),
+    "scoring": (
+        "n_candidates", "slow_seconds_per_call", "fast_seconds_per_call",
+        "speedup",
+    ),
+    "end_to_end": (
+        "slow_seconds", "fast_seconds", "speedup",
+        "slow_trials", "fast_trials",
+    ),
+    "identity": ("checked", "byte_identical"),
+    "metrics": ("gp_fit_total_full", "gp_fit_total_incremental"),
+}
+
+
+def canonical_trace_jsonl(trace: Any) -> str:
+    """Trace JSONL with real-wall-clock fields stripped.
+
+    ``wall_seconds`` (span timing) and the ``gp.fit_seconds``-style
+    histograms measure host compute time: nondeterministic across runs
+    and irrelevant to decision identity.  Counters ending in
+    ``_total`` are kept even when named in seconds — they count
+    *simulated* resources, which must match exactly.
+    """
+    lines = []
+    for line in trace.to_jsonl().splitlines():
+        doc = json.loads(line)
+        if doc["kind"] == "span":
+            doc.pop("wall_seconds", None)
+        elif doc["kind"] == "metrics":
+            doc["data"] = {
+                k: v for k, v in doc["data"].items()
+                if "seconds" not in k or k.endswith("_total")
+            }
+        lines.append(json.dumps(doc, sort_keys=True))
+    return "\n".join(lines)
+
+
+def _make_context(
+    *,
+    max_count: int,
+    budget_dollars: float,
+    seed: int,
+    record: bool = False,
+) -> tuple[SearchContext, RunRecorder | None]:
+    """A fresh paper-scale world (every run needs its own cloud).
+
+    The recorder's clock is the cloud's *simulated* clock, so trace
+    timestamps are deterministic and canonical traces compare equal
+    across hosts.
+    """
+    catalog = paper_catalog()
+    cloud = SimulatedCloud(catalog)
+    recorder = (
+        RunRecorder(clock=lambda: cloud.clock.now) if record else None
+    )
+    kwargs: dict[str, Any] = {}
+    if recorder is not None:
+        kwargs["tracer"] = recorder.tracer
+        kwargs["metrics"] = recorder.metrics
+    profiler = Profiler(
+        cloud, TrainingSimulator(),
+        noise=NoiseModel(sigma=0.03, seed=seed), **kwargs,
+    )
+    job = TrainingJob(
+        model=get_model("char-rnn"),
+        dataset=get_dataset("char-corpus"),
+        platform=get_platform("tensorflow"),
+        epochs=2.0,
+    )
+    context = SearchContext(
+        space=DeploymentSpace(catalog, max_count=max_count),
+        profiler=profiler,
+        job=job,
+        scenario=Scenario.fastest_within(budget_dollars),
+        **kwargs,
+    )
+    return context, recorder
+
+
+def _seeded_engine(context: SearchContext, *, seed: int, n_obs: int,
+                   fast_lane: bool):
+    """An engine pre-loaded with ``n_obs`` real probes, GP fitted."""
+    from repro.core.engine import GPSearchEngine
+
+    engine = GPSearchEngine(
+        context, seed=seed, refit_schedule="always", fast_lane=fast_lane,
+    )
+    deployments = list(context.space)
+    rng = np.random.default_rng((seed, 0xB0BCA7))
+    picks = rng.choice(len(deployments), size=n_obs, replace=False)
+    for i in picks:
+        d = deployments[int(i)]
+        result = context.profiler.profile(
+            d.instance_type, d.count, context.job
+        )
+        engine.add_observation(result)
+    engine.fit()
+    return engine
+
+
+def _bench_gp_fit(seed: int, n_obs: int, repeats: int) -> dict[str, Any]:
+    """Full multi-restart refit vs. one rank-1 update at ``n_obs``."""
+    context, _ = _make_context(
+        max_count=50, budget_dollars=1e9, seed=seed,
+    )
+    engine = _seeded_engine(
+        context, seed=seed, n_obs=n_obs + 1, fast_lane=True,
+    )
+    gp = engine._gp
+    X = context.space.encode_many(
+        [d for d, _ in engine._observations]
+    )
+    speeds = np.array([s for _, s in engine._observations])
+    y = np.log2(np.maximum(speeds, 1e-3))
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        gp.fit(X[:n_obs], y[:n_obs])
+    full_seconds = (time.perf_counter() - started) / repeats
+
+    rank1_total = 0.0
+    for _ in range(repeats):
+        gp.fit(X[:n_obs], y[:n_obs])  # reset to the n_obs-point state
+        started = time.perf_counter()
+        gp.observe(X[n_obs], float(y[n_obs]))
+        rank1_total += time.perf_counter() - started
+    rank1_seconds = max(rank1_total / repeats, 1e-9)
+    return {
+        "n_observations": n_obs,
+        "full_refit_seconds": full_seconds,
+        "rank1_update_seconds": rank1_seconds,
+        "speedup": full_seconds / rank1_seconds,
+    }
+
+
+def _bench_scoring(
+    seed: int, max_count: int, n_obs: int, repeats: int
+) -> dict[str, Any]:
+    """One full-grid ``objective_ei`` sweep, slow vs. fast lane."""
+    seconds = {}
+    n_candidates = 0
+    for lane, fast in (("slow", False), ("fast", True)):
+        context, _ = _make_context(
+            max_count=max_count, budget_dollars=1e9, seed=seed,
+        )
+        engine = _seeded_engine(
+            context, seed=seed, n_obs=n_obs, fast_lane=fast,
+        )
+        candidates = engine.unvisited_candidates()
+        n_candidates = len(candidates)
+        engine.objective_ei(candidates)  # warm caches out of the timing
+        started = time.perf_counter()
+        for _ in range(repeats):
+            engine.objective_ei(candidates)
+        seconds[lane] = (time.perf_counter() - started) / repeats
+    return {
+        "n_candidates": n_candidates,
+        "slow_seconds_per_call": seconds["slow"],
+        "fast_seconds_per_call": seconds["fast"],
+        "speedup": seconds["slow"] / seconds["fast"],
+    }
+
+
+def _timed_search(
+    *,
+    seed: int,
+    max_count: int,
+    max_steps: int,
+    budget_dollars: float,
+    fast_lane: bool,
+    gp_refit: str,
+    record: bool = False,
+) -> tuple[float, Any, RunRecorder | None]:
+    context, recorder = _make_context(
+        max_count=max_count, budget_dollars=budget_dollars,
+        seed=seed, record=record,
+    )
+    strategy = HeterBO(
+        seed=seed, max_steps=max_steps,
+        fast_lane=fast_lane, gp_refit=gp_refit,
+    )
+    started = time.perf_counter()
+    result = strategy.search(context)
+    return time.perf_counter() - started, result, recorder
+
+
+def run_bench(
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    max_steps: int = 40,
+) -> dict[str, Any]:
+    """Run every benchmark section and return the artifact document.
+
+    ``quick`` shrinks the space and step count for CI smoke runs; the
+    full configuration is the paper's 20-type × 50-count grid.  The
+    step count must clear the 20-probe initial design (one single-node
+    probe per type) or the end-to-end section never reaches the GP.
+    """
+    max_count = 12 if quick else 50
+    max_steps = min(max_steps, 30) if quick else max_steps
+    n_obs = 10 if quick else 30
+    repeats = 2 if quick else 5
+    budget = 300.0
+
+    gp_fit = _bench_gp_fit(seed, n_obs, repeats)
+    scoring = _bench_scoring(seed, max_count, n_obs, repeats)
+
+    # both timed runs are unrecorded so tracing overhead cannot skew
+    # the comparison either way
+    slow_s, slow_res, _ = _timed_search(
+        seed=seed, max_count=max_count, max_steps=max_steps,
+        budget_dollars=budget, fast_lane=False, gp_refit="always",
+    )
+    fast_s, fast_res, _ = _timed_search(
+        seed=seed, max_count=max_count, max_steps=max_steps,
+        budget_dollars=budget, fast_lane=True, gp_refit="doubling",
+    )
+    # a separate recorded (untimed) fast-lane run feeds the metrics
+    # section: refit-mode counts and the gp.fit_seconds histogram
+    _, _, fast_recorder = _timed_search(
+        seed=seed, max_count=max_count, max_steps=max_steps,
+        budget_dollars=budget, fast_lane=True, gp_refit="doubling",
+        record=True,
+    )
+
+    # identity: the fast lane with the schedule forced to every-step
+    # must reproduce the slow lane's decisions byte for byte
+    _, slow_id_res, slow_id_rec = _timed_search(
+        seed=seed, max_count=max_count, max_steps=max_steps,
+        budget_dollars=budget, fast_lane=False, gp_refit="always",
+        record=True,
+    )
+    _, fast_id_res, fast_id_rec = _timed_search(
+        seed=seed, max_count=max_count, max_steps=max_steps,
+        budget_dollars=budget, fast_lane=True, gp_refit="always",
+        record=True,
+    )
+    identical = (
+        canonical_trace_jsonl(slow_id_rec.finalize(slow_id_res))
+        == canonical_trace_jsonl(fast_id_rec.finalize(fast_id_res))
+    )
+
+    fit_counter = fast_recorder.metrics.counter("gp.fit_total")
+    fit_hist = fast_recorder.metrics.histogram("gp.fit_seconds")
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": "search-hot-path",
+        "config": {
+            "n_types": len(paper_catalog().names),
+            "max_count": max_count,
+            "n_deployments": max_count * len(paper_catalog().names),
+            "seed": seed,
+            "max_steps": max_steps,
+            "budget_dollars": budget,
+            "quick": quick,
+        },
+        "gp_fit": gp_fit,
+        "scoring": scoring,
+        "end_to_end": {
+            "slow_seconds": slow_s,
+            "fast_seconds": fast_s,
+            "speedup": slow_s / fast_s,
+            "slow_trials": len(slow_res.trials),
+            "fast_trials": len(fast_res.trials),
+            "slow_best": str(slow_res.best),
+            "fast_best": str(fast_res.best),
+        },
+        "identity": {"checked": True, "byte_identical": identical},
+        "metrics": {
+            "gp_fit_total_full": fit_counter.value(mode="full"),
+            "gp_fit_total_incremental": fit_counter.value(
+                mode="incremental"
+            ),
+            "gp_fit_seconds_mean": fit_hist.stats().mean,
+            "gp_fit_seconds_max": fit_hist.stats().maximum,
+        },
+    }
+
+
+def validate_bench(doc: Any) -> list[str]:
+    """Schema-v1 validation; returns a list of problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"artifact must be a JSON object, got {type(doc).__name__}"]
+    version = doc.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, got {version!r}"
+        )
+    for section, keys in _SCHEMA_V1.items():
+        body = doc.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"missing section {section!r}")
+            continue
+        for key in keys:
+            if key not in body:
+                problems.append(f"{section}.{key} missing")
+    if not problems:
+        for section in ("gp_fit", "scoring", "end_to_end"):
+            speedup = doc[section]["speedup"]
+            if not isinstance(speedup, (int, float)) or speedup <= 0:
+                problems.append(
+                    f"{section}.speedup must be positive, got {speedup!r}"
+                )
+        if doc["identity"]["byte_identical"] is not True:
+            problems.append(
+                "identity.byte_identical is not true: the fast lane "
+                "changed search decisions"
+            )
+    return problems
+
+
+def render_summary(doc: dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a bench artifact."""
+    cfg = doc["config"]
+    lines = [
+        f"search hot-path bench (schema v{doc['schema_version']}) — "
+        f"{cfg['n_types']} types × {cfg['max_count']} counts = "
+        f"{cfg['n_deployments']} deployments"
+        + (" [quick]" if cfg["quick"] else ""),
+        f"  gp-fit:     full refit {doc['gp_fit']['full_refit_seconds'] * 1e3:8.2f} ms"
+        f" vs rank-1 {doc['gp_fit']['rank1_update_seconds'] * 1e3:8.2f} ms"
+        f"  ({doc['gp_fit']['speedup']:.1f}x)",
+        f"  scoring:    slow lane {doc['scoring']['slow_seconds_per_call'] * 1e3:8.2f} ms"
+        f" vs fast   {doc['scoring']['fast_seconds_per_call'] * 1e3:8.2f} ms"
+        f"  ({doc['scoring']['speedup']:.1f}x)",
+        f"  end-to-end: slow lane {doc['end_to_end']['slow_seconds']:8.3f} s "
+        f" vs fast   {doc['end_to_end']['fast_seconds']:8.3f} s "
+        f"  ({doc['end_to_end']['speedup']:.1f}x)",
+        f"  identity:   byte_identical="
+        f"{doc['identity']['byte_identical']} (fast lane on vs off, "
+        f"refit forced to every step)",
+    ]
+    return "\n".join(lines)

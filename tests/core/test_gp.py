@@ -1,11 +1,15 @@
 """Gaussian process: interpolation, uncertainty, LML fitting."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
-from repro.core.gp import GaussianProcess
+import repro.core.gp as gp_module
+from repro.core.gp import _CHOL_FAILURE_PENALTY, GaussianProcess
 from repro.core.kernels import (
     ConstantKernel,
+    Kernel,
     Matern52Kernel,
     RBFKernel,
     WhiteKernel,
@@ -163,6 +167,161 @@ class TestHyperparameterFit:
         gp.fit(X, y)
         mu, _ = gp.predict(np.array([[1.0]]))
         assert mu[0] == pytest.approx(1.0, abs=0.2)
+
+
+class _NeverPD(Kernel):
+    """Symmetric and finite but never positive definite for n >= 2.
+
+    ``-1`` everywhere has eigenvalues ``{-n, 0}``; no jitter the ladder
+    is willing to add repairs that, so every LML evaluation hits the
+    Cholesky-failure penalty.
+    """
+
+    def __init__(self) -> None:
+        self._theta = np.array([0.5])
+
+    @property
+    def theta(self) -> np.ndarray:
+        return self._theta.copy()
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self._theta = np.asarray(value, dtype=float).copy()
+
+    @property
+    def bounds(self):
+        return [(-2.0, 2.0)]
+
+    def __call__(self, X, Z=None):
+        X = np.atleast_2d(X)
+        Z = X if Z is None else np.atleast_2d(Z)
+        return -np.ones((X.shape[0], Z.shape[0]))
+
+    def gradient(self, X):
+        K = self(X)
+        return K, np.zeros((1,) + K.shape)
+
+    def diag(self, X):
+        return -np.ones(np.atleast_2d(X).shape[0])
+
+
+class TestDegenerateRefit:
+    """Regressions for the failed-restart hyperparameter bug.
+
+    Two coupled defects: a restart stuck at the Cholesky-failure
+    penalty used to win ``res.fun < best_val`` against ``inf`` and have
+    its meaningless theta adopted, and when no restart won at all the
+    kernel was left at whatever theta the optimizer's *last evaluation*
+    happened to touch (``_neg_lml_and_grad`` mutates ``kernel.theta``
+    as a side effect).
+    """
+
+    def test_penalty_restart_theta_never_adopted(self, monkeypatch):
+        X = np.linspace(0, 3, 6)[:, None]
+        y = np.sin(X).ravel()
+        kernel = smooth_kernel()
+        gp = GaussianProcess(kernel, optimize_restarts=3, seed=0)
+        incumbent = kernel.theta.copy()
+
+        def fake_minimize(fun, x0, args=(), **kwargs):
+            # mimic an optimizer that wandered into a non-PD region:
+            # evaluations mutate kernel.theta as a side effect, and the
+            # reported minimum is the failure penalty at garbage theta
+            fun(np.asarray(x0) + 1.0, *args)
+            return SimpleNamespace(
+                fun=_CHOL_FAILURE_PENALTY,
+                x=np.full_like(np.asarray(x0), -99.0),
+            )
+
+        monkeypatch.setattr(gp_module.optimize, "minimize", fake_minimize)
+        gp.fit(X, y)
+        np.testing.assert_array_equal(kernel.theta, incumbent)
+        # and the posterior was factorised at the incumbent, so it works
+        mu, _ = gp.predict(X)
+        assert np.all(np.isfinite(mu))
+
+    def test_unfactorisable_kernel_raises_with_theta_intact(self):
+        kernel = _NeverPD()
+        incumbent = kernel.theta.copy()
+        gp = GaussianProcess(kernel, optimize_restarts=2, seed=0)
+        with pytest.raises(np.linalg.LinAlgError, match="not positive definite"):
+            gp.fit(np.array([[0.0], [1.0], [2.0]]), np.array([1.0, 2.0, 3.0]))
+        # every restart hit the penalty; the incumbent must survive the
+        # optimizer's side-effect mutations even on the error path
+        np.testing.assert_array_equal(kernel.theta, incumbent)
+
+    def test_restart_draws_depend_only_on_seed_and_n(self, monkeypatch):
+        """A fit at n observations sees the same restart starts whether
+        or not earlier fits happened — the refit *schedule* cannot
+        perturb hyperparameter search."""
+        rng = np.random.default_rng(7)
+        X = rng.uniform(0, 4, size=(6, 1))
+        y = np.cos(X).ravel()
+
+        def record_starts(gp_obj, fits):
+            starts: list[list[np.ndarray]] = []
+
+            def fake_minimize(fun, x0, args=(), **kwargs):
+                starts.append(np.asarray(x0, dtype=float).copy())
+                return SimpleNamespace(fun=np.inf, x=np.asarray(x0))
+
+            monkeypatch.setattr(
+                gp_module.optimize, "minimize", fake_minimize
+            )
+            for n in fits:
+                if n == fits[-1]:
+                    starts.clear()  # keep only the final fit's starts
+                gp_obj.fit(X[:n], y[:n])
+            return starts
+
+        direct = record_starts(
+            GaussianProcess(smooth_kernel(), optimize_restarts=3, seed=5),
+            [6],
+        )
+        resumed = record_starts(
+            GaussianProcess(smooth_kernel(), optimize_restarts=3, seed=5),
+            [3, 6],
+        )
+        assert len(direct) == len(resumed) == 3
+        for a, b in zip(direct, resumed):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestIncrementalObserve:
+    def test_observe_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            GaussianProcess().observe(np.zeros(2), 1.0)
+
+    def test_observe_rejects_wrong_width(self):
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        gp.fit(np.array([[0.0], [1.0]]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="single 1-feature row"):
+            gp.observe(np.array([[1.0, 2.0]]), 1.0)
+
+    def test_set_targets_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            GaussianProcess().set_targets(np.array([1.0]))
+
+    def test_set_targets_rejects_length_mismatch(self):
+        gp = GaussianProcess(smooth_kernel(), optimize_restarts=0)
+        gp.fit(np.array([[0.0], [1.0]]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="2 observations"):
+            gp.set_targets(np.array([1.0, 2.0, 3.0]))
+
+    def test_observe_duplicate_row_falls_back_to_refactorisation(self):
+        """A repeated input makes the bordered matrix singular at the
+        stored jitter; observe() must survive via the full-refactor
+        fallback and still interpolate."""
+        X = np.array([[0.0], [1.0]])
+        gp = GaussianProcess(
+            ConstantKernel(1.0) * RBFKernel(1.0),  # no White noise floor
+            optimize_restarts=0,
+        )
+        gp.fit(X, np.array([0.0, 1.0]))
+        gp.observe(np.array([1.0]), 1.0)
+        assert gp.n_observations == 3
+        mu, _ = gp.predict(np.array([[1.0]]))
+        assert mu[0] == pytest.approx(1.0, abs=0.05)
 
 
 class TestPosteriorSampling:

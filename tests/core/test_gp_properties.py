@@ -99,6 +99,81 @@ def test_posterior_mean_finite_and_interpolates_scale(rows, speeds):
     assert np.all(mu <= y.max() + slack)
 
 
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(_features, min_size=3, max_size=8, unique=True),
+    speeds=st.lists(
+        st.floats(min_value=0.5, max_value=12.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=8, max_size=8,
+    ),
+)
+def test_rank1_update_matches_from_scratch_fit(rows, speeds):
+    """observe() must reproduce fit() exactly at fixed hyperparameters.
+
+    Start from the first two observations, grow one point at a time via
+    the rank-1 Cholesky border update, then append a speed-floor point
+    (the engine's encoding for failed probes — far below every drawn
+    speed) via set_targets-style dynamics.  Mean, deviation and LML
+    must match a from-scratch fit on the same data to 1e-8.
+    """
+    X = _X(rows)
+    y = np.array(speeds[: len(rows)])
+    # a failed-probe point: log2 count 7.5 is outside the 0..6 draw
+    # range, so the row is guaranteed unique; the floor target is far
+    # below every drawn speed
+    X = np.vstack([X, [[1.0, 7.5]]])
+    y = np.append(y, 0.01)
+
+    inc = GaussianProcess(optimize_restarts=0, seed=0)
+    inc.fit(X[:2], y[:2])
+    for i in range(2, len(y)):
+        inc.observe(X[i], float(y[i]))
+
+    scratch = GaussianProcess(optimize_restarts=0, seed=0)
+    scratch.fit(X, y)
+
+    grid = _X([(t, n) for t in range(3) for n in (0.0, 3.0, 6.0)])
+    mu_i, sigma_i = inc.predict(grid)
+    mu_s, sigma_s = scratch.predict(grid)
+    np.testing.assert_allclose(mu_i, mu_s, atol=1e-8)
+    np.testing.assert_allclose(sigma_i, sigma_s, atol=1e-8)
+    assert inc.log_marginal_likelihood() == pytest.approx(
+        scratch.log_marginal_likelihood(), abs=1e-8
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(_features, min_size=3, max_size=6, unique=True),
+    speeds=st.lists(
+        st.floats(min_value=0.5, max_value=12.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=6, max_size=6,
+    ),
+    floor=st.floats(min_value=0.01, max_value=0.4,
+                    allow_nan=False, allow_infinity=False),
+)
+def test_set_targets_matches_refit_on_moved_targets(rows, speeds, floor):
+    """Retargeting (the dynamic speed floor moving failed-probe values)
+    must equal refitting from scratch on the moved targets."""
+    X = _X(rows)
+    y = np.array(speeds[: len(rows)])
+    gp = GaussianProcess(optimize_restarts=0, seed=0).fit(X, y)
+    moved = y.copy()
+    moved[0] = floor
+    gp.set_targets(moved)
+
+    scratch = GaussianProcess(optimize_restarts=0, seed=0).fit(X, moved)
+    grid = _X([(t, n) for t in range(3) for n in (1.0, 5.0)])
+    np.testing.assert_allclose(
+        gp.predict(grid)[0], scratch.predict(grid)[0], atol=1e-8
+    )
+    np.testing.assert_allclose(
+        gp.predict(grid)[1], scratch.predict(grid)[1], atol=1e-8
+    )
+
+
 @settings(max_examples=100, deadline=None)
 @given(
     mu=st.lists(

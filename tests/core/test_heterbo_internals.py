@@ -139,7 +139,7 @@ class TestOptimisticCompletion:
         mu = np.array([np.log2(100.0)])
         sigma = np.array([0.0])
         completion = strategy._optimistic_completion(
-            context, candidates, mu, sigma
+            context, GPSearchEngine(context), candidates, mu, sigma
         )
         assert completion[0] == pytest.approx(
             context.total_samples / 100.0
@@ -151,7 +151,7 @@ class TestOptimisticCompletion:
         d = Deployment("c5.4xlarge", 4)
         mu, sigma = np.array([np.log2(100.0)]), np.array([0.0])
         completion = strategy._optimistic_completion(
-            context, [d], mu, sigma
+            context, GPSearchEngine(context), [d], mu, sigma
         )
         seconds = context.total_samples / 100.0
         assert completion[0] == pytest.approx(
@@ -164,9 +164,9 @@ class TestOptimisticCompletion:
         d = Deployment("c5.4xlarge", 4)
         mu = np.array([np.log2(100.0)])
         certain = strategy._optimistic_completion(
-            context, [d], mu, np.array([0.0])
+            context, GPSearchEngine(context), [d], mu, np.array([0.0])
         )
         uncertain = strategy._optimistic_completion(
-            context, [d], mu, np.array([1.0])
+            context, GPSearchEngine(context), [d], mu, np.array([1.0])
         )
         assert uncertain[0] < certain[0]  # optimism shrinks the bill

@@ -2,10 +2,12 @@
 
 import pytest
 
+from repro.cloud.provider import AccountLimits, SimulatedCloud
 from repro.core.engine import SearchContext
 from repro.core.heterbo import HeterBO
 from repro.core.parallel import ParallelHeterBO
 from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
 
 
 @pytest.fixture
@@ -162,3 +164,72 @@ class TestParallelHeterBO:
                             - np.log2(b.deployment.count)
                         )
                         assert gap >= 0.5
+
+
+class _PerTypeCaps(AccountLimits):
+    """Limits that differ across two CPU types — the shape that exposed
+    the mixed-batch capacity bug (summed class demand checked against
+    whichever member type happened to come first)."""
+
+    def cap_for(self, itype):
+        return 4 if itype.name == "c5.xlarge" else 100
+
+
+class TestMixedTypeBatchCapacity:
+    @pytest.fixture
+    def tight_world(self, small_catalog, simulator, charrnn_job):
+        from repro.core.search_space import DeploymentSpace
+        from repro.profiling.profiler import Profiler
+        from repro.sim.noise import NoiseModel
+
+        cloud = SimulatedCloud(small_catalog, limits=_PerTypeCaps())
+        profiler = Profiler(
+            cloud, simulator, noise=NoiseModel(sigma=0.03, seed=0)
+        )
+        context = SearchContext(
+            space=DeploymentSpace(small_catalog, max_count=20),
+            profiler=profiler,
+            job=charrnn_job,
+            scenario=Scenario.fastest(),
+        )
+        return context, ParallelHeterBO(batch_size=2)
+
+    def test_rejects_member_over_its_own_type_cap(self, tight_world):
+        """8x c5.4xlarge then 2x c5.xlarge: the summed CPU demand (10)
+        fits the first member's cap (100), but the c5.xlarge launch
+        itself cannot fit its own cap of 4 once 8 same-class instances
+        are up.  The old check admitted this batch; launching it raised
+        InsufficientCapacityError mid-batch."""
+        context, strategy = tight_world
+        batch = [Deployment("c5.4xlarge", 8)]
+        extra = Deployment("c5.xlarge", 2)
+        assert not strategy._capacity_allows(context, batch, extra)
+        # the predicate must agree with the real launcher
+        with pytest.raises(RuntimeError, match="limit"):
+            context.profiler.profile_batch(
+                [("c5.4xlarge", 8), ("c5.xlarge", 2)], context.job
+            )
+
+    def test_admits_batch_the_old_check_wrongly_rejected(self, tight_world):
+        """2x c5.xlarge then 8x c5.4xlarge: same members, other order.
+        The summed CPU demand (10) exceeds the *first* member's cap of
+        4, so the old check rejected it — yet every launch fits."""
+        context, strategy = tight_world
+        batch = [Deployment("c5.xlarge", 2)]
+        extra = Deployment("c5.4xlarge", 8)
+        assert strategy._capacity_allows(context, batch, extra)
+        results = context.profiler.profile_batch(
+            [("c5.xlarge", 2), ("c5.4xlarge", 8)], context.job
+        )
+        assert [r.failed for r in results] == [False, False]
+
+    def test_classes_accumulate_independently(self, tight_world):
+        """GPU members never eat into the CPU allowance and vice versa."""
+        context, strategy = tight_world
+        batch = [Deployment("c5.4xlarge", 95)]
+        assert strategy._capacity_allows(
+            context, batch, Deployment("p2.xlarge", 40)
+        )
+        assert not strategy._capacity_allows(
+            context, batch, Deployment("c5.4xlarge", 6)
+        )

@@ -124,7 +124,7 @@ class TestMetricsEmission:
         assert stats.total > 0.0
 
     def test_pruning_counters(self, context, recorder):
-        HeterBO(seed=1).search(context)
+        HeterBO(seed=2).search(context)
         pruned = recorder.metrics.counter("search.candidates_pruned_total")
         # the Char-RNN curve declines in range, so the concave prior
         # must prune, and the budget forces reserve blocking

@@ -1,0 +1,89 @@
+"""Search benchmark harness: schema, identity gate, CLI round-trip."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    run_bench,
+    validate_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    return run_bench(quick=True, seed=0)
+
+
+class TestRunBench:
+    def test_quick_doc_validates_clean(self, quick_doc):
+        assert validate_bench(quick_doc) == []
+        assert quick_doc["schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_identity_gate_holds(self, quick_doc):
+        assert quick_doc["identity"]["checked"] is True
+        assert quick_doc["identity"]["byte_identical"] is True
+
+    def test_speedups_are_positive(self, quick_doc):
+        for section in ("gp_fit", "scoring", "end_to_end"):
+            assert quick_doc[section]["speedup"] > 0.0
+
+    def test_both_lanes_find_a_deployment(self, quick_doc):
+        assert quick_doc["end_to_end"]["slow_trials"] >= 1
+        assert quick_doc["end_to_end"]["fast_trials"] >= 1
+
+    def test_incremental_fits_counted(self, quick_doc):
+        # the recorded fast-lane run uses the doubling schedule, so at
+        # least one rank-1 update must have happened
+        assert quick_doc["metrics"]["gp_fit_total_incremental"] > 0
+
+
+class TestValidateBench:
+    def test_rejects_wrong_schema_version(self, quick_doc):
+        doc = dict(quick_doc, schema_version=99)
+        errors = validate_bench(doc)
+        assert any("schema_version" in e for e in errors)
+
+    def test_rejects_missing_section(self, quick_doc):
+        doc = {k: v for k, v in quick_doc.items() if k != "gp_fit"}
+        errors = validate_bench(doc)
+        assert any("gp_fit" in e for e in errors)
+
+    def test_rejects_missing_key_inside_section(self, quick_doc):
+        doc = dict(quick_doc)
+        doc["scoring"] = {
+            k: v for k, v in quick_doc["scoring"].items() if k != "speedup"
+        }
+        errors = validate_bench(doc)
+        assert any("scoring" in e and "speedup" in e for e in errors)
+
+    def test_rejects_non_mapping(self):
+        assert validate_bench([]) != []
+
+
+class TestBenchCLI:
+    def test_quick_run_writes_valid_artifact(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_search.json"
+        rc = main(["bench", "--quick", "--max-steps", "25",
+                   "-o", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_bench(doc) == []
+        stdout = capsys.readouterr().out
+        assert "end-to-end" in stdout
+
+    def test_validate_accepts_committed_artifact(self, capsys):
+        artifact = (
+            Path(__file__).parents[2] / "benchmarks/perf/BENCH_search.json"
+        )
+        rc = main(["bench", "--validate", str(artifact)])
+        assert rc == 0
+
+    def test_validate_rejects_bad_artifact(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 1}))
+        assert main(["bench", "--validate", str(bad)]) == 2
+        assert capsys.readouterr().err
