@@ -15,6 +15,8 @@ ConvBO is the textbook BO of Sec. II-D / Fig. 4:
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.core.engine import GPSearchEngine, SearchContext, SearchStrategy
@@ -81,7 +83,29 @@ class ConvBO(SearchStrategy):
         ei = engine.objective_ei(candidates, xi=self.xi)
         self._last_max_ei = float(ei.max()) if ei.size else 0.0
         context.tracer.set_attribute("ei.max", self._last_max_ei)
+        if context.decisions.enabled:
+            incumbent = engine.best_incumbent()
+            context.decisions.publish(
+                deployments=[str(d) for d in candidates],
+                ei=ei,
+                scores=ei,
+                prices_per_hour=(
+                    engine.prices_per_second_many(candidates) * 3600.0
+                ),
+                objective=context.scenario.objective.value,
+                incumbent=None if incumbent is None else str(incumbent[0]),
+                incumbent_objective=(
+                    None if incumbent is None else float(incumbent[2])
+                ),
+                best_feasible_ei=self._last_max_ei,
+            )
         return ei
+
+    def decision_snapshot(self) -> dict[str, Any]:
+        ei = self._last_max_ei
+        return {
+            "best_feasible_ei": float(ei) if np.isfinite(ei) else None,
+        }
 
     def should_stop(
         self,

@@ -13,9 +13,19 @@ Two subcommands:
       python -m repro.cli deploy --model resnet --dataset cifar10 \\
           --epochs 20 --batch 128 --budget 100
 
-- ``report`` — regenerate every figure into one markdown report::
+- ``report`` — regenerate every figure into one markdown report, or —
+  given saved trace artifacts — render a multi-run comparison::
 
       python -m repro.cli report -o reproduction_report.md
+      python -m repro.cli report a.trace.jsonl b.trace.jsonl
+      python -m repro.cli report a.trace.jsonl b.trace.jsonl --html -o cmp.html
+
+- ``explain`` — interrogate a saved trace's decision records: why a
+  deployment was probed, why the search stopped::
+
+      python -m repro.cli explain run.trace.jsonl
+      python -m repro.cli explain run.trace.jsonl --step 23
+      python -m repro.cli explain run.trace.jsonl --stop
 
 - ``trace`` — inspect a saved search-trace artifact (see
   ``deploy --trace-out``)::
@@ -37,6 +47,7 @@ Two subcommands:
       python -m repro.cli bench -o BENCH_search.json
       python -m repro.cli bench --quick
       python -m repro.cli bench --validate BENCH_search.json
+      python -m repro.cli bench --quick --compare --regression-threshold 0.15
 """
 
 from __future__ import annotations
@@ -165,6 +176,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     import time
     from pathlib import Path
 
+    if args.traces:
+        return _report_traces(args)
+    if args.html:
+        print("--html requires trace arguments (figure reports are "
+              "markdown only)", file=sys.stderr)
+        return 2
     registry = _figure_registry()
     names = args.only if args.only else list(registry)
     unknown = [n for n in names if n not in registry]
@@ -198,6 +215,50 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(text)
+    return 0
+
+
+def _report_traces(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import SearchTrace, render_comparison
+
+    traces = []
+    for path in args.traces:
+        try:
+            traces.append(SearchTrace.load(path))
+        except FileNotFoundError:
+            print(f"no such trace file: {path}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"invalid trace file {path}: {exc}", file=sys.stderr)
+            return 2
+    fmt = "html" if args.html else "markdown"
+    text = render_comparison(traces, fmt=fmt)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import SearchTrace, render_explain
+
+    try:
+        trace = SearchTrace.load(args.path)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"invalid trace file {args.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(render_explain(trace, step=args.step, stop=args.stop))
+    except ValueError as exc:
+        print(f"{args.path}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -249,7 +310,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.perf.bench import render_summary, run_bench, validate_bench
+    from repro.perf.bench import (
+        append_history,
+        compare_history,
+        render_summary,
+        run_bench,
+        validate_bench,
+    )
 
     if args.validate:
         try:
@@ -278,7 +345,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             json.dumps(doc, indent=2, sort_keys=True) + "\n"
         )
         print(f"wrote {args.out}", file=sys.stderr)
-    return 0 if doc["identity"]["byte_identical"] else 1
+    regressed = False
+    if args.compare:
+        try:
+            lines, regressed = compare_history(
+                doc, args.history, threshold=args.regression_threshold
+            )
+        except ValueError as exc:
+            print(f"cannot compare against {args.history}: {exc}",
+                  file=sys.stderr)
+            return 2
+        for line in lines:
+            print(line)
+    if not args.no_history:
+        # history is best-effort bookkeeping: an unwritable file must
+        # not fail a benchmark that itself succeeded
+        try:
+            entry = append_history(doc, args.history)
+            print(f"appended seq={entry['seq']} to {args.history}",
+                  file=sys.stderr)
+        except (OSError, ValueError) as exc:
+            print(f"warning: could not append to {args.history}: {exc}",
+                  file=sys.stderr)
+    return 0 if doc["identity"]["byte_identical"] and not regressed else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -339,13 +428,31 @@ def build_parser() -> argparse.ArgumentParser:
     deploy.set_defaults(func=_cmd_deploy)
 
     report = sub.add_parser(
-        "report", help="regenerate every figure into one markdown report"
+        "report",
+        help="regenerate every figure into one markdown report, or "
+             "compare saved trace artifacts",
     )
+    report.add_argument("traces", nargs="*", default=[],
+                        help="trace artifacts to compare (omit for the "
+                             "figure report)")
     report.add_argument("-o", "--output", default=None,
                         help="output path (stdout if omitted)")
     report.add_argument("--only", nargs="*", default=None,
-                        help="subset of figure ids")
+                        help="subset of figure ids (figure mode)")
+    report.add_argument("--html", action="store_true",
+                        help="emit HTML instead of markdown (trace mode)")
     report.set_defaults(func=_cmd_report)
+
+    explain = sub.add_parser(
+        "explain",
+        help="explain decisions recorded in a search-trace artifact",
+    )
+    explain.add_argument("path", help="path to a .trace.jsonl artifact")
+    explain.add_argument("--step", type=int, default=None,
+                         help="explain one search step in detail")
+    explain.add_argument("--stop", action="store_true",
+                         help="explain why the search stopped")
+    explain.set_defaults(func=_cmd_explain)
 
     advise = sub.add_parser(
         "advise",
@@ -392,6 +499,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--validate", default=None, metavar="PATH",
                        help="validate an existing artifact instead of "
                             "running the benchmark")
+    bench.add_argument("--history", default="benchmarks/perf/BENCH_history.jsonl",
+                       metavar="PATH",
+                       help="benchmark history file (JSONL, appended "
+                            "after each run)")
+    bench.add_argument("--no-history", action="store_true",
+                       help="do not append this run to the history file")
+    bench.add_argument("--compare", action="store_true",
+                       help="diff against the last comparable history "
+                            "entry; regressions fail the run")
+    bench.add_argument("--regression-threshold", type=float, default=0.10,
+                       metavar="FRACTION",
+                       help="relative slowdown tolerated by --compare "
+                            "(default 0.10 = 10%%)")
     bench.set_defaults(func=_cmd_bench)
     return parser
 

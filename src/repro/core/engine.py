@@ -24,6 +24,7 @@ import abc
 import logging
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -34,7 +35,16 @@ from repro.core.kernels import default_deployment_kernel
 from repro.core.result import SearchResult, TrialRecord
 from repro.core.scenarios import Objective, Scenario
 from repro.core.search_space import Deployment, DeploymentSpace
-from repro.obs import NOOP_TRACER, MetricsRegistry, Tracer
+from repro.obs import (
+    NOOP_DECISIONS,
+    NOOP_TRACER,
+    NOOP_WATCHDOG,
+    DecisionLog,
+    MetricsRegistry,
+    StepHealth,
+    Tracer,
+    Watchdog,
+)
 from repro.profiling.profiler import ProfileResult, Profiler
 from repro.sim.throughput import TrainingJob
 
@@ -56,10 +66,10 @@ SPEED_FLOOR = 1e-3
 class SearchContext:
     """Everything a strategy needs to search: the world and the task.
 
-    ``tracer`` and ``metrics`` are the run's observability sinks; the
-    defaults (a shared no-op tracer and a fresh, unread registry) make
-    instrumented code paths free and behaviour-identical when nobody
-    is recording.
+    ``tracer``, ``metrics``, ``decisions`` and ``watchdog`` are the
+    run's observability sinks; the defaults (shared no-ops and a fresh,
+    unread registry) make instrumented code paths free and
+    behaviour-identical when nobody is recording.
     """
 
     space: DeploymentSpace
@@ -68,6 +78,13 @@ class SearchContext:
     scenario: Scenario
     tracer: Tracer = NOOP_TRACER
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    decisions: DecisionLog = NOOP_DECISIONS
+    watchdog: Watchdog = NOOP_WATCHDOG
+
+    @property
+    def introspecting(self) -> bool:
+        """Whether decision records or the watchdog are live."""
+        return self.decisions.enabled or self.watchdog.enabled
 
     @property
     def total_samples(self) -> int:
@@ -199,6 +216,7 @@ class GPSearchEngine:
         self._fast_lane = fast_lane
         self._n_fitted = 0
         self._next_full_refit_n = 0
+        self._last_fit_mode: str | None = None
         self._unvisited: list[Deployment] | None = None
         self._log2_obj_consts: dict[Objective, np.ndarray] = {}
         self._cost_grids: dict[str, np.ndarray] = {}
@@ -314,6 +332,7 @@ class GPSearchEngine:
             span.set_attribute("mode", "full" if full else "incremental")
             self._n_fitted = n
             self._fitted = True
+            self._last_fit_mode = "full" if full else "incremental"
         metrics = self.context.metrics
         metrics.counter("gp.fit_total").inc(
             mode="full" if full else "incremental"
@@ -346,6 +365,19 @@ class GPSearchEngine:
         if not self._fitted:
             raise RuntimeError("fit() before predict")
         return self._gp.predict(self._encode(deployments))
+
+    def surrogate_health(self) -> dict[str, Any]:
+        """Read-only surrogate diagnostics for decision records.
+
+        Returns an empty dict before the first fit; afterwards the GP's
+        :meth:`~repro.core.gp.GaussianProcess.health` snapshot plus the
+        last refit mode (``full`` / ``incremental``).
+        """
+        if not self._fitted:
+            return {}
+        health = self._gp.health()
+        health["refit_mode"] = self._last_fit_mode
+        return health
 
     # -- objective space -----------------------------------------------------------------
     def _log2_objective_constant(
@@ -682,6 +714,16 @@ class SearchStrategy(abc.ABC):
     ) -> None:
         """Called after each probe (e.g. to update a prior)."""
 
+    def decision_snapshot(self) -> dict[str, Any]:
+        """Strategy-level inputs for decision records and the watchdog.
+
+        Recognised keys: ``best_feasible_ei``, ``any_feasible``,
+        ``incumbent_cost`` (protected completion cost in constraint
+        units) and ``prior_caps`` (per-type scale-out caps).  The base
+        strategy exposes nothing; read-only by contract.
+        """
+        return {}
+
     def select_best(
         self, context: SearchContext, engine: GPSearchEngine
     ) -> tuple[Deployment, float] | None:
@@ -725,6 +767,50 @@ class SearchStrategy(abc.ABC):
             metrics.counter("search.failed_probes_total").inc(
                 reason=result.failure_reason
             )
+
+    def _commit_decision(
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        *,
+        chosen: Deployment | None = None,
+        batch: list[Deployment] | None = None,
+        stop_reason: str | None = None,
+    ) -> None:
+        """Freeze the step's decision record and feed the watchdog.
+
+        Strictly read-only: everything consumed here was already
+        computed by the step, so recording cannot perturb decisions
+        (asserted in ``tests/obs/test_decisions.py``).  A no-op when
+        neither sink is live.
+        """
+        decisions, watchdog = context.decisions, context.watchdog
+        if not (decisions.enabled or watchdog.enabled):
+            return
+        surrogate = engine.surrogate_health()
+        snapshot = self.decision_snapshot()
+        record = decisions.commit(
+            n_observations=engine.n_observations,
+            chosen=None if chosen is None else str(chosen),
+            batch=[str(d) for d in (batch or [])],
+            stop_reason=stop_reason,
+            prior_caps=snapshot.get("prior_caps", {}),
+            surrogate=surrogate,
+        )
+        if not watchdog.enabled:
+            return
+        limit = context.scenario.constraint_limit
+        watchdog.observe(StepHealth(
+            step=0 if record is None else record.step,
+            consumed=context.consumed() if limit is not None else None,
+            limit=limit,
+            best_feasible_ei=snapshot.get("best_feasible_ei"),
+            any_feasible=bool(snapshot.get("any_feasible", True)),
+            incumbent_cost=snapshot.get("incumbent_cost"),
+            gram_condition=surrogate.get("gram_condition"),
+            log_marginal_likelihood=surrogate.get("log_marginal_likelihood"),
+            n_observations=engine.n_observations,
+        ))
 
     def _probe(
         self,
@@ -779,6 +865,7 @@ class SearchStrategy(abc.ABC):
         trials: list[TrialRecord] = []
         stop_reason = "max steps reached"
         profiling_before = context.profiler.cloud.ledger.total("profiling")
+        context.decisions.begin_run(fast_lane=self.fast_lane)
 
         with context.tracer.span("search", {
             "strategy": self.name,
@@ -817,6 +904,9 @@ class SearchStrategy(abc.ABC):
                     if reason is not None:
                         stop_reason = reason
                         step_span.set_attribute("stop_reason", reason)
+                        self._commit_decision(
+                            context, engine, stop_reason=reason
+                        )
                         break
                     best_idx = int(np.argmax(scores))
                     chosen = candidates[best_idx]
@@ -827,6 +917,7 @@ class SearchStrategy(abc.ABC):
                     scoring_span.set_attribute(
                         "pl_penalty", context.probe_penalty(chosen)
                     )
+                    self._commit_decision(context, engine, chosen=chosen)
                     self._probe(context, engine, chosen, trials, "explore")
 
             selection = self.select_best(context, engine)

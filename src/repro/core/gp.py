@@ -17,6 +17,8 @@ Implementation notes:
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 from scipy import linalg, optimize
 
@@ -357,3 +359,28 @@ class GaussianProcess:
             - float(np.sum(np.log(np.diag(self._L))))
             - 0.5 * len(ys) * np.log(2.0 * np.pi)
         )
+
+    def health(self) -> dict[str, Any]:
+        """Diagnostic snapshot of the fitted surrogate.
+
+        The Gram condition number comes from the Cholesky factor the
+        posterior actually uses (``cond2(K) = cond2(L)^2``, via the
+        singular values of ``L``), so it reflects the jittered matrix
+        being solved against, not the raw kernel.  Read-only: nothing
+        here mutates the GP.
+        """
+        if self._L is None or self._y_raw is None:
+            raise RuntimeError("health() before fit()")
+        singular = np.linalg.svd(self._L, compute_uv=False)
+        smallest = float(singular[-1])
+        if smallest > 0.0:
+            condition = float((float(singular[0]) / smallest) ** 2)
+        else:
+            condition = float("inf")
+        return {
+            "theta": [float(t) for t in np.asarray(self.kernel.theta).ravel()],
+            "log_marginal_likelihood": float(self.log_marginal_likelihood()),
+            "gram_condition": condition,
+            "jitter": float(self._chol_jitter),
+            "n_observations": int(self.n_observations),
+        }

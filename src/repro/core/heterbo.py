@@ -27,6 +27,7 @@ improvement falls below a threshold, or at ``max_steps``.
 from __future__ import annotations
 
 import logging
+from typing import Any
 
 import numpy as np
 
@@ -140,6 +141,7 @@ class HeterBO(SearchStrategy):
         self.prior = ConcaveScaleOutPrior()
         self._last_feasible_ei: float = np.inf
         self._last_any_feasible: bool = True
+        self._last_incumbent_cost: float | None = None
         self._ts_rng = np.random.default_rng((seed, 0x7F4A7C15))
 
     # -- initial design --------------------------------------------------------------
@@ -340,6 +342,9 @@ class HeterBO(SearchStrategy):
                     "search.candidates_pruned_total"
                 ).inc(pruned, reason="prior")
                 context.tracer.set_attribute("pruned.prior", pruned)
+                # the prior filters before any score exists, so the
+                # decision record learns the count here, not from a mask
+                context.decisions.note_pruned("prior", pruned)
         return candidates
 
     def on_observation(
@@ -411,6 +416,11 @@ class HeterBO(SearchStrategy):
             base = ei
         feasible = np.ones(len(candidates), dtype=bool)
         tracer, metrics = context.tracer, context.metrics
+        # filter masks / intermediates retained for the decision record
+        # (plain reads of what the filters computed anyway)
+        poi_ok = reserve_ok = tei_ok = None
+        tei = None
+        self._last_incumbent_cost = None
 
         if engine.best_incumbent() is not None:
             poi = engine.improvement_probability(
@@ -428,6 +438,7 @@ class HeterBO(SearchStrategy):
 
         if self.protective_stop and context.scenario.is_constrained:
             incumbent_cost = self._incumbent_completion_cost(context, engine)
+            self._last_incumbent_cost = float(incumbent_cost)
             reserve_ok = self._reserve_allows(
                 context, engine, candidates, incumbent_cost
             )
@@ -478,6 +489,7 @@ class HeterBO(SearchStrategy):
             penalty = engine.probe_penalties(candidates)
             scores = base / penalty
         else:
+            penalty = None
             scores = base.copy()
 
         scores = np.where(feasible, scores, -np.inf)
@@ -490,7 +502,52 @@ class HeterBO(SearchStrategy):
         tracer.set_attribute(
             "best_feasible_ei", float(self._last_feasible_ei)
         )
+
+        if context.decisions.enabled:
+            blocked = {}
+            if poi_ok is not None:
+                blocked["poi"] = ~poi_ok
+            if reserve_ok is not None:
+                blocked["reserve"] = ~reserve_ok
+            if tei_ok is not None:
+                blocked["tei"] = ~tei_ok
+            incumbent = engine.best_incumbent(
+                objective=objective, incumbent_filter=incumbent_filter
+            )
+            limit = context.scenario.constraint_limit
+            context.decisions.publish(
+                deployments=[str(d) for d in candidates],
+                ei=ei,
+                scores=scores,
+                penalty=penalty,
+                tei=tei,
+                prices_per_hour=(
+                    engine.prices_per_second_many(candidates) * 3600.0
+                ),
+                feasible=feasible,
+                blocked=blocked,
+                objective=objective.value,
+                incumbent=None if incumbent is None else str(incumbent[0]),
+                incumbent_objective=(
+                    None if incumbent is None else float(incumbent[2])
+                ),
+                incumbent_cost=self._last_incumbent_cost,
+                consumed=context.consumed() if limit is not None else None,
+                limit=limit,
+                best_feasible_ei=float(self._last_feasible_ei),
+            )
         return scores
+
+    def decision_snapshot(self) -> dict[str, Any]:
+        ei = self._last_feasible_ei
+        return {
+            "best_feasible_ei": float(ei) if np.isfinite(ei) else None,
+            "any_feasible": self._last_any_feasible,
+            "incumbent_cost": self._last_incumbent_cost,
+            "prior_caps": (
+                self.prior.pruned_types() if self.use_concave_prior else {}
+            ),
+        }
 
     def should_stop(
         self,

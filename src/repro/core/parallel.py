@@ -187,6 +187,7 @@ class ParallelHeterBO(HeterBO):
         trials: list[TrialRecord] = []
         stop_reason = "max steps reached"
         profiling_before = context.profiler.cloud.ledger.total("profiling")
+        context.decisions.begin_run(fast_lane=self.fast_lane)
 
         with context.tracer.span("search", {
             "strategy": self.name,
@@ -233,6 +234,9 @@ class ParallelHeterBO(HeterBO):
                     if reason is not None:
                         stop_reason = reason
                         step_span.set_attribute("stop_reason", reason)
+                        self._commit_decision(
+                            context, engine, stop_reason=reason
+                        )
                         break
                     batch = self._select_batch(
                         context, engine, candidates, scores
@@ -244,12 +248,18 @@ class ParallelHeterBO(HeterBO):
                         step_span.set_attribute(
                             "stop_reason", stop_reason
                         )
+                        self._commit_decision(
+                            context, engine, stop_reason=stop_reason
+                        )
                         break
                     batch = batch[: self.max_steps - len(trials)]
                     scoring_span.set_attribute(
                         "batch", [str(d) for d in batch]
                     )
                     step_span.set_attribute("batch", len(batch))
+                    self._commit_decision(
+                        context, engine, chosen=batch[0], batch=batch
+                    )
                     results = context.profiler.profile_batch(
                         [(d.instance_type, d.count) for d in batch],
                         context.job,

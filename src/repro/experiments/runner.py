@@ -131,6 +131,8 @@ def _build_world(
         simulator,
         tracer=recorder.tracer,
         metrics=recorder.metrics,
+        decisions=recorder.decisions,
+        watchdog=recorder.watchdog,
     )
     return engine, recorder
 

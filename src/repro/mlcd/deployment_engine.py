@@ -17,7 +17,15 @@ from __future__ import annotations
 from repro.core.engine import SearchContext, SearchStrategy
 from repro.core.result import DeploymentReport, SearchResult
 from repro.core.search_space import Deployment, DeploymentSpace
-from repro.obs import NOOP_TRACER, MetricsRegistry, Tracer
+from repro.obs import (
+    NOOP_DECISIONS,
+    NOOP_TRACER,
+    NOOP_WATCHDOG,
+    DecisionLog,
+    MetricsRegistry,
+    Tracer,
+    Watchdog,
+)
 from repro.profiling.profiler import Profiler
 from repro.sim.throughput import (
     InfeasibleDeploymentError,
@@ -31,7 +39,8 @@ __all__ = ["DeploymentEngine"]
 class DeploymentEngine:
     """Search-then-train orchestration over one simulated cloud.
 
-    ``tracer`` / ``metrics`` are propagated into every search's
+    ``tracer`` / ``metrics`` / ``decisions`` / ``watchdog`` are
+    propagated into every search's
     :class:`~repro.core.engine.SearchContext`, so strategies, the GP
     engine and the training execution all emit into one recording
     (no-op by default).
@@ -45,12 +54,16 @@ class DeploymentEngine:
         *,
         tracer: Tracer = NOOP_TRACER,
         metrics: MetricsRegistry | None = None,
+        decisions: DecisionLog = NOOP_DECISIONS,
+        watchdog: Watchdog = NOOP_WATCHDOG,
     ) -> None:
         self.space = space
         self.profiler = profiler
         self.simulator = simulator
         self.tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.decisions = decisions
+        self.watchdog = watchdog
 
     @property
     def cloud(self):
@@ -71,6 +84,8 @@ class DeploymentEngine:
             scenario=scenario,
             tracer=self.tracer,
             metrics=self.metrics,
+            decisions=self.decisions,
+            watchdog=self.watchdog,
         )
         return strategy.search(context)
 

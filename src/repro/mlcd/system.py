@@ -88,6 +88,8 @@ class MLCD:
             self.simulator,
             tracer=self.recorder.tracer,
             metrics=self.recorder.metrics,
+            decisions=self.recorder.decisions,
+            watchdog=self.recorder.watchdog,
         )
         self.strategy = strategy if strategy is not None else HeterBO(seed=seed)
         self._last_job = None

@@ -1,4 +1,4 @@
-"""Observability: structured tracing, metrics and run artifacts.
+"""Observability: tracing, metrics, decision records and run artifacts.
 
 The search stack (engine, strategies, Profiler, MLCD Deployment
 Engine) narrates itself through this layer:
@@ -11,13 +11,28 @@ Engine) narrates itself through this layer:
   histograms (probes issued, probe dollars by instance type, GP fit
   durations, candidates pruned by reason) that can back-fill into the
   simulated cloud's CloudWatch-style :class:`MetricStore`;
+- :class:`~repro.obs.decisions.DecisionLog` — per-step snapshots of
+  the acquisition landscape (EI / cost penalty / TEI / feasibility per
+  candidate, surrogate health), the substrate for ``repro explain``;
+- :class:`~repro.obs.watchdog.Watchdog` — streaming health rules
+  (budget burn, EI stagnation, surrogate degradation, protective-stop
+  margin) emitting ``anomaly`` spans and metrics;
 - :class:`~repro.obs.recorder.RunRecorder` /
   :class:`~repro.obs.recorder.SearchTrace` — a versioned JSONL
-  artifact per run, pretty-printed by ``python -m repro.cli trace``.
+  artifact per run, pretty-printed by ``python -m repro.cli trace``
+  and interrogated by ``repro explain`` / ``repro report``.
 
-See ``docs/observability.md`` for the span taxonomy and metric names.
+See ``docs/observability.md`` for the span taxonomy, metric names,
+decision-record schema and watchdog rules.
 """
 
+from repro.obs.decisions import (
+    NOOP_DECISIONS,
+    CandidateRecord,
+    DecisionLog,
+    DecisionRecord,
+)
+from repro.obs.explain import render_explain
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -25,21 +40,46 @@ from repro.obs.metrics import (
     HistogramStats,
     MetricsRegistry,
 )
-from repro.obs.recorder import TRACE_SCHEMA_VERSION, RunRecorder, SearchTrace
+from repro.obs.recorder import (
+    SUPPORTED_TRACE_VERSIONS,
+    TRACE_SCHEMA_VERSION,
+    RunRecorder,
+    SearchTrace,
+)
+from repro.obs.report import render_comparison
 from repro.obs.span import Span
 from repro.obs.tracer import NOOP_TRACER, RecordingTracer, Tracer
+from repro.obs.watchdog import (
+    NOOP_WATCHDOG,
+    Anomaly,
+    StepHealth,
+    Watchdog,
+    WatchdogConfig,
+)
 
 __all__ = [
+    "Anomaly",
+    "CandidateRecord",
     "Counter",
+    "DecisionLog",
+    "DecisionRecord",
     "Gauge",
     "Histogram",
     "HistogramStats",
     "MetricsRegistry",
+    "NOOP_DECISIONS",
     "NOOP_TRACER",
+    "NOOP_WATCHDOG",
     "RecordingTracer",
     "RunRecorder",
+    "SUPPORTED_TRACE_VERSIONS",
     "SearchTrace",
     "Span",
+    "StepHealth",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
+    "Watchdog",
+    "WatchdogConfig",
+    "render_comparison",
+    "render_explain",
 ]

@@ -1,0 +1,421 @@
+"""Decision records: per-step snapshots of the acquisition landscape.
+
+A :class:`DecisionRecord` captures *why* the engine probed what it
+probed — per-candidate acquisition values, cost penalties, feasibility
+and the protective filters that blocked the rest — plus the surrogate
+health at the moment of the decision.  Records are staged by the
+strategy while it scores candidates (:meth:`DecisionLog.publish`) and
+frozen by the search loop once the step's outcome is known
+(:meth:`DecisionLog.commit`), so a record always pairs the landscape
+with the probe (or stop) it produced.
+
+Recording is read-only by construction: the log consumes arrays the
+strategy already computed and never feeds anything back, so a run with
+recording enabled makes byte-identical decisions to one without
+(asserted in ``tests/obs/test_decisions.py``).
+
+Modes
+-----
+
+``full``
+    every candidate is recorded — the default for the slow path.
+``topk``
+    only the ``top_k`` highest-scoring candidates are kept per step
+    (the chosen candidate is always the top-1, so it is never dropped)
+    — the default sampling mode for the fast lane.
+``auto``
+    resolved to ``full`` or ``topk`` at :meth:`DecisionLog.begin_run`
+    from the strategy's lane.
+``off``
+    the no-op; :data:`NOOP_DECISIONS` is the module singleton and the
+    ``SearchContext`` default.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DECISION_MODES",
+    "NOOP_DECISIONS",
+    "CandidateRecord",
+    "DecisionLog",
+    "DecisionRecord",
+]
+
+DECISION_MODES = ("auto", "full", "topk", "off")
+
+
+def _finite_or_none(value: Any) -> float | None:
+    """JSON cannot encode inf/nan; map non-finite floats to None."""
+    if value is None:
+        return None
+    out = float(value)
+    return out if math.isfinite(out) else None
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateRecord:
+    """One candidate's view of the acquisition landscape at one step."""
+
+    deployment: str
+    ei: float
+    score: float | None
+    penalty: float | None = None
+    tei: float | None = None
+    price_per_hour: float | None = None
+    feasible: bool = True
+    blocked_by: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "deployment": self.deployment,
+            "ei": _finite_or_none(self.ei),
+            "score": _finite_or_none(self.score),
+            "penalty": _finite_or_none(self.penalty),
+            "tei": _finite_or_none(self.tei),
+            "price_per_hour": _finite_or_none(self.price_per_hour),
+            "feasible": self.feasible,
+            "blocked_by": list(self.blocked_by),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CandidateRecord":
+        return cls(
+            deployment=str(data["deployment"]),
+            ei=float(data["ei"]) if data.get("ei") is not None else 0.0,
+            score=data.get("score"),
+            penalty=data.get("penalty"),
+            tei=data.get("tei"),
+            price_per_hour=data.get("price_per_hour"),
+            feasible=bool(data.get("feasible", True)),
+            blocked_by=tuple(data.get("blocked_by", ())),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionRecord:
+    """The full decision taken at one engine step.
+
+    ``step`` counts *decisions* (1-based), not probes: the initial
+    design phase takes no decisions, and a stop is a decision with
+    ``chosen=None`` and a ``stop_reason``.
+    """
+
+    step: int
+    n_observations: int
+    objective: str
+    mode: str
+    n_candidates: int
+    n_feasible: int
+    best_feasible_ei: float | None
+    incumbent: str | None
+    incumbent_objective: float | None
+    incumbent_cost: float | None
+    consumed: float | None
+    limit: float | None
+    chosen: str | None
+    batch: tuple[str, ...]
+    stop_reason: str | None
+    pruned: dict[str, int]
+    prior_caps: dict[str, int]
+    surrogate: dict[str, Any]
+    candidates: tuple[CandidateRecord, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        surrogate = {
+            key: (_finite_or_none(value) if isinstance(value, float) else value)
+            for key, value in self.surrogate.items()
+        }
+        return {
+            "step": self.step,
+            "n_observations": self.n_observations,
+            "objective": self.objective,
+            "mode": self.mode,
+            "n_candidates": self.n_candidates,
+            "n_feasible": self.n_feasible,
+            "best_feasible_ei": _finite_or_none(self.best_feasible_ei),
+            "incumbent": self.incumbent,
+            "incumbent_objective": _finite_or_none(self.incumbent_objective),
+            "incumbent_cost": _finite_or_none(self.incumbent_cost),
+            "consumed": _finite_or_none(self.consumed),
+            "limit": _finite_or_none(self.limit),
+            "chosen": self.chosen,
+            "batch": list(self.batch),
+            "stop_reason": self.stop_reason,
+            "pruned": dict(self.pruned),
+            "prior_caps": dict(self.prior_caps),
+            "surrogate": surrogate,
+            "candidates": [c.to_dict() for c in self.candidates],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DecisionRecord":
+        return cls(
+            step=int(data["step"]),
+            n_observations=int(data.get("n_observations", 0)),
+            objective=str(data.get("objective", "")),
+            mode=str(data.get("mode", "full")),
+            n_candidates=int(data.get("n_candidates", 0)),
+            n_feasible=int(data.get("n_feasible", 0)),
+            best_feasible_ei=data.get("best_feasible_ei"),
+            incumbent=data.get("incumbent"),
+            incumbent_objective=data.get("incumbent_objective"),
+            incumbent_cost=data.get("incumbent_cost"),
+            consumed=data.get("consumed"),
+            limit=data.get("limit"),
+            chosen=data.get("chosen"),
+            batch=tuple(data.get("batch", ())),
+            stop_reason=data.get("stop_reason"),
+            pruned={str(k): int(v) for k, v in data.get("pruned", {}).items()},
+            prior_caps={
+                str(k): int(v) for k, v in data.get("prior_caps", {}).items()
+            },
+            surrogate=dict(data.get("surrogate", {})),
+            candidates=tuple(
+                CandidateRecord.from_dict(c) for c in data.get("candidates", ())
+            ),
+        )
+
+
+@dataclass(slots=True)
+class _Staged:
+    """Arrays published by the strategy, pending the step's outcome."""
+
+    deployments: list[str]
+    ei: np.ndarray
+    scores: np.ndarray
+    penalty: np.ndarray | None
+    tei: np.ndarray | None
+    prices_per_hour: np.ndarray | None
+    feasible: np.ndarray | None
+    blocked: dict[str, np.ndarray]
+    objective: str
+    incumbent: str | None
+    incumbent_objective: float | None
+    incumbent_cost: float | None
+    consumed: float | None
+    limit: float | None
+    best_feasible_ei: float | None
+
+
+class DecisionLog:
+    """Collects one :class:`DecisionRecord` per engine decision.
+
+    The log is intentionally dumb: strategies stage what they already
+    computed, the search loop commits.  Nothing in here feeds back into
+    the search, so recording cannot perturb decisions.
+    """
+
+    def __init__(self, mode: str = "auto", *, top_k: int = 8) -> None:
+        if mode not in DECISION_MODES:
+            raise ValueError(
+                f"unknown decision mode {mode!r}; expected one of {DECISION_MODES}"
+            )
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        self._mode = mode
+        self.top_k = int(top_k)
+        self._resolved: str | None = None
+        self._records: list[DecisionRecord] = []
+        self._staged: _Staged | None = None
+        self._pruned: dict[str, int] = {}
+        self._step = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._mode != "off"
+
+    @property
+    def mode(self) -> str:
+        """The effective recording mode ('full' or 'topk' once resolved)."""
+        if self._resolved is not None:
+            return self._resolved
+        return "full" if self._mode == "auto" else self._mode
+
+    @property
+    def records(self) -> tuple[DecisionRecord, ...]:
+        return tuple(self._records)
+
+    def begin_run(self, *, fast_lane: bool) -> None:
+        """Resolve 'auto' mode from the strategy's lane at search start."""
+        if self._mode == "auto":
+            self._resolved = "topk" if fast_lane else "full"
+        elif self._mode in ("full", "topk"):
+            self._resolved = self._mode
+
+    def note_pruned(self, reason: str, count: int) -> None:
+        """Stage a pruning count observed outside candidate scoring.
+
+        The concave prior filters candidates before any score exists
+        (in ``candidate_deployments``), so its count cannot be derived
+        from a blocked mask at commit time.
+        """
+        if not self.enabled or count <= 0:
+            return
+        self._pruned[reason] = self._pruned.get(reason, 0) + int(count)
+
+    def publish(
+        self,
+        *,
+        deployments: Sequence[str],
+        ei: np.ndarray,
+        scores: np.ndarray,
+        penalty: np.ndarray | None = None,
+        tei: np.ndarray | None = None,
+        prices_per_hour: np.ndarray | None = None,
+        feasible: np.ndarray | None = None,
+        blocked: Mapping[str, np.ndarray] | None = None,
+        objective: str = "",
+        incumbent: str | None = None,
+        incumbent_objective: float | None = None,
+        incumbent_cost: float | None = None,
+        consumed: float | None = None,
+        limit: float | None = None,
+        best_feasible_ei: float | None = None,
+    ) -> None:
+        """Stage the scored landscape; a no-op when recording is off."""
+        if not self.enabled:
+            return
+        self._staged = _Staged(
+            deployments=[str(d) for d in deployments],
+            ei=np.array(ei, dtype=float, copy=True),
+            scores=np.array(scores, dtype=float, copy=True),
+            penalty=None if penalty is None else np.array(penalty, dtype=float),
+            tei=None if tei is None else np.array(tei, dtype=float),
+            prices_per_hour=(
+                None
+                if prices_per_hour is None
+                else np.array(prices_per_hour, dtype=float)
+            ),
+            feasible=None if feasible is None else np.array(feasible, dtype=bool),
+            blocked={k: np.array(v, dtype=bool) for k, v in (blocked or {}).items()},
+            objective=objective,
+            incumbent=incumbent,
+            incumbent_objective=incumbent_objective,
+            incumbent_cost=incumbent_cost,
+            consumed=consumed,
+            limit=limit,
+            best_feasible_ei=best_feasible_ei,
+        )
+
+    def commit(
+        self,
+        *,
+        n_observations: int,
+        chosen: str | None = None,
+        batch: Sequence[str] = (),
+        stop_reason: str | None = None,
+        prior_caps: Mapping[str, int] | None = None,
+        surrogate: Mapping[str, Any] | None = None,
+    ) -> DecisionRecord | None:
+        """Freeze the staged landscape into a record; returns it, or None."""
+        if not self.enabled:
+            self._staged = None
+            self._pruned = {}
+            return None
+        self._step += 1
+        staged = self._staged
+        pruned = dict(self._pruned)
+        candidates: tuple[CandidateRecord, ...] = ()
+        n_candidates = 0
+        n_feasible = 0
+        objective = ""
+        incumbent = incumbent_objective = incumbent_cost = None
+        consumed = limit = best_feasible_ei = None
+        if staged is not None:
+            n_candidates = len(staged.deployments)
+            feasible = staged.feasible
+            if feasible is None:
+                feasible = np.isfinite(staged.scores)
+            n_feasible = int(np.count_nonzero(feasible))
+            for reason, mask in staged.blocked.items():
+                n_blocked = int(np.count_nonzero(mask))
+                if n_blocked:
+                    pruned[reason] = pruned.get(reason, 0) + n_blocked
+            candidates = tuple(
+                self._candidate(staged, feasible, i)
+                for i in self._record_indices(staged.scores)
+            )
+            objective = staged.objective
+            incumbent = staged.incumbent
+            incumbent_objective = staged.incumbent_objective
+            incumbent_cost = staged.incumbent_cost
+            consumed = staged.consumed
+            limit = staged.limit
+            best_feasible_ei = staged.best_feasible_ei
+        record = DecisionRecord(
+            step=self._step,
+            n_observations=int(n_observations),
+            objective=objective,
+            mode=self.mode,
+            n_candidates=n_candidates,
+            n_feasible=n_feasible,
+            best_feasible_ei=_finite_or_none(best_feasible_ei),
+            incumbent=incumbent,
+            incumbent_objective=_finite_or_none(incumbent_objective),
+            incumbent_cost=_finite_or_none(incumbent_cost),
+            consumed=_finite_or_none(consumed),
+            limit=_finite_or_none(limit),
+            chosen=chosen,
+            batch=tuple(str(d) for d in batch),
+            stop_reason=stop_reason,
+            pruned=pruned,
+            prior_caps={str(k): int(v) for k, v in (prior_caps or {}).items()},
+            surrogate=dict(surrogate or {}),
+            candidates=candidates,
+        )
+        self._records.append(record)
+        self._staged = None
+        self._pruned = {}
+        return record
+
+    def _record_indices(self, scores: np.ndarray) -> list[int]:
+        """Which candidate indices to keep, ordered by descending score.
+
+        Infeasible candidates carry ``-inf`` scores, so they sort last;
+        ties break by index (stable sort) for determinism.  In ``topk``
+        mode the chosen candidate is the global argmax, i.e. always
+        index 0 of the kept list.
+        """
+        order = np.argsort(-scores, kind="stable")
+        if self.mode == "topk":
+            order = order[: self.top_k]
+        return [int(i) for i in order]
+
+    @staticmethod
+    def _candidate(
+        staged: _Staged, feasible: np.ndarray, i: int
+    ) -> CandidateRecord:
+        score = float(staged.scores[i])
+        blocked_by = tuple(
+            sorted(
+                reason
+                for reason, mask in staged.blocked.items()
+                if bool(mask[i])
+            )
+        )
+        return CandidateRecord(
+            deployment=staged.deployments[i],
+            ei=float(staged.ei[i]),
+            score=score if math.isfinite(score) else None,
+            penalty=None if staged.penalty is None else float(staged.penalty[i]),
+            tei=None if staged.tei is None else float(staged.tei[i]),
+            price_per_hour=(
+                None
+                if staged.prices_per_hour is None
+                else float(staged.prices_per_hour[i])
+            ),
+            feasible=bool(feasible[i]),
+            blocked_by=blocked_by,
+        )
+
+
+#: Shared disabled log — the ``SearchContext`` default.  Stateless by
+#: construction (every mutator returns before touching state), so
+#: sharing one instance across contexts is safe.
+NOOP_DECISIONS = DecisionLog(mode="off")

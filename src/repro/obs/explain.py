@@ -1,0 +1,314 @@
+"""Decision explanations: the ``repro explain`` command's renderer.
+
+Answers "why was D(m,n) probed?" and "why did the search stop?" purely
+from a saved :class:`~repro.obs.recorder.SearchTrace` — no live world,
+no re-running the search.  Everything shown here comes from the
+decision records the strategy staged while it was scoring candidates,
+so the explanation is the decision, not a reconstruction of it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.decisions import CandidateRecord, DecisionRecord
+    from repro.obs.recorder import SearchTrace
+
+__all__ = ["render_explain"]
+
+#: Candidate rows shown in a per-step table before truncating.
+_MAX_CANDIDATE_ROWS = 12
+
+
+def render_explain(
+    trace: "SearchTrace", *, step: int | None = None, stop: bool = False
+) -> str:
+    """Explain a trace: overview, one step (``step=k``) or the stop.
+
+    Raises
+    ------
+    ValueError
+        If the trace carries no decision records (schema-v1 artifact,
+        or recording was off), or ``step`` does not exist.
+    """
+    if not trace.decisions:
+        raise ValueError(
+            "trace has no decision records — it predates schema v2 or "
+            "was recorded with decisions off; re-run with decision "
+            "recording enabled (the default for recorded runs)"
+        )
+    if step is not None:
+        record = trace.decision_for_step(step)
+        if record is None:
+            steps = ", ".join(str(r.step) for r in trace.decisions)
+            raise ValueError(
+                f"no decision record for step {step}; "
+                f"recorded steps: {steps}"
+            )
+        return _render_step(trace, record)
+    if stop:
+        return _render_stop(trace)
+    return _render_overview(trace)
+
+
+# -- unit formatting ---------------------------------------------------------
+
+
+def _constraint_formatter(trace: "SearchTrace") -> Callable[[float], str]:
+    """Format constraint-resource amounts in the scenario's units."""
+    if trace.scenario.startswith("scenario-2"):
+        return lambda v: f"{v / 3600:.2f} h"
+    return lambda v: f"${v:.2f}"
+
+
+def _fmt(value: float | None, pattern: str = "{:.4g}") -> str:
+    return "-" if value is None else pattern.format(value)
+
+
+# -- overview ----------------------------------------------------------------
+
+
+def _render_overview(trace: "SearchTrace") -> str:
+    from repro.experiments.reporting import format_table
+
+    fmt_limit = _constraint_formatter(trace)
+    rows = []
+    for r in trace.decisions:
+        pruned = ", ".join(
+            f"{reason}:{n}" for reason, n in sorted(r.pruned.items())
+        )
+        rows.append((
+            str(r.step),
+            str(r.n_observations),
+            r.chosen or ("(stop)" if r.stop_reason else "-"),
+            str(r.n_feasible),
+            _fmt(r.best_feasible_ei),
+            pruned or "-",
+        ))
+    table = format_table(
+        ["step", "n_obs", "chosen", "feasible", "best EI", "pruned"], rows
+    )
+    lines = [
+        f"strategy      : {trace.strategy}",
+        f"scenario      : {trace.scenario}",
+        f"decisions     : {len(trace.decisions)} recorded "
+        f"(mode {trace.decisions[0].mode})",
+        "",
+        table,
+    ]
+    prior_step = _first_prior_prune(trace)
+    if prior_step is not None:
+        record = trace.decision_for_step(prior_step)
+        caps = ", ".join(
+            f"{itype} <= {cap}"
+            for itype, cap in sorted((record.prior_caps or {}).items())
+        ) if record is not None else ""
+        lines.append("")
+        lines.append(
+            f"concave prior first pruned a scale-out neighbourhood at "
+            f"step {prior_step}" + (f" (caps: {caps})" if caps else "")
+        )
+    stop = _stop_record(trace)
+    if stop is not None:
+        lines.append(
+            f"search stopped at step {stop.step}: {stop.stop_reason}"
+        )
+    else:
+        lines.append(f"stop reason   : {trace.stop_reason}")
+    anomalies = trace.anomaly_rows()
+    if anomalies:
+        summary = ", ".join(
+            f"{a['rule']}@{a['step']}" for a in anomalies
+        )
+        lines.append(f"anomalies     : {summary}")
+    limit = trace.decisions[-1].limit
+    consumed = trace.decisions[-1].consumed
+    if limit is not None and consumed is not None:
+        lines.append(
+            f"constraint    : {fmt_limit(consumed)} of "
+            f"{fmt_limit(limit)} consumed at the last decision"
+        )
+    return "\n".join(lines)
+
+
+def _first_prior_prune(trace: "SearchTrace") -> int | None:
+    for r in trace.decisions:
+        if r.pruned.get("prior", 0) > 0:
+            return r.step
+    return None
+
+
+def _stop_record(trace: "SearchTrace") -> "DecisionRecord | None":
+    for r in trace.decisions:
+        if r.stop_reason is not None:
+            return r
+    return None
+
+
+# -- one step ----------------------------------------------------------------
+
+
+def _candidate_rows(
+    candidates: tuple["CandidateRecord", ...],
+) -> list[tuple[str, ...]]:
+    rows = []
+    for c in candidates[:_MAX_CANDIDATE_ROWS]:
+        status = "ok" if c.feasible else ",".join(c.blocked_by) or "blocked"
+        rows.append((
+            c.deployment,
+            _fmt(c.ei),
+            _fmt(c.penalty),
+            _fmt(c.score),
+            _fmt(c.tei),
+            status,
+        ))
+    return rows
+
+
+def _render_step(trace: "SearchTrace", record: "DecisionRecord") -> str:
+    from repro.experiments.reporting import format_table
+
+    fmt_limit = _constraint_formatter(trace)
+    lines = [
+        f"step {record.step} of {len(trace.decisions)} "
+        f"({trace.strategy}, objective {record.objective or '-'}; "
+        f"{record.n_observations} observations)",
+    ]
+    if record.incumbent is not None:
+        lines.append(
+            f"incumbent     : {record.incumbent} "
+            f"(objective {_fmt(record.incumbent_objective)})"
+        )
+    if record.limit is not None and record.consumed is not None:
+        reserve = (
+            f"; reserving {fmt_limit(record.incumbent_cost)} to finish "
+            f"on the incumbent"
+            if record.incumbent_cost is not None
+            else ""
+        )
+        lines.append(
+            f"constraint    : {fmt_limit(record.consumed)} of "
+            f"{fmt_limit(record.limit)} consumed{reserve}"
+        )
+    pruned = ", ".join(
+        f"{reason}:{n}" for reason, n in sorted(record.pruned.items())
+    )
+    lines.append(
+        f"candidates    : {record.n_candidates} scored, "
+        f"{record.n_feasible} feasible"
+        + (f" (pruned {pruned})" if pruned else "")
+    )
+    if record.prior_caps:
+        caps = ", ".join(
+            f"{itype} <= {cap}"
+            for itype, cap in sorted(record.prior_caps.items())
+        )
+        lines.append(f"prior caps    : {caps}")
+    if record.surrogate:
+        s = record.surrogate
+        theta = s.get("theta")
+        theta_text = (
+            "[" + ", ".join(f"{t:.3g}" for t in theta) + "]"
+            if theta else "-"
+        )
+        cond = s.get("gram_condition")
+        lines.append(
+            f"surrogate     : theta={theta_text} "
+            f"LML={_fmt(s.get('log_marginal_likelihood'), '{:.3f}')} "
+            f"cond={'inf' if cond is None else f'{cond:.3g}'} "
+            f"refit={s.get('refit_mode', '-')}"
+        )
+    if record.candidates:
+        lines.append("")
+        lines.append(
+            f"top candidates by score "
+            f"({min(len(record.candidates), _MAX_CANDIDATE_ROWS)} of "
+            f"{record.n_candidates}):"
+        )
+        lines.append(format_table(
+            ["deployment", "EI", "PL", "score", "TEI", "status"],
+            _candidate_rows(record.candidates),
+        ))
+        hidden = len(record.candidates) - _MAX_CANDIDATE_ROWS
+        if hidden > 0:
+            lines.append(f"... {hidden} more recorded")
+    lines.append("")
+    if record.stop_reason is not None:
+        lines.append(f"decision      : STOP — {record.stop_reason}")
+        lines.extend(_stop_rationale(record))
+    elif record.chosen is not None:
+        lines.extend(_chosen_rationale(record))
+        if len(record.batch) > 1:
+            lines.append(
+                "batch         : " + ", ".join(record.batch)
+            )
+    return "\n".join(lines)
+
+
+def _chosen_rationale(record: "DecisionRecord") -> list[str]:
+    chosen = next(
+        (c for c in record.candidates if c.deployment == record.chosen),
+        None,
+    )
+    lines = [f"decision      : probe {record.chosen}"]
+    if chosen is None:
+        return lines
+    if chosen.penalty is not None and chosen.score is not None:
+        lines.append(
+            f"                EI {_fmt(chosen.ei)} / "
+            f"PL {_fmt(chosen.penalty)} -> score {_fmt(chosen.score)} "
+            f"(cost-penalised acquisition, Eqs. 7-8)"
+        )
+    else:
+        lines.append(f"                EI {_fmt(chosen.ei)} (raw acquisition)")
+    if chosen.price_per_hour is not None:
+        lines.append(
+            f"                cluster price ${chosen.price_per_hour:.2f}/h"
+        )
+    return lines
+
+
+def _stop_rationale(record: "DecisionRecord") -> list[str]:
+    lines: list[str] = []
+    reason = record.stop_reason or ""
+    if "protective stop" in reason:
+        blocked = ", ".join(
+            f"{r}:{n}" for r, n in sorted(record.pruned.items())
+        )
+        lines.append(
+            f"                no candidate passed the protective filters "
+            f"({blocked or 'none feasible'})"
+        )
+        if (
+            record.limit is not None
+            and record.consumed is not None
+            and record.incumbent_cost is not None
+        ):
+            lines.append(
+                f"                remaining slack "
+                f"{record.limit - record.consumed:.4g} must still cover "
+                f"the incumbent's completion ({record.incumbent_cost:.4g} "
+                f"in constraint units)"
+            )
+    elif "converged" in reason:
+        lines.append(
+            f"                best feasible EI {_fmt(record.best_feasible_ei)} "
+            f"no longer justifies any probe cost"
+        )
+    return lines
+
+
+# -- the stop ----------------------------------------------------------------
+
+
+def _render_stop(trace: "SearchTrace") -> str:
+    record = _stop_record(trace)
+    if record is None:
+        return (
+            f"the search did not stop on a recorded decision: "
+            f"{trace.stop_reason}\n"
+            f"(decision records cover explore steps; max-steps and "
+            f"exhaustion stops happen outside candidate scoring)"
+        )
+    return _render_step(trace, record)

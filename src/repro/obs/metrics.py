@@ -15,7 +15,7 @@ raw throughput series.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
 __all__ = [
@@ -92,16 +92,36 @@ class Gauge(_Instrument):
         return self._series.get(_label_key(labels))
 
 
+#: Retained-sample cap for quantile estimation; when full, the sample
+#: is decimated (every other value kept) and the keep stride doubles.
+_QUANTILE_SAMPLE_CAP = 512
+
+
 @dataclass(slots=True)
 class HistogramStats:
-    """Streaming aggregate of one histogram series."""
+    """Streaming aggregate of one histogram series.
+
+    Quantiles are estimated from a deterministic systematic sample:
+    every ``stride``-th observation is retained, and when the sample
+    exceeds :data:`_QUANTILE_SAMPLE_CAP` it is thinned by half and the
+    stride doubles.  Memory stays bounded, the estimate is exact below
+    the cap, and — unlike reservoir sampling — identical observation
+    streams always produce identical quantiles.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = math.inf
     maximum: float = -math.inf
+    _sample: list[float] = field(default_factory=list)
+    _stride: int = 1
 
     def observe(self, value: float) -> None:
+        if self.count % self._stride == 0:
+            self._sample.append(value)
+            if len(self._sample) > _QUANTILE_SAMPLE_CAP:
+                self._sample = self._sample[::2]
+                self._stride *= 2
         self.count += 1
         self.total += value
         self.minimum = min(self.minimum, value)
@@ -110,6 +130,33 @@ class HistogramStats:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (linear interpolation on the sample)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._sample:
+            return 0.0
+        ordered = sorted(self._sample)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
 
 
 class Histogram(_Instrument):
@@ -203,6 +250,9 @@ class MetricsRegistry:
                         min=value.minimum,
                         max=value.maximum,
                         mean=value.mean,
+                        p50=value.p50,
+                        p90=value.p90,
+                        p99=value.p99,
                     )
                 else:
                     entry["value"] = value

@@ -1,19 +1,28 @@
 """Run artifacts: recording a search into a portable trace.
 
 A :class:`RunRecorder` bundles the live halves of the observability
-layer (a :class:`~repro.obs.tracer.RecordingTracer` plus a
-:class:`~repro.obs.metrics.MetricsRegistry`); finalising it against a
+layer (a :class:`~repro.obs.tracer.RecordingTracer`, a
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.decisions.DecisionLog` and a
+:class:`~repro.obs.watchdog.Watchdog`); finalising it against a
 completed :class:`~repro.core.result.SearchResult` yields a
 :class:`SearchTrace` — a versioned, plain-JSON-lines artifact holding
-the span tree, the metric snapshot and a summary dict.  Traces are
-assets the same way `repro.io` reports are: probe dollars were really
-"paid", so the per-step record is worth keeping next to every figure.
+the span tree, the decision records, the metric snapshot and a summary
+dict.  Traces are assets the same way `repro.io` reports are: probe
+dollars were really "paid", so the per-step record is worth keeping
+next to every figure.
 
 JSONL layout (one JSON object per line)::
 
-    {"kind": "header", "schema_version": 1, "strategy": ..., ...}
+    {"kind": "header", "schema_version": 2, "strategy": ..., ...}
     {"kind": "span", "name": "search", ...}        # one per span
+    {"kind": "decision", "step": 1, ...}           # one per decision
     {"kind": "metrics", "data": {...}}             # final line
+
+Schema history: v1 had no ``decision`` lines.  v1 artifacts still
+load (they come back with an empty decision tuple, normalised to the
+current version); anything else is rejected with an error naming the
+file and the offending version.
 """
 
 from __future__ import annotations
@@ -23,21 +32,29 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.obs.decisions import DecisionLog, DecisionRecord
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.span import Span
 from repro.obs.tracer import RecordingTracer
+from repro.obs.watchdog import NOOP_WATCHDOG, Watchdog, WatchdogConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.result import SearchResult
 
-__all__ = ["RunRecorder", "SearchTrace", "TRACE_SCHEMA_VERSION"]
+__all__ = [
+    "RunRecorder",
+    "SearchTrace",
+    "SUPPORTED_TRACE_VERSIONS",
+    "TRACE_SCHEMA_VERSION",
+]
 
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
+SUPPORTED_TRACE_VERSIONS = (1, 2)
 
 
 @dataclass(frozen=True)
 class SearchTrace:
-    """A recorded search run: spans + metrics + summary, versioned."""
+    """A recorded search run: spans + decisions + metrics, versioned."""
 
     strategy: str
     scenario: str
@@ -45,6 +62,7 @@ class SearchTrace:
     best: str | None
     summary: dict[str, Any]
     spans: tuple[Span, ...]
+    decisions: tuple[DecisionRecord, ...] = ()
     metrics: dict[str, Any] = field(default_factory=dict)
     schema_version: int = TRACE_SCHEMA_VERSION
 
@@ -68,6 +86,25 @@ class SearchTrace:
                 "spent_usd": a.get("spent_usd"),
                 "elapsed_s": a.get("elapsed_s"),
                 "failure_reason": a.get("failure_reason", ""),
+            })
+        return rows
+
+    def decision_for_step(self, step: int) -> DecisionRecord | None:
+        """The decision record with the given 1-based step, if any."""
+        for record in self.decisions:
+            if record.step == step:
+                return record
+        return None
+
+    def anomaly_rows(self) -> list[dict[str, Any]]:
+        """Watchdog anomalies (one dict per ``anomaly`` span, in order)."""
+        rows = []
+        for span in self.find("anomaly"):
+            a = span.attributes
+            rows.append({
+                "rule": a.get("rule"),
+                "step": a.get("step"),
+                "message": a.get("message", ""),
             })
         return rows
 
@@ -114,6 +151,10 @@ class SearchTrace:
             json.dumps({"kind": "span", **s.to_dict()}, sort_keys=True)
             for s in self.spans
         )
+        lines.extend(
+            json.dumps({"kind": "decision", **r.to_dict()}, sort_keys=True)
+            for r in self.decisions
+        )
         lines.append(
             json.dumps({"kind": "metrics", "data": self.metrics},
                        sort_keys=True)
@@ -121,8 +162,12 @@ class SearchTrace:
         return "\n".join(lines) + "\n"
 
     @classmethod
-    def from_jsonl(cls, text: str) -> "SearchTrace":
+    def from_jsonl(cls, text: str, *, source: str | None = None) -> "SearchTrace":
         """Parse a trace written by :meth:`to_jsonl`.
+
+        ``source`` names the artifact in error messages (``load`` passes
+        the file path).  v1 traces are migrated on load: they parse to a
+        current-version trace with no decision records.
 
         Raises
         ------
@@ -130,8 +175,10 @@ class SearchTrace:
             On malformed lines, a missing header, or an unsupported
             schema version.
         """
+        origin = source if source is not None else "<string>"
         header: dict[str, Any] | None = None
         spans: list[Span] = []
+        decisions: list[DecisionRecord] = []
         metrics: dict[str, Any] = {}
         for i, line in enumerate(text.splitlines()):
             if not line.strip():
@@ -140,27 +187,33 @@ class SearchTrace:
                 doc = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise ValueError(
-                    f"trace line {i + 1} is not valid JSON: {exc}"
+                    f"{origin}: trace line {i + 1} is not valid JSON: {exc}"
                 ) from exc
             kind = doc.get("kind")
             if kind == "header":
                 header = doc
             elif kind == "span":
                 spans.append(Span.from_dict(doc))
+            elif kind == "decision":
+                decisions.append(DecisionRecord.from_dict(doc))
             elif kind == "metrics":
                 metrics = doc.get("data", {})
             else:
                 raise ValueError(
-                    f"trace line {i + 1}: unknown record kind {kind!r}"
+                    f"{origin}: trace line {i + 1}: unknown record kind {kind!r}"
                 )
         if header is None:
-            raise ValueError("trace has no header record")
+            raise ValueError(f"{origin}: trace has no header record")
         version = header.get("schema_version")
-        if version != TRACE_SCHEMA_VERSION:
+        if version not in SUPPORTED_TRACE_VERSIONS:
+            supported = ", ".join(str(v) for v in SUPPORTED_TRACE_VERSIONS)
             raise ValueError(
-                f"unsupported trace schema version {version!r}; "
-                f"expected {TRACE_SCHEMA_VERSION}"
+                f"unsupported trace schema version {version!r} in {origin}; "
+                f"supported versions: {supported}"
             )
+        # v1 artifacts migrate on load: no decision lines existed, so the
+        # tuple stays empty and the trace is normalised to the current
+        # version (a save() round-trip upgrades the file).
         return cls(
             strategy=header["strategy"],
             scenario=header["scenario"],
@@ -168,8 +221,9 @@ class SearchTrace:
             best=header.get("best"),
             summary=dict(header.get("summary", {})),
             spans=tuple(spans),
+            decisions=tuple(decisions),
             metrics=metrics,
-            schema_version=version,
+            schema_version=TRACE_SCHEMA_VERSION,
         )
 
     def save(self, path: str | Path) -> Path:
@@ -181,11 +235,12 @@ class SearchTrace:
     @classmethod
     def load(cls, path: str | Path) -> "SearchTrace":
         """Read a trace written by :meth:`save`."""
-        return cls.from_jsonl(Path(path).read_text())
+        path = Path(path)
+        return cls.from_jsonl(path.read_text(), source=str(path))
 
 
 class RunRecorder:
-    """Live tracer + metrics for one search run.
+    """Live tracer + metrics + decisions + watchdog for one search run.
 
     Parameters
     ----------
@@ -193,11 +248,35 @@ class RunRecorder:
         Tracer timebase; pass the run's simulated clock
         (``lambda: cloud.clock.now``) so span timestamps reconcile
         with billed time.
+    decisions:
+        Decision-record mode — ``"auto"`` (default: full on the slow
+        path, top-k sampled on the fast lane), ``"full"``, ``"topk"``
+        or ``"off"``.
+    decision_top_k:
+        Candidates kept per step in ``topk`` mode.
+    watchdog:
+        ``True`` (default) arms the health watchdog, ``False`` disables
+        it; pass a :class:`WatchdogConfig` to override thresholds.
     """
 
-    def __init__(self, *, clock=None) -> None:
+    def __init__(
+        self,
+        *,
+        clock=None,
+        decisions: str = "auto",
+        decision_top_k: int = 8,
+        watchdog: bool | WatchdogConfig = True,
+    ) -> None:
         self.tracer = RecordingTracer(clock=clock)
         self.metrics = MetricsRegistry()
+        self.decisions = DecisionLog(decisions, top_k=decision_top_k)
+        if watchdog is False:
+            self.watchdog: Watchdog = NOOP_WATCHDOG
+        else:
+            config = watchdog if isinstance(watchdog, WatchdogConfig) else None
+            self.watchdog = Watchdog(
+                config, tracer=self.tracer, metrics=self.metrics
+            )
 
     def finalize(self, result: "SearchResult") -> SearchTrace:
         """Freeze the recording into a :class:`SearchTrace`."""
@@ -213,5 +292,6 @@ class RunRecorder:
                 "best_measured_speed": result.best_measured_speed,
             },
             spans=self.tracer.spans,
+            decisions=self.decisions.records,
             metrics=self.metrics.snapshot(),
         )

@@ -57,7 +57,53 @@ def render_trace(trace: "SearchTrace") -> str:
         f"best          : {trace.best}",
         f"stop reason   : {trace.stop_reason}",
     ]
+    if trace.decisions:
+        lines.append(
+            f"decisions     : {len(trace.decisions)} recorded "
+            f"(mode {trace.decisions[0].mode}; see `repro explain`)"
+        )
+    anomalies = trace.anomaly_rows()
+    if anomalies:
+        by_rule: dict[str, int] = {}
+        for row in anomalies:
+            rule = str(row["rule"])
+            by_rule[rule] = by_rule.get(rule, 0) + 1
+        detail = ", ".join(
+            f"{rule} x{n}" for rule, n in sorted(by_rule.items())
+        )
+        lines.append(f"anomalies     : {len(anomalies)} ({detail})")
+    quantiles = _histogram_quantile_lines(trace)
+    if quantiles:
+        lines.append("")
+        lines.append("histograms (p50/p90/p99):")
+        lines.extend(quantiles)
     return "\n".join(lines)
+
+
+def _histogram_quantile_lines(trace: "SearchTrace") -> list[str]:
+    """One line per histogram series with its quantile estimates."""
+    lines: list[str] = []
+    for name, data in sorted(trace.metrics.items()):
+        if data.get("kind") != "histogram":
+            continue
+        unit = data.get("unit", "")
+        for entry in data.get("series", []):
+            if "p50" not in entry:
+                continue  # pre-quantile (schema v1) metrics snapshot
+            labels = entry.get("labels", {})
+            label_text = (
+                "{" + ", ".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                ) + "}"
+                if labels else ""
+            )
+            suffix = f" {unit}" if unit else ""
+            lines.append(
+                f"  {name}{label_text}: n={entry['count']} "
+                f"p50={entry['p50']:.4g} p90={entry['p90']:.4g} "
+                f"p99={entry['p99']:.4g}{suffix}"
+            )
+    return lines
 
 
 def render_span_tree(spans: Sequence["Span"]) -> str:

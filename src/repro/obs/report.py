@@ -1,0 +1,200 @@
+"""Multi-run comparison reports (the ``repro report <trace>...`` mode).
+
+Takes any number of saved :class:`~repro.obs.recorder.SearchTrace`
+artifacts and renders a side-by-side comparison — probes, profiling
+spend, cost-to-best, stop reasons and watchdog anomalies — as markdown
+or a self-contained HTML page.  Built on the same saved artifacts as
+``repro trace`` / ``repro explain``, so runs from different machines or
+branches compare without re-running anything.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import SearchTrace
+
+__all__ = ["comparison_rows", "render_comparison"]
+
+
+def _cost_to_best(trace: "SearchTrace") -> float | None:
+    """Cumulative profiling spend when the winner was first probed."""
+    if trace.best is None:
+        return None
+    for row in trace.probe_rows():
+        if row["deployment"] == trace.best and row["spent_usd"] is not None:
+            return float(row["spent_usd"])
+    return None
+
+
+def comparison_rows(traces: Sequence["SearchTrace"]) -> list[dict[str, Any]]:
+    """One summary dict per trace (the data behind the report table)."""
+    rows: list[dict[str, Any]] = []
+    for trace in traces:
+        summary = trace.summary
+        anomalies = trace.anomaly_rows()
+        by_rule: dict[str, int] = {}
+        for a in anomalies:
+            rule = str(a["rule"])
+            by_rule[rule] = by_rule.get(rule, 0) + 1
+        rows.append({
+            "strategy": trace.strategy,
+            "scenario": trace.scenario,
+            "probes": trace.n_probes,
+            "profile_seconds": float(summary.get("profile_seconds", 0.0)),
+            "profile_dollars": float(summary.get("profile_dollars", 0.0)),
+            "best": trace.best,
+            "cost_to_best_usd": _cost_to_best(trace),
+            "stop_reason": trace.stop_reason,
+            "n_decisions": len(trace.decisions),
+            "anomalies": by_rule,
+        })
+    return rows
+
+
+def render_comparison(
+    traces: Sequence["SearchTrace"], *, fmt: str = "markdown"
+) -> str:
+    """Render a multi-run comparison in ``markdown`` or ``html``."""
+    if fmt not in ("markdown", "html"):
+        raise ValueError(f"unknown report format {fmt!r}")
+    if not traces:
+        raise ValueError("no traces to compare")
+    markdown = _render_markdown(traces)
+    if fmt == "markdown":
+        return markdown
+    return _wrap_html(markdown)
+
+
+def _render_markdown(traces: Sequence["SearchTrace"]) -> str:
+    from repro.experiments.reporting import format_dollars, format_hours
+
+    rows = comparison_rows(traces)
+    headers = [
+        "run", "strategy", "scenario", "probes", "profiling",
+        "profiling $", "best", "cost-to-best", "anomalies",
+    ]
+    table = [f"| {' | '.join(headers)} |",
+             f"|{'|'.join('---' for _ in headers)}|"]
+    for i, row in enumerate(rows, start=1):
+        anomaly_text = ", ".join(
+            f"{rule} x{n}" for rule, n in sorted(row["anomalies"].items())
+        ) or "-"
+        cost_to_best = (
+            format_dollars(row["cost_to_best_usd"])
+            if row["cost_to_best_usd"] is not None else "-"
+        )
+        cells = [
+            str(i),
+            row["strategy"],
+            row["scenario"],
+            str(row["probes"]),
+            format_hours(row["profile_seconds"]),
+            format_dollars(row["profile_dollars"]),
+            str(row["best"] or "-"),
+            cost_to_best,
+            anomaly_text,
+        ]
+        table.append(f"| {' | '.join(cells)} |")
+
+    lines = [
+        "# Search run comparison",
+        "",
+        f"{len(traces)} run(s), compared from saved trace artifacts.",
+        "",
+        *table,
+        "",
+        "## Stop reasons",
+        "",
+    ]
+    for i, row in enumerate(rows, start=1):
+        lines.append(f"- run {i} ({row['strategy']}): {row['stop_reason']}")
+    anomalous = [
+        (i, trace) for i, trace in enumerate(traces, start=1)
+        if trace.anomaly_rows()
+    ]
+    if anomalous:
+        lines.extend(["", "## Watchdog anomalies", ""])
+        for i, trace in anomalous:
+            for a in trace.anomaly_rows():
+                lines.append(
+                    f"- run {i} step {a['step']}: **{a['rule']}** — "
+                    f"{a['message']}"
+                )
+    decided = [
+        (i, row) for i, row in enumerate(rows, start=1)
+        if row["n_decisions"]
+    ]
+    if decided:
+        lines.extend(["", "## Decision records", ""])
+        for i, row in decided:
+            lines.append(
+                f"- run {i}: {row['n_decisions']} recorded "
+                f"(inspect with `repro explain`)"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _wrap_html(markdown: str) -> str:
+    """Minimal self-contained HTML rendering of the markdown report.
+
+    Stdlib-only on purpose: handles exactly the constructs
+    :func:`_render_markdown` emits (headings, pipe tables, bullet
+    lists, paragraphs) rather than general markdown.
+    """
+    body: list[str] = []
+    table_open = False
+    header_row = True
+    for line in markdown.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("|"):
+            cells = [c.strip() for c in stripped.strip("|").split("|")]
+            if all(set(c) <= {"-"} and c for c in cells):
+                continue  # the |---|---| separator row
+            if not table_open:
+                body.append("<table>")
+                table_open = True
+                header_row = True
+            tag = "th" if header_row else "td"
+            header_row = False
+            body.append(
+                "<tr>" + "".join(
+                    f"<{tag}>{_escape_inline(c)}</{tag}>" for c in cells
+                ) + "</tr>"
+            )
+            continue
+        if table_open:
+            body.append("</table>")
+            table_open = False
+        if stripped.startswith("## "):
+            body.append(f"<h2>{_escape_inline(stripped[3:])}</h2>")
+        elif stripped.startswith("# "):
+            body.append(f"<h1>{_escape_inline(stripped[2:])}</h1>")
+        elif stripped.startswith("- "):
+            body.append(f"<li>{_escape_inline(stripped[2:])}</li>")
+        elif stripped:
+            body.append(f"<p>{_escape_inline(stripped)}</p>")
+    if table_open:
+        body.append("</table>")
+    content = "\n".join(body)
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        "<title>Search run comparison</title>\n"
+        "<style>body{font-family:sans-serif;margin:2em}"
+        "table{border-collapse:collapse}"
+        "th,td{border:1px solid #999;padding:0.3em 0.6em;text-align:left}"
+        "th{background:#eee}</style></head>\n"
+        f"<body>\n{content}\n</body></html>\n"
+    )
+
+
+def _escape_inline(text: str) -> str:
+    """HTML-escape, then re-apply the report's bold/code markers."""
+    escaped = _html.escape(text)
+    for marker, tag in (("**", "strong"), ("`", "code")):
+        while escaped.count(marker) >= 2:
+            escaped = escaped.replace(marker, f"<{tag}>", 1)
+            escaped = escaped.replace(marker, f"</{tag}>", 1)
+    return escaped

@@ -1,0 +1,278 @@
+"""Run-health watchdog: streaming anomaly rules over a live search.
+
+The watchdog consumes one :class:`StepHealth` snapshot per engine
+decision and evaluates four rules:
+
+``budget-burn``
+    the constrained resource is ``budget_burn_fraction`` consumed and
+    the search has not stopped yet.
+``ei-stagnation``
+    the best feasible EI has been flat (relative spread within
+    ``ei_rel_tol``) over the last ``ei_window`` decisions.
+``surrogate-degradation``
+    the GP Gram matrix condition number crossed
+    ``gram_condition_limit``, or the per-observation log marginal
+    likelihood declined strictly over the last ``lml_window`` refits.
+``protective-margin``
+    the slack between consumption, the incumbent's protected
+    completion cost and the constraint limit fell below
+    ``protective_margin_fraction`` of the limit — the protective stop
+    is about to fire.
+
+Rules are edge-triggered: an anomaly is emitted when a rule first
+trips, and re-armed only after the condition clears, so a rule that
+stays bad for ten steps produces one anomaly, not ten.  Each anomaly
+becomes a zero-duration ``anomaly`` span (it lands inside the current
+``step`` span, so traces show *when* health degraded) plus a
+``watchdog.anomalies_total{rule=...}`` counter increment.
+
+Like the rest of ``repro.obs``, the watchdog only reads values the
+search already computed — it cannot perturb decisions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NOOP_TRACER, Tracer
+
+__all__ = [
+    "NOOP_WATCHDOG",
+    "Anomaly",
+    "StepHealth",
+    "Watchdog",
+    "WatchdogConfig",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WatchdogConfig:
+    """Thresholds for the streaming health rules."""
+
+    budget_burn_fraction: float = 0.8
+    ei_window: int = 3
+    ei_rel_tol: float = 0.05
+    gram_condition_limit: float = 1e8
+    lml_window: int = 3
+    protective_margin_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.budget_burn_fraction <= 1.0:
+            raise ValueError(
+                f"budget_burn_fraction must be in (0, 1], "
+                f"got {self.budget_burn_fraction}"
+            )
+        if self.ei_window < 2:
+            raise ValueError(f"ei_window must be >= 2, got {self.ei_window}")
+        if self.lml_window < 2:
+            raise ValueError(f"lml_window must be >= 2, got {self.lml_window}")
+        if self.ei_rel_tol < 0.0:
+            raise ValueError(f"ei_rel_tol must be >= 0, got {self.ei_rel_tol}")
+        if self.gram_condition_limit <= 1.0:
+            raise ValueError(
+                f"gram_condition_limit must be > 1, "
+                f"got {self.gram_condition_limit}"
+            )
+        if not 0.0 <= self.protective_margin_fraction < 1.0:
+            raise ValueError(
+                f"protective_margin_fraction must be in [0, 1), "
+                f"got {self.protective_margin_fraction}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class StepHealth:
+    """One decision's worth of health inputs.
+
+    ``consumed`` / ``limit`` / ``incumbent_cost`` are in the scenario's
+    constraint units (dollars or seconds — the watchdog only ever forms
+    ratios, so it never mixes them).  ``step=0`` means "assign the next
+    sequential step number".
+    """
+
+    step: int = 0
+    consumed: float | None = None
+    limit: float | None = None
+    best_feasible_ei: float | None = None
+    any_feasible: bool = True
+    incumbent_cost: float | None = None
+    gram_condition: float | None = None
+    log_marginal_likelihood: float | None = None
+    n_observations: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Anomaly:
+    """One fired rule: what tripped, when, and the numbers behind it."""
+
+    rule: str
+    step: int
+    message: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class Watchdog:
+    """Evaluates the health rules and emits anomaly spans + metrics."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        config: WatchdogConfig | None = None,
+        *,
+        tracer: Tracer = NOOP_TRACER,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config if config is not None else WatchdogConfig()
+        self._tracer = tracer
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._anomalies: list[Anomaly] = []
+        self._active: set[str] = set()
+        self._ei_history: list[float] = []
+        self._lml_history: list[float] = []
+        self._n_steps = 0
+
+    @property
+    def anomalies(self) -> tuple[Anomaly, ...]:
+        return tuple(self._anomalies)
+
+    def observe(self, health: StepHealth) -> list[Anomaly]:
+        """Feed one decision's health; returns the anomalies that fired."""
+        self._n_steps += 1
+        step = health.step if health.step > 0 else self._n_steps
+        fired: list[Anomaly] = []
+        for rule, tripped, message, detail in self._evaluate(health):
+            if tripped and rule not in self._active:
+                self._active.add(rule)
+                anomaly = Anomaly(rule=rule, step=step, message=message, detail=detail)
+                self._anomalies.append(anomaly)
+                fired.append(anomaly)
+                self._emit(anomaly)
+            elif not tripped:
+                self._active.discard(rule)
+        return fired
+
+    def _emit(self, anomaly: Anomaly) -> None:
+        attributes: dict[str, Any] = {
+            "rule": anomaly.rule,
+            "step": anomaly.step,
+            "message": anomaly.message,
+        }
+        for key, value in anomaly.detail.items():
+            attributes[f"detail.{key}"] = value
+        with self._tracer.span("anomaly", attributes):
+            pass
+        self._metrics.counter("watchdog.anomalies_total").inc(rule=anomaly.rule)
+
+    def _evaluate(
+        self, health: StepHealth
+    ) -> list[tuple[str, bool, str, dict[str, Any]]]:
+        cfg = self.config
+        rules: list[tuple[str, bool, str, dict[str, Any]]] = []
+
+        # budget-burn: fraction of the constrained resource consumed.
+        if (
+            health.limit is not None
+            and health.limit > 0.0
+            and health.consumed is not None
+        ):
+            fraction = health.consumed / health.limit
+            rules.append(
+                (
+                    "budget-burn",
+                    fraction >= cfg.budget_burn_fraction,
+                    f"{fraction:.0%} of the constraint limit consumed "
+                    f"(threshold {cfg.budget_burn_fraction:.0%})",
+                    {"fraction": round(fraction, 6)},
+                )
+            )
+
+        # ei-stagnation: best feasible EI flat over a window.
+        ei = health.best_feasible_ei
+        if ei is not None and math.isfinite(ei):
+            self._ei_history.append(float(ei))
+        window = self._ei_history[-cfg.ei_window :]
+        stagnant = (
+            len(window) >= cfg.ei_window
+            and min(window) > 0.0
+            and (max(window) - min(window)) <= cfg.ei_rel_tol * max(window)
+        )
+        rules.append(
+            (
+                "ei-stagnation",
+                stagnant,
+                f"best feasible EI flat over the last {cfg.ei_window} decisions "
+                f"(relative spread <= {cfg.ei_rel_tol:g})",
+                {"window": [round(v, 6) for v in window]},
+            )
+        )
+
+        # surrogate-degradation: ill-conditioned Gram, or LML trending down.
+        condition = health.gram_condition
+        condition_bad = condition is not None and (
+            not math.isfinite(condition) or condition >= cfg.gram_condition_limit
+        )
+        if health.log_marginal_likelihood is not None and health.n_observations > 0:
+            self._lml_history.append(
+                health.log_marginal_likelihood / health.n_observations
+            )
+        trend = self._lml_history[-cfg.lml_window :]
+        lml_bad = len(trend) >= cfg.lml_window and all(
+            later < earlier for earlier, later in zip(trend, trend[1:])
+        )
+        if condition_bad:
+            message = (
+                f"GP Gram condition number crossed {cfg.gram_condition_limit:.0e}"
+            )
+        else:
+            message = (
+                f"per-observation log marginal likelihood declined over the "
+                f"last {cfg.lml_window} fits"
+            )
+        detail: dict[str, Any] = {
+            "lml_per_obs": [round(v, 6) for v in trend],
+        }
+        if condition is not None and math.isfinite(condition):
+            detail["gram_condition"] = condition
+        rules.append(
+            ("surrogate-degradation", condition_bad or lml_bad, message, detail)
+        )
+
+        # protective-margin: slack before the protective stop must fire.
+        if (
+            health.limit is not None
+            and health.limit > 0.0
+            and health.consumed is not None
+            and health.incumbent_cost is not None
+            and health.incumbent_cost > 0.0
+        ):
+            slack = (
+                health.limit - health.consumed - health.incumbent_cost
+            ) / health.limit
+            rules.append(
+                (
+                    "protective-margin",
+                    slack < cfg.protective_margin_fraction,
+                    f"slack before the protective stop is {slack:.1%} of the "
+                    f"limit (threshold {cfg.protective_margin_fraction:.0%})",
+                    {"slack_fraction": round(slack, 6)},
+                )
+            )
+
+        return rules
+
+
+class _NoopWatchdog(Watchdog):
+    """Disabled watchdog; ``observe`` never evaluates or emits."""
+
+    enabled = False
+
+    def observe(self, health: StepHealth) -> list[Anomaly]:
+        return []
+
+
+#: Shared disabled watchdog — the ``SearchContext`` default.
+NOOP_WATCHDOG = _NoopWatchdog()

@@ -47,7 +47,10 @@ from repro.sim.zoo import get_model
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "append_history",
     "canonical_trace_jsonl",
+    "compare_history",
+    "history_entry",
     "run_bench",
     "validate_bench",
 ]
@@ -77,6 +80,13 @@ _SCHEMA_V1: dict[str, tuple[str, ...]] = {
     "metrics": ("gp_fit_total_full", "gp_fit_total_incremental"),
 }
 
+#: Required keys of the *optional* ``observability`` section (absent
+#: from artifacts produced before decision recording existed).
+_OBSERVABILITY_KEYS: tuple[str, ...] = (
+    "recorded_seconds", "unrecorded_seconds", "overhead_ratio",
+    "decision_mode", "n_decisions",
+)
+
 
 def canonical_trace_jsonl(trace: Any) -> str:
     """Trace JSONL with real-wall-clock fields stripped.
@@ -85,11 +95,17 @@ def canonical_trace_jsonl(trace: Any) -> str:
     histograms measure host compute time: nondeterministic across runs
     and irrelevant to decision identity.  Counters ending in
     ``_total`` are kept even when named in seconds — they count
-    *simulated* resources, which must match exactly.
+    *simulated* resources, which must match exactly.  ``decision``
+    lines are dropped entirely: the slow lane records the full
+    candidate landscape while the fast lane samples the top-k, so the
+    records legitimately differ even when the decisions themselves are
+    identical (the identity the probe spans already pin down).
     """
     lines = []
     for line in trace.to_jsonl().splitlines():
         doc = json.loads(line)
+        if doc["kind"] == "decision":
+            continue
         if doc["kind"] == "span":
             doc.pop("wall_seconds", None)
         elif doc["kind"] == "metrics":
@@ -119,13 +135,19 @@ def _make_context(
     recorder = (
         RunRecorder(clock=lambda: cloud.clock.now) if record else None
     )
-    kwargs: dict[str, Any] = {}
+    profiler_kwargs: dict[str, Any] = {}
+    context_kwargs: dict[str, Any] = {}
     if recorder is not None:
-        kwargs["tracer"] = recorder.tracer
-        kwargs["metrics"] = recorder.metrics
+        profiler_kwargs["tracer"] = recorder.tracer
+        profiler_kwargs["metrics"] = recorder.metrics
+        context_kwargs.update(
+            profiler_kwargs,
+            decisions=recorder.decisions,
+            watchdog=recorder.watchdog,
+        )
     profiler = Profiler(
         cloud, TrainingSimulator(),
-        noise=NoiseModel(sigma=0.03, seed=seed), **kwargs,
+        noise=NoiseModel(sigma=0.03, seed=seed), **profiler_kwargs,
     )
     job = TrainingJob(
         model=get_model("char-rnn"),
@@ -138,7 +160,7 @@ def _make_context(
         profiler=profiler,
         job=job,
         scenario=Scenario.fastest_within(budget_dollars),
-        **kwargs,
+        **context_kwargs,
     )
     return context, recorder
 
@@ -282,13 +304,33 @@ def run_bench(
         seed=seed, max_count=max_count, max_steps=max_steps,
         budget_dollars=budget, fast_lane=True, gp_refit="doubling",
     )
-    # a separate recorded (untimed) fast-lane run feeds the metrics
-    # section: refit-mode counts and the gp.fit_seconds histogram
-    _, _, fast_recorder = _timed_search(
-        seed=seed, max_count=max_count, max_steps=max_steps,
-        budget_dollars=budget, fast_lane=True, gp_refit="doubling",
-        record=True,
-    )
+    # separate recorded fast-lane runs feed the metrics section
+    # (refit-mode counts, gp.fit_seconds histogram) and the
+    # observability-overhead section: sampled decision records plus the
+    # watchdog must stay cheap.  Best-of-N on both sides — a single
+    # quick run lasts tens of milliseconds, well inside scheduler noise
+    obs_repeats = 5 if quick else 3
+    recorded_times = []
+    unrecorded_times = [fast_s]
+    pair_ratios = []
+    for _ in range(obs_repeats):
+        u, _, _ = _timed_search(
+            seed=seed, max_count=max_count, max_steps=max_steps,
+            budget_dollars=budget, fast_lane=True, gp_refit="doubling",
+        )
+        t, _, fast_recorder = _timed_search(
+            seed=seed, max_count=max_count, max_steps=max_steps,
+            budget_dollars=budget, fast_lane=True, gp_refit="doubling",
+            record=True,
+        )
+        unrecorded_times.append(u)
+        recorded_times.append(t)
+        # back-to-back pairs cancel common-mode load; the best pair is
+        # the least-contaminated view of the true recording overhead
+        pair_ratios.append(t / u)
+    recorded_s = min(recorded_times)
+    unrecorded_s = min(unrecorded_times)
+    overhead_ratio = min(pair_ratios)
 
     # identity: the fast lane with the schedule forced to every-step
     # must reproduce the slow lane's decisions byte for byte
@@ -333,6 +375,13 @@ def run_bench(
             "fast_best": str(fast_res.best),
         },
         "identity": {"checked": True, "byte_identical": identical},
+        "observability": {
+            "recorded_seconds": recorded_s,
+            "unrecorded_seconds": unrecorded_s,
+            "overhead_ratio": overhead_ratio,
+            "decision_mode": fast_recorder.decisions.mode,
+            "n_decisions": len(fast_recorder.decisions.records),
+        },
         "metrics": {
             "gp_fit_total_full": fit_counter.value(mode="full"),
             "gp_fit_total_incremental": fit_counter.value(
@@ -362,6 +411,20 @@ def validate_bench(doc: Any) -> list[str]:
         for key in keys:
             if key not in body:
                 problems.append(f"{section}.{key} missing")
+    obs = doc.get("observability")
+    if obs is not None:
+        if not isinstance(obs, dict):
+            problems.append("observability must be a JSON object")
+        else:
+            for key in _OBSERVABILITY_KEYS:
+                if key not in obs:
+                    problems.append(f"observability.{key} missing")
+            ratio = obs.get("overhead_ratio")
+            if isinstance(ratio, (int, float)) and ratio <= 0:
+                problems.append(
+                    f"observability.overhead_ratio must be positive, "
+                    f"got {ratio!r}"
+                )
     if not problems:
         for section in ("gp_fit", "scoring", "end_to_end"):
             speedup = doc[section]["speedup"]
@@ -398,4 +461,139 @@ def render_summary(doc: dict[str, Any]) -> str:
         f"{doc['identity']['byte_identical']} (fast lane on vs off, "
         f"refit forced to every step)",
     ]
+    obs = doc.get("observability")
+    if obs is not None:
+        lines.append(
+            f"  recording:  {obs['recorded_seconds']:8.3f} s with "
+            f"{obs['n_decisions']} decision records "
+            f"(mode {obs['decision_mode']}) vs "
+            f"{obs['unrecorded_seconds']:.3f} s off "
+            f"({(obs['overhead_ratio'] - 1) * 100:+.1f}% best-pair overhead)"
+        )
     return "\n".join(lines)
+
+
+# -- benchmark history -------------------------------------------------------
+
+#: Config keys two runs must share before their timings are comparable.
+_HISTORY_MATCH_KEYS: tuple[str, ...] = (
+    "quick", "n_deployments", "max_steps", "seed",
+)
+
+#: Timing fields tracked across history entries (lower is better).
+_HISTORY_TIMING_KEYS: tuple[str, ...] = (
+    "gp_fit_full_refit_seconds",
+    "gp_fit_rank1_update_seconds",
+    "scoring_slow_seconds_per_call",
+    "scoring_fast_seconds_per_call",
+    "end_to_end_slow_seconds",
+    "end_to_end_fast_seconds",
+)
+
+
+def history_entry(doc: dict[str, Any]) -> dict[str, Any]:
+    """Flatten a bench artifact into one history line (no ``seq`` yet).
+
+    Entries carry no timestamps — history order is the append order,
+    numbered by :func:`append_history` — so identical runs produce
+    identical entries.
+    """
+    entry: dict[str, Any] = {
+        "config": {
+            key: doc["config"][key] for key in _HISTORY_MATCH_KEYS
+        },
+        "gp_fit_full_refit_seconds": doc["gp_fit"]["full_refit_seconds"],
+        "gp_fit_rank1_update_seconds": (
+            doc["gp_fit"]["rank1_update_seconds"]
+        ),
+        "scoring_slow_seconds_per_call": (
+            doc["scoring"]["slow_seconds_per_call"]
+        ),
+        "scoring_fast_seconds_per_call": (
+            doc["scoring"]["fast_seconds_per_call"]
+        ),
+        "end_to_end_slow_seconds": doc["end_to_end"]["slow_seconds"],
+        "end_to_end_fast_seconds": doc["end_to_end"]["fast_seconds"],
+        "byte_identical": doc["identity"]["byte_identical"],
+    }
+    obs = doc.get("observability")
+    if obs is not None:
+        entry["observability_overhead_ratio"] = obs["overhead_ratio"]
+    return entry
+
+
+def _read_history(path: Any) -> list[dict[str, Any]]:
+    from pathlib import Path
+
+    history_path = Path(path)
+    if not history_path.is_file():
+        return []
+    entries = []
+    for i, line in enumerate(
+        history_path.read_text().strip().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{history_path}:{i}: invalid history line: {exc}"
+            ) from exc
+    return entries
+
+
+def append_history(doc: dict[str, Any], path: Any) -> dict[str, Any]:
+    """Append this run to the history file; returns the written entry."""
+    from pathlib import Path
+
+    history_path = Path(path)
+    entries = _read_history(history_path)
+    seq = max((int(e.get("seq", 0)) for e in entries), default=0) + 1
+    entry = {"seq": seq, **history_entry(doc)}
+    with history_path.open("a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def compare_history(
+    doc: dict[str, Any], path: Any, *, threshold: float = 0.10
+) -> tuple[list[str], bool]:
+    """Diff this run against the last comparable history entry.
+
+    Returns ``(report_lines, regressed)`` where ``regressed`` is true
+    when any tracked timing grew by more than ``threshold`` (relative).
+    Entries only compare when their match-key configs are identical —
+    a quick run never regresses against a full run.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    current = history_entry(doc)
+    previous = None
+    for entry in reversed(_read_history(path)):
+        if entry.get("config") == current["config"]:
+            previous = entry
+            break
+    if previous is None:
+        return (
+            [f"no comparable history entry in {path} "
+             f"(config {current['config']})"],
+            False,
+        )
+    lines = [f"vs history entry seq={previous.get('seq', '?')}:"]
+    regressed = False
+    for key in _HISTORY_TIMING_KEYS:
+        before = previous.get(key)
+        after = current.get(key)
+        if not isinstance(before, (int, float)) or before <= 0:
+            continue
+        delta = (after - before) / before
+        marker = ""
+        if delta > threshold:
+            marker = f"  REGRESSION (> {threshold:.0%})"
+            regressed = True
+        lines.append(
+            f"  {key}: {before:.6f} -> {after:.6f} s "
+            f"({delta:+.1%}){marker}"
+        )
+    return lines, regressed

@@ -1,0 +1,216 @@
+"""Decision records: staging, commit semantics, and read-only recording."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.provider import SimulatedCloud
+from repro.core.engine import SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.scenarios import Scenario
+from repro.core.search_space import DeploymentSpace
+from repro.obs import NOOP_DECISIONS, DecisionLog, DecisionRecord, RunRecorder
+from repro.perf.bench import canonical_trace_jsonl
+from repro.profiling.profiler import Profiler
+from repro.sim.datasets import get_dataset
+from repro.sim.noise import NoiseModel
+from repro.sim.platforms import get_platform
+from repro.sim.throughput import TrainingJob, TrainingSimulator
+from repro.sim.zoo import get_model
+
+
+def _publish(log: DecisionLog, n: int = 5) -> None:
+    scores = np.arange(n, dtype=float)  # ascending: last index wins
+    log.publish(
+        deployments=[f"{i + 1}x c5.xlarge" for i in range(n)],
+        ei=np.full(n, 0.5),
+        scores=scores,
+        penalty=np.full(n, 0.1),
+        feasible=np.ones(n, dtype=bool),
+        objective="time",
+        consumed=2.0,
+        limit=10.0,
+        best_feasible_ei=0.5,
+    )
+
+
+class TestDecisionLog:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown decision mode"):
+            DecisionLog("verbose")
+
+    def test_top_k_must_be_positive(self):
+        with pytest.raises(ValueError, match="top_k"):
+            DecisionLog("topk", top_k=0)
+
+    def test_auto_resolves_from_lane(self):
+        log = DecisionLog("auto")
+        log.begin_run(fast_lane=True)
+        assert log.mode == "topk"
+        log = DecisionLog("auto")
+        log.begin_run(fast_lane=False)
+        assert log.mode == "full"
+
+    def test_explicit_mode_survives_begin_run(self):
+        log = DecisionLog("full")
+        log.begin_run(fast_lane=True)
+        assert log.mode == "full"
+
+    def test_commit_produces_ordered_candidates(self):
+        log = DecisionLog("full")
+        _publish(log)
+        record = log.commit(n_observations=7, chosen="5x c5.xlarge")
+        assert record is not None
+        assert record.step == 1
+        assert record.n_candidates == 5
+        assert record.n_feasible == 5
+        # sorted by descending score, chosen first
+        assert record.candidates[0].deployment == "5x c5.xlarge"
+        scores = [c.score for c in record.candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_topk_truncates_but_keeps_chosen(self):
+        log = DecisionLog("topk", top_k=3)
+        log.begin_run(fast_lane=True)
+        _publish(log, n=10)
+        record = log.commit(n_observations=1, chosen="10x c5.xlarge")
+        assert len(record.candidates) == 3
+        assert record.n_candidates == 10
+        assert record.candidates[0].deployment == record.chosen
+
+    def test_blocked_masks_fold_into_pruned(self):
+        log = DecisionLog("full")
+        n = 4
+        log.publish(
+            deployments=[f"{i + 1}x p2.xlarge" for i in range(n)],
+            ei=np.full(n, 0.2),
+            scores=np.array([1.0, -np.inf, -np.inf, 2.0]),
+            feasible=np.array([True, False, False, True]),
+            blocked={"poi": np.array([False, True, False, False]),
+                     "tei": np.array([False, True, True, False])},
+        )
+        log.note_pruned("prior", 3)
+        record = log.commit(n_observations=5, chosen="4x p2.xlarge")
+        assert record.pruned == {"poi": 1, "tei": 2, "prior": 3}
+        blocked = {c.deployment: c.blocked_by for c in record.candidates}
+        assert blocked["2x p2.xlarge"] == ("poi", "tei")
+        assert blocked["3x p2.xlarge"] == ("tei",)
+
+    def test_non_finite_scores_serialise_as_none(self):
+        log = DecisionLog("full")
+        log.publish(
+            deployments=["1x c5.xlarge", "2x c5.xlarge"],
+            ei=np.array([0.1, 0.2]),
+            scores=np.array([-np.inf, 1.0]),
+        )
+        record = log.commit(n_observations=2, chosen="2x c5.xlarge")
+        by_name = {c.deployment: c for c in record.candidates}
+        assert by_name["1x c5.xlarge"].score is None
+        assert by_name["1x c5.xlarge"].feasible is False
+        data = record.to_dict()
+        assert DecisionRecord.from_dict(data) == record
+
+    def test_stop_commit_without_publish(self):
+        log = DecisionLog("full")
+        record = log.commit(n_observations=3, stop_reason="budget exhausted")
+        assert record.chosen is None
+        assert record.stop_reason == "budget exhausted"
+        assert record.candidates == ()
+
+    def test_state_clears_between_commits(self):
+        log = DecisionLog("full")
+        _publish(log)
+        log.note_pruned("prior", 2)
+        log.commit(n_observations=1, chosen="5x c5.xlarge")
+        record = log.commit(n_observations=2, stop_reason="done")
+        assert record.step == 2
+        assert record.pruned == {}
+        assert record.n_candidates == 0
+
+    def test_noop_log_records_nothing(self):
+        assert NOOP_DECISIONS.enabled is False
+        _publish(NOOP_DECISIONS)
+        NOOP_DECISIONS.note_pruned("prior", 5)
+        assert NOOP_DECISIONS.commit(n_observations=1) is None
+        assert NOOP_DECISIONS.records == ()
+
+
+def _search(seed=3, *, decisions="auto", fast_lane=True, watchdog=True):
+    catalog = paper_catalog().subset(
+        ["c5.xlarge", "c5.4xlarge", "c4.xlarge"]
+    )
+    cloud = SimulatedCloud(catalog)
+    recorder = RunRecorder(
+        clock=lambda: cloud.clock.now,
+        decisions=decisions,
+        watchdog=watchdog,
+    )
+    profiler = Profiler(
+        cloud, TrainingSimulator(),
+        noise=NoiseModel(sigma=0.03, seed=seed),
+        tracer=recorder.tracer, metrics=recorder.metrics,
+    )
+    job = TrainingJob(
+        model=get_model("char-rnn"),
+        dataset=get_dataset("char-corpus"),
+        platform=get_platform("tensorflow"),
+        epochs=1.0,
+    )
+    context = SearchContext(
+        space=DeploymentSpace(catalog, max_count=8),
+        profiler=profiler,
+        job=job,
+        scenario=Scenario.fastest_within(40.0),
+        tracer=recorder.tracer,
+        metrics=recorder.metrics,
+        decisions=recorder.decisions,
+        watchdog=recorder.watchdog,
+    )
+    strategy = HeterBO(seed=seed, max_steps=8, fast_lane=fast_lane)
+    result = strategy.search(context)
+    return recorder.finalize(result), result
+
+
+class TestSearchIntegration:
+    def test_one_record_per_decision(self):
+        trace, result = _search()
+        assert trace.decisions
+        steps = [r.step for r in trace.decisions]
+        assert steps == list(range(1, len(steps) + 1))
+        # every explore probe (post initial design) pairs with a record
+        explore_probes = [
+            r for r in trace.probe_rows() if r["note"] == "explore"
+        ]
+        chosen = [r for r in trace.decisions if r.chosen is not None]
+        assert len(chosen) == len(explore_probes)
+
+    def test_chosen_matches_probed_deployment(self):
+        trace, _ = _search()
+        explore = [r for r in trace.probe_rows() if r["note"] == "explore"]
+        chosen = [r.chosen for r in trace.decisions if r.chosen is not None]
+        assert chosen == [r["deployment"] for r in explore]
+
+    def test_recording_does_not_change_decisions(self):
+        # byte-identity on the canonicalised artifact: recording on vs
+        # off must walk the exact same probe sequence
+        on, _ = _search(decisions="auto", watchdog=True)
+        off, _ = _search(decisions="off", watchdog=False)
+        assert canonical_trace_jsonl(on) == canonical_trace_jsonl(off)
+        assert on.decisions and not off.decisions
+
+    def test_topk_and_full_agree_on_chosen(self):
+        topk, _ = _search(decisions="topk")
+        full, _ = _search(decisions="full")
+        assert [r.chosen for r in topk.decisions] == [
+            r.chosen for r in full.decisions
+        ]
+        assert all(
+            len(r.candidates) <= 8 for r in topk.decisions
+        )
+
+    def test_records_survive_jsonl_round_trip(self):
+        from repro.obs import SearchTrace
+
+        trace, _ = _search()
+        again = SearchTrace.from_jsonl(trace.to_jsonl())
+        assert again.decisions == trace.decisions

@@ -143,3 +143,58 @@ class TestBackfill:
             "gp.fit_seconds.count", "gp.fit_seconds.mean",
             "gp.fit_seconds.max",
         }
+
+
+class TestHistogramQuantiles:
+    def test_exact_below_sample_cap(self):
+        h = Histogram("latency")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        stats = h.stats()
+        assert stats.p50 == pytest.approx(50.5)
+        assert stats.p90 == pytest.approx(90.1)
+        assert stats.p99 == pytest.approx(99.01)
+        assert stats.quantile(0.0) == 1.0
+        assert stats.quantile(1.0) == 100.0
+
+    def test_single_observation(self):
+        h = Histogram("latency")
+        h.observe(7.0)
+        assert h.stats().p50 == 7.0
+        assert h.stats().p99 == 7.0
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("x").stats().p50 == 0.0
+
+    def test_quantile_range_validated(self):
+        h = Histogram("x")
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            h.stats().quantile(1.5)
+
+    def test_decimation_bounds_memory_and_stays_deterministic(self):
+        from repro.obs.metrics import _QUANTILE_SAMPLE_CAP
+
+        def build():
+            h = Histogram("big")
+            for v in range(10_000):
+                h.observe(float(v))
+            return h.stats()
+
+        a, b = build(), build()
+        assert len(a._sample) <= _QUANTILE_SAMPLE_CAP
+        # systematic sampling: identical streams, identical estimates
+        assert a.p50 == b.p50 and a.p90 == b.p90 and a.p99 == b.p99
+        # estimates stay close to the true quantiles despite decimation
+        assert a.p50 == pytest.approx(5000, rel=0.1)
+        assert a.p99 == pytest.approx(9900, rel=0.1)
+
+    def test_snapshot_includes_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("gp.fit_seconds")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        entry = reg.snapshot()["gp.fit_seconds"]["series"][0]
+        assert entry["p50"] == pytest.approx(2.0)
+        assert entry["p90"] == pytest.approx(2.8)
+        assert entry["p99"] == pytest.approx(2.98)

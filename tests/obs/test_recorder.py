@@ -135,6 +135,62 @@ class TestJsonlValidation:
     def test_unsupported_schema_version_rejected(self, recorded):
         recorder, result = recorded
         text = recorder.finalize(result).to_jsonl()
-        text = text.replace('"schema_version": 1', '"schema_version": 99')
-        with pytest.raises(ValueError, match="schema version"):
+        text = text.replace(
+            f'"schema_version": {TRACE_SCHEMA_VERSION}',
+            '"schema_version": 99',
+        )
+        with pytest.raises(ValueError, match="schema version 99"):
             SearchTrace.from_jsonl(text)
+
+    def test_rejection_names_the_file_and_version(self, recorded, tmp_path):
+        recorder, result = recorded
+        text = recorder.finalize(result).to_jsonl()
+        text = text.replace(
+            f'"schema_version": {TRACE_SCHEMA_VERSION}',
+            '"schema_version": 99',
+        )
+        path = tmp_path / "future.trace.jsonl"
+        path.write_text(text)
+        with pytest.raises(ValueError) as excinfo:
+            SearchTrace.load(path)
+        message = str(excinfo.value)
+        assert "future.trace.jsonl" in message
+        assert "99" in message
+
+
+def _downgrade_to_v1(text: str) -> str:
+    """Rewrite a current-version artifact as its v1 equivalent."""
+    lines = [
+        line
+        for line in text.strip().splitlines()
+        if '"kind": "decision"' not in line
+    ]
+    lines[0] = lines[0].replace(
+        f'"schema_version": {TRACE_SCHEMA_VERSION}', '"schema_version": 1'
+    )
+    return "\n".join(lines) + "\n"
+
+
+class TestV1Migration:
+    def test_v1_trace_loads_with_empty_decisions(self, recorded):
+        recorder, result = recorded
+        trace = recorder.finalize(result)
+        migrated = SearchTrace.from_jsonl(_downgrade_to_v1(trace.to_jsonl()))
+        assert migrated.schema_version == TRACE_SCHEMA_VERSION
+        assert migrated.decisions == ()
+        assert migrated.spans == trace.spans
+        assert migrated.summary == trace.summary
+
+    def test_v1_round_trips_through_current_schema(self, recorded, tmp_path):
+        recorder, result = recorded
+        trace = recorder.finalize(result)
+        v1_path = tmp_path / "old.trace.jsonl"
+        v1_path.write_text(_downgrade_to_v1(trace.to_jsonl()))
+        migrated = SearchTrace.load(v1_path)
+        # saving the migrated trace upgrades the artifact in place
+        upgraded_path = migrated.save(tmp_path / "upgraded.trace.jsonl")
+        again = SearchTrace.load(upgraded_path)
+        assert again == migrated
+        assert f'"schema_version": {TRACE_SCHEMA_VERSION}' in (
+            upgraded_path.read_text()
+        )

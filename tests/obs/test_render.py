@@ -1,0 +1,134 @@
+"""Trace rendering: span trees, failed probes, quantile sections."""
+
+from repro.core.result import SearchResult, TrialRecord
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment
+from repro.obs import RunRecorder, SearchTrace
+from repro.obs.render import render_span_tree
+
+
+def _finalize(recorder: RunRecorder) -> SearchTrace:
+    result = SearchResult(
+        strategy="heterbo",
+        scenario=Scenario.fastest(),
+        trials=(
+            TrialRecord(
+                step=1, deployment=Deployment("c5.xlarge", 1),
+                measured_speed=10.0, profile_seconds=600.0,
+                profile_dollars=0.5, elapsed_seconds=600.0,
+                spent_dollars=0.5, note="initial",
+            ),
+        ),
+        best=Deployment("c5.xlarge", 1),
+        best_measured_speed=10.0,
+        profile_seconds=600.0,
+        profile_dollars=0.5,
+        stop_reason="test complete",
+    )
+    return recorder.finalize(result)
+
+
+class TestSpanTreeNesting:
+    def test_deeply_nested_spans_indent_per_level(self):
+        recorder = RunRecorder()
+        names = ["search", "step", "probe", "launch", "billing"]
+        with recorder.tracer.span(names[0]):
+            with recorder.tracer.span(names[1]):
+                with recorder.tracer.span(names[2]):
+                    with recorder.tracer.span(names[3]):
+                        with recorder.tracer.span(names[4]):
+                            pass
+        out = render_span_tree(recorder.tracer.spans)
+        lines = out.splitlines()
+        assert len(lines) == 5
+        for depth, (line, name) in enumerate(zip(lines, names)):
+            assert line.startswith("  " * depth + name)
+
+    def test_siblings_stay_at_the_same_depth(self):
+        recorder = RunRecorder()
+        with recorder.tracer.span("search"):
+            for phase in ("initial", "explore"):
+                with recorder.tracer.span("step", {"phase": phase}):
+                    pass
+        lines = render_span_tree(recorder.tracer.spans).splitlines()
+        step_lines = [ln for ln in lines if "step" in ln]
+        assert len(step_lines) == 2
+        assert all(ln.startswith("  step") for ln in step_lines)
+        assert "phase=initial" in step_lines[0]
+        assert "phase=explore" in step_lines[1]
+
+    def test_orphan_parents_render_nothing_for_missing_root(self):
+        # an empty recording renders to an empty string, not a crash
+        assert render_span_tree(()) == ""
+
+
+class TestFailedProbes:
+    def _recorder_with_failed_probe(self) -> RunRecorder:
+        recorder = RunRecorder()
+        with recorder.tracer.span("search", {"strategy": "heterbo"}):
+            with recorder.tracer.span("probe", {
+                "deployment": "1x c5.xlarge", "step": 1,
+                "cost_usd": 0.5, "speed": 10.0, "note": "initial",
+            }):
+                pass
+            with recorder.tracer.span("probe", {
+                "deployment": "40x p2.xlarge", "step": 2,
+                "cost_usd": 0.0, "speed": None, "note": "explore",
+                "failure_reason": "insufficient capacity",
+            }):
+                pass
+        return recorder
+
+    def test_probe_rows_carry_failure_reason(self):
+        trace = _finalize(self._recorder_with_failed_probe())
+        rows = trace.probe_rows()
+        assert rows[0]["failure_reason"] == ""
+        assert rows[1]["failure_reason"] == "insufficient capacity"
+        assert rows[1]["speed"] is None
+
+    def test_render_shows_failure_instead_of_speed(self):
+        trace = _finalize(self._recorder_with_failed_probe())
+        out = trace.render()
+        assert "insufficient capacity" in out
+        assert "40x p2.xlarge" in out
+
+
+class TestHistogramQuantileSection:
+    def test_quantiles_render_per_series(self):
+        recorder = RunRecorder()
+        hist = recorder.metrics.histogram("gp.fit_seconds", unit="s")
+        for v in range(1, 101):
+            hist.observe(v / 100.0)
+        trace = _finalize(recorder)
+        out = trace.render()
+        assert "histograms (p50/p90/p99):" in out
+        assert "gp.fit_seconds" in out
+        assert "p50=" in out and "p90=" in out and "p99=" in out
+
+    def test_labelled_series_render_with_labels(self):
+        recorder = RunRecorder()
+        hist = recorder.metrics.histogram("probe.cost", unit="usd")
+        hist.observe(1.0, instance_type="p2.xlarge")
+        trace = _finalize(recorder)
+        assert "{instance_type=p2.xlarge}" in trace.render()
+
+    def test_v1_snapshot_without_quantiles_skipped(self):
+        # metrics snapshots from v1 artifacts lack p50/p90/p99 keys
+        recorder = RunRecorder()
+        recorder.metrics.histogram("gp.fit_seconds").observe(0.5)
+        trace = _finalize(recorder)
+        stripped = dict(trace.metrics)
+        stripped["gp.fit_seconds"] = {
+            "kind": "histogram",
+            "unit": "",
+            "series": [{
+                "labels": {}, "count": 1, "sum": 0.5, "min": 0.5,
+                "max": 0.5, "mean": 0.5,
+            }],
+        }
+        v1like = SearchTrace(
+            strategy=trace.strategy, scenario=trace.scenario,
+            stop_reason=trace.stop_reason, best=trace.best,
+            summary=trace.summary, spans=trace.spans, metrics=stripped,
+        )
+        assert "histograms" not in v1like.render()

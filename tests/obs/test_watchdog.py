@@ -1,0 +1,174 @@
+"""Watchdog health rules: triggering, edge semantics, emission."""
+
+import pytest
+
+from repro.obs import (
+    NOOP_WATCHDOG,
+    MetricsRegistry,
+    RecordingTracer,
+    StepHealth,
+    Watchdog,
+    WatchdogConfig,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WatchdogConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"budget_burn_fraction": 0.0},
+        {"budget_burn_fraction": 1.5},
+        {"ei_window": 1},
+        {"lml_window": 1},
+        {"ei_rel_tol": -0.1},
+        {"gram_condition_limit": 1.0},
+        {"protective_margin_fraction": 1.0},
+    ])
+    def test_bad_thresholds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WatchdogConfig(**kwargs)
+
+
+class TestBudgetBurn:
+    def test_fires_at_threshold(self):
+        dog = Watchdog(WatchdogConfig(budget_burn_fraction=0.8))
+        assert dog.observe(StepHealth(consumed=70.0, limit=100.0)) == []
+        fired = dog.observe(StepHealth(consumed=85.0, limit=100.0))
+        assert [a.rule for a in fired] == ["budget-burn"]
+        assert fired[0].detail["fraction"] == pytest.approx(0.85)
+
+    def test_silent_without_limit(self):
+        dog = Watchdog()
+        assert dog.observe(StepHealth(consumed=1e9, limit=None)) == []
+
+
+class TestEiStagnation:
+    def test_fires_after_flat_window(self):
+        dog = Watchdog(WatchdogConfig(ei_window=3, ei_rel_tol=0.05))
+        fired = []
+        for ei in (0.5, 0.501, 0.502):
+            fired = dog.observe(StepHealth(best_feasible_ei=ei))
+        assert [a.rule for a in fired] == ["ei-stagnation"]
+
+    def test_moving_ei_stays_quiet(self):
+        dog = Watchdog(WatchdogConfig(ei_window=3, ei_rel_tol=0.05))
+        for ei in (0.5, 0.4, 0.3, 0.2):
+            assert dog.observe(StepHealth(best_feasible_ei=ei)) == []
+
+    def test_zero_ei_never_stagnates(self):
+        # EI collapsing to 0 is convergence, not stagnation
+        dog = Watchdog(WatchdogConfig(ei_window=2))
+        for _ in range(4):
+            assert dog.observe(StepHealth(best_feasible_ei=0.0)) == []
+
+
+class TestSurrogateDegradation:
+    def test_condition_number_crossing_fires(self):
+        dog = Watchdog(WatchdogConfig(gram_condition_limit=1e6))
+        assert dog.observe(StepHealth(gram_condition=1e3)) == []
+        fired = dog.observe(StepHealth(gram_condition=1e7))
+        assert [a.rule for a in fired] == ["surrogate-degradation"]
+        assert "condition" in fired[0].message
+
+    def test_non_finite_condition_fires(self):
+        dog = Watchdog()
+        fired = dog.observe(StepHealth(gram_condition=float("inf")))
+        assert [a.rule for a in fired] == ["surrogate-degradation"]
+
+    def test_declining_lml_trend_fires(self):
+        dog = Watchdog(WatchdogConfig(lml_window=3))
+        fired = []
+        for i, lml in enumerate((-1.0, -2.5, -4.5)):
+            fired = dog.observe(StepHealth(
+                log_marginal_likelihood=lml, n_observations=i + 5,
+            ))
+        assert [a.rule for a in fired] == ["surrogate-degradation"]
+        assert "likelihood" in fired[0].message
+
+    def test_improving_lml_stays_quiet(self):
+        dog = Watchdog(WatchdogConfig(lml_window=3))
+        for i, lml in enumerate((-4.0, -3.0, -2.0, -1.0)):
+            assert dog.observe(StepHealth(
+                log_marginal_likelihood=lml, n_observations=i + 5,
+            )) == []
+
+
+class TestProtectiveMargin:
+    def test_thin_slack_fires(self):
+        dog = Watchdog(WatchdogConfig(protective_margin_fraction=0.05))
+        ok = StepHealth(consumed=10.0, limit=100.0, incumbent_cost=50.0)
+        assert dog.observe(ok) == []
+        tight = StepHealth(consumed=47.0, limit=100.0, incumbent_cost=50.0)
+        fired = dog.observe(tight)
+        assert [a.rule for a in fired] == ["protective-margin"]
+        assert fired[0].detail["slack_fraction"] == pytest.approx(0.03)
+
+    def test_needs_positive_incumbent_cost(self):
+        dog = Watchdog()
+        health = StepHealth(consumed=99.0, limit=100.0, incumbent_cost=0.0)
+        assert [a.rule for a in dog.observe(health)] == ["budget-burn"]
+
+
+class TestEdgeTriggering:
+    def test_sustained_condition_fires_once(self):
+        dog = Watchdog(WatchdogConfig(budget_burn_fraction=0.5))
+        for consumed in (60.0, 70.0, 80.0):
+            dog.observe(StepHealth(consumed=consumed, limit=100.0))
+        assert len(dog.anomalies) == 1
+
+    def test_rearms_after_condition_clears(self):
+        dog = Watchdog(WatchdogConfig(gram_condition_limit=1e6))
+        dog.observe(StepHealth(gram_condition=1e7))
+        dog.observe(StepHealth(gram_condition=1e2))  # clears, re-arms
+        dog.observe(StepHealth(gram_condition=1e8))
+        assert [a.rule for a in dog.anomalies] == [
+            "surrogate-degradation", "surrogate-degradation",
+        ]
+
+    def test_steps_auto_number_when_unset(self):
+        dog = Watchdog(WatchdogConfig(budget_burn_fraction=0.5))
+        dog.observe(StepHealth(consumed=10.0, limit=100.0))
+        dog.observe(StepHealth(consumed=90.0, limit=100.0))
+        assert dog.anomalies[0].step == 2
+
+    def test_explicit_step_wins(self):
+        dog = Watchdog(WatchdogConfig(budget_burn_fraction=0.5))
+        dog.observe(StepHealth(step=17, consumed=90.0, limit=100.0))
+        assert dog.anomalies[0].step == 17
+
+
+class TestEmission:
+    def test_anomaly_span_and_counter(self):
+        tracer = RecordingTracer()
+        metrics = MetricsRegistry()
+        dog = Watchdog(
+            WatchdogConfig(budget_burn_fraction=0.5),
+            tracer=tracer, metrics=metrics,
+        )
+        dog.observe(StepHealth(step=4, consumed=90.0, limit=100.0))
+        spans = [s for s in tracer.spans if s.name == "anomaly"]
+        assert len(spans) == 1
+        assert spans[0].attributes["rule"] == "budget-burn"
+        assert spans[0].attributes["step"] == 4
+        assert spans[0].attributes["detail.fraction"] == pytest.approx(0.9)
+        counter = metrics.counter("watchdog.anomalies_total")
+        assert counter.value(rule="budget-burn") == 1.0
+
+    def test_deterministic_for_identical_streams(self):
+        def feed(dog):
+            for consumed, ei in ((10, 0.5), (50, 0.49), (85, 0.5), (95, 0.1)):
+                dog.observe(StepHealth(
+                    consumed=float(consumed), limit=100.0,
+                    best_feasible_ei=ei,
+                ))
+            return [(a.rule, a.step) for a in dog.anomalies]
+
+        assert feed(Watchdog()) == feed(Watchdog())
+
+    def test_noop_watchdog_is_inert(self):
+        assert NOOP_WATCHDOG.enabled is False
+        assert NOOP_WATCHDOG.observe(
+            StepHealth(consumed=99.0, limit=100.0)
+        ) == []
+        assert NOOP_WATCHDOG.anomalies == ()

@@ -8,6 +8,9 @@ import pytest
 from repro.cli import main
 from repro.perf.bench import (
     BENCH_SCHEMA_VERSION,
+    append_history,
+    compare_history,
+    history_entry,
     run_bench,
     validate_bench,
 )
@@ -40,6 +43,19 @@ class TestRunBench:
         # least one rank-1 update must have happened
         assert quick_doc["metrics"]["gp_fit_total_incremental"] > 0
 
+    def test_observability_overhead_measured(self, quick_doc):
+        obs = quick_doc["observability"]
+        assert obs["decision_mode"] == "topk"
+        assert obs["n_decisions"] > 0
+        assert obs["recorded_seconds"] > 0.0
+        assert obs["unrecorded_seconds"] > 0.0
+        assert 0.5 < obs["overhead_ratio"] < 2.0
+
+    def test_sampled_recording_overhead_under_ten_percent(self, quick_doc):
+        # acceptance criterion: end-to-end regression < 10% with
+        # sampled (top-k) decision records and the watchdog armed
+        assert quick_doc["observability"]["overhead_ratio"] < 1.10
+
 
 class TestValidateBench:
     def test_rejects_wrong_schema_version(self, quick_doc):
@@ -63,17 +79,123 @@ class TestValidateBench:
     def test_rejects_non_mapping(self):
         assert validate_bench([]) != []
 
+    def test_observability_section_is_optional(self, quick_doc):
+        doc = {k: v for k, v in quick_doc.items() if k != "observability"}
+        assert validate_bench(doc) == []
+
+    def test_partial_observability_section_rejected(self, quick_doc):
+        doc = dict(quick_doc)
+        doc["observability"] = {"recorded_seconds": 1.0}
+        errors = validate_bench(doc)
+        assert any("observability.overhead_ratio" in e for e in errors)
+
+
+class TestHistory:
+    def test_append_assigns_sequential_numbers(self, quick_doc, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        first = append_history(quick_doc, path)
+        second = append_history(quick_doc, path)
+        assert (first["seq"], second["seq"]) == (1, 2)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(ln)["config"]["quick"] for ln in lines)
+
+    def test_entry_carries_no_timestamp(self, quick_doc):
+        # entries are pure functions of the artifact: no wall-clock
+        # stamps, so identical runs produce identical history lines
+        entry = history_entry(quick_doc)
+        assert entry == history_entry(quick_doc)
+        assert "timestamp" not in entry and "created_at" not in entry
+        assert json.dumps(entry, sort_keys=True) == json.dumps(
+            history_entry(quick_doc), sort_keys=True
+        )
+
+    def test_compare_against_missing_history(self, quick_doc, tmp_path):
+        lines, regressed = compare_history(
+            quick_doc, tmp_path / "absent.jsonl"
+        )
+        assert regressed is False
+        assert "no comparable history entry" in lines[0]
+
+    def test_compare_flags_regression(self, quick_doc, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(quick_doc, path)
+        slower = json.loads(json.dumps(quick_doc))
+        slower["end_to_end"]["fast_seconds"] *= 2.0
+        lines, regressed = compare_history(slower, path, threshold=0.10)
+        assert regressed is True
+        assert any(
+            "end_to_end_fast_seconds" in ln and "REGRESSION" in ln
+            for ln in lines
+        )
+
+    def test_compare_tolerates_noise_within_threshold(
+        self, quick_doc, tmp_path
+    ):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(quick_doc, path)
+        noisy = json.loads(json.dumps(quick_doc))
+        noisy["end_to_end"]["fast_seconds"] *= 1.05
+        _, regressed = compare_history(noisy, path, threshold=0.10)
+        assert regressed is False
+
+    def test_compare_skips_different_configs(self, quick_doc, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        other = json.loads(json.dumps(quick_doc))
+        other["config"]["seed"] = 999
+        append_history(other, path)
+        lines, regressed = compare_history(quick_doc, path)
+        assert regressed is False
+        assert "no comparable history entry" in lines[0]
+
+    def test_negative_threshold_rejected(self, quick_doc, tmp_path):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_history(quick_doc, tmp_path / "h.jsonl", threshold=-1.0)
+
+    def test_corrupt_history_line_named(self, quick_doc, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        path.write_text('{"seq": 1}\n{broken\n')
+        with pytest.raises(ValueError, match=r"BENCH_history\.jsonl:2"):
+            compare_history(quick_doc, path)
+
 
 class TestBenchCLI:
     def test_quick_run_writes_valid_artifact(self, tmp_path, capsys):
         out = tmp_path / "BENCH_search.json"
+        history = tmp_path / "BENCH_history.jsonl"
         rc = main(["bench", "--quick", "--max-steps", "25",
-                   "-o", str(out)])
+                   "-o", str(out), "--history", str(history)])
         assert rc == 0
         doc = json.loads(out.read_text())
         assert validate_bench(doc) == []
         stdout = capsys.readouterr().out
         assert "end-to-end" in stdout
+        # the run also landed in the history file
+        entries = history.read_text().strip().splitlines()
+        assert json.loads(entries[-1])["seq"] == 1
+
+    def test_no_history_flag_skips_append(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_search.json"
+        history = tmp_path / "BENCH_history.jsonl"
+        rc = main(["bench", "--quick", "--max-steps", "25",
+                   "-o", str(out), "--history", str(history),
+                   "--no-history"])
+        assert rc == 0
+        assert not history.exists()
+
+    def test_compare_reports_deltas(self, tmp_path, capsys):
+        history = tmp_path / "BENCH_history.jsonl"
+        rc = main(["bench", "--quick", "--max-steps", "25",
+                   "--history", str(history)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["bench", "--quick", "--max-steps", "25",
+                   "--history", str(history), "--compare",
+                   "--regression-threshold", "1000"])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "vs history entry seq=1" in stdout
+        assert "end_to_end_fast_seconds" in stdout
 
     def test_validate_accepts_committed_artifact(self, capsys):
         artifact = (
