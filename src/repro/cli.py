@@ -35,6 +35,23 @@ Two subcommands:
       python -m repro.cli trace run.trace.jsonl
       python -m repro.cli trace run.trace.jsonl --spans
 
+- ``timeline`` — render the per-instance fleet Gantt (with spot-price
+  overlay) from a trace's ``kind=fleet`` events::
+
+      python -m repro.cli timeline run.trace.jsonl
+      python -m repro.cli timeline run.trace.jsonl --html -o timeline.html
+
+- ``attribute`` — break the billing ledger down by instance type,
+  search phase and step, joined through the fleet events::
+
+      python -m repro.cli attribute run.trace.jsonl
+
+- ``metrics`` — dump a trace's metric snapshot, as Prometheus text
+  exposition or JSON::
+
+      python -m repro.cli metrics run.trace.jsonl
+      python -m repro.cli metrics run.trace.jsonl --format json
+
 - ``lint`` — run the repo's own static analyzer (see
   ``docs/static-analysis.md``)::
 
@@ -357,6 +374,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
         for line in lines:
             print(line)
+    overhead_failed = False
+    if args.max_overhead is not None:
+        obs = doc.get("observability")
+        ratio = obs.get("overhead_ratio") if isinstance(obs, dict) else None
+        if not isinstance(ratio, (int, float)):
+            print(
+                "--max-overhead: artifact carries no "
+                "observability.overhead_ratio",
+                file=sys.stderr,
+            )
+            overhead_failed = True
+        elif ratio - 1.0 > args.max_overhead:
+            print(
+                f"--max-overhead: recording overhead "
+                f"{(ratio - 1.0) * 100:.1f}% exceeds the "
+                f"{args.max_overhead * 100:.1f}% ceiling",
+                file=sys.stderr,
+            )
+            overhead_failed = True
     if not args.no_history:
         # history is best-effort bookkeeping: an unwritable file must
         # not fail a benchmark that itself succeeded
@@ -367,7 +403,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"warning: could not append to {args.history}: {exc}",
                   file=sys.stderr)
-    return 0 if doc["identity"]["byte_identical"] and not regressed else 1
+    ok = (
+        doc["identity"]["byte_identical"]
+        and not regressed
+        and not overhead_failed
+    )
+    return 0 if ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -386,6 +427,76 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.spans:
         print()
         print(render_span_tree(trace.spans))
+    return 0
+
+
+def _load_trace(path: str):
+    """Load a trace or print the CLI's standard errors (returns None)."""
+    from repro.obs import SearchTrace
+
+    try:
+        return SearchTrace.load(path)
+    except FileNotFoundError:
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(f"invalid trace file {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import render_timeline
+
+    trace = _load_trace(args.path)
+    if trace is None:
+        return 2
+    try:
+        text = render_timeline(
+            trace, fmt="html" if args.html else "text", width=args.width
+        )
+    except ValueError as exc:
+        print(f"{args.path}: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_attribute(args: argparse.Namespace) -> int:
+    from repro.obs import render_attribution
+
+    trace = _load_trace(args.path)
+    if trace is None:
+        return 2
+    try:
+        print(render_attribution(trace), end="")
+    except ValueError as exc:
+        print(f"{args.path}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import snapshot_to_prometheus_text
+
+    trace = _load_trace(args.path)
+    if trace is None:
+        return 2
+    if not trace.metrics:
+        print(f"{args.path}: trace has no metric snapshot",
+              file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(trace.metrics, indent=2, sort_keys=True))
+    else:
+        print(snapshot_to_prometheus_text(trace.metrics), end="")
     return 0
 
 
@@ -477,6 +588,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print the span tree")
     trace.set_defaults(func=_cmd_trace)
 
+    timeline = sub.add_parser(
+        "timeline",
+        help="render the per-instance fleet Gantt from a trace's "
+             "fleet events (docs/observability.md)",
+    )
+    timeline.add_argument("path", help="path to a .trace.jsonl artifact")
+    timeline.add_argument("--html", action="store_true",
+                          help="emit a self-contained HTML page instead "
+                               "of text")
+    timeline.add_argument("--width", type=int, default=60,
+                          help="text track width in columns (text mode)")
+    timeline.add_argument("-o", "--output", default=None,
+                          help="output path (stdout if omitted)")
+    timeline.set_defaults(func=_cmd_timeline)
+
+    attribute = sub.add_parser(
+        "attribute",
+        help="break the billing ledger down by instance type, phase "
+             "and step via the trace's fleet events",
+    )
+    attribute.add_argument("path", help="path to a .trace.jsonl artifact")
+    attribute.set_defaults(func=_cmd_attribute)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="dump a trace's metric snapshot (Prometheus text or JSON)",
+    )
+    metrics.add_argument("path", help="path to a .trace.jsonl artifact")
+    metrics.add_argument("--format", choices=("prom", "json"),
+                         default="prom",
+                         help="output format (default: prom)")
+    metrics.set_defaults(func=_cmd_metrics)
+
     from repro.analysis.cli import add_lint_arguments
 
     lint = sub.add_parser(
@@ -512,6 +656,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FRACTION",
                        help="relative slowdown tolerated by --compare "
                             "(default 0.10 = 10%%)")
+    bench.add_argument("--max-overhead", type=float, default=None,
+                       metavar="FRACTION",
+                       help="fail if the recording overhead ratio "
+                            "exceeds 1 + FRACTION (e.g. 0.10 = 10%%)")
     bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -110,11 +110,16 @@ class BillingLedger:
         )
 
     def breakdown(self) -> dict[str, float]:
-        """Dollars grouped by purpose tag."""
+        """Dollars grouped by purpose tag, in sorted purpose order.
+
+        Sorted (not insertion) order keeps reports and serialised
+        artifacts deterministic regardless of which purpose happened
+        to bill first.
+        """
         out: dict[str, float] = {}
         for e in self._entries:
             out[e.purpose] = out.get(e.purpose, 0.0) + e.dollars
-        return out
+        return {purpose: out[purpose] for purpose in sorted(out)}
 
     def remaining(self, budget: float) -> float:
         """Budget left after all charges (may be negative if overspent)."""

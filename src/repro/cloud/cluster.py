@@ -43,6 +43,9 @@ class Cluster:
     cluster_id: int = field(default_factory=lambda: next(_cluster_ids))
     state: ClusterState = ClusterState.PENDING
     terminated_at: float | None = None
+    # True when termination was a spot preemption rather than a planned
+    # shutdown (set by SimulatedCloud.revoke; billing is identical)
+    revoked: bool = False
 
     def __post_init__(self) -> None:
         if self.count < 1:

@@ -98,6 +98,18 @@ class InstanceType:
         """On-demand price in dollars per second (per-second billing)."""
         return self.hourly_price / _SECONDS_PER_HOUR
 
+    def spot_hourly_price(self, factor: float) -> float:
+        """Hourly price at a spot price factor (fraction of on-demand).
+
+        Raises
+        ------
+        ValueError
+            If ``factor`` is not positive.
+        """
+        if factor <= 0:
+            raise ValueError(f"{self.name}: factor must be > 0, got {factor}")
+        return self.hourly_price * factor
+
     def cost_for(self, seconds: float, count: int = 1) -> float:
         """Dollar cost of running ``count`` instances for ``seconds``.
 

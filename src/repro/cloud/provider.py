@@ -17,6 +17,7 @@ from repro.cloud.clock import LogicalClock
 from repro.cloud.cloudwatch import MetricStore
 from repro.cloud.cluster import Cluster, ClusterState
 from repro.cloud.instance import InstanceType
+from repro.obs.fleet import NOOP_FLEET, FleetLog
 
 __all__ = ["AccountLimits", "InsufficientCapacityError", "SimulatedCloud"]
 
@@ -65,6 +66,12 @@ class SimulatedCloud:
         Account concurrency limits.
     setup_seconds:
         PENDING → RUNNING delay applied to every cluster launch.
+    fleet:
+        Fleet-telemetry sink (:class:`repro.obs.fleet.FleetLog`).
+        Defaults to the inert ``NOOP_FLEET``; attach a live log (or
+        assign ``cloud.fleet`` later) to record instance-lifecycle
+        events and the cost-attribution join.  Recording is read-only:
+        it never changes billing, capacity, or the clock.
     """
 
     def __init__(
@@ -76,6 +83,7 @@ class SimulatedCloud:
         setup_seconds: float = DEFAULT_SETUP_SECONDS,
         launch_failure_rate: float = 0.0,
         failure_seed: int = 0,
+        fleet: FleetLog = NOOP_FLEET,
     ) -> None:
         if setup_seconds < 0:
             raise ValueError(f"setup_seconds must be >= 0, got {setup_seconds}")
@@ -91,6 +99,7 @@ class SimulatedCloud:
         self.launch_failure_rate = launch_failure_rate
         self.failure_seed = failure_seed
         self._launch_attempts = 0
+        self.fleet = fleet
         self.ledger = BillingLedger()
         self.metrics = MetricStore()
         self._active: list[Cluster] = []
@@ -148,6 +157,13 @@ class SimulatedCloud:
             )
         self._launch_attempts += 1
         if self._launch_fails_transiently():
+            if self.fleet.enabled:
+                self.fleet.record(
+                    "launch-failed",
+                    time=self.clock.now,
+                    instance_type=itype.name,
+                    count=count,
+                )
             raise InsufficientCapacityError(
                 f"transient capacity shortage for {count}x {instance_type}"
             )
@@ -158,6 +174,22 @@ class SimulatedCloud:
             setup_seconds=self.setup_seconds,
         )
         self._active.append(cluster)
+        if self.fleet.enabled:
+            self.fleet.record(
+                "requested",
+                time=self.clock.now,
+                instance_type=itype.name,
+                count=count,
+                cluster_id=cluster.cluster_id,
+            )
+            self.fleet.record(
+                "provisioning",
+                time=self.clock.now,
+                instance_type=itype.name,
+                count=count,
+                cluster_id=cluster.cluster_id,
+                seconds=self.setup_seconds,
+            )
         return cluster
 
     def wait_until_ready(self, cluster: Cluster) -> None:
@@ -166,7 +198,16 @@ class SimulatedCloud:
             raise RuntimeError("cannot wait on a terminated cluster")
         if self.clock.now < cluster.ready_at:
             self.clock.advance_to(cluster.ready_at)
+        was_running = cluster.state is ClusterState.RUNNING
         cluster.mark_running(self.clock.now)
+        if self.fleet.enabled and not was_running:
+            self.fleet.record(
+                "running",
+                time=self.clock.now,
+                instance_type=cluster.instance_type.name,
+                count=cluster.count,
+                cluster_id=cluster.cluster_id,
+            )
 
     def run_for(self, cluster: Cluster, seconds: float) -> None:
         """Advance the clock while ``cluster`` runs (must be RUNNING)."""
@@ -179,6 +220,28 @@ class SimulatedCloud:
 
     def terminate(self, cluster: Cluster, *, purpose: str) -> float:
         """Terminate and bill the cluster; returns dollars charged."""
+        return self._bill_and_close(cluster, purpose=purpose, event="terminated")
+
+    def revoke(self, cluster: Cluster, *, purpose: str) -> float:
+        """Terminate the cluster as a spot revocation.
+
+        Billing is identical to :meth:`terminate` (per-second billing
+        up to the revocation instant); the cluster is flagged
+        ``revoked`` and the fleet log records a ``revoked`` event so
+        traces can tell preemption from planned shutdown.
+        """
+        dollars = self._bill_and_close(
+            cluster, purpose=purpose, event="revoked"
+        )
+        cluster.revoked = True
+        return dollars
+
+    def _bill_and_close(
+        self, cluster: Cluster, *, purpose: str, event: str
+    ) -> float:
+        """Shared terminate/revoke path: bill once, emit one closing
+        fleet event carrying the ledger index (the attribution join
+        key — every ledger entry is written here and nowhere else)."""
         seconds = cluster.terminate(self.clock.now)
         dollars = cluster.instance_type.cost_for(seconds, cluster.count)
         self.ledger.charge(
@@ -189,6 +252,18 @@ class SimulatedCloud:
             dollars=dollars,
             purpose=purpose,
         )
+        if self.fleet.enabled:
+            self.fleet.record(
+                event,
+                time=self.clock.now,
+                instance_type=cluster.instance_type.name,
+                count=cluster.count,
+                cluster_id=cluster.cluster_id,
+                purpose=purpose,
+                seconds=seconds,
+                dollars=dollars,
+                ledger_index=len(self.ledger) - 1,
+            )
         return dollars
 
     # -- convenience ---------------------------------------------------------

@@ -123,6 +123,34 @@ class SpotMarket:
             self.tick_of(time)
         ]
 
+    def price_points(
+        self,
+        instance_type: str,
+        start_time: float,
+        end_time: float,
+        *,
+        max_points: int = 64,
+    ) -> list[tuple[float, float]]:
+        """Sampled ``(time, factor)`` tick points over an interval.
+
+        Used for spot-price overlays in fleet telemetry and the
+        timeline renderer.  Points land on tick boundaries; when the
+        interval spans more than ``max_points`` ticks the series is
+        decimated systematically (every ``ceil(n / max_points)``-th
+        tick), so the sample is deterministic for a given market.
+        """
+        if end_time < start_time:
+            raise ValueError("end_time precedes start_time")
+        if max_points < 1:
+            raise ValueError(f"max_points must be >= 1, got {max_points}")
+        first, last = self.tick_of(start_time), self.tick_of(end_time)
+        ticks = list(range(first, last + 1))
+        if len(ticks) > max_points:
+            stride = -(-len(ticks) // max_points)  # ceil division
+            ticks = ticks[::stride]
+        factors = self._factors(instance_type, last)
+        return [(tick * self.tick_seconds, factors[tick]) for tick in ticks]
+
     def price_per_hour(self, instance_type: str, time: float) -> float:
         """Spot price in dollars per hour at ``time``."""
         return (

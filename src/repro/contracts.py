@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.billing import BillingLedger
     from repro.core.kernels import Kernel
     from repro.core.result import TrialRecord
+    from repro.obs.fleet import FleetLog
 
 __all__ = [
     "ENV_VAR",
@@ -38,6 +39,7 @@ __all__ = [
     "check_probe_billing",
     "check_search_billing",
     "check_ledger",
+    "check_fleet_attribution",
 ]
 
 #: Environment variable gating all checks.
@@ -165,4 +167,62 @@ def check_ledger(ledger: "BillingLedger") -> None:
         _fail(
             f"ledger purpose breakdown ({by_purpose!r}) does not sum "
             f"to the total ({total!r})"
+        )
+
+
+def check_fleet_attribution(
+    ledger: "BillingLedger", fleet: "FleetLog | None"
+) -> None:
+    """Fleet cost attribution must mirror the ledger exactly.
+
+    Every ledger entry is written by exactly one
+    ``SimulatedCloud.terminate``/``revoke`` call, which emits exactly
+    one closing fleet event carrying the entry's index — so the join
+    is 1:1, each event's ``dollars`` is the *same float* the ledger
+    holds, and the attributed total (summed in ledger order) equals
+    ``ledger.total()`` bit for bit.  Unlike the other dollar checks
+    there is no tolerance here: same summands in the same order must
+    give the same sum, and any drift means the join is broken.
+
+    No-ops when contracts are off or the fleet log is the inert
+    ``NOOP_FLEET`` (e.g. recording disabled, or the log was attached
+    after some clusters had already billed).
+    """
+    if not enabled():
+        return
+    if fleet is None or not getattr(fleet, "enabled", False):
+        return
+    entries = ledger.entries
+    by_index: dict[int, object] = {}
+    for event in fleet.events:
+        if event.ledger_index is None:
+            continue
+        if event.ledger_index in by_index:
+            _fail(
+                f"ledger entry {event.ledger_index} attributed by two "
+                f"fleet events"
+            )
+        by_index[event.ledger_index] = event
+    if set(by_index) != set(range(len(entries))):
+        _fail(
+            f"fleet attribution covers {len(by_index)} of "
+            f"{len(entries)} ledger entries"
+        )
+    attributed = 0.0
+    total = 0.0
+    for i, entry in enumerate(entries):
+        event = by_index[i]
+        # exact equality on purpose: the event's dollars is a copy of
+        # the ledger entry's, not a recomputation
+        if event.dollars != entry.dollars:  # repro-lint: disable=RL002
+            _fail(
+                f"fleet event for ledger entry {i} carries dollars "
+                f"{event.dollars!r}, ledger has {entry.dollars!r}"
+            )
+        attributed += event.dollars
+        total += entry.dollars
+    if attributed != total:  # repro-lint: disable=RL002
+        _fail(
+            f"attributed dollars ({attributed!r}) do not equal the "
+            f"ledger total summed in the same order ({total!r})"
         )

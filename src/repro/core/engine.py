@@ -820,35 +820,48 @@ class SearchStrategy(abc.ABC):
         trials: list[TrialRecord],
         note: str,
     ) -> ProfileResult:
-        with context.tracer.span("probe", {
-            "deployment": str(deployment),
-            "instance_type": deployment.instance_type,
-            "count": deployment.count,
-            "note": note,
-        }) as span:
-            billed_before = context.profiler.cloud.ledger.total()
-            result = context.profiler.profile(
-                deployment.instance_type, deployment.count, context.job
-            )
-            contracts.check_probe_billing(
-                result.dollars,
-                context.profiler.cloud.ledger.total() - billed_before,
-            )
-            engine.add_observation(result)
-            trials.append(TrialRecord(
-                step=len(trials) + 1,
-                deployment=deployment,
-                measured_speed=result.speed,
-                profile_seconds=result.seconds,
-                profile_dollars=result.dollars,
-                elapsed_seconds=context.elapsed_seconds(),
-                spent_dollars=context.spent_dollars(),
-                note=note,
-                failure_reason=result.failure_reason,
-            ))
-            self._record_probe_telemetry(
-                context, span, result, len(trials)
-            )
+        # cost-attribution context: the fleet log stamps the clusters
+        # this probe launches with the phase / step / trial / deployment
+        # that asked for them (read-only; NOOP_FLEET by default)
+        fleet = context.profiler.cloud.fleet
+        fleet.annotate(
+            phase="initial" if note == "initial" else "explore",
+            step=len(trials) + 1,
+            trial=len(trials) + 1,
+            deployment=str(deployment),
+        )
+        try:
+            with context.tracer.span("probe", {
+                "deployment": str(deployment),
+                "instance_type": deployment.instance_type,
+                "count": deployment.count,
+                "note": note,
+            }) as span:
+                billed_before = context.profiler.cloud.ledger.total()
+                result = context.profiler.profile(
+                    deployment.instance_type, deployment.count, context.job
+                )
+                contracts.check_probe_billing(
+                    result.dollars,
+                    context.profiler.cloud.ledger.total() - billed_before,
+                )
+                engine.add_observation(result)
+                trials.append(TrialRecord(
+                    step=len(trials) + 1,
+                    deployment=deployment,
+                    measured_speed=result.speed,
+                    profile_seconds=result.seconds,
+                    profile_dollars=result.dollars,
+                    elapsed_seconds=context.elapsed_seconds(),
+                    spent_dollars=context.spent_dollars(),
+                    note=note,
+                    failure_reason=result.failure_reason,
+                ))
+                self._record_probe_telemetry(
+                    context, span, result, len(trials)
+                )
+        finally:
+            fleet.clear()
         self.on_observation(context, result)
         logger.debug(
             "%s probe %d: %s -> %.2f samples/s (%s) "
@@ -934,6 +947,9 @@ class SearchStrategy(abc.ABC):
             trials, ledger.total("profiling") - profiling_before
         )
         contracts.check_ledger(ledger)
+        contracts.check_fleet_attribution(
+            ledger, context.profiler.cloud.fleet
+        )
         context.metrics.gauge("search.steps_to_stop").set(
             len(trials), strategy=self.name
         )

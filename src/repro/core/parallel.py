@@ -201,10 +201,20 @@ class ParallelHeterBO(HeterBO):
                 with context.tracer.span("step", {
                     "phase": "initial", "batch": len(initial),
                 }):
-                    results = context.profiler.profile_batch(
-                        [(d.instance_type, d.count) for d in initial],
-                        context.job,
+                    # batch member i becomes trial first_trial + i
+                    # (_record_batch appends in launch order), so the
+                    # fleet log can attribute each member's clusters
+                    fleet = context.profiler.cloud.fleet
+                    fleet.begin_batch(
+                        phase="initial", first_trial=len(trials) + 1
                     )
+                    try:
+                        results = context.profiler.profile_batch(
+                            [(d.instance_type, d.count) for d in initial],
+                            context.job,
+                        )
+                    finally:
+                        fleet.clear()
                     self._record_batch(
                         context, engine, results, trials, "initial"
                     )
@@ -260,10 +270,17 @@ class ParallelHeterBO(HeterBO):
                     self._commit_decision(
                         context, engine, chosen=batch[0], batch=batch
                     )
-                    results = context.profiler.profile_batch(
-                        [(d.instance_type, d.count) for d in batch],
-                        context.job,
+                    fleet = context.profiler.cloud.fleet
+                    fleet.begin_batch(
+                        phase="explore", first_trial=len(trials) + 1
                     )
+                    try:
+                        results = context.profiler.profile_batch(
+                            [(d.instance_type, d.count) for d in batch],
+                            context.job,
+                        )
+                    finally:
+                        fleet.clear()
                     self._record_batch(
                         context, engine, results, trials, "explore"
                     )
@@ -282,6 +299,9 @@ class ParallelHeterBO(HeterBO):
             trials, ledger.total("profiling") - profiling_before
         )
         contracts.check_ledger(ledger)
+        contracts.check_fleet_attribution(
+            ledger, context.profiler.cloud.fleet
+        )
         context.metrics.gauge("search.steps_to_stop").set(
             len(trials), strategy=self.name
         )

@@ -114,6 +114,7 @@ def _build_world(
     cloud = SimulatedCloud(catalog)
     simulator = TrainingSimulator()
     recorder = RunRecorder(clock=lambda: cloud.clock.now)
+    cloud.fleet = recorder.fleet
     profiler = Profiler(
         cloud,
         simulator,

@@ -14,6 +14,7 @@ The engine owns the search/execute split:
 
 from __future__ import annotations
 
+from repro import contracts
 from repro.core.engine import SearchContext, SearchStrategy
 from repro.core.result import DeploymentReport, SearchResult
 from repro.core.search_space import Deployment, DeploymentSpace
@@ -112,12 +113,18 @@ class DeploymentEngine:
         train_seconds = job.total_samples / true_speed
 
         start = self.cloud.clock.now
-        cluster = self.cloud.launch(
-            deployment.instance_type, deployment.count
-        )
-        self.cloud.wait_until_ready(cluster)
-        self.cloud.run_for(cluster, train_seconds)
-        dollars = self.cloud.terminate(cluster, purpose="training")
+        fleet = self.cloud.fleet
+        fleet.annotate(phase="final-train", deployment=str(deployment))
+        try:
+            cluster = self.cloud.launch(
+                deployment.instance_type, deployment.count
+            )
+            self.cloud.wait_until_ready(cluster)
+            self.cloud.run_for(cluster, train_seconds)
+            dollars = self.cloud.terminate(cluster, purpose="training")
+        finally:
+            fleet.clear()
+        contracts.check_fleet_attribution(self.cloud.ledger, fleet)
         return self.cloud.clock.now - start, dollars
 
     def deploy(

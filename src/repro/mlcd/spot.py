@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.cloud.catalog import InstanceCatalog
 from repro.cloud.spot import SpotMarket
 from repro.core.search_space import Deployment
+from repro.obs.fleet import NOOP_FLEET, FleetLog
 from repro.sim.throughput import TrainingJob, TrainingSimulator
 
 __all__ = ["SpotOutcome", "SpotTrainingExecutor"]
@@ -63,6 +64,11 @@ class SpotTrainingExecutor:
     max_revocations:
         Safety bound; exceeding it raises (a bid far below the price
         floor would otherwise never finish).
+    fleet:
+        Fleet-telemetry sink; the default ``NOOP_FLEET`` records
+        nothing.  Spot segments bill outside the on-demand ledger, so
+        their closing events carry ``ledger_index=None`` and are
+        excluded from ledger reconciliation.
     """
 
     def __init__(
@@ -74,6 +80,7 @@ class SpotTrainingExecutor:
         checkpoint_seconds: float = 600.0,
         restart_seconds: float = 180.0,
         max_revocations: int = 1000,
+        fleet: FleetLog = NOOP_FLEET,
     ) -> None:
         if checkpoint_seconds <= 0:
             raise ValueError(
@@ -93,6 +100,49 @@ class SpotTrainingExecutor:
         self.checkpoint_seconds = checkpoint_seconds
         self.restart_seconds = restart_seconds
         self.max_revocations = max_revocations
+        self.fleet = fleet
+
+    def _record_segment_open(
+        self,
+        deployment: Deployment,
+        segment_id: str,
+        *,
+        start: float,
+        end: float,
+        bid_factor: float,
+    ) -> None:
+        """Emit the opening fleet events for one spot segment.
+
+        Spot capacity has no provisioning delay in this model, so the
+        segment goes ``requested`` → ``running`` at the grant instant;
+        a decimated ``spot-price`` series over the segment's window
+        feeds the timeline's price overlay.
+        """
+        fleet = self.fleet
+        fleet.annotate(phase="spot-train", deployment=str(deployment))
+        open_factor = self.market.price_factor(
+            deployment.instance_type, start
+        )
+        for event in ("requested", "running"):
+            fleet.record(
+                event,
+                time=start,
+                instance_type=deployment.instance_type,
+                count=deployment.count,
+                cluster_id=segment_id,
+                spot_factor=open_factor,
+                bid_factor=bid_factor,
+            )
+        for tick_time, factor in self.market.price_points(
+            deployment.instance_type, start, end
+        ):
+            fleet.record(
+                "spot-price",
+                time=tick_time,
+                instance_type=deployment.instance_type,
+                count=deployment.count,
+                spot_factor=factor,
+            )
 
     def execute(
         self,
@@ -126,47 +176,91 @@ class SpotTrainingExecutor:
         dollars = 0.0
         wasted = 0.0
         revocations = 0
+        fleet = self.fleet
+        segment = 0
 
-        while done < needed:
-            grant = self.market.next_availability(
-                deployment.instance_type, now, bid_factor,
-                horizon_seconds=horizon,
-            )
-            if grant is None:
-                raise RuntimeError(
-                    "no spot capacity within the simulation horizon"
+        try:
+            while done < needed:
+                grant = self.market.next_availability(
+                    deployment.instance_type, now, bid_factor,
+                    horizon_seconds=horizon,
                 )
-            now = grant
-            revocation = self.market.next_revocation(
-                deployment.instance_type, now, bid_factor,
-                horizon_seconds=horizon,
-            )
-            completion = now + (needed - done)
-            end = completion if revocation is None else min(
-                completion, revocation
-            )
-            ran = end - now
-            factor = self.market.mean_factor(
-                deployment.instance_type, now, end
-            )
-            dollars += (
-                itype.hourly_price * factor * deployment.count * ran / 3600.0
-            )
-            if end == completion:
-                done = needed
-                now = end
-                break
-            # revoked: keep only fully checkpointed progress
-            banked = (ran // self.checkpoint_seconds) * self.checkpoint_seconds
-            done += banked
-            wasted += (ran - banked) + self.restart_seconds
-            revocations += 1
-            if revocations > self.max_revocations:
-                raise RuntimeError(
-                    f"exceeded {self.max_revocations} revocations; "
-                    f"bid {bid_factor} is too aggressive for this market"
+                if grant is None:
+                    raise RuntimeError(
+                        "no spot capacity within the simulation horizon"
+                    )
+                now = grant
+                revocation = self.market.next_revocation(
+                    deployment.instance_type, now, bid_factor,
+                    horizon_seconds=horizon,
                 )
-            now = end + self.restart_seconds
+                completion = now + (needed - done)
+                end = completion if revocation is None else min(
+                    completion, revocation
+                )
+                ran = end - now
+                factor = self.market.mean_factor(
+                    deployment.instance_type, now, end
+                )
+                seg_dollars = (
+                    itype.spot_hourly_price(factor)
+                    * deployment.count * ran / 3600.0
+                )
+                dollars += seg_dollars
+                segment += 1
+                segment_id = f"spot-{segment}"
+                if fleet.enabled:
+                    self._record_segment_open(
+                        deployment, segment_id, start=now, end=end,
+                        bid_factor=bid_factor,
+                    )
+                if end == completion:
+                    if fleet.enabled:
+                        fleet.record(
+                            "terminated",
+                            time=end,
+                            instance_type=deployment.instance_type,
+                            count=deployment.count,
+                            cluster_id=segment_id,
+                            purpose="spot-training",
+                            seconds=ran,
+                            dollars=seg_dollars,
+                            spot_factor=factor,
+                            bid_factor=bid_factor,
+                        )
+                    done = needed
+                    now = end
+                    break
+                # revoked: keep only fully checkpointed progress
+                banked = (
+                    (ran // self.checkpoint_seconds) * self.checkpoint_seconds
+                )
+                done += banked
+                wasted += (ran - banked) + self.restart_seconds
+                revocations += 1
+                if fleet.enabled:
+                    fleet.record(
+                        "revoked",
+                        time=end,
+                        instance_type=deployment.instance_type,
+                        count=deployment.count,
+                        cluster_id=segment_id,
+                        purpose="spot-training",
+                        seconds=ran,
+                        dollars=seg_dollars,
+                        spot_factor=self.market.price_factor(
+                            deployment.instance_type, end
+                        ),
+                        bid_factor=bid_factor,
+                    )
+                if revocations > self.max_revocations:
+                    raise RuntimeError(
+                        f"exceeded {self.max_revocations} revocations; "
+                        f"bid {bid_factor} is too aggressive for this market"
+                    )
+                now = end + self.restart_seconds
+        finally:
+            fleet.clear()
 
         return SpotOutcome(
             seconds=now - start_time,

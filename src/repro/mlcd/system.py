@@ -75,6 +75,10 @@ class MLCD:
         # simulated clock, and finalize() turns the run into a
         # SearchTrace artifact (self.last_trace)
         self.recorder = RunRecorder(clock=lambda: self.cloud.clock.now)
+        # fleet telemetry: the cloud emits lifecycle events into the
+        # recorder's FleetLog (read-only; the join to the billing
+        # ledger gives per-step cost attribution in the trace)
+        self.cloud.fleet = self.recorder.fleet
         self.profiler = Profiler(
             self.cloud,
             self.simulator,

@@ -33,12 +33,19 @@ from repro.obs.decisions import (
     DecisionRecord,
 )
 from repro.obs.explain import render_explain
+from repro.obs.fleet import (
+    FLEET_EVENT_VERSION,
+    NOOP_FLEET,
+    FleetEvent,
+    FleetLog,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     HistogramStats,
     MetricsRegistry,
+    snapshot_to_prometheus_text,
 )
 from repro.obs.recorder import (
     SUPPORTED_TRACE_VERSIONS,
@@ -48,6 +55,7 @@ from repro.obs.recorder import (
 )
 from repro.obs.report import render_comparison
 from repro.obs.span import Span
+from repro.obs.timeline import render_attribution, render_timeline
 from repro.obs.tracer import NOOP_TRACER, RecordingTracer, Tracer
 from repro.obs.watchdog import (
     NOOP_WATCHDOG,
@@ -63,11 +71,15 @@ __all__ = [
     "Counter",
     "DecisionLog",
     "DecisionRecord",
+    "FLEET_EVENT_VERSION",
+    "FleetEvent",
+    "FleetLog",
     "Gauge",
     "Histogram",
     "HistogramStats",
     "MetricsRegistry",
     "NOOP_DECISIONS",
+    "NOOP_FLEET",
     "NOOP_TRACER",
     "NOOP_WATCHDOG",
     "RecordingTracer",
@@ -82,4 +94,7 @@ __all__ = [
     "WatchdogConfig",
     "render_comparison",
     "render_explain",
+    "render_attribution",
+    "render_timeline",
+    "snapshot_to_prometheus_text",
 ]

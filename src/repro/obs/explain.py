@@ -9,7 +9,7 @@ so the explanation is the decision, not a reconstruction of it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.decisions import CandidateRecord, DecisionRecord
@@ -219,6 +219,9 @@ def _render_step(trace: "SearchTrace", record: "DecisionRecord") -> str:
             f"cond={'inf' if cond is None else f'{cond:.3g}'} "
             f"refit={s.get('refit_mode', '-')}"
         )
+    fleet_line = _fleet_state_line(trace, record)
+    if fleet_line is not None:
+        lines.append(fleet_line)
     if record.candidates:
         lines.append("")
         lines.append(
@@ -244,6 +247,62 @@ def _render_step(trace: "SearchTrace", record: "DecisionRecord") -> str:
                 "batch         : " + ", ".join(record.batch)
             )
     return "\n".join(lines)
+
+
+def _fleet_state_line(
+    trace: "SearchTrace", record: "DecisionRecord"
+) -> str | None:
+    """Fleet state when this step's probe requested its cluster.
+
+    Only possible when the trace carries fleet events and the step
+    chose a deployment (stops launch nothing).  Deployments are unique
+    per search — strategies only probe unvisited candidates — so the
+    chosen deployment string identifies its ``requested`` event.
+    """
+    if not trace.fleet or record.chosen is None:
+        return None
+    request_time = next(
+        (
+            e.time for e in trace.fleet
+            if e.event == "requested" and e.deployment == record.chosen
+        ),
+        None,
+    )
+    if request_time is None:
+        return None
+    # reconstruct which clusters were RUNNING at the request instant
+    running_at: dict[Any, tuple[str, int]] = {}
+    spot_factor = None
+    for event in trace.fleet:
+        if event.time > request_time:
+            break
+        if event.cluster_id is None:
+            if event.event == "spot-price":
+                spot_factor = event.spot_factor
+            continue
+        if event.event == "running":
+            running_at[event.cluster_id] = (
+                event.instance_type, event.count
+            )
+        elif event.event in ("terminated", "revoked"):
+            running_at.pop(event.cluster_id, None)
+    by_type: dict[str, int] = {}
+    for itype, count in running_at.values():
+        by_type[itype] = by_type.get(itype, 0) + count
+    if by_type:
+        detail = ", ".join(
+            f"{count}x {itype}" for itype, count in sorted(by_type.items())
+        )
+        state = f"{sum(by_type.values())} instance(s) running ({detail})"
+    else:
+        state = "no instances running"
+    line = (
+        f"fleet         : {state} when {record.chosen} was requested "
+        f"(t={request_time:.0f} s)"
+    )
+    if spot_factor is not None:
+        line += f"; spot factor {spot_factor:.2f}"
+    return line
 
 
 def _chosen_rationale(record: "DecisionRecord") -> list[str]:

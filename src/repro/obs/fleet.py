@@ -1,0 +1,397 @@
+"""Fleet telemetry: instance-lifecycle events and cost attribution.
+
+The cloud substrate (:mod:`repro.cloud`) is where search dollars are
+actually spent, yet spans and decision records only describe the
+*search side* of a run.  :class:`FleetLog` closes the gap: the
+simulated provider emits one :class:`FleetEvent` per instance
+lifecycle transition (``requested`` → ``provisioning`` → ``running``
+→ ``terminated`` / ``revoked``), and the search stack annotates the
+log with *attribution context* — which phase, step, trial and
+deployment asked for the capacity — so every billing-ledger entry can
+be joined back to the decision that incurred it.
+
+Design rules (shared with :mod:`repro.obs.decisions`):
+
+- **Read-only.**  Recording never feeds back into the search: the log
+  only copies values the cloud already computed, so a run with fleet
+  telemetry on makes byte-identical decisions to one with it off.
+- **No-op by default.**  ``NOOP_FLEET`` is a stateless singleton; the
+  provider's hot path pays one attribute load and an early return.
+- **Ledger join.**  Every ledger entry is written by exactly one
+  ``SimulatedCloud.terminate()`` call, which emits exactly one
+  ``terminated`` (or ``revoked``) event carrying the entry's index as
+  ``ledger_index`` — a 1:1 join, reconciled *exactly* (same floats,
+  same summation order) by
+  :func:`repro.contracts.check_fleet_attribution`.
+
+Events serialise into the :class:`~repro.obs.recorder.SearchTrace`
+artifact as ``kind=fleet`` JSON lines (trace schema v3); each event
+dict carries its own ``v`` field so the fleet schema can evolve
+independently of the trace envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "FLEET_EVENT_KINDS",
+    "FLEET_EVENT_VERSION",
+    "FleetEvent",
+    "FleetLog",
+    "NOOP_FLEET",
+]
+
+#: Version of the per-event schema (the ``v`` key on serialised events).
+FLEET_EVENT_VERSION = 1
+
+#: Recognised lifecycle transitions (plus the spot-price overlay kind).
+FLEET_EVENT_KINDS = (
+    "requested",
+    "provisioning",
+    "running",
+    "terminated",
+    "revoked",
+    "launch-failed",
+    "spot-price",
+)
+
+#: Attribution-context keys threaded from the search stack.
+_CTX_KEYS = ("phase", "step", "trial", "deployment")
+
+
+@dataclass(frozen=True, slots=True)
+class FleetEvent:
+    """One instance-lifecycle transition, with attribution context.
+
+    Attributes
+    ----------
+    seq:
+        1-based emission order within the run (stable tie-break for
+        events sharing a timestamp).
+    time:
+        Simulated-clock timestamp in seconds.
+    event:
+        One of :data:`FLEET_EVENT_KINDS`.
+    instance_type / count:
+        The capacity the transition concerns.
+    cluster_id:
+        Provider cluster id (int), a synthetic segment id (str) for
+        spot-training segments, or ``None`` for events with no
+        cluster (``launch-failed``, ``spot-price``).
+    purpose:
+        Billing purpose tag on ``terminated`` / ``revoked`` events.
+    seconds / dollars:
+        Billable window and charge on closing events (``terminated``
+        / ``revoked``), or the expected setup window on
+        ``provisioning`` events.
+    ledger_index:
+        Index of the :class:`~repro.cloud.billing.LedgerEntry` this
+        closing event paid into — the cost-attribution join key.
+        ``None`` for non-billing events and for spot-training
+        segments (billed outside the ledger).
+    spot_factor / bid_factor:
+        Spot-market price factor at the event time and the bid it ran
+        under (spot paths only).
+    phase / step / trial / deployment:
+        Attribution context captured when the cluster was requested:
+        search phase (``initial`` / ``explore`` / ``final-train`` /
+        ``spot-train``), 1-based decision step, 1-based trial index,
+        and the deployment string (``"4x c5.xlarge"``).
+    """
+
+    seq: int
+    time: float
+    event: str
+    instance_type: str
+    count: int
+    cluster_id: int | str | None = None
+    purpose: str | None = None
+    seconds: float | None = None
+    dollars: float | None = None
+    ledger_index: int | None = None
+    spot_factor: float | None = None
+    bid_factor: float | None = None
+    phase: str | None = None
+    step: int | None = None
+    trial: int | None = None
+    deployment: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.event not in FLEET_EVENT_KINDS:
+            raise ValueError(
+                f"unknown fleet event {self.event!r}; expected one of "
+                f"{FLEET_EVENT_KINDS}"
+            )
+        if self.seq < 1:
+            raise ValueError(f"seq must be >= 1, got {self.seq}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialisable form; ``None`` fields are dropped."""
+        doc: dict[str, Any] = {
+            "v": FLEET_EVENT_VERSION,
+            "seq": self.seq,
+            "time": self.time,
+            "event": self.event,
+            "instance_type": self.instance_type,
+            "count": self.count,
+        }
+        for key in (
+            "cluster_id",
+            "purpose",
+            "seconds",
+            "dollars",
+            "ledger_index",
+            "spot_factor",
+            "bid_factor",
+            "phase",
+            "step",
+            "trial",
+            "deployment",
+        ):
+            value = getattr(self, key)
+            if value is not None:
+                doc[key] = value
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FleetEvent":
+        """Rebuild an event from its serialised form.
+
+        Tolerates unknown keys (forward compatibility within the
+        fleet schema) but requires the core identity fields.
+        """
+        return cls(
+            seq=int(doc["seq"]),
+            time=float(doc["time"]),
+            event=str(doc["event"]),
+            instance_type=str(doc["instance_type"]),
+            count=int(doc["count"]),
+            cluster_id=doc.get("cluster_id"),
+            purpose=doc.get("purpose"),
+            seconds=doc.get("seconds"),
+            dollars=doc.get("dollars"),
+            ledger_index=doc.get("ledger_index"),
+            spot_factor=doc.get("spot_factor"),
+            bid_factor=doc.get("bid_factor"),
+            phase=doc.get("phase"),
+            step=doc.get("step"),
+            trial=doc.get("trial"),
+            deployment=doc.get("deployment"),
+        )
+
+
+class FleetLog:
+    """Collects :class:`FleetEvent`s and updates fleet metrics.
+
+    The cloud provider calls :meth:`record`; the search stack brackets
+    capacity requests with :meth:`annotate` / :meth:`clear` (or, for
+    parallel batches, :meth:`begin_batch` + :meth:`batch_member`) so
+    that each ``requested`` event captures the attribution context of
+    the decision that asked for the instances.  The context is frozen
+    per cluster at request time, which is what makes batched probes
+    attribute correctly even though their clusters terminate in
+    completion order, not launch order.
+    """
+
+    def __init__(self, *, metrics: Any = None) -> None:
+        self._events: list[FleetEvent] = []
+        self._metrics = metrics
+        self._ctx: dict[str, Any] = {}
+        self._batch: dict[str, Any] | None = None
+        # cluster_id -> (instance_type, count) for the running gauge
+        self._running: dict[int | str, tuple[str, int]] = {}
+        # cluster_id -> attribution context frozen at request time
+        self._cluster_ctx: dict[int | str, dict[str, Any]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether recording is live (``False`` only on the no-op)."""
+        return True
+
+    @property
+    def events(self) -> tuple[FleetEvent, ...]:
+        """All events in emission order."""
+        return tuple(self._events)
+
+    # -- attribution context -------------------------------------------
+
+    def annotate(
+        self,
+        *,
+        phase: str | None = None,
+        step: int | None = None,
+        trial: int | None = None,
+        deployment: str | None = None,
+    ) -> None:
+        """Set the attribution context for subsequent requests."""
+        for key, value in (
+            ("phase", phase),
+            ("step", step),
+            ("trial", trial),
+            ("deployment", deployment),
+        ):
+            if value is not None:
+                self._ctx[key] = value
+
+    def begin_batch(self, *, phase: str, first_trial: int) -> None:
+        """Start a parallel batch: member ``i`` becomes trial
+        ``first_trial + i`` (the batch recorder appends trials in
+        launch order, so the mapping is deterministic)."""
+        self._batch = {"phase": phase, "first_trial": first_trial}
+
+    def batch_member(self, index: int, instance_type: str, count: int) -> None:
+        """Point the context at batch member ``index`` (called by the
+        profiler just before each member's launch)."""
+        self._ctx = {"deployment": f"{count}x {instance_type}"}
+        if self._batch is not None:
+            trial = self._batch["first_trial"] + index
+            self._ctx["phase"] = self._batch["phase"]
+            self._ctx["step"] = trial
+            self._ctx["trial"] = trial
+
+    def clear(self) -> None:
+        """Drop the attribution context (end of probe / batch / train)."""
+        self._ctx = {}
+        self._batch = None
+
+    # -- event recording -----------------------------------------------
+
+    def record(
+        self,
+        event: str,
+        *,
+        time: float,
+        instance_type: str,
+        count: int,
+        cluster_id: int | str | None = None,
+        purpose: str | None = None,
+        seconds: float | None = None,
+        dollars: float | None = None,
+        ledger_index: int | None = None,
+        spot_factor: float | None = None,
+        bid_factor: float | None = None,
+    ) -> FleetEvent:
+        """Append one event, merging in the attribution context.
+
+        ``requested`` events freeze the current context for their
+        cluster; closing events (``terminated`` / ``revoked``) reuse
+        the frozen context so attribution survives out-of-order
+        termination.
+        """
+        ctx: Mapping[str, Any]
+        if cluster_id is not None and cluster_id in self._cluster_ctx:
+            ctx = self._cluster_ctx[cluster_id]
+        else:
+            ctx = self._ctx
+            if event == "requested" and cluster_id is not None:
+                frozen = dict(self._ctx)
+                self._cluster_ctx[cluster_id] = frozen
+                ctx = frozen
+        record = FleetEvent(
+            seq=len(self._events) + 1,
+            time=time,
+            event=event,
+            instance_type=instance_type,
+            count=count,
+            cluster_id=cluster_id,
+            purpose=purpose,
+            seconds=seconds,
+            dollars=dollars,
+            ledger_index=ledger_index,
+            spot_factor=spot_factor,
+            bid_factor=bid_factor,
+            phase=ctx.get("phase"),
+            step=ctx.get("step"),
+            trial=ctx.get("trial"),
+            deployment=ctx.get("deployment"),
+        )
+        self._events.append(record)
+        self._update_metrics(record)
+        return record
+
+    # -- metrics -------------------------------------------------------
+
+    def _update_metrics(self, record: FleetEvent) -> None:
+        metrics = self._metrics
+        event = record.event
+        if event == "running" and record.cluster_id is not None:
+            self._running[record.cluster_id] = (
+                record.instance_type,
+                record.count,
+            )
+            self._set_running_gauge(record.instance_type)
+        elif event in ("terminated", "revoked"):
+            if record.cluster_id is not None:
+                self._running.pop(record.cluster_id, None)
+                self._set_running_gauge(record.instance_type)
+            if event == "revoked" and metrics is not None:
+                metrics.counter(
+                    "fleet.revocations_total",
+                    description="spot revocations observed by the fleet log",
+                ).inc()
+        elif event == "launch-failed" and metrics is not None:
+            metrics.counter(
+                "fleet.launch_failures_total",
+                description="transient capacity failures at launch",
+            ).inc(instance_type=record.instance_type)
+        elif event == "spot-price" and metrics is not None:
+            if record.spot_factor is not None:
+                metrics.gauge(
+                    "spot.price_factor",
+                    description="spot price as a fraction of on-demand",
+                ).set(
+                    record.spot_factor,
+                    instance_type=record.instance_type,
+                )
+
+    def _set_running_gauge(self, instance_type: str) -> None:
+        if self._metrics is None:
+            return
+        total = sum(
+            count
+            for itype, count in self._running.values()
+            if itype == instance_type
+        )
+        self._metrics.gauge(
+            "fleet.instances_running",
+            description="instances currently in the RUNNING state",
+        ).set(float(total), type=instance_type)
+
+
+class _NoopFleetLog(FleetLog):
+    """Inert fleet log: every mutator returns immediately.
+
+    Stateless by construction, so the module-level singleton can be
+    shared by every uninstrumented ``SimulatedCloud`` without
+    cross-talk.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def annotate(self, **_: Any) -> None:  # type: ignore[override]
+        return None
+
+    def begin_batch(self, **_: Any) -> None:  # type: ignore[override]
+        return None
+
+    def batch_member(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+    def record(self, *args: Any, **kwargs: Any) -> FleetEvent | None:  # type: ignore[override]
+        return None
+
+
+#: Shared inert singleton — the default ``SimulatedCloud.fleet``.
+NOOP_FLEET = _NoopFleetLog()

@@ -15,6 +15,7 @@ raw throughput series.
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
@@ -24,6 +25,7 @@ __all__ = [
     "Histogram",
     "HistogramStats",
     "MetricsRegistry",
+    "snapshot_to_prometheus_text",
 ]
 
 _LabelKey = tuple[tuple[str, str], ...]
@@ -264,6 +266,23 @@ class MetricsRegistry:
             }
         return out
 
+    def to_prometheus_text(self) -> str:
+        """Render the registry in the Prometheus text exposition format.
+
+        Deterministic: metric names are sorted, series are sorted by
+        their (already-sorted) label tuples, and label values are
+        escaped per the format spec.  See
+        :func:`snapshot_to_prometheus_text` for the layout.
+        """
+        descriptions = {
+            name: inst.description
+            for name, inst in self._instruments.items()
+            if inst.description
+        }
+        return snapshot_to_prometheus_text(
+            self.snapshot(), descriptions=descriptions
+        )
+
     def backfill(
         self,
         store: Any,
@@ -300,3 +319,125 @@ class MetricsRegistry:
                     )
                     written += 1
         return written
+
+
+# -- Prometheus text exposition ----------------------------------------------
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Snapshot quantile keys exposed as Prometheus summary quantiles.
+_PROM_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a metric name (dots become underscores, etc.)."""
+    cleaned = _PROM_NAME_BAD.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_label_name(name: str) -> str:
+    cleaned = _PROM_LABEL_BAD.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the text-format spec."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _prom_escape_help(value: str) -> str:
+    """Escape HELP text (backslash and newline only, per the spec)."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_labels(
+    labels: Mapping[str, str],
+    extra: tuple[tuple[str, str], ...] = (),
+) -> str:
+    """Render a label block; user labels sorted, ``extra`` appended."""
+    items = [
+        (_prom_label_name(str(k)), str(v)) for k, v in sorted(labels.items())
+    ]
+    items.extend(extra)
+    if not items:
+        return ""
+    inner = ",".join(f'{k}="{_prom_escape(v)}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+def _prom_number(value: Any) -> str:
+    return repr(float(value))
+
+
+def snapshot_to_prometheus_text(
+    snapshot: Mapping[str, Any],
+    *,
+    descriptions: Mapping[str, str] | None = None,
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as Prometheus text.
+
+    Works from the serialised snapshot alone, so it applies equally to
+    a live registry and to the ``metrics`` section of a saved
+    :class:`~repro.obs.recorder.SearchTrace` (the ``repro metrics``
+    command).  Counters and gauges render one sample per series;
+    histograms render summary-style — ``{quantile="0.5|0.9|0.99"}``
+    samples plus ``_sum`` and ``_count``.  Output is deterministic:
+    names sorted, series sorted by label tuple, values via ``repr``.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        body = snapshot[name]
+        kind = body.get("kind", "gauge")
+        prom = _prom_name(name)
+        description = (descriptions or {}).get(name, "")
+        if description:
+            lines.append(f"# HELP {prom} {_prom_escape_help(description)}")
+        prom_type = {
+            "counter": "counter",
+            "gauge": "gauge",
+            "histogram": "summary",
+        }.get(kind, "untyped")
+        lines.append(f"# TYPE {prom} {prom_type}")
+        series = sorted(
+            body.get("series", []),
+            key=lambda entry: sorted(
+                (str(k), str(v))
+                for k, v in (entry.get("labels") or {}).items()
+            ),
+        )
+        for entry in series:
+            labels = {
+                str(k): str(v)
+                for k, v in (entry.get("labels") or {}).items()
+            }
+            if kind == "histogram":
+                for quantile, key in _PROM_QUANTILES:
+                    if key in entry:
+                        block = _prom_labels(
+                            labels, extra=(("quantile", quantile),)
+                        )
+                        lines.append(
+                            f"{prom}{block} {_prom_number(entry[key])}"
+                        )
+                lines.append(
+                    f"{prom}_sum{_prom_labels(labels)} "
+                    f"{_prom_number(entry.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{prom}_count{_prom_labels(labels)} "
+                    f"{_prom_number(entry.get('count', 0))}"
+                )
+            else:
+                lines.append(
+                    f"{prom}{_prom_labels(labels)} "
+                    f"{_prom_number(entry.get('value', 0.0))}"
+                )
+    return "\n".join(lines) + "\n"

@@ -14,15 +14,16 @@ next to every figure.
 
 JSONL layout (one JSON object per line)::
 
-    {"kind": "header", "schema_version": 2, "strategy": ..., ...}
+    {"kind": "header", "schema_version": 3, "strategy": ..., ...}
     {"kind": "span", "name": "search", ...}        # one per span
     {"kind": "decision", "step": 1, ...}           # one per decision
+    {"kind": "fleet", "event": "requested", ...}   # one per fleet event
     {"kind": "metrics", "data": {...}}             # final line
 
-Schema history: v1 had no ``decision`` lines.  v1 artifacts still
-load (they come back with an empty decision tuple, normalised to the
-current version); anything else is rejected with an error naming the
-file and the offending version.
+Schema history: v1 had no ``decision`` lines; v2 had no ``fleet``
+lines.  Both still load (they come back with empty decision / fleet
+tuples, normalised to the current version); anything else is rejected
+with an error naming the file and the offending version.
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.obs.decisions import DecisionLog, DecisionRecord
+from repro.obs.fleet import NOOP_FLEET, FleetEvent, FleetLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.span import Span
 from repro.obs.tracer import RecordingTracer
@@ -48,8 +50,8 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
 ]
 
-TRACE_SCHEMA_VERSION = 2
-SUPPORTED_TRACE_VERSIONS = (1, 2)
+TRACE_SCHEMA_VERSION = 3
+SUPPORTED_TRACE_VERSIONS = (1, 2, 3)
 
 
 @dataclass(frozen=True)
@@ -63,6 +65,7 @@ class SearchTrace:
     summary: dict[str, Any]
     spans: tuple[Span, ...]
     decisions: tuple[DecisionRecord, ...] = ()
+    fleet: tuple[FleetEvent, ...] = ()
     metrics: dict[str, Any] = field(default_factory=dict)
     schema_version: int = TRACE_SCHEMA_VERSION
 
@@ -107,6 +110,33 @@ class SearchTrace:
                 "message": a.get("message", ""),
             })
         return rows
+
+    def fleet_rows(self) -> list[dict[str, Any]]:
+        """Fleet lifecycle events as dicts (one per event, in order)."""
+        return [event.to_dict() for event in self.fleet]
+
+    def attributions(self) -> list[FleetEvent]:
+        """Closing fleet events joined to ledger entries.
+
+        One event per billing-ledger entry, in ledger order — the
+        cost-attribution join.  Spot-training segments (billed outside
+        the ledger, ``ledger_index=None``) are excluded.
+        """
+        billed = [e for e in self.fleet if e.ledger_index is not None]
+        return sorted(billed, key=lambda e: e.ledger_index or 0)
+
+    @property
+    def attributed_dollars_total(self) -> float:
+        """Attributed dollars summed in ledger order.
+
+        Matches ``BillingLedger.total()`` *exactly* (same floats, same
+        summation order) when fleet recording covered the whole run —
+        enforced live by :func:`repro.contracts.check_fleet_attribution`.
+        """
+        total = 0.0
+        for event in self.attributions():
+            total += event.dollars or 0.0
+        return total
 
     @property
     def probe_dollars_total(self) -> float:
@@ -155,6 +185,10 @@ class SearchTrace:
             json.dumps({"kind": "decision", **r.to_dict()}, sort_keys=True)
             for r in self.decisions
         )
+        lines.extend(
+            json.dumps({"kind": "fleet", **e.to_dict()}, sort_keys=True)
+            for e in self.fleet
+        )
         lines.append(
             json.dumps({"kind": "metrics", "data": self.metrics},
                        sort_keys=True)
@@ -166,8 +200,9 @@ class SearchTrace:
         """Parse a trace written by :meth:`to_jsonl`.
 
         ``source`` names the artifact in error messages (``load`` passes
-        the file path).  v1 traces are migrated on load: they parse to a
-        current-version trace with no decision records.
+        the file path).  Older versions are migrated on load: v1 traces
+        parse with no decision records, v1/v2 traces with no fleet
+        events.
 
         Raises
         ------
@@ -179,6 +214,7 @@ class SearchTrace:
         header: dict[str, Any] | None = None
         spans: list[Span] = []
         decisions: list[DecisionRecord] = []
+        fleet: list[FleetEvent] = []
         metrics: dict[str, Any] = {}
         for i, line in enumerate(text.splitlines()):
             if not line.strip():
@@ -196,6 +232,8 @@ class SearchTrace:
                 spans.append(Span.from_dict(doc))
             elif kind == "decision":
                 decisions.append(DecisionRecord.from_dict(doc))
+            elif kind == "fleet":
+                fleet.append(FleetEvent.from_dict(doc))
             elif kind == "metrics":
                 metrics = doc.get("data", {})
             else:
@@ -211,9 +249,10 @@ class SearchTrace:
                 f"unsupported trace schema version {version!r} in {origin}; "
                 f"supported versions: {supported}"
             )
-        # v1 artifacts migrate on load: no decision lines existed, so the
-        # tuple stays empty and the trace is normalised to the current
-        # version (a save() round-trip upgrades the file).
+        # older artifacts migrate on load: decision lines arrived in v2
+        # and fleet lines in v3, so missing kinds leave empty tuples and
+        # the trace is normalised to the current version (a save()
+        # round-trip upgrades the file).
         return cls(
             strategy=header["strategy"],
             scenario=header["scenario"],
@@ -222,6 +261,7 @@ class SearchTrace:
             summary=dict(header.get("summary", {})),
             spans=tuple(spans),
             decisions=tuple(decisions),
+            fleet=tuple(fleet),
             metrics=metrics,
             schema_version=TRACE_SCHEMA_VERSION,
         )
@@ -257,6 +297,11 @@ class RunRecorder:
     watchdog:
         ``True`` (default) arms the health watchdog, ``False`` disables
         it; pass a :class:`WatchdogConfig` to override thresholds.
+    fleet:
+        ``True`` (default) creates a live :class:`FleetLog`; attach it
+        to the run's cloud (``cloud.fleet = recorder.fleet``) to record
+        instance-lifecycle events and cost attribution.  ``False``
+        leaves the inert ``NOOP_FLEET``.
     """
 
     def __init__(
@@ -266,10 +311,14 @@ class RunRecorder:
         decisions: str = "auto",
         decision_top_k: int = 8,
         watchdog: bool | WatchdogConfig = True,
+        fleet: bool = True,
     ) -> None:
         self.tracer = RecordingTracer(clock=clock)
         self.metrics = MetricsRegistry()
         self.decisions = DecisionLog(decisions, top_k=decision_top_k)
+        self.fleet: FleetLog = (
+            FleetLog(metrics=self.metrics) if fleet else NOOP_FLEET
+        )
         if watchdog is False:
             self.watchdog: Watchdog = NOOP_WATCHDOG
         else:
@@ -293,5 +342,6 @@ class RunRecorder:
             },
             spans=self.tracer.spans,
             decisions=self.decisions.records,
+            fleet=self.fleet.events,
             metrics=self.metrics.snapshot(),
         )

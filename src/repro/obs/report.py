@@ -47,6 +47,9 @@ def comparison_rows(traces: Sequence["SearchTrace"]) -> list[dict[str, Any]]:
             "profile_dollars": float(summary.get("profile_dollars", 0.0)),
             "best": trace.best,
             "cost_to_best_usd": _cost_to_best(trace),
+            "attributed_usd": (
+                trace.attributed_dollars_total if trace.fleet else None
+            ),
             "stop_reason": trace.stop_reason,
             "n_decisions": len(trace.decisions),
             "anomalies": by_rule,
@@ -74,7 +77,8 @@ def _render_markdown(traces: Sequence["SearchTrace"]) -> str:
     rows = comparison_rows(traces)
     headers = [
         "run", "strategy", "scenario", "probes", "profiling",
-        "profiling $", "best", "cost-to-best", "anomalies",
+        "profiling $", "attributed $", "best", "cost-to-best",
+        "anomalies",
     ]
     table = [f"| {' | '.join(headers)} |",
              f"|{'|'.join('---' for _ in headers)}|"]
@@ -86,6 +90,12 @@ def _render_markdown(traces: Sequence["SearchTrace"]) -> str:
             format_dollars(row["cost_to_best_usd"])
             if row["cost_to_best_usd"] is not None else "-"
         )
+        # "-" means the trace carried no fleet events (recording off
+        # or a pre-v3 artifact), not zero attributed spend
+        attributed = (
+            format_dollars(row["attributed_usd"])
+            if row["attributed_usd"] is not None else "-"
+        )
         cells = [
             str(i),
             row["strategy"],
@@ -93,6 +103,7 @@ def _render_markdown(traces: Sequence["SearchTrace"]) -> str:
             str(row["probes"]),
             format_hours(row["profile_seconds"]),
             format_dollars(row["profile_dollars"]),
+            attributed,
             str(row["best"] or "-"),
             cost_to_best,
             anomaly_text,

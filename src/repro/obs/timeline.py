@@ -1,0 +1,426 @@
+"""Fleet timeline and cost-attribution views of a saved trace.
+
+Both renderers work from the ``kind=fleet`` lines of a saved
+:class:`~repro.obs.recorder.SearchTrace` alone — no live cloud or
+search objects — so a run recorded on one machine renders anywhere:
+
+- :func:`render_timeline` — per-cluster Gantt of the instance
+  lifecycle (requested → provisioning → running → terminated/revoked)
+  with a spot-price overlay when the trace carries ``spot-price``
+  events; text for terminals and golden tests, self-contained HTML
+  for sharing.
+- :func:`render_attribution` — where the dollars went: every billed
+  fleet event joined to its ledger entry, broken down by instance
+  type, by search phase (initial / explore / final-train) and by
+  step.
+
+Exposed on the CLI as ``repro timeline <trace>`` and
+``repro attribute <trace>``.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import SearchTrace
+
+__all__ = ["build_timeline", "render_attribution", "render_timeline"]
+
+_NO_FLEET_MSG = (
+    "trace has no fleet events; record the run with a RunRecorder "
+    "(fleet recording is on by default) and attach it to the cloud "
+    "with cloud.fleet = recorder.fleet"
+)
+
+
+def build_timeline(trace: "SearchTrace") -> list[dict[str, Any]]:
+    """One lifecycle row per cluster, in request order.
+
+    Each row carries the cluster's identity (``cluster_id``,
+    ``instance_type``, ``count``, ``deployment``), its attribution
+    context (``phase`` / ``step`` / ``trial``), the lifecycle times
+    (``requested`` / ``running`` / ``end``), how it ended
+    (``terminated`` / ``revoked`` / ``None`` if still open when the
+    trace froze) and what it billed (``seconds`` / ``dollars`` /
+    ``purpose`` / ``ledger_index``).
+    """
+    rows: dict[Any, dict[str, Any]] = {}
+    for event in trace.fleet:
+        if event.cluster_id is None:
+            continue
+        row = rows.get(event.cluster_id)
+        if row is None:
+            row = rows[event.cluster_id] = {
+                "cluster_id": event.cluster_id,
+                "instance_type": event.instance_type,
+                "count": event.count,
+                "deployment": event.deployment,
+                "phase": event.phase,
+                "step": event.step,
+                "trial": event.trial,
+                "requested": None,
+                "running": None,
+                "end": None,
+                "end_event": None,
+                "purpose": None,
+                "seconds": None,
+                "dollars": None,
+                "ledger_index": None,
+            }
+        if event.event == "requested":
+            row["requested"] = event.time
+        elif event.event == "running":
+            row["running"] = event.time
+        elif event.event in ("terminated", "revoked"):
+            row["end"] = event.time
+            row["end_event"] = event.event
+            row["purpose"] = event.purpose
+            row["seconds"] = event.seconds
+            row["dollars"] = event.dollars
+            row["ledger_index"] = event.ledger_index
+    return list(rows.values())
+
+
+def _spot_series(
+    trace: "SearchTrace",
+) -> dict[str, list[tuple[float, float]]]:
+    """Spot-price overlay points per instance type, in event order."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for event in trace.fleet:
+        if event.event == "spot-price" and event.spot_factor is not None:
+            series.setdefault(event.instance_type, []).append(
+                (event.time, event.spot_factor)
+            )
+    return series
+
+
+def _time_bounds(trace: "SearchTrace") -> tuple[float, float]:
+    times = [event.time for event in trace.fleet]
+    return (min(times), max(times)) if times else (0.0, 0.0)
+
+
+def render_timeline(
+    trace: "SearchTrace", *, fmt: str = "text", width: int = 60
+) -> str:
+    """Render the per-cluster lifecycle Gantt.
+
+    Raises
+    ------
+    ValueError
+        On an unknown format, or a trace without fleet events (older
+        schema versions, or recording was off).
+    """
+    if fmt not in ("text", "html"):
+        raise ValueError(f"unknown timeline format {fmt!r}")
+    if not trace.fleet:
+        raise ValueError(_NO_FLEET_MSG)
+    if fmt == "html":
+        return _timeline_html(trace)
+    return _timeline_text(trace, width=width)
+
+
+def _column(time: float, t0: float, t1: float, width: int) -> int:
+    if t1 <= t0:
+        return 0
+    position = (time - t0) / (t1 - t0)
+    return min(width - 1, max(0, int(position * (width - 1))))
+
+
+def _timeline_text(trace: "SearchTrace", *, width: int) -> str:
+    from repro.experiments.reporting import format_dollars, format_table
+
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    rows = build_timeline(trace)
+    t0, t1 = _time_bounds(trace)
+    revocations = sum(1 for r in rows if r["end_event"] == "revoked")
+    failures = sum(
+        1 for e in trace.fleet if e.event == "launch-failed"
+    )
+
+    table_rows = []
+    for row in rows:
+        track = ["."] * width
+        requested = row["requested"]
+        running = row["running"]
+        end = row["end"] if row["end"] is not None else t1
+        if requested is not None:
+            lo = _column(requested, t0, t1, width)
+            hi = _column(end, t0, t1, width)
+            for col in range(lo, hi + 1):
+                track[col] = "~"
+            if running is not None:
+                run_lo = _column(running, t0, t1, width)
+                for col in range(run_lo, hi + 1):
+                    track[col] = "#"
+            if row["end_event"] == "revoked":
+                track[hi] = "x"
+        table_rows.append([
+            str(row["cluster_id"]),
+            row["deployment"] or f"{row['count']}x {row['instance_type']}",
+            row["phase"] or "-",
+            "-" if row["trial"] is None else str(row["trial"]),
+            "-" if requested is None else f"{requested:.0f}",
+            "-" if running is None else f"{running:.0f}",
+            "-" if row["end"] is None else f"{row['end']:.0f}",
+            (
+                "-" if row["dollars"] is None
+                else format_dollars(row["dollars"])
+            ),
+            "".join(track),
+        ])
+
+    lines = [
+        f"fleet timeline — {trace.strategy} / {trace.scenario}",
+        (
+            f"{len(rows)} cluster(s) over {t0:.0f}..{t1:.0f} s simulated; "
+            f"{revocations} revocation(s), {failures} launch failure(s)"
+        ),
+        "legend: ~ provisioning  # running  x revoked",
+        "",
+        format_table(
+            ["id", "deployment", "phase", "trial", "launch s",
+             "ready s", "end s", "billed", "track"],
+            table_rows,
+        ),
+    ]
+
+    spot = _spot_series(trace)
+    if spot:
+        lines.extend(["", "spot price factor (0..9 = 0.0..1.0):"])
+        for itype in sorted(spot):
+            overlay = ["."] * width
+            for time, factor in spot[itype]:
+                digit = min(9, max(0, int(factor * 10)))
+                overlay[_column(time, t0, t1, width)] = str(digit)
+            lines.append(f"  {itype:<14} {''.join(overlay)}")
+    return "\n".join(lines) + "\n"
+
+
+def _pct(value: float, t0: float, t1: float) -> str:
+    if t1 <= t0:
+        return "0.000"
+    return f"{(value - t0) / (t1 - t0) * 100:.3f}"
+
+
+def _timeline_html(trace: "SearchTrace") -> str:
+    """Self-contained HTML Gantt (inline CSS, no external assets)."""
+    from repro.experiments.reporting import format_dollars
+
+    rows = build_timeline(trace)
+    t0, t1 = _time_bounds(trace)
+    body: list[str] = [
+        f"<h1>Fleet timeline — {_html.escape(trace.strategy)}</h1>",
+        f"<p>{_html.escape(trace.scenario)}; "
+        f"{len(rows)} cluster(s), {t0:.0f}&#8211;{t1:.0f} s simulated."
+        f"</p>",
+        "<div class=\"chart\">",
+    ]
+    for row in rows:
+        requested = row["requested"]
+        running = row["running"]
+        end = row["end"] if row["end"] is not None else t1
+        label = (
+            f"#{row['cluster_id']} "
+            f"{row['deployment'] or row['instance_type']}"
+        )
+        meta = " / ".join(
+            part for part in (
+                row["phase"],
+                None if row["trial"] is None else f"trial {row['trial']}",
+                (
+                    None if row["dollars"] is None
+                    else format_dollars(row["dollars"])
+                ),
+            ) if part
+        )
+        bars: list[str] = []
+        if requested is not None:
+            left = _pct(requested, t0, t1)
+            if running is not None:
+                prov_width = _pct(running, t0, t1)
+                run_width = _pct(end, t0, t1)
+                bars.append(
+                    f'<div class="bar prov" style="left:{left}%;'
+                    f"width:{float(prov_width) - float(left):.3f}%\">"
+                    "</div>"
+                )
+                css = (
+                    "run revoked" if row["end_event"] == "revoked"
+                    else "run"
+                )
+                bars.append(
+                    f'<div class="bar {css}" style="left:{prov_width}%;'
+                    f"width:{float(run_width) - float(prov_width):.3f}%\">"
+                    "</div>"
+                )
+            else:
+                end_pct = _pct(end, t0, t1)
+                bars.append(
+                    f'<div class="bar prov" style="left:{left}%;'
+                    f"width:{float(end_pct) - float(left):.3f}%\"></div>"
+                )
+        body.append(
+            '<div class="row">'
+            f'<span class="label">{_html.escape(label)}</span>'
+            f'<span class="meta">{_html.escape(meta)}</span>'
+            f'<div class="lane">{"".join(bars)}</div>'
+            "</div>"
+        )
+    body.append("</div>")
+
+    spot = _spot_series(trace)
+    if spot:
+        body.append("<h2>Spot price factor</h2>")
+        for itype in sorted(spot):
+            points = " ".join(
+                f"{float(_pct(time, t0, t1)) * 6:.1f},"
+                f"{100 - factor * 100:.1f}"
+                for time, factor in spot[itype]
+            )
+            body.append(
+                f"<p>{_html.escape(itype)}</p>"
+                '<svg viewBox="0 0 600 100" class="spot">'
+                f'<polyline fill="none" stroke="#c33" '
+                f'stroke-width="2" points="{points}"/></svg>'
+            )
+
+    content = "\n".join(body)
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        "<title>Fleet timeline</title>\n"
+        "<style>body{font-family:sans-serif;margin:2em}"
+        ".row{display:flex;align-items:center;margin:2px 0}"
+        ".label{width:14em;font-size:0.85em}"
+        ".meta{width:16em;color:#666;font-size:0.75em}"
+        ".lane{position:relative;flex:1;height:14px;background:#f4f4f4}"
+        ".bar{position:absolute;top:0;height:14px}"
+        ".prov{background:#ccc}"
+        ".run{background:#4a8}"
+        ".revoked{background:#c33}"
+        ".spot{width:600px;height:100px;border:1px solid #ddd}"
+        "</style></head>\n"
+        f"<body>\n{content}\n</body></html>\n"
+    )
+
+
+# -- cost attribution --------------------------------------------------------
+def attribution_rows(trace: "SearchTrace") -> list[dict[str, Any]]:
+    """One dict per billed fleet event, in ledger order."""
+    rows = []
+    for event in trace.attributions():
+        rows.append({
+            "ledger_index": event.ledger_index,
+            "time": event.time,
+            "instance_type": event.instance_type,
+            "count": event.count,
+            "purpose": event.purpose,
+            "phase": event.phase,
+            "step": event.step,
+            "trial": event.trial,
+            "deployment": event.deployment,
+            "seconds": event.seconds,
+            "dollars": event.dollars,
+        })
+    return rows
+
+
+def _grouped(
+    rows: list[dict[str, Any]], key: str
+) -> dict[Any, tuple[int, float, float]]:
+    """(entries, seconds, dollars) per group value, insertion order."""
+    out: dict[Any, tuple[int, float, float]] = {}
+    for row in rows:
+        group = row[key]
+        n, seconds, dollars = out.get(group, (0, 0.0, 0.0))
+        out[group] = (
+            n + 1,
+            seconds + (row["seconds"] or 0.0),
+            dollars + (row["dollars"] or 0.0),
+        )
+    return out
+
+
+def render_attribution(trace: "SearchTrace") -> str:
+    """Render the cost-attribution breakdown of a saved trace.
+
+    Raises
+    ------
+    ValueError
+        If the trace has no fleet events, or none of them joined to a
+        ledger entry (nothing to attribute).
+    """
+    from repro.experiments.reporting import format_dollars, format_table
+
+    if not trace.fleet:
+        raise ValueError(_NO_FLEET_MSG)
+    rows = attribution_rows(trace)
+    if not rows:
+        raise ValueError(
+            "trace has fleet events but none joined to a billing-ledger "
+            "entry (spot segments bill outside the ledger)"
+        )
+    total = trace.attributed_dollars_total
+
+    def share(dollars: float) -> str:
+        if total <= 0:
+            return "-"
+        return f"{dollars / total * 100:.1f}%"
+
+    lines = [
+        f"cost attribution — {trace.strategy} / {trace.scenario}",
+        (
+            f"{len(rows)} ledger entr{'y' if len(rows) == 1 else 'ies'} "
+            f"attributed, {format_dollars(total)} total "
+            f"(summed in ledger order)"
+        ),
+        "",
+        "by instance type:",
+    ]
+    by_type = _grouped(rows, "instance_type")
+    lines.append(format_table(
+        ["instance type", "entries", "seconds", "dollars", "share"],
+        [
+            [itype, str(n), f"{seconds:.0f}", format_dollars(dollars),
+             share(dollars)]
+            for itype, (n, seconds, dollars) in sorted(by_type.items())
+        ],
+    ))
+
+    lines.extend(["", "by phase:"])
+    by_phase = _grouped(rows, "phase")
+    lines.append(format_table(
+        ["phase", "entries", "dollars", "share"],
+        [
+            [phase or "(unattributed)", str(n), format_dollars(dollars),
+             share(dollars)]
+            for phase, (n, _, dollars) in sorted(
+                by_phase.items(), key=lambda kv: (kv[0] is None, kv[0] or "")
+            )
+        ],
+    ))
+
+    lines.extend(["", "by step:"])
+    step_rows = []
+    by_step = _grouped(rows, "step")
+    for step, (n, _, dollars) in sorted(
+        by_step.items(),
+        key=lambda kv: (kv[0] is None, kv[0] if kv[0] is not None else 0),
+    ):
+        deployments = sorted({
+            row["deployment"] for row in rows
+            if row["step"] == step and row["deployment"]
+        })
+        step_rows.append([
+            "-" if step is None else str(step),
+            ", ".join(deployments) or "-",
+            str(n),
+            format_dollars(dollars),
+            share(dollars),
+        ])
+    lines.append(format_table(
+        ["step", "deployment", "entries", "dollars", "share"], step_rows,
+    ))
+    return "\n".join(lines) + "\n"

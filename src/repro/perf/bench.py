@@ -100,18 +100,24 @@ def canonical_trace_jsonl(trace: Any) -> str:
     candidate landscape while the fast lane samples the top-k, so the
     records legitimately differ even when the decisions themselves are
     identical (the identity the probe spans already pin down).
+    ``fleet`` lines — and the ``fleet.*`` / ``spot.*`` gauges they feed
+    into the shared registry — are likewise stripped: fleet telemetry
+    is recording-mode-dependent by design (on vs. off must not move
+    the identity gate), and the read-only guarantee it must uphold is
+    exactly that the *remaining* canonical lines stay byte-identical.
     """
     lines = []
     for line in trace.to_jsonl().splitlines():
         doc = json.loads(line)
-        if doc["kind"] == "decision":
+        if doc["kind"] in ("decision", "fleet"):
             continue
         if doc["kind"] == "span":
             doc.pop("wall_seconds", None)
         elif doc["kind"] == "metrics":
             doc["data"] = {
                 k: v for k, v in doc["data"].items()
-                if "seconds" not in k or k.endswith("_total")
+                if ("seconds" not in k or k.endswith("_total"))
+                and not k.startswith(("fleet.", "spot."))
             }
         lines.append(json.dumps(doc, sort_keys=True))
     return "\n".join(lines)
@@ -138,6 +144,9 @@ def _make_context(
     profiler_kwargs: dict[str, Any] = {}
     context_kwargs: dict[str, Any] = {}
     if recorder is not None:
+        # fleet recording rides along with every recorded bench run, so
+        # the identity gate continuously asserts it is read-only
+        cloud.fleet = recorder.fleet
         profiler_kwargs["tracer"] = recorder.tracer
         profiler_kwargs["metrics"] = recorder.metrics
         context_kwargs.update(
@@ -381,6 +390,10 @@ def run_bench(
             "overhead_ratio": overhead_ratio,
             "decision_mode": fast_recorder.decisions.mode,
             "n_decisions": len(fast_recorder.decisions.records),
+            # optional (absent from pre-fleet artifacts): recorded runs
+            # carry fleet lifecycle events, stripped by the canonical
+            # form, so their count documents what the overhead bought
+            "n_fleet_events": len(fast_recorder.fleet.events),
         },
         "metrics": {
             "gp_fit_total_full": fit_counter.value(mode="full"),

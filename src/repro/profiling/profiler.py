@@ -397,6 +397,9 @@ class Profiler:
             clusters: dict[int, object] = {}
             launch_start = self.cloud.clock.now
             for i, (instance_type, count) in enumerate(deployments):
+                # point the fleet log's attribution context at this
+                # batch member before its clusters are requested
+                self.cloud.fleet.batch_member(i, instance_type, count)
                 cluster = self._launch_with_retry(instance_type, count)
                 if cluster is None:
                     results[i] = self._capacity_failure_result(

@@ -76,6 +76,29 @@ class TestTotals:
             {"profiling": 3.0, "training": 5.0}
         )
 
+    def test_breakdown_is_sorted_by_purpose(self):
+        """Regression: breakdown order must not depend on charge order."""
+        ledger = BillingLedger()
+        charge(ledger, 5.0, purpose="training")
+        charge(ledger, 1.0, purpose="profiling")
+        charge(ledger, 2.0, purpose="final-train")
+        assert list(ledger.breakdown()) == [
+            "final-train", "profiling", "training",
+        ]
+
+    def test_breakdown_and_seconds_consistent_with_totals(self):
+        ledger = BillingLedger()
+        charge(ledger, 1.25, purpose="profiling", seconds=600)
+        charge(ledger, 0.75, purpose="profiling", seconds=300)
+        charge(ledger, 4.0, purpose="training", seconds=7200)
+        assert sum(ledger.breakdown().values()) == pytest.approx(
+            ledger.total()
+        )
+        assert ledger.total_seconds() == pytest.approx(
+            ledger.total_seconds("profiling")
+            + ledger.total_seconds("training")
+        )
+
     def test_len_and_iter(self):
         ledger = BillingLedger()
         charge(ledger, 1.0)

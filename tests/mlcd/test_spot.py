@@ -101,3 +101,93 @@ class TestValidation:
                 market, TrainingSimulator(), paper_catalog(),
                 restart_seconds=-1.0,
             )
+
+
+class TestFleetTelemetry:
+    """Spot segments narrate themselves through the fleet log."""
+
+    def _instrumented(self, seed=3):
+        from repro.obs.fleet import FleetLog
+
+        catalog = paper_catalog()
+        market = SpotMarket(catalog, seed=seed)
+        fleet = FleetLog()
+        executor = SpotTrainingExecutor(
+            market, TrainingSimulator(), catalog, fleet=fleet
+        )
+        return market, executor, fleet
+
+    def test_revoked_events_match_the_market_schedule(self, charrnn_job):
+        """Every `revoked` event lands exactly where the market said
+        the next revocation would be, queried from its segment's
+        grant instant with the executor's own horizon."""
+        market, executor, fleet = self._instrumented()
+        d = Deployment("c5.4xlarge", 8)
+        bid = market.floor + 0.08
+        outcome = executor.execute(d, charrnn_job, bid_factor=bid)
+        assert outcome.revocations > 0  # aggressive bid on this seed
+
+        revoked = [e for e in fleet.events if e.event == "revoked"]
+        assert len(revoked) == outcome.revocations
+        starts = {
+            e.cluster_id: e.time for e in fleet.events
+            if e.event == "requested"
+        }
+        horizon = max(
+            outcome.on_demand_seconds * 50.0,
+            100 * market.tick_seconds,
+        )
+        for event in revoked:
+            assert event.time == market.next_revocation(
+                d.instance_type, starts[event.cluster_id], bid,
+                horizon_seconds=horizon,
+            )
+
+    def test_segments_bill_outside_the_ledger(self, charrnn_job):
+        market, executor, fleet = self._instrumented()
+        executor.execute(
+            Deployment("c5.4xlarge", 8), charrnn_job,
+            bid_factor=market.floor + 0.08,
+        )
+        closings = [
+            e for e in fleet.events if e.event in ("terminated", "revoked")
+        ]
+        assert closings
+        assert all(e.ledger_index is None for e in closings)
+        assert all(e.phase == "spot-train" for e in closings)
+
+    def test_segment_dollars_sum_to_the_outcome(self, charrnn_job):
+        market, executor, fleet = self._instrumented()
+        outcome = executor.execute(
+            Deployment("c5.4xlarge", 8), charrnn_job,
+            bid_factor=market.floor + 0.08,
+        )
+        billed = sum(
+            e.dollars for e in fleet.events
+            if e.event in ("terminated", "revoked")
+        )
+        assert billed == pytest.approx(outcome.dollars)
+
+    def test_spot_price_overlay_respects_the_bounds(self, charrnn_job):
+        market, executor, fleet = self._instrumented()
+        executor.execute(
+            Deployment("c5.4xlarge", 8), charrnn_job, bid_factor=1.0
+        )
+        points = [e for e in fleet.events if e.event == "spot-price"]
+        assert points
+        for event in points:
+            assert event.spot_factor == market.price_factor(
+                "c5.4xlarge", event.time
+            )
+
+    def test_telemetry_is_read_only(self, charrnn_job):
+        """Recording on vs. off -> identical SpotOutcome."""
+        market, executor, _ = self._instrumented()
+        plain = SpotTrainingExecutor(
+            SpotMarket(paper_catalog(), seed=3), TrainingSimulator(),
+            paper_catalog(),
+        )
+        d = Deployment("c5.4xlarge", 8)
+        bid = market.floor + 0.08
+        assert executor.execute(d, charrnn_job, bid_factor=bid) == \
+            plain.execute(d, charrnn_job, bid_factor=bid)

@@ -1,0 +1,73 @@
+"""Shared observability fixtures: the canonical recorded run.
+
+One seeded HeterBO search under a tight scenario-3 budget on a
+four-type world, recorded with decisions, watchdog AND fleet telemetry
+on, saved to disk once per session.  ``repro explain`` / ``repro
+report`` / ``repro timeline`` / ``repro attribute`` acceptance tests
+all read this same artifact, which is the point: everything they show
+must be reconstructable from the saved file alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.provider import SimulatedCloud
+from repro.core.engine import SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.scenarios import Scenario
+from repro.core.search_space import DeploymentSpace
+from repro.obs import RunRecorder, SearchTrace
+from repro.profiling.profiler import Profiler
+from repro.sim.datasets import get_dataset
+from repro.sim.noise import NoiseModel
+from repro.sim.platforms import get_platform
+from repro.sim.throughput import TrainingJob, TrainingSimulator
+from repro.sim.zoo import get_model
+
+
+def canonical_run() -> SearchTrace:
+    """Seeded run where the prior prunes AND the protective stop fires."""
+    catalog = paper_catalog().subset(
+        ["c5.xlarge", "c5.4xlarge", "c4.xlarge", "p2.xlarge"]
+    )
+    cloud = SimulatedCloud(catalog)
+    recorder = RunRecorder(clock=lambda: cloud.clock.now)
+    cloud.fleet = recorder.fleet  # lifecycle events + attribution join
+    profiler = Profiler(
+        cloud, TrainingSimulator(),
+        noise=NoiseModel(sigma=0.03, seed=2),
+        tracer=recorder.tracer, metrics=recorder.metrics,
+    )
+    job = TrainingJob(
+        model=get_model("char-rnn"),
+        dataset=get_dataset("char-corpus"),
+        platform=get_platform("tensorflow"),
+        epochs=2.0,
+    )
+    context = SearchContext(
+        space=DeploymentSpace(catalog, max_count=20),
+        profiler=profiler,
+        job=job,
+        scenario=Scenario.fastest_within(25.0),
+        tracer=recorder.tracer,
+        metrics=recorder.metrics,
+        decisions=recorder.decisions,
+        watchdog=recorder.watchdog,
+    )
+    result = HeterBO(seed=2, max_steps=25).search(context)
+    return recorder.finalize(result)
+
+
+@pytest.fixture(scope="session")
+def canonical_trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("canonical") / "canon.trace.jsonl"
+    canonical_run().save(path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def canonical_trace(canonical_trace_path):
+    # loaded from disk: everything below reads the artifact, not the run
+    return SearchTrace.load(canonical_trace_path)

@@ -11,69 +11,22 @@ behind them.
 import pytest
 
 from repro.cli import main
-from repro.cloud.catalog import paper_catalog
-from repro.cloud.provider import SimulatedCloud
-from repro.core.engine import SearchContext
-from repro.core.heterbo import HeterBO
-from repro.core.scenarios import Scenario
-from repro.core.search_space import DeploymentSpace
 from repro.obs import (
     RunRecorder,
     SearchTrace,
     render_comparison,
     render_explain,
 )
-from repro.profiling.profiler import Profiler
-from repro.sim.datasets import get_dataset
-from repro.sim.noise import NoiseModel
-from repro.sim.platforms import get_platform
-from repro.sim.throughput import TrainingJob, TrainingSimulator
-from repro.sim.zoo import get_model
-
-
-def _canonical_run():
-    """Seeded run where the prior prunes AND the protective stop fires."""
-    catalog = paper_catalog().subset(
-        ["c5.xlarge", "c5.4xlarge", "c4.xlarge", "p2.xlarge"]
-    )
-    cloud = SimulatedCloud(catalog)
-    recorder = RunRecorder(clock=lambda: cloud.clock.now)
-    profiler = Profiler(
-        cloud, TrainingSimulator(),
-        noise=NoiseModel(sigma=0.03, seed=2),
-        tracer=recorder.tracer, metrics=recorder.metrics,
-    )
-    job = TrainingJob(
-        model=get_model("char-rnn"),
-        dataset=get_dataset("char-corpus"),
-        platform=get_platform("tensorflow"),
-        epochs=2.0,
-    )
-    context = SearchContext(
-        space=DeploymentSpace(catalog, max_count=20),
-        profiler=profiler,
-        job=job,
-        scenario=Scenario.fastest_within(25.0),
-        tracer=recorder.tracer,
-        metrics=recorder.metrics,
-        decisions=recorder.decisions,
-        watchdog=recorder.watchdog,
-    )
-    result = HeterBO(seed=2, max_steps=25).search(context)
-    return recorder.finalize(result)
 
 
 @pytest.fixture(scope="module")
-def trace_path(tmp_path_factory):
-    path = tmp_path_factory.mktemp("explain") / "canon.trace.jsonl"
-    _canonical_run().save(path)
-    return path
+def trace_path(canonical_trace_path):
+    return canonical_trace_path
 
 
 @pytest.fixture(scope="module")
-def trace(trace_path):
-    # loaded from disk: everything below reads the artifact, not the run
-    return SearchTrace.load(trace_path)
+def trace(canonical_trace):
+    return canonical_trace
 
 
 class TestCanonicalRun:
@@ -122,6 +75,14 @@ class TestRenderExplain:
         assert "EI" in out and "score" in out
         assert "surrogate" in out
 
+    def test_step_view_shows_fleet_state(self, trace):
+        record = next(r for r in trace.decisions if r.chosen is not None)
+        out = render_explain(trace, step=record.step)
+        assert f"when {record.chosen} was requested" in out
+        # profiling is sequential in this run: nothing else is up when
+        # the probe's cluster is requested
+        assert "fleet         : no instances running" in out
+
     def test_stop_view_explains_the_filters(self, trace):
         out = render_explain(trace, stop=True)
         assert "STOP" in out
@@ -147,6 +108,21 @@ class TestRenderComparison:
         assert "cost-to-best" in out
         assert "protective stop" in out
         assert out.count("| heterbo |") == 2
+
+    def test_attributed_column_matches_fleet_total(self, trace):
+        from repro.experiments.reporting import format_dollars
+
+        out = render_comparison([trace])
+        assert "attributed $" in out
+        assert format_dollars(trace.attributed_dollars_total) in out
+
+    def test_attributed_column_dash_without_fleet(self, trace):
+        import dataclasses
+
+        bare = dataclasses.replace(trace, fleet=())
+        row = render_comparison([bare]).splitlines()[6]
+        # the attributed-$ cell (7th column) renders "-", not $0.00
+        assert row.split(" | ")[6] == "-"
 
     def test_html_is_escaped_and_structured(self, trace):
         out = render_comparison([trace], fmt="html")

@@ -1,0 +1,438 @@
+"""Fleet telemetry: lifecycle events, cost attribution, read-only-ness.
+
+Three layers under test:
+
+- the :class:`FleetLog` / :class:`FleetEvent` primitives (context
+  freezing, batch mapping, metrics side-effects, the inert no-op);
+- the provider emission path (`SimulatedCloud` launch / ready /
+  terminate / revoke / injected launch failures);
+- the run-level guarantees the ISSUE pins down: attribution reconciles
+  exactly with the billing ledger for every searcher, and recording is
+  read-only — fleet on vs. off leaves the canonical trace
+  byte-identical.
+"""
+
+import pytest
+
+from repro.baselines.convbo import ConvBO
+from repro.cloud.billing import BillingLedger
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.provider import InsufficientCapacityError, SimulatedCloud
+from repro.contracts import ContractViolation, check_fleet_attribution
+from repro.core.engine import SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.parallel import ParallelHeterBO
+from repro.core.scenarios import Scenario
+from repro.core.search_space import DeploymentSpace
+from repro.obs import MetricsRegistry, RunRecorder
+from repro.obs.fleet import (
+    FLEET_EVENT_VERSION,
+    NOOP_FLEET,
+    FleetEvent,
+    FleetLog,
+)
+from repro.perf.bench import canonical_trace_jsonl
+from repro.profiling.profiler import Profiler
+from repro.sim.noise import NoiseModel
+from repro.sim.throughput import TrainingSimulator
+
+
+class TestFleetEvent:
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fleet event"):
+            FleetEvent(seq=1, time=0.0, event="rebooted",
+                       instance_type="c5.xlarge", count=1)
+
+    def test_seq_and_count_validated(self):
+        with pytest.raises(ValueError, match="seq"):
+            FleetEvent(seq=0, time=0.0, event="requested",
+                       instance_type="c5.xlarge", count=1)
+        with pytest.raises(ValueError, match="count"):
+            FleetEvent(seq=1, time=0.0, event="requested",
+                       instance_type="c5.xlarge", count=0)
+
+    def test_to_dict_versions_and_drops_none(self):
+        event = FleetEvent(seq=1, time=5.0, event="requested",
+                           instance_type="c5.xlarge", count=2,
+                           cluster_id=7, phase="explore")
+        doc = event.to_dict()
+        assert doc["v"] == FLEET_EVENT_VERSION
+        assert doc["cluster_id"] == 7
+        assert "dollars" not in doc and "purpose" not in doc
+
+    def test_dict_round_trip(self):
+        event = FleetEvent(seq=3, time=120.0, event="terminated",
+                           instance_type="p2.xlarge", count=4,
+                           cluster_id=2, purpose="profiling",
+                           seconds=600.0, dollars=0.6, ledger_index=1,
+                           phase="initial", step=2, trial=2,
+                           deployment="4x p2.xlarge")
+        assert FleetEvent.from_dict(event.to_dict()) == event
+
+    def test_from_dict_tolerates_unknown_keys(self):
+        doc = {"v": 99, "seq": 1, "time": 0.0, "event": "running",
+               "instance_type": "c5.xlarge", "count": 1,
+               "future_field": "ignored"}
+        event = FleetEvent.from_dict(doc)
+        assert event.event == "running"
+
+
+class TestAttributionContext:
+    def test_context_frozen_at_request_survives_clear(self):
+        log = FleetLog()
+        log.annotate(phase="explore", step=7, trial=7,
+                     deployment="2x c5.xlarge")
+        log.record("requested", time=0.0, instance_type="c5.xlarge",
+                   count=2, cluster_id=1)
+        log.clear()
+        closing = log.record("terminated", time=600.0,
+                             instance_type="c5.xlarge", count=2,
+                             cluster_id=1, dollars=0.1, ledger_index=0)
+        assert closing.phase == "explore"
+        assert closing.step == 7
+        assert closing.deployment == "2x c5.xlarge"
+
+    def test_out_of_order_termination_keeps_per_cluster_context(self):
+        log = FleetLog()
+        log.annotate(phase="explore", trial=1, deployment="1x a")
+        log.record("requested", time=0.0, instance_type="a", count=1,
+                   cluster_id=1)
+        log.annotate(trial=2, deployment="1x b")
+        log.record("requested", time=0.0, instance_type="b", count=1,
+                   cluster_id=2)
+        # cluster 2 finishes first; each closing event keeps its own ctx
+        second = log.record("terminated", time=5.0, instance_type="b",
+                            count=1, cluster_id=2)
+        first = log.record("terminated", time=9.0, instance_type="a",
+                           count=1, cluster_id=1)
+        assert second.trial == 2 and second.deployment == "1x b"
+        assert first.trial == 1 and first.deployment == "1x a"
+
+    def test_batch_member_maps_index_to_trial(self):
+        log = FleetLog()
+        log.begin_batch(phase="explore", first_trial=5)
+        log.batch_member(2, "c5.xlarge", 4)
+        event = log.record("requested", time=0.0,
+                           instance_type="c5.xlarge", count=4,
+                           cluster_id=1)
+        assert event.phase == "explore"
+        assert event.trial == 7
+        assert event.deployment == "4x c5.xlarge"
+
+    def test_clear_ends_the_batch(self):
+        log = FleetLog()
+        log.begin_batch(phase="initial", first_trial=1)
+        log.clear()
+        log.batch_member(0, "c5.xlarge", 1)
+        event = log.record("requested", time=0.0,
+                           instance_type="c5.xlarge", count=1,
+                           cluster_id=1)
+        assert event.trial is None  # no batch active -> no trial mapping
+        assert event.deployment == "1x c5.xlarge"
+
+
+class TestFleetMetrics:
+    def test_running_gauge_tracks_instances_by_type(self):
+        metrics = MetricsRegistry()
+        log = FleetLog(metrics=metrics)
+        log.record("running", time=0.0, instance_type="c5.xlarge",
+                   count=2, cluster_id=1)
+        log.record("running", time=0.0, instance_type="c5.xlarge",
+                   count=3, cluster_id=2)
+        gauge = metrics.gauge("fleet.instances_running")
+        assert gauge.value(type="c5.xlarge") == 5.0
+        log.record("terminated", time=9.0, instance_type="c5.xlarge",
+                   count=2, cluster_id=1)
+        assert gauge.value(type="c5.xlarge") == 3.0
+
+    def test_revocations_counted(self):
+        metrics = MetricsRegistry()
+        log = FleetLog(metrics=metrics)
+        log.record("running", time=0.0, instance_type="p2.xlarge",
+                   count=1, cluster_id=1)
+        log.record("revoked", time=5.0, instance_type="p2.xlarge",
+                   count=1, cluster_id=1)
+        assert metrics.counter("fleet.revocations_total").total() == 1.0
+        assert metrics.gauge("fleet.instances_running").value(
+            type="p2.xlarge"
+        ) == 0.0
+
+    def test_launch_failures_counted_by_type(self):
+        metrics = MetricsRegistry()
+        log = FleetLog(metrics=metrics)
+        log.record("launch-failed", time=0.0, instance_type="p2.xlarge",
+                   count=8)
+        counter = metrics.counter("fleet.launch_failures_total")
+        assert counter.value(instance_type="p2.xlarge") == 1.0
+
+    def test_spot_price_gauge(self):
+        metrics = MetricsRegistry()
+        log = FleetLog(metrics=metrics)
+        log.record("spot-price", time=0.0, instance_type="c5.xlarge",
+                   count=1, spot_factor=0.42)
+        assert metrics.gauge("spot.price_factor").value(
+            instance_type="c5.xlarge"
+        ) == pytest.approx(0.42)
+
+
+class TestNoopFleet:
+    def test_disabled_and_inert(self):
+        assert NOOP_FLEET.enabled is False
+        NOOP_FLEET.annotate(phase="explore")
+        NOOP_FLEET.begin_batch(phase="explore", first_trial=1)
+        NOOP_FLEET.batch_member(0, "c5.xlarge", 1)
+        assert NOOP_FLEET.record(
+            "requested", time=0.0, instance_type="c5.xlarge", count=1
+        ) is None
+        NOOP_FLEET.clear()
+        assert NOOP_FLEET.events == ()
+
+
+class TestProviderEmission:
+    @pytest.fixture
+    def instrumented(self, small_catalog):
+        fleet = FleetLog()
+        return SimulatedCloud(small_catalog, fleet=fleet), fleet
+
+    def test_lifecycle_sequence(self, instrumented):
+        cloud, fleet = instrumented
+        cluster = cloud.launch("c5.xlarge", 2)
+        cloud.wait_until_ready(cluster)
+        cloud.run_for(cluster, 600.0)
+        cloud.terminate(cluster, purpose="profiling")
+        kinds = [e.event for e in fleet.events]
+        assert kinds == ["requested", "provisioning", "running",
+                         "terminated"]
+        provisioning = fleet.events[1]
+        assert provisioning.seconds == cloud.setup_seconds
+        running = fleet.events[2]
+        assert running.time == cluster.ready_at
+
+    def test_running_emitted_once(self, instrumented):
+        cloud, fleet = instrumented
+        cluster = cloud.launch("c5.xlarge", 1)
+        cloud.wait_until_ready(cluster)
+        cloud.wait_until_ready(cluster)  # idempotent re-wait
+        assert [e.event for e in fleet.events].count("running") == 1
+
+    def test_closing_event_joins_the_ledger_entry(self, instrumented):
+        cloud, fleet = instrumented
+        for _ in range(2):
+            cluster = cloud.launch("c5.xlarge", 1)
+            cloud.wait_until_ready(cluster)
+            cloud.run_for(cluster, 300.0)
+            cloud.terminate(cluster, purpose="profiling")
+        closings = [e for e in fleet.events if e.event == "terminated"]
+        assert [e.ledger_index for e in closings] == [0, 1]
+        for event, entry in zip(closings, cloud.ledger.entries):
+            # the same float the ledger holds, not a recomputation
+            assert event.dollars == entry.dollars
+            assert event.seconds == entry.seconds
+            assert event.purpose == entry.purpose
+
+    def test_revoke_bills_like_terminate_and_flags_cluster(
+        self, instrumented
+    ):
+        cloud, fleet = instrumented
+        cluster = cloud.launch("c5.xlarge", 1)
+        cloud.wait_until_ready(cluster)
+        cloud.run_for(cluster, 300.0)
+        dollars = cloud.revoke(cluster, purpose="spot-training")
+        assert cluster.revoked is True
+        assert dollars == cloud.ledger.entries[0].dollars
+        closing = fleet.events[-1]
+        assert closing.event == "revoked"
+        assert closing.ledger_index == 0
+
+    def test_injected_launch_failures_are_recorded(self, small_catalog):
+        fleet = FleetLog()
+        cloud = SimulatedCloud(
+            small_catalog, launch_failure_rate=0.5, failure_seed=7,
+            fleet=fleet,
+        )
+        failures = 0
+        for _ in range(20):
+            try:
+                cluster = cloud.launch("c5.xlarge", 1)
+            except InsufficientCapacityError:
+                failures += 1
+            else:
+                cloud.terminate(cluster, purpose="profiling")
+        assert failures > 0  # rate 0.5 over 20 seeded draws
+        recorded = [e for e in fleet.events if e.event == "launch-failed"]
+        assert len(recorded) == failures
+        assert all(e.cluster_id is None for e in recorded)
+
+    def test_default_cloud_records_nothing(self, small_catalog):
+        cloud = SimulatedCloud(small_catalog)
+        cluster = cloud.launch("c5.xlarge", 1)
+        cloud.wait_until_ready(cluster)
+        cloud.terminate(cluster, purpose="profiling")
+        assert cloud.fleet is NOOP_FLEET
+        assert cloud.fleet.events == ()
+
+
+class TestAttributionContract:
+    def _billed_world(self, small_catalog):
+        fleet = FleetLog()
+        cloud = SimulatedCloud(small_catalog, fleet=fleet)
+        cluster = cloud.launch("c5.xlarge", 1)
+        cloud.wait_until_ready(cluster)
+        cloud.run_for(cluster, 600.0)
+        cloud.terminate(cluster, purpose="profiling")
+        return cloud, fleet
+
+    def test_consistent_world_passes(self, small_catalog):
+        cloud, fleet = self._billed_world(small_catalog)
+        check_fleet_attribution(cloud.ledger, fleet)
+
+    def test_uncovered_entry_fails(self, small_catalog):
+        cloud, fleet = self._billed_world(small_catalog)
+        # a ledger entry nothing attributes
+        cloud.ledger.charge(
+            timestamp=0.0, instance_type="c5.xlarge", count=1,
+            seconds=1.0, dollars=0.1, purpose="other",
+        )
+        with pytest.raises(ContractViolation, match="covers 1 of 2"):
+            check_fleet_attribution(cloud.ledger, fleet)
+
+    def test_dollar_drift_fails(self, small_catalog):
+        cloud, fleet = self._billed_world(small_catalog)
+        entry = cloud.ledger.entries[0]
+        tampered = BillingLedger()
+        tampered.charge(
+            timestamp=entry.timestamp, instance_type=entry.instance_type,
+            count=entry.count, seconds=entry.seconds,
+            dollars=entry.dollars + 1e-9, purpose=entry.purpose,
+        )
+        with pytest.raises(ContractViolation, match="carries dollars"):
+            check_fleet_attribution(tampered, fleet)
+
+    def test_noop_fleet_is_exempt(self, small_catalog):
+        cloud = SimulatedCloud(small_catalog)
+        cloud.ledger.charge(
+            timestamp=0.0, instance_type="c5.xlarge", count=1,
+            seconds=1.0, dollars=0.1, purpose="profiling",
+        )
+        check_fleet_attribution(cloud.ledger, NOOP_FLEET)  # no raise
+
+
+# -- run-level guarantees ----------------------------------------------------
+
+STRATEGIES = {
+    "heterbo": lambda: HeterBO(seed=1, max_steps=12),
+    "convbo": lambda: ConvBO(seed=1, max_steps=10),
+    "parallel-heterbo": lambda: ParallelHeterBO(
+        seed=1, batch_size=2, max_steps=12
+    ),
+}
+
+
+def _run_search(strategy_factory, job, *, fleet: bool):
+    """One seeded search on a fresh three-type world."""
+    catalog = paper_catalog().subset(
+        ["c5.xlarge", "c5.4xlarge", "p2.xlarge"]
+    )
+    cloud = SimulatedCloud(catalog)
+    recorder = RunRecorder(clock=lambda: cloud.clock.now, fleet=fleet)
+    cloud.fleet = recorder.fleet
+    profiler = Profiler(
+        cloud, TrainingSimulator(),
+        noise=NoiseModel(sigma=0.03, seed=0),
+        tracer=recorder.tracer, metrics=recorder.metrics,
+    )
+    context = SearchContext(
+        space=DeploymentSpace(catalog, max_count=20),
+        profiler=profiler,
+        job=job,
+        scenario=Scenario.fastest_within(30.0),
+        tracer=recorder.tracer,
+        metrics=recorder.metrics,
+        decisions=recorder.decisions,
+        watchdog=recorder.watchdog,
+    )
+    result = strategy_factory().search(context)
+    return recorder.finalize(result), cloud
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+class TestRunLevelGuarantees:
+    def test_attribution_reconciles_exactly_with_the_ledger(
+        self, name, charrnn_job
+    ):
+        trace, cloud = _run_search(
+            STRATEGIES[name], charrnn_job, fleet=True
+        )
+        assert trace.fleet, "search recorded no fleet events"
+        # exact float equality on purpose: same summands, same order
+        assert (  # repro-lint: disable=RL002
+            trace.attributed_dollars_total == cloud.ledger.total()
+        )
+        indices = sorted(
+            e.ledger_index for e in trace.fleet
+            if e.ledger_index is not None
+        )
+        assert indices == list(range(len(cloud.ledger)))
+
+    def test_fleet_recording_is_read_only(self, name, charrnn_job):
+        """Fleet on vs. off -> byte-identical canonical traces."""
+        on, cloud_on = _run_search(
+            STRATEGIES[name], charrnn_job, fleet=True
+        )
+        off, cloud_off = _run_search(
+            STRATEGIES[name], charrnn_job, fleet=False
+        )
+        assert on.fleet and not off.fleet
+        assert canonical_trace_jsonl(on) == canonical_trace_jsonl(off)
+        assert cloud_on.ledger.total() == cloud_off.ledger.total()
+
+
+class TestWatchdogDuringReprovisioning:
+    def test_no_false_budget_burn_under_launch_failures(self, charrnn_job):
+        """Injected capacity failures force retries and re-provisioning;
+        under a generous budget the watchdog must stay quiet on
+        budget-burn (retries cost time, not dollars)."""
+        catalog = paper_catalog().subset(
+            ["c5.xlarge", "c5.4xlarge", "p2.xlarge"]
+        )
+        fleet_failures = None
+        for seed in range(5):
+            cloud = SimulatedCloud(
+                catalog, launch_failure_rate=0.3, failure_seed=seed
+            )
+            recorder = RunRecorder(clock=lambda: cloud.clock.now)
+            cloud.fleet = recorder.fleet
+            profiler = Profiler(
+                cloud, TrainingSimulator(),
+                noise=NoiseModel(sigma=0.03, seed=0),
+                tracer=recorder.tracer, metrics=recorder.metrics,
+            )
+            context = SearchContext(
+                space=DeploymentSpace(catalog, max_count=20),
+                profiler=profiler,
+                job=charrnn_job,
+                scenario=Scenario.fastest_within(200.0),
+                tracer=recorder.tracer,
+                metrics=recorder.metrics,
+                decisions=recorder.decisions,
+                watchdog=recorder.watchdog,
+            )
+            result = HeterBO(seed=1, max_steps=10).search(context)
+            trace = recorder.finalize(result)
+            failures = [
+                e for e in trace.fleet if e.event == "launch-failed"
+            ]
+            if failures:
+                fleet_failures = (trace, failures, cloud)
+                break
+        assert fleet_failures is not None, (
+            "no seed produced a launch failure at rate 0.3"
+        )
+        trace, failures, cloud = fleet_failures
+        # retried launches re-provision: more requested events than
+        # abandoned probes, and the run still reconciles exactly
+        assert trace.attributed_dollars_total == cloud.ledger.total()
+        burn = [
+            a for a in trace.anomaly_rows() if a["rule"] == "budget-burn"
+        ]
+        assert burn == [], f"false budget-burn anomalies: {burn}"

@@ -198,3 +198,99 @@ class TestHistogramQuantiles:
         assert entry["p50"] == pytest.approx(2.0)
         assert entry["p90"] == pytest.approx(2.8)
         assert entry["p99"] == pytest.approx(2.98)
+
+
+class TestPrometheusText:
+    """Satellite: deterministic Prometheus text exposition."""
+
+    def _text(self, registry):
+        return registry.to_prometheus_text()
+
+    def test_counter_and_gauge_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("search.probes_total").inc(3.0)
+        registry.gauge("fleet.instances_running").set(2.0, type="c5.xlarge")
+        text = self._text(registry)
+        assert "# TYPE search_probes_total counter" in text
+        assert "search_probes_total 3.0" in text
+        assert "# TYPE fleet_instances_running gauge" in text
+        assert 'fleet_instances_running{type="c5.xlarge"} 2.0' in text
+
+    def test_help_line_from_description(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "fleet.revocations_total",
+            description="spot revocations\nobserved",
+        ).inc()
+        text = self._text(registry)
+        assert (
+            "# HELP fleet_revocations_total spot revocations\\nobserved"
+            in text
+        )
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1.0, path='a"b\\c\nd')
+        text = self._text(registry)
+        assert 'c{path="a\\"b\\\\c\\nd"} 1.0' in text
+
+    def test_label_names_sanitised(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0, **{"instance-type": "x"})
+        assert 'g{instance_type="x"} 1.0' in self._text(registry)
+
+    def test_output_independent_of_insertion_order(self):
+        a = MetricsRegistry()
+        a.counter("z.last").inc()
+        a.counter("a.first").inc(1.0, b="2", a="1")
+        b = MetricsRegistry()
+        b.counter("a.first").inc(1.0, a="1", b="2")
+        b.counter("z.last").inc()
+        assert self._text(a) == self._text(b)
+        assert self._text(a).index("a_first") < self._text(a).index("z_last")
+
+    def test_series_sorted_by_label_tuple(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(1.0, itype="p2.xlarge")
+        gauge.set(2.0, itype="c5.xlarge")
+        text = self._text(registry)
+        assert text.index('itype="c5.xlarge"') < text.index(
+            'itype="p2.xlarge"'
+        )
+
+    def test_histogram_renders_as_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("gp.fit_seconds")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        text = self._text(registry)
+        assert "# TYPE gp_fit_seconds summary" in text
+        assert 'gp_fit_seconds{quantile="0.5"} 2.5' in text
+        assert 'gp_fit_seconds{quantile="0.99"}' in text
+        assert "gp_fit_seconds_sum 10.0" in text
+        assert "gp_fit_seconds_count 4.0" in text
+
+    def test_quantile_label_appended_after_user_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0, phase="explore")
+        assert 'h{phase="explore",quantile="0.5"} 1.0' in self._text(
+            registry
+        )
+
+    def test_snapshot_round_trip_through_json(self):
+        """The trace path: snapshot -> JSON -> exposition."""
+        import json
+
+        from repro.obs import snapshot_to_prometheus_text
+
+        registry = MetricsRegistry()
+        registry.counter("search.probes_total").inc(2.0)
+        registry.histogram("gp.fit_seconds").observe(0.5)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot_to_prometheus_text(snapshot) == self._text(registry)
+
+    def test_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert self._text(registry).endswith("\n")

@@ -194,3 +194,85 @@ class TestV1Migration:
         assert f'"schema_version": {TRACE_SCHEMA_VERSION}' in (
             upgraded_path.read_text()
         )
+
+
+class TestFleetPersistence:
+    """Schema v3: fleet events in the artifact, v2 migration."""
+
+    def _recorded_with_fleet(self, recorded):
+        recorder, result = recorded
+        fleet = recorder.fleet
+        fleet.annotate(phase="initial", step=1, trial=1,
+                       deployment="1x c5.xlarge")
+        fleet.record("requested", time=0.0, instance_type="c5.xlarge",
+                     count=1, cluster_id=1)
+        fleet.record("running", time=120.0, instance_type="c5.xlarge",
+                     count=1, cluster_id=1)
+        fleet.record("terminated", time=600.0, instance_type="c5.xlarge",
+                     count=1, cluster_id=1, purpose="profiling",
+                     seconds=600.0, dollars=0.5, ledger_index=0)
+        fleet.clear()
+        return recorder.finalize(result)
+
+    def test_fleet_events_round_trip(self, recorded):
+        trace = self._recorded_with_fleet(recorded)
+        assert len(trace.fleet) == 3
+        again = SearchTrace.from_jsonl(trace.to_jsonl())
+        assert again == trace
+        assert again.fleet == trace.fleet
+
+    def test_fleet_lines_sit_between_decisions_and_metrics(self, recorded):
+        import json
+
+        trace = self._recorded_with_fleet(recorded)
+        kinds = [
+            json.loads(line)["kind"]
+            for line in trace.to_jsonl().strip().splitlines()
+        ]
+        assert kinds.index("fleet") < kinds.index("metrics")
+        assert kinds[0] == "header"
+
+    def test_each_fleet_line_carries_its_own_version(self, recorded):
+        import json
+
+        from repro.obs.fleet import FLEET_EVENT_VERSION
+
+        trace = self._recorded_with_fleet(recorded)
+        fleet_lines = [
+            json.loads(line)
+            for line in trace.to_jsonl().strip().splitlines()
+            if json.loads(line)["kind"] == "fleet"
+        ]
+        assert fleet_lines
+        assert all(doc["v"] == FLEET_EVENT_VERSION for doc in fleet_lines)
+
+    def test_v2_trace_loads_with_empty_fleet(self, recorded):
+        trace = self._recorded_with_fleet(recorded)
+        v2_text = "\n".join(
+            line
+            for line in trace.to_jsonl().strip().splitlines()
+            if '"kind": "fleet"' not in line
+        ).replace(
+            f'"schema_version": {TRACE_SCHEMA_VERSION}',
+            '"schema_version": 2',
+        ) + "\n"
+        migrated = SearchTrace.from_jsonl(v2_text)
+        assert migrated.schema_version == TRACE_SCHEMA_VERSION
+        assert migrated.fleet == ()
+        assert migrated.decisions == trace.decisions
+        assert migrated.spans == trace.spans
+
+    def test_attribution_views(self, recorded):
+        trace = self._recorded_with_fleet(recorded)
+        assert trace.attributed_dollars_total == 0.5
+        assert [e.ledger_index for e in trace.attributions()] == [0]
+        rows = trace.fleet_rows()
+        assert [r["event"] for r in rows] == [
+            "requested", "running", "terminated",
+        ]
+
+    def test_recorder_fleet_off_yields_noop(self):
+        from repro.obs.fleet import NOOP_FLEET
+
+        recorder = RunRecorder(fleet=False)
+        assert recorder.fleet is NOOP_FLEET

@@ -1,0 +1,205 @@
+"""`repro timeline` / `repro attribute`: rendering saved fleet events.
+
+Acceptance for the fleet-observability tentpole: both renderers work
+from the canonical seeded artifact alone (the session-scoped fixture
+saves it to disk and everything here reads the file), and their text
+output is deterministic enough to pin golden lines.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.reporting import format_dollars
+from repro.obs import render_attribution, render_timeline
+from repro.obs.timeline import attribution_rows, build_timeline
+
+
+class TestBuildTimeline:
+    def test_one_row_per_cluster_in_request_order(self, canonical_trace):
+        rows = build_timeline(canonical_trace)
+        requested = {
+            e.cluster_id for e in canonical_trace.fleet
+            if e.cluster_id is not None
+        }
+        assert len(rows) == len(requested)
+        ids = [row["cluster_id"] for row in rows]
+        assert ids == sorted(ids)
+
+    def test_lifecycle_times_are_ordered(self, canonical_trace):
+        for row in build_timeline(canonical_trace):
+            assert row["requested"] <= row["running"] <= row["end"]
+            assert row["end_event"] == "terminated"
+            assert row["ledger_index"] is not None
+            assert row["dollars"] > 0
+
+
+class TestRenderTimelineText:
+    def test_golden_header_lines(self, canonical_trace):
+        lines = render_timeline(canonical_trace).splitlines()
+        n = len(build_timeline(canonical_trace))
+        t1 = max(e.time for e in canonical_trace.fleet)
+        assert lines[0] == (
+            "fleet timeline — heterbo / "
+            "scenario-3: fastest training within $25.00"
+        )
+        assert lines[1] == (
+            f"{n} cluster(s) over 0..{t1:.0f} s simulated; "
+            f"0 revocation(s), 0 launch failure(s)"
+        )
+        assert lines[2] == "legend: ~ provisioning  # running  x revoked"
+
+    def test_every_cluster_gets_a_table_row(self, canonical_trace):
+        out = render_timeline(canonical_trace)
+        for row in build_timeline(canonical_trace):
+            assert row["deployment"] in out
+        # sequential profiling: the run bars march left to right
+        assert out.count("#") > 0
+
+    def test_track_width_is_configurable(self, canonical_trace):
+        narrow = render_timeline(canonical_trace, width=20)
+        lines = narrow.splitlines()
+        # first data row sits right under the dashed separator (cluster
+        # ids are process-global, so their values can't be pinned here)
+        first_row = lines[lines.index(next(
+            line for line in lines if line.startswith("--")
+        )) + 1]
+        assert len(first_row.split()[-1]) == 20
+
+    def test_tiny_width_rejected(self, canonical_trace):
+        with pytest.raises(ValueError, match="width"):
+            render_timeline(canonical_trace, width=5)
+
+    def test_unknown_format_rejected(self, canonical_trace):
+        with pytest.raises(ValueError, match="unknown timeline format"):
+            render_timeline(canonical_trace, fmt="svg")
+
+    def test_traces_without_fleet_events_rejected(self, canonical_trace):
+        bare = dataclasses.replace(canonical_trace, fleet=())
+        with pytest.raises(ValueError, match="no fleet events"):
+            render_timeline(bare)
+
+
+class TestRenderTimelineHtml:
+    def test_self_contained_page(self, canonical_trace):
+        out = render_timeline(canonical_trace, fmt="html")
+        assert out.startswith("<!DOCTYPE html>")
+        assert "http" not in out  # no external assets
+        assert out.count('<div class="row">') == len(
+            build_timeline(canonical_trace)
+        )
+        assert 'class="bar run"' in out
+        assert 'class="bar prov"' in out
+
+
+class TestRenderAttribution:
+    def test_total_line_matches_the_artifact(self, canonical_trace):
+        out = render_attribution(canonical_trace)
+        rows = attribution_rows(canonical_trace)
+        total = canonical_trace.attributed_dollars_total
+        assert (
+            f"{len(rows)} ledger entries attributed, "
+            f"{format_dollars(total)} total (summed in ledger order)"
+        ) in out
+
+    def test_breakdowns_cover_all_three_groupings(self, canonical_trace):
+        out = render_attribution(canonical_trace)
+        assert "by instance type:" in out
+        assert "by phase:" in out
+        assert "by step:" in out
+        # the canonical run has both phases, and every probe is a step
+        assert "initial" in out and "explore" in out
+
+    def test_shares_sum_to_the_whole(self, canonical_trace):
+        rows = attribution_rows(canonical_trace)
+        total = canonical_trace.attributed_dollars_total
+        by_phase = {}
+        for row in rows:
+            by_phase[row["phase"]] = (
+                by_phase.get(row["phase"], 0.0) + row["dollars"]
+            )
+        assert sum(by_phase.values()) == pytest.approx(total)
+
+    def test_traces_without_fleet_events_rejected(self, canonical_trace):
+        bare = dataclasses.replace(canonical_trace, fleet=())
+        with pytest.raises(ValueError, match="no fleet events"):
+            render_attribution(bare)
+
+    def test_fleet_without_ledger_join_rejected(self, canonical_trace):
+        unbilled = dataclasses.replace(
+            canonical_trace,
+            fleet=tuple(
+                dataclasses.replace(e, ledger_index=None)
+                for e in canonical_trace.fleet
+            ),
+        )
+        with pytest.raises(ValueError, match="none joined"):
+            render_attribution(unbilled)
+
+
+class TestTimelineCLI:
+    def test_text_to_stdout(self, canonical_trace_path, capsys):
+        assert main(["timeline", str(canonical_trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("fleet timeline — heterbo")
+        assert "legend:" in out
+
+    def test_html_to_file(self, canonical_trace_path, tmp_path, capsys):
+        out = tmp_path / "timeline.html"
+        rc = main(["timeline", str(canonical_trace_path),
+                   "--html", "-o", str(out)])
+        assert rc == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_missing_file(self, capsys):
+        assert main(["timeline", "/nonexistent.trace.jsonl"]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_fleetless_trace_is_rc_1(self, tmp_path, capsys):
+        from repro.core.result import SearchResult
+        from repro.core.scenarios import Scenario
+        from repro.obs import RunRecorder
+
+        recorder = RunRecorder(fleet=False)
+        result = SearchResult(
+            strategy="heterbo", scenario=Scenario.fastest(), trials=(),
+            best=None, best_measured_speed=0.0, profile_seconds=0.0,
+            profile_dollars=0.0, stop_reason="nothing happened",
+        )
+        path = tmp_path / "bare.trace.jsonl"
+        recorder.finalize(result).save(path)
+        assert main(["timeline", str(path)]) == 1
+        assert "no fleet events" in capsys.readouterr().err
+
+
+class TestAttributeCLI:
+    def test_renders_breakdowns(self, canonical_trace_path, capsys):
+        assert main(["attribute", str(canonical_trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("cost attribution — heterbo")
+        assert "by phase:" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["attribute", "/nonexistent.trace.jsonl"]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+
+class TestMetricsCLI:
+    def test_prometheus_exposition(self, canonical_trace_path, capsys):
+        assert main(["metrics", str(canonical_trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE fleet_instances_running gauge" in out
+        assert "# TYPE search_probes_total counter" in out
+
+    def test_json_format(self, canonical_trace_path, capsys):
+        import json
+
+        assert main(["metrics", str(canonical_trace_path),
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["fleet.instances_running"]["kind"] == "gauge"
+
+    def test_missing_file(self, capsys):
+        assert main(["metrics", "/nonexistent.trace.jsonl"]) == 2
+        assert "no such trace file" in capsys.readouterr().err

@@ -209,3 +209,22 @@ class TestBenchCLI:
         bad.write_text(json.dumps({"schema_version": 1}))
         assert main(["bench", "--validate", str(bad)]) == 2
         assert capsys.readouterr().err
+
+    def test_max_overhead_gate_passes_with_headroom(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_search.json"
+        rc = main(["bench", "--quick", "--max-steps", "25",
+                   "-o", str(out), "--no-history",
+                   "--max-overhead", "5.0"])
+        assert rc == 0
+        assert "--max-overhead" not in capsys.readouterr().err
+
+    def test_max_overhead_gate_fails_when_exceeded(self, tmp_path, capsys):
+        # a negative ceiling always trips: any measured ratio exceeds it
+        out = tmp_path / "BENCH_search.json"
+        rc = main(["bench", "--quick", "--max-steps", "25",
+                   "-o", str(out), "--no-history",
+                   "--max-overhead", "-0.99"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "recording overhead" in err
+        assert "exceeds the -99.0% ceiling" in err
