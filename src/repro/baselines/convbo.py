@@ -86,11 +86,11 @@ class ConvBO(SearchStrategy):
         if context.decisions.enabled:
             incumbent = engine.best_incumbent()
             context.decisions.publish(
-                deployments=[str(d) for d in candidates],
+                deployments=candidates,
                 ei=ei,
                 scores=ei,
-                prices_per_hour=(
-                    engine.prices_per_second_many(candidates) * 3600.0
+                price_per_hour_fn=(
+                    lambda i: context.price_per_second(candidates[i]) * 3600.0
                 ),
                 objective=context.scenario.objective.value,
                 incumbent=None if incumbent is None else str(incumbent[0]),

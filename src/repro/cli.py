@@ -28,12 +28,21 @@ Two subcommands:
       python -m repro.cli explain run.trace.jsonl --stop
 
 - ``trace`` — inspect a saved search-trace artifact (see
-  ``deploy --trace-out``)::
+  ``deploy --trace-out``), or tail a live streamed one (see
+  ``deploy --stream`` and docs/observability.md "Live telemetry")::
 
       python -m repro.cli deploy --model resnet --dataset cifar10 \\
           --budget 100 --trace-out run.trace.jsonl
       python -m repro.cli trace run.trace.jsonl
       python -m repro.cli trace run.trace.jsonl --spans
+      python -m repro.cli trace live.trace.jsonl --follow
+
+- ``top`` — refreshing terminal dashboard over a streamed trace
+  (step, budget burn, incumbent, EI trend, fleet, anomalies)::
+
+      python -m repro.cli deploy ... --stream live.trace.jsonl &
+      python -m repro.cli top live.trace.jsonl
+      python -m repro.cli top live.trace.jsonl --once   # CI snapshot
 
 - ``timeline`` — render the per-instance fleet Gantt (with spot-price
   overlay) from a trace's ``kind=fleet`` events::
@@ -47,10 +56,13 @@ Two subcommands:
       python -m repro.cli attribute run.trace.jsonl
 
 - ``metrics`` — dump a trace's metric snapshot, as Prometheus text
-  exposition or JSON::
+  exposition or JSON, or serve it over HTTP for a Prometheus
+  scraper (``--serve`` re-reads the file per scrape, so pointing it
+  at a live streamed trace serves the latest snapshot)::
 
       python -m repro.cli metrics run.trace.jsonl
       python -m repro.cli metrics run.trace.jsonl --format json
+      python -m repro.cli metrics live.trace.jsonl --serve 9100
 
 - ``lint`` — run the repo's own static analyzer (see
   ``docs/static-analysis.md``)::
@@ -165,15 +177,39 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
         budget_dollars=args.budget,
     )
     mlcd = MLCD(seed=args.seed, max_count=args.max_count)
-    report = mlcd.deploy(
-        model=args.model,
-        dataset=args.dataset,
-        platform=args.platform,
-        protocol=args.protocol,
-        global_batch=args.batch,
-        epochs=args.epochs,
-        requirements=requirements,
-    )
+    writer = None
+    server = None
+    if args.stream:
+        from repro.obs import TraceStreamWriter
+
+        writer = TraceStreamWriter(args.stream, metrics=mlcd.recorder.metrics)
+        mlcd.recorder.bus.subscribe(writer)
+        print(f"streaming live trace to {args.stream}", file=sys.stderr)
+    if args.serve_metrics is not None:
+        from repro.obs import MetricsHTTPServer, registry_source
+
+        server = MetricsHTTPServer(
+            registry_source(mlcd.recorder.metrics), port=args.serve_metrics
+        )
+        server.start()
+        print(f"serving Prometheus metrics at {server.url}",
+              file=sys.stderr)
+    try:
+        report = mlcd.deploy(
+            model=args.model,
+            dataset=args.dataset,
+            platform=args.platform,
+            protocol=args.protocol,
+            global_batch=args.batch,
+            epochs=args.epochs,
+            requirements=requirements,
+        )
+    finally:
+        if server is not None:
+            server.stop()
+        if writer is not None:
+            mlcd.recorder.bus.unsubscribe(writer)
+            writer.close()
     print(report.summary())
     if args.trace_out:
         mlcd.last_trace.save(args.trace_out)
@@ -377,22 +413,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     overhead_failed = False
     if args.max_overhead is not None:
         obs = doc.get("observability")
-        ratio = obs.get("overhead_ratio") if isinstance(obs, dict) else None
-        if not isinstance(ratio, (int, float)):
-            print(
-                "--max-overhead: artifact carries no "
-                "observability.overhead_ratio",
-                file=sys.stderr,
-            )
-            overhead_failed = True
-        elif ratio - 1.0 > args.max_overhead:
-            print(
-                f"--max-overhead: recording overhead "
-                f"{(ratio - 1.0) * 100:.1f}% exceeds the "
-                f"{args.max_overhead * 100:.1f}% ceiling",
-                file=sys.stderr,
-            )
-            overhead_failed = True
+        # both ratios must clear the ceiling: plain recording, and
+        # recording with the event bus + all live sinks attached
+        for key, label in (
+            ("overhead_ratio", "recording"),
+            ("bus_overhead_ratio", "live-telemetry (bus + sinks)"),
+        ):
+            ratio = obs.get(key) if isinstance(obs, dict) else None
+            if not isinstance(ratio, (int, float)):
+                print(
+                    f"--max-overhead: artifact carries no "
+                    f"observability.{key}",
+                    file=sys.stderr,
+                )
+                overhead_failed = True
+            elif ratio - 1.0 > args.max_overhead:
+                print(
+                    f"--max-overhead: {label} overhead "
+                    f"{(ratio - 1.0) * 100:.1f}% exceeds the "
+                    f"{args.max_overhead * 100:.1f}% ceiling",
+                    file=sys.stderr,
+                )
+                overhead_failed = True
     if not args.no_history:
         # history is best-effort bookkeeping: an unwritable file must
         # not fail a benchmark that itself succeeded
@@ -412,16 +454,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs import SearchTrace
+    if args.follow:
+        return _trace_follow(args)
     from repro.obs.render import render_span_tree
 
-    try:
-        trace = SearchTrace.load(args.path)
-    except FileNotFoundError:
-        print(f"no such trace file: {args.path}", file=sys.stderr)
-        return 2
-    except ValueError as exc:
-        print(f"invalid trace file {args.path}: {exc}", file=sys.stderr)
+    trace = _load_trace(args.path)
+    if trace is None:
         return 2
     print(trace.render())
     if args.spans:
@@ -430,18 +468,84 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_follow(args: argparse.Namespace) -> int:
+    """Tail a (possibly still growing) streamed trace as a run log."""
+    from repro.obs import follow_trace, format_event
+
+    try:
+        for doc in follow_trace(args.path, timeout=args.timeout):
+            line = format_event(doc)
+            if line is not None:
+                print(line, flush=True)
+    except KeyboardInterrupt:
+        return 130
+    except ValueError as exc:
+        print(f"invalid trace file {args.path}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import LiveRunState, read_trace_events, render_top
+
+    state = LiveRunState()
+    offset = 0
+    torn = False
+    first = True
+    try:
+        while True:
+            try:
+                docs, offset, torn = read_trace_events(args.path, offset)
+            except FileNotFoundError:
+                if args.once:
+                    print(f"no such trace file: {args.path}",
+                          file=sys.stderr)
+                    return 2
+                docs = []  # follower attached before the producer
+            except ValueError as exc:
+                print(f"invalid trace file {args.path}: {exc}",
+                      file=sys.stderr)
+                return 2
+            state.apply_many(docs)
+            panel = render_top(
+                state, source=args.path, width=args.width, torn=torn
+            )
+            if args.once:
+                print(panel, end="")
+                return 0
+            if not first:
+                # clear + home; plain text otherwise, so piping works
+                sys.stdout.write("\x1b[2J\x1b[H")
+            first = False
+            print(panel, end="", flush=True)
+            if state.completed:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 130
+
+
 def _load_trace(path: str):
     """Load a trace or print the CLI's standard errors (returns None)."""
     from repro.obs import SearchTrace
 
     try:
-        return SearchTrace.load(path)
+        trace = SearchTrace.load(path)
     except FileNotFoundError:
         print(f"no such trace file: {path}", file=sys.stderr)
         return None
     except ValueError as exc:
         print(f"invalid trace file {path}: {exc}", file=sys.stderr)
         return None
+    if trace.truncated:
+        print(
+            f"warning: {path} has a torn final line (producer crashed "
+            f"or still writing); loaded the complete prefix",
+            file=sys.stderr,
+        )
+    return trace
 
 
 def _cmd_timeline(args: argparse.Namespace) -> int:
@@ -486,6 +590,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     from repro.obs import snapshot_to_prometheus_text
 
+    if args.serve is not None:
+        return _metrics_serve(args)
     trace = _load_trace(args.path)
     if trace is None:
         return 2
@@ -497,6 +603,30 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(json.dumps(trace.metrics, indent=2, sort_keys=True))
     else:
         print(snapshot_to_prometheus_text(trace.metrics), end="")
+    return 0
+
+
+def _metrics_serve(args: argparse.Namespace) -> int:
+    """Serve a trace file's metric snapshot over HTTP (re-read per
+    scrape, so a streamed file being written concurrently serves its
+    latest snapshot)."""
+    from repro.obs import MetricsHTTPServer, trace_file_source
+
+    # fail fast on an unreadable artifact (a mid-write torn tail is
+    # fine; per-scrape reloads tolerate it)
+    if _load_trace(args.path) is None:
+        return 2
+    server = MetricsHTTPServer(
+        trace_file_source(args.path), port=args.serve
+    )
+    print(f"serving {args.path} at {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("metrics server stopped", file=sys.stderr)
+        return 130
+    finally:
+        server.stop()
     return 0
 
 
@@ -536,6 +666,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also print the observed Pareto front")
     deploy.add_argument("--trace-out", default=None,
                         help="write the search-trace artifact (JSONL) here")
+    deploy.add_argument("--stream", default=None, metavar="PATH",
+                        help="stream the trace live to PATH (flushed per "
+                             "event; tail with `repro trace --follow` or "
+                             "`repro top`)")
+    deploy.add_argument("--serve-metrics", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live Prometheus /metrics on PORT "
+                             "while the run is in flight (0 = ephemeral)")
     deploy.set_defaults(func=_cmd_deploy)
 
     report = sub.add_parser(
@@ -586,7 +724,29 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("path", help="path to a .trace.jsonl artifact")
     trace.add_argument("--spans", action="store_true",
                        help="also print the span tree")
+    trace.add_argument("--follow", action="store_true",
+                       help="tail a (possibly still growing) streamed "
+                            "trace, printing one line per event")
+    trace.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="--follow: stop after this long with no new "
+                            "events (default: wait forever)")
     trace.set_defaults(func=_cmd_trace)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a streamed trace file "
+             "(see `deploy --stream`)",
+    )
+    top.add_argument("path", help="path to a (streamed) .trace.jsonl file")
+    top.add_argument("--once", action="store_true",
+                     help="render a single snapshot and exit (non-tty/CI)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="refresh interval (default: 1.0)")
+    top.add_argument("--width", type=int, default=72,
+                     help="panel width in columns (default: 72)")
+    top.set_defaults(func=_cmd_top)
 
     timeline = sub.add_parser(
         "timeline",
@@ -619,6 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--format", choices=("prom", "json"),
                          default="prom",
                          help="output format (default: prom)")
+    metrics.add_argument("--serve", type=int, default=None, metavar="PORT",
+                         help="serve the snapshot over HTTP instead of "
+                              "printing it (re-read per scrape; 0 = "
+                              "ephemeral port, printed on stdout)")
     metrics.set_defaults(func=_cmd_metrics)
 
     from repro.analysis.cli import add_lint_arguments

@@ -9,6 +9,7 @@ limits mirror the paper's testbed ("up to 100 c5, c5n, c4 instances and
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 from repro.cloud.billing import BillingLedger
@@ -103,6 +104,10 @@ class SimulatedCloud:
         self.ledger = BillingLedger()
         self.metrics = MetricStore()
         self._active: list[Cluster] = []
+        # per-cloud ids: two identical seeded runs (each on a fresh
+        # cloud) must produce byte-identical fleet telemetry even
+        # within one process, which a process-global counter breaks
+        self._cluster_ids = itertools.count(1)
 
     # -- capacity ------------------------------------------------------------
     def active_clusters(self) -> list[Cluster]:
@@ -172,6 +177,7 @@ class SimulatedCloud:
             count=count,
             launched_at=self.clock.now,
             setup_seconds=self.setup_seconds,
+            cluster_id=next(self._cluster_ids),
         )
         self._active.append(cluster)
         if self.fleet.enabled:

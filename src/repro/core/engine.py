@@ -36,10 +36,12 @@ from repro.core.result import SearchResult, TrialRecord
 from repro.core.scenarios import Objective, Scenario
 from repro.core.search_space import Deployment, DeploymentSpace
 from repro.obs import (
+    NOOP_BUS,
     NOOP_DECISIONS,
     NOOP_TRACER,
     NOOP_WATCHDOG,
     DecisionLog,
+    EventBus,
     MetricsRegistry,
     StepHealth,
     Tracer,
@@ -66,9 +68,9 @@ SPEED_FLOOR = 1e-3
 class SearchContext:
     """Everything a strategy needs to search: the world and the task.
 
-    ``tracer``, ``metrics``, ``decisions`` and ``watchdog`` are the
-    run's observability sinks; the defaults (shared no-ops and a fresh,
-    unread registry) make instrumented code paths free and
+    ``tracer``, ``metrics``, ``decisions``, ``watchdog`` and ``bus``
+    are the run's observability sinks; the defaults (shared no-ops and
+    a fresh, unread registry) make instrumented code paths free and
     behaviour-identical when nobody is recording.
     """
 
@@ -80,6 +82,7 @@ class SearchContext:
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     decisions: DecisionLog = NOOP_DECISIONS
     watchdog: Watchdog = NOOP_WATCHDOG
+    bus: EventBus = NOOP_BUS
 
     @property
     def introspecting(self) -> bool:
@@ -220,6 +223,11 @@ class GPSearchEngine:
         self._unvisited: list[Deployment] | None = None
         self._log2_obj_consts: dict[Objective, np.ndarray] = {}
         self._cost_grids: dict[str, np.ndarray] = {}
+        # default-args best_incumbent maintained incrementally: the
+        # progress heartbeat asks once per observation, and rescoring
+        # every success each time is O(n²) over the run.  Holds
+        # (observations folded so far, best (d, y, obj) or None).
+        self._incumbent_cache: tuple[int, Any] = (0, None)
 
     @property
     def fast_lane(self) -> bool:
@@ -511,6 +519,21 @@ class GPSearchEngine:
             passing observations qualify (constraint-aware strategies
             restrict the incumbent to constraint-feasible points).
         """
+        if objective is None and incumbent_filter is None:
+            # Incremental fold: objective_value is pure in (deployment,
+            # speed), so only observations recorded since the last call
+            # need scoring — O(1) per probe instead of O(n) (a strict
+            # "<" keeps min()'s first-wins tie-break).
+            n_seen, best = self._incumbent_cache
+            if n_seen > len(self._observations):  # engine was reset
+                n_seen, best = 0, None
+            for d, y in self._observations[n_seen:]:
+                if y > 0:
+                    obj = self.context.objective_value(d, y)
+                    if best is None or obj < best[2]:
+                        best = (d, y, obj)
+            self._incumbent_cache = (len(self._observations), best)
+            return best
         successes = self.successful_observations()
         if incumbent_filter is not None:
             successes = [
@@ -523,7 +546,7 @@ class GPSearchEngine:
             for d, y in successes
         ]
         obj, d, y = min(scored, key=lambda t: t[0])
-        return d, y, obj
+        return (d, y, obj)
 
     def _objective_moments(
         self, candidates: list[Deployment], objective: Objective
@@ -812,6 +835,42 @@ class SearchStrategy(abc.ABC):
             n_observations=engine.n_observations,
         ))
 
+    def _emit_progress(
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        trials: list[TrialRecord],
+        note: str,
+    ) -> None:
+        """Publish one ``progress`` heartbeat after a completed probe.
+
+        Read-only by construction: every value here was already
+        computed by the step (the incumbent view is a pure fold over
+        recorded observations), so emitting cannot perturb the search.
+        A no-op when the bus is off.
+        """
+        bus = context.bus
+        if not bus.enabled:
+            return
+        incumbent = engine.best_incumbent()
+        if incumbent is None:
+            incumbent_str, incumbent_obj = None, None
+        else:
+            deployment, _, objective = incumbent
+            incumbent_str, incumbent_obj = str(deployment), float(objective)
+        limit = context.scenario.constraint_limit
+        bus.publish("progress", {
+            "step": len(trials),
+            "phase": note,
+            "deployment": str(trials[-1].deployment) if trials else None,
+            "spent_usd": context.spent_dollars(),
+            "elapsed_s": context.elapsed_seconds(),
+            "consumed": None if limit is None else context.consumed(),
+            "limit": limit,
+            "incumbent": incumbent_str,
+            "incumbent_objective": incumbent_obj,
+        })
+
     def _probe(
         self,
         context: SearchContext,
@@ -863,6 +922,7 @@ class SearchStrategy(abc.ABC):
         finally:
             fleet.clear()
         self.on_observation(context, result)
+        self._emit_progress(context, engine, trials, note)
         logger.debug(
             "%s probe %d: %s -> %.2f samples/s (%s) "
             "[probe $%.2f, spent $%.2f, elapsed %.2f h]",
@@ -911,9 +971,27 @@ class SearchStrategy(abc.ABC):
                         scores = self.score_candidates(
                             context, engine, candidates
                         )
-                    reason = self.should_stop(
-                        context, engine, candidates, scores
-                    )
+                        # selection stays inside the span so its
+                        # attributes are final when it closes: streamed
+                        # span events snapshot at finish, so a late
+                        # set_attribute would desynchronise live
+                        # artifacts from the finalised trace
+                        reason = self.should_stop(
+                            context, engine, candidates, scores
+                        )
+                        if reason is None:
+                            best_idx = int(np.argmax(scores))
+                            chosen = candidates[best_idx]
+                            scoring_span.set_attribute(
+                                "chosen", str(chosen)
+                            )
+                            scoring_span.set_attribute(
+                                "acquisition_value",
+                                float(scores[best_idx]),
+                            )
+                            scoring_span.set_attribute(
+                                "pl_penalty", context.probe_penalty(chosen)
+                            )
                     if reason is not None:
                         stop_reason = reason
                         step_span.set_attribute("stop_reason", reason)
@@ -921,15 +999,6 @@ class SearchStrategy(abc.ABC):
                             context, engine, stop_reason=reason
                         )
                         break
-                    best_idx = int(np.argmax(scores))
-                    chosen = candidates[best_idx]
-                    scoring_span.set_attribute("chosen", str(chosen))
-                    scoring_span.set_attribute(
-                        "acquisition_value", float(scores[best_idx])
-                    )
-                    scoring_span.set_attribute(
-                        "pl_penalty", context.probe_penalty(chosen)
-                    )
                     self._commit_decision(context, engine, chosen=chosen)
                     self._probe(context, engine, chosen, trials, "explore")
 

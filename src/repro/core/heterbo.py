@@ -516,13 +516,15 @@ class HeterBO(SearchStrategy):
             )
             limit = context.scenario.constraint_limit
             context.decisions.publish(
-                deployments=[str(d) for d in candidates],
+                # objects + a lazy price lookup: the log stringifies
+                # and prices only the candidates the record keeps
+                deployments=candidates,
                 ei=ei,
                 scores=scores,
                 penalty=penalty,
                 tei=tei,
-                prices_per_hour=(
-                    engine.prices_per_second_many(candidates) * 3600.0
+                price_per_hour_fn=(
+                    lambda i: context.price_per_second(candidates[i]) * 3600.0
                 ),
                 feasible=feasible,
                 blocked=blocked,

@@ -180,6 +180,10 @@ class ParallelHeterBO(HeterBO):
                     context, span, result, len(trials)
                 )
             self.on_observation(context, result)
+            # one heartbeat per member, in launch order — batches
+            # publish a deterministic event sequence even though the
+            # underlying clusters terminate in completion order
+            self._emit_progress(context, engine, trials, note)
 
     # -- the batched loop --------------------------------------------------------------
     def search(self, context: SearchContext) -> SearchResult:
@@ -238,9 +242,23 @@ class ParallelHeterBO(HeterBO):
                         scores = self.score_candidates(
                             context, engine, candidates
                         )
-                    reason = self.should_stop(
-                        context, engine, candidates, scores
-                    )
+                        # selection stays inside the span (as in the
+                        # sequential loop): streamed span events
+                        # snapshot at finish, so attributes must be
+                        # final by the time the span closes
+                        reason = self.should_stop(
+                            context, engine, candidates, scores
+                        )
+                        batch: list[Deployment] = []
+                        if reason is None:
+                            batch = self._select_batch(
+                                context, engine, candidates, scores
+                            )
+                            batch = batch[: self.max_steps - len(trials)]
+                            if batch:
+                                scoring_span.set_attribute(
+                                    "batch", [str(d) for d in batch]
+                                )
                     if reason is not None:
                         stop_reason = reason
                         step_span.set_attribute("stop_reason", reason)
@@ -248,9 +266,6 @@ class ParallelHeterBO(HeterBO):
                             context, engine, stop_reason=reason
                         )
                         break
-                    batch = self._select_batch(
-                        context, engine, candidates, scores
-                    )
                     if not batch:
                         stop_reason = (
                             "protective stop: no batch fits the constraint"
@@ -262,10 +277,6 @@ class ParallelHeterBO(HeterBO):
                             context, engine, stop_reason=stop_reason
                         )
                         break
-                    batch = batch[: self.max_steps - len(trials)]
-                    scoring_span.set_attribute(
-                        "batch", [str(d) for d in batch]
-                    )
                     step_span.set_attribute("batch", len(batch))
                     self._commit_decision(
                         context, engine, chosen=batch[0], batch=batch

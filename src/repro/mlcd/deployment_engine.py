@@ -19,10 +19,12 @@ from repro.core.engine import SearchContext, SearchStrategy
 from repro.core.result import DeploymentReport, SearchResult
 from repro.core.search_space import Deployment, DeploymentSpace
 from repro.obs import (
+    NOOP_BUS,
     NOOP_DECISIONS,
     NOOP_TRACER,
     NOOP_WATCHDOG,
     DecisionLog,
+    EventBus,
     MetricsRegistry,
     Tracer,
     Watchdog,
@@ -40,8 +42,8 @@ __all__ = ["DeploymentEngine"]
 class DeploymentEngine:
     """Search-then-train orchestration over one simulated cloud.
 
-    ``tracer`` / ``metrics`` / ``decisions`` / ``watchdog`` are
-    propagated into every search's
+    ``tracer`` / ``metrics`` / ``decisions`` / ``watchdog`` / ``bus``
+    are propagated into every search's
     :class:`~repro.core.engine.SearchContext`, so strategies, the GP
     engine and the training execution all emit into one recording
     (no-op by default).
@@ -57,6 +59,7 @@ class DeploymentEngine:
         metrics: MetricsRegistry | None = None,
         decisions: DecisionLog = NOOP_DECISIONS,
         watchdog: Watchdog = NOOP_WATCHDOG,
+        bus: EventBus = NOOP_BUS,
     ) -> None:
         self.space = space
         self.profiler = profiler
@@ -65,6 +68,7 @@ class DeploymentEngine:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.decisions = decisions
         self.watchdog = watchdog
+        self.bus = bus
 
     @property
     def cloud(self):
@@ -87,6 +91,7 @@ class DeploymentEngine:
             metrics=self.metrics,
             decisions=self.decisions,
             watchdog=self.watchdog,
+            bus=self.bus,
         )
         return strategy.search(context)
 
@@ -140,6 +145,13 @@ class DeploymentEngine:
         with self.tracer.span("deploy", {
             "deployment": str(search.best),
         }) as span:
+            if self.bus.enabled:
+                self.bus.publish("progress", {
+                    "phase": "final-train",
+                    "deployment": str(search.best),
+                    "spent_usd": self.cloud.total_spend(),
+                    "elapsed_s": self.cloud.elapsed(),
+                })
             try:
                 seconds, dollars = self.execute_training(search.best, job)
             except InfeasibleDeploymentError:

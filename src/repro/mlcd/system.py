@@ -73,8 +73,13 @@ class MLCD:
         self.space = DeploymentSpace(self.catalog, max_count=max_count)
         # every deployment is recorded: spans are timed against the
         # simulated clock, and finalize() turns the run into a
-        # SearchTrace artifact (self.last_trace)
-        self.recorder = RunRecorder(clock=lambda: self.cloud.clock.now)
+        # SearchTrace artifact (self.last_trace).  The event bus is
+        # live so sinks (stream writers, /metrics endpoints) can be
+        # attached via self.recorder.bus — recording stays read-only,
+        # so runs are byte-identical with or without subscribers.
+        self.recorder = RunRecorder(
+            clock=lambda: self.cloud.clock.now, bus=True
+        )
         # fleet telemetry: the cloud emits lifecycle events into the
         # recorder's FleetLog (read-only; the join to the billing
         # ledger gives per-step cost attribution in the trace)
@@ -85,6 +90,7 @@ class MLCD:
             noise=NoiseModel(sigma=noise_sigma, seed=seed),
             tracer=self.recorder.tracer,
             metrics=self.recorder.metrics,
+            bus=self.recorder.bus,
         )
         self.engine = DeploymentEngine(
             self.space,
@@ -94,6 +100,7 @@ class MLCD:
             metrics=self.recorder.metrics,
             decisions=self.recorder.decisions,
             watchdog=self.recorder.watchdog,
+            bus=self.recorder.bus,
         )
         self.strategy = strategy if strategy is not None else HeterBO(seed=seed)
         self._last_job = None

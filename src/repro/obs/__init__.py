@@ -26,6 +26,12 @@ See ``docs/observability.md`` for the span taxonomy, metric names,
 decision-record schema and watchdog rules.
 """
 
+from repro.obs.bus import (
+    NOOP_BUS,
+    BusEvent,
+    EventBus,
+    ProgressEvent,
+)
 from repro.obs.decisions import (
     NOOP_DECISIONS,
     CandidateRecord,
@@ -53,9 +59,21 @@ from repro.obs.recorder import (
     RunRecorder,
     SearchTrace,
 )
+from repro.obs.promhttp import (
+    MetricsHTTPServer,
+    registry_source,
+    trace_file_source,
+)
 from repro.obs.report import render_comparison
 from repro.obs.span import Span
+from repro.obs.stream import (
+    TraceStreamWriter,
+    follow_trace,
+    format_event,
+    read_trace_events,
+)
 from repro.obs.timeline import render_attribution, render_timeline
+from repro.obs.top import LiveRunState, load_state, render_top
 from repro.obs.tracer import NOOP_TRACER, RecordingTracer, Tracer
 from repro.obs.watchdog import (
     NOOP_WATCHDOG,
@@ -67,21 +85,27 @@ from repro.obs.watchdog import (
 
 __all__ = [
     "Anomaly",
+    "BusEvent",
     "CandidateRecord",
     "Counter",
     "DecisionLog",
     "DecisionRecord",
+    "EventBus",
     "FLEET_EVENT_VERSION",
     "FleetEvent",
     "FleetLog",
     "Gauge",
     "Histogram",
     "HistogramStats",
+    "LiveRunState",
+    "MetricsHTTPServer",
     "MetricsRegistry",
+    "NOOP_BUS",
     "NOOP_DECISIONS",
     "NOOP_FLEET",
     "NOOP_TRACER",
     "NOOP_WATCHDOG",
+    "ProgressEvent",
     "RecordingTracer",
     "RunRecorder",
     "SUPPORTED_TRACE_VERSIONS",
@@ -89,12 +113,20 @@ __all__ = [
     "Span",
     "StepHealth",
     "TRACE_SCHEMA_VERSION",
+    "TraceStreamWriter",
     "Tracer",
     "Watchdog",
     "WatchdogConfig",
+    "follow_trace",
+    "format_event",
+    "load_state",
+    "read_trace_events",
+    "registry_source",
     "render_comparison",
     "render_explain",
     "render_attribution",
     "render_timeline",
+    "render_top",
     "snapshot_to_prometheus_text",
+    "trace_file_source",
 ]

@@ -1,0 +1,259 @@
+"""In-process event bus: one totally-ordered stream of run telemetry.
+
+Every observability surface in :mod:`repro.obs` — spans, metric
+updates, decision records, fleet lifecycle events, heartbeat/progress
+events, watchdog anomalies (which travel as zero-duration ``anomaly``
+spans) — publishes onto a single :class:`EventBus`.  Each publication
+becomes a :class:`BusEvent` stamped with the *simulated-clock*
+timestamp and a monotonic sequence number assigned in publish order,
+so the stream is totally ordered even when many events share one
+simulated timestamp (computation does not advance the simulated
+clock).
+
+Sinks subscribe with a plain callable; the bus fans each event out
+synchronously, in subscription order.  Shipped sinks:
+
+- :class:`~repro.obs.stream.TraceStreamWriter` — incremental JSONL
+  trace writer, flushed per event so the artifact is tailable
+  mid-run (``repro trace --follow``, ``repro top``);
+- :class:`~repro.obs.promhttp.MetricsHTTPServer` — live Prometheus
+  ``/metrics`` endpoint (it reads the registry rather than consuming
+  bus events, but is enabled through the same wiring).
+
+Design rules (shared with the rest of ``repro.obs``):
+
+- **Read-only.**  Publishing copies values the search already
+  computed and never feeds anything back, so a run with the bus on
+  makes byte-identical decisions to one with it off (asserted in
+  ``tests/obs/test_bus.py``).
+- **No-op by default.**  :data:`NOOP_BUS` is the ``SearchContext``
+  default; instrumented hot paths pay one attribute load and a
+  falsy ``enabled`` check.
+- **Deterministic.**  Sequence numbers count publications; the
+  timebase is the injected clock.  No wall-clock reads happen on the
+  publish path, so two identical seeded runs publish identical event
+  streams (up to ``wall_seconds`` on span-finish payloads).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "NOOP_BUS",
+    "BusEvent",
+    "EventBus",
+    "ProgressEvent",
+]
+
+#: Event kinds published by the built-in instrumentation.
+BUS_EVENT_KINDS = (
+    "span-start",
+    "span",
+    "metric",
+    "decision",
+    "fleet",
+    "progress",
+    "summary",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class BusEvent:
+    """One publication on the bus.
+
+    Attributes
+    ----------
+    seq:
+        1-based publish order — the total-order tie-break for events
+        sharing a simulated timestamp.
+    time:
+        Bus-clock timestamp (the simulated cloud clock in real runs).
+    kind:
+        Payload discriminator (``"span"``, ``"decision"``,
+        ``"fleet"``, ``"progress"``, ``"metric"``, ``"span-start"``).
+    data:
+        The payload dict, JSON-serialisable.
+    """
+
+    seq: int
+    time: float
+    kind: str
+    data: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat serialisable form: envelope keys merged over the payload."""
+        return {"kind": self.kind, "seq": self.seq, "time": self.time, **self.data}
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressEvent:
+    """One heartbeat from the search loop, as stored in a trace.
+
+    The payload ``data`` is exactly what the emitter published (see
+    ``docs/observability.md`` for the schema: ``step``, ``phase``,
+    ``deployment``, ``spent_usd``, ``elapsed_s``, ``consumed``,
+    ``limit``, ``incumbent``, ``incumbent_objective``), so a
+    streamed ``kind=progress`` line and a finalised one serialise
+    byte-identically.
+    """
+
+    seq: int
+    time: float
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "time": self.time, **self.data}
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "ProgressEvent":
+        data = {
+            k: v for k, v in doc.items() if k not in ("kind", "seq", "time")
+        }
+        return cls(seq=int(doc["seq"]), time=float(doc["time"]), data=data)
+
+    # -- convenience views (all optional payload keys) -----------------
+    @property
+    def step(self) -> int | None:
+        return self.data.get("step")
+
+    @property
+    def phase(self) -> str | None:
+        return self.data.get("phase")
+
+    @property
+    def spent_usd(self) -> float | None:
+        return self.data.get("spent_usd")
+
+    @property
+    def elapsed_s(self) -> float | None:
+        return self.data.get("elapsed_s")
+
+    @property
+    def incumbent(self) -> str | None:
+        return self.data.get("incumbent")
+
+
+class EventBus:
+    """Totally-ordered fan-out of run telemetry to subscribed sinks.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time in seconds.
+        Pass the simulated clock (``lambda: cloud.clock.now``) so
+        event timestamps reconcile with billed time; defaults to
+        ``time.monotonic``.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, *, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock if clock is not None else time.monotonic
+        self._sinks: list[Callable[[BusEvent], None]] = []
+        self._seq = 0
+        self._progress: list[BusEvent] = []
+        self._accepts_all = False
+        self._wanted: frozenset[str] = frozenset()
+
+    # -- wiring --------------------------------------------------------
+    def subscribe(self, sink: Callable[[BusEvent], None]) -> None:
+        """Attach a sink; events fan out in subscription order.
+
+        A sink may declare an ``interested_kinds`` attribute (a set of
+        kind strings) to let the bus skip *constructing* events of
+        kinds no subscriber wants — high-frequency ``metric`` updates
+        in particular.  Sinks without the attribute receive every
+        kind.  Sequence numbers advance for skipped publications too,
+        so the numbering a sink observes does not depend on which
+        other sinks are attached.
+        """
+        self._sinks.append(sink)
+        self._rebuild_interest()
+
+    def unsubscribe(self, sink: Callable[[BusEvent], None]) -> None:
+        """Detach a previously subscribed sink (no-op if absent)."""
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+            self._rebuild_interest()
+
+    def _rebuild_interest(self) -> None:
+        wanted: set[str] = set()
+        self._accepts_all = False
+        for sink in self._sinks:
+            kinds = getattr(sink, "interested_kinds", None)
+            if kinds is None:
+                self._accepts_all = True
+                return
+            wanted.update(kinds)
+        self._wanted = frozenset(wanted)
+
+    # -- publication ---------------------------------------------------
+    def publish(self, kind: str, data: Mapping[str, Any]) -> BusEvent | None:
+        """Stamp and fan out one event; returns it.
+
+        Returns ``None`` (without constructing the event) when no
+        subscribed sink wants ``kind`` — except ``progress`` events,
+        which are always retained for the finalised trace.
+        """
+        self._seq += 1
+        if kind != "progress" and not self._accepts_all \
+                and kind not in self._wanted:
+            return None
+        event = BusEvent(
+            seq=self._seq, time=self._clock(), kind=kind, data=dict(data)
+        )
+        if kind == "progress":
+            self._progress.append(event)
+        for sink in self._sinks:
+            sink(event)
+        return event
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def seq(self) -> int:
+        """Sequence number of the most recent event (0 before any)."""
+        return self._seq
+
+    @property
+    def progress_events(self) -> tuple[ProgressEvent, ...]:
+        """Retained heartbeat events, in publish order.
+
+        The bus keeps progress events (only — spans, decisions and
+        fleet events already live in their own recorders) so
+        :meth:`~repro.obs.recorder.RunRecorder.finalize` can fold
+        them into the trace artifact.
+        """
+        return tuple(
+            ProgressEvent(seq=e.seq, time=e.time, data=dict(e.data))
+            for e in self._progress
+        )
+
+
+class _NoopBus(EventBus):
+    """Disabled bus: publishing is an immediate no-op.
+
+    Stateless by construction, so the module singleton is safe to
+    share as the ``SearchContext`` default.  ``subscribe`` raises —
+    attaching a sink to the no-op bus is always a wiring bug.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(clock=lambda: 0.0)
+
+    def subscribe(self, sink: Callable[[BusEvent], None]) -> None:
+        raise RuntimeError(
+            "cannot subscribe to the no-op bus; construct an EventBus "
+            "(e.g. RunRecorder(bus=True)) first"
+        )
+
+    def publish(self, kind: str, data: Mapping[str, Any]) -> BusEvent:  # type: ignore[override]
+        return None  # type: ignore[return-value]
+
+
+#: Shared disabled bus — the ``SearchContext`` default.
+NOOP_BUS = _NoopBus()

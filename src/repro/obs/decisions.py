@@ -35,9 +35,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
+
+from repro.obs.bus import NOOP_BUS, EventBus
 
 __all__ = [
     "DECISION_MODES",
@@ -184,14 +186,22 @@ class DecisionRecord:
 
 @dataclass(slots=True)
 class _Staged:
-    """Arrays published by the strategy, pending the step's outcome."""
+    """Arrays published by the strategy, pending the step's outcome.
 
-    deployments: list[str]
+    ``deployments`` holds whatever objects the strategy published;
+    they are stringified lazily at commit, for the kept candidates
+    only — in ``topk`` mode that is ~top_k strings per step instead
+    of one per grid point.  ``price_per_hour_fn`` is the matching
+    lazy form of ``prices_per_hour`` (a per-index lookup, evaluated
+    only for kept candidates)."""
+
+    deployments: Sequence[Any]
     ei: np.ndarray
     scores: np.ndarray
     penalty: np.ndarray | None
     tei: np.ndarray | None
     prices_per_hour: np.ndarray | None
+    price_per_hour_fn: Callable[[int], float] | None
     feasible: np.ndarray | None
     blocked: dict[str, np.ndarray]
     objective: str
@@ -211,7 +221,9 @@ class DecisionLog:
     the search, so recording cannot perturb decisions.
     """
 
-    def __init__(self, mode: str = "auto", *, top_k: int = 8) -> None:
+    def __init__(
+        self, mode: str = "auto", *, top_k: int = 8, bus: EventBus = NOOP_BUS
+    ) -> None:
         if mode not in DECISION_MODES:
             raise ValueError(
                 f"unknown decision mode {mode!r}; expected one of {DECISION_MODES}"
@@ -219,6 +231,7 @@ class DecisionLog:
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
         self._mode = mode
+        self._bus = bus
         self.top_k = int(top_k)
         self._resolved: str | None = None
         self._records: list[DecisionRecord] = []
@@ -262,12 +275,13 @@ class DecisionLog:
     def publish(
         self,
         *,
-        deployments: Sequence[str],
+        deployments: Sequence[Any],
         ei: np.ndarray,
         scores: np.ndarray,
         penalty: np.ndarray | None = None,
         tei: np.ndarray | None = None,
         prices_per_hour: np.ndarray | None = None,
+        price_per_hour_fn: Callable[[int], float] | None = None,
         feasible: np.ndarray | None = None,
         blocked: Mapping[str, np.ndarray] | None = None,
         objective: str = "",
@@ -278,11 +292,17 @@ class DecisionLog:
         limit: float | None = None,
         best_feasible_ei: float | None = None,
     ) -> None:
-        """Stage the scored landscape; a no-op when recording is off."""
+        """Stage the scored landscape; a no-op when recording is off.
+
+        ``deployments`` entries are stringified lazily, only for the
+        candidates the record keeps; ``price_per_hour_fn`` is the lazy
+        alternative to a full ``prices_per_hour`` array (in ``topk``
+        mode a full-grid gather per step would dwarf the cost of the
+        handful of values actually recorded)."""
         if not self.enabled:
             return
         self._staged = _Staged(
-            deployments=[str(d) for d in deployments],
+            deployments=list(deployments),
             ei=np.array(ei, dtype=float, copy=True),
             scores=np.array(scores, dtype=float, copy=True),
             penalty=None if penalty is None else np.array(penalty, dtype=float),
@@ -292,6 +312,7 @@ class DecisionLog:
                 if prices_per_hour is None
                 else np.array(prices_per_hour, dtype=float)
             ),
+            price_per_hour_fn=price_per_hour_fn,
             feasible=None if feasible is None else np.array(feasible, dtype=bool),
             blocked={k: np.array(v, dtype=bool) for k, v in (blocked or {}).items()},
             objective=objective,
@@ -372,6 +393,8 @@ class DecisionLog:
         self._records.append(record)
         self._staged = None
         self._pruned = {}
+        if self._bus.enabled:
+            self._bus.publish("decision", record.to_dict())
         return record
 
     def _record_indices(self, scores: np.ndarray) -> list[int]:
@@ -399,17 +422,19 @@ class DecisionLog:
                 if bool(mask[i])
             )
         )
+        if staged.prices_per_hour is not None:
+            price = float(staged.prices_per_hour[i])
+        elif staged.price_per_hour_fn is not None:
+            price = float(staged.price_per_hour_fn(i))
+        else:
+            price = None
         return CandidateRecord(
-            deployment=staged.deployments[i],
+            deployment=str(staged.deployments[i]),
             ei=float(staged.ei[i]),
             score=score if math.isfinite(score) else None,
             penalty=None if staged.penalty is None else float(staged.penalty[i]),
             tei=None if staged.tei is None else float(staged.tei[i]),
-            price_per_hour=(
-                None
-                if staged.prices_per_hour is None
-                else float(staged.prices_per_hour[i])
-            ),
+            price_per_hour=price,
             feasible=bool(feasible[i]),
             blocked_by=blocked_by,
         )

@@ -35,6 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from repro.obs.bus import NOOP_BUS, EventBus
+
 __all__ = [
     "FLEET_EVENT_KINDS",
     "FLEET_EVENT_VERSION",
@@ -197,9 +199,10 @@ class FleetLog:
     completion order, not launch order.
     """
 
-    def __init__(self, *, metrics: Any = None) -> None:
+    def __init__(self, *, metrics: Any = None, bus: EventBus = NOOP_BUS) -> None:
         self._events: list[FleetEvent] = []
         self._metrics = metrics
+        self._bus = bus
         self._ctx: dict[str, Any] = {}
         self._batch: dict[str, Any] | None = None
         # cluster_id -> (instance_type, count) for the running gauge
@@ -311,6 +314,8 @@ class FleetLog:
         )
         self._events.append(record)
         self._update_metrics(record)
+        if self._bus.enabled:
+            self._bus.publish("fleet", record.to_dict())
         return record
 
     # -- metrics -------------------------------------------------------

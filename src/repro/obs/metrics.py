@@ -19,6 +19,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
+from repro.obs.bus import NOOP_BUS, EventBus
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -47,6 +49,20 @@ class _Instrument:
         self.unit = unit
         self.description = description
         self._series: dict[_LabelKey, Any] = {}
+        self._bus: EventBus = NOOP_BUS
+
+    def _publish(self, key: _LabelKey, value: float) -> None:
+        """Publish one update onto the registry's event bus.
+
+        Counters and gauges publish the post-update series value;
+        histograms publish the raw observation.
+        """
+        self._bus.publish("metric", {
+            "name": self.name,
+            "instrument": self.kind,
+            "labels": dict(key),
+            "value": value,
+        })
 
     def labelsets(self) -> list[dict[str, str]]:
         """Every label combination this instrument has seen."""
@@ -66,6 +82,8 @@ class Counter(_Instrument):
             )
         key = _label_key(labels)
         self._series[key] = self._series.get(key, 0.0) + amount
+        if self._bus.enabled:
+            self._publish(key, self._series[key])
 
     def value(self, **labels: Any) -> float:
         """Current value of one labelled series (0.0 if never touched)."""
@@ -87,7 +105,10 @@ class Gauge(_Instrument):
             raise ValueError(
                 f"gauge {self.name}: non-finite value {value!r}"
             )
-        self._series[_label_key(labels)] = float(value)
+        key = _label_key(labels)
+        self._series[key] = float(value)
+        if self._bus.enabled:
+            self._publish(key, self._series[key])
 
     def value(self, **labels: Any) -> float | None:
         """Current value, or ``None`` if never set."""
@@ -177,6 +198,8 @@ class Histogram(_Instrument):
         if stats is None:
             stats = self._series[key] = HistogramStats()
         stats.observe(value)
+        if self._bus.enabled:
+            self._publish(key, float(value))
 
     def stats(self, **labels: Any) -> HistogramStats:
         """Aggregates for one labelled series (zeros if never touched)."""
@@ -189,10 +212,22 @@ class MetricsRegistry:
     ``counter`` / ``gauge`` / ``histogram`` are idempotent for a given
     name; asking for an existing name with a different instrument kind
     raises.
+
+    When an :class:`~repro.obs.bus.EventBus` is attached (``bus=``
+    at construction, or :meth:`attach_bus` later), every update also
+    publishes a ``metric`` bus event carrying the post-update value
+    (counters/gauges) or the raw observation (histograms).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, bus: EventBus = NOOP_BUS) -> None:
         self._instruments: dict[str, _Instrument] = {}
+        self._bus = bus
+
+    def attach_bus(self, bus: EventBus) -> None:
+        """Point this registry (and existing instruments) at a bus."""
+        self._bus = bus
+        for instrument in self._instruments.values():
+            instrument._bus = bus
 
     def _get_or_create(
         self, cls: type, name: str, unit: str, description: str
@@ -206,6 +241,7 @@ class MetricsRegistry:
                 )
             return existing
         instrument = cls(name, unit=unit, description=description)
+        instrument._bus = self._bus
         self._instruments[name] = instrument
         return instrument
 

@@ -1,0 +1,171 @@
+"""Stdlib Prometheus ``/metrics`` endpoint for live and saved runs.
+
+:class:`MetricsHTTPServer` is a tiny ``http.server`` wrapper that
+answers ``GET /metrics`` with the Prometheus text exposition
+produced by a *source* callable.  Two sources ship:
+
+- :func:`registry_source` renders a live
+  :class:`~repro.obs.metrics.MetricsRegistry` — used by
+  ``repro deploy --serve-metrics`` to expose the search's registry
+  while it runs;
+- :func:`trace_file_source` re-reads a (possibly still growing)
+  trace file on every scrape and renders its latest ``metrics``
+  snapshot — used by ``repro metrics --serve`` to put a Prometheus
+  endpoint in front of any artifact, mid-run or post-hoc.
+
+The server binds ``127.0.0.1`` by default, accepts ``port=0`` for an
+ephemeral port (tests), serves each request in its own thread, and
+suppresses per-request logging.  Scrapes of a live registry race the
+search thread by design; the handler retries a handful of times on
+``RuntimeError`` (dict mutated during iteration) — a scrape endpoint
+wants the next snapshot, not a crash.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "MetricsHTTPServer",
+    "registry_source",
+    "trace_file_source",
+]
+
+_SCRAPE_RETRIES = 5
+
+
+def registry_source(registry: Any) -> Callable[[], str]:
+    """Source over a live :class:`~repro.obs.metrics.MetricsRegistry`."""
+
+    def source() -> str:
+        return registry.to_prometheus_text()
+
+    return source
+
+
+def trace_file_source(path: str | Path) -> Callable[[], str]:
+    """Source that re-loads a trace artifact on every scrape.
+
+    Works mid-run on a streamed file: the loader tolerates the torn
+    tail and the *last* complete ``metrics`` snapshot line wins.
+    """
+    from repro.obs.metrics import snapshot_to_prometheus_text
+    from repro.obs.recorder import SearchTrace
+
+    path = Path(path)
+
+    def source() -> str:
+        trace = SearchTrace.load(path)
+        return snapshot_to_prometheus_text(trace.metrics)
+
+    return source
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_Server"  # type: ignore[assignment]
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        try:
+            text = self._scrape()
+        except Exception as exc:  # surface source failures as a 500
+            body = f"scrape failed: {exc}\n".encode("utf-8")
+            self.send_response(500)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _scrape(self) -> str:
+        last: Exception | None = None
+        for _ in range(_SCRAPE_RETRIES):
+            try:
+                return self.server.source()
+            except RuntimeError as exc:  # registry mutated mid-snapshot
+                last = exc
+        raise last if last is not None else RuntimeError("scrape failed")
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        pass  # keep scrapes out of the CLI's stdout/stderr
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    source: Callable[[], str]
+
+
+class MetricsHTTPServer:
+    """Background Prometheus endpoint over a text-exposition source.
+
+    Parameters
+    ----------
+    source:
+        Zero-argument callable returning the exposition text (see
+        :func:`registry_source` / :func:`trace_file_source`).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port, available
+        as :attr:`port` after construction.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._server = _Server((host, port), _Handler)
+        self._server.source = source
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return int(self._server.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsHTTPServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-metrics-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro metrics --serve`` loop)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Shut the server down and join the background thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

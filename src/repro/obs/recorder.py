@@ -14,16 +14,30 @@ next to every figure.
 
 JSONL layout (one JSON object per line)::
 
-    {"kind": "header", "schema_version": 3, "strategy": ..., ...}
+    {"kind": "header", "schema_version": 4, "strategy": ..., ...}
     {"kind": "span", "name": "search", ...}        # one per span
     {"kind": "decision", "step": 1, ...}           # one per decision
     {"kind": "fleet", "event": "requested", ...}   # one per fleet event
+    {"kind": "progress", "seq": 7, ...}            # one per heartbeat
     {"kind": "metrics", "data": {...}}             # final line
 
 Schema history: v1 had no ``decision`` lines; v2 had no ``fleet``
-lines.  Both still load (they come back with empty decision / fleet
-tuples, normalised to the current version); anything else is rejected
-with an error naming the file and the offending version.
+lines; v3 had no ``progress`` lines.  All still load (they come back
+with empty tuples, normalised to the current version); anything else
+is rejected with an error naming the file and the offending version.
+
+Traces *streamed* by :class:`~repro.obs.stream.TraceStreamWriter`
+are a superset of this layout: records land in bus order (so spans
+appear in *finish* order, prefixed by ``span-start`` lines), interim
+``metrics`` snapshots may appear mid-file, and a final ``summary``
+line carries the header fields that were unknown at stream start.
+The loader normalises all of that — ``span-start`` lines are
+skipped, the last ``metrics`` line wins, the ``summary`` line
+overrides the placeholder header, and spans / decisions / fleet /
+progress records are re-sorted into canonical order — so loading a
+streamed file yields the same trace as :meth:`RunRecorder.finalize`.
+A torn final line (a crashed or still-writing producer) is tolerated
+and reported via :attr:`SearchTrace.truncated` instead of raising.
 """
 
 from __future__ import annotations
@@ -33,6 +47,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.obs.bus import NOOP_BUS, EventBus, ProgressEvent
 from repro.obs.decisions import DecisionLog, DecisionRecord
 from repro.obs.fleet import NOOP_FLEET, FleetEvent, FleetLog
 from repro.obs.metrics import MetricsRegistry
@@ -50,8 +65,8 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
 ]
 
-TRACE_SCHEMA_VERSION = 3
-SUPPORTED_TRACE_VERSIONS = (1, 2, 3)
+TRACE_SCHEMA_VERSION = 4
+SUPPORTED_TRACE_VERSIONS = (1, 2, 3, 4)
 
 
 @dataclass(frozen=True)
@@ -66,8 +81,13 @@ class SearchTrace:
     spans: tuple[Span, ...]
     decisions: tuple[DecisionRecord, ...] = ()
     fleet: tuple[FleetEvent, ...] = ()
+    progress: tuple[ProgressEvent, ...] = ()
     metrics: dict[str, Any] = field(default_factory=dict)
     schema_version: int = TRACE_SCHEMA_VERSION
+    #: Load-time report, not part of the artifact: ``True`` when the
+    #: source file ended in a torn (partially written) final line —
+    #: a crashed producer, or one still mid-write.
+    truncated: bool = False
 
     # -- derived views -------------------------------------------------------
     def find(self, name: str) -> list[Span]:
@@ -114,6 +134,15 @@ class SearchTrace:
     def fleet_rows(self) -> list[dict[str, Any]]:
         """Fleet lifecycle events as dicts (one per event, in order)."""
         return [event.to_dict() for event in self.fleet]
+
+    def progress_rows(self) -> list[dict[str, Any]]:
+        """Heartbeat events as dicts (one per event, in bus order)."""
+        return [event.to_dict() for event in self.progress]
+
+    @property
+    def running(self) -> bool:
+        """Whether this is a live (still-streaming) trace snapshot."""
+        return self.stop_reason == "running"
 
     def attributions(self) -> list[FleetEvent]:
         """Closing fleet events joined to ledger entries.
@@ -189,6 +218,10 @@ class SearchTrace:
             json.dumps({"kind": "fleet", **e.to_dict()}, sort_keys=True)
             for e in self.fleet
         )
+        lines.extend(
+            json.dumps({"kind": "progress", **p.to_dict()}, sort_keys=True)
+            for p in self.progress
+        )
         lines.append(
             json.dumps({"kind": "metrics", "data": self.metrics},
                        sort_keys=True)
@@ -197,31 +230,53 @@ class SearchTrace:
 
     @classmethod
     def from_jsonl(cls, text: str, *, source: str | None = None) -> "SearchTrace":
-        """Parse a trace written by :meth:`to_jsonl`.
+        """Parse a trace written by :meth:`to_jsonl` or streamed live.
 
         ``source`` names the artifact in error messages (``load`` passes
         the file path).  Older versions are migrated on load: v1 traces
         parse with no decision records, v1/v2 traces with no fleet
-        events.
+        events, v1–v3 traces with no progress events.
+
+        Streamed artifacts normalise to the canonical layout:
+        ``span-start`` lines are skipped, the *last* ``metrics`` line
+        wins, a trailing ``summary`` line overrides the placeholder
+        header, records re-sort into canonical order (spans by
+        ``span_id``, decisions by ``step``, fleet and progress by
+        ``seq`` — a stable no-op for artifacts already in order), and
+        a torn final line sets :attr:`truncated` instead of raising.
 
         Raises
         ------
         ValueError
-            On malformed lines, a missing header, or an unsupported
-            schema version.
+            On malformed non-final lines, a missing header, or an
+            unsupported schema version.
         """
         origin = source if source is not None else "<string>"
         header: dict[str, Any] | None = None
+        summary_doc: dict[str, Any] | None = None
         spans: list[Span] = []
         decisions: list[DecisionRecord] = []
         fleet: list[FleetEvent] = []
+        progress: list[ProgressEvent] = []
         metrics: dict[str, Any] = {}
-        for i, line in enumerate(text.splitlines()):
+        truncated = False
+        lines = text.splitlines()
+        last_index = max(
+            (i for i, line in enumerate(lines) if line.strip()), default=-1
+        )
+        for i, line in enumerate(lines):
             if not line.strip():
                 continue
             try:
                 doc = json.loads(line)
             except json.JSONDecodeError as exc:
+                if i == last_index and header is not None:
+                    # torn final line: a crashed producer, or one still
+                    # mid-write — report it, don't refuse the artifact.
+                    # (Only once a header parsed; a torn first line is
+                    # just not a trace.)
+                    truncated = True
+                    break
                 raise ValueError(
                     f"{origin}: trace line {i + 1} is not valid JSON: {exc}"
                 ) from exc
@@ -230,12 +285,18 @@ class SearchTrace:
                 header = doc
             elif kind == "span":
                 spans.append(Span.from_dict(doc))
+            elif kind == "span-start":
+                continue  # stream-only echo; the finish line has it all
             elif kind == "decision":
                 decisions.append(DecisionRecord.from_dict(doc))
             elif kind == "fleet":
                 fleet.append(FleetEvent.from_dict(doc))
+            elif kind == "progress":
+                progress.append(ProgressEvent.from_dict(doc))
             elif kind == "metrics":
                 metrics = doc.get("data", {})
+            elif kind == "summary":
+                summary_doc = doc
             else:
                 raise ValueError(
                     f"{origin}: trace line {i + 1}: unknown record kind {kind!r}"
@@ -249,21 +310,27 @@ class SearchTrace:
                 f"unsupported trace schema version {version!r} in {origin}; "
                 f"supported versions: {supported}"
             )
-        # older artifacts migrate on load: decision lines arrived in v2
-        # and fleet lines in v3, so missing kinds leave empty tuples and
-        # the trace is normalised to the current version (a save()
-        # round-trip upgrades the file).
+        if summary_doc is not None:
+            for key in ("strategy", "scenario", "stop_reason", "best", "summary"):
+                if key in summary_doc:
+                    header[key] = summary_doc[key]
+        # older artifacts migrate on load: decision lines arrived in v2,
+        # fleet lines in v3 and progress lines in v4, so missing kinds
+        # leave empty tuples and the trace is normalised to the current
+        # version (a save() round-trip upgrades the file).
         return cls(
             strategy=header["strategy"],
             scenario=header["scenario"],
             stop_reason=header["stop_reason"],
             best=header.get("best"),
             summary=dict(header.get("summary", {})),
-            spans=tuple(spans),
-            decisions=tuple(decisions),
-            fleet=tuple(fleet),
+            spans=tuple(sorted(spans, key=lambda s: s.span_id)),
+            decisions=tuple(sorted(decisions, key=lambda d: d.step)),
+            fleet=tuple(sorted(fleet, key=lambda e: e.seq)),
+            progress=tuple(sorted(progress, key=lambda p: p.seq)),
             metrics=metrics,
             schema_version=TRACE_SCHEMA_VERSION,
+            truncated=truncated,
         )
 
     def save(self, path: str | Path) -> Path:
@@ -302,6 +369,13 @@ class RunRecorder:
         to the run's cloud (``cloud.fleet = recorder.fleet``) to record
         instance-lifecycle events and cost attribution.  ``False``
         leaves the inert ``NOOP_FLEET``.
+    bus:
+        ``True`` creates a live :class:`~repro.obs.bus.EventBus` (on
+        the same clock) and points every recorder component at it, so
+        spans, metric updates, decisions, fleet events and progress
+        heartbeats publish as one totally-ordered stream.  ``False``
+        (default) leaves the inert ``NOOP_BUS`` — recording behaves
+        exactly as before the bus existed.
     """
 
     def __init__(
@@ -312,12 +386,16 @@ class RunRecorder:
         decision_top_k: int = 8,
         watchdog: bool | WatchdogConfig = True,
         fleet: bool = True,
+        bus: bool = False,
     ) -> None:
-        self.tracer = RecordingTracer(clock=clock)
-        self.metrics = MetricsRegistry()
-        self.decisions = DecisionLog(decisions, top_k=decision_top_k)
+        self.bus: EventBus = EventBus(clock=clock) if bus else NOOP_BUS
+        self.tracer = RecordingTracer(clock=clock, bus=self.bus)
+        self.metrics = MetricsRegistry(bus=self.bus)
+        self.decisions = DecisionLog(
+            decisions, top_k=decision_top_k, bus=self.bus
+        )
         self.fleet: FleetLog = (
-            FleetLog(metrics=self.metrics) if fleet else NOOP_FLEET
+            FleetLog(metrics=self.metrics, bus=self.bus) if fleet else NOOP_FLEET
         )
         if watchdog is False:
             self.watchdog: Watchdog = NOOP_WATCHDOG
@@ -328,20 +406,40 @@ class RunRecorder:
             )
 
     def finalize(self, result: "SearchResult") -> SearchTrace:
-        """Freeze the recording into a :class:`SearchTrace`."""
+        """Freeze the recording into a :class:`SearchTrace`.
+
+        When the bus is live, a final ``summary`` event is published
+        first so streaming sinks can complete their artifacts (the
+        :class:`~repro.obs.stream.TraceStreamWriter` appends its
+        closing ``metrics`` + ``summary`` lines on it — followers use
+        the ``summary`` line as the end-of-run signal).
+        """
+        strategy = result.strategy
+        scenario = result.scenario.describe()
+        best = None if result.best is None else str(result.best)
+        summary = {
+            "n_steps": len(result.trials),
+            "profile_seconds": result.profile_seconds,
+            "profile_dollars": result.profile_dollars,
+            "best_measured_speed": result.best_measured_speed,
+        }
+        if self.bus.enabled:
+            self.bus.publish("summary", {
+                "strategy": strategy,
+                "scenario": scenario,
+                "stop_reason": result.stop_reason,
+                "best": best,
+                "summary": summary,
+            })
         return SearchTrace(
-            strategy=result.strategy,
-            scenario=result.scenario.describe(),
+            strategy=strategy,
+            scenario=scenario,
             stop_reason=result.stop_reason,
-            best=None if result.best is None else str(result.best),
-            summary={
-                "n_steps": len(result.trials),
-                "profile_seconds": result.profile_seconds,
-                "profile_dollars": result.profile_dollars,
-                "best_measured_speed": result.best_measured_speed,
-            },
+            best=best,
+            summary=summary,
             spans=self.tracer.spans,
             decisions=self.decisions.records,
             fleet=self.fleet.events,
+            progress=self.bus.progress_events,
             metrics=self.metrics.snapshot(),
         )

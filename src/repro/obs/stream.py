@@ -1,0 +1,323 @@
+"""Streaming trace sink and cross-process follow-mode reader.
+
+The write side, :class:`TraceStreamWriter`, is an
+:class:`~repro.obs.bus.EventBus` sink that appends one JSON line per
+bus event and flushes after every write, so the artifact on disk is
+*tailable mid-run* — by ``repro trace --follow``, ``repro top``, or
+plain ``tail -f``.  The streamed layout is a superset of the
+canonical :class:`~repro.obs.recorder.SearchTrace` JSONL (see that
+module's docstring); ``SearchTrace.from_jsonl`` normalises it back,
+so a streamed file loads into the *same* trace the recorder
+finalises (asserted in ``tests/obs/test_stream.py``).
+
+The read side is crash-tolerant by construction: records are parsed
+only up to the last complete line, a torn tail (a producer mid-write
+or crashed) is reported rather than raised, and
+:func:`follow_trace` polls the growing file until the final
+``summary`` record — the end-of-run signal the writer emits last.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.bus import BusEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import TRACE_SCHEMA_VERSION
+
+__all__ = [
+    "TraceStreamWriter",
+    "follow_trace",
+    "format_event",
+    "read_trace_events",
+]
+
+
+class TraceStreamWriter:
+    """Bus sink that streams a trace artifact, flushed per event.
+
+    Parameters
+    ----------
+    path:
+        Destination JSONL file (truncated at construction; the
+        placeholder header is written immediately so followers can
+        attach before the first event).
+    metrics:
+        Optional live :class:`~repro.obs.metrics.MetricsRegistry`.
+        When given, a ``metrics`` snapshot line is appended every
+        ``snapshot_every`` ``progress`` events (so followers see
+        recent gauge state) and before the closing ``summary`` line.
+    snapshot_every:
+        Interim snapshot cadence, in progress events.  Snapshots are
+        by far the largest records (a full registry dump), so writing
+        one per heartbeat would dominate the stream's cost; the
+        loader only keeps the *last* one regardless, and live readers
+        tolerate a few heartbeats of gauge staleness.
+
+    The writer never rewrites earlier bytes — finalisation *appends*
+    the closing ``metrics`` + ``summary`` lines — so follower offsets
+    stay valid for the lifetime of the file.
+    """
+
+    #: Per-update ``metric`` events are skipped (see __call__), so the
+    #: bus can avoid constructing them when the writer is the only sink.
+    interested_kinds = frozenset(
+        ("span-start", "span", "decision", "fleet", "progress", "summary")
+    )
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        metrics: MetricsRegistry | None = None,
+        snapshot_every: int = 8,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self.path = Path(path)
+        self._metrics = metrics
+        self._snapshot_every = snapshot_every
+        self._progress_seen = 0
+        # unbuffered binary: one os-level write per record, so a crash
+        # can tear at most the final line (no user-space buffer to
+        # lose) and followers see each record the moment it is written
+        self._fh = open(self.path, "wb", buffering=0)
+        self._closed = False
+        self._completed = False
+        self._write({
+            "kind": "header",
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "strategy": "unknown",
+            "scenario": "unknown",
+            "stop_reason": "running",
+            "best": None,
+            "summary": {},
+            "live": True,
+        })
+
+    @property
+    def completed(self) -> bool:
+        """Whether the closing ``summary`` line has been written."""
+        return self._completed
+
+    def __call__(self, event: BusEvent) -> None:
+        """Consume one bus event (the sink interface)."""
+        if self._closed or self._completed:
+            return
+        kind = event.kind
+        if kind == "metric":
+            # Per-update metric events would bloat the file; the
+            # periodic snapshot lines below carry the same state.
+            return
+        if kind == "summary":
+            self._write_metrics()
+            self._write(event.to_dict())
+            self._completed = True
+            return
+        self._write(event.to_dict())
+        if kind == "progress":
+            self._progress_seen += 1
+            if self._progress_seen % self._snapshot_every == 0:
+                self._write_metrics()
+
+    def _write_metrics(self) -> None:
+        if self._metrics is not None:
+            self._write({"kind": "metrics", "data": self._metrics.snapshot()})
+
+    def _write(self, doc: dict[str, Any]) -> None:
+        # one write per record: a crash can tear at most the final
+        # line, which the loader tolerates
+        self._fh.write((json.dumps(doc, sort_keys=True) + "\n").encode())
+
+    def close(self) -> None:
+        """Close the file handle (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._fh.close()
+
+    def __enter__(self) -> "TraceStreamWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# -- read side ---------------------------------------------------------------
+
+def read_trace_events(
+    path: str | Path, offset: int = 0
+) -> tuple[list[dict[str, Any]], int, bool]:
+    """Parse complete JSONL records starting at byte ``offset``.
+
+    Returns ``(docs, new_offset, torn)`` where ``new_offset`` is the
+    position after the last complete line (pass it back to resume)
+    and ``torn`` reports a trailing partial line — a producer
+    mid-write, or a crash.  Torn bytes are *not* consumed, so a
+    subsequent call re-reads them once the line completes.
+
+    Raises
+    ------
+    ValueError
+        If a *complete* line is not valid JSON — real corruption, as
+        opposed to an unfinished write.
+    """
+    with open(path, "rb") as fh:
+        fh.seek(offset)
+        chunk = fh.read()
+    docs: list[dict[str, Any]] = []
+    consumed = 0
+    end = 0
+    torn = False
+    while True:
+        newline = chunk.find(b"\n", end)
+        if newline < 0:
+            torn = bool(chunk[end:].strip())
+            break
+        raw = chunk[end:newline]
+        end = newline + 1
+        consumed = end
+        if raw.strip():
+            try:
+                docs.append(json.loads(raw.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise ValueError(
+                    f"{path}: malformed trace line at byte "
+                    f"{offset + consumed - len(raw) - 1}: {exc}"
+                ) from exc
+    return docs, offset + consumed, torn
+
+
+def follow_trace(
+    path: str | Path,
+    *,
+    poll_interval: float = 0.2,
+    timeout: float | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Yield trace records from a growing file until the run ends.
+
+    Tails ``path`` cross-process: records stream out as the producer
+    flushes them.  The generator terminates when
+
+    - a ``summary`` record arrives (the writer's end-of-run signal),
+    - the header proves the artifact is already complete (its
+      ``stop_reason`` is final) and EOF is reached, or
+    - ``timeout`` seconds pass with no new record (``None`` waits
+      forever; a missing file counts as "no new record" so a
+      follower may attach before the producer creates the file).
+    """
+    path = Path(path)
+    offset = 0
+    waited = 0.0
+    live: bool | None = None
+    while True:
+        if path.exists():
+            docs, offset, torn = read_trace_events(path, offset)
+        else:
+            docs, torn = [], False
+        for doc in docs:
+            yield doc
+            if doc.get("kind") == "header":
+                live = doc.get("stop_reason") == "running"
+            elif doc.get("kind") == "summary":
+                return
+        if docs:
+            waited = 0.0
+            continue  # drain before sleeping
+        if live is False and not torn:
+            return  # completed artifact: EOF is the end
+        if timeout is not None and waited >= timeout:
+            return
+        _time.sleep(poll_interval)
+        waited += poll_interval
+
+
+# -- human-readable event lines (repro trace --follow) -----------------------
+
+def _fmt_dollars(value: Any) -> str:
+    return f"${value:,.2f}" if isinstance(value, (int, float)) else "$?"
+
+
+def format_event(doc: dict[str, Any]) -> str | None:
+    """One-line rendering of a streamed record, or ``None`` to skip.
+
+    Skips the noisy kinds (``span-start`` except the run root,
+    ``metrics`` snapshots, per-update ``metric`` events) so a
+    ``--follow`` session reads like a run log.
+    """
+    kind = doc.get("kind")
+    seq = doc.get("seq")
+    t = doc.get("time")
+    prefix = ""
+    if seq is not None and t is not None:
+        prefix = f"[{int(seq):05d} t+{float(t):9.1f}s] "
+    if kind == "header":
+        if doc.get("stop_reason") == "running":
+            return "· run starting (streaming)"
+        return f"· {doc.get('strategy')} | {doc.get('scenario')}"
+    if kind == "span-start":
+        if doc.get("name") == "search":
+            a = doc.get("attributes", {})
+            label = a.get("strategy") or "search"
+            return f"{prefix}▶ search started ({label})"
+        return None
+    if kind == "span":
+        name = doc.get("name")
+        a = doc.get("attributes", {})
+        if name == "probe":
+            speed = a.get("speed")
+            speed_s = f"{speed:.1f} samples/s" if speed else "failed"
+            return (
+                f"{prefix}probe    step {a.get('step', '?')}: "
+                f"{a.get('deployment')} → {speed_s} "
+                f"({_fmt_dollars(a.get('cost_usd'))})"
+            )
+        if name == "anomaly":
+            return (
+                f"{prefix}anomaly  {a.get('rule')}: {a.get('message', '')}"
+            )
+        if name in ("search", "deploy", "final-train"):
+            wall = doc.get("wall_seconds")
+            wall_s = f" in {wall:.2f}s wall" if wall is not None else ""
+            return f"{prefix}■ {name} finished{wall_s}"
+        return None
+    if kind == "decision":
+        chosen = doc.get("chosen")
+        outcome = (
+            f"chose {chosen}"
+            if chosen
+            else f"stop: {doc.get('stop_reason')}"
+        )
+        ei = doc.get("best_feasible_ei")
+        ei_s = f", best EI {ei:.4g}" if ei is not None else ""
+        return f"{prefix}decision step {doc.get('step')}: {outcome}{ei_s}"
+    if kind == "fleet":
+        base = (
+            f"{prefix}fleet    {doc.get('event')} "
+            f"{doc.get('count')}x {doc.get('instance_type')}"
+        )
+        if doc.get("dollars") is not None:
+            base += f" ({_fmt_dollars(doc.get('dollars'))})"
+        return base
+    if kind == "progress":
+        spent = doc.get("spent_usd")
+        elapsed = doc.get("elapsed_s")
+        parts = [f"step {doc.get('step')}" if doc.get("step") else
+                 str(doc.get("phase") or "heartbeat")]
+        if spent is not None:
+            parts.append(f"spent {_fmt_dollars(spent)}")
+        if elapsed is not None:
+            parts.append(f"elapsed {elapsed / 3600.0:.2f}h")
+        if doc.get("incumbent"):
+            parts.append(f"incumbent {doc.get('incumbent')}")
+        return f"{prefix}progress {', '.join(parts)}"
+    if kind == "summary":
+        return (
+            f"{prefix}✓ finished: stop={doc.get('stop_reason')} "
+            f"best={doc.get('best')}"
+        )
+    return None

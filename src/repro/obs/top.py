@@ -1,0 +1,280 @@
+"""``repro top``: a refreshing terminal dashboard over a trace file.
+
+:class:`LiveRunState` folds streamed trace records (see
+:mod:`repro.obs.stream`) into the handful of numbers an operator
+watches — current step, budget burn, incumbent, EI trend, fleet
+instance counts, the last watchdog anomaly — and
+:func:`render_top` draws them as a fixed-width text panel.  The
+state machine is pure (records in, strings out) so the dashboard is
+testable without a terminal, and ``repro top --once`` renders a
+single non-tty snapshot for CI.
+
+The same records power the panel whether they come from a live
+streamed file (envelope ``seq``/``time`` present, spans in finish
+order) or a finalised artifact (canonical order) — the state only
+reads fields both layouts share.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.obs.stream import read_trace_events
+
+__all__ = ["LiveRunState", "load_state", "render_top"]
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float], width: int = 24) -> str:
+    """Render the last ``width`` values as a unicode sparkline."""
+    tail = [v for v in values if v is not None][-width:]
+    if not tail:
+        return ""
+    lo, hi = min(tail), max(tail)
+    span = hi - lo
+    if span <= 0.0:
+        return _SPARK_BLOCKS[0] * len(tail)
+    out = []
+    for v in tail:
+        idx = int((v - lo) / span * (len(_SPARK_BLOCKS) - 1))
+        out.append(_SPARK_BLOCKS[idx])
+    return "".join(out)
+
+
+def _fmt_dollars(value: float | None) -> str:
+    return "—" if value is None else f"${value:,.2f}"
+
+
+def _fmt_hours(seconds: float | None) -> str:
+    return "—" if seconds is None else f"{seconds / 3600.0:.2f}h"
+
+
+class LiveRunState:
+    """Streaming aggregate of one run's trace records."""
+
+    def __init__(self) -> None:
+        self.strategy: str | None = None
+        self.scenario: str | None = None
+        self.stop_reason: str | None = None
+        self.best: str | None = None
+        self.summary: dict[str, Any] = {}
+        self.completed = False
+        self.step: int | None = None
+        self.phase: str | None = None
+        self.n_probes = 0
+        self.last_probe: dict[str, Any] | None = None
+        self.spent_usd: float | None = None
+        self.elapsed_s: float | None = None
+        self.consumed: float | None = None
+        self.limit: float | None = None
+        self.incumbent: str | None = None
+        self.incumbent_objective: float | None = None
+        self.ei_history: list[float] = []
+        self.last_anomaly: dict[str, Any] | None = None
+        self.n_events = 0
+        self.last_seq: int | None = None
+        self.sim_time: float | None = None
+        # cluster_id -> (instance_type, count), mirroring FleetLog
+        self._running: dict[Any, tuple[str, int]] = {}
+
+    # -- ingestion -----------------------------------------------------
+    def apply(self, doc: dict[str, Any]) -> None:
+        """Fold one trace record into the state."""
+        self.n_events += 1
+        seq = doc.get("seq")
+        if isinstance(seq, int):
+            self.last_seq = max(self.last_seq or 0, seq)
+        t = doc.get("time")
+        if isinstance(t, (int, float)):
+            self.sim_time = max(self.sim_time or 0.0, float(t))
+        kind = doc.get("kind")
+        if kind in ("header", "summary"):
+            for key in ("strategy", "scenario", "stop_reason", "best"):
+                value = doc.get(key)
+                if value is not None and value != "unknown":
+                    setattr(self, key, value)
+            if doc.get("summary"):
+                self.summary = dict(doc["summary"])
+            if self.stop_reason not in (None, "running"):
+                self.completed = True
+        elif kind == "span-start":
+            if doc.get("name") == "search":
+                label = doc.get("attributes", {}).get("strategy")
+                if label and self.strategy in (None, "unknown"):
+                    self.strategy = str(label)
+        elif kind == "span":
+            self._apply_span(doc)
+        elif kind == "decision":
+            ei = doc.get("best_feasible_ei")
+            if ei is not None:
+                self.ei_history.append(float(ei))
+            for src, dst in (
+                ("incumbent", "incumbent"),
+                ("incumbent_objective", "incumbent_objective"),
+                ("consumed", "consumed"),
+                ("limit", "limit"),
+            ):
+                if doc.get(src) is not None:
+                    setattr(self, dst, doc[src])
+        elif kind == "fleet":
+            self._apply_fleet(doc)
+        elif kind == "progress":
+            for key in (
+                "step", "phase", "spent_usd", "elapsed_s",
+                "consumed", "limit", "incumbent", "incumbent_objective",
+            ):
+                if doc.get(key) is not None:
+                    setattr(self, key, doc[key])
+
+    def apply_many(self, docs: list[dict[str, Any]]) -> None:
+        for doc in docs:
+            self.apply(doc)
+
+    def _apply_span(self, doc: dict[str, Any]) -> None:
+        name = doc.get("name")
+        a = doc.get("attributes", {})
+        if name == "probe":
+            self.n_probes += 1
+            self.last_probe = {
+                "step": a.get("step"),
+                "deployment": a.get("deployment"),
+                "speed": a.get("speed"),
+                "cost_usd": a.get("cost_usd"),
+            }
+            if a.get("step") is not None:
+                self.step = max(self.step or 0, int(a["step"]))
+            if a.get("spent_usd") is not None:
+                self.spent_usd = a["spent_usd"]
+            if a.get("elapsed_s") is not None:
+                self.elapsed_s = a["elapsed_s"]
+        elif name == "anomaly":
+            self.last_anomaly = {
+                "rule": a.get("rule"),
+                "step": a.get("step"),
+                "message": a.get("message", ""),
+            }
+
+    def _apply_fleet(self, doc: dict[str, Any]) -> None:
+        event = doc.get("event")
+        cluster = doc.get("cluster_id")
+        if event == "running" and cluster is not None:
+            self._running[cluster] = (
+                str(doc.get("instance_type")), int(doc.get("count", 1))
+            )
+        elif event in ("terminated", "revoked") and cluster is not None:
+            self._running.pop(cluster, None)
+
+    # -- derived views -------------------------------------------------
+    @property
+    def fleet_running(self) -> dict[str, int]:
+        """Instances currently RUNNING, summed per type."""
+        out: dict[str, int] = {}
+        for itype, count in self._running.values():
+            out[itype] = out.get(itype, 0) + count
+        return dict(sorted(out.items()))
+
+    @property
+    def budget_fraction(self) -> float | None:
+        if self.limit and self.consumed is not None and self.limit > 0.0:
+            return max(0.0, min(1.0, self.consumed / self.limit))
+        return None
+
+
+def load_state(path: str | Path) -> tuple[LiveRunState, bool]:
+    """Fold an entire trace file; returns ``(state, torn_tail)``."""
+    state = LiveRunState()
+    docs, _, torn = read_trace_events(path, 0)
+    state.apply_many(docs)
+    return state, torn
+
+
+def _bar(fraction: float, width: int) -> str:
+    filled = int(round(fraction * width))
+    filled = max(0, min(width, filled))
+    return "█" * filled + "░" * (width - filled)
+
+
+def render_top(
+    state: LiveRunState,
+    *,
+    source: str = "",
+    width: int = 72,
+    torn: bool = False,
+) -> str:
+    """Draw the dashboard panel as plain text (no cursor control)."""
+    width = max(48, width)
+    status = "DONE" if state.completed else "RUNNING"
+    if torn:
+        status += " (torn tail)"
+    title = f"repro top — {source}" if source else "repro top"
+    pad = max(1, width - len(title) - len(status))
+    lines = [title + " " * pad + status, "─" * width]
+
+    lines.append(
+        f"strategy  {state.strategy or '—'}"
+        f"   scenario  {state.scenario or '—'}"
+    )
+    step = "—" if state.step is None else str(state.step)
+    phase = f" · phase {state.phase}" if state.phase else ""
+    lines.append(f"step      {step} · probes {state.n_probes}{phase}")
+
+    fraction = state.budget_fraction
+    spent = _fmt_dollars(state.spent_usd)
+    elapsed = _fmt_hours(state.elapsed_s)
+    if fraction is not None:
+        bar = _bar(fraction, 20)
+        lines.append(
+            f"budget    [{bar}] {fraction:4.0%} of limit"
+            f" · spent {spent} · elapsed {elapsed}"
+        )
+    else:
+        lines.append(f"budget    spent {spent} · elapsed {elapsed}")
+
+    if state.incumbent:
+        objective = (
+            f" (objective {state.incumbent_objective:.4g})"
+            if state.incumbent_objective is not None
+            else ""
+        )
+        lines.append(f"incumbent {state.incumbent}{objective}")
+    else:
+        lines.append("incumbent —")
+
+    if state.ei_history:
+        spark = _sparkline(state.ei_history)
+        lines.append(
+            f"EI trend  {spark}  (last {state.ei_history[-1]:.4g})"
+        )
+    else:
+        lines.append("EI trend  —")
+
+    running = state.fleet_running
+    if running:
+        fleet = " · ".join(f"{n}x {t}" for t, n in running.items())
+    else:
+        fleet = "0 instances"
+    lines.append(f"fleet     {fleet} running")
+
+    if state.last_anomaly:
+        a = state.last_anomaly
+        lines.append(
+            f"anomaly   {a.get('rule')} @ step {a.get('step')}"
+            f" — {a.get('message')}"
+        )
+    else:
+        lines.append("anomaly   none")
+
+    if state.completed:
+        lines.append(
+            f"result    stop={state.stop_reason} best={state.best or '—'}"
+        )
+    tail = f"events    {state.n_events}"
+    if state.last_seq is not None:
+        tail += f" (seq {state.last_seq})"
+    if state.sim_time is not None:
+        tail += f" · sim t+{state.sim_time:.0f}s"
+    lines.append(tail)
+    lines.append("─" * width)
+    return "\n".join(line[: width + 8] for line in lines) + "\n"

@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Iterator
 
+from repro.obs.bus import NOOP_BUS, EventBus
 from repro.obs.span import Span
 
 __all__ = ["NOOP_TRACER", "RecordingTracer", "Tracer"]
@@ -109,14 +110,29 @@ class RecordingTracer(Tracer):
         Zero-argument callable returning the current time in seconds.
         Pass the simulated clock (``lambda: cloud.clock.now``) when one
         exists; defaults to ``time.monotonic``.
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus`.  When live, every
+        span close publishes a ``span`` event (the completed payload) —
+        which is how watchdog anomalies reach the bus, since they are
+        emitted as zero-duration ``anomaly`` spans.  *Root* spans
+        (``search``, ``deploy``) additionally publish a ``span-start``
+        event when they open, so live readers learn the run's strategy
+        up front; child spans do not — they open and close hundreds of
+        times per run and their start carries no information their
+        close doesn't, so streaming both would double event volume for
+        nothing (the trace loader skips ``span-start`` lines anyway).
     """
 
     enabled = True
 
     def __init__(
-        self, *, clock: Callable[[], float] | None = None
+        self,
+        *,
+        clock: Callable[[], float] | None = None,
+        bus: EventBus = NOOP_BUS,
     ) -> None:
         self._clock = clock if clock is not None else time.monotonic
+        self._bus = bus
         self._stack: list[Span] = []
         self._spans: list[Span] = []
         self._next_id = 1
@@ -147,6 +163,8 @@ class RecordingTracer(Tracer):
         self._next_id += 1
         self._stack.append(span)
         self._spans.append(span)
+        if self._bus.enabled and span.parent_id is None:
+            self._bus.publish("span-start", span.to_dict())
         return span
 
     def _finish(self, span: Span, wall_seconds: float) -> None:
@@ -158,6 +176,8 @@ class RecordingTracer(Tracer):
             top = self._stack.pop()
             if top is span:
                 break
+        if self._bus.enabled:
+            self._bus.publish("span", span.to_dict())
 
     # -- inspection ----------------------------------------------------------
     @property

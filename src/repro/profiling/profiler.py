@@ -37,7 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cloud.provider import SimulatedCloud
-from repro.obs import NOOP_TRACER, MetricsRegistry, Tracer
+from repro.obs import NOOP_BUS, NOOP_TRACER, EventBus, MetricsRegistry, Tracer
 from repro.profiling.cost import ProfilingCostModel
 from repro.sim.noise import NoiseModel
 from repro.sim.throughput import (
@@ -143,6 +143,12 @@ class Profiler:
         Observability sinks (see :mod:`repro.obs`).  Pass the *same*
         tracer the search strategies use so ``profile`` spans nest
         under their ``probe`` spans; defaults are no-op.
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus`.  When live, the
+        launch path publishes one ``progress`` heartbeat per
+        measurement (``phase="profile"``) *before* the clusters are
+        requested, so a live dashboard shows what is being profiled
+        while the (simulated) window runs.
     """
 
     def __init__(
@@ -159,6 +165,7 @@ class Profiler:
         samples_per_window: int = _SAMPLES_PER_WINDOW,
         tracer: Tracer = NOOP_TRACER,
         metrics: MetricsRegistry | None = None,
+        bus: EventBus = NOOP_BUS,
     ) -> None:
         if stability_cv <= 0:
             raise ValueError(f"stability_cv must be positive, got {stability_cv}")
@@ -190,6 +197,18 @@ class Profiler:
         self.samples_per_window = samples_per_window
         self.tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.bus = bus
+
+    def _emit_heartbeat(self, instance_type: str, count: int) -> None:
+        """Publish a ``phase="profile"`` heartbeat before a launch."""
+        if not self.bus.enabled:
+            return
+        self.bus.publish("progress", {
+            "phase": "profile",
+            "deployment": f"{count}x {instance_type}",
+            "spent_usd": self.cloud.total_spend(),
+            "elapsed_s": self.cloud.elapsed(),
+        })
 
     # -- cost previews (used by acquisition functions) -------------------------
     def profiling_seconds(self, count: int) -> float:
@@ -342,6 +361,7 @@ class Profiler:
         with self.tracer.span("profile", {
             "instance_type": instance_type, "count": count,
         }) as span:
+            self._emit_heartbeat(instance_type, count)
             start = self.cloud.clock.now
             cluster = self._launch_with_retry(instance_type, count)
             if cluster is None:
@@ -400,6 +420,7 @@ class Profiler:
                 # point the fleet log's attribution context at this
                 # batch member before its clusters are requested
                 self.cloud.fleet.batch_member(i, instance_type, count)
+                self._emit_heartbeat(instance_type, count)
                 cluster = self._launch_with_retry(instance_type, count)
                 if cluster is None:
                     results[i] = self._capacity_failure_result(

@@ -18,7 +18,7 @@ from repro.core.engine import SearchContext
 from repro.core.heterbo import HeterBO
 from repro.core.scenarios import Scenario
 from repro.core.search_space import DeploymentSpace
-from repro.obs import RunRecorder, SearchTrace
+from repro.obs import RunRecorder, SearchTrace, TraceStreamWriter
 from repro.profiling.profiler import Profiler
 from repro.sim.datasets import get_dataset
 from repro.sim.noise import NoiseModel
@@ -27,18 +27,32 @@ from repro.sim.throughput import TrainingJob, TrainingSimulator
 from repro.sim.zoo import get_model
 
 
-def canonical_run() -> SearchTrace:
-    """Seeded run where the prior prunes AND the protective stop fires."""
+def canonical_run(
+    *, bus: bool = False, stream_path=None
+) -> SearchTrace:
+    """Seeded run where the prior prunes AND the protective stop fires.
+
+    ``bus=True`` re-executes the identical run with the event bus
+    live; ``stream_path`` additionally attaches a
+    :class:`~repro.obs.stream.TraceStreamWriter` so the streamed
+    artifact lands there.  The decisions must not move either way —
+    the live-telemetry identity tests compare the two variants.
+    """
     catalog = paper_catalog().subset(
         ["c5.xlarge", "c5.4xlarge", "c4.xlarge", "p2.xlarge"]
     )
     cloud = SimulatedCloud(catalog)
-    recorder = RunRecorder(clock=lambda: cloud.clock.now)
+    recorder = RunRecorder(clock=lambda: cloud.clock.now, bus=bus)
     cloud.fleet = recorder.fleet  # lifecycle events + attribution join
+    writer = None
+    if stream_path is not None:
+        writer = TraceStreamWriter(stream_path, metrics=recorder.metrics)
+        recorder.bus.subscribe(writer)
     profiler = Profiler(
         cloud, TrainingSimulator(),
         noise=NoiseModel(sigma=0.03, seed=2),
         tracer=recorder.tracer, metrics=recorder.metrics,
+        bus=recorder.bus,
     )
     job = TrainingJob(
         model=get_model("char-rnn"),
@@ -55,9 +69,15 @@ def canonical_run() -> SearchTrace:
         metrics=recorder.metrics,
         decisions=recorder.decisions,
         watchdog=recorder.watchdog,
+        bus=recorder.bus,
     )
-    result = HeterBO(seed=2, max_steps=25).search(context)
-    return recorder.finalize(result)
+    try:
+        result = HeterBO(seed=2, max_steps=25).search(context)
+        return recorder.finalize(result)
+    finally:
+        if writer is not None:
+            recorder.bus.unsubscribe(writer)
+            writer.close()
 
 
 @pytest.fixture(scope="session")
@@ -71,3 +91,16 @@ def canonical_trace_path(tmp_path_factory):
 def canonical_trace(canonical_trace_path):
     # loaded from disk: everything below reads the artifact, not the run
     return SearchTrace.load(canonical_trace_path)
+
+
+@pytest.fixture(scope="session")
+def live_run(tmp_path_factory):
+    """The canonical run re-executed with the bus + stream writer.
+
+    Returns ``{"stream_path": Path, "trace": SearchTrace}`` — the
+    streamed artifact on disk and the recorder-finalised trace of the
+    same run.
+    """
+    path = tmp_path_factory.mktemp("live") / "live.trace.jsonl"
+    trace = canonical_run(bus=True, stream_path=path)
+    return {"stream_path": path, "trace": trace}

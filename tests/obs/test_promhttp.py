@@ -1,0 +1,137 @@
+"""The stdlib Prometheus endpoint: live registry and saved artifacts."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsHTTPServer,
+    MetricsRegistry,
+    registry_source,
+    trace_file_source,
+)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def _parse_exposition(text):
+    """family name -> summed value across its labelled series."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.partition(" ")
+        family = name.partition("{")[0]
+        out[family] = out.get(family, 0.0) + float(value)
+    return out
+
+
+@pytest.fixture()
+def server_for():
+    servers = []
+
+    def start(source):
+        server = MetricsHTTPServer(source).start()
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.stop()
+
+
+class TestRegistrySource:
+    def test_serves_the_live_registry(self, server_for):
+        registry = MetricsRegistry()
+        registry.counter("search.probes_total").inc(3)
+        server = server_for(registry_source(registry))
+        status, text = _get(server.url)
+        assert status == 200
+        assert _parse_exposition(text)["search_probes_total"] == 3.0
+
+    def test_scrapes_see_updates_between_requests(self, server_for):
+        registry = MetricsRegistry()
+        counter = registry.counter("search.probes_total")
+        server = server_for(registry_source(registry))
+        counter.inc()
+        first = _parse_exposition(_get(server.url)[1])
+        counter.inc()
+        second = _parse_exposition(_get(server.url)[1])
+        assert first["search_probes_total"] == 1.0
+        assert second["search_probes_total"] == 2.0
+
+
+class TestTraceFileSource:
+    def test_exposes_fleet_instances_running_from_a_run(
+        self, server_for, live_run
+    ):
+        # the CI smoke greps exactly this family from a real run
+        server = server_for(trace_file_source(live_run["stream_path"]))
+        status, text = _get(server.url)
+        assert status == 200
+        assert "fleet_instances_running" in text
+        values = _parse_exposition(text)
+        assert values["search_probes_total"] > 0
+        # run is over: the final snapshot shows the fleet drained
+        assert values["fleet_instances_running"] == 0.0
+
+    def test_rereads_the_artifact_on_every_scrape(
+        self, server_for, tmp_path, live_run
+    ):
+        path = tmp_path / "grow.trace.jsonl"
+        data = live_run["stream_path"].read_bytes()
+        head = data[: len(data) // 2]
+        # a torn mid-run prefix scrapes fine (loader tolerates the tail)
+        path.write_bytes(head)
+        server = server_for(trace_file_source(path))
+        status, first = _get(server.url)
+        assert status == 200
+        path.write_bytes(data)
+        _, second = _get(server.url)
+        assert _parse_exposition(second)["search_probes_total"] >= \
+            _parse_exposition(first).get("search_probes_total", 0.0)
+
+
+class TestServerBehaviour:
+    def test_only_metrics_and_root_are_served(self, server_for):
+        server = server_for(lambda: "x 1.0\n")
+        base = server.url.rsplit("/metrics", 1)[0]
+        assert _get(f"{base}/metrics")[0] == 200
+        assert _get(f"{base}/")[0] == 200
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"{base}/other")
+        assert err.value.code == 404
+
+    def test_source_failure_becomes_a_500(self, server_for):
+        def broken():
+            raise OSError("disk gone")
+
+        server = server_for(broken)
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server.url)
+        assert err.value.code == 500
+        assert "scrape failed" in err.value.read().decode()
+
+    def test_transient_runtime_errors_are_retried(self, server_for):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:  # dict-mutated-during-iteration race
+                raise RuntimeError("registry mutated")
+            return "ok 1.0\n"
+
+        server = server_for(flaky)
+        status, text = _get(server.url)
+        assert status == 200
+        assert text == "ok 1.0\n"
+
+    def test_ephemeral_port_and_context_manager(self):
+        with MetricsHTTPServer(lambda: "x 1.0\n") as server:
+            assert server.port > 0
+            assert str(server.port) in server.url
+            assert _get(server.url)[0] == 200

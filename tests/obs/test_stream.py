@@ -1,0 +1,211 @@
+"""The streaming trace writer and the cross-process follow reader."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventBus,
+    MetricsRegistry,
+    SearchTrace,
+    TraceStreamWriter,
+    follow_trace,
+    format_event,
+    read_trace_events,
+)
+
+
+def _wired(tmp_path, **writer_kwargs):
+    bus = EventBus(clock=lambda: 1.5)
+    path = tmp_path / "run.trace.jsonl"
+    writer = TraceStreamWriter(path, **writer_kwargs)
+    bus.subscribe(writer)
+    return bus, writer, path
+
+
+def _lines(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestTraceStreamWriter:
+    def test_placeholder_header_is_written_immediately(self, tmp_path):
+        _, writer, path = _wired(tmp_path)
+        docs = _lines(path)  # read before close: flushed per event
+        assert [d["kind"] for d in docs] == ["header"]
+        assert docs[0]["stop_reason"] == "running"
+        assert docs[0]["live"] is True
+        writer.close()
+
+    def test_each_event_is_one_tailable_line(self, tmp_path):
+        bus, writer, path = _wired(tmp_path)
+        bus.publish("span", {"name": "probe"})
+        bus.publish("progress", {"step": 1})
+        docs = _lines(path)  # file readable mid-run, no close needed
+        assert [d["kind"] for d in docs] == ["header", "span", "progress"]
+        assert docs[1]["seq"] == 1 and docs[2]["seq"] == 2
+        writer.close()
+
+    def test_summary_completes_the_stream(self, tmp_path):
+        bus, writer, path = _wired(tmp_path)
+        bus.publish("summary", {"stop_reason": "budget", "best": None})
+        assert writer.completed
+        bus.publish("span", {"name": "late"})  # dropped after summary
+        assert [d["kind"] for d in _lines(path)] == ["header", "summary"]
+        writer.close()
+
+    def test_metric_events_are_skipped(self, tmp_path):
+        registry = MetricsRegistry()
+        bus = EventBus()
+        path = tmp_path / "t.jsonl"
+        writer = TraceStreamWriter(path, metrics=registry)
+        bus.subscribe(writer)
+        bus.publish("metric", {"name": "x", "value": 1.0})
+        assert [d["kind"] for d in _lines(path)] == ["header"]
+        writer.close()
+
+    def test_snapshot_every_throttles_interim_snapshots(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("search.probes_total").inc()
+        bus, writer, path = _wired(
+            tmp_path, metrics=registry, snapshot_every=3
+        )
+        for step in range(7):
+            bus.publish("progress", {"step": step})
+        kinds = [d["kind"] for d in _lines(path)]
+        # snapshots after the 3rd and 6th heartbeat only
+        assert kinds.count("metrics") == 2
+        bus.publish("summary", {"stop_reason": "done", "best": None})
+        kinds = [d["kind"] for d in _lines(path)]
+        assert kinds[-2:] == ["metrics", "summary"]  # final snapshot
+        writer.close()
+
+    def test_snapshot_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="snapshot_every"):
+            TraceStreamWriter(tmp_path / "t.jsonl", snapshot_every=0)
+
+    def test_context_manager_closes(self, tmp_path):
+        with TraceStreamWriter(tmp_path / "t.jsonl") as writer:
+            pass
+        writer.close()  # idempotent
+
+
+class TestReadTraceEvents:
+    def test_incremental_offsets_resume_where_they_left_off(self, tmp_path):
+        bus, writer, path = _wired(tmp_path)
+        bus.publish("span", {"name": "a"})
+        docs, offset, torn = read_trace_events(path, 0)
+        assert [d["kind"] for d in docs] == ["header", "span"]
+        assert not torn
+        bus.publish("span", {"name": "b"})
+        docs, offset, torn = read_trace_events(path, offset)
+        assert [d["name"] for d in docs] == ["b"]
+        docs, _, _ = read_trace_events(path, offset)
+        assert docs == []
+        writer.close()
+
+    def test_torn_tail_is_reported_not_consumed(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        complete = json.dumps({"kind": "header"}) + "\n"
+        path.write_text(complete + '{"kind": "sp')  # producer mid-write
+        docs, offset, torn = read_trace_events(path, 0)
+        assert [d["kind"] for d in docs] == ["header"]
+        assert torn
+        assert offset == len(complete.encode())
+        # once the line completes, a resumed read picks it up whole
+        path.write_text(complete + '{"kind": "span"}\n')
+        docs, _, torn = read_trace_events(path, offset)
+        assert [d["kind"] for d in docs] == ["span"]
+        assert not torn
+
+    def test_malformed_complete_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "header"}\nnot json at all\n')
+        with pytest.raises(ValueError, match="malformed trace line"):
+            read_trace_events(path, 0)
+
+
+class TestFollowTrace:
+    def test_follow_yields_exactly_the_post_hoc_records(self, live_run):
+        followed = list(follow_trace(live_run["stream_path"]))
+        post_hoc, _, torn = read_trace_events(live_run["stream_path"], 0)
+        assert not torn
+        assert followed == post_hoc
+        assert followed[-1]["kind"] == "summary"
+
+    def test_follow_terminates_on_completed_artifact_without_summary(
+        self, canonical_trace_path
+    ):
+        # finalised artifacts have a final header stop_reason and no
+        # summary line: EOF is the end, no timeout needed
+        docs = list(follow_trace(canonical_trace_path))
+        assert docs
+        assert all(d["kind"] != "summary" for d in docs)
+
+    def test_follow_times_out_on_a_stalled_live_file(self, tmp_path):
+        bus, writer, path = _wired(tmp_path)
+        bus.publish("span", {"name": "only"})
+        docs = list(
+            follow_trace(path, poll_interval=0.01, timeout=0.05)
+        )
+        assert [d["kind"] for d in docs] == ["header", "span"]
+        writer.close()
+
+    def test_follow_waits_for_a_file_that_does_not_exist_yet(self, tmp_path):
+        docs = list(follow_trace(
+            tmp_path / "never.jsonl", poll_interval=0.01, timeout=0.03
+        ))
+        assert docs == []
+
+
+class TestTornTailLoading:
+    def test_loader_tolerates_and_reports_a_torn_final_line(self, live_run):
+        data = live_run["stream_path"].read_bytes()
+        torn_path = live_run["stream_path"].parent / "torn.trace.jsonl"
+        torn_path.write_bytes(data[:-7])  # crash mid-final-line
+        trace = SearchTrace.load(torn_path)
+        assert trace.truncated
+        # the complete prefix still loads into a coherent trace
+        assert trace.spans
+
+    def test_clean_artifact_is_not_truncated(self, live_run):
+        assert not SearchTrace.load(live_run["stream_path"]).truncated
+
+    def test_torn_first_line_is_not_a_trace(self, tmp_path):
+        path = tmp_path / "stub.jsonl"
+        path.write_text('{"kind": "hea')
+        with pytest.raises(ValueError):
+            SearchTrace.load(path)
+
+
+class TestFormatEvent:
+    def test_renders_the_followable_kinds(self, live_run):
+        docs, _, _ = read_trace_events(live_run["stream_path"], 0)
+        rendered = [
+            line for line in map(format_event, docs) if line is not None
+        ]
+        text = "\n".join(rendered)
+        assert "run starting (streaming)" in text
+        assert "probe" in text
+        assert "progress" in text
+        assert "✓ finished" in text
+
+    def test_failed_probe_renders_failed_not_zero_speed(self):
+        line = format_event({
+            "kind": "span", "name": "probe", "seq": 4, "time": 1.0,
+            "attributes": {
+                "step": 2, "deployment": "2x c5.xlarge",
+                "speed": 0.0, "cost_usd": 1.0,
+            },
+        })
+        assert "failed" in line
+        assert "samples/s" not in line
+
+    def test_noisy_kinds_are_skipped(self):
+        assert format_event({"kind": "metrics", "data": {}}) is None
+        assert format_event({
+            "kind": "span-start", "name": "step", "attributes": {},
+        }) is None

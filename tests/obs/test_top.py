@@ -1,0 +1,120 @@
+"""The ``repro top`` dashboard: state folding and the text panel."""
+
+from repro.cli import main
+from repro.obs import LiveRunState, load_state, render_top
+
+
+class TestLiveRunState:
+    def test_folds_the_streamed_canonical_run(self, live_run):
+        state, torn = load_state(live_run["stream_path"])
+        assert not torn
+        assert state.completed
+        assert state.strategy  # resolved past the placeholder header
+        trace = live_run["trace"]
+        probes = [s for s in trace.spans if s.name == "probe"]
+        assert state.n_probes == len(probes)
+        assert state.step == max(
+            s.attributes["step"] for s in probes
+        )
+        assert state.best == trace.best
+        assert state.stop_reason == trace.stop_reason
+
+    def test_fleet_running_drains_to_zero_after_the_run(self, live_run):
+        state, _ = load_state(live_run["stream_path"])
+        # every probe cluster is terminated before the search returns
+        assert state.fleet_running == {}
+
+    def test_fleet_running_counts_mid_run(self):
+        state = LiveRunState()
+        state.apply({
+            "kind": "fleet", "event": "running", "cluster_id": 1,
+            "instance_type": "c5.xlarge", "count": 4,
+        })
+        state.apply({
+            "kind": "fleet", "event": "running", "cluster_id": 2,
+            "instance_type": "c5.xlarge", "count": 2,
+        })
+        assert state.fleet_running == {"c5.xlarge": 6}
+        state.apply({
+            "kind": "fleet", "event": "terminated", "cluster_id": 1,
+            "instance_type": "c5.xlarge", "count": 4,
+        })
+        assert state.fleet_running == {"c5.xlarge": 2}
+
+    def test_budget_fraction_needs_both_consumed_and_limit(self):
+        state = LiveRunState()
+        assert state.budget_fraction is None
+        state.apply({"kind": "progress", "consumed": 5.0, "limit": 20.0})
+        assert state.budget_fraction == 0.25
+        state.apply({"kind": "progress", "consumed": 30.0})
+        assert state.budget_fraction == 1.0  # clamped
+
+    def test_progress_heartbeats_advance_the_headline_numbers(self):
+        state = LiveRunState()
+        state.apply({
+            "kind": "progress", "seq": 5, "time": 40.0, "step": 3,
+            "spent_usd": 1.25, "elapsed_s": 900.0,
+            "incumbent": "2x c5.xlarge",
+        })
+        assert state.step == 3
+        assert state.spent_usd == 1.25
+        assert state.incumbent == "2x c5.xlarge"
+        assert state.last_seq == 5
+        assert state.sim_time == 40.0
+
+    def test_summary_marks_completion(self):
+        state = LiveRunState()
+        state.apply({"kind": "header", "stop_reason": "running"})
+        assert not state.completed
+        state.apply({
+            "kind": "summary", "stop_reason": "budget",
+            "best": "1x p2.xlarge",
+        })
+        assert state.completed
+        assert state.best == "1x p2.xlarge"
+
+
+class TestRenderTop:
+    def test_panel_shows_the_run_at_a_glance(self, live_run):
+        state, torn = load_state(live_run["stream_path"])
+        panel = render_top(state, source="live.trace.jsonl", torn=torn)
+        assert "repro top — live.trace.jsonl" in panel
+        assert "DONE" in panel
+        assert f"probes {state.n_probes}" in panel
+        assert f"stop={state.stop_reason}" in panel
+        assert "0 instances running" in panel
+
+    def test_torn_tail_is_flagged_in_the_status(self):
+        panel = render_top(LiveRunState(), torn=True)
+        assert "RUNNING (torn tail)" in panel
+
+    def test_empty_state_renders_placeholders_not_crashes(self):
+        panel = render_top(LiveRunState())
+        assert "strategy  —" in panel
+        assert "incumbent —" in panel
+        assert "anomaly   none" in panel
+
+
+class TestTopCli:
+    def test_once_prints_a_single_panel(self, live_run, capsys):
+        code = main(["top", str(live_run["stream_path"]), "--once"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro top" in out
+        assert "DONE" in out
+        assert out.count("repro top") == 1  # one snapshot, no refresh
+
+    def test_once_on_a_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["top", str(tmp_path / "nope.jsonl"), "--once"])
+        assert code == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_once_on_a_torn_file_flags_the_tail(
+        self, live_run, tmp_path, capsys
+    ):
+        torn = tmp_path / "torn.trace.jsonl"
+        torn.write_bytes(live_run["stream_path"].read_bytes()[:-5])
+        # wide panel: the tmp path must not truncate the status flag
+        code = main(["top", str(torn), "--once", "--width", "200"])
+        assert code == 0
+        assert "torn tail" in capsys.readouterr().out
