@@ -76,9 +76,15 @@ class Baseline:
 
     # -- serialisation -------------------------------------------------------
     def to_json(self) -> str:
+        """Serialise with entries sorted by (path, rule, fingerprint),
+        so regeneration (``--write-baseline``) is byte-stable and
+        baseline diffs stay reviewable."""
+        ordered = sorted(
+            self.entries, key=lambda e: (e.path, e.rule, e.fingerprint)
+        )
         doc = {
             "version": BASELINE_VERSION,
-            "entries": [e.to_dict() for e in self.entries],
+            "entries": [e.to_dict() for e in ordered],
         }
         return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 

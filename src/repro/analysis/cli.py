@@ -3,15 +3,20 @@
 Exit codes follow linter convention:
 
 - ``0`` — clean (no findings beyond inline suppressions + baseline);
-- ``1`` — at least one live finding;
+- ``1`` — at least one live finding (or, with ``--strict-baseline``,
+  a stale baseline entry);
 - ``2`` — usage or I/O error (unknown rule, unreadable baseline, …).
 
 Examples::
 
     repro lint src/repro
     repro lint src/repro --format json
+    repro lint --deep src tests
+    repro lint --deep src tests --strict-baseline
+    repro lint --deep --certify src/repro
     repro lint src/repro --select RL001,RL002
     repro lint src/repro --write-baseline --justification "pre-RL debt"
+    repro lint src/repro --format sarif > lint.sarif
     repro lint src/repro --list-rules
 """
 
@@ -23,7 +28,12 @@ import sys
 from typing import Sequence
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.rules import (
+    ALL_PROJECT_RULES,
+    ALL_RULES,
+    ProjectRule,
+    Rule,
+)
 from repro.analysis.runner import Analyzer
 
 __all__ = ["add_lint_arguments", "run_lint"]
@@ -36,12 +46,18 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--deep", action="store_true",
+        help="run whole-program rules (RL101 layering, RL102 telemetry "
+             "purity, RL103 determinism taint) over the import/call graph",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
         "--select", default=None, metavar="IDS",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids to run (default: all; selecting "
+             "an RL1xx id enables deep analysis for it)",
     )
     parser.add_argument(
         "--baseline", default=DEFAULT_BASELINE_NAME, metavar="FILE",
@@ -52,12 +68,29 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="ignore the baseline file entirely",
     )
     parser.add_argument(
+        "--strict-baseline", action="store_true",
+        help="also fail (exit 1) on stale baseline entries — the "
+             "ratchet: the baseline may shrink but never grow",
+    )
+    parser.add_argument(
         "--write-baseline", action="store_true",
-        help="write current findings to the baseline file and exit 0",
+        help="write current findings to the baseline file (sorted, "
+             "stable fingerprints) and exit 0; every entry should carry "
+             "a --justification explaining why it stays",
     )
     parser.add_argument(
         "--justification", default="baselined pre-existing finding",
         help="justification recorded with --write-baseline entries",
+    )
+    parser.add_argument(
+        "--layers", default=None, metavar="FILE",
+        help="JSON layer-spec override for RL101 (default: the "
+             "checked-in architecture in repro.analysis.layering)",
+    )
+    parser.add_argument(
+        "--certify", action="store_true",
+        help="with --deep: print the RL102 purity certificate for the "
+             "telemetry entry points and exit (0 iff all are pure)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -65,26 +98,91 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _select_rules(spec: str | None) -> list[Rule]:
+def _select_rules(
+    spec: str | None, *, deep: bool
+) -> list[Rule | ProjectRule]:
     if spec is None:
-        return list(ALL_RULES)
+        return [*ALL_RULES, *(ALL_PROJECT_RULES if deep else ())]
     wanted = [part.strip() for part in spec.split(",") if part.strip()]
-    by_id = {rule.rule_id: rule for rule in ALL_RULES}
+    by_id: dict[str, Rule | ProjectRule] = {
+        rule.rule_id: rule for rule in (*ALL_RULES, *ALL_PROJECT_RULES)
+    }
     unknown = [rule_id for rule_id in wanted if rule_id not in by_id]
     if unknown:
         raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
     return [by_id[rule_id] for rule_id in wanted]
 
 
+def _project_config(args: argparse.Namespace) -> dict[str, object]:
+    config: dict[str, object] = {}
+    if args.layers is not None:
+        from pathlib import Path
+
+        try:
+            spec = json.loads(Path(args.layers).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"cannot read layer spec {args.layers}: {exc}")
+        if not isinstance(spec, dict):
+            raise ValueError(
+                f"layer spec {args.layers} must be a JSON object"
+            )
+        config["layer_spec"] = spec
+    return config
+
+
+def _run_certify(analyzer: Analyzer, paths: Sequence[str]) -> int:
+    """``--certify``: print the RL102 purity certificate."""
+    from repro.analysis.graph import ProjectContext
+    from repro.analysis.purity import certify_entry_points
+    from repro.analysis.rules import ModuleContext
+
+    files, errors = Analyzer.discover(paths)
+    for error in errors:
+        print(f"repro lint: {error}", file=sys.stderr)
+    if errors:
+        return 2
+    contexts = []
+    for file in files:
+        try:
+            contexts.append(
+                ModuleContext.parse(file.as_posix(), file.read_text())
+            )
+        except (OSError, SyntaxError) as exc:
+            print(f"repro lint: cannot analyze {file}: {exc}",
+                  file=sys.stderr)
+            return 2
+    project = ProjectContext.from_contexts(
+        contexts, config=analyzer.project_config
+    )
+    rows = certify_entry_points(project)
+    all_pure = True
+    for row in rows:
+        status = "PURE" if row["pure"] else "IMPURE"
+        print(
+            f"{status:7s} {row['entry']}  "
+            f"({row['functions']} reachable function(s))"
+        )
+        for violation in row["violations"]:  # type: ignore[union-attr]
+            all_pure = False
+            print(f"        {violation}")
+    if not rows:
+        print("no telemetry entry points found in the analyzed paths")
+    return 0 if all_pure else 1
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Execute ``repro lint``; returns the process exit code."""
     if args.list_rules:
-        for rule in ALL_RULES:
-            print(f"{rule.rule_id}  {rule.title}")
+        for rule in (*ALL_RULES, *ALL_PROJECT_RULES):
+            deep_tag = (
+                "  [deep]" if isinstance(rule, ProjectRule) else ""
+            )
+            print(f"{rule.rule_id}  {rule.title}{deep_tag}")
         return 0
     try:
-        rules = _select_rules(args.select)
-    except KeyError as exc:
+        rules = _select_rules(args.select, deep=args.deep)
+        project_config = _project_config(args)
+    except (KeyError, ValueError) as exc:
         print(f"repro lint: {exc.args[0]}", file=sys.stderr)
         return 2
     if args.no_baseline:
@@ -95,7 +193,11 @@ def run_lint(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"repro lint: {exc}", file=sys.stderr)
             return 2
-    analyzer = Analyzer(rules, baseline=baseline)
+    analyzer = Analyzer(
+        rules, baseline=baseline, project_config=project_config
+    )
+    if args.certify:
+        return _run_certify(analyzer, args.paths)
     report = analyzer.run(args.paths)
 
     if args.write_baseline:
@@ -113,10 +215,26 @@ def run_lint(args: argparse.Namespace) -> int:
         )
         return 0
 
+    stale = baseline.stale_entries(
+        [*report.findings, *report.baselined]
+    )
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import report_to_sarif
+
+        print(json.dumps(report_to_sarif(report), indent=2))
     else:
         print(report.render_text())
+        if args.strict_baseline and stale:
+            for entry in stale:
+                print(
+                    f"stale baseline entry: {entry.rule} {entry.path} "
+                    f"{entry.fingerprint} — remove it (the baseline "
+                    f"only shrinks)"
+                )
     if report.errors:
         return 2
+    if args.strict_baseline and stale:
+        return 1
     return 0 if report.clean else 1

@@ -17,6 +17,11 @@ The rule flags ``==`` / ``!=`` comparisons where
 Replacements that pass: ordered predicates (``speed > 0.0``),
 ``math.isclose`` / ``numpy.isclose`` with an explicit tolerance, or an
 explicit failure flag carried alongside the value.
+
+Test files are exempt: the repo's determinism tests *assert exact
+float equality on purpose* (byte-identical traces, bit-identical
+decisions under a fixed seed), so the rule would flag the very
+invariant the suite proves.  Runtime code has no such excuse.
 """
 
 from __future__ import annotations
@@ -78,6 +83,17 @@ class FloatEqualityRule(Rule):
 
     rule_id = "RL002"
     title = "no float ==/!= on monetary/throughput/time quantities"
+
+    def applies_to(self, path: str) -> bool:
+        # exact-equality asserts in tests are deliberate (determinism
+        # suite); see module docstring
+        from pathlib import PurePath
+
+        parts = PurePath(path).parts
+        if "tests" in parts:
+            return False
+        name = parts[-1] if parts else path
+        return not (name.startswith("test_") or name.endswith("_test.py"))
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(context.tree):

@@ -65,8 +65,17 @@ _NUMPY_GENERATOR_OK = {
 
 
 def _in_scope(path: str) -> bool:
+    """Only the *runtime* scoped packages: ``repro/<pkg>/...``.
+
+    Requiring the ``repro`` prefix keeps similarly named test
+    directories (``tests/core/...``) out of scope — tests stub clocks
+    and seeds however they need to.
+    """
     parts = path.replace("\\", "/").split("/")
-    return any(p in _SCOPED_PACKAGES for p in parts[:-1])
+    return any(
+        p in _SCOPED_PACKAGES and i > 0 and parts[i - 1] == "repro"
+        for i, p in enumerate(parts[:-1])
+    )
 
 
 @register

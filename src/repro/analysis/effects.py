@@ -1,0 +1,492 @@
+"""Per-function side-effect summaries with fixed-point propagation.
+
+For every function in a :class:`~repro.analysis.graph.ProjectContext`
+this module computes which object *roots* the function mutates:
+
+``self``
+    attributes of the receiver (``self._sinks.append(...)``) — internal
+    state of the object's own class;
+``param``
+    objects that arrived as arguments — the caller's state;
+``global``
+    names rebound through a ``global`` declaration;
+``import``
+    module-level state of an imported module or imported object
+    (``CONFIG.update(...)`` after ``from x import CONFIG``);
+``local``
+    objects created inside the function — invisible to callers;
+``unknown``
+    receivers the analysis cannot classify.
+
+Direct mutations are syntactic: attribute/subscript stores, augmented
+assignment, ``del``, ``global`` rebinding, ``setattr``, and calls of
+known mutating methods (``append``, ``update``, ``__setitem__`` via
+subscript store, …).  The transitive summary then propagates through
+the call graph to a fixed point: if ``g`` mutates its parameter ``xs``
+and ``f`` calls ``g(self.history)``, then ``f`` mutates ``self``.
+
+RL102 (telemetry purity) consumes the *external* slice of each
+summary — mutations whose root is ``param``/``global``/``import``/
+``unknown``, i.e. state that existed before the function was called
+and does not belong to the telemetry object itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.graph import FunctionNode, _walk_own_body, tarjan_sccs
+
+if TYPE_CHECKING:
+    from repro.analysis.graph import ProjectContext
+
+__all__ = [
+    "EffectAnalysis",
+    "FunctionEffects",
+    "MUTATING_METHODS",
+    "Mutation",
+]
+
+#: Method names treated as mutating their receiver.
+MUTATING_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend", "insert",
+    "pop", "popitem", "popleft", "remove", "reverse", "setdefault", "sort",
+    "update", "write", "writelines",
+})
+
+EXTERNAL_ROOT_KINDS = ("param", "global", "import", "unknown")
+
+
+@dataclass(frozen=True, slots=True)
+class Mutation:
+    """One mutation a function performs, direct or via a callee.
+
+    ``root_kind`` classifies whose state is touched (see module
+    docstring); ``root`` names the object (a parameter name, ``self``,
+    an imported name).  ``lineno``/``col`` anchor the *caller-side*
+    statement, so findings point at code in the analyzed function even
+    for propagated effects.  ``via`` is the callee key for propagated
+    mutations, empty for direct ones.
+    """
+
+    root_kind: str
+    root: str
+    kind: str  # "attr-store" | "subscript-store" | "augassign" | "del"
+    #            | "global-assign" | "setattr" | "mutating-call" | "call"
+    lineno: int
+    col: int
+    desc: str
+    via: str = ""
+
+    @property
+    def is_external(self) -> bool:
+        return self.root_kind in EXTERNAL_ROOT_KINDS
+
+
+@dataclass(slots=True)
+class FunctionEffects:
+    """Transitive mutation summary of one function."""
+
+    key: str
+    mutations: tuple[Mutation, ...]
+
+    @property
+    def mutates_self(self) -> bool:
+        return any(m.root_kind == "self" for m in self.mutations)
+
+    @property
+    def mutated_params(self) -> frozenset[str]:
+        return frozenset(
+            m.root for m in self.mutations if m.root_kind == "param"
+        )
+
+    @property
+    def external(self) -> tuple[Mutation, ...]:
+        """Mutations of state that does not belong to the function."""
+        return tuple(m for m in self.mutations if m.is_external)
+
+    @property
+    def is_pure_external(self) -> bool:
+        """True when no caller-visible external state is mutated."""
+        return not self.external
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    """Plain names bound by an assignment target."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+class _Frame:
+    """Name classification inside one function body."""
+
+    def __init__(self, analysis: "EffectAnalysis", fn: FunctionNode) -> None:
+        self.fn = fn
+        context = analysis.project.modules[fn.module]
+        self.aliases_imported = (
+            set(context.aliases) | set(context.from_imports)
+        )
+        self.params = set(fn.params)
+        self.self_name = fn.self_param
+        self.global_names: set[str] = set()
+        self.name_roots: dict[str, tuple[str, str]] = {}
+        self.local_stores: set[str] = set()
+        # module-level bindings: mutating one (REGISTRY.append(...))
+        # needs no `global` declaration, so the frame must know them
+        self.module_level: set[str] = set()
+        for stmt in context.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                self.module_level.update(_target_names(target))
+        for node in _walk_own_body(fn.node):
+            if isinstance(node, ast.Global):
+                self.global_names.update(node.names)
+            elif isinstance(node, ast.Assign):
+                if (
+                    len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    root = self._value_root(node.value)
+                    if root is not None:
+                        self.name_roots.setdefault(node.targets[0].id, root)
+                for target in node.targets:
+                    self.local_stores.update(_target_names(target))
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                self.local_stores.update(_target_names(node.target))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self.local_stores.update(_target_names(node.target))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        self.local_stores.update(
+                            _target_names(item.optional_vars)
+                        )
+        self.local_stores -= self.global_names
+
+    def _value_root(self, value: ast.expr) -> tuple[str, str] | None:
+        """Aliasing for ``x = param`` / ``x = self.attr`` assignments."""
+        base = value
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            base = base.value
+        if isinstance(base, ast.Name):
+            if base.id == self.self_name:
+                return ("self", self.self_name or "self")
+            if base.id in self.params:
+                return ("param", base.id)
+        return None
+
+    def classify(self, expr: ast.expr) -> tuple[str, str]:
+        """``(root_kind, root_name)`` of a store/receiver expression."""
+        base = expr
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            base = base.value
+        if isinstance(base, ast.Name):
+            name = base.id
+            if name == self.self_name:
+                return ("self", name)
+            if name in self.global_names:
+                return ("global", name)
+            if name in self.params:
+                return ("param", name)
+            if name in self.name_roots:
+                return self.name_roots[name]
+            if name in self.aliases_imported:
+                return ("import", name)
+            if name in self.local_stores:
+                return ("local", name)
+            if name in self.module_level:
+                return ("global", name)
+            return ("local", name)
+        if isinstance(base, ast.Call):
+            # a fresh object from a call; mutating it is caller-invisible
+            # unless the call itself chains off self (e.g. self.buf().x=…)
+            inner = self.classify(base.func)
+            if inner[0] == "self":
+                return inner
+            return ("local", "<call>")
+        return ("unknown", "<expr>")
+
+
+class EffectAnalysis:
+    """Direct + transitive mutation summaries for every project function."""
+
+    #: fixed-point iteration cap (per SCC pass); real code converges in
+    #: a handful of rounds — the cap guards pathological graphs.
+    MAX_ROUNDS = 50
+
+    def __init__(self, project: "ProjectContext") -> None:
+        self.project = project
+        self._direct: dict[str, tuple[Mutation, ...]] = {}
+        self.summaries: dict[str, FunctionEffects] = {}
+        self._compute()
+
+    def effects_of(self, key: str) -> FunctionEffects:
+        return self.summaries.get(key) or FunctionEffects(key, ())
+
+    # -- direct effects ------------------------------------------------------
+    def _compute(self) -> None:
+        graph = self.project.call_graph
+        for key, fn in graph.functions.items():
+            self._direct[key] = tuple(self._direct_mutations(fn))
+        # seed transitive = direct, then propagate callees-first
+        transitive: dict[str, dict[tuple[str, str], Mutation]] = {
+            key: {(m.root_kind, m.root): m for m in muts}
+            for key, muts in self._direct.items()
+        }
+        order = [
+            key
+            for component in tarjan_sccs(
+                sorted(graph.functions), lambda k: sorted(graph.callees(k))
+            )
+            for key in component
+        ]
+        for _ in range(self.MAX_ROUNDS):
+            changed = False
+            for key in order:
+                if self._propagate_into(key, transitive):
+                    changed = True
+            if not changed:
+                break
+        for key in graph.functions:
+            self.summaries[key] = FunctionEffects(
+                key=key,
+                mutations=tuple(sorted(
+                    transitive[key].values(),
+                    key=lambda m: (m.lineno, m.col, m.root_kind, m.root),
+                )),
+            )
+
+    def _direct_mutations(self, fn: FunctionNode) -> Iterator[Mutation]:
+        frame = _Frame(self, fn)
+        for node in _walk_own_body(fn.node):
+            yield from self._mutations_of_node(frame, node)
+
+    def _mutations_of_node(
+        self, frame: _Frame, node: ast.AST
+    ) -> Iterator[Mutation]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                yield from self._store_mutation(frame, target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            kind = "augassign" if isinstance(node, ast.AugAssign) else None
+            yield from self._store_mutation(frame, node.target, kind=kind)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root_kind, root = frame.classify(target)
+                    if root_kind != "local":
+                        yield self._mutation(
+                            frame, target, root_kind, root, "del",
+                            f"deletes from `{root}`",
+                        )
+        elif isinstance(node, ast.Call):
+            yield from self._call_mutation(frame, node)
+
+    def _store_mutation(
+        self, frame: _Frame, target: ast.expr, *, kind: str | None = None
+    ) -> Iterator[Mutation]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._store_mutation(frame, element, kind=kind)
+            return
+        if isinstance(target, ast.Name):
+            if target.id in frame.global_names:
+                yield self._mutation(
+                    frame, target, "global", target.id,
+                    kind or "global-assign",
+                    f"rebinds global `{target.id}`",
+                )
+            return
+        if isinstance(target, ast.Starred):
+            yield from self._store_mutation(frame, target.value, kind=kind)
+            return
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return
+        root_kind, root = frame.classify(target)
+        if root_kind == "local":
+            return
+        store = (
+            "attr-store" if isinstance(target, ast.Attribute)
+            else "subscript-store"
+        )
+        what = (
+            f"`.{target.attr}`" if isinstance(target, ast.Attribute)
+            else "an item"
+        )
+        yield self._mutation(
+            frame, target, root_kind, root, kind or store,
+            f"assigns {what} on `{root}`",
+        )
+
+    def _call_mutation(
+        self, frame: _Frame, node: ast.Call
+    ) -> Iterator[Mutation]:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("setattr", "delattr")
+            and node.args
+        ):
+            root_kind, root = frame.classify(node.args[0])
+            if root_kind != "local":
+                yield self._mutation(
+                    frame, node, root_kind, root, "setattr",
+                    f"{func.id}() on `{root}`",
+                )
+            return
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS
+        ):
+            root_kind, root = frame.classify(func.value)
+            if root_kind != "local":
+                yield self._mutation(
+                    frame, node, root_kind, root, "mutating-call",
+                    f"calls `.{func.attr}()` on `{root}`",
+                )
+
+    def _mutation(
+        self,
+        frame: _Frame,
+        node: ast.AST,
+        root_kind: str,
+        root: str,
+        kind: str,
+        desc: str,
+    ) -> Mutation:
+        return Mutation(
+            root_kind=root_kind,
+            root=root,
+            kind=kind,
+            lineno=getattr(node, "lineno", frame.fn.node.lineno),
+            col=getattr(node, "col_offset", 0),
+            desc=desc,
+        )
+
+    # -- propagation ---------------------------------------------------------
+    def _propagate_into(
+        self,
+        key: str,
+        transitive: dict[str, dict[tuple[str, str], Mutation]],
+    ) -> bool:
+        graph = self.project.call_graph
+        fn = graph.functions[key]
+        frame: _Frame | None = None
+        changed = False
+        for site in graph.calls_from(key):
+            if site.callee is None or site.callee == key:
+                continue
+            callee_summary = transitive.get(site.callee)
+            if not callee_summary:
+                continue
+            callee_fn = graph.functions[site.callee]
+            roots = {
+                (rk, r) for (rk, r) in callee_summary
+                if rk in ("self", "param", "global", "import", "unknown")
+            }
+            if not roots:
+                continue
+            if frame is None:
+                frame = _Frame(self, fn)
+            is_constructor = bool(site.raw) and site.raw.startswith("new:")
+            for root_kind, root in sorted(roots):
+                caller_mut = self._map_callee_root(
+                    frame, site.node, callee_fn, root_kind, root,
+                    site.callee, is_constructor=is_constructor,
+                )
+                if caller_mut is None:
+                    continue
+                slot = (caller_mut.root_kind, caller_mut.root)
+                if slot not in transitive[key]:
+                    transitive[key][slot] = caller_mut
+                    changed = True
+        return changed
+
+    def _map_callee_root(
+        self,
+        frame: _Frame,
+        call: ast.Call,
+        callee: FunctionNode,
+        root_kind: str,
+        root: str,
+        callee_key: str,
+        *,
+        is_constructor: bool = False,
+    ) -> Mutation | None:
+        """Express a callee-side mutated root in the caller's frame."""
+        if root_kind in ("global", "import", "unknown"):
+            # module/ambient state: external from every caller
+            return Mutation(
+                root_kind=root_kind, root=root, kind="call",
+                lineno=call.lineno, col=call.col_offset,
+                desc=f"calls `{callee_key}` which mutates `{root}`",
+                via=callee_key,
+            )
+        if is_constructor and root_kind == "self":
+            return None  # __init__ mutates the freshly built object
+        arg_expr = self._argument_for(
+            call, callee, root_kind, root, is_constructor=is_constructor
+        )
+        if arg_expr is None:
+            return None
+        caller_kind, caller_root = frame.classify(arg_expr)
+        if caller_kind == "local":
+            return None
+        what = "its receiver" if root_kind == "self" else f"parameter `{root}`"
+        return Mutation(
+            root_kind=caller_kind, root=caller_root, kind="call",
+            lineno=call.lineno, col=call.col_offset,
+            desc=f"calls `{callee_key}` which mutates {what}"
+                 f" (here `{caller_root}`)",
+            via=callee_key,
+        )
+
+    def _argument_for(
+        self,
+        call: ast.Call,
+        callee: FunctionNode,
+        root_kind: str,
+        root: str,
+        *,
+        is_constructor: bool = False,
+    ) -> ast.expr | None:
+        """The caller expression bound to a callee root, if locatable."""
+        self_param = callee.self_param
+        method_call = not is_constructor and (
+            self_param is not None and isinstance(call.func, ast.Attribute)
+        )
+        if root_kind == "self":
+            if method_call:
+                return call.func.value  # type: ignore[union-attr]
+            if self_param is not None and call.args and not is_constructor:
+                return call.args[0]  # Class.method(obj, ...) style
+            return None
+        # positional parameters, accounting for the bound receiver
+        params = list(callee.params)
+        if (
+            (method_call or is_constructor)
+            and params and params[0] == self_param
+        ):
+            params = params[1:]
+        if root in params:
+            index = params.index(root)
+            if index < len(call.args):
+                arg = call.args[index]
+                if isinstance(arg, ast.Starred):
+                    return None
+                return arg
+        for keyword in call.keywords:
+            if keyword.arg == root:
+                return keyword.value
+        return None

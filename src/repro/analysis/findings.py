@@ -12,10 +12,29 @@ the flagged line itself changes.
 from __future__ import annotations
 
 import hashlib
+import re
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Finding"]
+__all__ = ["Finding", "inline_suppressions"]
+
+#: ``# repro-lint: disable=RL001, RL002`` / ``disable=all``
+SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)"
+)
+
+
+def inline_suppressions(line: str) -> set[str]:
+    """Rule ids suppressed by an inline comment on ``line``.
+
+    Shared by the runner (finding-site suppression) and the taint
+    engine (source-site suppression: suppressing RL103 where a value
+    *originates* also silences every downstream flow of that value).
+    """
+    match = SUPPRESS_RE.search(line)
+    if not match:
+        return set()
+    return {part.strip() for part in match.group(1).split(",") if part.strip()}
 
 
 def _normalise_snippet(snippet: str) -> str:

@@ -1,0 +1,788 @@
+"""Whole-program model: modules, import graph, call graph.
+
+This is the shared substrate for the deep (cross-module) rule families
+RL101 (layering), RL102 (telemetry purity) and RL103 (determinism
+taint).  A :class:`ProjectContext` holds every parsed module of one
+``repro lint --deep`` run and lazily derives:
+
+- the **import graph** — which project module imports which, with
+  ``TYPE_CHECKING``-guarded imports marked type-only (they never
+  execute, so layering treats them as documentation, not dependency);
+- the **call graph** — a best-effort static resolution of call sites
+  to project functions.  Resolution covers direct names, module
+  attributes (``bus.EventBus``), ``self.method()``, methods on
+  ``self`` attributes whose type is known from annotated ``__init__``
+  assignments, annotated parameters, and locals assigned from a
+  project-class constructor.  Dynamic dispatch (callables stored in
+  containers, ``getattr``) stays unresolved — soundness limits are
+  documented in ``docs/static-analysis.md``.
+
+Everything here is derived from the same :class:`ModuleContext`
+objects the per-module rules see; no file is read twice.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from repro.analysis.rules import ModuleContext
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassNode",
+    "FunctionNode",
+    "ImportEdge",
+    "ImportGraph",
+    "ProjectContext",
+    "module_name_for",
+]
+
+
+def module_name_for(path: str | Path) -> str:
+    """Dotted module name for a source file.
+
+    Climbs parent directories for as long as they are packages
+    (contain ``__init__.py``), so ``src/repro/obs/bus.py`` names
+    ``repro.obs.bus`` regardless of the ``src`` layout.  A file
+    outside any package is a top-level module named after its stem.
+    """
+    p = Path(path)
+    parts = [] if p.stem == "__init__" else [p.stem]
+    d = p.parent
+    while (d / "__init__.py").exists():
+        parts.insert(0, d.name)
+        parent = d.parent
+        if parent == d:
+            break
+        d = parent
+    return ".".join(parts) if parts else p.stem
+
+
+# -- import graph ------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ImportEdge:
+    """One resolved project-internal import."""
+
+    importer: str
+    imported: str
+    lineno: int
+    type_only: bool
+
+
+def _type_checking_linenos(tree: ast.Module) -> set[int]:
+    """Line numbers lexically inside ``if TYPE_CHECKING:`` blocks."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = getattr(test, "id", None) or getattr(test, "attr", None)
+        if name != "TYPE_CHECKING":
+            continue
+        for sub in node.body:
+            for leaf in ast.walk(sub):
+                lineno = getattr(leaf, "lineno", None)
+                if lineno is not None:
+                    lines.add(lineno)
+    return lines
+
+
+class ImportGraph:
+    """Project-internal import edges with SCC and reachability queries."""
+
+    def __init__(self, edges: Iterable[ImportEdge]) -> None:
+        self.edges = tuple(edges)
+        self._out: dict[str, list[ImportEdge]] = {}
+        for edge in self.edges:
+            self._out.setdefault(edge.importer, []).append(edge)
+
+    def imports_of(self, module: str) -> tuple[ImportEdge, ...]:
+        """Outgoing edges of ``module``, in source order."""
+        return tuple(self._out.get(module, ()))
+
+    def successors(
+        self, module: str, *, include_type_only: bool = False
+    ) -> set[str]:
+        return {
+            e.imported
+            for e in self._out.get(module, ())
+            if include_type_only or not e.type_only
+        }
+
+    def reachable_from(
+        self, module: str, *, include_type_only: bool = False
+    ) -> set[str]:
+        """Modules transitively imported by ``module`` (excluding it)."""
+        seen: set[str] = set()
+        frontier = [module]
+        while frontier:
+            current = frontier.pop()
+            for nxt in self.successors(
+                current, include_type_only=include_type_only
+            ):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        seen.discard(module)
+        return seen
+
+    def sccs(self) -> list[list[str]]:
+        """Strongly connected components (Tarjan, iterative), in
+        reverse-topological order of the condensation — callees-first,
+        which is the order fixed-point analyses want."""
+        nodes = sorted(
+            {e.importer for e in self.edges} | {e.imported for e in self.edges}
+        )
+        return tarjan_sccs(
+            nodes, lambda n: sorted(self.successors(n, include_type_only=True))
+        )
+
+
+def tarjan_sccs(
+    nodes: Iterable[str], successors
+) -> list[list[str]]:
+    """Iterative Tarjan SCC over an arbitrary string-keyed graph.
+
+    Returns components in reverse-topological order (a component is
+    emitted only after every component it points into).
+    """
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[list[str]] = []
+    counter = 0
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [(root, iter(successors(root)))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(successors(succ))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(sorted(component))
+    return result
+
+
+# -- call graph --------------------------------------------------------------
+
+@dataclass(slots=True)
+class FunctionNode:
+    """One function or method in the project."""
+
+    key: str  # "module:Qual.name"
+    module: str
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None  # innermost enclosing class, if a method
+    params: tuple[str, ...]  # positional-or-keyword + kw-only, in order
+
+    @property
+    def self_param(self) -> str | None:
+        """The receiver parameter name for instance methods."""
+        if self.class_name is None or not self.params:
+            return None
+        for decorator in self.node.decorator_list:
+            name = getattr(decorator, "id", None) or getattr(
+                decorator, "attr", None
+            )
+            if name == "staticmethod":
+                return None
+        return self.params[0]
+
+
+@dataclass(slots=True)
+class ClassNode:
+    """One class: bases, methods, and inferred ``self`` attribute types."""
+
+    key: str  # "module:Class"
+    module: str
+    name: str
+    base_keys: tuple[str, ...] = ()
+    methods: dict[str, str] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One call expression, resolved as far as statically possible.
+
+    ``callee`` is a project function key when resolution succeeded;
+    ``raw`` is the canonical dotted name for external calls
+    (``"time.time"``) when that is all that is known.
+    """
+
+    caller: str
+    node: ast.Call
+    callee: str | None = None
+    raw: str | None = None
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Collects functions and classes of one module with qualnames."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.stack: list[str] = []
+        self.class_stack: list[str] = []
+        self.functions: list[FunctionNode] = []
+        self.classes: list[tuple[ast.ClassDef, str]] = []
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        qual = ".".join([*self.stack, node.name])
+        args = node.args
+        params = tuple(
+            a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        )
+        self.functions.append(FunctionNode(
+            key=f"{self.module}:{qual}",
+            module=self.module,
+            qualname=qual,
+            node=node,
+            class_name=self.class_stack[-1] if (
+                self.class_stack
+                and ".".join(self.stack) == self.class_stack[-1]
+            ) else None,
+            params=params,
+        ))
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qual = ".".join([*self.stack, node.name])
+        self.classes.append((node, qual))
+        self.stack.append(node.name)
+        self.class_stack.append(qual)
+        self.generic_visit(node)
+        self.class_stack.pop()
+        self.stack.pop()
+
+
+class CallGraph:
+    """Static call graph over every function in the project."""
+
+    def __init__(self, project: "ProjectContext") -> None:
+        self.project = project
+        self.functions: dict[str, FunctionNode] = {}
+        self.classes: dict[str, ClassNode] = {}
+        self._calls: dict[str, list[CallSite]] = {}
+        self._collect()
+        self._link_classes()
+        self._resolve_calls()
+
+    # -- construction --------------------------------------------------------
+    def _collect(self) -> None:
+        pending: list[tuple[ast.ClassDef, str, str]] = []
+        for name, context in self.project.modules.items():
+            collector = _FunctionCollector(name)
+            collector.visit(context.tree)
+            for fn in collector.functions:
+                self.functions[fn.key] = fn
+            for node, qual in collector.classes:
+                cls = ClassNode(
+                    key=f"{name}:{qual}", module=name, name=qual,
+                )
+                self.classes[cls.key] = cls
+                for stmt in node.body:
+                    if isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        cls.methods[stmt.name] = f"{name}:{qual}.{stmt.name}"
+                pending.append((node, qual, name))
+        # second pass: bases and attr types resolve against the full
+        # class table, so cross-module definition order cannot hide a
+        # class from the resolver
+        for node, qual, name in pending:
+            self._register_class(node, qual, name)
+
+    def _register_class(
+        self, node: ast.ClassDef, qual: str, module: str
+    ) -> None:
+        cls = self.classes[f"{module}:{qual}"]
+        context = self.project.modules[module]
+        cls.base_keys = tuple(
+            key for base in node.bases
+            if (key := self._resolve_type_expr(context, module, base))
+        )
+        init = cls.methods.get("__init__")
+        if init is not None:
+            self._infer_attr_types(cls, self.functions[init])
+
+    def _infer_attr_types(self, cls: ClassNode, fn: FunctionNode) -> None:
+        """``self.x`` types from annotated ``__init__`` assignments and
+        parameter annotations (``self.bus = bus`` with ``bus: EventBus``)."""
+        context = self.project.modules[fn.module]
+        ann_by_param: dict[str, ast.expr] = {}
+        args = fn.node.args
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if a.annotation is not None:
+                ann_by_param[a.arg] = a.annotation
+        self_name = fn.self_param
+        for stmt in ast.walk(fn.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(stmt, ast.AnnAssign):
+                target, value, annotation = stmt.target, stmt.value, stmt.annotation
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == self_name
+            ):
+                continue
+            type_expr = annotation
+            if type_expr is None and isinstance(value, ast.Name):
+                type_expr = ann_by_param.get(value.id)
+            if type_expr is None and isinstance(value, ast.Call):
+                type_expr = value.func
+            if type_expr is None:
+                continue
+            key = self._resolve_type_expr(context, fn.module, type_expr)
+            if key is not None and target.attr not in cls.attr_types:
+                cls.attr_types[target.attr] = key
+
+    def _resolve_type_expr(
+        self, context: ModuleContext, module: str, expr: ast.expr
+    ) -> str | None:
+        """A class key for an annotation / base-class expression."""
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            try:
+                expr = ast.parse(expr.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(expr, ast.Subscript):
+            # Optional[X] / list[X]: unwrap one level, keep X if single
+            base = getattr(expr.value, "id", None)
+            if base == "Optional":
+                return self._resolve_type_expr(context, module, expr.slice)
+            return None
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+            # X | None
+            for side in (expr.left, expr.right):
+                if not (
+                    isinstance(side, ast.Constant) and side.value is None
+                ):
+                    return self._resolve_type_expr(context, module, side)
+            return None
+        dotted = _dotted_name(expr)
+        if dotted is None:
+            return None
+        return self.resolve_qualified(context, module, dotted, want="class")
+
+    def resolve_qualified(
+        self,
+        context: ModuleContext,
+        module: str,
+        dotted: str,
+        *,
+        want: str = "any",
+    ) -> str | None:
+        """Resolve a dotted name used in ``module`` to a project key.
+
+        ``want`` is ``"class"``, ``"function"`` or ``"any"``.
+        """
+        head, _, rest = dotted.partition(".")
+        candidates: list[str] = []
+        if head in context.aliases:  # import x.y as z
+            candidates.append(
+                f"{context.aliases[head]}.{rest}" if rest
+                else context.aliases[head]
+            )
+        if head in context.from_imports:  # from x import y
+            origin = context.from_imports[head]
+            candidates.append(f"{origin}.{rest}" if rest else origin)
+        # a name defined in this very module
+        candidates.append(f"{module}.{dotted}")
+        for candidate in candidates:
+            key = self._project_key(candidate)
+            if key is None:
+                continue
+            if want == "class" and key in self.classes:
+                return key
+            if want == "function" and key in self.functions:
+                return key
+            if want == "any" and (
+                key in self.classes or key in self.functions
+            ):
+                return key
+        return None
+
+    def _project_key(self, full_dotted: str) -> str | None:
+        """Split ``repro.obs.bus.EventBus.publish`` into
+        ``"repro.obs.bus:EventBus.publish"`` using the longest module
+        prefix present in the project."""
+        parts = full_dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            module = ".".join(parts[:cut])
+            if module in self.project.modules:
+                qual = ".".join(parts[cut:])
+                return f"{module}:{qual}" if qual else None
+        return None
+
+    def _link_classes(self) -> None:
+        # inherit methods from resolvable project bases (single pass
+        # per class over its linearised project bases)
+        for cls in self.classes.values():
+            for base_key in self._mro(cls):
+                base = self.classes.get(base_key)
+                if base is None:
+                    continue
+                for name, fn_key in base.methods.items():
+                    cls.methods.setdefault(name, fn_key)
+                for attr, type_key in base.attr_types.items():
+                    cls.attr_types.setdefault(attr, type_key)
+
+    def _mro(self, cls: ClassNode) -> list[str]:
+        order: list[str] = []
+        frontier = list(cls.base_keys)
+        seen = {cls.key}
+        while frontier:
+            key = frontier.pop(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            order.append(key)
+            base = self.classes.get(key)
+            if base is not None:
+                frontier.extend(base.base_keys)
+        return order
+
+    def _resolve_calls(self) -> None:
+        for fn in self.functions.values():
+            sites: list[CallSite] = []
+            local_types = self._local_types(fn)
+            for node in _walk_own_body(fn.node):
+                if isinstance(node, ast.Call):
+                    sites.append(self._resolve_call(fn, node, local_types))
+            self._calls[fn.key] = sites
+
+    def _local_types(self, fn: FunctionNode) -> dict[str, str]:
+        """Types of names inside ``fn``: annotated params and locals
+        assigned from a project-class constructor."""
+        context = self.project.modules[fn.module]
+        types: dict[str, str] = {}
+        args = fn.node.args
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if a.annotation is not None:
+                key = self._resolve_type_expr(context, fn.module, a.annotation)
+                if key is not None:
+                    types[a.arg] = key
+        for stmt in _walk_own_body(fn.node):
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+            ):
+                dotted = _dotted_name(stmt.value.func)
+                if dotted is None:
+                    continue
+                key = self.resolve_qualified(
+                    context, fn.module, dotted, want="class"
+                )
+                if key is not None:
+                    types[stmt.targets[0].id] = key
+        return types
+
+    def _resolve_call(
+        self, fn: FunctionNode, node: ast.Call, local_types: dict[str, str]
+    ) -> CallSite:
+        context = self.project.modules[fn.module]
+        dotted = _dotted_name(node.func)
+        # self.method() / self.attr.method() / typed-receiver method()
+        if isinstance(node.func, ast.Attribute):
+            receiver_cls = self._receiver_class(fn, node.func.value, local_types)
+            if receiver_cls is not None:
+                method = self.classes[receiver_cls].methods.get(node.func.attr)
+                if method is not None:
+                    return CallSite(
+                        caller=fn.key, node=node, callee=method,
+                        raw=dotted,
+                    )
+        if dotted is not None:
+            key = self.resolve_qualified(context, fn.module, dotted)
+            if key in self.classes:
+                # constructor call: edge to __init__ when present
+                init = self.classes[key].methods.get("__init__")
+                return CallSite(
+                    caller=fn.key, node=node, callee=init, raw=f"new:{key}"
+                )
+            if key in self.functions:
+                return CallSite(caller=fn.key, node=node, callee=key)
+            return CallSite(
+                caller=fn.key, node=node, raw=context.resolve_call(node)
+            )
+        return CallSite(caller=fn.key, node=node)
+
+    def _receiver_class(
+        self, fn: FunctionNode, expr: ast.expr, local_types: dict[str, str]
+    ) -> str | None:
+        """Class key of a method call's receiver, when inferable."""
+        if isinstance(expr, ast.Name):
+            if expr.id == fn.self_param and fn.class_name is not None:
+                return f"{fn.module}:{fn.class_name}"
+            return local_types.get(expr.id)
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == fn.self_param
+            and fn.class_name is not None
+        ):
+            cls = self.classes.get(f"{fn.module}:{fn.class_name}")
+            if cls is not None:
+                return cls.attr_types.get(expr.attr)
+        return None
+
+    # -- queries -------------------------------------------------------------
+    def calls_from(self, key: str) -> tuple[CallSite, ...]:
+        return tuple(self._calls.get(key, ()))
+
+    def callees(self, key: str) -> set[str]:
+        return {
+            s.callee for s in self._calls.get(key, ()) if s.callee is not None
+        }
+
+    def reachable(self, roots: Iterable[str]) -> dict[str, str | None]:
+        """Functions reachable from ``roots`` via resolved call edges.
+
+        Returns ``{function_key: caller_key_or_None}`` — the BFS
+        parent map, so findings can show one concrete call chain back
+        to an entry point.
+        """
+        parents: dict[str, str | None] = {}
+        frontier: list[str] = []
+        for root in roots:
+            if root in self.functions and root not in parents:
+                parents[root] = None
+                frontier.append(root)
+        while frontier:
+            current = frontier.pop(0)
+            for callee in sorted(self.callees(current)):
+                if callee not in parents:
+                    parents[callee] = current
+                    frontier.append(callee)
+        return parents
+
+    def chain(
+        self, parents: Mapping[str, str | None], key: str
+    ) -> list[str]:
+        """The call chain from an entry point down to ``key``."""
+        chain = [key]
+        seen = {key}
+        while (parent := parents.get(chain[0])) is not None:
+            if parent in seen:
+                break
+            chain.insert(0, parent)
+            seen.add(parent)
+        return chain
+
+
+def _dotted_name(expr: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if not isinstance(expr, ast.Name):
+        return None
+    parts.append(expr.id)
+    return ".".join(reversed(parts))
+
+
+def _walk_own_body(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk a function's statements *excluding* nested function and
+    class bodies (those are their own call-graph nodes)."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            stack.append(child)
+
+
+# -- project -----------------------------------------------------------------
+
+class ProjectContext:
+    """Every parsed module of one deep-analysis run.
+
+    Build from parsed :class:`ModuleContext` objects (the runner does
+    this) or from an explicit ``{module_name: context}`` mapping in
+    tests.  The import graph and call graph are derived lazily and
+    cached — rules share one instance.
+    """
+
+    def __init__(
+        self,
+        modules: Mapping[str, ModuleContext],
+        *,
+        config: Mapping[str, object] | None = None,
+    ) -> None:
+        self.modules = dict(modules)
+        #: per-run rule configuration (layer-spec override from
+        #: ``--layers``, entry-point overrides in fixtures); rules fall
+        #: back to their checked-in defaults for missing keys.
+        self.config: dict[str, object] = dict(config or {})
+        self._paths = {ctx.path: name for name, ctx in self.modules.items()}
+        self._import_graph: ImportGraph | None = None
+        self._call_graph: CallGraph | None = None
+        self._effects = None
+
+    @classmethod
+    def from_contexts(
+        cls,
+        contexts: Iterable[ModuleContext],
+        *,
+        config: Mapping[str, object] | None = None,
+    ) -> "ProjectContext":
+        modules: dict[str, ModuleContext] = {}
+        for context in contexts:
+            name = module_name_for(context.path)
+            # first one wins on collisions (identically named modules
+            # under two analyzed roots); later duplicates keep their
+            # per-module findings but stay out of the whole-program model
+            modules.setdefault(name, context)
+        return cls(modules, config=config)
+
+    def module_of_path(self, path: str) -> str | None:
+        return self._paths.get(path)
+
+    def layer_of(self, module: str) -> str:
+        """The architecture-layer key of a module.
+
+        ``repro.obs.bus`` → ``obs``; top-level modules of the ``repro``
+        package (``repro.io``) use their own name (``io``); the package
+        root itself is ``repro``; anything outside ``repro`` uses its
+        first dotted component (``tests``, fixture packages).
+        """
+        parts = module.split(".")
+        if parts[0] == "repro":
+            return parts[1] if len(parts) > 1 else "repro"
+        return parts[0]
+
+    # -- derived views -------------------------------------------------------
+    @property
+    def import_graph(self) -> ImportGraph:
+        if self._import_graph is None:
+            self._import_graph = ImportGraph(self._collect_imports())
+        return self._import_graph
+
+    @property
+    def call_graph(self) -> CallGraph:
+        if self._call_graph is None:
+            self._call_graph = CallGraph(self)
+        return self._call_graph
+
+    @property
+    def effects(self):
+        """Lazily computed :class:`repro.analysis.effects.EffectAnalysis`."""
+        if self._effects is None:
+            from repro.analysis.effects import EffectAnalysis
+
+            self._effects = EffectAnalysis(self)
+        return self._effects
+
+    def _collect_imports(self) -> list[ImportEdge]:
+        edges: list[ImportEdge] = []
+        for name, context in sorted(self.modules.items()):
+            type_only = _type_checking_linenos(context.tree)
+            for node in ast.walk(context.tree):
+                for target in self._import_targets(name, node):
+                    edges.append(ImportEdge(
+                        importer=name,
+                        imported=target,
+                        lineno=node.lineno,
+                        type_only=node.lineno in type_only,
+                    ))
+        return edges
+
+    def _import_targets(self, module: str, node: ast.AST) -> list[str]:
+        targets: list[str] = []
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                resolved = self._longest_module(alias.name)
+                if resolved is not None:
+                    targets.append(resolved)
+        elif isinstance(node, ast.ImportFrom):
+            base = self._absolute_base(module, node)
+            if base is None:
+                return targets
+            for alias in node.names:
+                resolved = self._longest_module(
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+                if resolved is not None:
+                    targets.append(resolved)
+        # de-duplicate while keeping order
+        return list(dict.fromkeys(t for t in targets if t != module))
+
+    def _absolute_base(
+        self, module: str, node: ast.ImportFrom
+    ) -> str | None:
+        if not node.level:
+            return node.module
+        parts = module.split(".")
+        is_package = self.modules[module].path.endswith("__init__.py")
+        # one level strips the module itself (or nothing for a package)
+        strip = node.level - 1 if is_package else node.level
+        if strip >= len(parts):
+            return None
+        base_parts = parts[: len(parts) - strip]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts)
+
+    def _longest_module(self, dotted: str) -> str | None:
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.modules:
+                return candidate
+        return None

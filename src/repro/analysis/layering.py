@@ -1,0 +1,160 @@
+"""RL101: declared-architecture layering over the import graph.
+
+The architecture is checked in as data (:data:`DEFAULT_LAYER_SPEC`):
+for every layer — the first package component under ``repro`` — the
+set of layers it may import at runtime.  ``repro lint --deep`` builds
+the project import graph and reports every edge the spec does not
+allow, naming the edge, plus any runtime import cycle (a strongly
+connected component with more than one module).
+
+Conventions:
+
+- ``TYPE_CHECKING``-guarded imports are exempt: they never execute,
+  so they are documentation for the type checker, not a dependency.
+- Imports within one layer are always allowed.
+- A layer mapped to ``"*"`` is unconstrained (only ``cli``, which by
+  design wires everything together).
+- Layers absent from the spec (tests, examples, fixtures) are
+  unconstrained; the spec constrains the shipped ``repro`` packages.
+
+Override the spec with ``repro lint --deep --layers spec.json`` — a
+JSON object of the same shape — to experiment with a tightened
+architecture without editing the analyzer.  The human-readable layer
+diagram lives in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.analysis.findings import Finding
+from repro.analysis.graph import ImportEdge, ProjectContext
+from repro.analysis.rules import ProjectRule, register_project
+
+__all__ = ["DEFAULT_LAYER_SPEC", "LayeringRule"]
+
+#: layer → layers it may import at runtime ("*" = unconstrained).
+#: Keep in sync with the diagram in docs/static-analysis.md.
+DEFAULT_LAYER_SPEC: dict[str, object] = {
+    # foundation: pure data + simulation, no upward imports
+    "sim": ["cloud"],
+    "cloud": ["obs"],
+    "contracts": [],
+    "textfmt": [],
+    # observability reads run state, never the other way around
+    "obs": ["textfmt"],
+    # profiling drives the simulator and reports through obs
+    "profiling": ["cloud", "obs", "sim"],
+    # the search core composes everything below it
+    "core": ["cloud", "contracts", "obs", "profiling", "sim"],
+    "baselines": ["core", "sim"],
+    "io": ["core"],
+    # the service layer (paper's MLaaS deployment loop)
+    "mlcd": ["cloud", "contracts", "core", "obs", "profiling", "sim"],
+    "perf": ["cloud", "core", "obs", "profiling", "sim"],
+    "experiments": [
+        "baselines", "cloud", "core", "mlcd", "obs", "profiling", "sim",
+        "textfmt",
+    ],
+    # the analyzer must not depend on the runtime it audits
+    "analysis": [],
+    # package root re-exports the public API
+    "repro": ["core", "mlcd"],
+    # the CLI is the composition root
+    "cli": "*",
+}
+
+
+@register_project
+class LayeringRule(ProjectRule):
+    rule_id = "RL101"
+    title = "import edge violates the declared layer architecture"
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        spec = project.config.get("layer_spec", DEFAULT_LAYER_SPEC)
+        assert isinstance(spec, Mapping)
+        graph = project.import_graph
+        for edge in graph.edges:
+            if edge.type_only:
+                continue
+            finding = self._check_edge(project, spec, edge)
+            if finding is not None:
+                yield finding
+        yield from self._check_cycles(project)
+
+    def _check_edge(
+        self,
+        project: ProjectContext,
+        spec: Mapping[str, object],
+        edge: ImportEdge,
+    ) -> Finding | None:
+        importer_layer = project.layer_of(edge.importer)
+        imported_layer = project.layer_of(edge.imported)
+        if importer_layer == imported_layer:
+            return None
+        allowed = spec.get(importer_layer)
+        if allowed is None or allowed == "*":
+            return None
+        assert isinstance(allowed, (list, tuple))
+        if imported_layer in allowed:
+            return None
+        context = project.modules[edge.importer]
+        allowed_text = (
+            ", ".join(sorted(str(a) for a in allowed)) if allowed
+            else "(none)"
+        )
+        return Finding(
+            rule_id=self.rule_id,
+            path=context.path,
+            line=edge.lineno,
+            col=0,
+            message=(
+                f"layer `{importer_layer}` may not import layer "
+                f"`{imported_layer}`: edge `{edge.importer}` -> "
+                f"`{edge.imported}`; allowed imports for "
+                f"`{importer_layer}`: {allowed_text}"
+            ),
+            snippet=context.snippet(edge.lineno),
+        )
+
+    def _check_cycles(self, project: ProjectContext) -> Iterator[Finding]:
+        """One finding per runtime import cycle that crosses layers,
+        anchored at the lexicographically first module's offending
+        import.  Cycles *within* one layer are tolerated: deferred
+        registry imports (a package ``__init__``/plugin loader pulling
+        in its own rule modules) are a standard idiom and invisible to
+        the architecture diagram."""
+        from repro.analysis.graph import ImportGraph
+
+        runtime = [e for e in project.import_graph.edges if not e.type_only]
+        runtime_graph = ImportGraph(runtime)
+        for component in runtime_graph.sccs():
+            if len(component) < 2:
+                continue
+            layers = {project.layer_of(m) for m in component}
+            if len(layers) < 2:
+                continue
+            members = set(component)
+            anchor = next(
+                (
+                    e for e in runtime
+                    if e.importer == component[0] and e.imported in members
+                ),
+                None,
+            )
+            if anchor is None:
+                continue
+            context = project.modules.get(anchor.importer)
+            if context is None:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=context.path,
+                line=anchor.lineno,
+                col=0,
+                message=(
+                    "runtime import cycle: "
+                    + " <-> ".join(component)
+                ),
+                snippet=context.snippet(anchor.lineno),
+            )

@@ -1,0 +1,238 @@
+"""RL102: telemetry purity — "read-only by construction", proved.
+
+The observability invariant (``docs/observability.md``) is that a run
+with telemetry on makes byte-identical decisions to a run with it
+off.  Dynamic trace-identity tests check that for the paths fixtures
+exercise; this rule checks it for *every* path: starting from the
+telemetry entry points it walks the call graph and flags any reachable
+function whose effect summary (:mod:`repro.analysis.effects`) mutates
+external state — parameters (the engine/GP/ledger objects and event
+payloads handed to telemetry), globals, imported-module state, or
+receivers the analysis cannot classify.  Telemetry mutating its *own*
+objects (``self``-rooted effects: appending to a span list, bumping a
+counter) is its job and is not flagged.
+
+Entry points are checked-in data (:data:`DEFAULT_ENTRY_POINTS`) plus
+every sink class the analyzer sees subscribed via ``*.subscribe(...)``
+— so a mutating sink is rejected even though sink fan-out
+(``sink(event)``) is a dynamic call the graph cannot resolve.
+
+:func:`certify_entry_points` exposes the same analysis as a
+certification report (``repro lint --deep --certify``): for each entry
+point, how many functions are reachable and whether all of them are
+externally pure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping, Sequence
+
+from repro.analysis.findings import Finding, inline_suppressions
+from repro.analysis.graph import ProjectContext, _dotted_name
+from repro.analysis.rules import ProjectRule, register_project
+
+__all__ = [
+    "DEFAULT_ENTRY_POINTS",
+    "TelemetryPurityRule",
+    "certify_entry_points",
+]
+
+#: Telemetry entry points: ``module:Class`` (every method) or
+#: ``module:Class.method`` / ``module:function``.  Absent modules are
+#: skipped, so the default list is harmless when linting other trees.
+DEFAULT_ENTRY_POINTS: tuple[str, ...] = (
+    "repro.obs.bus:EventBus",
+    "repro.obs.decisions:DecisionLog",
+    "repro.obs.fleet:FleetLog",
+    "repro.obs.metrics:Counter",
+    "repro.obs.metrics:Gauge",
+    "repro.obs.metrics:Histogram",
+    "repro.obs.metrics:MetricsRegistry",
+    "repro.obs.recorder:RunRecorder",
+    "repro.obs.stream:TraceStreamWriter",
+    "repro.obs.tracer:RecordingTracer",
+    "repro.obs.watchdog:Watchdog",
+)
+
+#: How many call-chain hops a finding message spells out.
+_CHAIN_LIMIT = 4
+
+
+def resolve_entry_functions(
+    project: ProjectContext, entry_points: Sequence[str]
+) -> dict[str, list[str]]:
+    """``{entry_spec: [function keys]}`` for the specs present in the
+    project (class specs expand to every method)."""
+    graph = project.call_graph
+    resolved: dict[str, list[str]] = {}
+    for spec in entry_points:
+        if spec in graph.functions:
+            resolved[spec] = [spec]
+            continue
+        cls = graph.classes.get(spec)
+        if cls is not None:
+            resolved[spec] = sorted(set(cls.methods.values()))
+    return resolved
+
+
+def detect_subscribed_sinks(project: ProjectContext) -> dict[str, list[str]]:
+    """Sink classes passed to any ``*.subscribe(...)`` call.
+
+    Returns ``{"subscribed:<class key>": [method keys]}``.  The
+    argument is resolved when it is a direct constructor call or a
+    name assigned from one in the same module; dynamic wiring stays
+    invisible (documented soundness limit).
+    """
+    graph = project.call_graph
+    out: dict[str, list[str]] = {}
+    for module, context in sorted(project.modules.items()):
+        constructed: dict[str, str] = {}
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                dotted = _dotted_name(node.value.func)
+                if dotted is None:
+                    continue
+                key = graph.resolve_qualified(
+                    context, module, dotted, want="class"
+                )
+                if key is not None:
+                    constructed[node.targets[0].id] = key
+        for node in ast.walk(context.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "subscribe"
+                and len(node.args) == 1
+            ):
+                continue
+            arg = node.args[0]
+            cls_key: str | None = None
+            if isinstance(arg, ast.Call):
+                dotted = _dotted_name(arg.func)
+                if dotted is not None:
+                    cls_key = graph.resolve_qualified(
+                        context, module, dotted, want="class"
+                    )
+            elif isinstance(arg, ast.Name):
+                cls_key = constructed.get(arg.id)
+            if cls_key is None:
+                continue
+            cls = graph.classes.get(cls_key)
+            if cls is not None:
+                out[f"subscribed:{cls_key}"] = sorted(
+                    set(cls.methods.values())
+                )
+    return out
+
+
+def _entry_map(project: ProjectContext) -> dict[str, list[str]]:
+    configured = project.config.get("entry_points", DEFAULT_ENTRY_POINTS)
+    assert isinstance(configured, (list, tuple))
+    entries = resolve_entry_functions(
+        project, [str(s) for s in configured]
+    )
+    entries.update(detect_subscribed_sinks(project))
+    return entries
+
+
+def _suppressed_at(
+    project: ProjectContext, module: str, lineno: int
+) -> bool:
+    """True when the mutation's source line suppresses RL102 inline —
+    the certificate honours the same justified exceptions the lint
+    path does (e.g. the tracer's documented ``span.end`` write)."""
+    context = project.modules.get(module)
+    if context is None:
+        return False
+    disabled = inline_suppressions(context.snippet(lineno))
+    return "RL102" in disabled or "all" in disabled
+
+
+def certify_entry_points(
+    project: ProjectContext,
+    entry_points: Sequence[str] | None = None,
+) -> list[dict[str, object]]:
+    """Purity certificate per entry point, for ``--certify`` and tests.
+
+    Each row: ``entry`` (the spec), ``functions`` (reachable count),
+    ``pure`` (no reachable external mutation), ``violations`` (the
+    offending ``function key -> mutation`` descriptions).
+    """
+    if entry_points is not None:
+        entries = resolve_entry_functions(project, entry_points)
+    else:
+        entries = _entry_map(project)
+    graph = project.call_graph
+    effects = project.effects
+    rows: list[dict[str, object]] = []
+    for spec, roots in sorted(entries.items()):
+        parents = graph.reachable(roots)
+        violations = [
+            f"{key}: {mutation.desc}"
+            for key in sorted(parents)
+            for mutation in effects.effects_of(key).external
+            if not _suppressed_at(
+                project, graph.functions[key].module, mutation.lineno
+            )
+        ]
+        rows.append({
+            "entry": spec,
+            "functions": len(parents),
+            "pure": not violations,
+            "violations": violations,
+        })
+    return rows
+
+
+@register_project
+class TelemetryPurityRule(ProjectRule):
+    rule_id = "RL102"
+    title = "function reachable from telemetry mutates external state"
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.call_graph
+        effects = project.effects
+        entries = _entry_map(project)
+        # walk all entry points in one reachability pass per entry so
+        # each finding can name a concrete chain; de-duplicate by
+        # mutation site (the first entry reaching it reports it)
+        reported: set[tuple[str, int, int, str]] = set()
+        for spec, roots in sorted(entries.items()):
+            parents = graph.reachable(roots)
+            for key in sorted(parents):
+                fn = graph.functions[key]
+                context = project.modules.get(fn.module)
+                if context is None:
+                    continue
+                for mutation in effects.effects_of(key).external:
+                    site = (
+                        fn.module, mutation.lineno, mutation.col,
+                        mutation.desc,
+                    )
+                    if site in reported:
+                        continue
+                    reported.add(site)
+                    chain = graph.chain(parents, key)
+                    shown = chain[:_CHAIN_LIMIT]
+                    chain_text = " -> ".join(shown) + (
+                        " -> ..." if len(chain) > len(shown) else ""
+                    )
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        path=context.path,
+                        line=mutation.lineno,
+                        col=mutation.col,
+                        message=(
+                            f"telemetry writes external state "
+                            f"({mutation.root_kind} `{mutation.root}`): "
+                            f"{mutation.desc}; reachable from entry "
+                            f"`{spec}` via {chain_text}"
+                        ),
+                        snippet=context.snippet(mutation.lineno),
+                    )

@@ -12,15 +12,21 @@ from __future__ import annotations
 import abc
 import ast
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.analysis.findings import Finding
 
+if TYPE_CHECKING:
+    from repro.analysis.graph import ProjectContext
+
 __all__ = [
+    "ALL_PROJECT_RULES",
     "ALL_RULES",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "register",
+    "register_project",
     "rule_by_id",
 ]
 
@@ -165,15 +171,51 @@ def register(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
-def rule_by_id(rule_id: str) -> Rule:
-    """Look up a registered rule.
+class ProjectRule(abc.ABC):
+    """One whole-program rule, run only under ``repro lint --deep``.
+
+    Unlike :class:`Rule`, a project rule sees every analyzed module at
+    once through a :class:`~repro.analysis.graph.ProjectContext` and
+    may consult the import graph, call graph and effect summaries.
+    Findings it yields flow through the same suppression, baseline and
+    fingerprint machinery as module-rule findings.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+
+    @abc.abstractmethod
+    def check(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield findings for the whole project."""
+
+
+#: Registry of project-rule instances, in rule-id order.
+ALL_PROJECT_RULES: list[ProjectRule] = []
+
+
+def register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding a project rule to the deep registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    known = {r.rule_id for r in ALL_RULES} | {
+        r.rule_id for r in ALL_PROJECT_RULES
+    }
+    if cls.rule_id in known:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    ALL_PROJECT_RULES.append(cls())
+    ALL_PROJECT_RULES.sort(key=lambda r: r.rule_id)
+    return cls
+
+
+def rule_by_id(rule_id: str) -> "Rule | ProjectRule":
+    """Look up a registered rule (module or project family).
 
     Raises
     ------
     KeyError
         If no rule with that id is registered.
     """
-    for rule in ALL_RULES:
+    for rule in (*ALL_RULES, *ALL_PROJECT_RULES):
         if rule.rule_id == rule_id:
             return rule
     raise KeyError(f"unknown rule {rule_id!r}")
@@ -184,4 +226,16 @@ def _load_builtin_rules() -> None:
     from repro.analysis import comparisons, determinism, hygiene, units  # noqa: F401
 
 
+def _load_project_rules() -> None:
+    """Import the deep (whole-program) rule modules.
+
+    Kept separate from :func:`_load_builtin_rules` because these
+    modules import :mod:`repro.analysis.graph`, which itself imports
+    this module — deferring past module initialisation keeps the
+    import cycle harmless.
+    """
+    from repro.analysis import layering, purity, taint  # noqa: F401
+
+
 _load_builtin_rules()
+_load_project_rules()

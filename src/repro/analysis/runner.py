@@ -12,37 +12,44 @@ Inline suppression syntax (same line as the finding)::
 Multiple ids separate with commas; ``disable=all`` suppresses every
 rule on that line.  Inline suppressions are for *intentional,
 self-documenting* exceptions; systematic debt belongs in the baseline
-file where it carries a justification.
+file where it carries a justification.  A suppression naming a rule id
+that does not exist is reported as a warning — it would otherwise rot
+silently when a rule is renamed.
+
+Deep mode (``repro lint --deep``) parses every file once, assembles a
+:class:`~repro.analysis.graph.ProjectContext` from the retained module
+contexts, and runs the registered
+:class:`~repro.analysis.rules.ProjectRule` families (RL101 layering,
+RL102 telemetry purity, RL103 determinism taint) over the whole
+program.  Their findings merge into the per-file stream before
+occurrence numbering, so fingerprints, inline suppressions and the
+baseline treat them exactly like module-rule findings.
 """
 
 from __future__ import annotations
 
-import re
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.findings import Finding
-from repro.analysis.rules import ALL_RULES, ModuleContext, Rule
+from repro.analysis.findings import Finding, SUPPRESS_RE, inline_suppressions
+from repro.analysis.rules import (
+    ALL_PROJECT_RULES,
+    ALL_RULES,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+)
 
 __all__ = ["AnalysisReport", "Analyzer", "analyze_paths"]
 
 #: ``--format json`` schema version; bump on breaking output changes.
-REPORT_SCHEMA_VERSION = 1
+#: v2: added top-level ``warnings`` (unknown suppression rule ids).
+REPORT_SCHEMA_VERSION = 2
 
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)"
-)
-
-
-def _inline_suppressions(line: str) -> set[str]:
-    """Rule ids suppressed by an inline comment on ``line``."""
-    match = _SUPPRESS_RE.search(line)
-    if not match:
-        return set()
-    return {part.strip() for part in match.group(1).split(",") if part.strip()}
+_inline_suppressions = inline_suppressions
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,6 +61,7 @@ class AnalysisReport:
     baselined: tuple[Finding, ...]
     n_files: int
     errors: tuple[str, ...] = field(default=())
+    warnings: tuple[str, ...] = field(default=())
 
     @property
     def clean(self) -> bool:
@@ -79,11 +87,13 @@ class AnalysisReport:
             },
             "findings": [f.to_dict() for f in self.findings],
             "errors": list(self.errors),
+            "warnings": list(self.warnings),
         }
 
     def render_text(self) -> str:
         """Human-readable report."""
         lines = [f.render() for f in self.findings]
+        lines.extend(f"warning: {w}" for w in self.warnings)
         lines.extend(f"error: {e}" for e in self.errors)
         by_rule = ", ".join(
             f"{rule}: {n}" for rule, n in self.counts_by_rule().items()
@@ -109,19 +119,36 @@ class Analyzer:
     Parameters
     ----------
     rules:
-        Rules to run; defaults to the full registry.
+        Rules to run — :class:`Rule` and/or :class:`ProjectRule`
+        instances.  Defaults to the module-rule registry, plus the
+        project-rule registry when ``deep`` is set.  Passing any
+        project rule explicitly enables deep analysis for it.
     baseline:
         Baseline suppressions; defaults to empty.
+    deep:
+        Run whole-program (project) rules as well.
+    project_config:
+        Per-run configuration handed to project rules via
+        ``ProjectContext.config`` (e.g. a ``--layers`` spec override).
     """
 
     def __init__(
         self,
-        rules: Sequence[Rule] | None = None,
+        rules: Sequence[Rule | ProjectRule] | None = None,
         *,
         baseline: Baseline | None = None,
+        deep: bool = False,
+        project_config: Mapping[str, object] | None = None,
     ) -> None:
-        self.rules = list(rules) if rules is not None else list(ALL_RULES)
+        if rules is None:
+            rules = [
+                *ALL_RULES,
+                *(ALL_PROJECT_RULES if deep else ()),
+            ]
+        self.rules = [r for r in rules if isinstance(r, Rule)]
+        self.project_rules = [r for r in rules if isinstance(r, ProjectRule)]
         self.baseline = baseline if baseline is not None else Baseline()
+        self.project_config = dict(project_config or {})
 
     # -- discovery -----------------------------------------------------------
     @staticmethod
@@ -143,17 +170,28 @@ class Analyzer:
     def analyze_source(
         self, path: str, source: str
     ) -> tuple[list[Finding], list[Finding]]:
-        """Lint one module's source.
+        """Lint one module's source with the module rules.
 
         Returns ``(live, inline_suppressed)`` findings, each with
         occurrence indices assigned (baseline filtering happens in
         :meth:`run`).
         """
         context = ModuleContext.parse(path, source)
+        return self._finalize(context, self._module_findings(context))
+
+    def _module_findings(self, context: ModuleContext) -> list[Finding]:
         raw: list[Finding] = []
         for rule in self.rules:
-            if rule.applies_to(path):
+            if rule.applies_to(context.path):
                 raw.extend(rule.check(context))
+        return raw
+
+    @staticmethod
+    def _finalize(
+        context: ModuleContext, raw: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Sort, occurrence-number and suppression-split one file's
+        findings."""
         raw.sort(key=lambda f: (f.line, f.col, f.rule_id))
         # occurrence-number duplicates so fingerprints are unique
         seen: Counter[tuple[str, str]] = Counter()
@@ -164,33 +202,70 @@ class Analyzer:
             seen[key] += 1
         live, suppressed = [], []
         for finding in numbered:
-            disabled = _inline_suppressions(context.snippet(finding.line))
+            disabled = inline_suppressions(context.snippet(finding.line))
             if finding.rule_id in disabled or "all" in disabled:
                 suppressed.append(finding)
             else:
                 live.append(finding)
         return live, suppressed
 
+    def _suppression_warnings(self, context: ModuleContext) -> list[str]:
+        """Warn on suppression comments naming unregistered rule ids."""
+        known = {r.rule_id for r in (*ALL_RULES, *ALL_PROJECT_RULES)}
+        known.add("all")
+        warnings = []
+        for lineno, line in enumerate(context.lines, start=1):
+            if not SUPPRESS_RE.search(line):
+                continue
+            for rule_id in sorted(inline_suppressions(line) - known):
+                warnings.append(
+                    f"{context.path}:{lineno}: suppression names unknown "
+                    f"rule id {rule_id!r} (it has no effect)"
+                )
+        return warnings
+
     def run(self, paths: Iterable[str | Path]) -> AnalysisReport:
         """Lint ``paths`` (files or directories) into a report."""
         files, errors = self.discover(paths)
-        live_all: list[Finding] = []
-        suppressed_all: list[Finding] = []
+        warnings: list[str] = []
+        contexts: dict[str, ModuleContext] = {}
+        raw_by_path: dict[str, list[Finding]] = {}
         for file in files:
             try:
                 source = file.read_text()
             except OSError as exc:
                 errors.append(f"cannot read {file}: {exc}")
                 continue
+            path = file.as_posix()
             try:
-                live, suppressed = self.analyze_source(
-                    file.as_posix(), source
-                )
+                context = ModuleContext.parse(path, source)
             except SyntaxError as exc:
                 errors.append(f"cannot parse {file}: {exc}")
                 continue
+            contexts[path] = context
+            raw_by_path[path] = self._module_findings(context)
+            warnings.extend(self._suppression_warnings(context))
+
+        if self.project_rules and contexts:
+            from repro.analysis.graph import ProjectContext
+
+            project = ProjectContext.from_contexts(
+                contexts.values(), config=self.project_config
+            )
+            for rule in self.project_rules:
+                for finding in rule.check(project):
+                    raw_by_path.setdefault(finding.path, []).append(finding)
+
+        live_all: list[Finding] = []
+        suppressed_all: list[Finding] = []
+        for path in sorted(raw_by_path):
+            context = contexts.get(path)
+            if context is None:
+                continue
+            live, suppressed = self._finalize(context, raw_by_path[path])
             live_all.extend(live)
             suppressed_all.extend(suppressed)
+
         baselined = [f for f in live_all if self.baseline.suppresses(f)]
         remaining = [f for f in live_all if not self.baseline.suppresses(f)]
         return AnalysisReport(
@@ -199,14 +274,22 @@ class Analyzer:
             baselined=tuple(baselined),
             n_files=len(files),
             errors=tuple(errors),
+            warnings=tuple(warnings),
         )
 
 
 def analyze_paths(
     paths: Iterable[str | Path],
     *,
-    rules: Sequence[Rule] | None = None,
+    rules: Sequence[Rule | ProjectRule] | None = None,
     baseline: Baseline | None = None,
+    deep: bool = False,
+    project_config: Mapping[str, object] | None = None,
 ) -> AnalysisReport:
     """Convenience wrapper: build an :class:`Analyzer` and run it."""
-    return Analyzer(rules, baseline=baseline).run(paths)
+    return Analyzer(
+        rules,
+        baseline=baseline,
+        deep=deep,
+        project_config=project_config,
+    ).run(paths)

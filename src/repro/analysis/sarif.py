@@ -1,0 +1,110 @@
+"""SARIF 2.1.0 export for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is the schema
+GitHub code scanning ingests: CI exports the report with ``--format
+sarif`` and uploads it via ``github/codeql-action/upload-sarif``, so
+findings annotate the offending lines in pull requests.
+
+The document carries one run with the full rule catalogue in
+``tool.driver.rules`` and one result per live finding.  Each result's
+``partialFingerprints`` embeds the finding's line-drift-tolerant
+fingerprint (the same identity the baseline uses), so code scanning
+tracks a finding across unrelated edits exactly like the baseline
+does.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.rules import ALL_PROJECT_RULES, ALL_RULES
+from repro.analysis.runner import AnalysisReport
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "report_to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "repro-lint"
+#: rule documentation shipped with the repo
+_INFO_URI = "docs/static-analysis.md"
+
+
+def _rule_catalogue() -> list[dict[str, Any]]:
+    return [
+        {
+            "id": rule.rule_id,
+            "name": rule.__class__.__name__,
+            "shortDescription": {"text": rule.title},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in (*ALL_RULES, *ALL_PROJECT_RULES)
+    ]
+
+
+def report_to_sarif(report: AnalysisReport) -> dict[str, Any]:
+    """The SARIF 2.1.0 document for one analyzer report.
+
+    Live findings become ``error``-level results; baselined and
+    inline-suppressed findings are omitted (they are audited debt, not
+    alerts).  File-level errors surface as tool notifications.
+    """
+    rule_ids = [r["id"] for r in _rule_catalogue()]
+    results = []
+    for finding in report.findings:
+        results.append({
+            "ruleId": finding.rule_id,
+            "ruleIndex": (
+                rule_ids.index(finding.rule_id)
+                if finding.rule_id in rule_ids else -1
+            ),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                        "snippet": {"text": finding.snippet},
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "reproLintFingerprint/v1": finding.fingerprint,
+            },
+        })
+    notifications = [
+        {"level": "error", "message": {"text": error}}
+        for error in report.errors
+    ] + [
+        {"level": "warning", "message": {"text": warning}}
+        for warning in report.warnings
+    ]
+    run: dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": _TOOL_NAME,
+                "informationUri": _INFO_URI,
+                "rules": _rule_catalogue(),
+            },
+        },
+        "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+        "results": results,
+    }
+    if notifications:
+        run["invocations"] = [{
+            "executionSuccessful": not report.errors,
+            "toolExecutionNotifications": notifications,
+        }]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }

@@ -1,0 +1,604 @@
+"""RL103: determinism taint tracking.
+
+Values originating from nondeterministic sources are *tainted* and
+tracked through assignments, arithmetic, containers, attribute state
+and function returns.  A finding fires when a tainted value flows
+into a sink:
+
+**Sources** (each taint remembers its label and origin site)
+
+- ``wall-clock`` — ``time.time()``, ``datetime.now()``-family;
+- ``wall-duration`` — ``time.perf_counter()`` / ``time.monotonic()``
+  (allowed by RL001 for measurement; tainted here because the *flow*
+  into ordered streams or decisions is what breaks reproducibility);
+- ``rng`` — ``random.*`` and global ``numpy.random.*`` draws (seeded
+  generator objects are fine and not tracked);
+- ``id`` — ``id()``; CPython address-dependent;
+- ``env`` — ``os.environ`` / ``os.getenv``;
+- ``unordered`` / ``set-order`` — a ``set``/``frozenset`` value
+  carries the (latent) ``unordered`` label; it upgrades to
+  ``set-order`` — the label sinks actually flag — only when iteration
+  order is *observed*: looping over the set, converting it to a
+  sequence, or passing it to an unknown function.  Order-insensitive
+  uses (membership tests, ``len``/``min``/``max``/``sum``, equality)
+  never taint, so holding a set in decision state is fine; feeding
+  its iteration order into decisions or traces is not.
+
+A *reference* to a source function (``clock = time.monotonic``) taints
+the name too; calling a tainted callable yields its labels — this is
+how a wall-clock default smuggled through ``self._clock`` is caught.
+
+**Sanitizers** — ``sorted()`` erases ``unordered`` (the order is now
+defined); order-insensitive folds (``min``/``max``/``sum``/``len``/
+``any``/``all``) erase it as well.  Nothing erases the other labels.
+
+**Sinks**
+
+- trace serialization: record constructors (``BusEvent``, ``Span``,
+  ``FleetEvent``, ``DecisionRecord``, ``CandidateRecord``,
+  ``ProgressEvent``), ``*.publish(...)``, metric writes
+  (``inc``/``observe``/``Gauge.set``), span attributes, and
+  ``json.dumps``;
+- decision paths: in the decision layers (``core``, ``baselines``,
+  ``mlcd``, ``sim``, ``cloud``) — returning a tainted value,
+  branching on one, or storing one into object state.
+
+Suppressing RL103 on the *source* line kills every downstream finding
+of that value (one justified comment at the origin instead of one per
+flow).  Soundness limits — no taint through container elements, no
+parameter taint into callees — are documented in
+``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.analysis.findings import Finding, inline_suppressions
+from repro.analysis.graph import (
+    CallGraph,
+    FunctionNode,
+    ProjectContext,
+    _dotted_name,
+    _walk_own_body,
+)
+from repro.analysis.rules import ModuleContext, ProjectRule, register_project
+
+__all__ = [
+    "DECISION_LAYERS",
+    "DeterminismTaintRule",
+    "SINK_METHOD_NAMES",
+    "SINK_RECORD_CLASSES",
+    "SOURCE_CALLS",
+    "Taint",
+]
+
+#: canonical dotted call → taint label
+SOURCE_CALLS: dict[str, str] = {
+    "time.time": "wall-clock",
+    "time.time_ns": "wall-clock",
+    "datetime.datetime.now": "wall-clock",
+    "datetime.datetime.utcnow": "wall-clock",
+    "datetime.datetime.today": "wall-clock",
+    "datetime.date.today": "wall-clock",
+    "time.perf_counter": "wall-duration",
+    "time.perf_counter_ns": "wall-duration",
+    "time.monotonic": "wall-duration",
+    "time.monotonic_ns": "wall-duration",
+    "time.process_time": "wall-duration",
+    "time.thread_time": "wall-duration",
+    "os.getenv": "env",
+    "os.environ.get": "env",
+    "uuid.uuid1": "wall-clock",
+    "uuid.uuid4": "rng",
+}
+
+#: value expressions (not calls) that are tainted when referenced
+SOURCE_ATTRIBUTES: dict[str, str] = {
+    "os.environ": "env",
+}
+
+#: ``random.<name>`` draws on the shared global generator
+_RANDOM_DRAWS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "shuffle",
+    "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+})
+
+#: ``numpy.random.<name>`` exceptions that are deterministic plumbing
+_NUMPY_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
+    "MT19937", "SFC64", "RandomState",
+})
+
+#: record constructors whose fields end up in trace artifacts
+SINK_RECORD_CLASSES = frozenset({
+    "BusEvent", "Span", "FleetEvent", "DecisionRecord", "CandidateRecord",
+    "ProgressEvent",
+})
+
+#: method names that serialise their arguments into telemetry streams
+SINK_METHOD_NAMES = frozenset({
+    "publish", "observe", "inc", "set_attribute",
+})
+
+#: resolved dotted calls that serialise their arguments
+SINK_CALLS = frozenset({"json.dumps", "json.dump"})
+
+#: layers whose control flow and state are the paper's decision paths
+DECISION_LAYERS = frozenset({"baselines", "cloud", "core", "mlcd", "sim"})
+
+#: order-insensitive folds: consuming an unordered iterable is fine
+_ORDER_INSENSITIVE = frozenset({
+    "all", "any", "frozenset", "len", "max", "min", "set", "sum",
+})
+
+_EMPTY: frozenset["Taint"] = frozenset()
+_MAX_ROUNDS = 20
+
+#: latent label on set values; not flagged at sinks by itself
+UNORDERED = "unordered"
+#: flagged label: a value that depends on set iteration order
+SET_ORDER = "set-order"
+
+
+@dataclass(frozen=True, slots=True)
+class Taint:
+    """One taint fact: what kind of nondeterminism, introduced where."""
+
+    label: str
+    origin_module: str
+    origin_line: int
+
+    def describe(self) -> str:
+        return f"{self.label} from {self.origin_module}:{self.origin_line}"
+
+
+def _strip_unordered(taints: frozenset[Taint]) -> frozenset[Taint]:
+    return frozenset(
+        t for t in taints if t.label not in (UNORDERED, SET_ORDER)
+    )
+
+
+def _strip_latent(taints: frozenset[Taint]) -> frozenset[Taint]:
+    """Drop the latent ``unordered`` label (keeps ``set-order``)."""
+    return frozenset(t for t in taints if t.label != UNORDERED)
+
+
+def _observe_order(taints: frozenset[Taint]) -> frozenset[Taint]:
+    """Iteration order observed: latent ``unordered`` → ``set-order``."""
+    return frozenset(
+        Taint(SET_ORDER, t.origin_module, t.origin_line)
+        if t.label == UNORDERED else t
+        for t in taints
+    )
+
+
+class _TaintState:
+    """Cross-function fixed-point state shared by evaluator passes."""
+
+    def __init__(self) -> None:
+        self.returns: dict[str, frozenset[Taint]] = {}
+        self.attrs: dict[tuple[str, str], frozenset[Taint]] = {}
+        self.module_globals: dict[tuple[str, str], frozenset[Taint]] = {}
+        self.changed = False
+
+    def merge_return(self, key: str, taints: frozenset[Taint]) -> None:
+        self._merge(self.returns, key, taints)
+
+    def merge_attr(
+        self, cls_key: str, attr: str, taints: frozenset[Taint]
+    ) -> None:
+        self._merge(self.attrs, (cls_key, attr), taints)
+
+    def merge_global(
+        self, module: str, name: str, taints: frozenset[Taint]
+    ) -> None:
+        self._merge(self.module_globals, (module, name), taints)
+
+    def _merge(self, table, key, taints: frozenset[Taint]) -> None:
+        if not taints:
+            return
+        merged = table.get(key, _EMPTY) | taints
+        if merged != table.get(key, _EMPTY):
+            table[key] = merged
+            self.changed = True
+
+
+class _Evaluator:
+    """Forward taint interpreter over one function (or module) body."""
+
+    def __init__(
+        self,
+        rule: "DeterminismTaintRule",
+        project: ProjectContext,
+        state: _TaintState,
+        module: str,
+        context: ModuleContext,
+        fn: FunctionNode | None,
+        *,
+        collect: bool,
+    ) -> None:
+        self.rule = rule
+        self.project = project
+        self.graph: CallGraph = project.call_graph
+        self.state = state
+        self.module = module
+        self.context = context
+        self.fn = fn
+        self.collect = collect
+        self.findings: list[Finding] = []
+        self.env: dict[str, frozenset[Taint]] = {}
+        self.in_decision_layer = (
+            fn is not None
+            and project.layer_of(module) in rule.decision_layers(project)
+        )
+        self._sites = {
+            id(site.node): site
+            for site in (self.graph.calls_from(fn.key) if fn else ())
+        }
+        self._flagged_lines: set[int] = set()
+
+    # -- drive ---------------------------------------------------------------
+    def run(self) -> None:
+        body = (
+            list(self.fn.node.body) if self.fn is not None
+            else [
+                stmt for stmt in self.context.tree.body
+                if not isinstance(
+                    stmt,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                )
+            ]
+        )
+        self._exec_block(body)
+
+    def _exec_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign):
+            taints = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, taints)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self.eval(stmt.value) | self._load_target(stmt.target)
+            self._assign(stmt.target, taints)
+        elif isinstance(stmt, ast.Return):
+            taints = self.eval(stmt.value) if stmt.value else _EMPTY
+            if self.fn is not None:
+                self.state.merge_return(self.fn.key, taints)
+            if taints and self.in_decision_layer:
+                self._flag(
+                    stmt, taints,
+                    "tainted value returned from a decision-layer function",
+                )
+        elif isinstance(stmt, (ast.If, ast.While)):
+            taints = self.eval(stmt.test)
+            if taints and self.in_decision_layer:
+                self._flag(
+                    stmt, taints,
+                    "decision-layer branch condition depends on a tainted "
+                    "value",
+                )
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taints = _observe_order(self.eval(stmt.iter))
+            self._assign(stmt.target, iter_taints, store_sinks=False)
+            # two passes to stabilise loop-carried taint
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, taints)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    # -- assignment ----------------------------------------------------------
+    def _assign(
+        self,
+        target: ast.expr,
+        taints: frozenset[Taint],
+        *,
+        store_sinks: bool = True,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taints
+            if self.fn is None:
+                self.state.merge_global(self.module, target.id, taints)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, taints, store_sinks=store_sinks)
+            return
+        if isinstance(target, ast.Starred):
+            self._assign(target.value, taints, store_sinks=store_sinks)
+            return
+        if isinstance(target, ast.Attribute):
+            cls_attr = self._self_attr(target)
+            if cls_attr is not None:
+                self.state.merge_attr(*cls_attr, taints)
+            if taints and store_sinks and self.in_decision_layer:
+                self._flag(
+                    target, taints,
+                    "tainted value stored into decision-layer object state",
+                )
+
+    def _load_target(self, target: ast.expr) -> frozenset[Taint]:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id, _EMPTY)
+        return self.eval(target) if isinstance(target, ast.expr) else _EMPTY
+
+    def _self_attr(self, node: ast.Attribute) -> tuple[str, str] | None:
+        fn = self.fn
+        if (
+            fn is not None
+            and fn.class_name is not None
+            and isinstance(node.value, ast.Name)
+            and node.value.id == fn.self_param
+        ):
+            return (f"{fn.module}:{fn.class_name}", node.attr)
+        return None
+
+    # -- expressions ---------------------------------------------------------
+    def eval(self, node: ast.expr | None) -> frozenset[Taint]:
+        if node is None:
+            return _EMPTY
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id) or self.state.module_globals.get(
+                (self.module, node.id), _EMPTY
+            )
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            inner = self._eval_children(node)
+            return inner | self._source(node, UNORDERED)
+        if isinstance(node, ast.Compare):
+            # membership / equality / ordering on a set value does not
+            # observe its iteration order
+            return _strip_latent(self._eval_children(node))
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.DictComp)):
+            return self._eval_children(node)
+        if isinstance(node, ast.Lambda):
+            return self.eval(node.body)
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        return self._eval_children(node)
+
+    def _eval_children(self, node: ast.AST) -> frozenset[Taint]:
+        taints: frozenset[Taint] = _EMPTY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                taints |= self.eval(child)
+            elif isinstance(child, ast.comprehension):
+                taints |= self.eval(child.iter)
+        return taints
+
+    def _eval_attribute(self, node: ast.Attribute) -> frozenset[Taint]:
+        dotted = _dotted_name(node)
+        if dotted is not None:
+            canonical = self._canonical(dotted)
+            if canonical in SOURCE_ATTRIBUTES:
+                return self._source(node, SOURCE_ATTRIBUTES[canonical])
+            if canonical is not None:
+                label = self._source_label(canonical)
+                if label is not None:  # bare reference to a source fn
+                    return self._source(node, label)
+        cls_attr = self._self_attr(node)
+        if cls_attr is not None:
+            return self.state.attrs.get(cls_attr, _EMPTY)
+        return self.eval(node.value)
+
+    def _eval_call(self, node: ast.Call) -> frozenset[Taint]:
+        arg_taints: frozenset[Taint] = _EMPTY
+        for arg in node.args:
+            arg_taints |= self.eval(
+                arg.value if isinstance(arg, ast.Starred) else arg
+            )
+        for keyword in node.keywords:
+            arg_taints |= self.eval(keyword.value)
+
+        func = node.func
+        # builtins with special meaning
+        if isinstance(func, ast.Name):
+            if func.id == "id":
+                return self._source(node, "id")
+            if func.id == "sorted":
+                return _strip_unordered(arg_taints)
+            if func.id in _ORDER_INSENSITIVE and func.id not in (
+                "set", "frozenset"
+            ):
+                return _strip_unordered(arg_taints)
+            if func.id in ("set", "frozenset"):
+                return arg_taints | self._source(node, UNORDERED)
+            if func.id in ("list", "tuple", "iter", "next"):
+                return _observe_order(arg_taints)
+
+        dotted = _dotted_name(func)
+        canonical = self._canonical(dotted) if dotted else None
+        if canonical is not None:
+            label = self._source_label(canonical)
+            if label is not None:
+                return self._source(node, label)
+            if canonical in SINK_CALLS:
+                self._check_sink(node, arg_taints, f"`{canonical}`")
+                return arg_taints
+
+        func_taints = self.eval(func)  # tainted callable → tainted result
+
+        # resolved project callee: returns summary
+        result = func_taints | arg_taints if func_taints else _EMPTY
+        site = self._sites.get(id(node))
+        callee_key = site.callee if site is not None else None
+        if callee_key is not None:
+            result |= self.state.returns.get(callee_key, _EMPTY)
+        else:
+            # unknown call: assume taint flows through — and that the
+            # callee may observe iteration order of set arguments
+            result |= _observe_order(arg_taints)
+        # constructor calls carry raw="new:<class key>" even when the
+        # class has a generated (dataclass) __init__ with no AST node
+        if site is not None and site.raw and site.raw.startswith("new:"):
+            cls_name = site.raw[len("new:"):].rsplit(":", 1)[-1].rsplit(
+                ".", 1
+            )[-1]
+            if cls_name in self.rule.record_classes(self.project):
+                self._check_sink(node, arg_taints, f"`{cls_name}(...)`")
+        if isinstance(func, ast.Attribute):
+            if func.attr in SINK_METHOD_NAMES:
+                self._check_sink(node, arg_taints, f"`.{func.attr}()`")
+            elif func.attr == "set" and self._is_obs_callee(callee_key):
+                self._check_sink(node, arg_taints, f"`.{func.attr}()`")
+        return result
+
+    def _is_obs_callee(self, callee_key: str | None) -> bool:
+        return callee_key is not None and callee_key.startswith("repro.obs.")
+
+    def _canonical(self, dotted: str) -> str | None:
+        """Canonicalise a dotted reference through the import tables."""
+        head, _, rest = dotted.partition(".")
+        if head in self.context.aliases:
+            base = self.context.aliases[head]
+        elif head in self.context.from_imports:
+            base = self.context.from_imports[head]
+        else:
+            return None
+        return f"{base}.{rest}" if rest else base
+
+    def _source_label(self, canonical: str) -> str | None:
+        if canonical in SOURCE_CALLS:
+            return SOURCE_CALLS[canonical]
+        module, _, name = canonical.rpartition(".")
+        if module == "random" and name in _RANDOM_DRAWS:
+            return "rng"
+        if module == "numpy.random" and name not in _NUMPY_RANDOM_OK:
+            return "rng"
+        return None
+
+    # -- sources & sinks -----------------------------------------------------
+    def _source(self, node: ast.AST, label: str) -> frozenset[Taint]:
+        """A fresh taint — unless the source line suppresses RL103."""
+        lineno = getattr(node, "lineno", 1)
+        disabled = inline_suppressions(self.context.snippet(lineno))
+        if self.rule.rule_id in disabled or "all" in disabled:
+            return _EMPTY
+        return frozenset({Taint(label, self.module, lineno)})
+
+    def _check_sink(
+        self, node: ast.AST, taints: frozenset[Taint], sink_desc: str
+    ) -> None:
+        if taints:
+            self._flag(
+                node, taints,
+                f"tainted value serialised into telemetry via {sink_desc}",
+            )
+
+    def _flag(
+        self, node: ast.AST, taints: frozenset[Taint], what: str
+    ) -> None:
+        if not self.collect:
+            return
+        taints = _strip_latent(taints)
+        if not taints:
+            return
+        lineno = getattr(node, "lineno", 1)
+        if lineno in self._flagged_lines:
+            return
+        self._flagged_lines.add(lineno)
+        origins = ", ".join(
+            sorted({t.describe() for t in taints})[:3]
+        )
+        self.findings.append(Finding(
+            rule_id=self.rule.rule_id,
+            path=self.context.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=f"{what} ({origins})",
+            snippet=self.context.snippet(lineno),
+        ))
+
+
+@register_project
+class DeterminismTaintRule(ProjectRule):
+    rule_id = "RL103"
+    title = "nondeterministic value flows into decisions or traces"
+
+    def decision_layers(self, project: ProjectContext) -> frozenset[str]:
+        configured = project.config.get("taint_decision_layers")
+        if configured is None:
+            return DECISION_LAYERS
+        assert isinstance(configured, (list, tuple, set, frozenset))
+        return frozenset(str(layer) for layer in configured)
+
+    def record_classes(self, project: ProjectContext) -> frozenset[str]:
+        configured = project.config.get("taint_record_classes")
+        if configured is None:
+            return SINK_RECORD_CLASSES
+        assert isinstance(configured, (list, tuple, set, frozenset))
+        return frozenset(str(name) for name in configured)
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        state = _TaintState()
+        # seed module-level globals, then iterate function summaries
+        # (returns + self-attr taint) to a fixed point
+        for _ in range(_MAX_ROUNDS):
+            state.changed = False
+            self._pass(project, state, collect=False)
+            if not state.changed:
+                break
+        for evaluator in self._pass(project, state, collect=True):
+            yield from evaluator.findings
+
+    def _pass(
+        self, project: ProjectContext, state: _TaintState, *, collect: bool
+    ) -> list[_Evaluator]:
+        evaluators: list[_Evaluator] = []
+        for module, context in sorted(project.modules.items()):
+            evaluator = _Evaluator(
+                self, project, state, module, context, None,
+                collect=collect,
+            )
+            evaluator.run()
+            if collect:
+                evaluators.append(evaluator)
+        graph = project.call_graph
+        for key in sorted(graph.functions):
+            fn = graph.functions[key]
+            context = project.modules.get(fn.module)
+            if context is None:
+                continue
+            evaluator = _Evaluator(
+                self, project, state, fn.module, context, fn,
+                collect=collect,
+            )
+            evaluator.run()
+            if collect:
+                evaluators.append(evaluator)
+        return evaluators

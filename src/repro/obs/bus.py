@@ -37,7 +37,6 @@ Design rules (shared with the rest of ``repro.obs``):
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -46,7 +45,21 @@ __all__ = [
     "BusEvent",
     "EventBus",
     "ProgressEvent",
+    "ZERO_CLOCK",
 ]
+
+
+def ZERO_CLOCK() -> float:
+    """Default bus timebase: always 0.0.
+
+    The previous default was ``time.monotonic``, which leaked
+    wall-clock readings into ``BusEvent.time`` — the ordered stream a
+    trace serialises — whenever a caller forgot to inject the
+    simulated clock (RL103 determinism taint).  A constant default
+    keeps an un-wired bus fully deterministic: ordering is carried by
+    ``seq``, and real runs always inject the simulated cloud clock.
+    """
+    return 0.0
 
 #: Event kinds published by the built-in instrumentation.
 BUS_EVENT_KINDS = (
@@ -145,13 +158,14 @@ class EventBus:
         Zero-argument callable returning the current time in seconds.
         Pass the simulated clock (``lambda: cloud.clock.now``) so
         event timestamps reconcile with billed time; defaults to
-        ``time.monotonic``.
+        :func:`ZERO_CLOCK` (constant 0.0) so an un-wired bus never
+        reads the wall clock — ``seq`` alone carries the ordering.
     """
 
     enabled: bool = True
 
     def __init__(self, *, clock: Callable[[], float] | None = None) -> None:
-        self._clock = clock if clock is not None else time.monotonic
+        self._clock = clock if clock is not None else ZERO_CLOCK
         self._sinks: list[Callable[[BusEvent], None]] = []
         self._seq = 0
         self._progress: list[BusEvent] = []
@@ -243,7 +257,7 @@ class _NoopBus(EventBus):
     enabled = False
 
     def __init__(self) -> None:
-        super().__init__(clock=lambda: 0.0)
+        super().__init__(clock=ZERO_CLOCK)
 
     def subscribe(self, sink: Callable[[BusEvent], None]) -> None:
         raise RuntimeError(

@@ -70,7 +70,7 @@ def _fmt(value: float | None, pattern: str = "{:.4g}") -> str:
 
 
 def _render_overview(trace: "SearchTrace") -> str:
-    from repro.experiments.reporting import format_table
+    from repro.textfmt import format_table
 
     fmt_limit = _constraint_formatter(trace)
     rows = []
@@ -167,7 +167,7 @@ def _candidate_rows(
 
 
 def _render_step(trace: "SearchTrace", record: "DecisionRecord") -> str:
-    from repro.experiments.reporting import format_table
+    from repro.textfmt import format_table
 
     fmt_limit = _constraint_formatter(trace)
     lines = [

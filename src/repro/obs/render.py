@@ -1,9 +1,10 @@
 """Pretty-printing for recorded traces (the ``repro trace`` command).
 
-Imports from :mod:`repro.experiments.reporting` happen lazily inside
-the functions: ``repro.experiments`` imports the whole system at
-package level, and the observability layer must stay importable from
-the bottom of the stack (``repro.core.engine`` imports ``repro.obs``).
+Formatting helpers come from :mod:`repro.textfmt`, the bottom-layer
+module shared with the experiment reports — the observability layer
+must stay importable from the bottom of the stack
+(``repro.core.engine`` imports ``repro.obs``) and may not depend on
+``repro.experiments`` (RL101).
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ __all__ = ["render_span_tree", "render_trace"]
 
 def render_trace(trace: "SearchTrace") -> str:
     """Per-step probe table plus run summary for one trace."""
-    from repro.experiments.reporting import (
+    from repro.textfmt import (
         format_dollars,
         format_hours,
         format_rate,

@@ -72,7 +72,7 @@ def render_comparison(
 
 
 def _render_markdown(traces: Sequence["SearchTrace"]) -> str:
-    from repro.experiments.reporting import format_dollars, format_hours
+    from repro.textfmt import format_dollars, format_hours
 
     rows = comparison_rows(traces)
     headers = [

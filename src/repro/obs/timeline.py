@@ -129,7 +129,7 @@ def _column(time: float, t0: float, t1: float, width: int) -> int:
 
 
 def _timeline_text(trace: "SearchTrace", *, width: int) -> str:
-    from repro.experiments.reporting import format_dollars, format_table
+    from repro.textfmt import format_dollars, format_table
 
     if width < 10:
         raise ValueError(f"width must be >= 10, got {width}")
@@ -207,7 +207,7 @@ def _pct(value: float, t0: float, t1: float) -> str:
 
 def _timeline_html(trace: "SearchTrace") -> str:
     """Self-contained HTML Gantt (inline CSS, no external assets)."""
-    from repro.experiments.reporting import format_dollars
+    from repro.textfmt import format_dollars
 
     rows = build_timeline(trace)
     t0, t1 = _time_bounds(trace)
@@ -352,7 +352,7 @@ def render_attribution(trace: "SearchTrace") -> str:
         If the trace has no fleet events, or none of them joined to a
         ledger entry (nothing to attribute).
     """
-    from repro.experiments.reporting import format_dollars, format_table
+    from repro.textfmt import format_dollars, format_table
 
     if not trace.fleet:
         raise ValueError(_NO_FLEET_MSG)

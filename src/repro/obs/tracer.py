@@ -9,7 +9,11 @@ later serialisation by :class:`~repro.obs.recorder.RunRecorder`.
 
 The tracer clock is injectable: search runs pass the simulated cloud
 clock (``lambda: cloud.clock.now``) so span timestamps reconcile with
-billed time; standalone use falls back to ``time.monotonic``.
+billed time; standalone use falls back to the constant
+:func:`~repro.obs.bus.ZERO_CLOCK` — never the wall clock.  The one
+deliberate wall-time measurement is ``Span.wall_seconds`` (recording
+overhead accounting, ``docs/performance.md``); canonical-trace
+comparisons strip it.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Iterator
 
-from repro.obs.bus import NOOP_BUS, EventBus
+from repro.obs.bus import NOOP_BUS, ZERO_CLOCK, EventBus
 from repro.obs.span import Span
 
 __all__ = ["NOOP_TRACER", "RecordingTracer", "Tracer"]
@@ -87,7 +91,9 @@ class _SpanContext:
         self._wall_start = 0.0
 
     def __enter__(self) -> Span:
-        self._wall_start = time.perf_counter()
+        # wall_seconds is the one intentional wall-time field: overhead
+        # accounting only, stripped from canonical-trace comparisons
+        self._wall_start = time.perf_counter()  # repro-lint: disable=RL103
         self._span = self._tracer._start(self._name, self._attributes)
         return self._span
 
@@ -96,7 +102,8 @@ class _SpanContext:
         if exc_type is not None:
             self._span.set_attribute("error", repr(exc))
         self._tracer._finish(
-            self._span, time.perf_counter() - self._wall_start
+            self._span,
+            time.perf_counter() - self._wall_start,  # repro-lint: disable=RL103
         )
         return False
 
@@ -109,7 +116,9 @@ class RecordingTracer(Tracer):
     clock:
         Zero-argument callable returning the current time in seconds.
         Pass the simulated clock (``lambda: cloud.clock.now``) when one
-        exists; defaults to ``time.monotonic``.
+        exists; defaults to :func:`~repro.obs.bus.ZERO_CLOCK` so an
+        un-wired tracer never stamps spans with wall-clock readings
+        (``wall_seconds`` is the one explicitly wall-time field).
     bus:
         Optional :class:`~repro.obs.bus.EventBus`.  When live, every
         span close publishes a ``span`` event (the completed payload) —
@@ -131,7 +140,7 @@ class RecordingTracer(Tracer):
         clock: Callable[[], float] | None = None,
         bus: EventBus = NOOP_BUS,
     ) -> None:
-        self._clock = clock if clock is not None else time.monotonic
+        self._clock = clock if clock is not None else ZERO_CLOCK
         self._bus = bus
         self._stack: list[Span] = []
         self._spans: list[Span] = []
@@ -168,8 +177,11 @@ class RecordingTracer(Tracer):
         return span
 
     def _finish(self, span: Span, wall_seconds: float) -> None:
-        span.end = self._clock()
-        span.wall_seconds = wall_seconds
+        # the span is tracer-owned state (created by _start, held in
+        # self._spans); it only *arrives* as a parameter because the
+        # context manager drives the lifecycle
+        span.end = self._clock()  # repro-lint: disable=RL102
+        span.wall_seconds = wall_seconds  # repro-lint: disable=RL102
         # tolerate out-of-order exits (exceptions unwinding): pop down
         # to and including this span
         while self._stack:

@@ -218,17 +218,20 @@ def _bench_gp_fit(seed: int, n_obs: int, repeats: int) -> dict[str, Any]:
     speeds = np.array([s for _, s in engine._observations])
     y = np.log2(np.maximum(speeds, 1e-3))
 
-    started = time.perf_counter()
+    # wall time IS the measurement here: the benchmark artifact exists
+    # to record it (docs/performance.md), so the RL103 wall-duration
+    # taint is suppressed at the source
+    started = time.perf_counter()  # repro-lint: disable=RL103
     for _ in range(repeats):
         gp.fit(X[:n_obs], y[:n_obs])
-    full_seconds = (time.perf_counter() - started) / repeats
+    full_seconds = (time.perf_counter() - started) / repeats  # repro-lint: disable=RL103
 
     rank1_total = 0.0
     for _ in range(repeats):
         gp.fit(X[:n_obs], y[:n_obs])  # reset to the n_obs-point state
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro-lint: disable=RL103
         gp.observe(X[n_obs], float(y[n_obs]))
-        rank1_total += time.perf_counter() - started
+        rank1_total += time.perf_counter() - started  # repro-lint: disable=RL103
     rank1_seconds = max(rank1_total / repeats, 1e-9)
     return {
         "n_observations": n_obs,
@@ -291,9 +294,10 @@ def _timed_search(
         fast_lane=fast_lane, gp_refit=gp_refit,
     )
     if not sinks:
-        started = time.perf_counter()
+        # benchmark harness: wall time is the quantity being measured
+        started = time.perf_counter()  # repro-lint: disable=RL103
         result = strategy.search(context)
-        return time.perf_counter() - started, result, recorder
+        return time.perf_counter() - started, result, recorder  # repro-lint: disable=RL103
 
     import tempfile
     from pathlib import Path
@@ -311,9 +315,9 @@ def _timed_search(
             registry_source(recorder.metrics)
         ).start()
         try:
-            started = time.perf_counter()
+            started = time.perf_counter()  # repro-lint: disable=RL103
             result = strategy.search(context)
-            elapsed = time.perf_counter() - started
+            elapsed = time.perf_counter() - started  # repro-lint: disable=RL103
         finally:
             server.stop()
             recorder.bus.unsubscribe(writer)

@@ -1,0 +1,76 @@
+"""Plain-text formatting helpers shared across layers.
+
+Benches print the same rows/series the paper's figures plot, and the
+observability reports (``repro.obs.report``/``render``/``explain``/
+``timeline``) render the same units; these helpers keep that output
+aligned and consistent.  The module sits at the bottom of the layer
+diagram (``docs/static-analysis.md``) so both ``obs`` and
+``experiments`` may depend on it without depending on each other —
+``repro.experiments.reporting`` re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "format_table",
+    "format_hours",
+    "format_dollars",
+    "format_rate",
+    "ratio",
+]
+
+
+def format_hours(seconds: float) -> str:
+    """Seconds → ``"12.34 h"``."""
+    return f"{seconds / 3600:.2f} h"
+
+
+def format_dollars(dollars: float) -> str:
+    """Dollars -> ``"$3.14"``."""
+    return f"${dollars:.2f}"
+
+
+def format_rate(samples_per_s: float) -> str:
+    """Training speed -> ``"123.4 samples/s"``."""
+    return f"{samples_per_s:.1f} samples/s"
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio used for the paper's "X×" improvement factors."""
+    if denominator <= 0:
+        raise ValueError(
+            f"ratio undefined for {numerator!r}/{denominator!r}: "
+            f"denominator must be positive"
+        )
+    return numerator / denominator
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned monospace table.
+
+    Cells are stringified with ``str``; numeric alignment is the
+    caller's job (pre-format floats).
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    str_rows = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = [fmt([str(h) for h in headers])]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)

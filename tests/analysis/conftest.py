@@ -1,0 +1,59 @@
+"""Shared fixtures for the deep-analysis (project-rule) tests.
+
+Project rules need real files on disk: ``module_name_for`` decides a
+file's dotted module name by climbing ``__init__.py`` parents, so the
+fixture writer materialises each tree under ``tmp_path`` with package
+markers filled in automatically.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.graph import ProjectContext
+from repro.analysis.rules import ModuleContext
+
+
+def _write_tree(root, files):
+    """Write ``{relative/path.py: source}`` under ``root``.
+
+    Every intermediate directory gets an ``__init__.py`` so the files
+    form an importable package tree (and thus get dotted module names).
+    """
+    paths = []
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        d = path.parent
+        while d != root:
+            marker = d / "__init__.py"
+            if not marker.exists():
+                marker.write_text("")
+            d = d.parent
+        path.write_text(textwrap.dedent(source))
+        paths.append(path)
+    return paths
+
+
+@pytest.fixture
+def write_tree(tmp_path):
+    def _write(files):
+        _write_tree(tmp_path, files)
+        return tmp_path
+
+    return _write
+
+
+@pytest.fixture
+def build_project(tmp_path):
+    """Write a fixture tree and assemble its :class:`ProjectContext`."""
+
+    def _build(files, config=None):
+        _write_tree(tmp_path, files)
+        contexts = [
+            ModuleContext.parse(p.as_posix(), p.read_text())
+            for p in sorted(tmp_path.rglob("*.py"))
+        ]
+        return ProjectContext.from_contexts(contexts, config=config)
+
+    return _build

@@ -11,8 +11,8 @@ DIRTY = "import time\nstamp = time.time()\n"
 
 @pytest.fixture
 def dirty_tree(tmp_path):
-    pkg = tmp_path / "core"
-    pkg.mkdir()
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
     (pkg / "dirty.py").write_text(DIRTY)
     (pkg / "clean.py").write_text("x = 1\n")
     return tmp_path
@@ -20,8 +20,8 @@ def dirty_tree(tmp_path):
 
 @pytest.fixture
 def clean_tree(tmp_path):
-    pkg = tmp_path / "core"
-    pkg.mkdir()
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
     (pkg / "clean.py").write_text("x = 1\n")
     return tmp_path
 
@@ -58,6 +58,13 @@ class TestExitCodes:
         for rule_id in ("RL001", "RL002", "RL003", "RL004"):
             assert rule_id in out
 
+    def test_list_rules_tags_deep_rules(self, capsys):
+        main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        for rule_id in ("RL101", "RL102", "RL103"):
+            [line] = [l for l in out.splitlines() if l.startswith(rule_id)]
+            assert "[deep]" in line
+
 
 class TestJsonFormat:
     def test_schema_is_stable(self, dirty_tree, capsys):
@@ -65,9 +72,9 @@ class TestJsonFormat:
             "lint", str(dirty_tree), "--format", "json", "--no-baseline",
         ]) == 1
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == 2
         assert set(doc) == {
-            "schema_version", "summary", "findings", "errors",
+            "schema_version", "summary", "findings", "errors", "warnings",
         }
         summary = doc["summary"]
         assert set(summary) == {
@@ -121,7 +128,7 @@ class TestBaselineFlow:
             "lint", str(dirty_tree), "--baseline", str(baseline),
             "--write-baseline",
         ])
-        (dirty_tree / "core" / "dirty.py").write_text("x = 2\n")
+        (dirty_tree / "repro" / "core" / "dirty.py").write_text("x = 2\n")
         main([
             "lint", str(dirty_tree), "--baseline", str(baseline),
             "--write-baseline",
@@ -137,6 +144,145 @@ class TestBaselineFlow:
         assert capsys.readouterr().err
 
 
+LAYER_VIOLATION = {
+    "repro/core/engine.py": "VALUE = 1\n",
+    "repro/obs/report.py": "from repro.core.engine import VALUE\n",
+}
+
+MUTATING_SINK = (
+    "class EvilSink:\n"
+    "    def __call__(self, event):\n"
+    "        event.data['seen'] = True\n"
+    "def wire(bus):\n"
+    "    bus.subscribe(EvilSink())\n"
+)
+
+
+class TestDeepMode:
+    def test_deep_finds_layer_violation(self, write_tree, capsys):
+        root = write_tree(LAYER_VIOLATION)
+        assert main([
+            "lint", "--deep", str(root), "--no-baseline",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "RL101" in out and "report.py" in out
+
+    def test_shallow_run_skips_project_rules(self, write_tree):
+        root = write_tree(LAYER_VIOLATION)
+        assert main(["lint", str(root), "--no-baseline"]) == 0
+
+    def test_selecting_a_deep_rule_enables_it(self, write_tree, capsys):
+        root = write_tree(LAYER_VIOLATION)
+        assert main([
+            "lint", str(root), "--select", "RL101", "--no-baseline",
+        ]) == 1
+        assert "RL101" in capsys.readouterr().out
+
+    def test_layers_override(self, write_tree, tmp_path, capsys):
+        root = write_tree(LAYER_VIOLATION)
+        spec = tmp_path / "layers.json"
+        spec.write_text(json.dumps({"obs": ["core"]}))
+        assert main([
+            "lint", "--deep", str(root), "--no-baseline",
+            "--layers", str(spec),
+        ]) == 0
+
+    def test_unreadable_layers_exits_two(self, write_tree, tmp_path, capsys):
+        root = write_tree(LAYER_VIOLATION)
+        assert main([
+            "lint", "--deep", str(root), "--no-baseline",
+            "--layers", str(tmp_path / "absent.json"),
+        ]) == 2
+        assert "layer spec" in capsys.readouterr().err
+
+    def test_certify_rejects_mutating_sink(self, write_tree, capsys):
+        root = write_tree({"repro/obs/evil.py": MUTATING_SINK})
+        assert main([
+            "lint", "--deep", "--certify", str(root), "--no-baseline",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "IMPURE" in out and "EvilSink" in out
+
+    def test_certify_passes_pure_tree(self, write_tree, capsys):
+        root = write_tree({
+            "repro/obs/good.py": (
+                "class GoodSink:\n"
+                "    def __init__(self):\n"
+                "        self.events = []\n"
+                "    def __call__(self, event):\n"
+                "        self.events.append(event)\n"
+                "def wire(bus):\n"
+                "    bus.subscribe(GoodSink())\n"
+            ),
+        })
+        assert main([
+            "lint", "--deep", "--certify", str(root), "--no-baseline",
+        ]) == 0
+        assert "PURE" in capsys.readouterr().out
+
+
+class TestSarifFormat:
+    def test_sarif_output_is_valid_json(self, dirty_tree, capsys):
+        assert main([
+            "lint", str(dirty_tree), "--format", "sarif", "--no-baseline",
+        ]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        [result] = doc["runs"][0]["results"]
+        assert result["ruleId"] == "RL001"
+
+
+class TestStrictBaseline:
+    def test_stale_entry_fails_the_ratchet(self, dirty_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        main([
+            "lint", str(dirty_tree), "--baseline", str(baseline),
+            "--write-baseline",
+        ])
+        # the debt gets fixed, but the baseline entry is left behind
+        (dirty_tree / "repro" / "core" / "dirty.py").write_text("x = 2\n")
+        assert main([
+            "lint", str(dirty_tree), "--baseline", str(baseline),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "lint", str(dirty_tree), "--baseline", str(baseline),
+            "--strict-baseline",
+        ]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_current_baseline_passes(self, dirty_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        main([
+            "lint", str(dirty_tree), "--baseline", str(baseline),
+            "--write-baseline",
+        ])
+        assert main([
+            "lint", str(dirty_tree), "--baseline", str(baseline),
+            "--strict-baseline",
+        ]) == 0
+
+    def test_baseline_is_sorted_and_stable(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "b.py").write_text(DIRTY)
+        (pkg / "a.py").write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        main([
+            "lint", str(tmp_path), "--baseline", str(baseline),
+            "--write-baseline",
+        ])
+        first = baseline.read_text()
+        paths = [e["path"] for e in json.loads(first)["entries"]]
+        assert paths == sorted(paths)
+        # regenerating without changes is byte-identical
+        main([
+            "lint", str(tmp_path), "--baseline", str(baseline),
+            "--write-baseline",
+        ])
+        assert baseline.read_text() == first
+
+
 class TestRepoIsClean:
     def test_src_repro_has_no_findings(self):
         """The tree this rule set was written for must lint clean."""
@@ -144,3 +290,13 @@ class TestRepoIsClean:
 
         src = Path(__file__).resolve().parents[2] / "src" / "repro"
         assert main(["lint", str(src), "--no-baseline"]) == 0
+
+    def test_deep_lint_is_clean_over_src_and_tests(self):
+        """CI parity: the whole-program rules pass over src/ and tests/."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        assert main([
+            "lint", "--deep", str(root / "src"), str(root / "tests"),
+            "--no-baseline",
+        ]) == 0

@@ -1,0 +1,124 @@
+"""Side-effect inference (repro.analysis.effects)."""
+
+
+def effects_of(project, key):
+    return project.effects.effects_of(key)
+
+
+class TestDirectEffects:
+    def test_self_mutation_is_not_external(self, build_project):
+        project = build_project({
+            "repro/obs/counter.py": (
+                "class Counter:\n"
+                "    def __init__(self):\n"
+                "        self.n = 0\n"
+                "    def inc(self):\n"
+                "        self.n += 1\n"
+            ),
+        })
+        fx = effects_of(project, "repro.obs.counter:Counter.inc")
+        assert fx.mutates_self
+        assert fx.is_pure_external
+
+    def test_param_attribute_store_is_external(self, build_project):
+        project = build_project({
+            "repro/obs/sink.py": (
+                "def stamp(event):\n"
+                "    event.seen = True\n"
+            ),
+        })
+        fx = effects_of(project, "repro.obs.sink:stamp")
+        assert not fx.is_pure_external
+        assert "event" in fx.mutated_params
+
+    def test_mutating_method_on_param_is_external(self, build_project):
+        project = build_project({
+            "repro/obs/sink.py": (
+                "def collect(events, out):\n"
+                "    out.append(events)\n"
+            ),
+        })
+        fx = effects_of(project, "repro.obs.sink:collect")
+        assert "out" in fx.mutated_params
+
+    def test_module_global_mutation_is_external(self, build_project):
+        project = build_project({
+            "repro/obs/reg.py": (
+                "REGISTRY = []\n"
+                "def add(item):\n"
+                "    REGISTRY.append(item)\n"
+            ),
+        })
+        fx = effects_of(project, "repro.obs.reg:add")
+        assert not fx.is_pure_external
+        assert any(m.root_kind == "global" for m in fx.external)
+
+    def test_pure_function_has_no_effects(self, build_project):
+        project = build_project({
+            "repro/obs/pure.py": (
+                "def double(x):\n"
+                "    y = x * 2\n"
+                "    return y\n"
+            ),
+        })
+        fx = effects_of(project, "repro.obs.pure:double")
+        assert fx.is_pure_external and not fx.mutates_self
+
+
+class TestTransitiveEffects:
+    def test_param_mutation_propagates_to_caller(self, build_project):
+        project = build_project({
+            "repro/obs/chain.py": (
+                "def inner(out):\n"
+                "    out.append(1)\n"
+                "def outer(sink):\n"
+                "    inner(sink)\n"
+            ),
+        })
+        fx = effects_of(project, "repro.obs.chain:outer")
+        assert "sink" in fx.mutated_params
+
+    def test_local_argument_absorbs_callee_mutation(self, build_project):
+        project = build_project({
+            "repro/obs/chain.py": (
+                "def inner(out):\n"
+                "    out.append(1)\n"
+                "def outer():\n"
+                "    acc = []\n"
+                "    inner(acc)\n"
+                "    return acc\n"
+            ),
+        })
+        fx = effects_of(project, "repro.obs.chain:outer")
+        assert fx.is_pure_external
+
+    def test_constructor_self_mutation_stays_internal(self, build_project):
+        # Thing.__init__ mutates self, but the caller's Thing(v) builds
+        # a fresh object — no external effect on the caller's arguments
+        project = build_project({
+            "repro/obs/thing.py": (
+                "class Thing:\n"
+                "    def __init__(self, value):\n"
+                "        self.value = value\n"
+                "def make(v):\n"
+                "    return Thing(v)\n"
+            ),
+        })
+        fx = effects_of(project, "repro.obs.thing:make")
+        assert fx.is_pure_external and not fx.mutates_self
+
+    def test_method_call_propagates_self_mutation(self, build_project):
+        project = build_project({
+            "repro/obs/log.py": (
+                "class Log:\n"
+                "    def __init__(self):\n"
+                "        self.lines = []\n"
+                "    def _push(self, line):\n"
+                "        self.lines.append(line)\n"
+                "    def write(self, line):\n"
+                "        self._push(line)\n"
+            ),
+        })
+        fx = effects_of(project, "repro.obs.log:Log.write")
+        assert fx.mutates_self
+        assert fx.is_pure_external

@@ -1,0 +1,199 @@
+"""Import graph and call graph construction (repro.analysis.graph)."""
+
+from repro.analysis.graph import module_name_for, tarjan_sccs
+
+
+class TestModuleNames:
+    def test_package_file_gets_dotted_name(self, write_tree):
+        root = write_tree({"repro/obs/bus.py": "x = 1\n"})
+        assert module_name_for(root / "repro" / "obs" / "bus.py") == (
+            "repro.obs.bus"
+        )
+
+    def test_init_names_the_package(self, write_tree):
+        root = write_tree({"repro/obs/bus.py": "x = 1\n"})
+        assert module_name_for(root / "repro" / "__init__.py") == "repro"
+
+    def test_bare_file_is_top_level(self, tmp_path):
+        path = tmp_path / "script.py"
+        path.write_text("x = 1\n")
+        assert module_name_for(path) == "script"
+
+
+class TestImportGraph:
+    def test_absolute_from_import_resolves(self, build_project):
+        project = build_project({
+            "repro/core/engine.py": "VALUE = 1\n",
+            "repro/obs/report.py": (
+                "from repro.core.engine import VALUE\n"
+            ),
+        })
+        edges = project.import_graph.imports_of("repro.obs.report")
+        assert [e.imported for e in edges] == ["repro.core.engine"]
+        assert not edges[0].type_only
+
+    def test_relative_import_resolves(self, build_project):
+        project = build_project({
+            "repro/core/engine.py": "VALUE = 1\n",
+            "repro/core/helper.py": "from .engine import VALUE\n",
+            "repro/obs/report.py": (
+                "from ..core.engine import VALUE\n"
+            ),
+        })
+        graph = project.import_graph
+        assert graph.successors("repro.core.helper") == {
+            "repro.core.engine"
+        }
+        assert graph.successors("repro.obs.report") == {
+            "repro.core.engine"
+        }
+
+    def test_plain_import_resolves(self, build_project):
+        project = build_project({
+            "repro/core/engine.py": "VALUE = 1\n",
+            "repro/obs/report.py": "import repro.core.engine\n",
+        })
+        assert project.import_graph.successors("repro.obs.report") == {
+            "repro.core.engine"
+        }
+
+    def test_external_imports_are_ignored(self, build_project):
+        project = build_project({
+            "repro/obs/report.py": "import json\nimport numpy\n",
+        })
+        assert project.import_graph.imports_of("repro.obs.report") == ()
+
+    def test_type_checking_imports_are_type_only(self, build_project):
+        project = build_project({
+            "repro/core/engine.py": "VALUE = 1\n",
+            "repro/obs/report.py": (
+                "from typing import TYPE_CHECKING\n"
+                "if TYPE_CHECKING:\n"
+                "    from repro.core.engine import VALUE\n"
+            ),
+        })
+        [edge] = project.import_graph.imports_of("repro.obs.report")
+        assert edge.type_only
+        assert project.import_graph.successors("repro.obs.report") == set()
+
+    def test_cycle_forms_one_scc(self, build_project):
+        project = build_project({
+            "repro/core/a.py": "from repro.core import b\n",
+            "repro/core/b.py": "from repro.core import a\n",
+        })
+        components = [
+            sorted(c) for c in project.import_graph.sccs() if len(c) > 1
+        ]
+        assert ["repro.core.a", "repro.core.b"] in components
+
+    def test_reachable_from_is_transitive(self, build_project):
+        project = build_project({
+            "repro/core/a.py": "from repro.core import b\n",
+            "repro/core/b.py": "from repro.core import c\n",
+            "repro/core/c.py": "x = 1\n",
+        })
+        assert project.import_graph.reachable_from("repro.core.a") == {
+            "repro.core.b", "repro.core.c"
+        }
+
+
+class TestTarjan:
+    def test_callees_come_first(self):
+        # a -> b -> c: reverse-topological order puts c before a
+        successors = {"a": ["b"], "b": ["c"], "c": []}
+        order = tarjan_sccs(
+            ["a", "b", "c"], lambda n: successors.get(n, [])
+        )
+        flat = [m for component in order for m in component]
+        assert flat.index("c") < flat.index("b") < flat.index("a")
+
+
+class TestCallGraph:
+    def test_method_call_via_annotated_attr(self, build_project):
+        project = build_project({
+            "repro/obs/sink.py": (
+                "class Sink:\n"
+                "    def write(self, event):\n"
+                "        pass\n"
+            ),
+            "repro/obs/owner.py": (
+                "from repro.obs.sink import Sink\n"
+                "class Owner:\n"
+                "    def __init__(self, sink: Sink) -> None:\n"
+                "        self._sink = sink\n"
+                "    def emit(self, event):\n"
+                "        self._sink.write(event)\n"
+            ),
+        })
+        graph = project.call_graph
+        assert "repro.obs.sink:Sink.write" in graph.callees(
+            "repro.obs.owner:Owner.emit"
+        )
+
+    def test_constructor_site_is_marked(self, build_project):
+        project = build_project({
+            "repro/obs/rec.py": (
+                "class Record:\n"
+                "    def __init__(self, value):\n"
+                "        self.value = value\n"
+            ),
+            "repro/obs/maker.py": (
+                "from repro.obs.rec import Record\n"
+                "def make(v):\n"
+                "    return Record(v)\n"
+            ),
+        })
+        [site] = project.call_graph.calls_from("repro.obs.maker:make")
+        assert site.raw == "new:repro.obs.rec:Record"
+        assert site.callee == "repro.obs.rec:Record.__init__"
+
+    def test_reachable_and_chain(self, build_project):
+        project = build_project({
+            "repro/obs/chain.py": (
+                "def a():\n"
+                "    b()\n"
+                "def b():\n"
+                "    c()\n"
+                "def c():\n"
+                "    pass\n"
+            ),
+        })
+        graph = project.call_graph
+        parents = graph.reachable(["repro.obs.chain:a"])
+        assert set(parents) == {
+            "repro.obs.chain:a", "repro.obs.chain:b", "repro.obs.chain:c"
+        }
+        assert graph.chain(parents, "repro.obs.chain:c") == [
+            "repro.obs.chain:a", "repro.obs.chain:b", "repro.obs.chain:c"
+        ]
+
+    def test_inherited_method_resolves(self, build_project):
+        project = build_project({
+            "repro/obs/base.py": (
+                "class Base:\n"
+                "    def close(self):\n"
+                "        pass\n"
+                "class Child(Base):\n"
+                "    pass\n"
+                "def run(c: Child):\n"
+                "    c.close()\n"
+            ),
+        })
+        assert "repro.obs.base:Base.close" in project.call_graph.callees(
+            "repro.obs.base:run"
+        )
+
+
+class TestLayerOf:
+    def test_layers(self, build_project):
+        project = build_project({
+            "repro/core/engine.py": "x = 1\n",
+            "repro/obs/bus.py": "x = 1\n",
+            "repro/api.py": "x = 1\n",
+        })
+        assert project.layer_of("repro.core.engine") == "core"
+        assert project.layer_of("repro.obs.bus") == "obs"
+        # a top-level module of the repro package is its own layer;
+        # the package root itself is "repro"
+        assert project.layer_of("repro.api") == "api"
+        assert project.layer_of("repro") == "repro"

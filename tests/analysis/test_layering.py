@@ -1,0 +1,100 @@
+"""RL101 — declared-architecture layering over the import graph."""
+
+from repro.analysis.layering import DEFAULT_LAYER_SPEC, LayeringRule
+
+
+def findings_for(project):
+    return list(LayeringRule().check(project))
+
+
+class TestLayerEdges:
+    def test_forbidden_edge_names_the_edge(self, build_project):
+        # obs may only import textfmt; obs -> core is the violation the
+        # refactor in this repo actually fixed (reporting -> textfmt)
+        project = build_project({
+            "repro/core/engine.py": "VALUE = 1\n",
+            "repro/obs/report.py": (
+                "from repro.core.engine import VALUE\n"
+            ),
+        })
+        [finding] = findings_for(project)
+        assert finding.rule_id == "RL101"
+        assert "`obs` may not import layer `core`" in finding.message
+        assert "`repro.obs.report` -> `repro.core.engine`" in finding.message
+        assert finding.path.endswith("repro/obs/report.py")
+
+    def test_allowed_edge_is_clean(self, build_project):
+        project = build_project({
+            "repro/textfmt.py": "def fmt(x):\n    return str(x)\n",
+            "repro/obs/report.py": "from repro.textfmt import fmt\n",
+        })
+        assert findings_for(project) == []
+
+    def test_same_layer_import_is_clean(self, build_project):
+        project = build_project({
+            "repro/obs/bus.py": "x = 1\n",
+            "repro/obs/report.py": "from repro.obs.bus import x\n",
+        })
+        assert findings_for(project) == []
+
+    def test_type_checking_import_is_exempt(self, build_project):
+        project = build_project({
+            "repro/core/engine.py": "VALUE = 1\n",
+            "repro/obs/report.py": (
+                "from typing import TYPE_CHECKING\n"
+                "if TYPE_CHECKING:\n"
+                "    from repro.core.engine import VALUE\n"
+            ),
+        })
+        assert findings_for(project) == []
+
+    def test_unconstrained_layer_imports_anything(self, build_project):
+        # cli maps to "*" in the checked-in spec
+        assert DEFAULT_LAYER_SPEC["cli"] == "*"
+        project = build_project({
+            "repro/core/engine.py": "VALUE = 1\n",
+            "repro/cli/main.py": "from repro.core.engine import VALUE\n",
+        })
+        assert findings_for(project) == []
+
+    def test_unlisted_layer_is_unconstrained(self, build_project):
+        project = build_project({
+            "repro/core/engine.py": "VALUE = 1\n",
+            "repro/examples/demo.py": (
+                "from repro.core.engine import VALUE\n"
+            ),
+        })
+        assert findings_for(project) == []
+
+    def test_config_override_replaces_spec(self, build_project):
+        project = build_project(
+            {
+                "repro/core/engine.py": "VALUE = 1\n",
+                "repro/obs/report.py": (
+                    "from repro.core.engine import VALUE\n"
+                ),
+            },
+            config={"layer_spec": {"obs": ["core"]}},
+        )
+        assert findings_for(project) == []
+
+
+class TestCycles:
+    def test_cross_layer_cycle_is_flagged(self, build_project):
+        project = build_project({
+            # core may import sim, sim may not import core: the edge
+            # violation fires AND the two-layer cycle is reported
+            "repro/core/engine.py": "from repro.sim import model\n",
+            "repro/sim/model.py": "from repro.core import engine\n",
+        })
+        messages = [f.message for f in findings_for(project)]
+        assert any("runtime import cycle" in m for m in messages)
+
+    def test_intra_layer_cycle_is_tolerated(self, build_project):
+        # deferred-registry imports within one package are a standard
+        # idiom (rules.py <-> rule modules in repro.analysis itself)
+        project = build_project({
+            "repro/obs/a.py": "from repro.obs import b\n",
+            "repro/obs/b.py": "from repro.obs import a\n",
+        })
+        assert findings_for(project) == []

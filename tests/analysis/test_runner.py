@@ -37,6 +37,55 @@ class TestInlineSuppression:
         )
         assert len(live) == 1 and not suppressed
 
+    def test_comma_list_with_whitespace(self):
+        live, suppressed = analyze(
+            "import time\n"
+            "stamp = time.time()  # repro-lint: disable=RL002 , RL001\n"
+        )
+        assert not live
+        assert len(suppressed) == 1
+
+    def test_suppressing_one_rule_leaves_the_other_live(self):
+        # the line violates both RL001 (wall clock) and RL002 (float
+        # equality); suppressing RL001 must not swallow RL002
+        live, suppressed = analyze(
+            "import time\n"
+            "ok = time.time() == 0.0  # repro-lint: disable=RL001\n"
+        )
+        assert [f.rule_id for f in suppressed] == ["RL001"]
+        assert [f.rule_id for f in live] == ["RL002"]
+
+    def test_unknown_id_warns_instead_of_silently_passing(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "odd.py").write_text(
+            "import time\n"
+            "stamp = time.time()  # repro-lint: disable=RL99\n"
+        )
+        report = Analyzer().run([tmp_path])
+        # the bogus id has no effect: the finding stays live...
+        assert [f.rule_id for f in report.findings] == ["RL001"]
+        # ...and the report says why
+        [warning] = report.warnings
+        assert "RL99" in warning and "unknown" in warning
+
+    def test_known_ids_do_not_warn(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "fine.py").write_text(
+            "import time\n"
+            "stamp = time.time()  # repro-lint: disable=RL001,RL103\n"
+        )
+        report = Analyzer().run([tmp_path])
+        assert report.warnings == ()
+
+    def test_disable_all_with_other_ids_in_list(self):
+        live, suppressed = analyze(
+            "import time\n"
+            "stamp = time.time()  # repro-lint: disable=RL002, all\n"
+        )
+        assert not live and len(suppressed) == 1
+
 
 class TestFingerprints:
     def test_stable_under_line_drift(self):
@@ -92,8 +141,8 @@ class TestBaseline:
 
 class TestRun:
     def test_directory_run_reports_findings(self, tmp_path):
-        pkg = tmp_path / "core"
-        pkg.mkdir()
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
         (pkg / "dirty.py").write_text(DIRTY)
         (pkg / "clean.py").write_text("x = 1\n")
         report = Analyzer().run([tmp_path])
@@ -112,8 +161,8 @@ class TestRun:
         assert report.errors and "no such file" in report.errors[0]
 
     def test_baselined_findings_leave_report_clean(self, tmp_path):
-        pkg = tmp_path / "core"
-        pkg.mkdir()
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
         (pkg / "dirty.py").write_text(DIRTY)
         first = Analyzer().run([tmp_path])
         baseline = Baseline.from_findings(list(first.findings), "debt")
@@ -125,13 +174,14 @@ class TestRun:
 
 class TestReportDict:
     def test_schema_keys(self, tmp_path):
-        pkg = tmp_path / "core"
-        pkg.mkdir()
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
         (pkg / "dirty.py").write_text(DIRTY)
         doc = Analyzer().run([tmp_path]).to_dict()
         assert doc["schema_version"] == REPORT_SCHEMA_VERSION
         assert set(doc) == {
             "schema_version", "summary", "findings", "errors",
+            "warnings",
         }
         assert set(doc["summary"]) == {
             "files", "findings", "suppressed", "baselined", "by_rule",

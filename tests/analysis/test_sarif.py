@@ -1,0 +1,78 @@
+"""SARIF 2.1.0 export (repro.analysis.sarif)."""
+
+from repro.analysis import Analyzer
+from repro.analysis.sarif import SARIF_VERSION, report_to_sarif
+
+DIRTY = "import time\nstamp = time.time()\n"
+
+
+def report_for(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return Analyzer().run([tmp_path])
+
+
+class TestSarifDocument:
+    def test_envelope_and_rule_catalogue(self, tmp_path):
+        doc = report_to_sarif(report_for(tmp_path, {
+            "repro/core/dirty.py": DIRTY,
+        }))
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        [run] = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        # module rules and deep rules both ship in the catalogue
+        for rule_id in ("RL001", "RL002", "RL101", "RL102", "RL103"):
+            assert rule_id in rule_ids
+
+    def test_result_carries_location_and_fingerprint(self, tmp_path):
+        report = report_for(tmp_path, {"repro/core/dirty.py": DIRTY})
+        [finding] = report.findings
+        doc = report_to_sarif(report)
+        [result] = doc["runs"][0]["results"]
+        assert result["ruleId"] == "RL001"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == finding.message
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(
+            "repro/core/dirty.py"
+        )
+        assert location["region"]["startLine"] == finding.line
+        assert location["region"]["startColumn"] == finding.col + 1
+        assert result["partialFingerprints"] == {
+            "reproLintFingerprint/v1": finding.fingerprint,
+        }
+        # the rule index points back into the catalogue
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == "RL001"
+
+    def test_clean_report_has_no_results(self, tmp_path):
+        doc = report_to_sarif(report_for(tmp_path, {
+            "repro/core/clean.py": "x = 1\n",
+        }))
+        assert doc["runs"][0]["results"] == []
+        assert "invocations" not in doc["runs"][0]
+
+    def test_errors_become_notifications(self, tmp_path):
+        doc = report_to_sarif(report_for(tmp_path, {
+            "repro/core/broken.py": "def f(:\n",
+        }))
+        [invocation] = doc["runs"][0]["invocations"]
+        assert invocation["executionSuccessful"] is False
+        [note] = invocation["toolExecutionNotifications"]
+        assert note["level"] == "error"
+        assert "cannot parse" in note["message"]["text"]
+
+    def test_suppression_warnings_become_notifications(self, tmp_path):
+        doc = report_to_sarif(report_for(tmp_path, {
+            "repro/core/odd.py": "x = 1  # repro-lint: disable=RL999\n",
+        }))
+        [invocation] = doc["runs"][0]["invocations"]
+        assert invocation["executionSuccessful"] is True
+        [note] = invocation["toolExecutionNotifications"]
+        assert note["level"] == "warning"
+        assert "RL999" in note["message"]["text"]

@@ -1,0 +1,250 @@
+"""RL103 — determinism taint tracking."""
+
+from repro.analysis.taint import DeterminismTaintRule
+
+
+def findings_for(project):
+    return list(DeterminismTaintRule().check(project))
+
+
+class TestDecisionSinks:
+    def test_branch_on_wall_clock_in_core(self, build_project):
+        project = build_project({
+            "repro/core/decide.py": (
+                "import time\n"
+                "def choose(a, b):\n"
+                "    stamp = time.time()\n"
+                "    if stamp > 100.0:\n"
+                "        return a\n"
+                "    return b\n"
+            ),
+        })
+        findings = findings_for(project)
+        assert findings
+        assert all(f.rule_id == "RL103" for f in findings)
+        assert any("branch condition" in f.message for f in findings)
+        assert any("wall-clock" in f.message for f in findings)
+
+    def test_tainted_return_from_decision_layer(self, build_project):
+        project = build_project({
+            "repro/core/decide.py": (
+                "import time\n"
+                "def elapsed():\n"
+                "    return time.perf_counter()\n"
+            ),
+        })
+        findings = findings_for(project)
+        assert any("returned from a decision-layer" in f.message
+                   for f in findings)
+        assert any("wall-duration" in f.message for f in findings)
+
+    def test_tainted_store_into_object_state(self, build_project):
+        project = build_project({
+            "repro/core/state.py": (
+                "import os\n"
+                "class Engine:\n"
+                "    def configure(self):\n"
+                "        self.mode = os.getenv('MODE')\n"
+            ),
+        })
+        findings = findings_for(project)
+        assert any("stored into decision-layer object state" in f.message
+                   for f in findings)
+
+    def test_obs_layer_branches_are_not_decision_sinks(self, build_project):
+        # obs is not a decision layer: branching on wall time there is
+        # fine (only serialising it into telemetry would flag)
+        project = build_project({
+            "repro/obs/watch.py": (
+                "import time\n"
+                "def late(deadline):\n"
+                "    return time.monotonic() > deadline\n"
+            ),
+        })
+        assert findings_for(project) == []
+
+
+class TestTelemetrySinks:
+    def test_publish_with_tainted_payload(self, build_project):
+        project = build_project({
+            "repro/obs/emit.py": (
+                "import time\n"
+                "def emit(bus):\n"
+                "    bus.publish('x', {'t': time.time()})\n"
+            ),
+        })
+        findings = findings_for(project)
+        assert any("`.publish()`" in f.message for f in findings)
+
+    def test_record_constructor_with_tainted_field(self, build_project):
+        project = build_project({
+            "repro/obs/bus.py": (
+                "import time\n"
+                "class BusEvent:\n"
+                "    def __init__(self, seq, time_, kind):\n"
+                "        self.seq = seq\n"
+                "        self.time = time_\n"
+                "        self.kind = kind\n"
+                "def stamp(seq, kind):\n"
+                "    return BusEvent(seq, time.monotonic(), kind)\n"
+            ),
+        })
+        findings = findings_for(project)
+        assert any("`BusEvent(...)`" in f.message for f in findings)
+
+    def test_json_dumps_sink(self, build_project):
+        project = build_project({
+            "repro/obs/ser.py": (
+                "import json\n"
+                "import time\n"
+                "def render():\n"
+                "    return json.dumps({'at': time.time()})\n"
+            ),
+        })
+        findings = findings_for(project)
+        assert any("`json.dumps`" in f.message for f in findings)
+
+    def test_untainted_payload_is_clean(self, build_project):
+        project = build_project({
+            "repro/obs/emit.py": (
+                "def emit(bus, step):\n"
+                "    bus.publish('progress', {'step': step})\n"
+            ),
+        })
+        assert findings_for(project) == []
+
+
+class TestPropagation:
+    def test_taint_flows_through_helper_return(self, build_project):
+        project = build_project({
+            "repro/core/helper.py": (
+                "import time\n"
+                "def now():\n"
+                "    return time.time()\n"
+            ),
+            "repro/core/user.py": (
+                "from repro.core.helper import now\n"
+                "def pick(a, b):\n"
+                "    if now() > 0:\n"
+                "        return a\n"
+                "    return b\n"
+            ),
+        })
+        findings = findings_for(project)
+        assert any(
+            "branch condition" in f.message
+            and f.path.endswith("user.py")
+            for f in findings
+        )
+
+    def test_stored_source_reference_taints_calls(self, build_project):
+        # clock = time.monotonic; clock() later is still wall time
+        project = build_project({
+            "repro/core/clocky.py": (
+                "import time\n"
+                "def make():\n"
+                "    clock = time.monotonic\n"
+                "    return clock()\n"
+            ),
+        })
+        findings = findings_for(project)
+        assert any("returned from a decision-layer" in f.message
+                   for f in findings)
+
+    def test_self_attr_taint_crosses_methods(self, build_project):
+        project = build_project({
+            "repro/core/holder.py": (
+                "import time\n"
+                "class Holder:\n"
+                "    def seed(self):\n"
+                "        self._t0 = time.time()\n"
+                "    def read(self):\n"
+                "        return self._t0\n"
+            ),
+        })
+        findings = findings_for(project)
+        assert any(
+            "returned from a decision-layer" in f.message
+            for f in findings
+        )
+
+
+class TestSetOrder:
+    def test_membership_test_is_clean(self, build_project):
+        project = build_project({
+            "repro/core/member.py": (
+                "def seen(visited, item, a, b):\n"
+                "    bag = set(visited)\n"
+                "    if item in bag:\n"
+                "        return a\n"
+                "    return b\n"
+            ),
+        })
+        assert findings_for(project) == []
+
+    def test_iterating_a_set_into_decisions_flags(self, build_project):
+        project = build_project({
+            "repro/core/iterate.py": (
+                "def first(visited):\n"
+                "    bag = set(visited)\n"
+                "    for item in bag:\n"
+                "        return item\n"
+            ),
+        })
+        findings = findings_for(project)
+        assert any("set-order" in f.message for f in findings)
+
+    def test_sorted_sanitizes_iteration_order(self, build_project):
+        project = build_project({
+            "repro/core/sane.py": (
+                "def first(visited):\n"
+                "    bag = set(visited)\n"
+                "    for item in sorted(bag):\n"
+                "        return item\n"
+            ),
+        })
+        assert findings_for(project) == []
+
+    def test_len_of_set_is_clean(self, build_project):
+        project = build_project({
+            "repro/core/size.py": (
+                "def count(visited):\n"
+                "    return len(set(visited))\n"
+            ),
+        })
+        assert findings_for(project) == []
+
+
+class TestSourceSuppression:
+    def test_suppressing_the_source_kills_downstream_flows(
+        self, build_project
+    ):
+        project = build_project({
+            "repro/core/timed.py": (
+                "import time\n"
+                "def run(work, a, b):\n"
+                "    t0 = time.perf_counter()"
+                "  # repro-lint: disable=RL103\n"
+                "    work()\n"
+                "    took = time.perf_counter() - t0"
+                "  # repro-lint: disable=RL103\n"
+                "    if took > 1.0:\n"
+                "        return a\n"
+                "    return b\n"
+            ),
+        })
+        assert findings_for(project) == []
+
+    def test_unsuppressed_source_still_flags(self, build_project):
+        project = build_project({
+            "repro/core/timed.py": (
+                "import time\n"
+                "def run(work, a, b):\n"
+                "    t0 = time.perf_counter()\n"
+                "    work()\n"
+                "    if time.perf_counter() - t0 > 1.0:\n"
+                "        return a\n"
+                "    return b\n"
+            ),
+        })
+        assert findings_for(project)
