@@ -49,8 +49,13 @@ DEFAULT_LAYER_SPEC: dict[str, object] = {
     "core": ["cloud", "contracts", "obs", "profiling", "sim"],
     "baselines": ["core", "sim"],
     "io": ["core"],
-    # the service layer (paper's MLaaS deployment loop)
+    # the deployment layer (paper's MLaaS deployment loop)
     "mlcd": ["cloud", "contracts", "core", "obs", "profiling", "sim"],
+    # the multi-tenant job daemon fronts search sessions over MLCD
+    # worlds; baselines for the strategy registry
+    "service": [
+        "baselines", "cloud", "core", "mlcd", "obs", "profiling", "sim",
+    ],
     "perf": ["cloud", "core", "obs", "profiling", "sim"],
     "experiments": [
         "baselines", "cloud", "core", "mlcd", "obs", "profiling", "sim",

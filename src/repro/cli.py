@@ -64,6 +64,14 @@ Two subcommands:
       python -m repro.cli metrics run.trace.jsonl --format json
       python -m repro.cli metrics live.trace.jsonl --serve 9100
 
+- ``serve`` / ``submit`` / ``status`` — the multi-tenant MLCD job
+  service and its client (see ``docs/service.md``)::
+
+      python -m repro.cli serve --artifacts runs/ --port 8080
+      python -m repro.cli submit --url http://127.0.0.1:8080 \\
+          --tenant alice --model char-rnn --dataset char-corpus --wait
+      python -m repro.cli status --url http://127.0.0.1:8080
+
 - ``lint`` — run the repo's own static analyzer (see
   ``docs/static-analysis.md``)::
 
@@ -606,6 +614,130 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.cloud.provider import AccountLimits
+    from repro.service import (
+        MLCDJobService,
+        ServiceHTTPServer,
+        TenantQuota,
+    )
+
+    service = MLCDJobService(
+        artifacts_dir=args.artifacts,
+        limits=AccountLimits(
+            max_cpu_instances=args.max_cpu,
+            max_gpu_instances=args.max_gpu,
+        ),
+        workers=args.workers,
+    )
+    for spec in args.tenant or []:
+        name, _, budget = spec.partition("=")
+        if not name:
+            print(f"bad --tenant spec: {spec!r} (want NAME or NAME=BUDGET)",
+                  file=sys.stderr)
+            return 2
+        quota = (
+            TenantQuota(budget_dollars=float(budget)) if budget
+            else TenantQuota()
+        )
+        service.register_tenant(name, quota)
+    server = ServiceHTTPServer(service, port=args.port)
+    service.start()
+    print(f"serving MLCD jobs at {server.url} "
+          f"(artifacts in {args.artifacts})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("service stopped", file=sys.stderr)
+        return 130
+    finally:
+        server.stop()
+        service.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import JobSpec, ServiceClient
+    from repro.service.client import ServiceClientError
+
+    spec = JobSpec(
+        tenant=args.tenant,
+        model=args.model,
+        dataset=args.dataset,
+        platform=args.platform,
+        epochs=args.epochs,
+        deadline_hours=args.deadline_hours,
+        budget_dollars=args.budget,
+        strategy=args.strategy,
+        seed=args.seed,
+        max_steps=args.max_steps,
+        max_count=args.max_count,
+        catalog=tuple(args.catalog.split(",")) if args.catalog else None,
+    )
+    client = ServiceClient(args.url)
+    try:
+        job_id = client.submit(spec)
+        if not args.wait:
+            print(job_id)
+            return 0
+        status = client.wait(job_id, timeout=args.timeout)
+        if status["state"] == "done":
+            print(json.dumps(client.result(job_id), indent=2))
+            return 0
+        print(json.dumps(status, indent=2), file=sys.stderr)
+        return 1
+    except ServiceClientError as exc:
+        print(f"submit refused: {exc}", file=sys.stderr)
+        return 1
+    except (TimeoutError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient
+    from repro.service.client import ServiceClientError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.cancel:
+            if not args.job_id:
+                print("--cancel needs a job id", file=sys.stderr)
+                return 2
+            cancelled = client.cancel(args.job_id)
+            print(f"{args.job_id}: "
+                  f"{'cancelled' if cancelled else 'already inactive'}")
+            return 0
+        if args.tenants:
+            print(json.dumps(client.tenants(), indent=2))
+            return 0
+        if args.job_id:
+            print(json.dumps(client.status(args.job_id), indent=2))
+            return 0
+        jobs = client.jobs()
+        if not jobs:
+            print("no jobs")
+            return 0
+        for job in jobs:
+            line = (f"{job['id']}  {job['state']:<9}  "
+                    f"tenant={job['tenant']}  trials={job['n_trials']}  "
+                    f"${job['spent_dollars']:.2f}")
+            if job.get("error"):
+                line += f"  error: {job['error']}"
+            print(line)
+        return 0
+    except ServiceClientError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+
+
 def _metrics_serve(args: argparse.Namespace) -> int:
     """Serve a trace file's metric snapshot over HTTP (re-read per
     scrape, so a streamed file being written concurrently serves its
@@ -784,6 +916,68 @@ def build_parser() -> argparse.ArgumentParser:
                               "printing it (re-read per scrape; 0 = "
                               "ephemeral port, printed on stdout)")
     metrics.set_defaults(func=_cmd_metrics)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant MLCD job service (docs/service.md)",
+    )
+    serve.add_argument("--artifacts", required=True, metavar="DIR",
+                       help="directory for per-job trace artifacts")
+    serve.add_argument("--port", type=int, default=0,
+                       help="HTTP port (0 = ephemeral, printed on stdout)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="probe dispatches per scheduler tick "
+                            "(default: 2)")
+    serve.add_argument("--max-cpu", type=int, default=100,
+                       help="shared CPU-instance capacity (default: 100)")
+    serve.add_argument("--max-gpu", type=int, default=50,
+                       help="shared GPU-instance capacity (default: 50)")
+    serve.add_argument("--tenant", action="append", metavar="NAME[=BUDGET]",
+                       help="pre-register a tenant, optionally with a "
+                            "dollar budget (repeatable)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running `repro serve` service"
+    )
+    submit.add_argument("--url", required=True,
+                        help="service base URL (printed by `repro serve`)")
+    submit.add_argument("--tenant", required=True)
+    submit.add_argument("--model", required=True)
+    submit.add_argument("--dataset", required=True)
+    submit.add_argument("--platform", default="tensorflow")
+    submit.add_argument("--epochs", type=float, default=1.0)
+    submit.add_argument("--deadline-hours", type=float, default=None,
+                        help="scenario-2 deadline in hours")
+    submit.add_argument("--budget", type=float, default=None,
+                        help="scenario-3 budget in dollars")
+    submit.add_argument("--strategy", default="heterbo",
+                        choices=("heterbo", "convbo", "parallel-heterbo"))
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--max-steps", type=int, default=30)
+    submit.add_argument("--max-count", type=int, default=8)
+    submit.add_argument("--catalog", default=None, metavar="T1,T2,...",
+                        help="restrict the instance catalog (comma-"
+                             "separated type names)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and print its "
+                             "result JSON")
+    submit.add_argument("--timeout", type=float, default=120.0,
+                        help="--wait deadline in seconds (default: 120)")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="query a running `repro serve` service"
+    )
+    status.add_argument("--url", required=True,
+                        help="service base URL (printed by `repro serve`)")
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="job id (omit to list all jobs)")
+    status.add_argument("--cancel", action="store_true",
+                        help="cancel the given job")
+    status.add_argument("--tenants", action="store_true",
+                        help="show per-tenant ledgers and quotas")
+    status.set_defaults(func=_cmd_status)
 
     from repro.analysis.cli import add_lint_arguments
 

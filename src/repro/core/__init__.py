@@ -12,6 +12,8 @@ Layout:
 - :mod:`repro.core.prior` — the concave scale-out prior;
 - :mod:`repro.core.engine` — the GP-driven search loop shared by
   HeterBO and the BO baselines;
+- :mod:`repro.core.session` — the loop inverted into a resumable
+  step-in/step-out :class:`~repro.core.session.SearchSession`;
 - :mod:`repro.core.heterbo` — the HeterBO search method itself.
 """
 
@@ -41,6 +43,7 @@ from repro.core.prior import ConcaveScaleOutPrior
 from repro.core.result import DeploymentReport, SearchResult, TrialRecord
 from repro.core.scenarios import Objective, Scenario, ScenarioKind
 from repro.core.search_space import Deployment, DeploymentSpace
+from repro.core.session import ProbeRequest, SearchSession, Stop
 
 __all__ = [
     "CategoricalKernel",
@@ -58,13 +61,16 @@ __all__ = [
     "OfflineAdvisor",
     "ParallelHeterBO",
     "ParetoPoint",
+    "ProbeRequest",
     "ProductKernel",
     "RBFKernel",
     "Recommendation",
     "Scenario",
     "ScenarioKind",
     "SearchResult",
+    "SearchSession",
     "SearchStrategy",
+    "Stop",
     "SumKernel",
     "TrialRecord",
     "WhiteKernel",

@@ -23,6 +23,7 @@ from __future__ import annotations
 import abc
 import logging
 import time
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -672,6 +673,17 @@ class SearchStrategy(abc.ABC):
     #: Human-readable strategy name (used in reports and figures).
     name: str = "base"
 
+    #: Whether probes dispatch as concurrent waves (one batch per step)
+    #: instead of one deployment at a time.
+    batched: bool = False
+
+    #: Terminal stop reason when :meth:`select_probes` returns nothing
+    #: (only reachable for batched strategies, whose reserve filter can
+    #: empty an otherwise feasible selection).
+    empty_selection_stop_reason: str = (
+        "protective stop: no batch fits the constraint"
+    )
+
     def __init__(
         self,
         *,
@@ -762,6 +774,71 @@ class SearchStrategy(abc.ABC):
             return None
         deployment, speed, _ = incumbent
         return deployment, speed
+
+    def select_probes(
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        candidates: list[Deployment],
+        scores: np.ndarray,
+        scoring_span,
+        n_remaining: int,
+    ) -> list[Deployment]:
+        """Deployments to probe this step, in launch order.
+
+        Called inside the ``candidate-scoring`` span after
+        ``should_stop`` declined to stop; annotate ``scoring_span``
+        with the selection (streamed span events snapshot at close).
+        Returning an empty list stops the search with
+        :attr:`empty_selection_stop_reason`.  ``n_remaining`` is the
+        step budget left (batched strategies truncate to it).
+
+        The default picks the argmax candidate, refusing non-finite
+        winners: ``np.argmax`` returns the *first NaN index* when any
+        score is NaN, which would silently probe an arbitrary
+        candidate, and an all-``-inf`` sweep means the strategy scored
+        nothing probe-worthy yet failed to stop — both are strategy
+        bugs worth an exception, not a probe.
+        """
+        best_idx = int(np.argmax(scores))
+        best_score = float(scores[best_idx])
+        if not np.isfinite(best_score):
+            raise ValueError(
+                f"{self.name}: best acquisition score is not finite "
+                f"({best_score}) at candidate {candidates[best_idx]}; "
+                "strategies must score at least one candidate finitely "
+                "or stop via should_stop"
+            )
+        chosen = candidates[best_idx]
+        scoring_span.set_attribute("chosen", str(chosen))
+        scoring_span.set_attribute("acquisition_value", best_score)
+        scoring_span.set_attribute(
+            "pl_penalty", context.probe_penalty(chosen)
+        )
+        return [chosen]
+
+    def search_span_attributes(
+        self, context: SearchContext
+    ) -> dict[str, Any]:
+        """Attributes for the root ``search`` span."""
+        return {
+            "strategy": self.name,
+            "scenario": context.scenario.describe(),
+        }
+
+    # -- session snapshot hooks ---------------------------------------------------
+    def state_snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable mutable strategy state for session snapshots.
+
+        Only state that trial replay cannot rebuild belongs here (e.g.
+        consumed RNG state); priors recomputed from observations are
+        restored by :meth:`~repro.core.session.SearchSession.from_dict`
+        replaying :meth:`on_observation`.
+        """
+        return {}
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Reset mutable state ahead of a session-snapshot replay."""
 
     # -- loop ---------------------------------------------------------------------
     def _record_probe_telemetry(
@@ -934,109 +1011,15 @@ class SearchStrategy(abc.ABC):
         return result
 
     def search(self, context: SearchContext) -> SearchResult:
-        """Run the search loop and return the result trace."""
-        engine = self._make_engine(context)
-        trials: list[TrialRecord] = []
-        stop_reason = "max steps reached"
-        profiling_before = context.profiler.cloud.ledger.total("profiling")
-        context.decisions.begin_run(fast_lane=self.fast_lane)
+        """Run the search loop and return the result trace.
 
-        with context.tracer.span("search", {
-            "strategy": self.name,
-            "scenario": context.scenario.describe(),
-        }) as search_span:
-            for deployment in self.initial_deployments(context):
-                if len(trials) >= self.max_steps:
-                    break
-                with context.tracer.span("step", {"phase": "initial"}):
-                    self._probe(
-                        context, engine, deployment, trials, "initial"
-                    )
+        A thin driver over
+        :class:`~repro.core.session.SearchSession`: the session owns
+        the loop as a step-in/step-out state machine (and is what the
+        job service drains probe-by-probe); draining it here start to
+        finish produces a byte-identical canonical trace to the
+        historical closed loop (``tests/core/test_session.py``).
+        """
+        from repro.core.session import SearchSession
 
-            while len(trials) < self.max_steps:
-                if engine.n_observations == 0:
-                    stop_reason = "no observations possible"
-                    break
-                with context.tracer.span(
-                    "step", {"phase": "explore"}
-                ) as step_span:
-                    engine.fit()
-                    candidates = self.candidate_deployments(context, engine)
-                    if not candidates:
-                        stop_reason = "search space exhausted"
-                        break
-                    with context.tracer.span(
-                        "candidate-scoring",
-                        {"n_candidates": len(candidates)},
-                    ) as scoring_span:
-                        scores = self.score_candidates(
-                            context, engine, candidates
-                        )
-                        # selection stays inside the span so its
-                        # attributes are final when it closes: streamed
-                        # span events snapshot at finish, so a late
-                        # set_attribute would desynchronise live
-                        # artifacts from the finalised trace
-                        reason = self.should_stop(
-                            context, engine, candidates, scores
-                        )
-                        if reason is None:
-                            best_idx = int(np.argmax(scores))
-                            chosen = candidates[best_idx]
-                            scoring_span.set_attribute(
-                                "chosen", str(chosen)
-                            )
-                            scoring_span.set_attribute(
-                                "acquisition_value",
-                                float(scores[best_idx]),
-                            )
-                            scoring_span.set_attribute(
-                                "pl_penalty", context.probe_penalty(chosen)
-                            )
-                    if reason is not None:
-                        stop_reason = reason
-                        step_span.set_attribute("stop_reason", reason)
-                        self._commit_decision(
-                            context, engine, stop_reason=reason
-                        )
-                        break
-                    self._commit_decision(context, engine, chosen=chosen)
-                    self._probe(context, engine, chosen, trials, "explore")
-
-            selection = self.select_best(context, engine)
-            best, best_speed = (
-                (None, 0.0) if selection is None else selection
-            )
-            search_span.set_attribute("stop_reason", stop_reason)
-            search_span.set_attribute("n_steps", len(trials))
-            search_span.set_attribute(
-                "best", None if best is None else str(best)
-            )
-        ledger = context.profiler.cloud.ledger
-        contracts.check_search_billing(
-            trials, ledger.total("profiling") - profiling_before
-        )
-        contracts.check_ledger(ledger)
-        contracts.check_fleet_attribution(
-            ledger, context.profiler.cloud.fleet
-        )
-        context.metrics.gauge("search.steps_to_stop").set(
-            len(trials), strategy=self.name
-        )
-        logger.info(
-            "%s finished after %d probes: best=%s (%.2f samples/s), "
-            "profiling %.2f h / $%.2f, stop: %s",
-            self.name, len(trials), best, best_speed,
-            context.elapsed_seconds() / 3600, context.spent_dollars(),
-            stop_reason,
-        )
-        return SearchResult(
-            strategy=self.name,
-            scenario=context.scenario,
-            trials=tuple(trials),
-            best=best,
-            best_measured_speed=best_speed,
-            profile_seconds=context.elapsed_seconds(),
-            profile_dollars=context.spent_dollars(),
-            stop_reason=stop_reason,
-        )
+        return SearchSession(self, context).run()

@@ -27,6 +27,7 @@ improvement falls below a threshold, or at ``max_steps``.
 from __future__ import annotations
 
 import logging
+from collections.abc import Mapping
 from typing import Any
 
 import numpy as np
@@ -539,6 +540,23 @@ class HeterBO(SearchStrategy):
                 best_feasible_ei=float(self._last_feasible_ei),
             )
         return scores
+
+    def state_snapshot(self) -> dict[str, Any]:
+        # the concave prior is a pure fold over observations, so the
+        # session replay rebuilds it through on_observation; only the
+        # Thompson RNG's consumed state must round-trip explicitly
+        return {"ts_rng": self._ts_rng.bit_generator.state}
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        self.prior = ConcaveScaleOutPrior()
+        self._last_feasible_ei = np.inf
+        self._last_any_feasible = True
+        self._last_incumbent_cost = None
+        rng_state = state.get("ts_rng")
+        if rng_state is not None:
+            rng = np.random.default_rng((self.seed, 0x7F4A7C15))
+            rng.bit_generator.state = dict(rng_state)
+            self._ts_rng = rng
 
     def decision_snapshot(self) -> dict[str, Any]:
         ei = self._last_feasible_ei

@@ -18,12 +18,13 @@ whole batch's cost before committing to it.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from repro import contracts
 from repro.core.engine import GPSearchEngine, SearchContext
 from repro.core.heterbo import HeterBO
-from repro.core.result import SearchResult, TrialRecord
+from repro.core.result import TrialRecord
 from repro.core.scenarios import ScenarioKind
 from repro.core.search_space import Deployment
 from repro.profiling.profiler import ProfileResult
@@ -43,6 +44,7 @@ class ParallelHeterBO(HeterBO):
     """
 
     name = "parallel-heterbo"
+    batched = True
 
     def __init__(self, *, batch_size: int = 3, **kwargs) -> None:
         super().__init__(**kwargs)
@@ -185,144 +187,28 @@ class ParallelHeterBO(HeterBO):
             # underlying clusters terminate in completion order
             self._emit_progress(context, engine, trials, note)
 
-    # -- the batched loop --------------------------------------------------------------
-    def search(self, context: SearchContext) -> SearchResult:
-        engine = self._make_engine(context)
-        trials: list[TrialRecord] = []
-        stop_reason = "max steps reached"
-        profiling_before = context.profiler.cloud.ledger.total("profiling")
-        context.decisions.begin_run(fast_lane=self.fast_lane)
+    # -- batched session hooks ---------------------------------------------------------
+    def search_span_attributes(
+        self, context: SearchContext
+    ) -> dict[str, Any]:
+        attributes = super().search_span_attributes(context)
+        attributes["batch_size"] = self.batch_size
+        return attributes
 
-        with context.tracer.span("search", {
-            "strategy": self.name,
-            "scenario": context.scenario.describe(),
-            "batch_size": self.batch_size,
-        }) as search_span:
-            # initial design: all single-node probes in one concurrent
-            # wave
-            initial = self.initial_deployments(context)[: self.max_steps]
-            if initial:
-                with context.tracer.span("step", {
-                    "phase": "initial", "batch": len(initial),
-                }):
-                    # batch member i becomes trial first_trial + i
-                    # (_record_batch appends in launch order), so the
-                    # fleet log can attribute each member's clusters
-                    fleet = context.profiler.cloud.fleet
-                    fleet.begin_batch(
-                        phase="initial", first_trial=len(trials) + 1
-                    )
-                    try:
-                        results = context.profiler.profile_batch(
-                            [(d.instance_type, d.count) for d in initial],
-                            context.job,
-                        )
-                    finally:
-                        fleet.clear()
-                    self._record_batch(
-                        context, engine, results, trials, "initial"
-                    )
-
-            while len(trials) < self.max_steps:
-                if engine.n_observations == 0:
-                    stop_reason = "no observations possible"
-                    break
-                with context.tracer.span(
-                    "step", {"phase": "explore"}
-                ) as step_span:
-                    engine.fit()
-                    candidates = self.candidate_deployments(context, engine)
-                    if not candidates:
-                        stop_reason = "search space exhausted"
-                        break
-                    with context.tracer.span(
-                        "candidate-scoring",
-                        {"n_candidates": len(candidates)},
-                    ) as scoring_span:
-                        scores = self.score_candidates(
-                            context, engine, candidates
-                        )
-                        # selection stays inside the span (as in the
-                        # sequential loop): streamed span events
-                        # snapshot at finish, so attributes must be
-                        # final by the time the span closes
-                        reason = self.should_stop(
-                            context, engine, candidates, scores
-                        )
-                        batch: list[Deployment] = []
-                        if reason is None:
-                            batch = self._select_batch(
-                                context, engine, candidates, scores
-                            )
-                            batch = batch[: self.max_steps - len(trials)]
-                            if batch:
-                                scoring_span.set_attribute(
-                                    "batch", [str(d) for d in batch]
-                                )
-                    if reason is not None:
-                        stop_reason = reason
-                        step_span.set_attribute("stop_reason", reason)
-                        self._commit_decision(
-                            context, engine, stop_reason=reason
-                        )
-                        break
-                    if not batch:
-                        stop_reason = (
-                            "protective stop: no batch fits the constraint"
-                        )
-                        step_span.set_attribute(
-                            "stop_reason", stop_reason
-                        )
-                        self._commit_decision(
-                            context, engine, stop_reason=stop_reason
-                        )
-                        break
-                    step_span.set_attribute("batch", len(batch))
-                    self._commit_decision(
-                        context, engine, chosen=batch[0], batch=batch
-                    )
-                    fleet = context.profiler.cloud.fleet
-                    fleet.begin_batch(
-                        phase="explore", first_trial=len(trials) + 1
-                    )
-                    try:
-                        results = context.profiler.profile_batch(
-                            [(d.instance_type, d.count) for d in batch],
-                            context.job,
-                        )
-                    finally:
-                        fleet.clear()
-                    self._record_batch(
-                        context, engine, results, trials, "explore"
-                    )
-
-            selection = self.select_best(context, engine)
-            best, best_speed = (
-                (None, 0.0) if selection is None else selection
+    def select_probes(
+        self,
+        context: SearchContext,
+        engine: GPSearchEngine,
+        candidates: list[Deployment],
+        scores: np.ndarray,
+        scoring_span,
+        n_remaining: int,
+    ) -> list[Deployment]:
+        """One concurrent wave of probes (constant-liar selection)."""
+        batch = self._select_batch(context, engine, candidates, scores)
+        batch = batch[:n_remaining]
+        if batch:
+            scoring_span.set_attribute(
+                "batch", [str(d) for d in batch]
             )
-            search_span.set_attribute("stop_reason", stop_reason)
-            search_span.set_attribute("n_steps", len(trials))
-            search_span.set_attribute(
-                "best", None if best is None else str(best)
-            )
-        ledger = context.profiler.cloud.ledger
-        contracts.check_search_billing(
-            trials, ledger.total("profiling") - profiling_before
-        )
-        contracts.check_ledger(ledger)
-        contracts.check_fleet_attribution(
-            ledger, context.profiler.cloud.fleet
-        )
-        context.metrics.gauge("search.steps_to_stop").set(
-            len(trials), strategy=self.name
-        )
-        return SearchResult(
-            strategy=self.name,
-            scenario=context.scenario,
-            trials=tuple(trials),
-            best=best,
-            best_measured_speed=best_speed,
-            profile_seconds=context.elapsed_seconds(),
-            profile_dollars=context.spent_dollars(),
-            stop_reason=stop_reason,
-        )
+        return batch

@@ -1,0 +1,654 @@
+"""Resumable search sessions: the engine loop, inverted.
+
+Historically :meth:`~repro.core.engine.SearchStrategy.search` owned a
+closed ``while`` loop — profile, record, refit, propose — that could
+only run start-to-finish inside one call.  :class:`SearchSession`
+inverts that control flow into a step-in/step-out state machine:
+
+- :meth:`SearchSession.next_action` advances the search up to (but not
+  through) the next probe and returns either a :class:`ProbeRequest`
+  (what the strategy wants measured next) or :class:`Stop`;
+- :meth:`SearchSession.execute_pending` runs the pending request
+  through the session's own profiler (the canonical in-process path);
+- :meth:`SearchSession.feed` ingests probe results an external
+  executor produced against the same cloud;
+- :meth:`SearchSession.to_dict` / :meth:`SearchSession.from_dict`
+  serialise the session between steps so a search survives a process
+  restart.
+
+``SearchStrategy.search()`` is now a thin driver over a session, and
+``tests/core/test_session.py`` asserts the resulting ``SearchTrace``
+is byte-identical (canonical form) to the historical loop's.
+
+Snapshots deliberately capture only *search* state — the trial trace,
+the GP fit schedule, the initial design and consumed strategy RNG
+state — not the simulated cloud or the recorder.  Restore replays the
+trials and fit calls against a muted copy of the supplied context to
+rebuild the surrogate bit-for-bit (GP restart draws are seeded per fit
+from ``(seed, n_observations)``, and rank-1 updates replay in recorded
+order), then reattaches the live telemetry sinks.  The host owns the
+cloud: a restored session must be given a context whose ledger and
+clock carry the pre-snapshot spend, or the resource accounting in its
+result will not cover the earlier probes (``docs/service.md``).
+
+Every stop path funnels through one exit point, which also closes a
+long-standing observability gap: the legacy loop committed no decision
+record for ``"search space exhausted"``, ``"no observations possible"``
+or initial-design-only ``"max steps reached"`` stops, leaving
+``repro explain --stop`` unable to reconstruct those runs from the
+artifact.  The session commits a terminal decision record on every
+stop path that the step itself did not already record.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections.abc import Mapping
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro import contracts
+from repro.core.engine import SearchContext, SearchStrategy
+from repro.core.result import SearchResult, TrialRecord
+from repro.core.search_space import Deployment
+from repro.obs import (
+    NOOP_BUS,
+    NOOP_DECISIONS,
+    NOOP_TRACER,
+    NOOP_WATCHDOG,
+    MetricsRegistry,
+)
+from repro.profiling.profiler import ProfileResult
+
+__all__ = ["ProbeRequest", "SNAPSHOT_VERSION", "SearchSession", "Stop"]
+
+logger = logging.getLogger(__name__)
+
+#: Session snapshot schema version (``to_dict()["version"]``).
+SNAPSHOT_VERSION = 1
+
+#: Session phases.
+PHASE_INITIAL = "initial"
+PHASE_EXPLORE = "explore"
+PHASE_STOPPED = "stopped"
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeRequest:
+    """One probe (or one concurrent batch) the session wants executed.
+
+    Attributes
+    ----------
+    deployments:
+        Deployments to profile, in launch order.  Sequential strategies
+        request one at a time; batched strategies request a whole wave.
+    phase:
+        ``"initial"`` or ``"explore"`` — the step phase the probes
+        belong to (also the trial ``note``).
+    batched:
+        Execute as one concurrent wave via
+        :meth:`~repro.profiling.profiler.Profiler.profile_batch`
+        (money is summed, wall-clock collapses to the longest member).
+    """
+
+    deployments: tuple[Deployment, ...]
+    phase: str
+    batched: bool = False
+
+    @property
+    def deployment(self) -> Deployment:
+        """The single requested deployment (head of the batch)."""
+        return self.deployments[0]
+
+
+@dataclass(frozen=True, slots=True)
+class Stop:
+    """The search is over; ``SearchSession.result`` holds the outcome."""
+
+    reason: str
+
+
+class SearchSession:
+    """Step-in/step-out state machine for one search run.
+
+    Drive it with :meth:`next_action` + :meth:`execute_pending` (or
+    :meth:`feed`), or call :meth:`run` to drain it in one call — which
+    is exactly what ``SearchStrategy.search()`` does.
+
+    The session owns the run-scoped state the legacy loop kept in
+    locals: the engine, the trial list, the initial design, the default
+    stop reason and the open ``search`` / ``step`` spans.  Spans are
+    driven manually (``__enter__`` / ``__exit__``) because a step now
+    straddles two calls: it opens in :meth:`next_action` and closes
+    when its probe results have been recorded.
+    """
+
+    def __init__(self, strategy: SearchStrategy, context: SearchContext) -> None:
+        self.strategy = strategy
+        self.context = context
+        self.engine = strategy._make_engine(context)
+        self.trials: list[TrialRecord] = []
+        self.phase = PHASE_INITIAL
+        self.stop_reason: str | None = None
+        self._pending: ProbeRequest | None = None
+        self._fed = 0
+        self._result: SearchResult | None = None
+        #: ``len(trials)`` at each ``engine.fit()`` call, in order —
+        #: the replay schedule that makes restore reproduce the GP's
+        #: incremental-update sequence exactly.
+        self._fit_trials: list[int] = []
+        self._profiling_before = context.profiler.cloud.ledger.total(
+            "profiling"
+        )
+        self._search_cm: Any = None
+        self._search_span: Any = None
+        self._step_cm: Any = None
+        self._step_span: Any = None
+        context.decisions.begin_run(fast_lane=strategy.fast_lane)
+        self._open_search_span()
+        self._initial = list(strategy.initial_deployments(context))
+        self._initial_idx = 0
+
+    # -- driving -------------------------------------------------------------
+    @property
+    def pending(self) -> ProbeRequest | None:
+        """The outstanding probe request, if any."""
+        return self._pending
+
+    @property
+    def result(self) -> SearchResult | None:
+        """The final result once the session has stopped."""
+        return self._result
+
+    def next_action(self) -> ProbeRequest | Stop:
+        """Advance to the next probe request, or stop.
+
+        Idempotent while a request is outstanding: the same
+        :class:`ProbeRequest` is returned until its results arrive via
+        :meth:`execute_pending` or :meth:`feed`.
+        """
+        if self.phase == PHASE_STOPPED:
+            return Stop(self.stop_reason or "stopped")
+        if self._pending is not None:
+            return self._pending
+        try:
+            if self.phase == PHASE_INITIAL:
+                request = self._next_initial()
+                if request is not None:
+                    return request
+                self.phase = PHASE_EXPLORE
+            return self._next_explore()
+        except BaseException as exc:
+            self._abort(exc)
+            raise
+
+    def execute_pending(self) -> list[ProfileResult]:
+        """Run the pending request through the session's own profiler.
+
+        This is the canonical in-process execution path — identical
+        probe spans, fleet attribution and billing to the legacy loop.
+        """
+        if self._pending is None:
+            raise RuntimeError("no pending probe request to execute")
+        request = self._pending
+        strategy, context, engine = self.strategy, self.context, self.engine
+        try:
+            if request.batched:
+                fleet = context.profiler.cloud.fleet
+                # batch member i becomes trial first_trial + i
+                # (_record_batch appends in launch order), so the fleet
+                # log can attribute each member's clusters
+                fleet.begin_batch(
+                    phase=request.phase, first_trial=len(self.trials) + 1
+                )
+                try:
+                    results = context.profiler.profile_batch(
+                        [
+                            (d.instance_type, d.count)
+                            for d in request.deployments
+                        ],
+                        context.job,
+                    )
+                finally:
+                    fleet.clear()
+                strategy._record_batch(
+                    context, engine, results, self.trials, request.phase
+                )
+            else:
+                results = [
+                    strategy._probe(
+                        context, engine, d, self.trials, request.phase
+                    )
+                    for d in request.deployments
+                ]
+        except BaseException as exc:
+            self._abort(exc)
+            raise
+        self._pending = None
+        self._fed = 0
+        self._close_step_span()
+        return results
+
+    def feed(self, result: ProfileResult) -> None:
+        """Ingest one probe result an external executor produced.
+
+        Results must arrive in the request's launch order and must have
+        been produced against the *session's* cloud — the billing
+        contracts reconcile trial costs against the session ledger at
+        finalisation.  The probe span is attribute-only (``fed``): the
+        measurement already happened, so there is no duration to trace.
+        """
+        if self._pending is None:
+            raise RuntimeError("feed() without a pending probe request")
+        request = self._pending
+        expected = request.deployments[self._fed]
+        if (result.instance_type, result.count) != (
+            expected.instance_type,
+            expected.count,
+        ):
+            raise ValueError(
+                f"fed result is {result.instance_type} x{result.count}, "
+                f"expected {expected}"
+            )
+        strategy, context, engine = self.strategy, self.context, self.engine
+        deployment = engine.add_observation(result)
+        with context.tracer.span("probe", {
+            "deployment": str(deployment),
+            "instance_type": deployment.instance_type,
+            "count": deployment.count,
+            "note": request.phase,
+            "fed": True,
+        }) as span:
+            self.trials.append(TrialRecord(
+                step=len(self.trials) + 1,
+                deployment=deployment,
+                measured_speed=result.speed,
+                profile_seconds=result.seconds,
+                profile_dollars=result.dollars,
+                elapsed_seconds=context.elapsed_seconds(),
+                spent_dollars=context.spent_dollars(),
+                note=request.phase,
+                failure_reason=result.failure_reason,
+            ))
+            strategy._record_probe_telemetry(
+                context, span, result, len(self.trials)
+            )
+        strategy.on_observation(context, result)
+        strategy._emit_progress(context, engine, self.trials, request.phase)
+        self._fed += 1
+        if self._fed == len(request.deployments):
+            self._pending = None
+            self._fed = 0
+            self._close_step_span()
+
+    def run(self) -> SearchResult:
+        """Drain the session to completion and return its result."""
+        while True:
+            action = self.next_action()
+            if isinstance(action, Stop):
+                if self._result is None:
+                    raise RuntimeError(
+                        f"session stopped without a result: {action.reason}"
+                    )
+                return self._result
+            self.execute_pending()
+
+    # -- the state machine ---------------------------------------------------
+    def _next_initial(self) -> ProbeRequest | None:
+        """The next initial-design request, or None to enter explore."""
+        strategy = self.strategy
+        if strategy.batched:
+            if self._initial_idx:
+                return None
+            self._initial_idx = 1
+            # initial design: all probes in one concurrent wave
+            batch = self._initial[: strategy.max_steps]
+            if not batch:
+                return None
+            self._open_step_span({"phase": "initial", "batch": len(batch)})
+            self._pending = ProbeRequest(
+                tuple(batch), PHASE_INITIAL, batched=True
+            )
+            return self._pending
+        if (
+            self._initial_idx < len(self._initial)
+            and len(self.trials) < strategy.max_steps
+        ):
+            deployment = self._initial[self._initial_idx]
+            self._initial_idx += 1
+            self._open_step_span({"phase": "initial"})
+            self._pending = ProbeRequest(
+                (deployment,), PHASE_INITIAL, batched=False
+            )
+            return self._pending
+        return None
+
+    def _next_explore(self) -> ProbeRequest | Stop:
+        """One explore iteration: fit, score, select — or stop."""
+        strategy, context, engine = self.strategy, self.context, self.engine
+        if len(self.trials) >= strategy.max_steps:
+            return self._stop("max steps reached")
+        if engine.n_observations == 0:
+            return self._stop("no observations possible")
+        self._open_step_span({"phase": "explore"})
+        engine.fit()
+        self._fit_trials.append(len(self.trials))
+        candidates = strategy.candidate_deployments(context, engine)
+        if not candidates:
+            self._close_step_span()
+            return self._stop("search space exhausted")
+        with context.tracer.span(
+            "candidate-scoring", {"n_candidates": len(candidates)}
+        ) as scoring_span:
+            scores = strategy.score_candidates(context, engine, candidates)
+            # selection stays inside the span so its attributes are
+            # final when it closes: streamed span events snapshot at
+            # finish, so a late set_attribute would desynchronise live
+            # artifacts from the finalised trace
+            reason = strategy.should_stop(context, engine, candidates, scores)
+            probes: list[Deployment] = []
+            if reason is None:
+                probes = strategy.select_probes(
+                    context,
+                    engine,
+                    candidates,
+                    scores,
+                    scoring_span,
+                    strategy.max_steps - len(self.trials),
+                )
+        if reason is not None or not probes:
+            stop_reason = (
+                reason if reason is not None
+                else strategy.empty_selection_stop_reason
+            )
+            self._step_span.set_attribute("stop_reason", stop_reason)
+            strategy._commit_decision(
+                context, engine, stop_reason=stop_reason
+            )
+            self._close_step_span()
+            return self._stop(stop_reason, committed=True)
+        if strategy.batched:
+            self._step_span.set_attribute("batch", len(probes))
+            strategy._commit_decision(
+                context, engine, chosen=probes[0], batch=probes
+            )
+        else:
+            strategy._commit_decision(context, engine, chosen=probes[0])
+        self._pending = ProbeRequest(
+            tuple(probes), PHASE_EXPLORE, batched=strategy.batched
+        )
+        return self._pending
+
+    def _stop(self, reason: str, *, committed: bool = False) -> Stop:
+        """Single exit point for every stop path."""
+        self.stop_reason = reason
+        if not committed:
+            self._commit_terminal_decision(reason)
+        self._finalize()
+        self.phase = PHASE_STOPPED
+        return Stop(reason)
+
+    def _commit_terminal_decision(self, reason: str) -> None:
+        """Decision record for stops the legacy loop left silent.
+
+        Guarantees every completed search with decisions enabled
+        carries at least one record naming its stop reason, so
+        ``repro explain --stop`` works from the artifact alone even for
+        ``"search space exhausted"`` / ``"no observations possible"`` /
+        initial-design-only ``"max steps reached"`` runs.  Unlike
+        ``_commit_decision`` this does not feed the watchdog: the
+        legacy loop emitted nothing here, and watchdog anomalies
+        surface as spans — which survive canonical-trace comparison.
+        """
+        decisions = self.context.decisions
+        if not decisions.enabled:
+            return
+        snapshot = self.strategy.decision_snapshot()
+        decisions.commit(
+            n_observations=self.engine.n_observations,
+            stop_reason=reason,
+            prior_caps=snapshot.get("prior_caps", {}),
+            surrogate=self.engine.surrogate_health(),
+        )
+
+    def _finalize(self) -> None:
+        """Close the search span, check contracts, build the result."""
+        strategy, context, engine = self.strategy, self.context, self.engine
+        selection = strategy.select_best(context, engine)
+        best, best_speed = (
+            (None, 0.0) if selection is None else selection
+        )
+        self._search_span.set_attribute("stop_reason", self.stop_reason)
+        self._search_span.set_attribute("n_steps", len(self.trials))
+        self._search_span.set_attribute(
+            "best", None if best is None else str(best)
+        )
+        self._close_search_span()
+        ledger = context.profiler.cloud.ledger
+        contracts.check_search_billing(
+            self.trials, ledger.total("profiling") - self._profiling_before
+        )
+        contracts.check_ledger(ledger)
+        contracts.check_fleet_attribution(
+            ledger, context.profiler.cloud.fleet
+        )
+        context.metrics.gauge("search.steps_to_stop").set(
+            len(self.trials), strategy=strategy.name
+        )
+        logger.info(
+            "%s finished after %d probes: best=%s (%.2f samples/s), "
+            "profiling %.2f h / $%.2f, stop: %s",
+            strategy.name, len(self.trials), best, best_speed,
+            context.elapsed_seconds() / 3600, context.spent_dollars(),
+            self.stop_reason,
+        )
+        self._result = SearchResult(
+            strategy=strategy.name,
+            scenario=context.scenario,
+            trials=tuple(self.trials),
+            best=best,
+            best_measured_speed=best_speed,
+            profile_seconds=context.elapsed_seconds(),
+            profile_dollars=context.spent_dollars(),
+            stop_reason=self.stop_reason,
+        )
+
+    def _abort(self, exc: BaseException) -> None:
+        """Close open spans with the error, like ``with`` unwinding."""
+        self._close_step_span(exc)
+        self._close_search_span(exc)
+        self.phase = PHASE_STOPPED
+        self.stop_reason = f"error: {exc!r}"
+        self._pending = None
+
+    # -- manual span lifecycle -----------------------------------------------
+    def _open_search_span(self) -> None:
+        self._search_cm = self.context.tracer.span(
+            "search", self.strategy.search_span_attributes(self.context)
+        )
+        self._search_span = self._search_cm.__enter__()
+
+    def _close_search_span(self, exc: BaseException | None = None) -> None:
+        cm = self._search_cm
+        self._search_cm = None
+        self._search_span = None
+        if cm is not None:
+            if exc is None:
+                cm.__exit__(None, None, None)
+            else:
+                cm.__exit__(type(exc), exc, exc.__traceback__)
+
+    def _open_step_span(self, attributes: dict[str, Any]) -> None:
+        self._step_cm = self.context.tracer.span("step", attributes)
+        self._step_span = self._step_cm.__enter__()
+
+    def _close_step_span(self, exc: BaseException | None = None) -> None:
+        cm = self._step_cm
+        self._step_cm = None
+        self._step_span = None
+        if cm is not None:
+            if exc is None:
+                cm.__exit__(None, None, None)
+            else:
+                cm.__exit__(type(exc), exc, exc.__traceback__)
+
+    # -- snapshots -----------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot of the session between steps.
+
+        Only quiescent sessions snapshot: a pending request means a
+        step span is open and half a step's effects are unrecorded.
+        """
+        if self._pending is not None:
+            raise RuntimeError(
+                "cannot snapshot a session with a pending probe request; "
+                "execute or feed it first"
+            )
+        if self.phase == PHASE_STOPPED:
+            raise RuntimeError(
+                "cannot snapshot a stopped session; read .result instead"
+            )
+        return {
+            "version": SNAPSHOT_VERSION,
+            "strategy": self.strategy.name,
+            "phase": self.phase,
+            "max_steps": self.strategy.max_steps,
+            "initial": [
+                [d.instance_type, d.count] for d in self._initial
+            ],
+            "initial_idx": self._initial_idx,
+            "trials": [
+                {
+                    "step": t.step,
+                    "instance_type": t.deployment.instance_type,
+                    "count": t.deployment.count,
+                    "measured_speed": t.measured_speed,
+                    "profile_seconds": t.profile_seconds,
+                    "profile_dollars": t.profile_dollars,
+                    "elapsed_seconds": t.elapsed_seconds,
+                    "spent_dollars": t.spent_dollars,
+                    "note": t.note,
+                    "failure_reason": t.failure_reason,
+                }
+                for t in self.trials
+            ],
+            "fit_trials": list(self._fit_trials),
+            "profiling_before": self._profiling_before,
+            "strategy_state": self.strategy.state_snapshot(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        snapshot: Mapping[str, Any],
+        *,
+        strategy: SearchStrategy,
+        context: SearchContext,
+    ) -> "SearchSession":
+        """Rebuild a session from a snapshot against a live context.
+
+        ``strategy`` must be configured identically to the snapshotted
+        one (its mutable state is reset by ``restore_state`` and
+        rebuilt by replay, so passing the original instance is fine).
+        The surrogate replays against a muted copy of ``context`` —
+        restore emits no spans, metrics, decisions or progress for
+        steps already recorded.  The host supplies the cloud: the
+        context's ledger and clock must carry the pre-snapshot spend
+        for resource accounting to stay truthful.
+
+        If ``context.tracer`` still has the predecessor's ``search``
+        span open (same-process resume), the session adopts it;
+        otherwise (fresh recorder after a restart) it opens a new root
+        span and the pre-snapshot spans live only in the old artifact.
+        """
+        version = snapshot.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported session snapshot version: {version!r}"
+            )
+        if snapshot["strategy"] != strategy.name:
+            raise ValueError(
+                f"snapshot was taken by strategy {snapshot['strategy']!r}, "
+                f"got {strategy.name!r}"
+            )
+        if int(snapshot["max_steps"]) != strategy.max_steps:
+            raise ValueError(
+                f"snapshot max_steps={snapshot['max_steps']} does not "
+                f"match strategy max_steps={strategy.max_steps}"
+            )
+        session = cls.__new__(cls)
+        session.strategy = strategy
+        session.context = context
+        session.trials = []
+        session.phase = str(snapshot["phase"])
+        session.stop_reason = None
+        session._pending = None
+        session._fed = 0
+        session._result = None
+        session._fit_trials = [int(n) for n in snapshot["fit_trials"]]
+        session._profiling_before = float(snapshot["profiling_before"])
+        session._initial = [
+            Deployment(str(t), int(n)) for t, n in snapshot["initial"]
+        ]
+        session._initial_idx = int(snapshot["initial_idx"])
+        session._step_cm = None
+        session._step_span = None
+        quiet = replace(
+            context,
+            tracer=NOOP_TRACER,
+            metrics=MetricsRegistry(),
+            decisions=NOOP_DECISIONS,
+            watchdog=NOOP_WATCHDOG,
+            bus=NOOP_BUS,
+        )
+        strategy.restore_state(snapshot.get("strategy_state", {}))
+        session.engine = strategy._make_engine(quiet)
+        pending_fits = list(session._fit_trials)
+        for doc in snapshot["trials"]:
+            while pending_fits and pending_fits[0] == len(session.trials):
+                session.engine.fit()
+                pending_fits.pop(0)
+            result = ProfileResult(
+                instance_type=str(doc["instance_type"]),
+                count=int(doc["count"]),
+                speed=float(doc["measured_speed"]),
+                seconds=float(doc["profile_seconds"]),
+                dollars=float(doc["profile_dollars"]),
+                iteration_speeds=(),
+                extensions=0,
+                failed=bool(doc["failure_reason"]),
+                failure_reason=str(doc["failure_reason"]),
+            )
+            session.engine.add_observation(result)
+            session.trials.append(TrialRecord(
+                step=int(doc["step"]),
+                deployment=Deployment(
+                    str(doc["instance_type"]), int(doc["count"])
+                ),
+                measured_speed=float(doc["measured_speed"]),
+                profile_seconds=float(doc["profile_seconds"]),
+                profile_dollars=float(doc["profile_dollars"]),
+                elapsed_seconds=float(doc["elapsed_seconds"]),
+                spent_dollars=float(doc["spent_dollars"]),
+                note=str(doc["note"]),
+                failure_reason=str(doc["failure_reason"]),
+            ))
+            strategy.on_observation(quiet, result)
+        while pending_fits and pending_fits[0] == len(session.trials):
+            session.engine.fit()
+            pending_fits.pop(0)
+        if pending_fits:
+            raise ValueError(
+                "snapshot fit schedule is inconsistent with its trials"
+            )
+        session.engine.context = context
+        context.decisions.begin_run(fast_lane=strategy.fast_lane)
+        current = context.tracer.current_span()
+        if current is not None and getattr(current, "name", "") == "search":
+            session._search_cm = context.tracer.adopt(current)
+            session._search_span = current
+        else:
+            session._search_cm = None
+            session._search_span = None
+            session._open_search_span()
+        return session

@@ -68,6 +68,17 @@ class Tracer:
         """The innermost open span, or ``None``."""
         return None
 
+    def adopt(self, span: Any) -> Any:
+        """Re-attach a close-capable handle to an already-open span.
+
+        Used by :class:`~repro.core.session.SearchSession` when a
+        restored session resumes inside the root span its predecessor
+        opened (same process, same tracer): the new owner gets a
+        context manager whose ``__exit__`` finishes the span.  The
+        no-op tracer returns the shared do-nothing span.
+        """
+        return _NOOP_SPAN
+
 
 #: Process-wide shared no-op tracer (stateless, safe to share).
 NOOP_TRACER = Tracer()
@@ -158,6 +169,27 @@ class RecordingTracer(Tracer):
 
     def current_span(self) -> Span | None:
         return self._stack[-1] if self._stack else None
+
+    def adopt(self, span: Span) -> _SpanContext:
+        """Hand an already-open span a fresh closing context manager.
+
+        The span must still be open on this tracer (a restored
+        :class:`~repro.core.session.SearchSession` adopts the root
+        ``search`` span its predecessor opened).  The new manager's
+        ``__exit__`` finishes the span; ``wall_seconds`` then covers
+        only the adopter's tenure, which canonical comparisons strip
+        anyway.
+        """
+        if span.end is not None:
+            raise ValueError(f"cannot adopt finished span {span.name!r}")
+        if span not in self._stack:
+            raise ValueError(f"span {span.name!r} is not open on this tracer")
+        ctx = _SpanContext(self, span.name, None)
+        ctx._span = span
+        # wall_seconds accounting restarts at adoption (overhead
+        # metric only, stripped from canonical-trace comparisons)
+        ctx._wall_start = time.perf_counter()  # repro-lint: disable=RL103
+        return ctx
 
     def _start(
         self, name: str, attributes: dict[str, Any] | None

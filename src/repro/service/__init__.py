@@ -1,0 +1,35 @@
+"""Multi-tenant MLCD job service (the paper's Fig. 8 as a daemon).
+
+The paper describes MLCD as a fully automated deployment *service*;
+this package puts one in front of the resumable
+:class:`~repro.core.session.SearchSession`:
+
+- :mod:`repro.service.jobs` — job specs, tenants, quotas and the
+  per-job MLCD world (own simulated cloud, recorder and streamed
+  trace artifact);
+- :mod:`repro.service.daemon` — :class:`MLCDJobService`, an
+  in-process daemon with a job queue and a cooperative worker pool
+  that drains sessions probe-by-probe against shared
+  :class:`~repro.cloud.provider.AccountLimits`, with per-tenant
+  billing ledgers;
+- :mod:`repro.service.api` — stdlib HTTP front-end
+  (``submit/status/result/cancel`` + streamed events);
+- :mod:`repro.service.client` — urllib client used by the
+  ``repro submit`` / ``repro status`` CLIs.
+
+See ``docs/service.md``.
+"""
+
+from repro.service.api import ServiceHTTPServer
+from repro.service.client import ServiceClient
+from repro.service.daemon import MLCDJobService, ServiceAdmissionError
+from repro.service.jobs import JobSpec, TenantQuota
+
+__all__ = [
+    "JobSpec",
+    "MLCDJobService",
+    "ServiceAdmissionError",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "TenantQuota",
+]

@@ -1,0 +1,200 @@
+"""Stdlib HTTP front-end for :class:`~repro.service.daemon.MLCDJobService`.
+
+Follows the :mod:`repro.obs.promhttp` idiom: a small
+``http.server``-based JSON API, one thread per request, no
+per-request logging, ``port=0`` for tests.  Endpoints:
+
+========================  =====================================================
+``POST /api/submit``      admit a :class:`~repro.service.jobs.JobSpec` (JSON
+                          body); 409 on quota/budget refusal
+``GET  /api/jobs``        all job status snapshots, submission order
+``GET  /api/status/<id>`` one job's status (404 for unknown ids)
+``GET  /api/result/<id>`` final result (409 until the job is done)
+``POST /api/cancel/<id>`` stop scheduling an active job
+``GET  /api/events/<id>`` streamed trace documents; ``?offset=N`` resumes an
+                          incremental tail (the JSONL the artifact holds)
+``GET  /api/tenants``     per-tenant ledgers and quotas
+``GET  /healthz``         liveness probe
+========================  =====================================================
+
+Every response body is JSON; errors carry ``{"error": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.service.daemon import MLCDJobService, ServiceAdmissionError
+from repro.service.jobs import JobSpec
+
+__all__ = ["ServiceHTTPServer"]
+
+#: Cap on request bodies — job specs are tiny; anything larger is abuse.
+_MAX_BODY = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_Server"  # type: ignore[assignment]
+
+    # -- plumbing ------------------------------------------------------------
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > _MAX_BODY:
+            raise ValueError(f"bad Content-Length: {length}")
+        doc = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+    def _route(self) -> tuple[str, dict[str, str]]:
+        path, _, query = self.path.partition("?")
+        params: dict[str, str] = {}
+        for pair in query.split("&"):
+            if "=" in pair:
+                key, _, value = pair.partition("=")
+                params[key] = value
+        return path, params
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        pass  # keep API traffic out of the CLI's stdout/stderr
+
+    # -- dispatch ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        path, params = self._route()
+        try:
+            if path == "/healthz":
+                self._send_json(200, {"status": "ok"})
+            elif path == "/api/jobs":
+                self._send_json(200, {"jobs": service.list_jobs()})
+            elif path == "/api/tenants":
+                self._send_json(200, {"tenants": service.tenants()})
+            elif path.startswith("/api/status/"):
+                self._send_json(
+                    200, service.status(path.removeprefix("/api/status/"))
+                )
+            elif path.startswith("/api/result/"):
+                try:
+                    self._send_json(
+                        200,
+                        service.result(path.removeprefix("/api/result/")),
+                    )
+                except RuntimeError as exc:  # not done yet
+                    self._error(409, str(exc))
+            elif path.startswith("/api/events/"):
+                self._send_json(200, service.events(
+                    path.removeprefix("/api/events/"),
+                    offset=int(params.get("offset", "0")),
+                ))
+            else:
+                self._error(404, f"no such endpoint: {path}")
+        except KeyError as exc:
+            self._error(404, str(exc.args[0]) if exc.args else "not found")
+        except Exception as exc:
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        path, _ = self._route()
+        try:
+            if path == "/api/submit":
+                try:
+                    spec = JobSpec.from_dict(self._read_body())
+                except (ValueError, TypeError, json.JSONDecodeError) as exc:
+                    self._error(400, f"bad job spec: {exc}")
+                    return
+                try:
+                    job_id = service.submit(spec)
+                except ServiceAdmissionError as exc:
+                    self._error(409, str(exc))
+                    return
+                self._send_json(200, {"id": job_id})
+            elif path.startswith("/api/cancel/"):
+                job_id = path.removeprefix("/api/cancel/")
+                self._send_json(
+                    200, {"id": job_id, "cancelled": service.cancel(job_id)}
+                )
+            else:
+                self._error(404, f"no such endpoint: {path}")
+        except KeyError as exc:
+            self._error(404, str(exc.args[0]) if exc.args else "not found")
+        except Exception as exc:
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    service: MLCDJobService
+
+
+class ServiceHTTPServer:
+    """Background JSON API over a running :class:`MLCDJobService`.
+
+    The server only answers queries and submissions; scheduling is the
+    service's own thread (``service.start()``), so stopping the HTTP
+    front-end never stalls running jobs.
+    """
+
+    def __init__(
+        self,
+        service: MLCDJobService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self._server = _Server((host, port), _Handler)
+        self._server.service = service
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return int(self._server.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "ServiceHTTPServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-service-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro serve`` loop)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Shut the server down and join the background thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

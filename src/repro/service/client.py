@@ -1,0 +1,114 @@
+"""Urllib client for the service API (the ``repro submit`` CLI's view).
+
+Thin and synchronous: every method is one HTTP round-trip returning
+the endpoint's decoded JSON payload.  API-level refusals
+(quota/budget 409s, unknown ids) raise :class:`ServiceClientError`
+with the server's ``error`` message; transport failures raise the
+usual :mod:`urllib.error` exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.service.jobs import JobSpec
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """The service refused the request (4xx/5xx with a JSON error)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Client for a :class:`~repro.service.api.ServiceHTTPServer`."""
+
+    def __init__(self, url: str, *, timeout: float = 10.0) -> None:
+        self.base_url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json; charset=utf-8"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8"))["error"]
+            except Exception:
+                message = exc.reason
+            raise ServiceClientError(exc.code, str(message)) from exc
+        if not isinstance(payload, dict):
+            raise ServiceClientError(502, "non-object JSON response")
+        return payload
+
+    # -- API surface ---------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: JobSpec) -> str:
+        """Submit a job; returns its id (raises on admission refusal)."""
+        return str(self._request("POST", "/api/submit", spec.to_dict())["id"])
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return list(self._request("GET", "/api/jobs")["jobs"])
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/api/status/{job_id}")
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/api/result/{job_id}")
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(
+            self._request("POST", f"/api/cancel/{job_id}")["cancelled"]
+        )
+
+    def events(self, job_id: str, offset: int = 0) -> dict[str, Any]:
+        return self._request(
+            "GET", f"/api/events/{job_id}?offset={int(offset)}"
+        )
+
+    def tenants(self) -> dict[str, Any]:
+        return dict(self._request("GET", "/api/tenants")["tenants"])
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 60.0,
+        poll_seconds: float = 0.1,
+    ) -> dict[str, Any]:
+        """Poll until the job leaves the active states; returns status.
+
+        Raises :class:`TimeoutError` when the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout  # repro-lint: disable=RL103
+        while True:
+            status = self.status(job_id)
+            if status["state"] not in ("queued", "running"):
+                return status
+            if time.monotonic() >= deadline:  # repro-lint: disable=RL103
+                raise TimeoutError(
+                    f"{job_id} still {status['state']} after {timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,394 @@
+"""The in-process multi-tenant MLCD job daemon.
+
+:class:`MLCDJobService` owns a job queue and a cooperative worker
+pool.  Scheduling is deterministic: :meth:`~MLCDJobService.tick`
+starts queued jobs, then walks the running jobs round-robin and
+advances up to ``workers`` of them by exactly one probe request each.
+Per tick, probe admission is gated by the *shared* account capacity
+(:class:`~repro.cloud.provider.AccountLimits` over the whole service —
+each job's private simulated cloud enforces only its own view) and by
+the submitting tenant's budget quota.  A job whose request does not
+fit the capacity left this tick simply waits; the round-robin cursor
+rotates, so no job starves.
+
+Tenant isolation is structural: admission and budget checks read only
+the submitting tenant's account, so one tenant exhausting its budget
+can never block another tenant's submissions or probes (asserted by
+``tests/service/test_service.py``).
+
+Threading: the service itself is single-threaded and lock-guarded.
+Tests drive it deterministically via :meth:`~MLCDJobService.tick` /
+:meth:`~MLCDJobService.run_until_idle`; ``repro serve`` runs
+:meth:`~MLCDJobService.start` to drain it from a daemon thread while
+the HTTP front-end answers queries.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.cloud.provider import AccountLimits
+from repro.core.session import Stop
+from repro.obs.stream import read_trace_events
+from repro.service.jobs import Job, JobSpec, JobState, TenantAccount, TenantQuota
+
+__all__ = ["MLCDJobService", "ServiceAdmissionError"]
+
+logger = logging.getLogger(__name__)
+
+
+class ServiceAdmissionError(Exception):
+    """A submission was refused by quota or capacity policy."""
+
+
+class MLCDJobService:
+    """Multi-tenant deployment-search service over shared account limits.
+
+    Parameters
+    ----------
+    artifacts_dir:
+        Directory for per-job streamed trace artifacts
+        (``<job-id>.trace.jsonl``).
+    limits:
+        Shared concurrency capacity across *all* jobs' probes; defaults
+        to the paper's account limits (100 CPU / 50 GPU instances).
+    workers:
+        Probe requests dispatched per tick — the worker-pool width.
+    default_quota:
+        Quota for tenants that were not explicitly registered.
+    """
+
+    def __init__(
+        self,
+        *,
+        artifacts_dir: str | Path,
+        limits: AccountLimits | None = None,
+        workers: int = 2,
+        default_quota: TenantQuota | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.limits = limits if limits is not None else AccountLimits()
+        self.workers = workers
+        self.artifacts_dir = Path(artifacts_dir)
+        self.artifacts_dir.mkdir(parents=True, exist_ok=True)
+        self.default_quota = (
+            default_quota if default_quota is not None else TenantQuota()
+        )
+        self._tenants: dict[str, TenantAccount] = {}
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._next_id = 1
+        self._rr = 0
+        self._lock = threading.RLock()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- tenancy -------------------------------------------------------------
+    def register_tenant(
+        self, name: str, quota: TenantQuota | None = None
+    ) -> TenantAccount:
+        """Create (or re-quota) a tenant account."""
+        with self._lock:
+            account = self._tenants.get(name)
+            if account is None:
+                account = TenantAccount(
+                    name=name,
+                    quota=quota if quota is not None else self.default_quota,
+                )
+                self._tenants[name] = account
+            elif quota is not None:
+                account.quota = quota
+            return account
+
+    def tenants(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant billing/quota view."""
+        with self._lock:
+            return {
+                name: account.to_dict()
+                for name, account in sorted(self._tenants.items())
+            }
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, spec: JobSpec) -> str:
+        """Admit a job, returning its id.
+
+        Raises :class:`ServiceAdmissionError` when the tenant is at its
+        concurrency quota or has exhausted its budget.  Only the
+        submitting tenant's account is consulted.
+        """
+        with self._lock:
+            tenant = self.register_tenant(spec.tenant)
+            active = [
+                j for j in (self._jobs[i] for i in tenant.job_ids)
+                if j.state in JobState.ACTIVE
+            ]
+            if len(active) >= tenant.quota.max_concurrent_jobs:
+                raise ServiceAdmissionError(
+                    f"tenant {spec.tenant!r} is at its concurrency quota "
+                    f"({tenant.quota.max_concurrent_jobs} active jobs)"
+                )
+            if tenant.budget_exhausted():
+                raise ServiceAdmissionError(
+                    f"tenant {spec.tenant!r} has exhausted its budget "
+                    f"(${tenant.spent_dollars:.2f} of "
+                    f"${tenant.quota.budget_dollars:.2f})"
+                )
+            job_id = f"job-{self._next_id:04d}"
+            self._next_id += 1
+            job = Job(
+                job_id, spec,
+                self.artifacts_dir / f"{job_id}.trace.jsonl",
+            )
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            tenant.job_ids.append(job_id)
+            logger.info(
+                "admitted %s for tenant %s (%s/%s, strategy %s)",
+                job_id, spec.tenant, spec.model, spec.dataset, spec.strategy,
+            )
+            return job_id
+
+    # -- scheduling ----------------------------------------------------------
+    def tick(self) -> bool:
+        """One scheduler round; True when any job advanced or finished.
+
+        Capacity reservations are per-tick: concurrent probes dispatched
+        in the same round must *together* fit the shared limits, and a
+        request that does not fit what is left waits for a later round.
+        """
+        with self._lock:
+            progressed = self._start_queued()
+            running = [
+                self._jobs[i] for i in self._order
+                if self._jobs[i].state == JobState.RUNNING
+            ]
+            if not running:
+                return progressed
+            # per-tick capacity pool, keyed by instance class (GPU?)
+            reserved = {False: 0, True: 0}
+            start = self._rr % len(running)
+            self._rr += 1
+            dispatched = 0
+            for job in running[start:] + running[:start]:
+                if dispatched >= self.workers:
+                    break
+                advanced, used_worker = self._advance(job, reserved)
+                progressed |= advanced
+                dispatched += 1 if used_worker else 0
+            return progressed
+
+    def run_until_idle(self, *, max_ticks: int = 1_000_000) -> None:
+        """Drain the service deterministically (the test harness path)."""
+        for _ in range(max_ticks):
+            if not self.tick():
+                return
+        raise RuntimeError(f"service still busy after {max_ticks} ticks")
+
+    def _start_queued(self) -> bool:
+        """Open the world + session of every queued job."""
+        started = False
+        for job_id in self._order:
+            job = self._jobs[job_id]
+            if job.state != JobState.QUEUED:
+                continue
+            try:
+                job.start()
+            except Exception as exc:
+                self._fail(job, f"failed to start: {exc}")
+            started = True
+        return started
+
+    def _advance(
+        self, job: Job, reserved: dict[bool, int]
+    ) -> tuple[bool, bool]:
+        """Advance one job by at most one probe request.
+
+        Returns ``(advanced, used_worker)``: finishing a job advances
+        it without consuming a worker slot; a job waiting on capacity
+        consumes neither.
+        """
+        session = job.session
+        assert session is not None
+        tenant = self._tenants[job.spec.tenant]
+        try:
+            action = session.next_action()
+        except Exception as exc:
+            self._fail(job, f"search error: {exc}")
+            return True, False
+        if isinstance(action, Stop):
+            self._finish(job)
+            return True, False
+        if tenant.budget_exhausted():
+            self._fail(
+                job,
+                f"tenant {tenant.name!r} budget exhausted "
+                f"(${tenant.spent_dollars:.2f} of "
+                f"${tenant.quota.budget_dollars:.2f})",
+            )
+            return True, False
+        demand = {False: 0, True: 0}
+        catalog = job.cloud.catalog  # type: ignore[union-attr]
+        for d in action.deployments:
+            demand[catalog[d.instance_type].is_gpu] += d.count
+        caps = {
+            False: self.limits.max_cpu_instances,
+            True: self.limits.max_gpu_instances,
+        }
+        if demand[False] > caps[False] or demand[True] > caps[True]:
+            self._fail(
+                job,
+                f"probe demand (cpu={demand[False]}, gpu={demand[True]}) "
+                f"exceeds service capacity "
+                f"(cpu={caps[False]}, gpu={caps[True]})",
+            )
+            return True, False
+        if (
+            reserved[False] + demand[False] > caps[False]
+            or reserved[True] + demand[True] > caps[True]
+        ):
+            return False, False  # wait for capacity in a later tick
+        reserved[False] += demand[False]
+        reserved[True] += demand[True]
+        spent_before = job.spent_dollars()
+        try:
+            session.execute_pending()
+        except Exception as exc:
+            tenant.spent_dollars += job.spent_dollars() - spent_before
+            self._fail(job, f"probe error: {exc}")
+            return True, True
+        tenant.spent_dollars += job.spent_dollars() - spent_before
+        return True, True
+
+    def _finish(self, job: Job) -> None:
+        session, recorder = job.session, job.recorder
+        assert session is not None and recorder is not None
+        result = session.result
+        if result is None:
+            self._fail(job, f"session stopped without result: "
+                            f"{session.stop_reason}")
+            return
+        # finalize publishes the summary event, which completes the
+        # streamed artifact (metrics snapshot + summary line)
+        recorder.finalize(result)
+        job.close_writer()
+        job.state = JobState.DONE
+        job.result_summary = {
+            "best": None if result.best is None else str(result.best),
+            "best_measured_speed": result.best_measured_speed,
+            "stop_reason": result.stop_reason,
+            "n_steps": result.n_steps,
+            "profile_seconds": result.profile_seconds,
+            "profile_dollars": result.profile_dollars,
+        }
+        logger.info(
+            "%s done: best=%s, stop: %s",
+            job.id, job.result_summary["best"], result.stop_reason,
+        )
+
+    def _fail(self, job: Job, error: str) -> None:
+        job.error = error
+        job.state = JobState.FAILED
+        job.close_writer()
+        logger.warning("%s failed: %s", job.id, error)
+
+    # -- queries -------------------------------------------------------------
+    def _job(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job: {job_id}")
+        return job
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """Status snapshot for one job."""
+        with self._lock:
+            return self._job(job_id).status()
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        """Status snapshots for every job, in submission order."""
+        with self._lock:
+            return [self._jobs[i].status() for i in self._order]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """Final result payload; raises until the job is done."""
+        with self._lock:
+            job = self._job(job_id)
+            if job.state != JobState.DONE:
+                raise RuntimeError(
+                    f"{job_id} has no result (state: {job.state})"
+                )
+            assert job.result_summary is not None
+            return {
+                "id": job.id,
+                "tenant": job.spec.tenant,
+                "trace_path": str(job.trace_path),
+                **job.result_summary,
+            }
+
+    def cancel(self, job_id: str) -> bool:
+        """Stop scheduling a job; True if it was still active."""
+        with self._lock:
+            job = self._job(job_id)
+            if job.state not in JobState.ACTIVE:
+                return False
+            job.state = JobState.CANCELLED
+            job.close_writer()
+            logger.info("%s cancelled", job.id)
+            return True
+
+    def events(self, job_id: str, offset: int = 0) -> dict[str, Any]:
+        """Incremental read of a job's streamed trace artifact.
+
+        The payload is the artifact's own JSONL documents — the same
+        lines ``repro trace --follow`` tails — plus the next offset to
+        poll from.
+        """
+        with self._lock:
+            job = self._job(job_id)
+        if not job.trace_path.exists():
+            return {"id": job_id, "events": [], "offset": 0, "torn": False}
+        docs, new_offset, torn = read_trace_events(
+            job.trace_path, int(offset)
+        )
+        return {
+            "id": job_id,
+            "events": docs,
+            "offset": new_offset,
+            "torn": torn,
+        }
+
+    # -- background serving --------------------------------------------------
+    def start(self) -> "MLCDJobService":
+        """Drain the queue from a daemon thread (the ``serve`` mode)."""
+        if self._thread is None:
+            self._stop_event.clear()
+            self._thread = threading.Thread(
+                target=self._serve_loop,
+                name="repro-service-scheduler",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def _serve_loop(self) -> None:
+        while not self._stop_event.is_set():
+            if not self.tick():
+                # idle: park briefly so new submissions are picked up
+                # without spinning
+                self._stop_event.wait(0.05)
+
+    def stop(self) -> None:
+        """Stop the scheduler thread (jobs keep their current state)."""
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MLCDJobService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

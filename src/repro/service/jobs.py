@@ -1,0 +1,290 @@
+"""Job specs, tenants and the per-job MLCD world.
+
+Every job gets its *own* simulated cloud, recorder and streamed trace
+artifact — exactly the stack :class:`~repro.mlcd.system.MLCD` builds
+for a one-shot deployment — so per-job billing, deadlines and traces
+stay attributable to a single job.  What the service shares across
+jobs is the account: concurrency capacity
+(:class:`~repro.cloud.provider.AccountLimits`) and per-tenant budget
+quotas, both enforced by the daemon at probe admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.baselines.convbo import ConvBO
+from repro.cloud.catalog import default_catalog
+from repro.cloud.provider import SimulatedCloud
+from repro.core.engine import SearchContext, SearchStrategy
+from repro.core.heterbo import HeterBO
+from repro.core.parallel import ParallelHeterBO
+from repro.core.search_space import DeploymentSpace
+from repro.core.session import SearchSession
+from repro.mlcd.platform_interface import MLPlatformInterface
+from repro.mlcd.scenario_analyzer import ScenarioAnalyzer, UserRequirements
+from repro.obs import RunRecorder, TraceStreamWriter
+from repro.profiling.profiler import Profiler
+from repro.sim.noise import NoiseModel
+from repro.sim.throughput import TrainingSimulator
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "JobState",
+    "TenantAccount",
+    "TenantQuota",
+    "make_strategy",
+]
+
+#: Strategies a job spec may name.
+STRATEGIES = ("heterbo", "convbo", "parallel-heterbo")
+
+
+class JobState:
+    """Job lifecycle states (plain strings — they travel over JSON)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States in which a job still counts against tenant concurrency.
+    ACTIVE = (QUEUED, RUNNING)
+
+
+@dataclass(frozen=True, slots=True)
+class TenantQuota:
+    """Per-tenant admission limits.
+
+    Attributes
+    ----------
+    max_concurrent_jobs:
+        Queued-or-running jobs a tenant may hold at once.
+    budget_dollars:
+        Total profiling spend across all of the tenant's jobs; ``None``
+        means unmetered.  Checked at submission *and* at every probe
+        dispatch, so a long-running job cannot silently overdraw.
+    """
+
+    max_concurrent_jobs: int = 4
+    budget_dollars: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_jobs < 1:
+            raise ValueError(
+                f"max_concurrent_jobs must be >= 1, "
+                f"got {self.max_concurrent_jobs}"
+            )
+        if self.budget_dollars is not None and self.budget_dollars <= 0:
+            raise ValueError(
+                f"budget_dollars must be positive, got {self.budget_dollars}"
+            )
+
+
+@dataclass(slots=True)
+class TenantAccount:
+    """One tenant's quota, ledger and job membership."""
+
+    name: str
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    spent_dollars: float = 0.0
+    job_ids: list[str] = field(default_factory=list)
+
+    def budget_exhausted(self) -> bool:
+        """Whether the tenant's metered budget has been used up."""
+        budget = self.quota.budget_dollars
+        return budget is not None and self.spent_dollars >= budget
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "spent_dollars": self.spent_dollars,
+            "budget_dollars": self.quota.budget_dollars,
+            "max_concurrent_jobs": self.quota.max_concurrent_jobs,
+            "jobs": list(self.job_ids),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """What a tenant submits: the training job plus its requirements.
+
+    Mirrors :meth:`repro.mlcd.system.MLCD.deploy`'s surface, minus the
+    final training execution — service jobs run the deployment search
+    and return the chosen deployment plus the trace artifact.
+    """
+
+    tenant: str
+    model: str
+    dataset: str
+    platform: str = "tensorflow"
+    epochs: float = 1.0
+    deadline_hours: float | None = None
+    budget_dollars: float | None = None
+    strategy: str = "heterbo"
+    seed: int = 0
+    max_steps: int = 30
+    max_count: int = 8
+    noise_sigma: float = 0.03
+    catalog: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("tenant must be non-empty")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "model": self.model,
+            "dataset": self.dataset,
+            "platform": self.platform,
+            "epochs": self.epochs,
+            "deadline_hours": self.deadline_hours,
+            "budget_dollars": self.budget_dollars,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "max_steps": self.max_steps,
+            "max_count": self.max_count,
+            "noise_sigma": self.noise_sigma,
+            "catalog": None if self.catalog is None else list(self.catalog),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "JobSpec":
+        known = {
+            "tenant", "model", "dataset", "platform", "epochs",
+            "deadline_hours", "budget_dollars", "strategy", "seed",
+            "max_steps", "max_count", "noise_sigma", "catalog",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown job spec fields: {sorted(unknown)}")
+        doc = dict(doc)
+        catalog = doc.get("catalog")
+        if catalog is not None:
+            doc["catalog"] = tuple(str(n) for n in catalog)
+        return cls(**doc)
+
+
+def make_strategy(spec: JobSpec) -> SearchStrategy:
+    """Instantiate the spec's named search strategy."""
+    if spec.strategy == "convbo":
+        return ConvBO(seed=spec.seed, max_steps=spec.max_steps)
+    if spec.strategy == "parallel-heterbo":
+        return ParallelHeterBO(seed=spec.seed, max_steps=spec.max_steps)
+    return HeterBO(seed=spec.seed, max_steps=spec.max_steps)
+
+
+class Job:
+    """One submitted job and (once started) its private MLCD world."""
+
+    def __init__(self, job_id: str, spec: JobSpec, trace_path: Path) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.trace_path = trace_path
+        self.state = JobState.QUEUED
+        self.error = ""
+        self.result_summary: dict[str, Any] | None = None
+        # world (built by start())
+        self.cloud: SimulatedCloud | None = None
+        self.recorder: RunRecorder | None = None
+        self.writer: TraceStreamWriter | None = None
+        self.session: SearchSession | None = None
+
+    def start(self) -> None:
+        """Build the per-job world and open the search session.
+
+        The stack mirrors :class:`~repro.mlcd.system.MLCD`: private
+        cloud + recorder, spans timed against the job's simulated
+        clock, and a live :class:`~repro.obs.TraceStreamWriter` so the
+        job's trace artifact is tailable while it runs — the streamed
+        file doubles as the events API payload.
+        """
+        spec = self.spec
+        catalog = default_catalog()
+        if spec.catalog is not None:
+            catalog = catalog.subset(list(spec.catalog))
+        cloud = SimulatedCloud(catalog)
+        recorder = RunRecorder(clock=lambda: cloud.clock.now, bus=True)
+        cloud.fleet = recorder.fleet
+        writer = TraceStreamWriter(self.trace_path, metrics=recorder.metrics)
+        recorder.bus.subscribe(writer)
+        profiler = Profiler(
+            cloud,
+            TrainingSimulator(),
+            noise=NoiseModel(sigma=spec.noise_sigma, seed=spec.seed),
+            tracer=recorder.tracer,
+            metrics=recorder.metrics,
+            bus=recorder.bus,
+        )
+        space = DeploymentSpace(catalog, max_count=spec.max_count)
+        training_job = MLPlatformInterface().build_job(
+            model=spec.model,
+            dataset=spec.dataset,
+            platform=spec.platform,
+            epochs=spec.epochs,
+        )
+        scenario = ScenarioAnalyzer().analyze(UserRequirements(
+            deadline_hours=spec.deadline_hours,
+            budget_dollars=spec.budget_dollars,
+        ))
+        context = SearchContext(
+            space=space,
+            profiler=profiler,
+            job=training_job,
+            scenario=scenario,
+            tracer=recorder.tracer,
+            metrics=recorder.metrics,
+            decisions=recorder.decisions,
+            watchdog=recorder.watchdog,
+            bus=recorder.bus,
+        )
+        self.cloud = cloud
+        self.recorder = recorder
+        self.writer = writer
+        self.session = SearchSession(make_strategy(spec), context)
+        self.state = JobState.RUNNING
+
+    def close_writer(self) -> None:
+        """Detach and close the streamed-trace sink (idempotent)."""
+        if self.writer is not None and self.recorder is not None:
+            self.recorder.bus.unsubscribe(self.writer)
+            self.writer.close()
+            self.writer = None
+
+    def spent_dollars(self) -> float:
+        """Dollars this job's private ledger has been charged."""
+        return 0.0 if self.cloud is None else self.cloud.total_spend()
+
+    def status(self) -> dict[str, Any]:
+        """JSON-ready status snapshot (the status API payload)."""
+        session = self.session
+        doc: dict[str, Any] = {
+            "id": self.id,
+            "tenant": self.spec.tenant,
+            "state": self.state,
+            "strategy": self.spec.strategy,
+            "model": self.spec.model,
+            "dataset": self.spec.dataset,
+            "n_trials": 0 if session is None else len(session.trials),
+            "phase": "queued" if session is None else session.phase,
+            "spent_dollars": self.spent_dollars(),
+            "elapsed_seconds": (
+                0.0 if self.cloud is None else self.cloud.elapsed()
+            ),
+            "trace_path": str(self.trace_path),
+        }
+        if self.error:
+            doc["error"] = self.error
+        if self.result_summary is not None:
+            doc["result"] = self.result_summary
+        return doc

@@ -1,0 +1,500 @@
+"""SearchSession: the inverted loop must not change a single byte.
+
+The legacy closed ``while`` loops (sequential and batched) are kept
+here verbatim as reference drivers; seeded searches run through both
+the reference and the session-backed ``SearchStrategy.search()``, and
+the canonicalised ``SearchTrace`` artifacts must be byte identical —
+the fast-lane-gate pattern applied to the control-flow inversion.
+On top of that: snapshot/restore equivalence mid-search, the
+NaN-argmax guard, and the terminal decision records the legacy loop
+never committed.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import contracts
+from repro.baselines.convbo import ConvBO
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.provider import SimulatedCloud
+from repro.core.engine import SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.parallel import ParallelHeterBO
+from repro.core.result import SearchResult, TrialRecord
+from repro.core.scenarios import Scenario
+from repro.core.search_space import Deployment, DeploymentSpace
+from repro.core.session import SearchSession, Stop
+from repro.obs import RunRecorder, render_explain
+from repro.perf.bench import canonical_trace_jsonl
+from repro.profiling.profiler import Profiler
+from repro.sim.datasets import get_dataset
+from repro.sim.noise import NoiseModel
+from repro.sim.platforms import get_platform
+from repro.sim.throughput import TrainingJob, TrainingSimulator
+from repro.sim.zoo import get_model
+
+
+def _world(*, seed=3, types=("c5.xlarge", "c5.4xlarge", "c4.xlarge"),
+           max_count=8, scenario=None, decisions=False):
+    catalog = paper_catalog().subset(list(types))
+    cloud = SimulatedCloud(catalog)
+    recorder = RunRecorder(
+        clock=lambda: cloud.clock.now,
+        decisions="full" if decisions else "off",
+    )
+    profiler = Profiler(
+        cloud, TrainingSimulator(),
+        noise=NoiseModel(sigma=0.03, seed=seed),
+        tracer=recorder.tracer, metrics=recorder.metrics,
+    )
+    job = TrainingJob(
+        model=get_model("char-rnn"),
+        dataset=get_dataset("char-corpus"),
+        platform=get_platform("tensorflow"),
+        epochs=1.0,
+    )
+    context = SearchContext(
+        space=DeploymentSpace(catalog, max_count=max_count),
+        profiler=profiler,
+        job=job,
+        scenario=scenario or Scenario.fastest_within(40.0),
+        tracer=recorder.tracer,
+        metrics=recorder.metrics,
+        decisions=recorder.decisions,
+        watchdog=recorder.watchdog,
+    )
+    return context, recorder
+
+
+# -- the legacy loops, verbatim ----------------------------------------------
+# These are the pre-inversion bodies of SearchStrategy.search() and
+# ParallelHeterBO.search(), kept as the ground truth the session-backed
+# drivers are compared against (``self`` -> ``strategy`` is the only
+# edit).
+
+
+def _legacy_sequential_search(strategy, context):
+    engine = strategy._make_engine(context)
+    trials = []
+    stop_reason = "max steps reached"
+    profiling_before = context.profiler.cloud.ledger.total("profiling")
+    context.decisions.begin_run(fast_lane=strategy.fast_lane)
+
+    with context.tracer.span("search", {
+        "strategy": strategy.name,
+        "scenario": context.scenario.describe(),
+    }) as search_span:
+        for deployment in strategy.initial_deployments(context):
+            if len(trials) >= strategy.max_steps:
+                break
+            with context.tracer.span("step", {"phase": "initial"}):
+                strategy._probe(
+                    context, engine, deployment, trials, "initial"
+                )
+
+        while len(trials) < strategy.max_steps:
+            if engine.n_observations == 0:
+                stop_reason = "no observations possible"
+                break
+            with context.tracer.span(
+                "step", {"phase": "explore"}
+            ) as step_span:
+                engine.fit()
+                candidates = strategy.candidate_deployments(context, engine)
+                if not candidates:
+                    stop_reason = "search space exhausted"
+                    break
+                with context.tracer.span(
+                    "candidate-scoring",
+                    {"n_candidates": len(candidates)},
+                ) as scoring_span:
+                    scores = strategy.score_candidates(
+                        context, engine, candidates
+                    )
+                    reason = strategy.should_stop(
+                        context, engine, candidates, scores
+                    )
+                    if reason is None:
+                        best_idx = int(np.argmax(scores))
+                        chosen = candidates[best_idx]
+                        scoring_span.set_attribute("chosen", str(chosen))
+                        scoring_span.set_attribute(
+                            "acquisition_value", float(scores[best_idx])
+                        )
+                        scoring_span.set_attribute(
+                            "pl_penalty", context.probe_penalty(chosen)
+                        )
+                if reason is not None:
+                    stop_reason = reason
+                    step_span.set_attribute("stop_reason", reason)
+                    strategy._commit_decision(
+                        context, engine, stop_reason=reason
+                    )
+                    break
+                strategy._commit_decision(context, engine, chosen=chosen)
+                strategy._probe(context, engine, chosen, trials, "explore")
+
+        selection = strategy.select_best(context, engine)
+        best, best_speed = (
+            (None, 0.0) if selection is None else selection
+        )
+        search_span.set_attribute("stop_reason", stop_reason)
+        search_span.set_attribute("n_steps", len(trials))
+        search_span.set_attribute(
+            "best", None if best is None else str(best)
+        )
+    ledger = context.profiler.cloud.ledger
+    contracts.check_search_billing(
+        trials, ledger.total("profiling") - profiling_before
+    )
+    contracts.check_ledger(ledger)
+    contracts.check_fleet_attribution(ledger, context.profiler.cloud.fleet)
+    context.metrics.gauge("search.steps_to_stop").set(
+        len(trials), strategy=strategy.name
+    )
+    return SearchResult(
+        strategy=strategy.name,
+        scenario=context.scenario,
+        trials=tuple(trials),
+        best=best,
+        best_measured_speed=best_speed,
+        profile_seconds=context.elapsed_seconds(),
+        profile_dollars=context.spent_dollars(),
+        stop_reason=stop_reason,
+    )
+
+
+def _legacy_parallel_search(strategy, context):
+    engine = strategy._make_engine(context)
+    trials = []
+    stop_reason = "max steps reached"
+    profiling_before = context.profiler.cloud.ledger.total("profiling")
+    context.decisions.begin_run(fast_lane=strategy.fast_lane)
+
+    with context.tracer.span("search", {
+        "strategy": strategy.name,
+        "scenario": context.scenario.describe(),
+        "batch_size": strategy.batch_size,
+    }) as search_span:
+        initial = strategy.initial_deployments(context)[: strategy.max_steps]
+        if initial:
+            with context.tracer.span("step", {
+                "phase": "initial", "batch": len(initial),
+            }):
+                fleet = context.profiler.cloud.fleet
+                fleet.begin_batch(
+                    phase="initial", first_trial=len(trials) + 1
+                )
+                try:
+                    results = context.profiler.profile_batch(
+                        [(d.instance_type, d.count) for d in initial],
+                        context.job,
+                    )
+                finally:
+                    fleet.clear()
+                strategy._record_batch(
+                    context, engine, results, trials, "initial"
+                )
+
+        while len(trials) < strategy.max_steps:
+            if engine.n_observations == 0:
+                stop_reason = "no observations possible"
+                break
+            with context.tracer.span(
+                "step", {"phase": "explore"}
+            ) as step_span:
+                engine.fit()
+                candidates = strategy.candidate_deployments(context, engine)
+                if not candidates:
+                    stop_reason = "search space exhausted"
+                    break
+                with context.tracer.span(
+                    "candidate-scoring",
+                    {"n_candidates": len(candidates)},
+                ) as scoring_span:
+                    scores = strategy.score_candidates(
+                        context, engine, candidates
+                    )
+                    reason = strategy.should_stop(
+                        context, engine, candidates, scores
+                    )
+                    batch = []
+                    if reason is None:
+                        batch = strategy._select_batch(
+                            context, engine, candidates, scores
+                        )
+                        batch = batch[: strategy.max_steps - len(trials)]
+                        if batch:
+                            scoring_span.set_attribute(
+                                "batch", [str(d) for d in batch]
+                            )
+                if reason is not None:
+                    stop_reason = reason
+                    step_span.set_attribute("stop_reason", reason)
+                    strategy._commit_decision(
+                        context, engine, stop_reason=reason
+                    )
+                    break
+                if not batch:
+                    stop_reason = (
+                        "protective stop: no batch fits the constraint"
+                    )
+                    step_span.set_attribute("stop_reason", stop_reason)
+                    strategy._commit_decision(
+                        context, engine, stop_reason=stop_reason
+                    )
+                    break
+                step_span.set_attribute("batch", len(batch))
+                strategy._commit_decision(
+                    context, engine, chosen=batch[0], batch=batch
+                )
+                fleet = context.profiler.cloud.fleet
+                fleet.begin_batch(
+                    phase="explore", first_trial=len(trials) + 1
+                )
+                try:
+                    results = context.profiler.profile_batch(
+                        [(d.instance_type, d.count) for d in batch],
+                        context.job,
+                    )
+                finally:
+                    fleet.clear()
+                strategy._record_batch(
+                    context, engine, results, trials, "explore"
+                )
+
+        selection = strategy.select_best(context, engine)
+        best, best_speed = (
+            (None, 0.0) if selection is None else selection
+        )
+        search_span.set_attribute("stop_reason", stop_reason)
+        search_span.set_attribute("n_steps", len(trials))
+        search_span.set_attribute(
+            "best", None if best is None else str(best)
+        )
+    ledger = context.profiler.cloud.ledger
+    contracts.check_search_billing(
+        trials, ledger.total("profiling") - profiling_before
+    )
+    contracts.check_ledger(ledger)
+    contracts.check_fleet_attribution(ledger, context.profiler.cloud.fleet)
+    context.metrics.gauge("search.steps_to_stop").set(
+        len(trials), strategy=strategy.name
+    )
+    return SearchResult(
+        strategy=strategy.name,
+        scenario=context.scenario,
+        trials=tuple(trials),
+        best=best,
+        best_measured_speed=best_speed,
+        profile_seconds=context.elapsed_seconds(),
+        profile_dollars=context.spent_dollars(),
+        stop_reason=stop_reason,
+    )
+
+
+STRATEGIES = {
+    "heterbo": lambda: HeterBO(seed=3, max_steps=8),
+    "convbo": lambda: ConvBO(seed=3, max_steps=8),
+    "parallel-heterbo": lambda: ParallelHeterBO(
+        seed=3, max_steps=8, batch_size=2
+    ),
+}
+
+LEGACY = {
+    "heterbo": _legacy_sequential_search,
+    "convbo": _legacy_sequential_search,
+    "parallel-heterbo": _legacy_parallel_search,
+}
+
+
+class TestLoopInversionByteIdentity:
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_session_trace_matches_legacy_loop(self, name):
+        context, recorder = _world()
+        legacy_result = LEGACY[name](STRATEGIES[name](), context)
+        legacy = canonical_trace_jsonl(recorder.finalize(legacy_result))
+
+        context, recorder = _world()
+        result = STRATEGIES[name]().search(context)
+        inverted = canonical_trace_jsonl(recorder.finalize(result))
+
+        assert inverted == legacy
+        assert result.stop_reason == legacy_result.stop_reason
+        assert result.best == legacy_result.best
+
+    def test_traces_are_nontrivial(self):
+        context, recorder = _world()
+        result = STRATEGIES["heterbo"]().search(context)
+        trace = canonical_trace_jsonl(recorder.finalize(result))
+        assert len(result.trials) >= 3
+        assert trace.count('"kind": "span"') > 0
+
+
+class TestSnapshotResume:
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_mid_search_snapshot_restore_is_byte_identical(self, name):
+        # uninterrupted reference
+        context, recorder = _world()
+        reference_result = STRATEGIES[name]().search(context)
+        reference = canonical_trace_jsonl(recorder.finalize(reference_result))
+
+        # interrupted: drive a few probes, snapshot, restore, finish
+        context, recorder = _world()
+        session = SearchSession(STRATEGIES[name](), context)
+        for _ in range(2):
+            action = session.next_action()
+            if isinstance(action, Stop):
+                break
+            session.execute_pending()
+        snapshot = json.loads(json.dumps(session.to_dict()))  # wire trip
+        restored = SearchSession.from_dict(
+            snapshot, strategy=STRATEGIES[name](), context=context
+        )
+        result = restored.run()
+        resumed = canonical_trace_jsonl(recorder.finalize(result))
+
+        assert resumed == reference
+        assert result.stop_reason == reference_result.stop_reason
+        assert [t.deployment for t in result.trials] == [
+            t.deployment for t in reference_result.trials
+        ]
+
+    def test_snapshot_refused_while_pending(self):
+        context, _ = _world()
+        session = SearchSession(STRATEGIES["heterbo"](), context)
+        session.next_action()
+        with pytest.raises(RuntimeError, match="pending"):
+            session.to_dict()
+
+    def test_snapshot_refused_after_stop(self):
+        context, _ = _world()
+        session = SearchSession(HeterBO(seed=3, max_steps=1), context)
+        session.run()
+        with pytest.raises(RuntimeError, match="stopped"):
+            session.to_dict()
+
+    def test_snapshot_validates_strategy_and_version(self):
+        context, _ = _world()
+        session = SearchSession(STRATEGIES["heterbo"](), context)
+        session.next_action()
+        session.execute_pending()
+        snapshot = session.to_dict()
+        with pytest.raises(ValueError, match="strategy"):
+            SearchSession.from_dict(
+                snapshot, strategy=ConvBO(seed=3, max_steps=8),
+                context=context,
+            )
+        with pytest.raises(ValueError, match="max_steps"):
+            SearchSession.from_dict(
+                snapshot, strategy=HeterBO(seed=3, max_steps=9),
+                context=context,
+            )
+        bad = dict(snapshot, version=99)
+        with pytest.raises(ValueError, match="version"):
+            SearchSession.from_dict(
+                bad, strategy=STRATEGIES["heterbo"](), context=context
+            )
+
+    def test_feed_accepts_external_results_in_order(self):
+        """Results produced against the session's cloud can be fed
+        back one by one; a mismatched deployment is rejected."""
+        context, _ = _world()
+        session = SearchSession(HeterBO(seed=3, max_steps=4), context)
+        request = session.next_action()
+        wrong = Deployment("c5.4xlarge", 7)
+        assert request.deployment != wrong
+        with pytest.raises(ValueError, match="expected"):
+            session.feed(context.profiler.profile(
+                wrong.instance_type, wrong.count, context.job
+            ))
+        result = context.profiler.profile(
+            request.deployment.instance_type,
+            request.deployment.count,
+            context.job,
+        )
+        session.feed(result)
+        assert session.pending is None
+        assert len(session.trials) == 1
+        assert session.trials[0].deployment == request.deployment
+
+
+class TestNaNGuard:
+    def test_non_finite_argmax_raises(self):
+        class NaNScores(HeterBO):
+            def score_candidates(self, context, engine, candidates):
+                return np.full(len(candidates), np.nan)
+
+            def should_stop(self, context, engine, candidates, scores):
+                return None
+
+        context, _ = _world()
+        with pytest.raises(ValueError, match="not finite"):
+            NaNScores(seed=3, max_steps=8).search(context)
+
+
+class TestTerminalDecisionRecords:
+    """Every stop path leaves a decision record naming its reason."""
+
+    def _stop_record(self, recorder):
+        stops = [
+            r for r in recorder.decisions.records
+            if r.stop_reason is not None
+        ]
+        assert len(stops) == 1
+        return stops[0]
+
+    def test_search_space_exhausted_commits_record(self):
+        context, recorder = _world(
+            types=("c5.xlarge",), max_count=1, decisions=True,
+            scenario=Scenario.fastest(),
+        )
+        result = HeterBO(seed=3, max_steps=8).search(context)
+        assert result.stop_reason == "search space exhausted"
+        record = self._stop_record(recorder)
+        assert record.stop_reason == "search space exhausted"
+        explained = render_explain(
+            recorder.finalize(result), stop=True
+        )
+        assert "search space exhausted" in explained
+        assert "did not stop on a recorded decision" not in explained
+
+    def test_no_observations_possible_commits_record(self):
+        # a deadline so tight no probe fits the constraint: the initial
+        # design is empty and the explore loop sees zero observations
+        context, recorder = _world(
+            decisions=True, scenario=Scenario.cheapest_within(1.0),
+        )
+        result = HeterBO(seed=3, max_steps=8).search(context)
+        assert result.stop_reason == "no observations possible"
+        record = self._stop_record(recorder)
+        assert record.stop_reason == "no observations possible"
+        explained = render_explain(recorder.finalize(result), stop=True)
+        assert "no observations possible" in explained
+
+    def test_initial_design_only_max_steps_commits_record(self):
+        # max_steps below the initial-design size: the legacy loop
+        # finished without ever entering candidate scoring, and the
+        # artifact carried no decision record at all
+        context, recorder = _world(decisions=True)
+        result = HeterBO(seed=3, max_steps=2).search(context)
+        assert result.stop_reason == "max steps reached"
+        assert all(t.note == "initial" for t in result.trials)
+        record = self._stop_record(recorder)
+        assert record.stop_reason == "max steps reached"
+        explained = render_explain(recorder.finalize(result), stop=True)
+        assert "max steps reached" in explained
+
+    def test_converged_stop_still_single_record(self):
+        """Explore-loop stops already committed a record in the legacy
+        loop; the single-exit-point refactor must not double-commit."""
+        context, recorder = _world(decisions=True)
+        result = HeterBO(seed=3, max_steps=30).search(context)
+        stops = [
+            r for r in recorder.decisions.records
+            if r.stop_reason is not None
+        ]
+        assert len(stops) == 1
+        assert stops[0].stop_reason == result.stop_reason

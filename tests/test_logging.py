@@ -29,7 +29,9 @@ class TestSearchLogging:
         assert len(probe_lines) >= 3
 
     def test_summary_logged_at_info(self, context, caplog):
-        with caplog.at_level(logging.INFO, logger="repro.core.engine"):
+        # the loop summary is emitted by the session (the loop's home
+        # since the SearchSession inversion)
+        with caplog.at_level(logging.INFO, logger="repro.core.session"):
             HeterBO(seed=1).search(context)
         finished = [
             r for r in caplog.records if "finished after" in r.getMessage()
