@@ -56,7 +56,9 @@ DEFAULT_LAYER_SPEC: dict[str, object] = {
     "service": [
         "baselines", "cloud", "core", "mlcd", "obs", "profiling", "sim",
     ],
-    "perf": ["cloud", "core", "obs", "profiling", "sim"],
+    # perf drives both the search hot path and the job service (the
+    # workload-replay benchmark)
+    "perf": ["cloud", "core", "obs", "profiling", "service", "sim"],
     "experiments": [
         "baselines", "cloud", "core", "mlcd", "obs", "profiling", "sim",
         "textfmt",

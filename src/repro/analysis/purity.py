@@ -51,6 +51,8 @@ DEFAULT_ENTRY_POINTS: tuple[str, ...] = (
     "repro.obs.metrics:MetricsRegistry",
     "repro.obs.recorder:RunRecorder",
     "repro.obs.stream:TraceStreamWriter",
+    "repro.obs.svc:SLOTracker",
+    "repro.obs.svc:ServiceLog",
     "repro.obs.tracer:RecordingTracer",
     "repro.obs.watchdog:Watchdog",
 )

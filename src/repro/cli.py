@@ -71,6 +71,10 @@ Two subcommands:
       python -m repro.cli submit --url http://127.0.0.1:8080 \\
           --tenant alice --model char-rnn --dataset char-corpus --wait
       python -m repro.cli status --url http://127.0.0.1:8080
+      python -m repro.cli status --url http://127.0.0.1:8080 --tenants
+      python -m repro.cli status --url http://127.0.0.1:8080 --format json
+      python -m repro.cli top --service http://127.0.0.1:8080
+      python -m repro.cli top --service runs/service.trace.jsonl --once
 
 - ``lint`` — run the repo's own static analyzer (see
   ``docs/static-analysis.md``)::
@@ -78,13 +82,17 @@ Two subcommands:
       python -m repro.cli lint src/repro
       python -m repro.cli lint src/repro --format json
 
-- ``bench`` — time the search hot path and emit a versioned
-  ``BENCH_search.json`` artifact (see ``docs/performance.md``)::
+- ``bench`` — time the search hot path (``BENCH_search.json``) or
+  replay a synthetic multi-tenant workload against the job service
+  (``--service`` → ``BENCH_service.json``; see ``docs/performance.md``
+  and ``docs/service.md``)::
 
       python -m repro.cli bench -o BENCH_search.json
       python -m repro.cli bench --quick
       python -m repro.cli bench --validate BENCH_search.json
       python -m repro.cli bench --quick --compare --regression-threshold 0.15
+      python -m repro.cli bench --service -o BENCH_service.json
+      python -m repro.cli bench --service --quick --max-overhead 0.10
 """
 
 from __future__ import annotations
@@ -378,6 +386,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_bench,
         validate_bench,
     )
+    from repro.perf.workload import (
+        SERVICE_BENCHMARK_NAME,
+        validate_service_bench,
+    )
 
     if args.validate:
         try:
@@ -389,13 +401,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"invalid JSON in {args.validate}: {exc}",
                   file=sys.stderr)
             return 2
-        problems = validate_bench(doc)
+        # dispatch on the artifact's own discriminator, so one
+        # --validate call handles both artifact kinds
+        if (isinstance(doc, dict)
+                and doc.get("benchmark") == SERVICE_BENCHMARK_NAME):
+            problems = validate_service_bench(doc)
+            kind = "BENCH_service.json"
+        else:
+            problems = validate_bench(doc)
+            kind = "BENCH_search.json"
         for problem in problems:
             print(f"{args.validate}: {problem}", file=sys.stderr)
         if not problems:
-            print(f"{args.validate}: valid BENCH_search.json "
+            print(f"{args.validate}: valid {kind} "
                   f"(schema v{doc['schema_version']})")
         return 2 if problems else 0
+
+    if args.service:
+        return _bench_service(args)
 
     doc = run_bench(
         quick=args.quick, seed=args.seed, max_steps=args.max_steps
@@ -461,6 +484,64 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _bench_service(args: argparse.Namespace) -> int:
+    """``repro bench --service``: the workload-replay benchmark."""
+    import json
+    from pathlib import Path
+
+    from repro.perf.workload import (
+        append_service_history,
+        compare_service_history,
+        render_service_summary,
+        run_service_bench,
+        validate_service_bench,
+    )
+
+    doc = run_service_bench(quick=args.quick, seed=args.seed)
+    print(render_service_summary(doc))
+    problems = validate_service_bench(doc)
+    for problem in problems:
+        print(f"service bench: {problem}", file=sys.stderr)
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}", file=sys.stderr)
+    regressed = False
+    if args.compare:
+        try:
+            lines, regressed = compare_service_history(
+                doc, args.history, threshold=args.regression_threshold
+            )
+        except ValueError as exc:
+            print(f"cannot compare against {args.history}: {exc}",
+                  file=sys.stderr)
+            return 2
+        for line in lines:
+            print(line)
+    overhead_failed = False
+    if args.max_overhead is not None:
+        ratio = doc["observability"]["overhead_ratio"]
+        if ratio - 1.0 > args.max_overhead:
+            print(
+                f"--max-overhead: service telemetry overhead "
+                f"{(ratio - 1.0) * 100:.1f}% exceeds the "
+                f"{args.max_overhead * 100:.1f}% ceiling",
+                file=sys.stderr,
+            )
+            overhead_failed = True
+    if not args.no_history:
+        try:
+            entry = append_service_history(doc, args.history)
+            print(f"appended seq={entry['seq']} to {args.history}",
+                  file=sys.stderr)
+        except (OSError, ValueError) as exc:
+            print(f"warning: could not append to {args.history}: {exc}",
+                  file=sys.stderr)
+    ok = not problems and not regressed and not overhead_failed
+    return 0 if ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.follow:
         return _trace_follow(args)
@@ -498,6 +579,9 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
     from repro.obs import LiveRunState, read_trace_events, render_top
 
+    if args.service:
+        return _top_service(args)
+
     state = LiveRunState()
     offset = 0
     torn = False
@@ -530,6 +614,62 @@ def _cmd_top(args: argparse.Namespace) -> int:
             print(panel, end="", flush=True)
             if state.completed:
                 return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 130
+
+
+def _top_service(args: argparse.Namespace) -> int:
+    """``repro top --service``: cross-tenant service dashboard.
+
+    The source is either a live daemon's base URL (polls
+    ``/svcstats``) or a ``service.trace.jsonl`` path (folds the
+    streamed ``kind=service`` records).  A service never "completes",
+    so the live view refreshes until interrupted.
+    """
+    import time
+
+    from repro.obs import load_service_state, render_service_top
+
+    live = args.path.startswith(("http://", "https://"))
+    if live:
+        from repro.service import ServiceClient
+        from repro.service.client import ServiceClientError
+
+        client = ServiceClient(args.path)
+    first = True
+    try:
+        while True:
+            torn = False
+            if live:
+                try:
+                    stats = client.svcstats()
+                except (ServiceClientError, OSError) as exc:
+                    print(f"cannot reach {args.path}: {exc}",
+                          file=sys.stderr)
+                    return 1
+            else:
+                try:
+                    state, torn = load_service_state(args.path)
+                except FileNotFoundError:
+                    print(f"no such trace file: {args.path}",
+                          file=sys.stderr)
+                    return 2
+                except ValueError as exc:
+                    print(f"invalid trace file {args.path}: {exc}",
+                          file=sys.stderr)
+                    return 2
+                stats = state.to_stats()
+            panel = render_service_top(
+                stats, source=args.path, width=args.width, torn=torn
+            )
+            if args.once:
+                print(panel, end="")
+                return 0
+            if not first:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            first = False
+            print(panel, end="", flush=True)
             time.sleep(args.interval)
     except KeyboardInterrupt:
         return 130
@@ -712,8 +852,34 @@ def _cmd_status(args: argparse.Namespace) -> int:
             print(f"{args.job_id}: "
                   f"{'cancelled' if cancelled else 'already inactive'}")
             return 0
+        if args.format == "json":
+            # machine view: the full /svcstats payload (tenants with
+            # budget burn, queueing/dispatch latency, SLO attainment)
+            print(json.dumps(client.svcstats(), indent=2,
+                             sort_keys=True))
+            return 0
         if args.tenants:
-            print(json.dumps(client.tenants(), indent=2))
+            tenants = client.svcstats()["tenants"]
+            if not tenants:
+                print("no tenants")
+                return 0
+            header = (f"{'TENANT':<16} {'ACTIVE':>6} {'JOBS':>5} "
+                      f"{'SPENT':>10} {'BUDGET':>10} {'BURN':>6}")
+            print(header)
+            for name in sorted(tenants):
+                row = tenants[name]
+                budget = row.get("budget_dollars")
+                burn = row.get("budget_burn")
+                print(
+                    f"{name:<16} {row['active_jobs']:>6} "
+                    f"{row['jobs_total']:>5} "
+                    f"{row['spent_dollars']:>10.2f} "
+                    + (f"{budget:>10.2f}" if budget is not None
+                       else f"{'-':>10}")
+                    + " "
+                    + (f"{burn:>6.0%}" if burn is not None
+                       else f"{'-':>6}")
+                )
             return 0
         if args.job_id:
             print(json.dumps(client.status(args.job_id), indent=2))
@@ -870,7 +1036,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="live dashboard over a streamed trace file "
              "(see `deploy --stream`)",
     )
-    top.add_argument("path", help="path to a (streamed) .trace.jsonl file")
+    top.add_argument("path", help="path to a (streamed) .trace.jsonl file; "
+                                  "with --service, a daemon base URL or a "
+                                  "service.trace.jsonl path")
+    top.add_argument("--service", action="store_true",
+                     help="cross-tenant service dashboard: poll a "
+                          "daemon's /svcstats (URL) or fold a streamed "
+                          "service trace (path)")
     top.add_argument("--once", action="store_true",
                      help="render a single snapshot and exit (non-tty/CI)")
     top.add_argument("--interval", type=float, default=1.0,
@@ -976,7 +1148,12 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--cancel", action="store_true",
                         help="cancel the given job")
     status.add_argument("--tenants", action="store_true",
-                        help="show per-tenant ledgers and quotas")
+                        help="per-tenant table: active/total jobs, spend "
+                             "vs budget and budget burn")
+    status.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="json: print the service's full /svcstats "
+                             "payload instead of a table")
     status.set_defaults(func=_cmd_status)
 
     from repro.analysis.cli import add_lint_arguments
@@ -990,8 +1167,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="benchmark the search hot path (docs/performance.md)",
+        help="benchmark the search hot path or the job service "
+             "(docs/performance.md, docs/service.md)",
     )
+    bench.add_argument("--service", action="store_true",
+                       help="run the service workload-replay benchmark "
+                            "(Poisson arrivals, heavy-tailed sizes) "
+                            "instead of the search hot path")
     bench.add_argument("--quick", action="store_true",
                        help="small space / few steps (CI smoke mode)")
     bench.add_argument("--seed", type=int, default=0)

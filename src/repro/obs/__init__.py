@@ -72,8 +72,24 @@ from repro.obs.stream import (
     format_event,
     read_trace_events,
 )
+from repro.obs.svc import (
+    DEFAULT_SLO_TARGETS,
+    NOOP_SERVICE,
+    SERVICE_EVENT_VERSION,
+    ServiceEvent,
+    ServiceLog,
+    SLOTarget,
+    SLOTracker,
+)
 from repro.obs.timeline import render_attribution, render_timeline
-from repro.obs.top import LiveRunState, load_state, render_top
+from repro.obs.top import (
+    LiveRunState,
+    ServiceTopState,
+    load_service_state,
+    load_state,
+    render_service_top,
+    render_top,
+)
 from repro.obs.tracer import NOOP_TRACER, RecordingTracer, Tracer
 from repro.obs.watchdog import (
     NOOP_WATCHDOG,
@@ -88,6 +104,7 @@ __all__ = [
     "BusEvent",
     "CandidateRecord",
     "Counter",
+    "DEFAULT_SLO_TARGETS",
     "DecisionLog",
     "DecisionRecord",
     "EventBus",
@@ -103,13 +120,20 @@ __all__ = [
     "NOOP_BUS",
     "NOOP_DECISIONS",
     "NOOP_FLEET",
+    "NOOP_SERVICE",
     "NOOP_TRACER",
     "NOOP_WATCHDOG",
     "ProgressEvent",
     "RecordingTracer",
     "RunRecorder",
+    "SERVICE_EVENT_VERSION",
+    "SLOTarget",
+    "SLOTracker",
     "SUPPORTED_TRACE_VERSIONS",
     "SearchTrace",
+    "ServiceEvent",
+    "ServiceLog",
+    "ServiceTopState",
     "Span",
     "StepHealth",
     "TRACE_SCHEMA_VERSION",
@@ -119,12 +143,14 @@ __all__ = [
     "WatchdogConfig",
     "follow_trace",
     "format_event",
+    "load_service_state",
     "load_state",
     "read_trace_events",
     "registry_source",
     "render_comparison",
     "render_explain",
     "render_attribution",
+    "render_service_top",
     "render_timeline",
     "render_top",
     "snapshot_to_prometheus_text",

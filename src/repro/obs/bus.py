@@ -68,6 +68,7 @@ BUS_EVENT_KINDS = (
     "metric",
     "decision",
     "fleet",
+    "service",
     "progress",
     "summary",
 )

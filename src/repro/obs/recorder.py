@@ -14,17 +14,21 @@ next to every figure.
 
 JSONL layout (one JSON object per line)::
 
-    {"kind": "header", "schema_version": 4, "strategy": ..., ...}
+    {"kind": "header", "schema_version": 5, "strategy": ..., ...}
     {"kind": "span", "name": "search", ...}        # one per span
     {"kind": "decision", "step": 1, ...}           # one per decision
     {"kind": "fleet", "event": "requested", ...}   # one per fleet event
+    {"kind": "service", "event": "submitted", ...} # one per svc event
     {"kind": "progress", "seq": 7, ...}            # one per heartbeat
     {"kind": "metrics", "data": {...}}             # final line
 
 Schema history: v1 had no ``decision`` lines; v2 had no ``fleet``
-lines; v3 had no ``progress`` lines.  All still load (they come back
-with empty tuples, normalised to the current version); anything else
-is rejected with an error naming the file and the offending version.
+lines; v3 had no ``progress`` lines; v4 had no ``service`` lines
+(those appear only in service-scope traces streamed by the job
+daemon — per-job traces never carry them).  All still load (they come
+back with empty tuples, normalised to the current version); anything
+else is rejected with an error naming the file and the offending
+version.
 
 Traces *streamed* by :class:`~repro.obs.stream.TraceStreamWriter`
 are a superset of this layout: records land in bus order (so spans
@@ -52,6 +56,7 @@ from repro.obs.decisions import DecisionLog, DecisionRecord
 from repro.obs.fleet import NOOP_FLEET, FleetEvent, FleetLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.span import Span
+from repro.obs.svc import ServiceEvent
 from repro.obs.tracer import RecordingTracer
 from repro.obs.watchdog import NOOP_WATCHDOG, Watchdog, WatchdogConfig
 
@@ -65,8 +70,8 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
 ]
 
-TRACE_SCHEMA_VERSION = 4
-SUPPORTED_TRACE_VERSIONS = (1, 2, 3, 4)
+TRACE_SCHEMA_VERSION = 5
+SUPPORTED_TRACE_VERSIONS = (1, 2, 3, 4, 5)
 
 
 @dataclass(frozen=True)
@@ -81,6 +86,7 @@ class SearchTrace:
     spans: tuple[Span, ...]
     decisions: tuple[DecisionRecord, ...] = ()
     fleet: tuple[FleetEvent, ...] = ()
+    service: tuple[ServiceEvent, ...] = ()
     progress: tuple[ProgressEvent, ...] = ()
     metrics: dict[str, Any] = field(default_factory=dict)
     schema_version: int = TRACE_SCHEMA_VERSION
@@ -134,6 +140,10 @@ class SearchTrace:
     def fleet_rows(self) -> list[dict[str, Any]]:
         """Fleet lifecycle events as dicts (one per event, in order)."""
         return [event.to_dict() for event in self.fleet]
+
+    def service_rows(self) -> list[dict[str, Any]]:
+        """Service lifecycle events as dicts (one per event, in order)."""
+        return [event.to_dict() for event in self.service]
 
     def progress_rows(self) -> list[dict[str, Any]]:
         """Heartbeat events as dicts (one per event, in bus order)."""
@@ -219,6 +229,10 @@ class SearchTrace:
             for e in self.fleet
         )
         lines.extend(
+            json.dumps({"kind": "service", **e.to_dict()}, sort_keys=True)
+            for e in self.service
+        )
+        lines.extend(
             json.dumps({"kind": "progress", **p.to_dict()}, sort_keys=True)
             for p in self.progress
         )
@@ -257,6 +271,7 @@ class SearchTrace:
         spans: list[Span] = []
         decisions: list[DecisionRecord] = []
         fleet: list[FleetEvent] = []
+        service: list[ServiceEvent] = []
         progress: list[ProgressEvent] = []
         metrics: dict[str, Any] = {}
         truncated = False
@@ -291,6 +306,8 @@ class SearchTrace:
                 decisions.append(DecisionRecord.from_dict(doc))
             elif kind == "fleet":
                 fleet.append(FleetEvent.from_dict(doc))
+            elif kind == "service":
+                service.append(ServiceEvent.from_dict(doc))
             elif kind == "progress":
                 progress.append(ProgressEvent.from_dict(doc))
             elif kind == "metrics":
@@ -315,9 +332,10 @@ class SearchTrace:
                 if key in summary_doc:
                     header[key] = summary_doc[key]
         # older artifacts migrate on load: decision lines arrived in v2,
-        # fleet lines in v3 and progress lines in v4, so missing kinds
-        # leave empty tuples and the trace is normalised to the current
-        # version (a save() round-trip upgrades the file).
+        # fleet lines in v3, progress lines in v4 and service lines in
+        # v5, so missing kinds leave empty tuples and the trace is
+        # normalised to the current version (a save() round-trip
+        # upgrades the file).
         return cls(
             strategy=header["strategy"],
             scenario=header["scenario"],
@@ -327,6 +345,7 @@ class SearchTrace:
             spans=tuple(sorted(spans, key=lambda s: s.span_id)),
             decisions=tuple(sorted(decisions, key=lambda d: d.step)),
             fleet=tuple(sorted(fleet, key=lambda e: e.seq)),
+            service=tuple(sorted(service, key=lambda e: e.seq)),
             progress=tuple(sorted(progress, key=lambda p: p.seq)),
             metrics=metrics,
             schema_version=TRACE_SCHEMA_VERSION,

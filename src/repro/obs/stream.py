@@ -65,7 +65,8 @@ class TraceStreamWriter:
     #: Per-update ``metric`` events are skipped (see __call__), so the
     #: bus can avoid constructing them when the writer is the only sink.
     interested_kinds = frozenset(
-        ("span-start", "span", "decision", "fleet", "progress", "summary")
+        ("span-start", "span", "decision", "fleet", "service",
+         "progress", "summary")
     )
 
     def __init__(
@@ -303,6 +304,26 @@ def format_event(doc: dict[str, Any]) -> str | None:
         if doc.get("dollars") is not None:
             base += f" ({_fmt_dollars(doc.get('dollars'))})"
         return base
+    if kind == "service":
+        parts = [str(doc.get("event"))]
+        if doc.get("job"):
+            parts.append(str(doc.get("job")))
+        if doc.get("tenant"):
+            parts.append(f"tenant={doc.get('tenant')}")
+        if doc.get("reason"):
+            parts.append(f"reason={doc.get('reason')}")
+        if doc.get("wait_seconds") is not None:
+            parts.append(f"waited {doc.get('wait_seconds'):.1f}s")
+        if doc.get("queue_delay_seconds") is not None:
+            parts.append(f"queued {doc.get('queue_delay_seconds'):.1f}s")
+        if doc.get("slo"):
+            parts.append(
+                f"{doc.get('slo')}: {doc.get('value'):.3g} "
+                f"> {doc.get('threshold'):.3g}"
+            )
+        if doc.get("dollars") is not None:
+            parts.append(_fmt_dollars(doc.get("dollars")))
+        return f"{prefix}service  {' '.join(parts)}"
     if kind == "progress":
         spent = doc.get("spent_usd")
         elapsed = doc.get("elapsed_s")

@@ -1,0 +1,534 @@
+"""Service-scope telemetry: job-lifecycle events, metrics and SLOs.
+
+Per-job recorders (:mod:`repro.obs.recorder`) make one search
+observable; nothing in the repo could see the *service* — queueing
+delay, admission rejections, capacity contention and fair-share drift
+across tenants happen between jobs, outside any single job's trace.
+:class:`ServiceLog` closes that gap: the job daemon
+(:class:`~repro.service.daemon.MLCDJobService`) emits one
+:class:`ServiceEvent` per lifecycle transition (``submitted`` →
+``started`` → ``dispatched`` → ``done`` / ``failed`` / ``cancelled``
+/ ``budget-stopped``, plus ``rejected`` at admission and ``deferred``
+on capacity waits), and :class:`SLOTracker` evaluates declarative
+latency / error-budget targets against the service metrics registry on
+every scheduler tick, edge-triggered like the per-run
+:class:`~repro.obs.watchdog.Watchdog`.
+
+Design rules (shared with :mod:`repro.obs.fleet`):
+
+- **Read-only.**  Recording never feeds back into scheduling: the log
+  only copies values the daemon already computed, so a service with
+  telemetry on schedules byte-identically to one with it off.
+- **No-op by default.**  ``NOOP_SERVICE`` is a stateless singleton;
+  the scheduler's hot path pays one attribute load and a return.
+- **Deterministic timebase.**  Event times come from the daemon's
+  :class:`~repro.cloud.clock.LogicalClock`, so two identical replays
+  produce byte-identical ``kind=service`` streams.
+
+Events serialise into the daemon's own streamed trace artifact as
+``kind=service`` JSON lines (trace schema v5); each event dict carries
+its own ``v`` field so the service schema can evolve independently of
+the trace envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.obs.bus import NOOP_BUS, EventBus
+
+__all__ = [
+    "DEFAULT_SLO_TARGETS",
+    "NOOP_SERVICE",
+    "SERVICE_EVENT_KINDS",
+    "SERVICE_EVENT_VERSION",
+    "SLOTarget",
+    "SLOTracker",
+    "ServiceEvent",
+    "ServiceLog",
+]
+
+#: Version of the per-event schema (the ``v`` key on serialised events).
+SERVICE_EVENT_VERSION = 1
+
+#: Recognised job-lifecycle transitions (plus the SLO-breach overlay).
+SERVICE_EVENT_KINDS = (
+    "submitted",
+    "rejected",
+    "started",
+    "dispatched",
+    "deferred",
+    "done",
+    "failed",
+    "cancelled",
+    "budget-stopped",
+    "slo-breach",
+)
+
+#: Terminal states a job can reach (mirrors ``JobState`` spellings).
+TERMINAL_EVENT_KINDS = ("done", "failed", "cancelled", "budget-stopped")
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceEvent:
+    """One job-lifecycle transition at service scope.
+
+    Attributes
+    ----------
+    seq:
+        1-based emission order within the service (stable tie-break
+        for events sharing a tick timestamp).
+    time:
+        Service :class:`~repro.cloud.clock.LogicalClock` timestamp in
+        seconds.
+    event:
+        One of :data:`SERVICE_EVENT_KINDS`.
+    job / tenant:
+        The job id and owning tenant.  ``rejected`` events carry only
+        the tenant (no job was created); ``slo-breach`` events carry
+        neither.
+    reason:
+        Short machine-readable cause on ``rejected`` / ``failed`` /
+        ``deferred`` / ``budget-stopped`` events (e.g. ``"quota"``,
+        ``"budget"``, ``"oversized-demand"``, ``"capacity"``).
+    step:
+        The job's 1-based probe-dispatch count (``dispatched`` only).
+    cpu / gpu:
+        Instance demand of the probe (``dispatched`` / ``deferred``).
+    wait_seconds:
+        Dispatch latency: simulated seconds the probe waited on shared
+        capacity before dispatch (0.0 when it dispatched in the tick
+        it became ready).
+    queue_delay_seconds:
+        Submission→first-dispatch delay, emitted once per job on its
+        first ``dispatched`` event.
+    dollars:
+        The job's private-ledger spend, on terminal events.
+    slo / value / threshold:
+        Breach payload on ``slo-breach`` events: the target's name,
+        the observed value and the declared threshold.
+    """
+
+    seq: int
+    time: float
+    event: str
+    job: str | None = None
+    tenant: str | None = None
+    reason: str | None = None
+    step: int | None = None
+    cpu: int | None = None
+    gpu: int | None = None
+    wait_seconds: float | None = None
+    queue_delay_seconds: float | None = None
+    dollars: float | None = None
+    slo: str | None = None
+    value: float | None = None
+    threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.event not in SERVICE_EVENT_KINDS:
+            raise ValueError(
+                f"unknown service event {self.event!r}; expected one of "
+                f"{SERVICE_EVENT_KINDS}"
+            )
+        if self.seq < 1:
+            raise ValueError(f"seq must be >= 1, got {self.seq}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialisable form; ``None`` fields are dropped."""
+        doc: dict[str, Any] = {
+            "v": SERVICE_EVENT_VERSION,
+            "seq": self.seq,
+            "time": self.time,
+            "event": self.event,
+        }
+        for key in (
+            "job",
+            "tenant",
+            "reason",
+            "step",
+            "cpu",
+            "gpu",
+            "wait_seconds",
+            "queue_delay_seconds",
+            "dollars",
+            "slo",
+            "value",
+            "threshold",
+        ):
+            value = getattr(self, key)
+            if value is not None:
+                doc[key] = value
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "ServiceEvent":
+        """Rebuild an event from its serialised form.
+
+        Tolerates unknown keys (forward compatibility within the
+        service schema) but requires the core identity fields.
+        """
+        return cls(
+            seq=int(doc["seq"]),
+            time=float(doc["time"]),
+            event=str(doc["event"]),
+            job=doc.get("job"),
+            tenant=doc.get("tenant"),
+            reason=doc.get("reason"),
+            step=doc.get("step"),
+            cpu=doc.get("cpu"),
+            gpu=doc.get("gpu"),
+            wait_seconds=doc.get("wait_seconds"),
+            queue_delay_seconds=doc.get("queue_delay_seconds"),
+            dollars=doc.get("dollars"),
+            slo=doc.get("slo"),
+            value=doc.get("value"),
+            threshold=doc.get("threshold"),
+        )
+
+
+class ServiceLog:
+    """Collects :class:`ServiceEvent`s and updates service metrics.
+
+    The daemon calls :meth:`record` at every lifecycle transition; the
+    log assigns the monotonic ``seq``, folds the event into the
+    service metrics registry (latency histograms, contention counters,
+    per-tenant completion counters) and republishes it on the service
+    event bus as ``kind=service`` so the streamed service trace and
+    any live subscribers see it in total order.
+    """
+
+    def __init__(self, *, metrics: Any = None, bus: EventBus = NOOP_BUS) -> None:
+        self._events: list[ServiceEvent] = []
+        self._metrics = metrics
+        self._bus = bus
+
+    @property
+    def enabled(self) -> bool:
+        """Whether recording is live (``False`` only on the no-op)."""
+        return True
+
+    @property
+    def events(self) -> tuple[ServiceEvent, ...]:
+        """All events in emission order."""
+        return tuple(self._events)
+
+    def record(
+        self,
+        event: str,
+        *,
+        time: float,
+        job: str | None = None,
+        tenant: str | None = None,
+        reason: str | None = None,
+        step: int | None = None,
+        cpu: int | None = None,
+        gpu: int | None = None,
+        wait_seconds: float | None = None,
+        queue_delay_seconds: float | None = None,
+        dollars: float | None = None,
+        slo: str | None = None,
+        value: float | None = None,
+        threshold: float | None = None,
+    ) -> ServiceEvent:
+        """Append one event, update metrics, publish ``kind=service``."""
+        record = ServiceEvent(
+            seq=len(self._events) + 1,
+            time=time,
+            event=event,
+            job=job,
+            tenant=tenant,
+            reason=reason,
+            step=step,
+            cpu=cpu,
+            gpu=gpu,
+            wait_seconds=wait_seconds,
+            queue_delay_seconds=queue_delay_seconds,
+            dollars=dollars,
+            slo=slo,
+            value=value,
+            threshold=threshold,
+        )
+        self._events.append(record)
+        self._update_metrics(record)
+        if self._bus.enabled:
+            self._bus.publish("service", record.to_dict())
+        return record
+
+    # -- metrics -------------------------------------------------------
+
+    def _update_metrics(self, record: ServiceEvent) -> None:
+        metrics = self._metrics
+        if metrics is None:
+            return
+        event = record.event
+        tenant = record.tenant or ""
+        if event == "submitted":
+            metrics.counter(
+                "svc.jobs_submitted_total",
+                description="jobs admitted by the service",
+            ).inc(tenant=tenant)
+        elif event == "rejected":
+            metrics.counter(
+                "svc.admission_rejections_total",
+                description="submissions refused at admission",
+            ).inc(tenant=tenant, reason=record.reason or "policy")
+        elif event == "deferred":
+            metrics.counter(
+                "svc.reservation_conflicts_total",
+                description="probes deferred by shared-capacity contention",
+            ).inc(tenant=tenant)
+        elif event == "dispatched":
+            metrics.counter(
+                "svc.probes_dispatched_total",
+                description="probe requests dispatched to job clouds",
+            ).inc(tenant=tenant)
+            if record.wait_seconds is not None:
+                metrics.histogram(
+                    "svc.dispatch_latency_seconds",
+                    unit="seconds",
+                    description="ready-to-dispatch latency per probe",
+                ).observe(record.wait_seconds)
+            if record.queue_delay_seconds is not None:
+                metrics.histogram(
+                    "svc.queue_delay_seconds",
+                    unit="seconds",
+                    description="submission-to-first-dispatch delay per job",
+                ).observe(record.queue_delay_seconds)
+        elif event in TERMINAL_EVENT_KINDS:
+            metrics.counter(
+                "svc.jobs_finished_total",
+                description="jobs reaching a terminal state",
+            ).inc(state=event)
+            if event == "failed" and record.reason == "oversized-demand":
+                metrics.counter(
+                    "svc.oversized_demand_total",
+                    description="jobs failed fast for demands over capacity",
+                ).inc()
+        elif event == "slo-breach":
+            metrics.counter(
+                "svc.slo_breaches_total",
+                description="edge-triggered SLO breach transitions",
+            ).inc(slo=record.slo or "")
+
+
+class _NoopServiceLog(ServiceLog):
+    """Inert service log: every mutator returns immediately.
+
+    Stateless by construction, so the module-level singleton can be
+    shared by every untelemetered daemon without cross-talk.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def record(self, *args: Any, **kwargs: Any) -> ServiceEvent | None:  # type: ignore[override]
+        return None
+
+
+#: Shared inert singleton — the telemetry-off daemon's service log.
+NOOP_SERVICE = _NoopServiceLog()
+
+
+# -- SLO tracking -------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SLOTarget:
+    """One declarative service-level objective.
+
+    Two kinds are supported:
+
+    ``quantile``
+        The target holds while ``metric``'s ``quantile`` stays at or
+        below ``threshold`` (e.g. p99 dispatch latency ≤ 5 s).  Not
+        evaluated until the histogram has ``min_count`` observations.
+    ``ratio``
+        The target holds while ``numerator.total() /
+        denominator.total()`` stays at or below ``threshold`` (an
+        error budget, e.g. admission rejections ≤ 10% of
+        submissions).  Not evaluated until the denominator has
+        ``min_count`` increments.
+    """
+
+    name: str
+    kind: str = "quantile"
+    metric: str = ""
+    quantile: float = 0.99
+    numerator: str = ""
+    denominator: str = ""
+    threshold: float = 0.0
+    min_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("quantile", "ratio"):
+            raise ValueError(
+                f"SLO kind must be 'quantile' or 'ratio', got {self.kind!r}"
+            )
+        if self.kind == "quantile":
+            if not self.metric:
+                raise ValueError(f"quantile SLO {self.name!r} needs a metric")
+            if not 0.0 < self.quantile < 1.0:
+                raise ValueError(
+                    f"quantile must be in (0, 1), got {self.quantile}"
+                )
+        elif not (self.numerator and self.denominator):
+            raise ValueError(
+                f"ratio SLO {self.name!r} needs numerator and denominator"
+            )
+        if self.min_count < 1:
+            raise ValueError(f"min_count must be >= 1, got {self.min_count}")
+
+    def describe(self) -> str:
+        """Human-readable target, e.g. ``p99(svc.dispatch…) <= 5``."""
+        if self.kind == "quantile":
+            pct = f"p{self.quantile * 100:g}"
+            return f"{pct}({self.metric}) <= {self.threshold:g}"
+        return (
+            f"{self.numerator}/{self.denominator} <= {self.threshold:g}"
+        )
+
+
+#: Targets the daemon tracks when none are declared explicitly.
+DEFAULT_SLO_TARGETS = (
+    SLOTarget(
+        name="dispatch-p99",
+        kind="quantile",
+        metric="svc.dispatch_latency_seconds",
+        quantile=0.99,
+        threshold=10.0,
+        min_count=5,
+    ),
+    SLOTarget(
+        name="queue-delay-p99",
+        kind="quantile",
+        metric="svc.queue_delay_seconds",
+        quantile=0.99,
+        threshold=60.0,
+        min_count=5,
+    ),
+    SLOTarget(
+        name="admission-error-budget",
+        kind="ratio",
+        numerator="svc.admission_rejections_total",
+        denominator="svc.jobs_submitted_total",
+        threshold=0.25,
+        min_count=10,
+    ),
+)
+
+
+class SLOTracker:
+    """Streaming, edge-triggered SLO evaluation over service metrics.
+
+    The daemon calls :meth:`evaluate` once per scheduler tick.  Like
+    the per-run :class:`~repro.obs.watchdog.Watchdog`, breaches are
+    edge-triggered: a target that stays out of bounds across many
+    ticks emits exactly one ``slo-breach`` event (and one
+    ``svc.slo_breaches_total`` increment) per excursion, re-arming
+    when the target recovers.  Attainment — the fraction of evaluated
+    ticks the target held — is tracked per target and exported as the
+    ``svc.slo_attainment`` gauge.
+
+    Evaluation is read-only over the registry (quantiles via
+    :meth:`~repro.obs.metrics.Histogram.stats`, ratios via counter
+    totals), so tracking SLOs never perturbs scheduling.
+    """
+
+    def __init__(
+        self,
+        targets: tuple[SLOTarget, ...] = DEFAULT_SLO_TARGETS,
+        *,
+        metrics: Any,
+        log: ServiceLog | None = None,
+    ) -> None:
+        names = [t.name for t in targets]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate SLO target names: {sorted(names)}")
+        self.targets = tuple(targets)
+        self._metrics = metrics
+        self._log = log
+        self._active: set[str] = set()
+        self._evaluated: dict[str, int] = {t.name: 0 for t in self.targets}
+        self._held: dict[str, int] = {t.name: 0 for t in self.targets}
+        self._breaches: dict[str, int] = {t.name: 0 for t in self.targets}
+        self._last_value: dict[str, float] = {}
+
+    def _observe(self, target: SLOTarget) -> float | None:
+        """Current value for a target, or ``None`` below ``min_count``."""
+        metrics = self._metrics
+        if target.kind == "quantile":
+            hist = metrics.get(target.metric)
+            if hist is None:
+                return None
+            stats = hist.stats()
+            if stats.count < target.min_count:
+                return None
+            return float(stats.quantile(target.quantile))
+        denominator = metrics.get(target.denominator)
+        total = 0.0 if denominator is None else denominator.total()
+        if total < target.min_count:
+            return None
+        numerator = metrics.get(target.numerator)
+        part = 0.0 if numerator is None else numerator.total()
+        return part / total
+
+    def evaluate(self, *, time: float) -> list[dict[str, Any]]:
+        """Evaluate every target once; returns newly-fired breaches."""
+        fired: list[dict[str, Any]] = []
+        for target in self.targets:
+            value = self._observe(target)
+            if value is None:
+                continue
+            name = target.name
+            self._last_value[name] = value
+            self._evaluated[name] += 1
+            if value <= target.threshold:
+                self._held[name] += 1
+                self._active.discard(name)
+            elif name not in self._active:
+                self._active.add(name)
+                self._breaches[name] += 1
+                if self._log is not None and self._log.enabled:
+                    self._log.record(
+                        "slo-breach",
+                        time=time,
+                        slo=name,
+                        value=value,
+                        threshold=target.threshold,
+                    )
+                fired.append({
+                    "slo": name,
+                    "value": value,
+                    "threshold": target.threshold,
+                })
+            self._metrics.gauge(
+                "svc.slo_attainment",
+                description="fraction of evaluated ticks the SLO held",
+            ).set(self._held[name] / self._evaluated[name], slo=name)
+        return fired
+
+    def status(self) -> list[dict[str, Any]]:
+        """Per-target summary (the ``/svcstats`` ``slos`` section)."""
+        out: list[dict[str, Any]] = []
+        for target in self.targets:
+            evaluated = self._evaluated[target.name]
+            out.append({
+                "name": target.name,
+                "objective": target.describe(),
+                "threshold": target.threshold,
+                "value": self._last_value.get(target.name),
+                "breached_now": target.name in self._active,
+                "breaches": self._breaches[target.name],
+                "evaluated_ticks": evaluated,
+                "attainment": (
+                    None if evaluated == 0
+                    else self._held[target.name] / evaluated
+                ),
+            })
+        return out

@@ -22,7 +22,14 @@ from typing import Any
 
 from repro.obs.stream import read_trace_events
 
-__all__ = ["LiveRunState", "load_state", "render_top"]
+__all__ = [
+    "LiveRunState",
+    "ServiceTopState",
+    "load_service_state",
+    "load_state",
+    "render_service_top",
+    "render_top",
+]
 
 _SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
@@ -188,6 +195,265 @@ def load_state(path: str | Path) -> tuple[LiveRunState, bool]:
     docs, _, torn = read_trace_events(path, 0)
     state.apply_many(docs)
     return state, torn
+
+
+class ServiceTopState:
+    """Streaming aggregate of a *service* trace's records.
+
+    Folds the daemon's ``kind=service`` stream (plus its ``progress``
+    heartbeats) into the cross-tenant numbers an operator watches —
+    jobs per state per tenant, spend, queueing/dispatch latency, SLO
+    breaches.  :meth:`to_stats` emits the same shape the daemon's
+    ``/svcstats`` endpoint returns, so :func:`render_service_top`
+    draws identically from a live URL or a trace file on disk.
+    """
+
+    def __init__(self) -> None:
+        self.ticks = 0
+        self.sim_time: float | None = None
+        self.n_events = 0
+        # job id -> current state string
+        self._job_state: dict[str, str] = {}
+        # job id -> tenant
+        self._job_tenant: dict[str, str] = {}
+        # tenant -> last known ledger spend (terminal-event dollars)
+        self._tenant_spent: dict[str, float] = {}
+        self._queue_delays: list[float] = []
+        self._dispatch_waits: list[float] = []
+        self.deferrals = 0
+        self.rejections = 0
+        self.oversized = 0
+        self.last_breach: dict[str, Any] | None = None
+        self.breaches = 0
+
+    def apply(self, doc: dict[str, Any]) -> None:
+        """Fold one service-trace record into the state."""
+        self.n_events += 1
+        t = doc.get("time")
+        if isinstance(t, (int, float)):
+            self.sim_time = max(self.sim_time or 0.0, float(t))
+        kind = doc.get("kind")
+        if kind == "progress":
+            tick = doc.get("tick")
+            if isinstance(tick, int):
+                self.ticks = max(self.ticks, tick)
+            return
+        if kind != "service":
+            return
+        event = doc.get("event")
+        job = doc.get("job")
+        tenant = doc.get("tenant")
+        if job is not None and tenant is not None:
+            self._job_tenant[str(job)] = str(tenant)
+        if event == "submitted" and job is not None:
+            self._job_state[str(job)] = "queued"
+        elif event == "started" and job is not None:
+            self._job_state[str(job)] = "running"
+        elif event in ("done", "failed", "cancelled", "budget-stopped"):
+            if job is not None:
+                self._job_state[str(job)] = str(event)
+            if tenant is not None and doc.get("dollars") is not None:
+                spent = self._tenant_spent.get(str(tenant), 0.0)
+                self._tenant_spent[str(tenant)] = spent + float(
+                    doc["dollars"]
+                )
+            if event == "failed" and doc.get("reason") == "oversized-demand":
+                self.oversized += 1
+        elif event == "rejected":
+            self.rejections += 1
+        elif event == "deferred":
+            self.deferrals += 1
+        elif event == "dispatched":
+            if doc.get("wait_seconds") is not None:
+                self._dispatch_waits.append(float(doc["wait_seconds"]))
+            if doc.get("queue_delay_seconds") is not None:
+                self._queue_delays.append(float(doc["queue_delay_seconds"]))
+        elif event == "slo-breach":
+            self.breaches += 1
+            self.last_breach = {
+                "slo": doc.get("slo"),
+                "value": doc.get("value"),
+                "threshold": doc.get("threshold"),
+            }
+
+    def apply_many(self, docs: list[dict[str, Any]]) -> None:
+        for doc in docs:
+            self.apply(doc)
+
+    @staticmethod
+    def _quantile(values: list[float], q: float) -> float | None:
+        if not values:
+            return None
+        ordered = sorted(values)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def _latency_section(self, values: list[float]) -> dict[str, Any]:
+        return {
+            "count": len(values),
+            "p50": self._quantile(values, 0.50),
+            "p90": self._quantile(values, 0.90),
+            "p99": self._quantile(values, 0.99),
+        }
+
+    def to_stats(self) -> dict[str, Any]:
+        """The folded state in the ``/svcstats`` payload shape."""
+        counts = {
+            state: 0
+            for state in (
+                "queued", "running", "done", "failed",
+                "cancelled", "budget-stopped",
+            )
+        }
+        per_tenant: dict[str, dict[str, Any]] = {}
+        for job, state in self._job_state.items():
+            counts[state] = counts.get(state, 0) + 1
+            tenant = self._job_tenant.get(job, "?")
+            entry = per_tenant.setdefault(tenant, {
+                "spent_dollars": 0.0,
+                "budget_dollars": None,
+                "budget_burn": None,
+                "active_jobs": 0,
+                "jobs_total": 0,
+            })
+            entry["jobs_total"] += 1
+            if state in ("queued", "running"):
+                entry["active_jobs"] += 1
+        for tenant, spent in self._tenant_spent.items():
+            per_tenant.setdefault(tenant, {
+                "spent_dollars": 0.0,
+                "budget_dollars": None,
+                "budget_burn": None,
+                "active_jobs": 0,
+                "jobs_total": 0,
+            })["spent_dollars"] = spent
+        slos: list[dict[str, Any]] = []
+        if self.last_breach is not None:
+            slos.append({
+                "name": self.last_breach.get("slo"),
+                "breached_now": True,
+                "breaches": self.breaches,
+                "value": self.last_breach.get("value"),
+                "threshold": self.last_breach.get("threshold"),
+                "attainment": None,
+            })
+        return {
+            "v": 1,
+            "telemetry": True,
+            "ticks": self.ticks,
+            "time_seconds": self.sim_time or 0.0,
+            "jobs": counts,
+            "tenants": dict(sorted(per_tenant.items())),
+            "queueing": self._latency_section(self._queue_delays),
+            "dispatch": self._latency_section(self._dispatch_waits),
+            "contention": {
+                "reservation_conflicts": float(self.deferrals),
+                "oversized_demand": float(self.oversized),
+                "admission_rejections": float(self.rejections),
+            },
+            "slos": slos,
+        }
+
+
+def load_service_state(path: str | Path) -> tuple[ServiceTopState, bool]:
+    """Fold an entire service trace; returns ``(state, torn_tail)``."""
+    state = ServiceTopState()
+    docs, _, torn = read_trace_events(path, 0)
+    state.apply_many(docs)
+    return state, torn
+
+
+def _fmt_seconds(value: Any) -> str:
+    return "—" if value is None else f"{float(value):.1f}s"
+
+
+def render_service_top(
+    stats: dict[str, Any],
+    *,
+    source: str = "",
+    width: int = 72,
+    torn: bool = False,
+) -> str:
+    """Draw the cross-tenant service panel from a ``/svcstats`` dict."""
+    width = max(48, width)
+    jobs = stats.get("jobs", {})
+    active = jobs.get("queued", 0) + jobs.get("running", 0)
+    status = "ACTIVE" if active else "IDLE"
+    if torn:
+        status += " (torn tail)"
+    title = f"repro top --service — {source}" if source else (
+        "repro top --service"
+    )
+    pad = max(1, width - len(title) - len(status))
+    lines = [title + " " * pad + status, "─" * width]
+    lines.append(
+        f"ticks     {stats.get('ticks', 0)}"
+        f" · sim t+{stats.get('time_seconds', 0.0):.0f}s"
+    )
+    lines.append(
+        "jobs      " + " · ".join(
+            f"{state} {n}" for state, n in jobs.items() if n
+        )
+        if any(jobs.values()) else "jobs      none"
+    )
+    lines.append("tenant       active  total      spent     budget  burn")
+    for name, t in stats.get("tenants", {}).items():
+        budget = t.get("budget_dollars")
+        burn = t.get("budget_burn")
+        lines.append(
+            f"  {name:<10} {t.get('active_jobs', 0):>6} "
+            f"{t.get('jobs_total', 0):>6} "
+            f"{_fmt_dollars(t.get('spent_dollars')):>10} "
+            f"{_fmt_dollars(budget):>10} "
+            f"{'—' if burn is None else f'{burn:4.0%}':>5}"
+        )
+    queueing = stats.get("queueing", {})
+    dispatch = stats.get("dispatch", {})
+    lines.append(
+        f"queueing  p50 {_fmt_seconds(queueing.get('p50'))}"
+        f" · p90 {_fmt_seconds(queueing.get('p90'))}"
+        f" · p99 {_fmt_seconds(queueing.get('p99'))}"
+        f" ({queueing.get('count', 0)} jobs)"
+    )
+    lines.append(
+        f"dispatch  p50 {_fmt_seconds(dispatch.get('p50'))}"
+        f" · p90 {_fmt_seconds(dispatch.get('p90'))}"
+        f" · p99 {_fmt_seconds(dispatch.get('p99'))}"
+        f" ({dispatch.get('count', 0)} probes)"
+    )
+    contention = stats.get("contention", {})
+    lines.append(
+        f"contention deferrals {contention.get('reservation_conflicts', 0):g}"
+        f" · oversized {contention.get('oversized_demand', 0):g}"
+        f" · rejected {contention.get('admission_rejections', 0):g}"
+    )
+    slos = stats.get("slos", [])
+    breached = [s for s in slos if s.get("breached_now")]
+    if breached:
+        s = breached[0]
+        value = s.get("value")
+        lines.append(
+            f"slo       BREACH {s.get('name')}"
+            + ("" if value is None else f" at {value:.3g}")
+            + f" (threshold {s.get('threshold')})"
+        )
+    elif slos:
+        worst = min(
+            (s for s in slos if s.get("attainment") is not None),
+            key=lambda s: s["attainment"],
+            default=None,
+        )
+        if worst is not None:
+            lines.append(
+                f"slo       ok · worst attainment "
+                f"{worst['attainment']:.0%} ({worst.get('name')})"
+            )
+        else:
+            lines.append("slo       ok (no data yet)")
+    else:
+        lines.append("slo       none tracked")
+    lines.append("─" * width)
+    return "\n".join(line[: width + 8] for line in lines) + "\n"
 
 
 def _bar(fraction: float, width: int) -> str:

@@ -1,6 +1,7 @@
-"""Performance benchmarking for the search hot path.
+"""Performance benchmarking: search hot path + service workload replay.
 
-See :mod:`repro.perf.bench` and ``docs/performance.md``.
+See :mod:`repro.perf.bench`, :mod:`repro.perf.workload` and
+``docs/performance.md`` / ``docs/service.md``.
 """
 
 from repro.perf.bench import (
@@ -9,10 +10,28 @@ from repro.perf.bench import (
     run_bench,
     validate_bench,
 )
+from repro.perf.workload import (
+    SERVICE_BENCH_SCHEMA_VERSION,
+    append_service_history,
+    compare_service_history,
+    generate_workload,
+    render_service_summary,
+    run_service_bench,
+    service_history_entry,
+    validate_service_bench,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "SERVICE_BENCH_SCHEMA_VERSION",
+    "append_service_history",
     "canonical_trace_jsonl",
+    "compare_service_history",
+    "generate_workload",
+    "render_service_summary",
     "run_bench",
+    "run_service_bench",
+    "service_history_entry",
     "validate_bench",
+    "validate_service_bench",
 ]

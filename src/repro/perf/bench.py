@@ -107,12 +107,15 @@ def canonical_trace_jsonl(trace: Any) -> str:
     exactly that the *remaining* canonical lines stay byte-identical.
     ``progress`` heartbeats only exist when the event bus is enabled,
     so they are stripped for the same reason: bus on vs. off must
-    compare equal on the canonical form.
+    compare equal on the canonical form.  ``service`` lines (and
+    ``svc.*`` metrics) belong to the daemon's service-scope stream,
+    never to a per-job trace — stripped defensively so a trace that
+    passed through service tooling still canonicalises.
     """
     lines = []
     for line in trace.to_jsonl().splitlines():
         doc = json.loads(line)
-        if doc["kind"] in ("decision", "fleet", "progress"):
+        if doc["kind"] in ("decision", "fleet", "service", "progress"):
             continue
         if doc["kind"] == "span":
             doc.pop("wall_seconds", None)
@@ -120,7 +123,7 @@ def canonical_trace_jsonl(trace: Any) -> str:
             doc["data"] = {
                 k: v for k, v in doc["data"].items()
                 if ("seconds" not in k or k.endswith("_total"))
-                and not k.startswith(("fleet.", "spot."))
+                and not k.startswith(("fleet.", "spot.", "svc."))
             }
         lines.append(json.dumps(doc, sort_keys=True))
     return "\n".join(lines)

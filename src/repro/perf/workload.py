@@ -1,0 +1,544 @@
+"""Service workload-replay benchmark (``repro bench --service``).
+
+Replays a deterministic open-loop workload — Poisson arrivals with
+heavy-tailed job sizes across three tenants — against an in-process
+:class:`~repro.service.daemon.MLCDJobService` and reports what the
+paper's MLaaS operator would watch: sustained job throughput,
+queueing-delay and dispatch-latency percentiles, SLO attainment and
+capacity-contention counters, all read off the service's own
+telemetry (``/svcstats``).
+
+Two guarantees ride along with every run, mirroring the search
+bench's decision-identity gate:
+
+- **service-stream identity** — replaying the same workload twice
+  produces a byte-identical ``service.trace.jsonl`` (the simulated
+  clock/monotonic-seq determinism discipline of ``docs/service.md``);
+- **per-job identity** — a telemetry-off replay leaves every per-job
+  streamed trace byte-identical to the telemetry-on replay's on the
+  canonical form (:func:`~repro.perf.bench.canonical_trace_jsonl`,
+  which strips only host wall-clock fields), proving service-scope
+  recording is read-only over scheduling.
+
+The emitted ``BENCH_service.json`` is schema-versioned like
+``BENCH_search.json`` (no timestamps or host state in the fields;
+only measured wall seconds vary between hosts) and shares the same
+``BENCH_history.jsonl`` append/compare regression gate — entries
+match on their config dict, so service entries never compare against
+search entries.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.cloud.provider import AccountLimits
+from repro.obs import SearchTrace
+from repro.perf.bench import _read_history, canonical_trace_jsonl
+from repro.service import (
+    JobSpec,
+    MLCDJobService,
+    ServiceAdmissionError,
+    TenantQuota,
+)
+from repro.service.jobs import JobState
+
+__all__ = [
+    "SERVICE_BENCH_SCHEMA_VERSION",
+    "WorkloadArrival",
+    "append_service_history",
+    "compare_service_history",
+    "generate_workload",
+    "render_service_summary",
+    "run_service_bench",
+    "service_history_entry",
+    "validate_service_bench",
+]
+
+#: Version of the ``BENCH_service.json`` schema.
+SERVICE_BENCH_SCHEMA_VERSION = 1
+
+#: The artifact's ``benchmark`` discriminator (``repro bench
+#: --validate`` dispatches on it).
+SERVICE_BENCHMARK_NAME = "service-workload"
+
+#: Per-section required keys of a service-schema-v1 artifact.
+_SERVICE_SCHEMA_V1: dict[str, tuple[str, ...]] = {
+    "config": (
+        "n_jobs", "n_tenants", "seed", "workers", "max_cpu",
+        "mean_interarrival_ticks", "quick",
+    ),
+    "throughput": (
+        "wall_seconds", "ticks", "sim_seconds", "jobs_submitted",
+        "jobs_rejected", "jobs_completed", "jobs_per_second",
+        "probes_dispatched",
+    ),
+    "queueing": ("count", "p50", "p90", "p99"),
+    "dispatch": ("count", "p50", "p90", "p99"),
+    "slo": ("targets", "attainment", "breaches"),
+    "contention": (
+        "reservation_conflicts", "oversized_demand",
+        "admission_rejections",
+    ),
+    "jobs": ("queued", "running", "done", "failed", "cancelled",
+             "budget-stopped"),
+    "identity": (
+        "checked", "service_stream_byte_identical",
+        "per_job_traces_byte_identical", "n_job_traces_compared",
+    ),
+    "observability": (
+        "telemetry_on_seconds", "telemetry_off_seconds",
+        "overhead_ratio",
+    ),
+}
+
+#: The tenants every replay multiplexes (the paper's multi-user MLaaS
+#: setting needs at least three to show cross-tenant isolation).
+_TENANTS: tuple[str, ...] = ("alice", "bob", "carol")
+
+#: Small CPU-only catalog: the replay stresses the *scheduler*, not
+#: the search space, so each job's world stays deliberately tiny.
+_CATALOG: tuple[str, ...] = ("c5.xlarge", "c5.4xlarge", "c4.xlarge")
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadArrival:
+    """One job arrival of the synthetic workload."""
+
+    tick: int  # scheduler round the submission lands on
+    tenant: str
+    max_steps: int
+    max_count: int
+
+    def spec(self) -> JobSpec:
+        return JobSpec(
+            tenant=self.tenant,
+            model="char-rnn",
+            dataset="char-corpus",
+            max_steps=self.max_steps,
+            max_count=self.max_count,
+            catalog=_CATALOG,
+        )
+
+
+def generate_workload(
+    *,
+    n_jobs: int,
+    seed: int,
+    mean_interarrival_ticks: float = 2.0,
+) -> tuple[WorkloadArrival, ...]:
+    """A deterministic Poisson/heavy-tailed arrival sequence.
+
+    Arrivals are a Poisson process (exponential inter-arrival times,
+    measured in scheduler ticks); job sizes are heavy-tailed — a
+    Pareto-distributed step budget, clamped to [4, 16] so every job
+    clears the 3-probe initial design but the tail stays fat — which
+    is the MLaaS trace shape the paper assumes (many small
+    explorations, a few expensive ones).
+    """
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    rng = np.random.default_rng((seed, 0x5E7FCE))
+    arrivals = []
+    at = 0.0
+    for _ in range(n_jobs):
+        at += float(rng.exponential(mean_interarrival_ticks))
+        steps = int(min(4.0 + rng.pareto(1.6) * 3.0, 16.0))
+        arrivals.append(
+            WorkloadArrival(
+                tick=int(at),
+                tenant=_TENANTS[int(rng.integers(len(_TENANTS)))],
+                max_steps=steps,
+                max_count=int(rng.integers(1, 5)),
+            )
+        )
+    return tuple(arrivals)
+
+
+def _replay(
+    arrivals: tuple[WorkloadArrival, ...],
+    *,
+    artifacts_dir: Path,
+    telemetry: bool,
+    workers: int,
+    max_cpu: int,
+) -> tuple[MLCDJobService, dict[str, Any], float]:
+    """Drive one full replay; returns (service, tallies, wall seconds).
+
+    Open-loop driver: submissions due at the current scheduler round
+    land before the tick runs; admission refusals are counted, not
+    retried (an operator's error budget counts exactly these).
+    """
+    service = MLCDJobService(
+        artifacts_dir=artifacts_dir,
+        limits=AccountLimits(
+            max_cpu_instances=max_cpu, max_gpu_instances=0
+        ),
+        workers=workers,
+        default_quota=TenantQuota(max_concurrent_jobs=8),
+        telemetry=telemetry,
+    )
+    submitted = 0
+    rejected = 0
+    pending = list(arrivals)
+    pending.reverse()  # pop() from the tail = chronological order
+    tick = 0
+    # the replay itself is the quantity being measured: wall time over
+    # the whole drive loop is the benchmark's throughput numerator
+    started = time.perf_counter()  # repro-lint: disable=RL103
+    while pending or any(
+        job["state"] in JobState.ACTIVE for job in service.list_jobs()
+    ):
+        while pending and pending[-1].tick <= tick:
+            try:
+                service.submit(pending.pop().spec())
+                submitted += 1
+            except ServiceAdmissionError:
+                rejected += 1
+        service.tick()
+        tick += 1
+    elapsed = time.perf_counter() - started  # repro-lint: disable=RL103
+    service.close_telemetry()
+    tallies = {"submitted": submitted, "rejected": rejected}
+    return service, tallies, elapsed
+
+
+def _job_trace_canonical(artifacts_dir: Path) -> dict[str, str]:
+    """Canonicalised per-job artifacts by name (service stream aside).
+
+    Raw stream bytes carry per-span host ``wall_seconds``; the
+    canonical form strips exactly those, so equality means the service
+    layer changed *nothing* a job recorded about its own search.
+    """
+    return {
+        path.name: canonical_trace_jsonl(SearchTrace.load(path))
+        for path in sorted(artifacts_dir.glob("*.trace.jsonl"))
+        if path.name != "service.trace.jsonl"
+    }
+
+
+def run_service_bench(
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    workdir: str | Path | None = None,
+) -> dict[str, Any]:
+    """Run the workload replay and return the artifact document.
+
+    ``quick`` shrinks the workload for CI smoke runs; the full
+    configuration replays 60 arrivals across three tenants.  Four
+    replays run back to back — telemetry off/on twice, interleaved so
+    common-mode host load cancels in the overhead pairs; the two
+    telemetry-on replays feed the service-stream identity check and
+    the off/on pair feeds the per-job identity check.
+    """
+    import tempfile
+
+    n_jobs = 12 if quick else 60
+    workers = 4
+    # 4 workers × up to 4 nodes per probe against 8 CPUs: the replay
+    # genuinely contends for capacity, so dispatch latency and the
+    # reservation-conflict counters measure something real
+    max_cpu = 8
+    mean_interarrival = 1.5 if quick else 2.0
+    arrivals = generate_workload(
+        n_jobs=n_jobs, seed=seed,
+        mean_interarrival_ticks=mean_interarrival,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-svc-bench-") as tmp:
+        root = Path(workdir) if workdir is not None else Path(tmp)
+        root.mkdir(parents=True, exist_ok=True)
+        runs: dict[str, tuple[MLCDJobService, dict[str, Any], float]] = {}
+        # interleave off/on so each (off, on) pair is back to back
+        for name, telemetry in (
+            ("off-1", False), ("on-1", True),
+            ("off-2", False), ("on-2", True),
+        ):
+            runs[name] = _replay(
+                arrivals,
+                artifacts_dir=root / name,
+                telemetry=telemetry,
+                workers=workers,
+                max_cpu=max_cpu,
+            )
+        service, tallies, _ = runs["on-1"]
+        stats = service.svcstats()
+
+        # identity gates (see module docstring)
+        stream_identical = (
+            runs["on-1"][0].service_trace_path.read_bytes()
+            == runs["on-2"][0].service_trace_path.read_bytes()
+        )
+        on_traces = _job_trace_canonical(root / "on-1")
+        off_traces = _job_trace_canonical(root / "off-1")
+        per_job_identical = on_traces == off_traces
+
+        pair_ratios = [
+            runs["on-1"][2] / runs["off-1"][2],
+            runs["on-2"][2] / runs["off-2"][2],
+        ]
+
+    counts = stats["jobs"]
+    completed = counts.get("done", 0)
+    wall = runs["on-1"][2]
+    slo_rows = stats["slos"]
+    attainments = [
+        row["attainment"] for row in slo_rows
+        if row.get("attainment") is not None
+    ]
+    return {
+        "schema_version": SERVICE_BENCH_SCHEMA_VERSION,
+        "benchmark": SERVICE_BENCHMARK_NAME,
+        "config": {
+            "n_jobs": n_jobs,
+            "n_tenants": len(_TENANTS),
+            "seed": seed,
+            "workers": workers,
+            "max_cpu": max_cpu,
+            "mean_interarrival_ticks": mean_interarrival,
+            "quick": quick,
+        },
+        "throughput": {
+            "wall_seconds": wall,
+            "ticks": stats["ticks"],
+            "sim_seconds": stats["time_seconds"],
+            "jobs_submitted": tallies["submitted"],
+            "jobs_rejected": tallies["rejected"],
+            "jobs_completed": completed,
+            "jobs_per_second": completed / wall if wall > 0 else 0.0,
+            "probes_dispatched": stats["dispatch"]["count"],
+        },
+        "queueing": dict(stats["queueing"]),
+        "dispatch": dict(stats["dispatch"]),
+        "slo": {
+            "targets": slo_rows,
+            # worst per-target attainment — the operator's headline
+            "attainment": min(attainments) if attainments else None,
+            "breaches": sum(row["breaches"] for row in slo_rows),
+        },
+        "contention": dict(stats["contention"]),
+        "jobs": {
+            state: counts.get(state, 0)
+            for state in ("queued", "running", "done", "failed",
+                          "cancelled", "budget-stopped")
+        },
+        "identity": {
+            "checked": True,
+            "service_stream_byte_identical": stream_identical,
+            "per_job_traces_byte_identical": per_job_identical,
+            "n_job_traces_compared": len(on_traces),
+        },
+        "observability": {
+            "telemetry_on_seconds": min(
+                runs["on-1"][2], runs["on-2"][2]
+            ),
+            "telemetry_off_seconds": min(
+                runs["off-1"][2], runs["off-2"][2]
+            ),
+            # best back-to-back pair: least-contaminated overhead view
+            "overhead_ratio": min(pair_ratios),
+        },
+    }
+
+
+def validate_service_bench(doc: Any) -> list[str]:
+    """Service-schema-v1 validation; returns problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"artifact must be a JSON object, got {type(doc).__name__}"]
+    version = doc.get("schema_version")
+    if version != SERVICE_BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {SERVICE_BENCH_SCHEMA_VERSION}, "
+            f"got {version!r}"
+        )
+    if doc.get("benchmark") != SERVICE_BENCHMARK_NAME:
+        problems.append(
+            f"benchmark must be {SERVICE_BENCHMARK_NAME!r}, "
+            f"got {doc.get('benchmark')!r}"
+        )
+    for section, keys in _SERVICE_SCHEMA_V1.items():
+        body = doc.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"missing section {section!r}")
+            continue
+        for key in keys:
+            if key not in body:
+                problems.append(f"{section}.{key} missing")
+    if problems:
+        return problems
+    if doc["throughput"]["jobs_completed"] < 1:
+        problems.append("throughput.jobs_completed is zero")
+    identity = doc["identity"]
+    if identity["service_stream_byte_identical"] is not True:
+        problems.append(
+            "identity.service_stream_byte_identical is not true: two "
+            "identical replays diverged — service telemetry is "
+            "nondeterministic"
+        )
+    if identity["per_job_traces_byte_identical"] is not True:
+        problems.append(
+            "identity.per_job_traces_byte_identical is not true: "
+            "service telemetry changed per-job traces — it is not "
+            "read-only over scheduling"
+        )
+    ratio = doc["observability"]["overhead_ratio"]
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        problems.append(
+            f"observability.overhead_ratio must be positive, got {ratio!r}"
+        )
+    return problems
+
+
+def render_service_summary(doc: dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a service-bench artifact."""
+    cfg = doc["config"]
+    thr = doc["throughput"]
+    lines = [
+        f"service workload bench (schema v{doc['schema_version']}) — "
+        f"{cfg['n_jobs']} Poisson arrivals, {cfg['n_tenants']} tenants, "
+        f"{cfg['workers']} workers / {cfg['max_cpu']} CPUs"
+        + (" [quick]" if cfg["quick"] else ""),
+        f"  throughput: {thr['jobs_completed']} jobs in "
+        f"{thr['wall_seconds']:.3f} s wall "
+        f"({thr['jobs_per_second']:.1f} jobs/s sustained, "
+        f"{thr['ticks']} ticks, {thr['probes_dispatched']} probes)",
+        f"  admission:  {thr['jobs_submitted']} admitted, "
+        f"{thr['jobs_rejected']} rejected",
+        f"  queueing:   p50 {doc['queueing']['p50']:.1f} s  "
+        f"p90 {doc['queueing']['p90']:.1f} s  "
+        f"p99 {doc['queueing']['p99']:.1f} s (simulated)",
+        f"  dispatch:   p50 {doc['dispatch']['p50']:.1f} s  "
+        f"p90 {doc['dispatch']['p90']:.1f} s  "
+        f"p99 {doc['dispatch']['p99']:.1f} s (simulated)",
+        f"  contention: {doc['contention']['reservation_conflicts']} "
+        f"deferred probe-ticks, "
+        f"{doc['contention']['oversized_demand']} oversized",
+    ]
+    attainment = doc["slo"]["attainment"]
+    lines.append(
+        "  slo:        "
+        + (f"worst attainment {attainment:.0%}, "
+           if attainment is not None else "no targets evaluated, ")
+        + f"{doc['slo']['breaches']} breach(es)"
+    )
+    identity = doc["identity"]
+    lines.append(
+        f"  identity:   service stream byte_identical="
+        f"{identity['service_stream_byte_identical']}, "
+        f"{identity['n_job_traces_compared']} per-job traces "
+        f"byte_identical={identity['per_job_traces_byte_identical']} "
+        f"(telemetry on vs off)"
+    )
+    obs = doc["observability"]
+    lines.append(
+        f"  overhead:   {obs['telemetry_on_seconds']:.3f} s on vs "
+        f"{obs['telemetry_off_seconds']:.3f} s off "
+        f"({(obs['overhead_ratio'] - 1) * 100:+.1f}% best-pair)"
+    )
+    return "\n".join(lines)
+
+
+# -- benchmark history -------------------------------------------------------
+
+#: Config keys two service runs must share before timings compare.
+_SERVICE_HISTORY_MATCH_KEYS: tuple[str, ...] = (
+    "quick", "n_jobs", "seed", "workers", "max_cpu",
+)
+
+#: Timing fields tracked across history entries (lower is better).
+_SERVICE_HISTORY_TIMING_KEYS: tuple[str, ...] = (
+    "replay_wall_seconds",
+)
+
+
+def service_history_entry(doc: dict[str, Any]) -> dict[str, Any]:
+    """Flatten a service-bench artifact into one history line.
+
+    The config dict's keys differ from the search bench's, so
+    :func:`compare_service_history` (and the search bench's own
+    compare) can never match a service entry against a search entry —
+    both match on config-dict equality.
+    """
+    return {
+        "benchmark": SERVICE_BENCHMARK_NAME,
+        "config": {
+            key: doc["config"][key]
+            for key in _SERVICE_HISTORY_MATCH_KEYS
+        },
+        "replay_wall_seconds": doc["throughput"]["wall_seconds"],
+        "jobs_per_second": doc["throughput"]["jobs_per_second"],
+        "queueing_p99_seconds": doc["queueing"]["p99"],
+        "slo_attainment": doc["slo"]["attainment"],
+        "service_stream_byte_identical": (
+            doc["identity"]["service_stream_byte_identical"]
+        ),
+        "per_job_traces_byte_identical": (
+            doc["identity"]["per_job_traces_byte_identical"]
+        ),
+        "observability_overhead_ratio": (
+            doc["observability"]["overhead_ratio"]
+        ),
+    }
+
+
+def append_service_history(
+    doc: dict[str, Any], path: Any
+) -> dict[str, Any]:
+    """Append this run to the shared history file (seq-numbered)."""
+    history_path = Path(path)
+    entries = _read_history(history_path)
+    seq = max((int(e.get("seq", 0)) for e in entries), default=0) + 1
+    entry = {"seq": seq, **service_history_entry(doc)}
+    with history_path.open("a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def compare_service_history(
+    doc: dict[str, Any], path: Any, *, threshold: float = 0.10
+) -> tuple[list[str], bool]:
+    """Diff this run against the last comparable history entry.
+
+    Same contract as :func:`repro.perf.bench.compare_history`:
+    ``(report_lines, regressed)``, matching on config-dict equality so
+    quick/full (and search/service) entries never cross-compare.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    current = service_history_entry(doc)
+    previous = None
+    for entry in reversed(_read_history(path)):
+        if entry.get("config") == current["config"]:
+            previous = entry
+            break
+    if previous is None:
+        return (
+            [f"no comparable history entry in {path} "
+             f"(config {current['config']})"],
+            False,
+        )
+    lines = [f"vs history entry seq={previous.get('seq', '?')}:"]
+    regressed = False
+    for key in _SERVICE_HISTORY_TIMING_KEYS:
+        before = previous.get(key)
+        after = current.get(key)
+        if not isinstance(before, (int, float)) or before <= 0:
+            continue
+        delta = (after - before) / before
+        marker = ""
+        if delta > threshold:
+            marker = f"  REGRESSION (> {threshold:.0%})"
+            regressed = True
+        lines.append(
+            f"  {key}: {before:.6f} -> {after:.6f} s "
+            f"({delta:+.1%}){marker}"
+        )
+    return lines, regressed

@@ -14,10 +14,16 @@ per-request logging, ``port=0`` for tests.  Endpoints:
 ``GET  /api/events/<id>`` streamed trace documents; ``?offset=N`` resumes an
                           incremental tail (the JSONL the artifact holds)
 ``GET  /api/tenants``     per-tenant ledgers and quotas
+``GET  /svcstats``        cross-job service statistics (queueing /
+                          dispatch latency, contention, SLO attainment)
+``GET  /metrics``         the service metrics registry in Prometheus
+                          text exposition format (``svc_*`` families)
 ``GET  /healthz``         liveness probe
 ========================  =====================================================
 
-Every response body is JSON; errors carry ``{"error": ...}``.
+Every response body is JSON — except ``/metrics``, which is
+``text/plain`` for Prometheus scrapers; errors carry
+``{"error": ...}``.
 """
 
 from __future__ import annotations
@@ -44,6 +50,14 @@ class _Handler(BaseHTTPRequestHandler):
         body = (json.dumps(payload) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -83,6 +97,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, {"jobs": service.list_jobs()})
             elif path == "/api/tenants":
                 self._send_json(200, {"tenants": service.tenants()})
+            elif path == "/svcstats":
+                self._send_json(200, service.svcstats())
+            elif path == "/metrics":
+                self._send_text(200, service.metrics_text())
             elif path.startswith("/api/status/"):
                 self._send_json(
                     200, service.status(path.removeprefix("/api/status/"))

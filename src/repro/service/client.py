@@ -91,6 +91,10 @@ class ServiceClient:
     def tenants(self) -> dict[str, Any]:
         return dict(self._request("GET", "/api/tenants")["tenants"])
 
+    def svcstats(self) -> dict[str, Any]:
+        """Cross-job service statistics (the ``/svcstats`` payload)."""
+        return self._request("GET", "/svcstats")
+
     def wait(
         self,
         job_id: str,

@@ -16,6 +16,20 @@ the submitting tenant's account, so one tenant exhausting its budget
 can never block another tenant's submissions or probes (asserted by
 ``tests/service/test_service.py``).
 
+Service-scope telemetry (``telemetry=True``, the default) narrates
+scheduling itself: the daemon owns a
+:class:`~repro.cloud.clock.LogicalClock` that advances by
+``tick_seconds`` per scheduler round, every job-lifecycle transition
+is recorded by a :class:`~repro.obs.svc.ServiceLog` (queueing /
+dispatch latency histograms, per-tenant gauges, contention counters in
+``self.metrics``) and streamed as ``kind=service`` lines into
+``<artifacts>/service.trace.jsonl``, and a
+:class:`~repro.obs.svc.SLOTracker` evaluates declarative latency /
+error-budget targets each tick.  Recording is read-only over
+scheduling state, so a daemon with telemetry off schedules — and its
+jobs trace — byte-identically (asserted by
+``tests/service/test_service_telemetry.py``).
+
 Threading: the service itself is single-threaded and lock-guarded.
 Tests drive it deterministically via :meth:`~MLCDJobService.tick` /
 :meth:`~MLCDJobService.run_until_idle`; ``repro serve`` runs
@@ -30,14 +44,30 @@ import threading
 from pathlib import Path
 from typing import Any
 
+from repro.cloud.clock import LogicalClock
 from repro.cloud.provider import AccountLimits
 from repro.core.session import Stop
-from repro.obs.stream import read_trace_events
+from repro.obs.bus import NOOP_BUS, EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import TraceStreamWriter, read_trace_events
+from repro.obs.svc import (
+    DEFAULT_SLO_TARGETS,
+    NOOP_SERVICE,
+    ServiceLog,
+    SLOTarget,
+    SLOTracker,
+)
 from repro.service.jobs import Job, JobSpec, JobState, TenantAccount, TenantQuota
 
 __all__ = ["MLCDJobService", "ServiceAdmissionError"]
 
 logger = logging.getLogger(__name__)
+
+#: Reason codes the daemon attaches to service events.
+_REASON_QUOTA = "quota"
+_REASON_BUDGET = "budget"
+_REASON_CAPACITY = "capacity"
+_REASON_OVERSIZED = "oversized-demand"
 
 
 class ServiceAdmissionError(Exception):
@@ -51,7 +81,8 @@ class MLCDJobService:
     ----------
     artifacts_dir:
         Directory for per-job streamed trace artifacts
-        (``<job-id>.trace.jsonl``).
+        (``<job-id>.trace.jsonl``) and, with telemetry on, the
+        service-scope stream (``service.trace.jsonl``).
     limits:
         Shared concurrency capacity across *all* jobs' probes; defaults
         to the paper's account limits (100 CPU / 50 GPU instances).
@@ -59,6 +90,19 @@ class MLCDJobService:
         Probe requests dispatched per tick — the worker-pool width.
     default_quota:
         Quota for tenants that were not explicitly registered.
+    telemetry:
+        ``True`` (default) arms service-scope telemetry: lifecycle
+        events, latency histograms, per-tenant gauges, the streamed
+        service trace and SLO tracking.  ``False`` leaves the inert
+        no-ops; ``/metrics`` and :meth:`svcstats` still answer (from
+        authoritative scheduler state) but latency sections are empty.
+    tick_seconds:
+        Simulated seconds the service clock advances per scheduler
+        round — the granularity of every queueing-delay and
+        dispatch-latency measurement.
+    slos:
+        Declarative :class:`~repro.obs.svc.SLOTarget` overrides;
+        defaults to :data:`~repro.obs.svc.DEFAULT_SLO_TARGETS`.
     """
 
     def __init__(
@@ -68,9 +112,16 @@ class MLCDJobService:
         limits: AccountLimits | None = None,
         workers: int = 2,
         default_quota: TenantQuota | None = None,
+        telemetry: bool = True,
+        tick_seconds: float = 1.0,
+        slos: tuple[SLOTarget, ...] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if tick_seconds <= 0:
+            raise ValueError(
+                f"tick_seconds must be positive, got {tick_seconds}"
+            )
         self.limits = limits if limits is not None else AccountLimits()
         self.workers = workers
         self.artifacts_dir = Path(artifacts_dir)
@@ -86,6 +137,32 @@ class MLCDJobService:
         self._lock = threading.RLock()
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
+        # -- service-scope telemetry (docs/service.md) -----------------
+        self.telemetry = telemetry
+        self.tick_seconds = float(tick_seconds)
+        self.clock = LogicalClock()
+        self.ticks = 0
+        self.metrics = MetricsRegistry()
+        self.service_trace_path = self.artifacts_dir / "service.trace.jsonl"
+        if telemetry:
+            self._bus: EventBus = EventBus(clock=lambda: self.clock.now)
+            self._svc_writer: TraceStreamWriter | None = TraceStreamWriter(
+                self.service_trace_path, metrics=self.metrics
+            )
+            self._bus.subscribe(self._svc_writer)
+            self.svc: ServiceLog = ServiceLog(
+                metrics=self.metrics, bus=self._bus
+            )
+            self.slo: SLOTracker | None = SLOTracker(
+                slos if slos is not None else DEFAULT_SLO_TARGETS,
+                metrics=self.metrics,
+                log=self.svc,
+            )
+        else:
+            self._bus = NOOP_BUS
+            self._svc_writer = None
+            self.svc = NOOP_SERVICE
+            self.slo = None
 
     # -- tenancy -------------------------------------------------------------
     def register_tenant(
@@ -118,7 +195,8 @@ class MLCDJobService:
 
         Raises :class:`ServiceAdmissionError` when the tenant is at its
         concurrency quota or has exhausted its budget.  Only the
-        submitting tenant's account is consulted.
+        submitting tenant's account is consulted.  Admission outcomes
+        — including rejections — are recorded as service events.
         """
         with self._lock:
             tenant = self.register_tenant(spec.tenant)
@@ -127,11 +205,19 @@ class MLCDJobService:
                 if j.state in JobState.ACTIVE
             ]
             if len(active) >= tenant.quota.max_concurrent_jobs:
+                self.svc.record(
+                    "rejected", time=self.clock.now,
+                    tenant=spec.tenant, reason=_REASON_QUOTA,
+                )
                 raise ServiceAdmissionError(
                     f"tenant {spec.tenant!r} is at its concurrency quota "
                     f"({tenant.quota.max_concurrent_jobs} active jobs)"
                 )
             if tenant.budget_exhausted():
+                self.svc.record(
+                    "rejected", time=self.clock.now,
+                    tenant=spec.tenant, reason=_REASON_BUDGET,
+                )
                 raise ServiceAdmissionError(
                     f"tenant {spec.tenant!r} has exhausted its budget "
                     f"(${tenant.spent_dollars:.2f} of "
@@ -143,9 +229,14 @@ class MLCDJobService:
                 job_id, spec,
                 self.artifacts_dir / f"{job_id}.trace.jsonl",
             )
+            job.timestamps["submitted"] = self.clock.now
             self._jobs[job_id] = job
             self._order.append(job_id)
             tenant.job_ids.append(job_id)
+            self.svc.record(
+                "submitted", time=self.clock.now,
+                job=job_id, tenant=spec.tenant,
+            )
             logger.info(
                 "admitted %s for tenant %s (%s/%s, strategy %s)",
                 job_id, spec.tenant, spec.model, spec.dataset, spec.strategy,
@@ -159,26 +250,49 @@ class MLCDJobService:
         Capacity reservations are per-tick: concurrent probes dispatched
         in the same round must *together* fit the shared limits, and a
         request that does not fit what is left waits for a later round.
+
+        Each non-idle round advances the service clock by
+        ``tick_seconds``, refreshes the per-tenant gauges, evaluates
+        the SLO targets and publishes a ``progress`` heartbeat on the
+        service bus.  An idle round (no queued or running jobs) does
+        none of that, so a parked daemon does not grow its trace.
         """
         with self._lock:
+            if not any(
+                self._jobs[i].state in JobState.ACTIVE for i in self._order
+            ):
+                return False
+            self.clock.advance(self.tick_seconds)
+            self.ticks += 1
             progressed = self._start_queued()
             running = [
                 self._jobs[i] for i in self._order
                 if self._jobs[i].state == JobState.RUNNING
             ]
-            if not running:
-                return progressed
-            # per-tick capacity pool, keyed by instance class (GPU?)
-            reserved = {False: 0, True: 0}
-            start = self._rr % len(running)
-            self._rr += 1
-            dispatched = 0
-            for job in running[start:] + running[:start]:
-                if dispatched >= self.workers:
-                    break
-                advanced, used_worker = self._advance(job, reserved)
-                progressed |= advanced
-                dispatched += 1 if used_worker else 0
+            if running:
+                # per-tick capacity pool, keyed by instance class (GPU?)
+                reserved = {False: 0, True: 0}
+                start = self._rr % len(running)
+                self._rr += 1
+                dispatched = 0
+                for job in running[start:] + running[:start]:
+                    if dispatched >= self.workers:
+                        break
+                    advanced, used_worker = self._advance(job, reserved)
+                    progressed |= advanced
+                    dispatched += 1 if used_worker else 0
+            self._refresh_gauges()
+            if self.slo is not None:
+                self.slo.evaluate(time=self.clock.now)
+            if self._bus.enabled:
+                counts = self._state_counts()
+                self._bus.publish("progress", {
+                    "phase": "service",
+                    "tick": self.ticks,
+                    "jobs_queued": counts[JobState.QUEUED],
+                    "jobs_running": counts[JobState.RUNNING],
+                    "jobs_done": counts[JobState.DONE],
+                })
             return progressed
 
     def run_until_idle(self, *, max_ticks: int = 1_000_000) -> None:
@@ -199,6 +313,12 @@ class MLCDJobService:
                 job.start()
             except Exception as exc:
                 self._fail(job, f"failed to start: {exc}")
+            else:
+                job.timestamps["started"] = self.clock.now
+                self.svc.record(
+                    "started", time=self.clock.now,
+                    job=job.id, tenant=job.spec.tenant,
+                )
             started = True
         return started
 
@@ -223,7 +343,7 @@ class MLCDJobService:
             self._finish(job)
             return True, False
         if tenant.budget_exhausted():
-            self._fail(
+            self._budget_stop(
                 job,
                 f"tenant {tenant.name!r} budget exhausted "
                 f"(${tenant.spent_dollars:.2f} of "
@@ -244,15 +364,44 @@ class MLCDJobService:
                 f"probe demand (cpu={demand[False]}, gpu={demand[True]}) "
                 f"exceeds service capacity "
                 f"(cpu={caps[False]}, gpu={caps[True]})",
+                reason=_REASON_OVERSIZED,
             )
             return True, False
         if (
             reserved[False] + demand[False] > caps[False]
             or reserved[True] + demand[True] > caps[True]
         ):
-            return False, False  # wait for capacity in a later tick
+            # wait for capacity in a later tick
+            if job.pending_since is None:
+                job.pending_since = self.clock.now
+            self.svc.record(
+                "deferred", time=self.clock.now,
+                job=job.id, tenant=job.spec.tenant,
+                reason=_REASON_CAPACITY,
+                cpu=demand[False], gpu=demand[True],
+            )
+            return False, False
         reserved[False] += demand[False]
         reserved[True] += demand[True]
+        wait_seconds = (
+            0.0 if job.pending_since is None
+            else self.clock.now - job.pending_since
+        )
+        job.pending_since = None
+        job.dispatch_count += 1
+        queue_delay: float | None = None
+        if job.dispatch_count == 1:
+            job.timestamps["first_dispatched"] = self.clock.now
+            queue_delay = self.clock.now - job.timestamps["submitted"]
+        job.timestamps["last_dispatched"] = self.clock.now
+        self.svc.record(
+            "dispatched", time=self.clock.now,
+            job=job.id, tenant=job.spec.tenant,
+            step=job.dispatch_count,
+            cpu=demand[False], gpu=demand[True],
+            wait_seconds=wait_seconds,
+            queue_delay_seconds=queue_delay,
+        )
         spent_before = job.spent_dollars()
         try:
             session.execute_pending()
@@ -276,6 +425,7 @@ class MLCDJobService:
         recorder.finalize(result)
         job.close_writer()
         job.state = JobState.DONE
+        job.timestamps["finished"] = self.clock.now
         job.result_summary = {
             "best": None if result.best is None else str(result.best),
             "best_measured_speed": result.best_measured_speed,
@@ -284,16 +434,43 @@ class MLCDJobService:
             "profile_seconds": result.profile_seconds,
             "profile_dollars": result.profile_dollars,
         }
+        self.svc.record(
+            "done", time=self.clock.now,
+            job=job.id, tenant=job.spec.tenant,
+            dollars=job.spent_dollars(),
+        )
+        self._roll_up(job)
         logger.info(
             "%s done: best=%s, stop: %s",
             job.id, job.result_summary["best"], result.stop_reason,
         )
 
-    def _fail(self, job: Job, error: str) -> None:
+    def _fail(self, job: Job, error: str, *, reason: str = "error") -> None:
         job.error = error
         job.state = JobState.FAILED
-        job.close_writer()
+        job.timestamps["finished"] = self.clock.now
+        job.abort(f"failed: {error}")
+        self.svc.record(
+            "failed", time=self.clock.now,
+            job=job.id, tenant=job.spec.tenant,
+            reason=reason, dollars=job.spent_dollars(),
+        )
+        self._roll_up(job)
         logger.warning("%s failed: %s", job.id, error)
+
+    def _budget_stop(self, job: Job, error: str) -> None:
+        """Terminal policy stop: the tenant's metered budget ran out."""
+        job.error = error
+        job.state = JobState.BUDGET_STOPPED
+        job.timestamps["finished"] = self.clock.now
+        job.abort("budget exhausted")
+        self.svc.record(
+            "budget-stopped", time=self.clock.now,
+            job=job.id, tenant=job.spec.tenant,
+            reason=_REASON_BUDGET, dollars=job.spent_dollars(),
+        )
+        self._roll_up(job)
+        logger.warning("%s budget-stopped: %s", job.id, error)
 
     # -- queries -------------------------------------------------------------
     def _job(self, job_id: str) -> Job:
@@ -329,13 +506,31 @@ class MLCDJobService:
             }
 
     def cancel(self, job_id: str) -> bool:
-        """Stop scheduling a job; True if it was still active."""
+        """Stop scheduling a job; True if it was still active.
+
+        Cancellation releases everything in the same call: the job
+        leaves the ACTIVE set (freeing its tenant-concurrency slot and
+        any shared capacity its next probe would have reserved), its
+        streamed artifact is completed with a terminal summary, and
+        the per-tenant gauges are refreshed immediately rather than at
+        the next tick — a cancel storm can never strand capacity
+        (``tests/service/test_service_telemetry.py``).
+        """
         with self._lock:
             job = self._job(job_id)
             if job.state not in JobState.ACTIVE:
                 return False
             job.state = JobState.CANCELLED
-            job.close_writer()
+            job.pending_since = None
+            job.timestamps["finished"] = self.clock.now
+            job.abort("cancelled")
+            self.svc.record(
+                "cancelled", time=self.clock.now,
+                job=job.id, tenant=job.spec.tenant,
+                dollars=job.spent_dollars(),
+            )
+            self._roll_up(job)
+            self._refresh_gauges()
             logger.info("%s cancelled", job.id)
             return True
 
@@ -359,6 +554,152 @@ class MLCDJobService:
             "offset": new_offset,
             "torn": torn,
         }
+
+    # -- service-scope observability -----------------------------------------
+    def _roll_up(self, job: Job) -> None:
+        """Fold a terminal job's private metrics into the service view.
+
+        Jobs own their :class:`~repro.obs.MetricsRegistry`; at each
+        terminal transition the daemon aggregates the cross-job totals
+        (probes run, probe dollars) per tenant so ``/metrics`` answers
+        service-wide questions without opening any job trace.
+        """
+        if not self.telemetry or job.recorder is None:
+            return
+        per_job = job.recorder.metrics
+        tenant = job.spec.tenant
+        for src, dst, description in (
+            ("search.probes_total", "svc.probes_total",
+             "probes run across all jobs, rolled up at job end"),
+            ("search.probe_dollars_total", "svc.probe_dollars_total",
+             "profiling dollars across all jobs, rolled up at job end"),
+            ("search.failed_probes_total", "svc.failed_probes_total",
+             "failed probes across all jobs, rolled up at job end"),
+        ):
+            instrument = per_job.get(src)
+            if instrument is None:
+                continue
+            total = instrument.total()
+            if total > 0:
+                self.metrics.counter(dst, description=description).inc(
+                    total, tenant=tenant
+                )
+
+    def _state_counts(self) -> dict[str, int]:
+        counts = {
+            state: 0
+            for state in (
+                JobState.QUEUED, JobState.RUNNING, *JobState.TERMINAL
+            )
+        }
+        for job_id in self._order:
+            counts[self._jobs[job_id].state] += 1
+        return counts
+
+    def _refresh_gauges(self) -> None:
+        """Reconcile per-tenant gauges with authoritative job state."""
+        if not self.telemetry:
+            return
+        for name, account in self._tenants.items():
+            running = queued = 0
+            for job_id in account.job_ids:
+                state = self._jobs[job_id].state
+                if state == JobState.RUNNING:
+                    running += 1
+                elif state == JobState.QUEUED:
+                    queued += 1
+            self.metrics.gauge(
+                "svc.jobs_running",
+                description="running jobs per tenant",
+            ).set(float(running), tenant=name)
+            self.metrics.gauge(
+                "svc.jobs_queued",
+                description="queued jobs per tenant",
+            ).set(float(queued), tenant=name)
+            self.metrics.gauge(
+                "svc.budget_spent_dollars",
+                unit="dollars",
+                description="tenant ledger spend across all jobs",
+            ).set(account.spent_dollars, tenant=name)
+
+    def _latency_section(self, metric: str) -> dict[str, Any]:
+        hist = self.metrics.get(metric)
+        stats = None if hist is None else hist.stats()
+        if stats is None or stats.count == 0:
+            return {"count": 0, "p50": None, "p90": None, "p99": None}
+        return {
+            "count": stats.count,
+            "p50": stats.p50,
+            "p90": stats.p90,
+            "p99": stats.p99,
+        }
+
+    def _counter_total(self, name: str) -> float:
+        counter = self.metrics.get(name)
+        return 0.0 if counter is None else counter.total()
+
+    def svcstats(self) -> dict[str, Any]:
+        """Cross-job service statistics (the ``/svcstats`` payload).
+
+        Job and tenant sections come from authoritative scheduler
+        state (correct with telemetry off); latency, contention and
+        SLO sections read the service metrics registry.
+        """
+        with self._lock:
+            counts = self._state_counts()
+            tenants: dict[str, Any] = {}
+            for name, account in sorted(self._tenants.items()):
+                budget = account.quota.budget_dollars
+                active = sum(
+                    1 for j in account.job_ids
+                    if self._jobs[j].state in JobState.ACTIVE
+                )
+                tenants[name] = {
+                    "spent_dollars": account.spent_dollars,
+                    "budget_dollars": budget,
+                    "budget_burn": (
+                        None if budget is None
+                        else account.spent_dollars / budget
+                    ),
+                    "active_jobs": active,
+                    "jobs_total": len(account.job_ids),
+                }
+            return {
+                "v": 1,
+                "telemetry": self.telemetry,
+                "ticks": self.ticks,
+                "time_seconds": self.clock.now,
+                "jobs": counts,
+                "tenants": tenants,
+                "queueing": self._latency_section("svc.queue_delay_seconds"),
+                "dispatch": self._latency_section(
+                    "svc.dispatch_latency_seconds"
+                ),
+                "contention": {
+                    "reservation_conflicts": self._counter_total(
+                        "svc.reservation_conflicts_total"
+                    ),
+                    "oversized_demand": self._counter_total(
+                        "svc.oversized_demand_total"
+                    ),
+                    "admission_rejections": self._counter_total(
+                        "svc.admission_rejections_total"
+                    ),
+                },
+                "slos": [] if self.slo is None else self.slo.status(),
+            }
+
+    def metrics_text(self) -> str:
+        """The service registry in Prometheus text exposition format."""
+        with self._lock:
+            return self.metrics.to_prometheus_text()
+
+    def close_telemetry(self) -> None:
+        """Close the streamed service-trace file handle (idempotent)."""
+        if self._svc_writer is not None:
+            self._bus.unsubscribe(self._svc_writer)
+            self._svc_writer.close()
+            self._svc_writer = None
 
     # -- background serving --------------------------------------------------
     def start(self) -> "MLCDJobService":

@@ -51,9 +51,16 @@ class JobState:
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: Stopped mid-run because the owning tenant's metered budget ran
+    #: out — distinct from FAILED so operators can tell policy stops
+    #: from errors (``svc.jobs_finished_total{state=...}``).
+    BUDGET_STOPPED = "budget-stopped"
 
     #: States in which a job still counts against tenant concurrency.
     ACTIVE = (QUEUED, RUNNING)
+
+    #: States a job can never leave.
+    TERMINAL = (DONE, FAILED, CANCELLED, BUDGET_STOPPED)
 
 
 @dataclass(frozen=True, slots=True)
@@ -194,6 +201,15 @@ class Job:
         self.state = JobState.QUEUED
         self.error = ""
         self.result_summary: dict[str, Any] | None = None
+        # lifecycle timestamps on the *service* clock (simulated
+        # seconds, monotonic across the daemon) — what queueing-delay
+        # and dispatch-latency histograms are computed from
+        self.timestamps: dict[str, float] = {}
+        # service-clock time since this job's *ready* probe request has
+        # been waiting on shared capacity; None when nothing is pending
+        self.pending_since: float | None = None
+        # probes the daemon has dispatched for this job
+        self.dispatch_count = 0
         # world (built by start())
         self.cloud: SimulatedCloud | None = None
         self.recorder: RunRecorder | None = None
@@ -216,8 +232,15 @@ class Job:
         cloud = SimulatedCloud(catalog)
         recorder = RunRecorder(clock=lambda: cloud.clock.now, bus=True)
         cloud.fleet = recorder.fleet
-        writer = TraceStreamWriter(self.trace_path, metrics=recorder.metrics)
-        recorder.bus.subscribe(writer)
+        # assign cloud/recorder/writer as soon as they exist: if
+        # build_job below raises, the daemon's _fail() can still
+        # close_writer() instead of leaking the opened trace handle
+        self.cloud = cloud
+        self.recorder = recorder
+        self.writer = TraceStreamWriter(
+            self.trace_path, metrics=recorder.metrics
+        )
+        recorder.bus.subscribe(self.writer)
         profiler = Profiler(
             cloud,
             TrainingSimulator(),
@@ -248,9 +271,6 @@ class Job:
             watchdog=recorder.watchdog,
             bus=recorder.bus,
         )
-        self.cloud = cloud
-        self.recorder = recorder
-        self.writer = writer
         self.session = SearchSession(make_strategy(spec), context)
         self.state = JobState.RUNNING
 
@@ -261,12 +281,58 @@ class Job:
             self.writer.close()
             self.writer = None
 
+    def abort(self, stop_reason: str) -> None:
+        """Complete the streamed artifact with a terminal summary.
+
+        Cancelled and failed jobs never reach
+        :meth:`RunRecorder.finalize`, which is what normally appends
+        the closing ``summary`` line; without one the artifact reads
+        as forever "running" and ``repro trace --follow`` waits for a
+        run that will never end.  Publishing the terminal summary here
+        (before closing the writer) makes every terminal state leave a
+        complete, self-describing trace.  Idempotent, and safe when
+        the job never started.
+        """
+        recorder, writer = self.recorder, self.writer
+        if (
+            recorder is not None
+            and writer is not None
+            and not writer.completed
+            and recorder.bus.enabled
+        ):
+            recorder.bus.publish("summary", {
+                "stop_reason": stop_reason,
+                "best": None,
+            })
+        self.close_writer()
+
     def spent_dollars(self) -> float:
         """Dollars this job's private ledger has been charged."""
         return 0.0 if self.cloud is None else self.cloud.total_spend()
 
+    def queue_delay_seconds(self) -> float | None:
+        """Submission→first-dispatch delay on the service clock.
+
+        ``None`` until the daemon has dispatched the job's first
+        probe.  Computable from :meth:`status` alone — consumers no
+        longer need the trace artifact to measure queueing.
+        """
+        submitted = self.timestamps.get("submitted")
+        first = self.timestamps.get("first_dispatched")
+        if submitted is None or first is None:
+            return None
+        return first - submitted
+
     def status(self) -> dict[str, Any]:
-        """JSON-ready status snapshot (the status API payload)."""
+        """JSON-ready status snapshot (the status API payload).
+
+        ``timestamps`` carries every lifecycle transition the daemon
+        stamped on its monotonic service clock (``submitted``,
+        ``started``, ``first_dispatched``, ``last_dispatched``,
+        ``finished``) so queueing delay is derivable from the status
+        dict alone; ``queue_delay_seconds`` is precomputed for
+        convenience.
+        """
         session = self.session
         doc: dict[str, Any] = {
             "id": self.id,
@@ -282,6 +348,9 @@ class Job:
                 0.0 if self.cloud is None else self.cloud.elapsed()
             ),
             "trace_path": str(self.trace_path),
+            "timestamps": dict(self.timestamps),
+            "queue_delay_seconds": self.queue_delay_seconds(),
+            "dispatches": self.dispatch_count,
         }
         if self.error:
             doc["error"] = self.error

@@ -1,0 +1,208 @@
+"""Service-scope telemetry primitives: events, log, metrics, SLOs."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SLO_TARGETS,
+    NOOP_SERVICE,
+    SERVICE_EVENT_VERSION,
+    ServiceEvent,
+    ServiceLog,
+    SLOTarget,
+    SLOTracker,
+)
+from repro.obs.bus import EventBus
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestServiceEvent:
+    def test_round_trip_preserves_every_field(self):
+        event = ServiceEvent(
+            seq=3, time=12.0, event="dispatched", job="job-0001",
+            tenant="alice", step=2, cpu=4, gpu=0, wait_seconds=1.0,
+            queue_delay_seconds=2.0,
+        )
+        doc = event.to_dict()
+        assert doc["v"] == SERVICE_EVENT_VERSION
+        assert ServiceEvent.from_dict(doc) == event
+
+    def test_to_dict_drops_none_fields(self):
+        doc = ServiceEvent(seq=1, time=0.0, event="submitted").to_dict()
+        assert set(doc) == {"v", "seq", "time", "event"}
+
+    def test_from_dict_tolerates_unknown_keys(self):
+        doc = {"seq": 1, "time": 0.0, "event": "done",
+               "future_field": "ignored"}
+        assert ServiceEvent.from_dict(doc).event == "done"
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown service event"):
+            ServiceEvent(seq=1, time=0.0, event="teleported")
+
+    def test_non_positive_seq_rejected(self):
+        with pytest.raises(ValueError, match="seq"):
+            ServiceEvent(seq=0, time=0.0, event="done")
+
+
+class TestServiceLog:
+    def test_assigns_monotonic_seq(self):
+        log = ServiceLog()
+        first = log.record("submitted", time=0.0, tenant="alice")
+        second = log.record("started", time=1.0, job="job-0001")
+        assert (first.seq, second.seq) == (1, 2)
+        assert log.events == (first, second)
+
+    def test_publishes_kind_service_on_the_bus(self):
+        bus = EventBus(clock=lambda: 0.0)
+        seen = []
+
+        class Sink:
+            interested_kinds = frozenset(("service",))
+
+            def __call__(self, event):
+                seen.append(event)
+
+        bus.subscribe(Sink())
+        log = ServiceLog(bus=bus)
+        log.record("submitted", time=0.0, tenant="alice")
+        assert len(seen) == 1
+        assert seen[0].kind == "service"
+        assert seen[0].data["event"] == "submitted"
+
+    def test_updates_latency_histograms_and_counters(self):
+        metrics = MetricsRegistry()
+        log = ServiceLog(metrics=metrics)
+        log.record("submitted", time=0.0, tenant="alice")
+        log.record("dispatched", time=3.0, job="job-0001",
+                   tenant="alice", wait_seconds=2.0,
+                   queue_delay_seconds=3.0)
+        log.record("deferred", time=4.0, job="job-0002", tenant="bob",
+                   reason="capacity")
+        log.record("done", time=9.0, job="job-0001", tenant="alice",
+                   dollars=1.5)
+        assert metrics.get("svc.jobs_submitted_total").total() == 1
+        assert metrics.get("svc.reservation_conflicts_total").total() == 1
+        assert metrics.get("svc.jobs_finished_total").total() == 1
+        assert metrics.get("svc.dispatch_latency_seconds").stats().count == 1
+        assert metrics.get(
+            "svc.queue_delay_seconds"
+        ).stats().maximum == pytest.approx(3.0)
+
+    def test_oversized_failures_counted_separately(self):
+        metrics = MetricsRegistry()
+        log = ServiceLog(metrics=metrics)
+        log.record("failed", time=1.0, job="job-0001", tenant="alice",
+                   reason="oversized-demand")
+        log.record("failed", time=2.0, job="job-0002", tenant="alice",
+                   reason="error")
+        assert metrics.get("svc.oversized_demand_total").total() == 1
+        assert metrics.get("svc.jobs_finished_total").total() == 2
+
+    def test_noop_singleton_is_inert(self):
+        assert NOOP_SERVICE.enabled is False
+        assert NOOP_SERVICE.record("submitted", time=0.0) is None
+        assert NOOP_SERVICE.events == ()
+
+
+def _tracker(targets, metrics):
+    log = ServiceLog(metrics=metrics)
+    return SLOTracker(targets, metrics=metrics, log=log), log
+
+
+class TestSLOTracker:
+    def test_quantile_target_not_evaluated_below_min_count(self):
+        metrics = MetricsRegistry()
+        target = SLOTarget(
+            name="p99", metric="svc.dispatch_latency_seconds",
+            threshold=1.0, min_count=3,
+        )
+        tracker, _ = _tracker((target,), metrics)
+        hist = metrics.histogram("svc.dispatch_latency_seconds")
+        hist.observe(100.0)
+        assert tracker.evaluate(time=1.0) == []
+        assert tracker.status()[0]["attainment"] is None
+
+    def test_breach_is_edge_triggered_and_rearms(self):
+        metrics = MetricsRegistry()
+        target = SLOTarget(
+            name="p99", metric="svc.dispatch_latency_seconds",
+            threshold=1.0, min_count=1,
+        )
+        tracker, log = _tracker((target,), metrics)
+        hist = metrics.histogram("svc.dispatch_latency_seconds")
+        hist.observe(5.0)
+        assert len(tracker.evaluate(time=1.0)) == 1
+        # still out of bounds: no second event for the same excursion
+        assert tracker.evaluate(time=2.0) == []
+        # recovery re-arms the edge; the next excursion fires again
+        for _ in range(200):
+            hist.observe(0.0)
+        assert tracker.evaluate(time=3.0) == []
+        for _ in range(10_000):
+            hist.observe(50.0)
+        assert len(tracker.evaluate(time=4.0)) == 1
+        breaches = [e for e in log.events if e.event == "slo-breach"]
+        assert len(breaches) == 2
+        assert metrics.get("svc.slo_breaches_total").total() == 2
+
+    def test_ratio_target_tracks_error_budget(self):
+        metrics = MetricsRegistry()
+        target = SLOTarget(
+            name="errors", kind="ratio",
+            numerator="svc.admission_rejections_total",
+            denominator="svc.jobs_submitted_total",
+            threshold=0.5, min_count=2,
+        )
+        tracker, _ = _tracker((target,), metrics)
+        submitted = metrics.counter("svc.jobs_submitted_total")
+        rejected = metrics.counter("svc.admission_rejections_total")
+        submitted.inc()
+        assert tracker.evaluate(time=1.0) == []  # below min_count
+        submitted.inc()
+        rejected.inc(3)
+        fired = tracker.evaluate(time=2.0)
+        assert fired == [
+            {"slo": "errors", "value": 1.5, "threshold": 0.5}
+        ]
+
+    def test_attainment_reported_and_gauged(self):
+        metrics = MetricsRegistry()
+        target = SLOTarget(
+            name="p99", metric="svc.dispatch_latency_seconds",
+            threshold=1.0, min_count=1,
+        )
+        tracker, _ = _tracker((target,), metrics)
+        hist = metrics.histogram("svc.dispatch_latency_seconds")
+        hist.observe(0.5)
+        tracker.evaluate(time=1.0)
+        hist.observe(90.0)
+        tracker.evaluate(time=2.0)
+        status = tracker.status()[0]
+        assert status["attainment"] == pytest.approx(0.5)
+        assert status["breached_now"] is True
+        assert status["evaluated_ticks"] == 2
+        assert metrics.get("svc.slo_attainment").value(
+            slo="p99"
+        ) == pytest.approx(0.5)
+
+    def test_duplicate_target_names_rejected(self):
+        metrics = MetricsRegistry()
+        target = SLOTarget(
+            name="dup", metric="svc.dispatch_latency_seconds",
+            threshold=1.0,
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOTracker((target, target), metrics=metrics)
+
+    def test_default_targets_describe_themselves(self):
+        described = [t.describe() for t in DEFAULT_SLO_TARGETS]
+        assert "p99(svc.dispatch_latency_seconds) <= 10" in described
+        assert any("admission_rejections" in d for d in described)
+
+    def test_bad_target_definitions_rejected(self):
+        with pytest.raises(ValueError, match="needs a metric"):
+            SLOTarget(name="x", kind="quantile")
+        with pytest.raises(ValueError, match="numerator"):
+            SLOTarget(name="x", kind="ratio", threshold=0.1)
+        with pytest.raises(ValueError, match="kind"):
+            SLOTarget(name="x", kind="average")

@@ -1,0 +1,176 @@
+"""Service workload-replay benchmark: schema, identity, history, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.workload import (
+    SERVICE_BENCH_SCHEMA_VERSION,
+    append_service_history,
+    compare_service_history,
+    generate_workload,
+    run_service_bench,
+    service_history_entry,
+    validate_service_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    return run_service_bench(quick=True, seed=0)
+
+
+class TestGenerateWorkload:
+    def test_deterministic_for_a_seed(self):
+        first = generate_workload(n_jobs=20, seed=7)
+        second = generate_workload(n_jobs=20, seed=7)
+        assert first == second
+        assert first != generate_workload(n_jobs=20, seed=8)
+
+    def test_arrivals_are_ordered_and_sized(self):
+        arrivals = generate_workload(n_jobs=50, seed=0)
+        assert len(arrivals) == 50
+        ticks = [a.tick for a in arrivals]
+        assert ticks == sorted(ticks)
+        assert {a.tenant for a in arrivals} == {"alice", "bob", "carol"}
+        assert all(4 <= a.max_steps <= 16 for a in arrivals)
+        assert all(1 <= a.max_count <= 4 for a in arrivals)
+        # heavy tail: not every job is the minimum size
+        assert len({a.max_steps for a in arrivals}) > 1
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            generate_workload(n_jobs=0, seed=0)
+
+
+class TestRunServiceBench:
+    def test_quick_doc_validates_clean(self, quick_doc):
+        assert validate_service_bench(quick_doc) == []
+        assert quick_doc["schema_version"] == SERVICE_BENCH_SCHEMA_VERSION
+        assert quick_doc["benchmark"] == "service-workload"
+
+    def test_identity_gates_hold(self, quick_doc):
+        identity = quick_doc["identity"]
+        assert identity["service_stream_byte_identical"] is True
+        assert identity["per_job_traces_byte_identical"] is True
+        assert identity["n_job_traces_compared"] == (
+            quick_doc["config"]["n_jobs"]
+        )
+
+    def test_every_job_reaches_a_terminal_state(self, quick_doc):
+        jobs = quick_doc["jobs"]
+        assert jobs["queued"] == 0 and jobs["running"] == 0
+        terminal = sum(
+            jobs[s] for s in ("done", "failed", "cancelled",
+                              "budget-stopped")
+        )
+        assert terminal == quick_doc["throughput"]["jobs_submitted"]
+
+    def test_throughput_and_latency_measured(self, quick_doc):
+        thr = quick_doc["throughput"]
+        assert thr["jobs_per_second"] > 0
+        assert thr["probes_dispatched"] > 0
+        assert quick_doc["queueing"]["count"] == thr["jobs_completed"]
+        assert quick_doc["queueing"]["p99"] >= 0
+
+    def test_slo_attainment_reported(self, quick_doc):
+        slo = quick_doc["slo"]
+        assert len(slo["targets"]) == 3
+        assert slo["attainment"] is None or 0 <= slo["attainment"] <= 1
+
+
+class TestValidateServiceBench:
+    def test_rejects_wrong_schema_version(self, quick_doc):
+        doc = dict(quick_doc, schema_version=99)
+        assert any(
+            "schema_version" in e for e in validate_service_bench(doc)
+        )
+
+    def test_rejects_missing_section(self, quick_doc):
+        doc = {k: v for k, v in quick_doc.items() if k != "queueing"}
+        assert any("queueing" in e for e in validate_service_bench(doc))
+
+    def test_rejects_broken_identity(self, quick_doc):
+        doc = json.loads(json.dumps(quick_doc))
+        doc["identity"]["service_stream_byte_identical"] = False
+        assert any(
+            "nondeterministic" in e for e in validate_service_bench(doc)
+        )
+
+    def test_rejects_non_mapping(self):
+        assert validate_service_bench([]) != []
+
+
+class TestServiceHistory:
+    def test_entries_are_pure_functions_of_the_artifact(self, quick_doc):
+        entry = service_history_entry(quick_doc)
+        assert entry == service_history_entry(quick_doc)
+        assert "timestamp" not in entry
+
+    def test_append_and_compare_round_trip(self, quick_doc, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        first = append_service_history(quick_doc, path)
+        assert first["seq"] == 1
+        lines, regressed = compare_service_history(quick_doc, path)
+        assert regressed is False
+        assert "vs history entry seq=1" in lines[0]
+
+    def test_compare_flags_regression(self, quick_doc, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_service_history(quick_doc, path)
+        slower = json.loads(json.dumps(quick_doc))
+        slower["throughput"]["wall_seconds"] *= 2.0
+        lines, regressed = compare_service_history(
+            slower, path, threshold=0.10
+        )
+        assert regressed is True
+        assert any("REGRESSION" in ln for ln in lines)
+
+    def test_search_entries_never_cross_match(self, quick_doc, tmp_path):
+        # a search-bench entry in the shared history file must be
+        # invisible to the service compare (different config shape)
+        path = tmp_path / "BENCH_history.jsonl"
+        path.write_text(json.dumps({
+            "seq": 1,
+            "config": {"quick": True, "n_deployments": 36,
+                       "max_steps": 25, "seed": 0},
+            "end_to_end_fast_seconds": 1.0,
+        }) + "\n")
+        lines, regressed = compare_service_history(quick_doc, path)
+        assert regressed is False
+        assert "no comparable history entry" in lines[0]
+
+
+class TestServiceBenchCLI:
+    def test_quick_run_writes_valid_artifact(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_service.json"
+        history = tmp_path / "BENCH_history.jsonl"
+        rc = main(["bench", "--service", "--quick", "-o", str(out),
+                   "--history", str(history), "--max-overhead", "0.10"])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_service_bench(doc) == []
+        stdout = capsys.readouterr().out
+        assert "service workload bench" in stdout
+        entries = history.read_text().strip().splitlines()
+        assert json.loads(entries[-1])["seq"] == 1
+
+    def test_validate_dispatches_on_benchmark_kind(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "BENCH_service.json"
+        rc = main(["bench", "--service", "--quick", "-o", str(out),
+                   "--no-history"])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["bench", "--validate", str(out)]) == 0
+        assert "valid BENCH_service.json" in capsys.readouterr().out
+
+    def test_max_overhead_gate_fails_when_exceeded(
+        self, tmp_path, capsys
+    ):
+        rc = main(["bench", "--service", "--quick", "--no-history",
+                   "--max-overhead", "-0.99"])
+        assert rc == 1
+        assert "service telemetry overhead" in capsys.readouterr().err

@@ -124,8 +124,9 @@ class TestTenantIsolation:
         poor = service.submit(spec(tenant="alice"))
         rich = service.submit(spec(tenant="bob"))
         service.run_until_idle()
-        # alice's job dies at the first post-spend budget check...
-        assert service.status(poor)["state"] == "failed"
+        # alice's job stops at the first post-spend budget check — a
+        # policy stop, not an error, so it gets its own terminal state
+        assert service.status(poor)["state"] == "budget-stopped"
         assert "budget exhausted" in service.status(poor)["error"]
         # ...and her exhausted budget refuses *her* next submission...
         with pytest.raises(ServiceAdmissionError, match="budget"):
