@@ -49,6 +49,7 @@ DEFAULT_ENTRY_POINTS: tuple[str, ...] = (
     "repro.obs.metrics:Gauge",
     "repro.obs.metrics:Histogram",
     "repro.obs.metrics:MetricsRegistry",
+    "repro.obs.prof:PhaseProfiler",
     "repro.obs.recorder:RunRecorder",
     "repro.obs.stream:TraceStreamWriter",
     "repro.obs.svc:SLOTracker",

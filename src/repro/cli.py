@@ -36,6 +36,8 @@ Two subcommands:
       python -m repro.cli trace run.trace.jsonl
       python -m repro.cli trace run.trace.jsonl --spans
       python -m repro.cli trace live.trace.jsonl --follow
+      python -m repro.cli trace live.trace.jsonl --follow \\
+          --kinds decision,fleet
 
 - ``top`` — refreshing terminal dashboard over a streamed trace
   (step, budget burn, incumbent, EI trend, fleet, anomalies)::
@@ -54,6 +56,27 @@ Two subcommands:
   search phase and step, joined through the fleet events::
 
       python -m repro.cli attribute run.trace.jsonl
+
+- ``profile`` — render a self-profiling phase ledger (a
+  ``profile.json`` sidecar from ``deploy --profile``, or a span-level
+  ledger derived from any trace artifact) as a table, folded stacks
+  for external flamegraph tools, or a self-contained flamegraph SVG
+  (docs/performance.md "Profiling workflow")::
+
+      python -m repro.cli deploy ... --profile profile.json
+      python -m repro.cli profile profile.json
+      python -m repro.cli profile profile.json --folded
+      python -m repro.cli profile run.trace.jsonl --flame flame.svg
+
+- ``diff`` — trace forensics: structurally compare two JSONL trace
+  artifacts and pinpoint the first diverging line, record kind and
+  field-level delta (exit 0 when identical, 1 when they diverge);
+  ``--canonical`` compares the canonical byte-identity form the
+  bench gates use (wall-clock stripped)::
+
+      python -m repro.cli diff a.trace.jsonl b.trace.jsonl
+      python -m repro.cli diff a.trace.jsonl b.trace.jsonl --canonical
+      python -m repro.cli diff a.trace.jsonl b.trace.jsonl --format json
 
 - ``metrics`` — dump a trace's metric snapshot, as Prometheus text
   exposition or JSON, or serve it over HTTP for a Prometheus
@@ -177,14 +200,17 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
         print("specify --budget or --deadline-hours, not both",
               file=sys.stderr)
         return 2
-    if args.trace_out:
+    for opt, value in (("--trace-out", args.trace_out),
+                       ("--profile", args.profile)):
+        if not value:
+            continue
         # fail before the (expensive) deployment, not after
         from pathlib import Path
 
-        parent = Path(args.trace_out).resolve().parent
+        parent = Path(value).resolve().parent
         if not parent.is_dir():
             print(
-                f"--trace-out directory does not exist: {parent}",
+                f"{opt} directory does not exist: {parent}",
                 file=sys.stderr,
             )
             return 2
@@ -192,7 +218,8 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
         deadline_hours=args.deadline_hours,
         budget_dollars=args.budget,
     )
-    mlcd = MLCD(seed=args.seed, max_count=args.max_count)
+    mlcd = MLCD(seed=args.seed, max_count=args.max_count,
+                profile=bool(args.profile))
     writer = None
     server = None
     if args.stream:
@@ -230,6 +257,9 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     if args.trace_out:
         mlcd.last_trace.save(args.trace_out)
         print(f"wrote search trace to {args.trace_out}", file=sys.stderr)
+    if args.profile:
+        mlcd.recorder.prof.write(args.profile)
+        print(f"wrote profile sidecar to {args.profile}", file=sys.stderr)
     if args.pareto:
         print("\npareto-efficient options observed:")
         for p in mlcd.pareto_options(report):
@@ -444,11 +474,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     overhead_failed = False
     if args.max_overhead is not None:
         obs = doc.get("observability")
-        # both ratios must clear the ceiling: plain recording, and
-        # recording with the event bus + all live sinks attached
+        # all three ratios must clear the ceiling: plain recording,
+        # recording with the event bus + all live sinks attached, and
+        # recording with the self-profiling ledger attached
         for key, label in (
             ("overhead_ratio", "recording"),
             ("bus_overhead_ratio", "live-telemetry (bus + sinks)"),
+            ("profile_overhead_ratio", "self-profiling"),
         ):
             ratio = obs.get(key) if isinstance(obs, dict) else None
             if not isinstance(ratio, (int, float)):
@@ -476,11 +508,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"warning: could not append to {args.history}: {exc}",
                   file=sys.stderr)
-    ok = (
-        doc["identity"]["byte_identical"]
-        and not regressed
-        and not overhead_failed
-    )
+    # both identity axes gate the exit code: fast-lane decisions and
+    # profiler-on trace bytes; on failure the artifact carries the
+    # structural first divergence, rendered here for the human
+    identity_ok = True
+    for section, label in (
+        ("identity", "identity gate (fast lane vs slow lane)"),
+        ("profile", "profiler identity gate (profiling on vs off)"),
+    ):
+        body = doc.get(section)
+        if not isinstance(body, dict) or body.get("byte_identical"):
+            continue
+        identity_ok = False
+        print(f"{label} failed: traces are not byte-identical",
+              file=sys.stderr)
+        divergence = body.get("first_divergence")
+        if divergence:
+            from repro.obs import TraceDiff, render_diff
+
+            print(render_diff(TraceDiff.from_dict(divergence)),
+                  file=sys.stderr)
+    ok = identity_ok and not regressed and not overhead_failed
     return 0 if ok else 1
 
 
@@ -502,6 +550,8 @@ def _bench_service(args: argparse.Namespace) -> int:
     problems = validate_service_bench(doc)
     for problem in problems:
         print(f"service bench: {problem}", file=sys.stderr)
+    if problems:
+        _print_service_divergences(doc)
     if args.out:
         Path(args.out).write_text(
             json.dumps(doc, indent=2, sort_keys=True) + "\n"
@@ -521,15 +571,21 @@ def _bench_service(args: argparse.Namespace) -> int:
             print(line)
     overhead_failed = False
     if args.max_overhead is not None:
-        ratio = doc["observability"]["overhead_ratio"]
-        if ratio - 1.0 > args.max_overhead:
-            print(
-                f"--max-overhead: service telemetry overhead "
-                f"{(ratio - 1.0) * 100:.1f}% exceeds the "
-                f"{args.max_overhead * 100:.1f}% ceiling",
-                file=sys.stderr,
-            )
-            overhead_failed = True
+        for key, label in (
+            ("overhead_ratio", "service telemetry"),
+            ("profile_overhead_ratio", "service self-profiling"),
+        ):
+            ratio = doc["observability"].get(key)
+            if not isinstance(ratio, (int, float)):
+                continue
+            if ratio - 1.0 > args.max_overhead:
+                print(
+                    f"--max-overhead: {label} overhead "
+                    f"{(ratio - 1.0) * 100:.1f}% exceeds the "
+                    f"{args.max_overhead * 100:.1f}% ceiling",
+                    file=sys.stderr,
+                )
+                overhead_failed = True
     if not args.no_history:
         try:
             entry = append_service_history(doc, args.history)
@@ -540,6 +596,35 @@ def _bench_service(args: argparse.Namespace) -> int:
                   file=sys.stderr)
     ok = not problems and not regressed and not overhead_failed
     return 0 if ok else 1
+
+
+def _print_service_divergences(doc: dict) -> None:
+    """Render any first-divergence reports a failed service-bench
+    artifact carries (identity / profile gates)."""
+    import json
+
+    from repro.obs import TraceDiff, render_diff
+
+    reports = []
+    identity = doc.get("identity") or {}
+    profile = doc.get("profile") or {}
+    for label, report in (
+        ("service-stream divergence",
+         identity.get("service_stream_first_divergence")),
+        ("per-job divergence", identity.get("per_job_first_divergence")),
+        ("profiler divergence", profile.get("first_divergence")),
+    ):
+        if isinstance(report, dict):
+            reports.append((label, report))
+    for label, report in reports:
+        print(f"{label}:", file=sys.stderr)
+        if report.get("reason") == "artifact-set":
+            # per-job artifact sets differ — not a line-level diff
+            print(json.dumps(report, indent=2, sort_keys=True),
+                  file=sys.stderr)
+        else:
+            print(render_diff(TraceDiff.from_dict(report)),
+                  file=sys.stderr)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -559,10 +644,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _trace_follow(args: argparse.Namespace) -> int:
     """Tail a (possibly still growing) streamed trace as a run log."""
-    from repro.obs import follow_trace, format_event
+    from repro.obs import STREAM_RECORD_KINDS, follow_trace, format_event
 
+    kinds = None
+    if args.kinds:
+        kinds = {
+            token.strip() for token in args.kinds.split(",") if token.strip()
+        }
+        unknown = sorted(kinds - STREAM_RECORD_KINDS)
+        if unknown:
+            print(
+                f"--kinds: unknown record kind(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(STREAM_RECORD_KINDS))})",
+                file=sys.stderr,
+            )
+            return 2
+        if not kinds:
+            print("--kinds: no record kinds given", file=sys.stderr)
+            return 2
     try:
-        for doc in follow_trace(args.path, timeout=args.timeout):
+        for doc in follow_trace(args.path, timeout=args.timeout,
+                                kinds=kinds):
             line = format_event(doc)
             if line is not None:
                 print(line, flush=True)
@@ -731,6 +833,88 @@ def _cmd_attribute(args: argparse.Namespace) -> int:
         print(f"{args.path}: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import (
+        folded_stacks,
+        profile_from_trace,
+        render_flamegraph_svg,
+        render_profile,
+        validate_profile,
+    )
+
+    path = Path(args.path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        print(f"no such file: {args.path}", file=sys.stderr)
+        return 2
+    # sidecar or trace?  A sidecar is one JSON object with
+    # kind="profile"; anything else is treated as a trace artifact and
+    # profiled at span granularity after the fact
+    try:
+        parsed = json.loads(text)
+    except json.JSONDecodeError:
+        parsed = None
+    if isinstance(parsed, dict) and parsed.get("kind") == "profile":
+        try:
+            doc = validate_profile(parsed, source=str(path))
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    else:
+        trace = _load_trace(args.path)
+        if trace is None:
+            return 2
+        doc = profile_from_trace(trace)
+    if args.flame:
+        Path(args.flame).write_text(
+            render_flamegraph_svg(doc, title=f"repro profile — {path.name}")
+        )
+        print(f"wrote {args.flame}", file=sys.stderr)
+        return 0
+    if args.folded:
+        print(folded_stacks(doc), end="")
+        return 0
+    print(render_profile(doc))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import diff_trace_texts, render_diff
+
+    if args.canonical:
+        from repro.perf.bench import canonical_trace_jsonl
+
+        texts = []
+        for path in (args.a, args.b):
+            trace = _load_trace(path)
+            if trace is None:
+                return 2
+            texts.append(canonical_trace_jsonl(trace))
+    else:
+        texts = []
+        for path in (args.a, args.b):
+            try:
+                texts.append(Path(path).read_text())
+            except FileNotFoundError:
+                print(f"no such trace file: {path}", file=sys.stderr)
+                return 2
+    diff = diff_trace_texts(
+        texts[0], texts[1], a_name=args.a, b_name=args.b
+    )
+    if args.format == "json":
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff))
+    return 0 if diff.identical else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -972,6 +1156,11 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="PORT",
                         help="serve live Prometheus /metrics on PORT "
                              "while the run is in flight (0 = ephemeral)")
+    deploy.add_argument("--profile", default=None, metavar="PATH",
+                        help="self-profile the run and write the "
+                             "phase-timing ledger sidecar (profile.json) "
+                             "here; trace bytes are unaffected "
+                             "(render with `repro profile`)")
     deploy.set_defaults(func=_cmd_deploy)
 
     report = sub.add_parser(
@@ -1029,6 +1218,9 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="--follow: stop after this long with no new "
                             "events (default: wait forever)")
+    trace.add_argument("--kinds", default=None, metavar="K1,K2,...",
+                       help="--follow: only show these record kinds "
+                            "(comma-separated, e.g. decision,fleet)")
     trace.set_defaults(func=_cmd_trace)
 
     top = sub.add_parser(
@@ -1074,6 +1266,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     attribute.add_argument("path", help="path to a .trace.jsonl artifact")
     attribute.set_defaults(func=_cmd_attribute)
+
+    profile = sub.add_parser(
+        "profile",
+        help="render a self-profiling phase ledger as a table, folded "
+             "stacks, or a flamegraph SVG (docs/performance.md)",
+    )
+    profile.add_argument("path",
+                         help="a profile.json sidecar (see `deploy "
+                              "--profile`) or a .trace.jsonl artifact "
+                              "(span-level ledger)")
+    profile_out = profile.add_mutually_exclusive_group()
+    profile_out.add_argument("--folded", action="store_true",
+                             help="emit folded-stack lines "
+                                  "(`path µs`, flamegraph.pl input)")
+    profile_out.add_argument("--flame", default=None, metavar="OUT.svg",
+                             help="write a self-contained flamegraph "
+                                  "SVG here")
+    profile.set_defaults(func=_cmd_profile)
+
+    diff = sub.add_parser(
+        "diff",
+        help="structurally compare two trace artifacts; pinpoints the "
+             "first diverging line and field (exit 1 on divergence)",
+    )
+    diff.add_argument("a", help="left-hand .trace.jsonl artifact")
+    diff.add_argument("b", help="right-hand .trace.jsonl artifact")
+    diff.add_argument("--canonical", action="store_true",
+                      help="compare the canonical byte-identity form "
+                           "(wall-clock stripped) the bench gates use")
+    diff.add_argument("--format", choices=("text", "json"),
+                      default="text",
+                      help="json: machine-readable report "
+                           "(what gates embed on failure)")
+    diff.set_defaults(func=_cmd_diff)
 
     metrics = sub.add_parser(
         "metrics",

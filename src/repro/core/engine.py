@@ -39,11 +39,13 @@ from repro.core.search_space import Deployment, DeploymentSpace
 from repro.obs import (
     NOOP_BUS,
     NOOP_DECISIONS,
+    NOOP_PROFILER,
     NOOP_TRACER,
     NOOP_WATCHDOG,
     DecisionLog,
     EventBus,
     MetricsRegistry,
+    PhaseProfiler,
     StepHealth,
     Tracer,
     Watchdog,
@@ -69,10 +71,12 @@ SPEED_FLOOR = 1e-3
 class SearchContext:
     """Everything a strategy needs to search: the world and the task.
 
-    ``tracer``, ``metrics``, ``decisions``, ``watchdog`` and ``bus``
-    are the run's observability sinks; the defaults (shared no-ops and
-    a fresh, unread registry) make instrumented code paths free and
-    behaviour-identical when nobody is recording.
+    ``tracer``, ``metrics``, ``decisions``, ``watchdog``, ``bus`` and
+    ``prof`` are the run's observability sinks; the defaults (shared
+    no-ops and a fresh, unread registry) make instrumented code paths
+    free and behaviour-identical when nobody is recording.  ``prof``
+    is the *self*-profiler (wall-time phase ledger) — distinct from
+    ``profiler``, which executes the paper's deployment probes.
     """
 
     space: DeploymentSpace
@@ -84,6 +88,7 @@ class SearchContext:
     decisions: DecisionLog = NOOP_DECISIONS
     watchdog: Watchdog = NOOP_WATCHDOG
     bus: EventBus = NOOP_BUS
+    prof: PhaseProfiler = NOOP_PROFILER
 
     @property
     def introspecting(self) -> bool:
@@ -330,15 +335,20 @@ class GPSearchEngine:
                 or n < self._n_fitted  # defensive: history shrank
                 or n >= self._next_full_refit_n
             )
-            if full:
-                self._gp.fit(X, y)
-                self._next_full_refit_n = 2 * n
-            else:
-                for i in range(self._n_fitted, n):
-                    self._gp.observe(X[i], float(y[i]))
-                # the dynamic floor may have moved *earlier* failed-
-                # probe targets; re-anchor the whole target vector
-                self._gp.set_targets(y)
+            # the ledger splits what the span can't: full hyperparameter
+            # refits vs rank-1 incremental updates are different costs
+            with self.context.prof.phase(
+                "gp.fit.full" if full else "gp.fit.incremental"
+            ):
+                if full:
+                    self._gp.fit(X, y)
+                    self._next_full_refit_n = 2 * n
+                else:
+                    for i in range(self._n_fitted, n):
+                        self._gp.observe(X[i], float(y[i]))
+                    # the dynamic floor may have moved *earlier* failed-
+                    # probe targets; re-anchor the whole target vector
+                    self._gp.set_targets(y)
             span.set_attribute("mode", "full" if full else "incremental")
             self._n_fitted = n
             self._fitted = True

@@ -332,11 +332,12 @@ class HeterBO(SearchStrategy):
         candidates = super().candidate_deployments(context, engine)
         if self.use_concave_prior:
             n_before = len(candidates)
-            candidates = [
-                d
-                for d in candidates
-                if self.prior.allows(d.instance_type, d.count)
-            ]
+            with context.prof.phase("candidate.prune"):
+                candidates = [
+                    d
+                    for d in candidates
+                    if self.prior.allows(d.instance_type, d.count)
+                ]
             pruned = n_before - len(candidates)
             if pruned:
                 context.metrics.counter(

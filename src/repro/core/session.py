@@ -54,6 +54,7 @@ from repro.core.search_space import Deployment
 from repro.obs import (
     NOOP_BUS,
     NOOP_DECISIONS,
+    NOOP_PROFILER,
     NOOP_TRACER,
     NOOP_WATCHDOG,
     MetricsRegistry,
@@ -600,6 +601,7 @@ class SearchSession:
             decisions=NOOP_DECISIONS,
             watchdog=NOOP_WATCHDOG,
             bus=NOOP_BUS,
+            prof=NOOP_PROFILER,
         )
         strategy.restore_state(snapshot.get("strategy_state", {}))
         session.engine = strategy._make_engine(quiet)

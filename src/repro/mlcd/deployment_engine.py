@@ -21,11 +21,13 @@ from repro.core.search_space import Deployment, DeploymentSpace
 from repro.obs import (
     NOOP_BUS,
     NOOP_DECISIONS,
+    NOOP_PROFILER,
     NOOP_TRACER,
     NOOP_WATCHDOG,
     DecisionLog,
     EventBus,
     MetricsRegistry,
+    PhaseProfiler,
     Tracer,
     Watchdog,
 )
@@ -60,6 +62,7 @@ class DeploymentEngine:
         decisions: DecisionLog = NOOP_DECISIONS,
         watchdog: Watchdog = NOOP_WATCHDOG,
         bus: EventBus = NOOP_BUS,
+        prof: PhaseProfiler = NOOP_PROFILER,
     ) -> None:
         self.space = space
         self.profiler = profiler
@@ -69,6 +72,7 @@ class DeploymentEngine:
         self.decisions = decisions
         self.watchdog = watchdog
         self.bus = bus
+        self.prof = prof
 
     @property
     def cloud(self):
@@ -92,6 +96,7 @@ class DeploymentEngine:
             decisions=self.decisions,
             watchdog=self.watchdog,
             bus=self.bus,
+            prof=self.prof,
         )
         return strategy.search(context)
 

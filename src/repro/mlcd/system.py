@@ -53,6 +53,11 @@ class MLCD:
         Drives measurement noise and any strategy randomness.
     noise_sigma:
         Relative iteration-to-iteration throughput jitter.
+    profile:
+        ``True`` attaches a self-profiling phase ledger to the run
+        (``self.recorder.prof``, exported via
+        ``recorder.prof.write(path)``); the trace artifact stays
+        byte-identical either way.
     """
 
     def __init__(
@@ -63,6 +68,7 @@ class MLCD:
         strategy: SearchStrategy | None = None,
         seed: int = 0,
         noise_sigma: float = 0.03,
+        profile: bool = False,
     ) -> None:
         self.catalog = catalog if catalog is not None else default_catalog()
         self.cloud = SimulatedCloud(self.catalog)
@@ -78,7 +84,7 @@ class MLCD:
         # attached via self.recorder.bus — recording stays read-only,
         # so runs are byte-identical with or without subscribers.
         self.recorder = RunRecorder(
-            clock=lambda: self.cloud.clock.now, bus=True
+            clock=lambda: self.cloud.clock.now, bus=True, profile=profile
         )
         # fleet telemetry: the cloud emits lifecycle events into the
         # recorder's FleetLog (read-only; the join to the billing
@@ -101,6 +107,7 @@ class MLCD:
             decisions=self.recorder.decisions,
             watchdog=self.recorder.watchdog,
             bus=self.recorder.bus,
+            prof=self.recorder.prof,
         )
         self.strategy = strategy if strategy is not None else HeterBO(seed=seed)
         self._last_job = None

@@ -38,6 +38,12 @@ from repro.obs.decisions import (
     DecisionLog,
     DecisionRecord,
 )
+from repro.obs.diffs import (
+    FieldDelta,
+    TraceDiff,
+    diff_trace_texts,
+    render_diff,
+)
 from repro.obs.explain import render_explain
 from repro.obs.fleet import (
     FLEET_EVENT_VERSION,
@@ -53,6 +59,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
     snapshot_to_prometheus_text,
 )
+from repro.obs.prof import (
+    NOOP_PROFILER,
+    PROFILE_SCHEMA_VERSION,
+    PhaseProfiler,
+    folded_stacks,
+    load_profile,
+    profile_from_trace,
+    render_flamegraph_svg,
+    render_profile,
+    validate_profile,
+)
 from repro.obs.recorder import (
     SUPPORTED_TRACE_VERSIONS,
     TRACE_SCHEMA_VERSION,
@@ -67,6 +84,7 @@ from repro.obs.promhttp import (
 from repro.obs.report import render_comparison
 from repro.obs.span import Span
 from repro.obs.stream import (
+    STREAM_RECORD_KINDS,
     TraceStreamWriter,
     follow_trace,
     format_event,
@@ -109,6 +127,7 @@ __all__ = [
     "DecisionRecord",
     "EventBus",
     "FLEET_EVENT_VERSION",
+    "FieldDelta",
     "FleetEvent",
     "FleetLog",
     "Gauge",
@@ -120,15 +139,19 @@ __all__ = [
     "NOOP_BUS",
     "NOOP_DECISIONS",
     "NOOP_FLEET",
+    "NOOP_PROFILER",
     "NOOP_SERVICE",
     "NOOP_TRACER",
     "NOOP_WATCHDOG",
+    "PROFILE_SCHEMA_VERSION",
+    "PhaseProfiler",
     "ProgressEvent",
     "RecordingTracer",
     "RunRecorder",
     "SERVICE_EVENT_VERSION",
     "SLOTarget",
     "SLOTracker",
+    "STREAM_RECORD_KINDS",
     "SUPPORTED_TRACE_VERSIONS",
     "SearchTrace",
     "ServiceEvent",
@@ -137,22 +160,31 @@ __all__ = [
     "Span",
     "StepHealth",
     "TRACE_SCHEMA_VERSION",
+    "TraceDiff",
     "TraceStreamWriter",
     "Tracer",
     "Watchdog",
     "WatchdogConfig",
+    "diff_trace_texts",
+    "folded_stacks",
     "follow_trace",
     "format_event",
+    "load_profile",
     "load_service_state",
     "load_state",
+    "profile_from_trace",
     "read_trace_events",
     "registry_source",
     "render_comparison",
+    "render_diff",
     "render_explain",
     "render_attribution",
+    "render_flamegraph_svg",
+    "render_profile",
     "render_service_top",
     "render_timeline",
     "render_top",
     "snapshot_to_prometheus_text",
     "trace_file_source",
+    "validate_profile",
 ]

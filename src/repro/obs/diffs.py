@@ -1,0 +1,326 @@
+"""Trace forensics: structural diff of two JSONL trace artifacts.
+
+The byte-identity gates that protect every trace schema version report
+only pass/fail; when identity breaks, :func:`diff_trace_texts` finds
+*why*: the first diverging line (1-based), the record kind and ordering
+key on each side, and the exact field-level delta inside the record —
+instead of a bare assert.  ``repro diff`` fronts it on the command
+line; the bench identity gates embed its report in their failure
+output.
+
+Layering keeps this module ignorant of canonicalisation:
+``canonical_trace_jsonl`` lives in :mod:`repro.perf.bench` (above
+``obs``), so callers wanting a canonical-mode diff canonicalise first
+and pass the resulting texts here (``repro diff --canonical`` does
+exactly that).
+
+The comparison is structural, not textual: two lines that differ only
+in JSON key order or float formatting parse equal and do not diverge.
+A line valid on one side but torn/unparseable on the other is itself a
+divergence (``reason="parse"``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["FieldDelta", "TraceDiff", "diff_trace_texts", "render_diff"]
+
+#: Maximum field deltas reported per diverging line (the rest are
+#: counted, not listed — one bad record can differ in every field).
+MAX_FIELD_DELTAS = 16
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class FieldDelta:
+    """One diverging field inside the first diverging record."""
+
+    #: dotted path into the JSON document (``summary.n_steps``,
+    #: ``attributes.pruned.prior``); ``<line>`` when a side is not JSON
+    path: str
+    #: value on side A (``None`` plus ``a_missing`` for an absent key)
+    a: Any
+    b: Any
+    a_missing: bool = False
+    b_missing: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"path": self.path, "a": self.a, "b": self.b}
+        if self.a_missing:
+            doc["a_missing"] = True
+        if self.b_missing:
+            doc["b_missing"] = True
+        return doc
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Structural comparison result for two JSONL artifacts."""
+
+    #: no structural difference on any line
+    identical: bool
+    #: labels for the two sides (file paths from the CLI)
+    a_name: str = "a"
+    b_name: str = "b"
+    #: non-empty line counts per side
+    a_lines: int = 0
+    b_lines: int = 0
+    #: 1-based first diverging line (``None`` when identical)
+    line: int | None = None
+    #: ``"field"`` (records differ), ``"parse"`` (one side not JSON),
+    #: ``"length"`` (one side ended early) or ``""`` when identical
+    reason: str = ""
+    #: record kind on each side at the divergence (``None`` = no line)
+    a_kind: str | None = None
+    b_kind: str | None = None
+    #: ordering key of the diverging record (seq / span_id / step)
+    a_key: Any = None
+    b_key: Any = None
+    #: field-level deltas (capped at :data:`MAX_FIELD_DELTAS`)
+    fields: tuple[FieldDelta, ...] = ()
+    #: total number of diverging fields (may exceed ``len(fields)``)
+    n_field_deltas: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable report (CI and gate output)."""
+        return {
+            "identical": self.identical,
+            "a": self.a_name,
+            "b": self.b_name,
+            "a_lines": self.a_lines,
+            "b_lines": self.b_lines,
+            "line": self.line,
+            "reason": self.reason,
+            "a_kind": self.a_kind,
+            "b_kind": self.b_kind,
+            "a_key": self.a_key,
+            "b_key": self.b_key,
+            "n_field_deltas": self.n_field_deltas,
+            "fields": [delta.to_dict() for delta in self.fields],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> TraceDiff:
+        """Rehydrate a :meth:`to_dict` report (e.g. a bench artifact's
+        ``first_divergence``) so gates can :func:`render_diff` it."""
+        return cls(
+            identical=bool(doc.get("identical", False)),
+            a_name=str(doc.get("a", "a")),
+            b_name=str(doc.get("b", "b")),
+            a_lines=int(doc.get("a_lines", 0)),
+            b_lines=int(doc.get("b_lines", 0)),
+            line=doc.get("line"),
+            reason=str(doc.get("reason", "")),
+            a_kind=doc.get("a_kind"),
+            b_kind=doc.get("b_kind"),
+            a_key=doc.get("a_key"),
+            b_key=doc.get("b_key"),
+            fields=tuple(
+                FieldDelta(
+                    path=str(delta.get("path", "")),
+                    a=delta.get("a"),
+                    b=delta.get("b"),
+                    a_missing=bool(delta.get("a_missing", False)),
+                    b_missing=bool(delta.get("b_missing", False)),
+                )
+                for delta in doc.get("fields", ())
+            ),
+            n_field_deltas=int(doc.get("n_field_deltas", 0)),
+        )
+
+
+def _record_key(doc: Any) -> Any:
+    """The record's ordering key, by kind (seq, span_id or step)."""
+    if not isinstance(doc, dict):
+        return None
+    for key in ("seq", "span_id", "step"):
+        if key in doc:
+            return doc[key]
+    return None
+
+
+def _json_deltas(a: Any, b: Any, path: str, out: list[FieldDelta]) -> None:
+    """Collect leaf-level differences between two JSON values."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                out.append(FieldDelta(sub, None, b[key], a_missing=True))
+            elif key not in b:
+                out.append(FieldDelta(sub, a[key], None, b_missing=True))
+            else:
+                _json_deltas(a[key], b[key], sub, out)
+        return
+    if isinstance(a, list) and isinstance(b, list):
+        for i in range(max(len(a), len(b))):
+            sub = f"{path}[{i}]"
+            if i >= len(a):
+                out.append(FieldDelta(sub, None, b[i], a_missing=True))
+            elif i >= len(b):
+                out.append(FieldDelta(sub, a[i], None, b_missing=True))
+            else:
+                _json_deltas(a[i], b[i], sub, out)
+        return
+    if a != b or type(a) is not type(b):
+        out.append(FieldDelta(path or "<value>", a, b))
+
+
+def diff_trace_texts(
+    a_text: str,
+    b_text: str,
+    *,
+    a_name: str = "a",
+    b_name: str = "b",
+) -> TraceDiff:
+    """Structurally compare two JSONL texts line by line.
+
+    Blank lines are ignored on both sides.  The first line pair whose
+    parsed documents differ (or where exactly one side has a line /
+    parses) is the divergence; everything after it is not examined —
+    one root cause at a time.
+    """
+    a_lines = [line for line in a_text.splitlines() if line.strip()]
+    b_lines = [line for line in b_text.splitlines() if line.strip()]
+    for i in range(max(len(a_lines), len(b_lines))):
+        if i >= len(a_lines) or i >= len(b_lines):
+            short, doc = (a_name, b_lines[i]) if i >= len(a_lines) else (
+                b_name, a_lines[i]
+            )
+            parsed = _parse(doc)
+            present_kind = (
+                parsed.get("kind") if isinstance(parsed, dict) else None
+            )
+            return TraceDiff(
+                identical=False,
+                a_name=a_name,
+                b_name=b_name,
+                a_lines=len(a_lines),
+                b_lines=len(b_lines),
+                line=i + 1,
+                reason="length",
+                a_kind=None if i >= len(a_lines) else present_kind,
+                b_kind=None if i >= len(b_lines) else present_kind,
+                a_key=None if i >= len(a_lines) else _record_key(parsed),
+                b_key=None if i >= len(b_lines) else _record_key(parsed),
+            )
+        a_doc = _parse(a_lines[i])
+        b_doc = _parse(b_lines[i])
+        if a_doc is _MISSING or b_doc is _MISSING:
+            if a_doc is _MISSING and b_doc is _MISSING:
+                if a_lines[i] == b_lines[i]:
+                    continue
+            deltas = (FieldDelta(
+                "<line>",
+                None if a_doc is _MISSING else a_doc,
+                None if b_doc is _MISSING else b_doc,
+                a_missing=a_doc is _MISSING,
+                b_missing=b_doc is _MISSING,
+            ),)
+            return TraceDiff(
+                identical=False,
+                a_name=a_name,
+                b_name=b_name,
+                a_lines=len(a_lines),
+                b_lines=len(b_lines),
+                line=i + 1,
+                reason="parse",
+                a_kind=a_doc.get("kind") if isinstance(a_doc, dict) else None,
+                b_kind=b_doc.get("kind") if isinstance(b_doc, dict) else None,
+                fields=deltas,
+                n_field_deltas=1,
+            )
+        if a_doc == b_doc:
+            continue
+        deltas: list[FieldDelta] = []
+        _json_deltas(a_doc, b_doc, "", deltas)
+        return TraceDiff(
+            identical=False,
+            a_name=a_name,
+            b_name=b_name,
+            a_lines=len(a_lines),
+            b_lines=len(b_lines),
+            line=i + 1,
+            reason="field",
+            a_kind=a_doc.get("kind") if isinstance(a_doc, dict) else None,
+            b_kind=b_doc.get("kind") if isinstance(b_doc, dict) else None,
+            a_key=_record_key(a_doc),
+            b_key=_record_key(b_doc),
+            fields=tuple(deltas[:MAX_FIELD_DELTAS]),
+            n_field_deltas=len(deltas),
+        )
+    return TraceDiff(
+        identical=True,
+        a_name=a_name,
+        b_name=b_name,
+        a_lines=len(a_lines),
+        b_lines=len(b_lines),
+    )
+
+
+def _parse(line: str) -> Any:
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError:
+        return _MISSING
+
+
+def _fmt(value: Any, missing: bool) -> str:
+    if missing:
+        return "<missing>"
+    text = json.dumps(value, sort_keys=True, default=repr)
+    if len(text) > 120:
+        text = text[:117] + "..."
+    return text
+
+
+def render_diff(diff: TraceDiff) -> str:
+    """Human-readable report (what the identity gates print)."""
+    if diff.identical:
+        return (
+            f"identical: {diff.a_name} == {diff.b_name} "
+            f"({diff.a_lines} lines)"
+        )
+    lines = [
+        f"traces diverge at line {diff.line}",
+        f"  a: {diff.a_name} ({diff.a_lines} lines)",
+        f"  b: {diff.b_name} ({diff.b_lines} lines)",
+    ]
+    if diff.reason == "length":
+        longer = diff.a_name if diff.a_lines > diff.b_lines else diff.b_name
+        shorter = diff.b_name if diff.a_lines > diff.b_lines else diff.a_name
+        kind = diff.a_kind if diff.a_kind is not None else diff.b_kind
+        key = diff.a_key if diff.a_key is not None else diff.b_key
+        extra = f" (kind={kind}" + (
+            f", key={key})" if key is not None else ")"
+        ) if kind is not None else ""
+        lines.append(
+            f"  {shorter} ends first; {longer} has "
+            f"{abs(diff.a_lines - diff.b_lines)} extra line(s){extra}"
+        )
+        return "\n".join(lines)
+    if diff.reason == "parse":
+        lines.append("  one side is not valid JSON at this line (torn tail?)")
+    lines.append(
+        f"  kind: a={diff.a_kind} b={diff.b_kind}"
+        + (
+            f"  key: a={diff.a_key} b={diff.b_key}"
+            if diff.a_key is not None or diff.b_key is not None
+            else ""
+        )
+    )
+    for delta in diff.fields:
+        lines.append(
+            f"  field {delta.path}: "
+            f"{_fmt(delta.a, delta.a_missing)} != "
+            f"{_fmt(delta.b, delta.b_missing)}"
+        )
+    if diff.n_field_deltas > len(diff.fields):
+        lines.append(
+            f"  ... and {diff.n_field_deltas - len(diff.fields)} more "
+            f"field delta(s)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,507 @@
+"""Self-profiling: the phase-timing ledger and flamegraph export.
+
+The paper's thesis — profiling cost must be *measured* before it can be
+exploited — applies to this codebase too: ROADMAP item 3 (vectorised
+acquisition, stacked Cholesky batching) needs per-phase hot-path
+attribution before any of it can be prioritised.  A
+:class:`PhaseProfiler` maintains that attribution: exclusive and
+inclusive wall-time plus call counts per *phase*, where phases are the
+span names already emitted through :class:`~repro.obs.tracer.Tracer`
+(``search``, ``step``, ``gp-fit``, ``candidate-scoring``, ``probe``)
+plus explicit refinements the spans cannot see (``gp.fit.full`` vs
+``gp.fit.incremental``, ``candidate.prune``, ``scheduler.tick``,
+``telemetry.sink``).
+
+Two hard rules keep the profiler out of the determinism story:
+
+* it lives **strictly on the wall-clock side** — it never reads the
+  simulated clock and nothing it measures feeds back into search
+  decisions; and
+* it writes **no trace bytes** — the ledger exports only to a sidecar
+  ``profile.json`` (:data:`PROFILE_SCHEMA_VERSION` v1), so canonical
+  trace artifacts are byte-identical with profiling on or off (gated by
+  ``repro bench``).
+
+The default everywhere is :data:`NOOP_PROFILER`, a stateless shared
+singleton whose hooks cost one attribute lookup; recording is opt-in
+via ``RunRecorder(profile=True)`` / ``MLCDJobService(profile=True)``.
+
+Ledger semantics
+----------------
+``inclusive_seconds`` for a phase is wall time between entry and exit,
+children included; ``exclusive_seconds`` subtracts the inclusive time
+of directly nested phases, so exclusive times sum (± timer resolution)
+to total profiled wall time.  ``stacks`` keys the same exclusive time
+by full phase path (``"search;step;gp-fit"``), which is exactly the
+folded-stack format flamegraph tooling consumes
+(:func:`folded_stacks`, :func:`render_flamegraph_svg`).
+
+For traces recorded *without* a live profiler,
+:func:`profile_from_trace` reconstructs the span-level subset of the
+ledger from ``Span.wall_seconds`` — coarser (no sub-span phases) but
+available for any schema-v1+ artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import SearchTrace
+
+__all__ = [
+    "NOOP_PROFILER",
+    "PROFILE_SCHEMA_VERSION",
+    "PhaseProfiler",
+    "folded_stacks",
+    "load_profile",
+    "profile_from_trace",
+    "render_flamegraph_svg",
+    "render_profile",
+    "validate_profile",
+]
+
+PROFILE_SCHEMA_VERSION = 1
+SUPPORTED_PROFILE_VERSIONS = (1,)
+
+
+class _NoopPhase:
+    """Shared do-nothing phase context; reentrant because stateless."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopPhase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NOOP_PHASE = _NoopPhase()
+
+
+class _PhaseContext:
+    """Context manager driving one explicit profiled phase."""
+
+    __slots__ = ("_prof", "_name")
+
+    def __init__(self, prof: "PhaseProfiler", name: str) -> None:
+        self._prof = prof
+        self._name = name
+
+    def __enter__(self) -> "_PhaseContext":
+        self._prof.enter(self._name)
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._prof.exit_()
+        return False
+
+
+class PhaseProfiler:
+    """Wall-clock phase-timing ledger (see module docstring).
+
+    Hooks (``enter``/``exit_``) are called by
+    :class:`~repro.obs.tracer.RecordingTracer` on every span open/close
+    when the profiler is attached; :meth:`phase` marks explicit phases
+    that are not spans.  All state is internal — the profiler reads the
+    wall clock and mutates only itself, so it certifies externally pure
+    under RL102 and never perturbs the run it measures.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        # open frames: [name, wall_start, child_inclusive_seconds]
+        self._stack: list[list[Any]] = []
+        # ledger: name -> [count, inclusive_seconds, exclusive_seconds]
+        self._phases: dict[str, list[float]] = {}
+        # folded stacks: path tuple -> exclusive seconds
+        self._stacks: dict[tuple[str, ...], float] = {}
+        self._total_seconds = 0.0
+
+    # -- hooks ---------------------------------------------------------------
+    def enter(self, name: str) -> None:
+        """Open a phase (tracer span-start hook)."""
+        # the ledger is wall-time by design: overhead attribution only,
+        # never trace bytes (canonical comparisons can't see it)
+        now = time.perf_counter()  # repro-lint: disable=RL103
+        self._stack.append([name, now, 0.0])
+
+    def exit_(self) -> None:
+        """Close the innermost phase (tracer span-finish hook).
+
+        Tolerates an empty stack (exception unwinding past an adopted
+        root span) by doing nothing.
+        """
+        if not self._stack:
+            return
+        # same wall-only rationale as enter()
+        now = time.perf_counter()  # repro-lint: disable=RL103
+        path = tuple(frame[0] for frame in self._stack)
+        name, started, child_seconds = self._stack.pop()
+        inclusive = now - started
+        exclusive = inclusive - child_seconds
+        stat = self._phases.get(name)
+        if stat is None:
+            self._phases[name] = [1, inclusive, exclusive]
+        else:
+            stat[0] += 1
+            stat[1] += inclusive
+            stat[2] += exclusive
+        self._stacks[path] = self._stacks.get(path, 0.0) + exclusive
+        if self._stack:
+            self._stack[-1][2] += inclusive
+        else:
+            self._total_seconds += inclusive
+
+    def phase(self, name: str) -> _PhaseContext:
+        """Context manager marking an explicit (non-span) phase."""
+        return _PhaseContext(self, name)
+
+    # -- export --------------------------------------------------------------
+    def merge(self, doc: dict[str, Any]) -> None:
+        """Fold another profile document into this ledger.
+
+        The service daemon uses this to aggregate per-job sidecars into
+        one service-scope profile next to its own ``scheduler.tick``
+        rows.  Counts and seconds add; ``total_seconds`` adds.
+        """
+        for name, stat in doc.get("phases", {}).items():
+            mine = self._phases.get(name)
+            if mine is None:
+                self._phases[name] = [
+                    stat["count"],
+                    stat["inclusive_seconds"],
+                    stat["exclusive_seconds"],
+                ]
+            else:
+                mine[0] += stat["count"]
+                mine[1] += stat["inclusive_seconds"]
+                mine[2] += stat["exclusive_seconds"]
+        for key, seconds in doc.get("stacks", {}).items():
+            path = tuple(key.split(";"))
+            self._stacks[path] = self._stacks.get(path, 0.0) + seconds
+        self._total_seconds += doc.get("total_seconds", 0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The sidecar ``profile.json`` document (schema v1).
+
+        Keys are emitted in sorted order so two ledgers over the same
+        phases serialise structurally alike (values are wall times and
+        naturally vary run to run).
+        """
+        return {
+            "kind": "profile",
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "total_seconds": self._total_seconds,
+            "phases": {
+                name: {
+                    "count": int(stat[0]),
+                    "inclusive_seconds": stat[1],
+                    "exclusive_seconds": stat[2],
+                }
+                for name, stat in sorted(self._phases.items())
+            },
+            "stacks": {
+                ";".join(path): seconds
+                for path, seconds in sorted(self._stacks.items())
+            },
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Write the sidecar document; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @property
+    def phase_names(self) -> tuple[str, ...]:
+        """Ledger phase names, sorted."""
+        return tuple(sorted(self._phases))
+
+
+class _NoopProfiler(PhaseProfiler):
+    """Stateless shared no-op profiler; the default everywhere.
+
+    Instrumented code never checks ``enabled`` on the hot path — the
+    tracer does once at attach time, and explicit ``phase()`` sites get
+    a shared do-nothing context manager.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:  # pragma: no cover - trivial
+        super().__init__()
+
+    def enter(self, name: str) -> None:
+        pass
+
+    def exit_(self) -> None:
+        pass
+
+    def phase(self, name: str) -> Any:
+        return _NOOP_PHASE
+
+    def merge(self, doc: dict[str, Any]) -> None:
+        pass
+
+
+#: Process-wide shared no-op profiler (stateless, safe to share).
+NOOP_PROFILER = _NoopProfiler()
+
+
+# -- loading / validation ----------------------------------------------------
+def validate_profile(doc: Any, *, source: str = "<dict>") -> dict[str, Any]:
+    """Check a profile sidecar document against schema v1.
+
+    Returns the document; raises :class:`ValueError` naming ``source``
+    and the offending field otherwise.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"{source}: profile document is not a JSON object")
+    if doc.get("kind") != "profile":
+        raise ValueError(
+            f"{source}: not a profile document (kind={doc.get('kind')!r})"
+        )
+    version = doc.get("schema_version")
+    if version not in SUPPORTED_PROFILE_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_PROFILE_VERSIONS)
+        raise ValueError(
+            f"{source}: unsupported profile schema version {version!r}; "
+            f"supported versions: {supported}"
+        )
+    phases = doc.get("phases")
+    if not isinstance(phases, dict):
+        raise ValueError(f"{source}: profile has no phases table")
+    for name, stat in phases.items():
+        for key in ("count", "inclusive_seconds", "exclusive_seconds"):
+            if not isinstance(stat.get(key), (int, float)):
+                raise ValueError(
+                    f"{source}: phase {name!r} is missing numeric {key!r}"
+                )
+    if not isinstance(doc.get("stacks"), dict):
+        raise ValueError(f"{source}: profile has no stacks table")
+    return doc
+
+
+def load_profile(path: str | Path) -> dict[str, Any]:
+    """Read and validate a sidecar ``profile.json``."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    return validate_profile(doc, source=str(path))
+
+
+def profile_from_trace(trace: "SearchTrace") -> dict[str, Any]:
+    """Reconstruct the span-level ledger from a recorded trace.
+
+    Uses ``Span.wall_seconds`` as inclusive time (``0.0`` when absent —
+    replayed or synthetic spans), subtracting direct children's wall
+    time for exclusive.  Coarser than a live :class:`PhaseProfiler`
+    (sub-span phases like ``gp.fit.full`` never appear) but works on
+    any trace artifact after the fact.
+    """
+    by_id = {span.span_id: span for span in trace.spans}
+    child_wall: dict[int, float] = {}
+    for span in trace.spans:
+        if span.parent_id is not None:
+            child_wall[span.parent_id] = (
+                child_wall.get(span.parent_id, 0.0) + (span.wall_seconds or 0.0)
+            )
+
+    def _path(span: Any) -> tuple[str, ...]:
+        names: list[str] = []
+        cursor = span
+        while cursor is not None:
+            names.append(cursor.name)
+            cursor = (
+                by_id.get(cursor.parent_id)
+                if cursor.parent_id is not None
+                else None
+            )
+        return tuple(reversed(names))
+
+    phases: dict[str, list[float]] = {}
+    stacks: dict[tuple[str, ...], float] = {}
+    total = 0.0
+    for span in trace.spans:
+        inclusive = span.wall_seconds or 0.0
+        exclusive = inclusive - child_wall.get(span.span_id, 0.0)
+        stat = phases.get(span.name)
+        if stat is None:
+            phases[span.name] = [1, inclusive, exclusive]
+        else:
+            stat[0] += 1
+            stat[1] += inclusive
+            stat[2] += exclusive
+        path = _path(span)
+        stacks[path] = stacks.get(path, 0.0) + exclusive
+        if span.parent_id is None:
+            total += inclusive
+    return {
+        "kind": "profile",
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "total_seconds": total,
+        "phases": {
+            name: {
+                "count": int(stat[0]),
+                "inclusive_seconds": stat[1],
+                "exclusive_seconds": stat[2],
+            }
+            for name, stat in sorted(phases.items())
+        },
+        "stacks": {
+            ";".join(path): seconds for path, seconds in sorted(stacks.items())
+        },
+    }
+
+
+# -- rendering ---------------------------------------------------------------
+def render_profile(doc: dict[str, Any]) -> str:
+    """Human-readable phase table, hottest exclusive time first."""
+    lines = [
+        f"profile (schema v{doc.get('schema_version')})  "
+        f"total {doc.get('total_seconds', 0.0):.3f}s",
+        f"{'phase':<28} {'count':>7} {'incl s':>10} {'excl s':>10} {'excl %':>7}",
+    ]
+    total = doc.get("total_seconds", 0.0)
+    rows = sorted(
+        doc.get("phases", {}).items(),
+        key=lambda kv: (-kv[1]["exclusive_seconds"], kv[0]),
+    )
+    for name, stat in rows:
+        share = (
+            100.0 * stat["exclusive_seconds"] / total if total > 0 else 0.0
+        )
+        lines.append(
+            f"{name:<28} {stat['count']:>7d} "
+            f"{stat['inclusive_seconds']:>10.4f} "
+            f"{stat['exclusive_seconds']:>10.4f} {share:>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def folded_stacks(doc: dict[str, Any]) -> str:
+    """Folded-stack text (``a;b;c <microseconds>``), sorted by path.
+
+    The value column is integer microseconds of *exclusive* time —
+    exactly what ``flamegraph.pl``-style tooling consumes as sample
+    counts.  Ordering is deterministic (lexicographic by path).
+    """
+    lines = []
+    for path, seconds in sorted(doc.get("stacks", {}).items()):
+        lines.append(f"{path} {int(round(seconds * 1e6))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _stack_tree(doc: dict[str, Any]) -> dict[str, Any]:
+    """Nest the folded stacks into a tree of inclusive times."""
+    root: dict[str, Any] = {"name": "all", "self": 0.0, "children": {}}
+    for path, seconds in sorted(doc.get("stacks", {}).items()):
+        node = root
+        for part in path.split(";"):
+            node = node["children"].setdefault(
+                part, {"name": part, "self": 0.0, "children": {}}
+            )
+        node["self"] += seconds
+
+    def _total(node: dict[str, Any]) -> float:
+        node["total"] = node["self"] + sum(
+            _total(child) for child in node["children"].values()
+        )
+        return node["total"]
+
+    _total(root)
+    return root
+
+
+def _frame_color(name: str) -> str:
+    """Deterministic warm colour for a frame (crc32, never hash())."""
+    digest = zlib.crc32(name.encode("utf-8"))
+    red = 205 + digest % 50
+    green = 60 + (digest >> 8) % 120
+    blue = (digest >> 16) % 60
+    return f"rgb({red},{green},{blue})"
+
+
+def render_flamegraph_svg(
+    doc: dict[str, Any], *, title: str = "repro profile"
+) -> str:
+    """Self-contained flamegraph SVG from a profile document.
+
+    Hand-rolled (no external tooling): one ``<rect>`` + label per
+    frame, width proportional to inclusive time, children stacked
+    above parents in sorted-name order so output is deterministic for
+    a given ledger.
+    """
+    tree = _stack_tree(doc)
+    width, row_height, font_size = 1200.0, 18, 11
+    total = tree["total"] or 1.0
+
+    def _depth(node: dict[str, Any]) -> int:
+        if not node["children"]:
+            return 1
+        return 1 + max(_depth(child) for child in node["children"].values())
+
+    depth = _depth(tree)
+    height = depth * row_height + 2 * row_height
+    rects: list[str] = []
+
+    def _emit(node: dict[str, Any], x: float, level: int) -> None:
+        frac = node["total"] / total
+        w = frac * width
+        if w < 0.25:
+            return
+        y = height - (level + 2) * row_height
+        label = node["name"] if w > 40 else ""
+        pct = 100.0 * node["total"] / total
+        rects.append(
+            f'<g><title>{_escape(node["name"])} '
+            f'({node["total"]:.4f}s, {pct:.1f}%)</title>'
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" '
+            f'height="{row_height - 1}" fill="{_frame_color(node["name"])}" '
+            f'rx="2"/>'
+            + (
+                f'<text x="{x + 3:.2f}" y="{y + row_height - 6}" '
+                f'font-size="{font_size}" font-family="monospace">'
+                f"{_escape(label)}</text>"
+                if label
+                else ""
+            )
+            + "</g>"
+        )
+        cx = x
+        for name in sorted(node["children"]):
+            child = node["children"][name]
+            _emit(child, cx, level + 1)
+            cx += child["total"] / total * width
+
+    _emit(tree, 0.0, 0)
+    header = (
+        f'<text x="{width / 2:.0f}" y="{row_height - 4}" '
+        f'font-size="{font_size + 3}" font-family="monospace" '
+        f'text-anchor="middle">{_escape(title)}</text>'
+    )
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height}" viewBox="0 0 {width:.0f} {height}">'
+        f"{header}{''.join(rects)}</svg>\n"
+    )
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _iter_phase_rows(doc: dict[str, Any]) -> Iterator[tuple[str, dict[str, Any]]]:
+    """Phases in sorted-name order (bench history flattening helper)."""
+    yield from sorted(doc.get("phases", {}).items())

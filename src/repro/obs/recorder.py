@@ -55,6 +55,7 @@ from repro.obs.bus import NOOP_BUS, EventBus, ProgressEvent
 from repro.obs.decisions import DecisionLog, DecisionRecord
 from repro.obs.fleet import NOOP_FLEET, FleetEvent, FleetLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prof import NOOP_PROFILER, PhaseProfiler
 from repro.obs.span import Span
 from repro.obs.svc import ServiceEvent
 from repro.obs.tracer import RecordingTracer
@@ -395,6 +396,15 @@ class RunRecorder:
         heartbeats publish as one totally-ordered stream.  ``False``
         (default) leaves the inert ``NOOP_BUS`` — recording behaves
         exactly as before the bus existed.
+    profile:
+        ``True`` attaches a live
+        :class:`~repro.obs.prof.PhaseProfiler` to the tracer, building
+        the phase-timing ledger (exclusive/inclusive wall time + call
+        counts per phase) as the run executes.  The ledger is exported
+        only to a sidecar ``profile.json`` (``recorder.prof.write``) —
+        never into trace bytes — so the trace artifact is
+        byte-identical with profiling on or off.  ``False`` (default)
+        leaves the inert ``NOOP_PROFILER``.
     """
 
     def __init__(
@@ -406,9 +416,15 @@ class RunRecorder:
         watchdog: bool | WatchdogConfig = True,
         fleet: bool = True,
         bus: bool = False,
+        profile: bool = False,
     ) -> None:
         self.bus: EventBus = EventBus(clock=clock) if bus else NOOP_BUS
-        self.tracer = RecordingTracer(clock=clock, bus=self.bus)
+        self.prof: PhaseProfiler = (
+            PhaseProfiler() if profile else NOOP_PROFILER
+        )
+        self.tracer = RecordingTracer(
+            clock=clock, bus=self.bus, profiler=self.prof
+        )
         self.metrics = MetricsRegistry(bus=self.bus)
         self.decisions = DecisionLog(
             decisions, top_k=decision_top_k, bus=self.bus

@@ -29,11 +29,21 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import TRACE_SCHEMA_VERSION
 
 __all__ = [
+    "STREAM_RECORD_KINDS",
     "TraceStreamWriter",
     "follow_trace",
     "format_event",
     "read_trace_events",
 ]
+
+#: Every record kind a streamed trace file can carry — the writer's
+#: subscribed bus kinds plus the file-level ``header`` and ``metrics``
+#: snapshot records it writes itself.  ``repro trace --follow --kinds``
+#: validates its filter tokens against this set.
+STREAM_RECORD_KINDS: frozenset[str] = frozenset(
+    ("header", "metrics", "span-start", "span", "decision", "fleet",
+     "service", "progress", "summary")
+)
 
 
 class TraceStreamWriter:
@@ -198,6 +208,7 @@ def follow_trace(
     *,
     poll_interval: float = 0.2,
     timeout: float | None = None,
+    kinds: set[str] | frozenset[str] | None = None,
 ) -> Iterator[dict[str, Any]]:
     """Yield trace records from a growing file until the run ends.
 
@@ -210,6 +221,11 @@ def follow_trace(
     - ``timeout`` seconds pass with no new record (``None`` waits
       forever; a missing file counts as "no new record" so a
       follower may attach before the producer creates the file).
+
+    ``kinds`` restricts what is *yielded* to those record kinds
+    (``repro trace --follow --kinds``); the liveness/termination
+    logic still reads every record, so filtering out ``header`` or
+    ``summary`` cannot make the follower hang past end-of-run.
     """
     path = Path(path)
     offset = 0
@@ -221,7 +237,8 @@ def follow_trace(
         else:
             docs, torn = [], False
         for doc in docs:
-            yield doc
+            if kinds is None or doc.get("kind") in kinds:
+                yield doc
             if doc.get("kind") == "header":
                 live = doc.get("stop_reason") == "running"
             elif doc.get("kind") == "summary":

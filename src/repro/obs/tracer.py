@@ -22,6 +22,7 @@ import time
 from typing import Any, Callable, Iterator
 
 from repro.obs.bus import NOOP_BUS, ZERO_CLOCK, EventBus
+from repro.obs.prof import NOOP_PROFILER, PhaseProfiler
 from repro.obs.span import Span
 
 __all__ = ["NOOP_TRACER", "RecordingTracer", "Tracer"]
@@ -141,6 +142,13 @@ class RecordingTracer(Tracer):
         times per run and their start carries no information their
         close doesn't, so streaming both would double event volume for
         nothing (the trace loader skips ``span-start`` lines anyway).
+    profiler:
+        Optional :class:`~repro.obs.prof.PhaseProfiler`.  When live,
+        every span open/close also enters/exits a profiled phase of the
+        same name, so the span tree doubles as the self-profiling call
+        tree.  Defaults to the inert ``NOOP_PROFILER``; the profiler
+        writes no trace bytes either way (sidecar only), so recordings
+        are byte-identical with it on or off.
     """
 
     enabled = True
@@ -150,9 +158,11 @@ class RecordingTracer(Tracer):
         *,
         clock: Callable[[], float] | None = None,
         bus: EventBus = NOOP_BUS,
+        profiler: PhaseProfiler = NOOP_PROFILER,
     ) -> None:
         self._clock = clock if clock is not None else ZERO_CLOCK
         self._bus = bus
+        self._profiler = profiler
         self._stack: list[Span] = []
         self._spans: list[Span] = []
         self._next_id = 1
@@ -204,6 +214,8 @@ class RecordingTracer(Tracer):
         self._next_id += 1
         self._stack.append(span)
         self._spans.append(span)
+        if self._profiler.enabled:
+            self._profiler.enter(name)
         if self._bus.enabled and span.parent_id is None:
             self._bus.publish("span-start", span.to_dict())
         return span
@@ -220,6 +232,10 @@ class RecordingTracer(Tracer):
             top = self._stack.pop()
             if top is span:
                 break
+        # one exit per _finish: context managers unwind one at a time,
+        # so the profiler's phase stack stays paired with span closes
+        if self._profiler.enabled:
+            self._profiler.exit_()
         if self._bus.enabled:
             self._bus.publish("span", span.to_dict())
 

@@ -37,7 +37,7 @@ from repro.core.engine import SearchContext
 from repro.core.heterbo import HeterBO
 from repro.core.scenarios import Scenario
 from repro.core.search_space import DeploymentSpace
-from repro.obs import RunRecorder
+from repro.obs import RunRecorder, diff_trace_texts
 from repro.profiling.profiler import Profiler
 from repro.sim.datasets import get_dataset
 from repro.sim.noise import NoiseModel
@@ -136,6 +136,7 @@ def _make_context(
     seed: int,
     record: bool = False,
     bus: bool = False,
+    profile: bool = False,
 ) -> tuple[SearchContext, RunRecorder | None]:
     """A fresh paper-scale world (every run needs its own cloud).
 
@@ -143,12 +144,15 @@ def _make_context(
     timestamps are deterministic and canonical traces compare equal
     across hosts.  ``bus=True`` additionally enables the recorder's
     event bus (implies ``record``) so live sinks can subscribe.
+    ``profile=True`` (implies ``record``) attaches the self-profiling
+    phase ledger — which writes no trace bytes, so the identity gates
+    must hold with it on or off.
     """
     catalog = paper_catalog()
     cloud = SimulatedCloud(catalog)
-    record = record or bus
+    record = record or bus or profile
     recorder = (
-        RunRecorder(clock=lambda: cloud.clock.now, bus=bus)
+        RunRecorder(clock=lambda: cloud.clock.now, bus=bus, profile=profile)
         if record else None
     )
     profiler_kwargs: dict[str, Any] = {}
@@ -164,6 +168,7 @@ def _make_context(
             profiler_kwargs,
             decisions=recorder.decisions,
             watchdog=recorder.watchdog,
+            prof=recorder.prof,
         )
     profiler = Profiler(
         cloud, TrainingSimulator(),
@@ -282,15 +287,18 @@ def _timed_search(
     gp_refit: str,
     record: bool = False,
     sinks: bool = False,
+    profile: bool = False,
 ) -> tuple[float, Any, RunRecorder | None]:
     """Time one seeded search; ``sinks`` runs it with the event bus on
     and all three live sinks attached (a streamed trace file, a live
     metric registry feed, a /metrics HTTP endpoint).  Sink setup and
     teardown happen outside the timed region — the measurement is the
-    steady-state per-event cost, not server start-up."""
+    steady-state per-event cost, not server start-up.  ``profile``
+    additionally attaches the self-profiling phase ledger to the
+    recording."""
     context, recorder = _make_context(
         max_count=max_count, budget_dollars=budget_dollars,
-        seed=seed, record=record, bus=sinks,
+        seed=seed, record=record, bus=sinks, profile=profile,
     )
     strategy = HeterBO(
         seed=seed, max_steps=max_steps,
@@ -375,8 +383,10 @@ def run_bench(
     recorded_times = []
     unrecorded_times = []
     bus_times = []
+    profile_times = []
     pair_ratios = []
     bus_pair_ratios = []
+    profile_pair_ratios = []
     for _ in range(obs_repeats):
         u, _, _ = _timed_search(
             seed=seed, max_count=obs_max_count, max_steps=obs_max_steps,
@@ -395,18 +405,30 @@ def run_bench(
             budget_dollars=budget, fast_lane=True, gp_refit="doubling",
             sinks=True,
         )
+        # self-profiling rides on the recorder, so its pair partner is
+        # the *recorded* run: profiler on vs off, recording held equal
+        p, _, profile_recorder = _timed_search(
+            seed=seed, max_count=obs_max_count, max_steps=obs_max_steps,
+            budget_dollars=budget, fast_lane=True, gp_refit="doubling",
+            profile=True,
+        )
         unrecorded_times.append(u)
         recorded_times.append(t)
         bus_times.append(b)
+        profile_times.append(p)
         # back-to-back pairs cancel common-mode load; the best pair is
         # the least-contaminated view of the true recording overhead
         pair_ratios.append(t / u)
         bus_pair_ratios.append(b / u)
+        profile_pair_ratios.append(p / t)
     recorded_s = min(recorded_times)
     unrecorded_s = min(unrecorded_times)
     bus_s = min(bus_times)
+    profile_s = min(profile_times)
     overhead_ratio = min(pair_ratios)
     bus_overhead_ratio = min(bus_pair_ratios)
+    profile_overhead_ratio = min(profile_pair_ratios)
+    profile_doc = profile_recorder.prof.to_dict()
 
     # identity: the fast lane with the schedule forced to every-step
     # must reproduce the slow lane's decisions byte for byte
@@ -420,9 +442,26 @@ def run_bench(
         budget_dollars=budget, fast_lane=True, gp_refit="always",
         record=True,
     )
-    identical = (
-        canonical_trace_jsonl(slow_id_rec.finalize(slow_id_res))
-        == canonical_trace_jsonl(fast_id_rec.finalize(fast_id_res))
+    slow_canonical = canonical_trace_jsonl(slow_id_rec.finalize(slow_id_res))
+    fast_canonical = canonical_trace_jsonl(fast_id_rec.finalize(fast_id_res))
+    identity_diff = diff_trace_texts(
+        slow_canonical, fast_canonical,
+        a_name="slow-lane", b_name="fast-lane",
+    )
+    identical = identity_diff.identical
+
+    # second identity axis: profiling on vs off must leave the
+    # canonical trace byte-identical (the profiler writes no trace
+    # bytes — a sidecar only)
+    _, prof_id_res, prof_id_rec = _timed_search(
+        seed=seed, max_count=max_count, max_steps=max_steps,
+        budget_dollars=budget, fast_lane=True, gp_refit="always",
+        profile=True,
+    )
+    profile_diff = diff_trace_texts(
+        fast_canonical,
+        canonical_trace_jsonl(prof_id_rec.finalize(prof_id_res)),
+        a_name="profile-off", b_name="profile-on",
     )
 
     fit_counter = fast_recorder.metrics.counter("gp.fit_total")
@@ -450,7 +489,29 @@ def run_bench(
             "slow_best": str(slow_res.best),
             "fast_best": str(fast_res.best),
         },
-        "identity": {"checked": True, "byte_identical": identical},
+        "identity": {
+            "checked": True,
+            "byte_identical": identical,
+            # forensics on failure: the structural first divergence
+            # (machine-readable; render_diff() for the human view)
+            **(
+                {} if identical
+                else {"first_divergence": identity_diff.to_dict()}
+            ),
+        },
+        "profile": {
+            "checked": True,
+            "byte_identical": profile_diff.identical,
+            **(
+                {} if profile_diff.identical
+                else {"first_divergence": profile_diff.to_dict()}
+            ),
+            "total_seconds": profile_doc["total_seconds"],
+            # per-phase ledger rows from the profiled overhead run:
+            # exclusive/inclusive wall time + call counts, the input to
+            # history-based phase-regression gating
+            "phases": profile_doc["phases"],
+        },
         "observability": {
             # overhead runs use their own paper-scale workload (see
             # above), not the end-to-end section's quick-shrunk one
@@ -469,6 +530,11 @@ def run_bench(
             # with the event bus on and all three live sinks attached
             "bus_recorded_seconds": bus_s,
             "bus_overhead_ratio": bus_overhead_ratio,
+            # optional (absent from pre-profiler artifacts): recorded
+            # run with the self-profiling ledger attached, paired
+            # against the plain recorded run
+            "profile_recorded_seconds": profile_s,
+            "profile_overhead_ratio": profile_overhead_ratio,
         },
         "metrics": {
             "gp_fit_total_full": fit_counter.value(mode="full"),
@@ -507,9 +573,12 @@ def validate_bench(doc: Any) -> list[str]:
             for key in _OBSERVABILITY_KEYS:
                 if key not in obs:
                     problems.append(f"observability.{key} missing")
-            # bus keys are optional (absent from pre-bus artifacts)
-            # but must be positive numbers when present
-            for key in ("overhead_ratio", "bus_overhead_ratio"):
+            # bus/profile keys are optional (absent from pre-bus /
+            # pre-profiler artifacts) but must be positive when present
+            for key in (
+                "overhead_ratio", "bus_overhead_ratio",
+                "profile_overhead_ratio",
+            ):
                 ratio = obs.get(key)
                 if ratio is not None and (
                     not isinstance(ratio, (int, float)) or ratio <= 0
@@ -518,6 +587,18 @@ def validate_bench(doc: Any) -> list[str]:
                         f"observability.{key} must be positive, "
                         f"got {ratio!r}"
                     )
+    profile = doc.get("profile")
+    if profile is not None:
+        if not isinstance(profile, dict):
+            problems.append("profile must be a JSON object")
+        else:
+            if profile.get("byte_identical") is not True:
+                problems.append(
+                    "profile.byte_identical is not true: the profiler "
+                    "leaked into canonical trace bytes"
+                )
+            if not isinstance(profile.get("phases"), dict):
+                problems.append("profile.phases missing")
     if not problems:
         for section in ("gp_fit", "scoring", "end_to_end"):
             speedup = doc[section]["speedup"]
@@ -570,6 +651,29 @@ def render_summary(doc: dict[str, Any]) -> str:
                 f"the event bus + all sinks (stream file, live "
                 f"registry, /metrics) "
                 f"({(bus_ratio - 1) * 100:+.1f}% best-pair overhead)"
+            )
+        profile_ratio = obs.get("profile_overhead_ratio")
+        if profile_ratio is not None:
+            lines.append(
+                f"  profiling:  {obs['profile_recorded_seconds']:8.3f} s "
+                f"with the phase ledger attached "
+                f"({(profile_ratio - 1) * 100:+.1f}% vs recording alone)"
+            )
+    profile = doc.get("profile")
+    if profile is not None:
+        lines.append(
+            f"  phases:     byte_identical={profile['byte_identical']} "
+            f"(profiler on vs off); hottest by exclusive time:"
+        )
+        hottest = sorted(
+            profile.get("phases", {}).items(),
+            key=lambda kv: (-kv[1]["exclusive_seconds"], kv[0]),
+        )[:4]
+        for name, stat in hottest:
+            lines.append(
+                f"    {name:<24} x{stat['count']:<5d} "
+                f"excl {stat['exclusive_seconds']:8.4f} s  "
+                f"incl {stat['inclusive_seconds']:8.4f} s"
             )
     return "\n".join(lines)
 
@@ -624,6 +728,19 @@ def history_entry(doc: dict[str, Any]) -> dict[str, Any]:
             entry["observability_bus_overhead_ratio"] = (
                 obs["bus_overhead_ratio"]
             )
+        if obs.get("profile_overhead_ratio") is not None:
+            entry["observability_profile_overhead_ratio"] = (
+                obs["profile_overhead_ratio"]
+            )
+    profile = doc.get("profile")
+    if profile is not None:
+        # per-phase ledger rows, flattened so the --compare gate can
+        # catch phase-level regressions (e.g. scoring time creeping
+        # back toward the per-candidate loop), not just totals
+        for name, stat in sorted(profile.get("phases", {}).items()):
+            entry[f"profile_phase_{name}_exclusive_seconds"] = (
+                stat["exclusive_seconds"]
+            )
     return entry
 
 
@@ -661,6 +778,25 @@ def append_history(doc: dict[str, Any], path: Any) -> dict[str, Any]:
     return entry
 
 
+def _config_mismatch(
+    entry_config: Any, current_config: dict[str, Any]
+) -> str:
+    """Why an entry's config does not match the current run's (short)."""
+    if not isinstance(entry_config, dict):
+        return f"config is {type(entry_config).__name__}, not an object"
+    diffs = []
+    for key in sorted(set(entry_config) | set(current_config)):
+        if key not in entry_config:
+            diffs.append(f"{key} missing")
+        elif key not in current_config:
+            diffs.append(f"extra key {key}={entry_config[key]!r}")
+        elif entry_config[key] != current_config[key]:
+            diffs.append(
+                f"{key}={entry_config[key]!r} (now {current_config[key]!r})"
+            )
+    return ", ".join(diffs) if diffs else "configs differ"
+
+
 def compare_history(
     doc: dict[str, Any], path: Any, *, threshold: float = 0.10
 ) -> tuple[list[str], bool]:
@@ -669,25 +805,41 @@ def compare_history(
     Returns ``(report_lines, regressed)`` where ``regressed`` is true
     when any tracked timing grew by more than ``threshold`` (relative).
     Entries only compare when their match-key configs are identical —
-    a quick run never regresses against a full run.
+    a quick run never regresses against a full run.  Entries *skipped*
+    on the way to the match are reported with the reason (which config
+    keys differ), so a bench config change never silently turns the
+    compare into a no-op.
     """
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")
     current = history_entry(doc)
     previous = None
+    skipped: list[str] = []
     for entry in reversed(_read_history(path)):
         if entry.get("config") == current["config"]:
             previous = entry
             break
+        skipped.append(
+            f"  skipped seq={entry.get('seq', '?')}: "
+            + _config_mismatch(entry.get("config"), current["config"])
+        )
     if previous is None:
         return (
             [f"no comparable history entry in {path} "
-             f"(config {current['config']})"],
+             f"(config {current['config']})"] + skipped,
             False,
         )
     lines = [f"vs history entry seq={previous.get('seq', '?')}:"]
+    if skipped:
+        lines.extend(skipped)
     regressed = False
-    for key in _HISTORY_TIMING_KEYS:
+    # static totals plus whatever per-phase ledger rows this artifact
+    # carries (older entries simply lack the key and are skipped below)
+    phase_keys = tuple(
+        key for key in sorted(current)
+        if key.startswith("profile_phase_")
+    )
+    for key in _HISTORY_TIMING_KEYS + phase_keys:
         before = previous.get(key)
         after = current.get(key)
         if not isinstance(before, (int, float)) or before <= 0:

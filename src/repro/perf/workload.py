@@ -39,8 +39,12 @@ from typing import Any
 import numpy as np
 
 from repro.cloud.provider import AccountLimits
-from repro.obs import SearchTrace
-from repro.perf.bench import _read_history, canonical_trace_jsonl
+from repro.obs import SearchTrace, diff_trace_texts
+from repro.perf.bench import (
+    _config_mismatch,
+    _read_history,
+    canonical_trace_jsonl,
+)
 from repro.service import (
     JobSpec,
     MLCDJobService,
@@ -168,12 +172,15 @@ def _replay(
     telemetry: bool,
     workers: int,
     max_cpu: int,
+    profile: bool = False,
 ) -> tuple[MLCDJobService, dict[str, Any], float]:
     """Drive one full replay; returns (service, tallies, wall seconds).
 
     Open-loop driver: submissions due at the current scheduler round
     land before the tick runs; admission refusals are counted, not
     retried (an operator's error budget counts exactly these).
+    ``profile`` arms daemon + per-job self-profiling (sidecar-only, so
+    every identity gate must still hold).
     """
     service = MLCDJobService(
         artifacts_dir=artifacts_dir,
@@ -183,6 +190,7 @@ def _replay(
         workers=workers,
         default_quota=TenantQuota(max_concurrent_jobs=8),
         telemetry=telemetry,
+        profile=profile,
     )
     submitted = 0
     rejected = 0
@@ -223,6 +231,37 @@ def _job_trace_canonical(artifacts_dir: Path) -> dict[str, str]:
     }
 
 
+def _first_job_divergence(
+    a_traces: dict[str, str],
+    b_traces: dict[str, str],
+    a_run: str,
+    b_run: str,
+) -> dict[str, Any] | None:
+    """Structural report for the first per-job trace pair that differs.
+
+    ``None`` when every shared artifact matches and both sides have
+    the same artifact set — the machine-readable forensics the
+    identity gate emits instead of a bare boolean.
+    """
+    only_a = sorted(set(a_traces) - set(b_traces))
+    only_b = sorted(set(b_traces) - set(a_traces))
+    if only_a or only_b:
+        return {
+            "reason": "artifact-set",
+            "only_in_a": only_a,
+            "only_in_b": only_b,
+            "a": a_run,
+            "b": b_run,
+        }
+    for name in sorted(a_traces):
+        if a_traces[name] != b_traces[name]:
+            return diff_trace_texts(
+                a_traces[name], b_traces[name],
+                a_name=f"{a_run}/{name}", b_name=f"{b_run}/{name}",
+            ).to_dict()
+    return None
+
+
 def run_service_bench(
     *,
     quick: bool = False,
@@ -232,11 +271,13 @@ def run_service_bench(
     """Run the workload replay and return the artifact document.
 
     ``quick`` shrinks the workload for CI smoke runs; the full
-    configuration replays 60 arrivals across three tenants.  Four
-    replays run back to back — telemetry off/on twice, interleaved so
-    common-mode host load cancels in the overhead pairs; the two
-    telemetry-on replays feed the service-stream identity check and
-    the off/on pair feeds the per-job identity check.
+    configuration replays 60 arrivals across three tenants.  Six
+    replays run back to back — telemetry off/on/profiled twice,
+    interleaved so common-mode host load cancels in the overhead
+    pairs; the two telemetry-on replays feed the service-stream
+    identity check, the off/on pair feeds the per-job identity check,
+    and both overhead ratios take the best back-to-back pair so a
+    transient load spike on one replay cannot fake a regression.
     """
     import tempfile
 
@@ -256,10 +297,14 @@ def run_service_bench(
         root = Path(workdir) if workdir is not None else Path(tmp)
         root.mkdir(parents=True, exist_ok=True)
         runs: dict[str, tuple[MLCDJobService, dict[str, Any], float]] = {}
-        # interleave off/on so each (off, on) pair is back to back
-        for name, telemetry in (
-            ("off-1", False), ("on-1", True),
-            ("off-2", False), ("on-2", True),
+        # interleave off/on/profiled so each (off, on) and (on, prof)
+        # pair is back to back (profiled replays keep telemetry on, so
+        # the profiler is the only delta within its pair)
+        for name, telemetry, profiled in (
+            ("off-1", False, False), ("on-1", True, False),
+            ("prof-1", True, True),
+            ("off-2", False, False), ("on-2", True, False),
+            ("prof-2", True, True),
         ):
             runs[name] = _replay(
                 arrivals,
@@ -267,22 +312,51 @@ def run_service_bench(
                 telemetry=telemetry,
                 workers=workers,
                 max_cpu=max_cpu,
+                profile=profiled,
             )
         service, tallies, _ = runs["on-1"]
         stats = service.svcstats()
+        profile_doc = runs["prof-1"][0].profile_document()
 
         # identity gates (see module docstring)
+        on_stream = runs["on-1"][0].service_trace_path.read_bytes()
         stream_identical = (
-            runs["on-1"][0].service_trace_path.read_bytes()
-            == runs["on-2"][0].service_trace_path.read_bytes()
+            on_stream == runs["on-2"][0].service_trace_path.read_bytes()
         )
+        stream_divergence = None
+        if not stream_identical:
+            stream_divergence = diff_trace_texts(
+                on_stream.decode("utf-8", errors="replace"),
+                runs["on-2"][0].service_trace_path.read_text(),
+                a_name="on-1/service.trace.jsonl",
+                b_name="on-2/service.trace.jsonl",
+            ).to_dict()
         on_traces = _job_trace_canonical(root / "on-1")
         off_traces = _job_trace_canonical(root / "off-1")
         per_job_identical = on_traces == off_traces
+        per_job_divergence = _first_job_divergence(
+            off_traces, on_traces, "off-1", "on-1"
+        )
+        # the daemon-replay leg of the profiler identity gate: with
+        # self-profiling armed, per-job canonical traces and the raw
+        # service stream must both match the unprofiled replays
+        prof_traces = _job_trace_canonical(root / "prof-1")
+        profile_jobs_identical = prof_traces == on_traces
+        profile_stream_identical = (
+            on_stream
+            == runs["prof-1"][0].service_trace_path.read_bytes()
+        )
+        profile_divergence = _first_job_divergence(
+            on_traces, prof_traces, "on-1", "prof-1"
+        )
 
         pair_ratios = [
             runs["on-1"][2] / runs["off-1"][2],
             runs["on-2"][2] / runs["off-2"][2],
+        ]
+        profile_pair_ratios = [
+            runs["prof-1"][2] / runs["on-1"][2],
+            runs["prof-2"][2] / runs["on-2"][2],
         ]
 
     counts = stats["jobs"]
@@ -334,6 +408,32 @@ def run_service_bench(
             "service_stream_byte_identical": stream_identical,
             "per_job_traces_byte_identical": per_job_identical,
             "n_job_traces_compared": len(on_traces),
+            # forensics on failure (absent when identical): structural
+            # first divergence instead of a bare boolean
+            **(
+                {}
+                if stream_divergence is None
+                else {"service_stream_first_divergence": stream_divergence}
+            ),
+            **(
+                {}
+                if per_job_identical or per_job_divergence is None
+                else {"per_job_first_divergence": per_job_divergence}
+            ),
+        },
+        "profile": {
+            "checked": True,
+            "per_job_traces_byte_identical": profile_jobs_identical,
+            "service_stream_byte_identical": profile_stream_identical,
+            **(
+                {}
+                if profile_jobs_identical or profile_divergence is None
+                else {"first_divergence": profile_divergence}
+            ),
+            "total_seconds": profile_doc["total_seconds"],
+            # aggregated daemon + per-job phase ledger (scheduler.tick
+            # rows come from the daemon itself)
+            "phases": profile_doc["phases"],
         },
         "observability": {
             "telemetry_on_seconds": min(
@@ -344,6 +444,13 @@ def run_service_bench(
             ),
             # best back-to-back pair: least-contaminated overhead view
             "overhead_ratio": min(pair_ratios),
+            # optional (absent from pre-profiler artifacts): profiled
+            # replays against their telemetry-on pair partners, best
+            # pair — same load-cancellation discipline as above
+            "profile_replay_seconds": min(
+                runs["prof-1"][2], runs["prof-2"][2]
+            ),
+            "profile_overhead_ratio": min(profile_pair_ratios),
         },
     }
 
@@ -394,6 +501,33 @@ def validate_service_bench(doc: Any) -> list[str]:
         problems.append(
             f"observability.overhead_ratio must be positive, got {ratio!r}"
         )
+    prof_ratio = doc["observability"].get("profile_overhead_ratio")
+    if prof_ratio is not None and (
+        not isinstance(prof_ratio, (int, float)) or prof_ratio <= 0
+    ):
+        problems.append(
+            "observability.profile_overhead_ratio must be positive, "
+            f"got {prof_ratio!r}"
+        )
+    # optional section: pre-profiler artifacts simply lack it
+    profile = doc.get("profile")
+    if profile is not None:
+        if not isinstance(profile, dict):
+            problems.append("profile section must be an object")
+        else:
+            if profile.get("per_job_traces_byte_identical") is not True:
+                problems.append(
+                    "profile.per_job_traces_byte_identical is not true: "
+                    "the self-profiler changed per-job traces — it is "
+                    "not sidecar-only"
+                )
+            if profile.get("service_stream_byte_identical") is not True:
+                problems.append(
+                    "profile.service_stream_byte_identical is not true: "
+                    "the self-profiler changed the service stream"
+                )
+            if not isinstance(profile.get("phases"), dict):
+                problems.append("profile.phases must be an object")
     return problems
 
 
@@ -443,6 +577,27 @@ def render_service_summary(doc: dict[str, Any]) -> str:
         f"{obs['telemetry_off_seconds']:.3f} s off "
         f"({(obs['overhead_ratio'] - 1) * 100:+.1f}% best-pair)"
     )
+    profile = doc.get("profile")
+    if profile is not None:
+        prof_ratio = obs.get("profile_overhead_ratio")
+        lines.append(
+            "  profiling:  jobs byte_identical="
+            f"{profile['per_job_traces_byte_identical']}, stream "
+            f"byte_identical={profile['service_stream_byte_identical']}"
+            + (
+                f" ({(prof_ratio - 1) * 100:+.1f}% overhead)"
+                if isinstance(prof_ratio, (int, float)) else ""
+            )
+        )
+        phases = sorted(
+            profile.get("phases", {}).items(),
+            key=lambda item: (-item[1]["exclusive_seconds"], item[0]),
+        )
+        for name, stat in phases[:4]:
+            lines.append(
+                f"    {name}: {stat['exclusive_seconds']:.3f} s excl "
+                f"({stat['count']} calls)"
+            )
     return "\n".join(lines)
 
 
@@ -467,7 +622,7 @@ def service_history_entry(doc: dict[str, Any]) -> dict[str, Any]:
     compare) can never match a service entry against a search entry —
     both match on config-dict equality.
     """
-    return {
+    entry: dict[str, Any] = {
         "benchmark": SERVICE_BENCHMARK_NAME,
         "config": {
             key: doc["config"][key]
@@ -487,6 +642,18 @@ def service_history_entry(doc: dict[str, Any]) -> dict[str, Any]:
             doc["observability"]["overhead_ratio"]
         ),
     }
+    prof_ratio = doc["observability"].get("profile_overhead_ratio")
+    if prof_ratio is not None:
+        entry["observability_profile_overhead_ratio"] = prof_ratio
+    profile = doc.get("profile")
+    if profile is not None:
+        # per-phase ledger rows, flattened so --compare gates phase-
+        # level creep (e.g. scheduler.tick time) and not just totals
+        for name, stat in sorted(profile.get("phases", {}).items()):
+            entry[f"profile_phase_{name}_exclusive_seconds"] = (
+                stat["exclusive_seconds"]
+            )
+    return entry
 
 
 def append_service_history(
@@ -510,24 +677,40 @@ def compare_service_history(
     Same contract as :func:`repro.perf.bench.compare_history`:
     ``(report_lines, regressed)``, matching on config-dict equality so
     quick/full (and search/service) entries never cross-compare.
+    Entries skipped on the way to the match are reported with the
+    reason (which config keys differ), so a bench config change never
+    silently turns the compare into a no-op.
     """
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")
     current = service_history_entry(doc)
     previous = None
+    skipped: list[str] = []
     for entry in reversed(_read_history(path)):
         if entry.get("config") == current["config"]:
             previous = entry
             break
+        skipped.append(
+            f"  skipped seq={entry.get('seq', '?')}: "
+            + _config_mismatch(entry.get("config"), current["config"])
+        )
     if previous is None:
         return (
             [f"no comparable history entry in {path} "
-             f"(config {current['config']})"],
+             f"(config {current['config']})"] + skipped,
             False,
         )
     lines = [f"vs history entry seq={previous.get('seq', '?')}:"]
+    if skipped:
+        lines.extend(skipped)
     regressed = False
-    for key in _SERVICE_HISTORY_TIMING_KEYS:
+    # static totals plus whatever per-phase ledger rows this artifact
+    # carries (older entries simply lack the key and are skipped below)
+    phase_keys = tuple(
+        key for key in sorted(current)
+        if key.startswith("profile_phase_")
+    )
+    for key in _SERVICE_HISTORY_TIMING_KEYS + phase_keys:
         before = previous.get(key)
         after = current.get(key)
         if not isinstance(before, (int, float)) or before <= 0:

@@ -49,6 +49,7 @@ from repro.cloud.provider import AccountLimits
 from repro.core.session import Stop
 from repro.obs.bus import NOOP_BUS, EventBus
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prof import NOOP_PROFILER, PhaseProfiler
 from repro.obs.stream import TraceStreamWriter, read_trace_events
 from repro.obs.svc import (
     DEFAULT_SLO_TARGETS,
@@ -103,6 +104,14 @@ class MLCDJobService:
     slos:
         Declarative :class:`~repro.obs.svc.SLOTarget` overrides;
         defaults to :data:`~repro.obs.svc.DEFAULT_SLO_TARGETS`.
+    profile:
+        ``True`` arms self-profiling: the daemon times its own
+        ``scheduler.tick`` phases and every job's recorder builds a
+        per-phase wall-time ledger, aggregated into a service-scope
+        sidecar by :meth:`write_profile`.  Strictly wall-clock-side —
+        trace artifacts (per-job and service stream) are byte-identical
+        with profiling on or off.  ``False`` (default) leaves the inert
+        :data:`~repro.obs.prof.NOOP_PROFILER`.
     """
 
     def __init__(
@@ -115,6 +124,7 @@ class MLCDJobService:
         telemetry: bool = True,
         tick_seconds: float = 1.0,
         slos: tuple[SLOTarget, ...] | None = None,
+        profile: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -137,6 +147,11 @@ class MLCDJobService:
         self._lock = threading.RLock()
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
+        # -- self-profiling (docs/performance.md § Profiling workflow) -
+        self.profile = profile
+        self.prof: PhaseProfiler = (
+            PhaseProfiler() if profile else NOOP_PROFILER
+        )
         # -- service-scope telemetry (docs/service.md) -----------------
         self.telemetry = telemetry
         self.tick_seconds = float(tick_seconds)
@@ -228,6 +243,7 @@ class MLCDJobService:
             job = Job(
                 job_id, spec,
                 self.artifacts_dir / f"{job_id}.trace.jsonl",
+                profile=self.profile,
             )
             job.timestamps["submitted"] = self.clock.now
             self._jobs[job_id] = job
@@ -262,37 +278,42 @@ class MLCDJobService:
                 self._jobs[i].state in JobState.ACTIVE for i in self._order
             ):
                 return False
-            self.clock.advance(self.tick_seconds)
-            self.ticks += 1
-            progressed = self._start_queued()
-            running = [
-                self._jobs[i] for i in self._order
-                if self._jobs[i].state == JobState.RUNNING
-            ]
-            if running:
-                # per-tick capacity pool, keyed by instance class (GPU?)
-                reserved = {False: 0, True: 0}
-                start = self._rr % len(running)
-                self._rr += 1
-                dispatched = 0
-                for job in running[start:] + running[:start]:
-                    if dispatched >= self.workers:
-                        break
-                    advanced, used_worker = self._advance(job, reserved)
-                    progressed |= advanced
-                    dispatched += 1 if used_worker else 0
-            self._refresh_gauges()
-            if self.slo is not None:
-                self.slo.evaluate(time=self.clock.now)
-            if self._bus.enabled:
-                counts = self._state_counts()
-                self._bus.publish("progress", {
-                    "phase": "service",
-                    "tick": self.ticks,
-                    "jobs_queued": counts[JobState.QUEUED],
-                    "jobs_running": counts[JobState.RUNNING],
-                    "jobs_done": counts[JobState.DONE],
-                })
+            # the ledger times the scheduler itself; job work nests
+            # under it via each job's own profiler (separate ledgers),
+            # so tick exclusive time is pure scheduling overhead
+            with self.prof.phase("scheduler.tick"):
+                self.clock.advance(self.tick_seconds)
+                self.ticks += 1
+                progressed = self._start_queued()
+                running = [
+                    self._jobs[i] for i in self._order
+                    if self._jobs[i].state == JobState.RUNNING
+                ]
+                if running:
+                    # per-tick capacity pool, keyed by instance class (GPU?)
+                    reserved = {False: 0, True: 0}
+                    start = self._rr % len(running)
+                    self._rr += 1
+                    dispatched = 0
+                    for job in running[start:] + running[:start]:
+                        if dispatched >= self.workers:
+                            break
+                        advanced, used_worker = self._advance(job, reserved)
+                        progressed |= advanced
+                        dispatched += 1 if used_worker else 0
+                self._refresh_gauges()
+                if self.slo is not None:
+                    self.slo.evaluate(time=self.clock.now)
+                with self.prof.phase("telemetry.sink"):
+                    if self._bus.enabled:
+                        counts = self._state_counts()
+                        self._bus.publish("progress", {
+                            "phase": "service",
+                            "tick": self.ticks,
+                            "jobs_queued": counts[JobState.QUEUED],
+                            "jobs_running": counts[JobState.RUNNING],
+                            "jobs_done": counts[JobState.DONE],
+                        })
             return progressed
 
     def run_until_idle(self, *, max_ticks: int = 1_000_000) -> None:
@@ -700,6 +721,33 @@ class MLCDJobService:
             self._bus.unsubscribe(self._svc_writer)
             self._svc_writer.close()
             self._svc_writer = None
+
+    # -- self-profiling ------------------------------------------------------
+    def profile_document(self) -> dict[str, Any]:
+        """The aggregated service-scope profile (schema v1).
+
+        The daemon's own ``scheduler.tick`` / ``telemetry.sink`` rows
+        plus every job's per-phase ledger merged in — each job records
+        into its own :class:`~repro.obs.prof.PhaseProfiler`, so the
+        aggregate is assembled on demand rather than shared live.
+        """
+        aggregate = PhaseProfiler()
+        with self._lock:
+            aggregate.merge(self.prof.to_dict())
+            for job_id in self._order:
+                recorder = self._jobs[job_id].recorder
+                if recorder is not None and recorder.prof.enabled:
+                    aggregate.merge(recorder.prof.to_dict())
+        return aggregate.to_dict()
+
+    def write_profile(self, path: str | Path | None = None) -> Path:
+        """Write the service-scope ``profile.json`` sidecar."""
+        if path is None:
+            path = self.artifacts_dir / "profile.json"
+        path = Path(path)
+        aggregate = PhaseProfiler()
+        aggregate.merge(self.profile_document())
+        return aggregate.write(path)
 
     # -- background serving --------------------------------------------------
     def start(self) -> "MLCDJobService":

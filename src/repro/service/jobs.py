@@ -194,10 +194,21 @@ def make_strategy(spec: JobSpec) -> SearchStrategy:
 class Job:
     """One submitted job and (once started) its private MLCD world."""
 
-    def __init__(self, job_id: str, spec: JobSpec, trace_path: Path) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        spec: JobSpec,
+        trace_path: Path,
+        *,
+        profile: bool = False,
+    ) -> None:
         self.id = job_id
         self.spec = spec
         self.trace_path = trace_path
+        # self-profiling opt-in: the job's recorder builds a phase
+        # ledger, exported to a sidecar next to the trace (never into
+        # trace bytes)
+        self.profile = profile
         self.state = JobState.QUEUED
         self.error = ""
         self.result_summary: dict[str, Any] | None = None
@@ -230,7 +241,9 @@ class Job:
         if spec.catalog is not None:
             catalog = catalog.subset(list(spec.catalog))
         cloud = SimulatedCloud(catalog)
-        recorder = RunRecorder(clock=lambda: cloud.clock.now, bus=True)
+        recorder = RunRecorder(
+            clock=lambda: cloud.clock.now, bus=True, profile=self.profile
+        )
         cloud.fleet = recorder.fleet
         # assign cloud/recorder/writer as soon as they exist: if
         # build_job below raises, the daemon's _fail() can still
@@ -270,6 +283,7 @@ class Job:
             decisions=recorder.decisions,
             watchdog=recorder.watchdog,
             bus=recorder.bus,
+            prof=recorder.prof,
         )
         self.session = SearchSession(make_strategy(spec), context)
         self.state = JobState.RUNNING

@@ -1,0 +1,176 @@
+"""Trace forensics: first-divergence detection and reporting."""
+
+import json
+
+import pytest
+
+from repro.obs import TraceDiff, diff_trace_texts, render_diff
+from repro.obs.diffs import MAX_FIELD_DELTAS
+
+
+def _jsonl(*docs):
+    return "".join(json.dumps(d, sort_keys=True) + "\n" for d in docs)
+
+
+class TestDiffTraceTexts:
+    def test_identical_texts(self):
+        text = _jsonl({"kind": "header"}, {"kind": "span", "seq": 1})
+        diff = diff_trace_texts(text, text)
+        assert diff.identical
+        assert diff.line is None
+        assert diff.a_lines == diff.b_lines == 2
+
+    def test_structural_not_textual_equality(self):
+        # key order and float formatting differences are NOT divergence
+        diff = diff_trace_texts('{"a": 1, "b": 2.5}\n', '{"b":2.50,"a":1}\n')
+        assert diff.identical
+
+    def test_first_diverging_line_and_field(self):
+        a = _jsonl(
+            {"kind": "header"},
+            {"kind": "decision", "seq": 3, "step": 1, "chosen": "2x c5"},
+            {"kind": "decision", "seq": 4, "step": 2, "chosen": "4x c5"},
+        )
+        b = _jsonl(
+            {"kind": "header"},
+            {"kind": "decision", "seq": 3, "step": 1, "chosen": "2x c5"},
+            {"kind": "decision", "seq": 4, "step": 2, "chosen": "8x c4"},
+        )
+        diff = diff_trace_texts(a, b, a_name="left", b_name="right")
+        assert not diff.identical
+        assert diff.line == 3  # 1-based, exact line
+        assert diff.reason == "field"
+        assert diff.a_kind == diff.b_kind == "decision"
+        assert diff.a_key == diff.b_key == 4  # seq wins as ordering key
+        [delta] = diff.fields
+        assert delta.path == "chosen"
+        assert (delta.a, delta.b) == ("4x c5", "8x c4")
+
+    def test_nested_field_paths(self):
+        a = _jsonl({"kind": "span", "attributes": {"pruned": {"prior": 3}}})
+        b = _jsonl({"kind": "span", "attributes": {"pruned": {"prior": 5}}})
+        diff = diff_trace_texts(a, b)
+        assert diff.fields[0].path == "attributes.pruned.prior"
+
+    def test_missing_key_is_reported_as_missing(self):
+        diff = diff_trace_texts(
+            _jsonl({"kind": "span", "extra": 1}), _jsonl({"kind": "span"})
+        )
+        [delta] = diff.fields
+        assert delta.path == "extra"
+        assert delta.b_missing and not delta.a_missing
+
+    def test_length_divergence(self):
+        a = _jsonl({"kind": "header"}, {"kind": "summary", "seq": 9})
+        b = _jsonl({"kind": "header"})
+        diff = diff_trace_texts(a, b)
+        assert diff.reason == "length"
+        assert diff.line == 2
+        assert diff.a_kind == "summary" and diff.b_kind is None
+
+    def test_torn_line_is_a_parse_divergence(self):
+        a = _jsonl({"kind": "header"}) + '{"kind": "sp'
+        b = _jsonl({"kind": "header"}, {"kind": "span"})
+        diff = diff_trace_texts(a, b)
+        assert diff.reason == "parse"
+        assert diff.line == 2
+
+    def test_field_deltas_are_capped_but_counted(self):
+        a = _jsonl({str(i): i for i in range(40)})
+        b = _jsonl({str(i): i + 1 for i in range(40)})
+        diff = diff_trace_texts(a, b)
+        assert len(diff.fields) == MAX_FIELD_DELTAS
+        assert diff.n_field_deltas == 40
+
+    def test_blank_lines_are_ignored(self):
+        diff = diff_trace_texts(
+            '{"kind": "header"}\n\n\n', '\n{"kind": "header"}\n'
+        )
+        assert diff.identical
+
+
+class TestRoundTripAndRender:
+    def test_to_dict_from_dict_round_trip(self):
+        diff = diff_trace_texts(
+            _jsonl({"kind": "span", "seq": 1, "x": 1}),
+            _jsonl({"kind": "span", "seq": 1, "x": 2}),
+            a_name="a.jsonl", b_name="b.jsonl",
+        )
+        assert TraceDiff.from_dict(diff.to_dict()) == diff
+
+    def test_render_identical(self):
+        text = _jsonl({"kind": "header"})
+        out = render_diff(diff_trace_texts(text, text, a_name="x", b_name="y"))
+        assert out.startswith("identical: x == y")
+
+    def test_render_divergence_names_line_kind_and_fields(self):
+        diff = diff_trace_texts(
+            _jsonl({"kind": "header"}, {"kind": "decision", "seq": 2, "chosen": "a"}),
+            _jsonl({"kind": "header"}, {"kind": "decision", "seq": 2, "chosen": "b"}),
+        )
+        out = render_diff(diff)
+        assert "diverge at line 2" in out
+        assert "kind: a=decision b=decision" in out
+        assert 'field chosen: "a" != "b"' in out
+
+    def test_render_length_divergence(self):
+        diff = diff_trace_texts(
+            _jsonl({"kind": "header"}),
+            _jsonl({"kind": "header"}, {"kind": "summary"}),
+            a_name="short", b_name="long",
+        )
+        out = render_diff(diff)
+        assert "short ends first" in out
+        assert "1 extra line(s)" in out
+
+
+class TestSeededPerturbation:
+    """The CI fixture: inject one known change, assert exact pinpoint."""
+
+    def test_diff_pinpoints_an_injected_perturbation(self, canonical_trace_path):
+        from repro.obs import SearchTrace
+        from repro.perf.bench import canonical_trace_jsonl
+
+        trace = SearchTrace.load(canonical_trace_path)
+        base = canonical_trace_jsonl(trace)
+        lines = base.splitlines()
+        # perturb one probe span's deployment attribute mid-trace
+        # (decision/fleet lines are stripped by the canonical form —
+        # spans are what byte-identity actually compares)
+        target = next(
+            i for i, line in enumerate(lines)
+            if json.loads(line).get("name") == "probe"
+            and json.loads(line).get("attributes", {}).get("deployment")
+        )
+        doc = json.loads(lines[target])
+        original = doc["attributes"]["deployment"]
+        doc["attributes"]["deployment"] = original + " (perturbed)"
+        perturbed = lines[:]
+        perturbed[target] = json.dumps(doc, sort_keys=True)
+        diff = diff_trace_texts(base, "\n".join(perturbed) + "\n")
+        assert not diff.identical
+        assert diff.line == target + 1  # exact 1-based line
+        assert diff.reason == "field"
+        deltas = {d.path: (d.a, d.b) for d in diff.fields}
+        assert deltas == {
+            "attributes.deployment": (original, original + " (perturbed)")
+        }
+
+    def test_unperturbed_identity_pair_is_identical(self, canonical_trace_path):
+        from repro.obs import SearchTrace
+        from repro.perf.bench import canonical_trace_jsonl
+
+        text = canonical_trace_jsonl(SearchTrace.load(canonical_trace_path))
+        assert diff_trace_texts(text, text).identical
+
+
+def test_max_field_deltas_is_positive():
+    assert MAX_FIELD_DELTAS > 0
+
+
+@pytest.mark.parametrize("reason", ["field", "parse", "length"])
+def test_from_dict_defaults_are_safe(reason):
+    # minimal dicts (e.g. hand-built in CI scripts) rehydrate cleanly
+    diff = TraceDiff.from_dict({"identical": False, "reason": reason})
+    assert not diff.identical
+    assert diff.reason == reason

@@ -1,0 +1,275 @@
+"""Self-profiling: ledger math, sidecar schema, exports, identity.
+
+The two load-bearing guarantees (see ``src/repro/obs/prof.py``):
+
+* ledger arithmetic — exclusive = inclusive − direct children, phase
+  paths fold deterministically, totals add up; and
+* **identity** — attaching the profiler changes no canonical trace
+  bytes for HeterBO *and* ParallelHeterBO (the daemon-replay leg lives
+  in ``tests/service/test_service_telemetry.py``).
+"""
+
+import json
+
+import pytest
+
+from repro.cloud.catalog import paper_catalog
+from repro.cloud.provider import SimulatedCloud
+from repro.core.engine import SearchContext
+from repro.core.heterbo import HeterBO
+from repro.core.parallel import ParallelHeterBO
+from repro.core.scenarios import Scenario
+from repro.core.search_space import DeploymentSpace
+from repro.obs import (
+    NOOP_PROFILER,
+    PROFILE_SCHEMA_VERSION,
+    PhaseProfiler,
+    RunRecorder,
+    folded_stacks,
+    load_profile,
+    profile_from_trace,
+    render_flamegraph_svg,
+    render_profile,
+    validate_profile,
+)
+from repro.perf.bench import canonical_trace_jsonl
+from repro.profiling.profiler import Profiler
+from repro.sim.datasets import get_dataset
+from repro.sim.noise import NoiseModel
+from repro.sim.platforms import get_platform
+from repro.sim.throughput import TrainingJob, TrainingSimulator
+from repro.sim.zoo import get_model
+
+
+class TestPhaseProfilerLedger:
+    def test_exclusive_subtracts_direct_children(self):
+        prof = PhaseProfiler()
+        with prof.phase("outer"):
+            with prof.phase("inner"):
+                pass
+        doc = prof.to_dict()
+        outer = doc["phases"]["outer"]
+        inner = doc["phases"]["inner"]
+        assert outer["count"] == 1 and inner["count"] == 1
+        assert outer["inclusive_seconds"] >= inner["inclusive_seconds"]
+        assert outer["exclusive_seconds"] == pytest.approx(
+            outer["inclusive_seconds"] - inner["inclusive_seconds"]
+        )
+
+    def test_exclusive_times_sum_to_total(self):
+        prof = PhaseProfiler()
+        with prof.phase("a"):
+            with prof.phase("b"):
+                pass
+            with prof.phase("c"):
+                with prof.phase("d"):
+                    pass
+        doc = prof.to_dict()
+        total_exclusive = sum(
+            stat["exclusive_seconds"] for stat in doc["phases"].values()
+        )
+        assert total_exclusive == pytest.approx(
+            doc["total_seconds"], abs=1e-6
+        )
+
+    def test_stacks_key_by_full_phase_path(self):
+        prof = PhaseProfiler()
+        with prof.phase("search"):
+            with prof.phase("step"):
+                with prof.phase("gp-fit"):
+                    pass
+        doc = prof.to_dict()
+        assert "search;step;gp-fit" in doc["stacks"]
+        assert doc["kind"] == "profile"
+        assert doc["schema_version"] == PROFILE_SCHEMA_VERSION
+
+    def test_repeated_phases_accumulate(self):
+        prof = PhaseProfiler()
+        for _ in range(3):
+            with prof.phase("tick"):
+                pass
+        assert prof.to_dict()["phases"]["tick"]["count"] == 3
+
+    def test_exit_tolerates_empty_stack(self):
+        prof = PhaseProfiler()
+        prof.exit_()  # must not raise
+        assert prof.to_dict()["phases"] == {}
+
+    def test_merge_adds_counts_seconds_and_stacks(self):
+        a, b = PhaseProfiler(), PhaseProfiler()
+        for prof in (a, b):
+            with prof.phase("search"):
+                with prof.phase("step"):
+                    pass
+        merged = PhaseProfiler()
+        merged.merge(a.to_dict())
+        merged.merge(b.to_dict())
+        doc = merged.to_dict()
+        assert doc["phases"]["step"]["count"] == 2
+        assert doc["total_seconds"] == pytest.approx(
+            a.to_dict()["total_seconds"] + b.to_dict()["total_seconds"]
+        )
+        assert doc["stacks"]["search;step"] == pytest.approx(
+            a.to_dict()["stacks"]["search;step"]
+            + b.to_dict()["stacks"]["search;step"]
+        )
+
+    def test_noop_profiler_records_nothing(self):
+        with NOOP_PROFILER.phase("anything"):
+            NOOP_PROFILER.enter("x")
+            NOOP_PROFILER.exit_()
+        assert NOOP_PROFILER.enabled is False
+        assert NOOP_PROFILER.to_dict()["phases"] == {}
+
+
+class TestSidecarRoundTrip:
+    def test_write_load_round_trip(self, tmp_path):
+        prof = PhaseProfiler()
+        with prof.phase("search"):
+            pass
+        path = prof.write(tmp_path / "profile.json")
+        assert load_profile(path) == prof.to_dict()
+
+    def test_validate_rejects_wrong_kind(self):
+        with pytest.raises(ValueError, match="not a profile document"):
+            validate_profile({"kind": "header"})
+
+    def test_validate_rejects_unsupported_version(self):
+        with pytest.raises(ValueError, match="unsupported profile schema"):
+            validate_profile({"kind": "profile", "schema_version": 99})
+
+    def test_validate_rejects_non_numeric_stats(self):
+        doc = {
+            "kind": "profile",
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "total_seconds": 0.0,
+            "phases": {"x": {"count": "three"}},
+            "stacks": {},
+        }
+        with pytest.raises(ValueError, match="missing numeric"):
+            validate_profile(doc)
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_profile(path)
+
+
+class TestExports:
+    def _ledger(self):
+        prof = PhaseProfiler()
+        with prof.phase("search"):
+            with prof.phase("step"):
+                with prof.phase("gp-fit"):
+                    pass
+            with prof.phase("step"):
+                pass
+        return prof.to_dict()
+
+    def test_render_profile_orders_hottest_first(self):
+        doc = self._ledger()
+        lines = render_profile(doc).splitlines()
+        assert "phase" in lines[1]
+        names = [line.split()[0] for line in lines[2:]]
+        assert set(names) == {"search", "step", "gp-fit"}
+
+    def test_folded_stacks_are_deterministic_microseconds(self):
+        doc = self._ledger()
+        text = folded_stacks(doc)
+        lines = text.strip().splitlines()
+        assert lines == sorted(lines)
+        for line in lines:
+            path, value = line.rsplit(" ", 1)
+            assert int(value) >= 0
+        assert any(line.startswith("search;step;gp-fit ") for line in lines)
+
+    def test_flamegraph_svg_is_self_contained_and_deterministic(self):
+        doc = self._ledger()
+        svg = render_flamegraph_svg(doc)
+        assert svg.startswith("<svg ")
+        assert "search" in svg and "gp-fit" in svg
+        # same ledger -> byte-identical SVG (colors derive from crc32,
+        # layout from sorted names — no run-to-run state)
+        assert svg == render_flamegraph_svg(doc)
+
+    def test_profile_from_trace_rebuilds_span_ledger(self, canonical_trace):
+        doc = profile_from_trace(canonical_trace)
+        validate_profile(doc)
+        assert "probe" in doc["phases"]
+        assert any(key.endswith(";probe") for key in doc["stacks"])
+        spans = [s for s in canonical_trace.spans if s.name == "probe"]
+        assert doc["phases"]["probe"]["count"] == len(spans)
+
+
+def _profiled_search(strategy_factory, *, profile: bool):
+    """One seeded recorded search; returns (canonical text, recorder)."""
+    catalog = paper_catalog().subset(
+        ["c5.xlarge", "c5.4xlarge", "c4.xlarge", "p2.xlarge"]
+    )
+    cloud = SimulatedCloud(catalog)
+    recorder = RunRecorder(
+        clock=lambda: cloud.clock.now, profile=profile
+    )
+    cloud.fleet = recorder.fleet
+    profiler = Profiler(
+        cloud, TrainingSimulator(),
+        noise=NoiseModel(sigma=0.03, seed=2),
+        tracer=recorder.tracer, metrics=recorder.metrics,
+    )
+    job = TrainingJob(
+        model=get_model("char-rnn"),
+        dataset=get_dataset("char-corpus"),
+        platform=get_platform("tensorflow"),
+        epochs=2.0,
+    )
+    context = SearchContext(
+        space=DeploymentSpace(catalog, max_count=20),
+        profiler=profiler,
+        job=job,
+        scenario=Scenario.fastest_within(25.0),
+        tracer=recorder.tracer,
+        metrics=recorder.metrics,
+        decisions=recorder.decisions,
+        watchdog=recorder.watchdog,
+        prof=recorder.prof,
+    )
+    result = strategy_factory().search(context)
+    return canonical_trace_jsonl(recorder.finalize(result)), recorder
+
+
+class TestProfilerIdentity:
+    """Profiler on vs off must leave canonical trace bytes untouched."""
+
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [
+            lambda: HeterBO(seed=2, max_steps=12),
+            lambda: ParallelHeterBO(seed=2, max_steps=12, batch_size=3),
+        ],
+        ids=["heterbo", "parallel-heterbo"],
+    )
+    def test_canonical_bytes_identical_profile_on_vs_off(
+        self, strategy_factory
+    ):
+        off_text, off_rec = _profiled_search(
+            strategy_factory, profile=False
+        )
+        on_text, on_rec = _profiled_search(strategy_factory, profile=True)
+        assert on_text == off_text
+        # and the ledger actually measured something
+        assert off_rec.prof is NOOP_PROFILER
+        on_doc = on_rec.prof.to_dict()
+        assert on_doc["phases"]
+        assert "gp.fit.full" in on_doc["phases"]
+        assert "candidate.prune" in on_doc["phases"]
+
+    def test_sidecar_never_leaks_into_the_trace(self, tmp_path):
+        on_text, on_rec = _profiled_search(
+            lambda: HeterBO(seed=2, max_steps=8), profile=True
+        )
+        sidecar = on_rec.prof.write(tmp_path / "profile.json")
+        doc = json.loads(sidecar.read_text())
+        assert doc["kind"] == "profile"
+        # the trace text has no profile records of any kind
+        assert '"kind": "profile"' not in on_text

@@ -127,6 +127,41 @@ class TestReadTraceEvents:
         with pytest.raises(ValueError, match="malformed trace line"):
             read_trace_events(path, 0)
 
+    def test_offset_resume_across_torn_tail_never_double_yields(
+        self, tmp_path
+    ):
+        # a follower polling a producer that tears lines mid-write must
+        # see every record exactly once: the torn bytes are re-read
+        # from the same offset once the line completes, never re-parsed
+        # as a second copy of an earlier record
+        path = tmp_path / "grow.jsonl"
+        records = [
+            {"kind": "header"},
+            {"kind": "span", "name": "a"},
+            {"kind": "span", "name": "b"},
+            {"kind": "summary"},
+        ]
+        lines = [json.dumps(r) for r in records]
+        seen = []
+        # producer writes line 1 whole, then tears line 2 mid-write
+        path.write_bytes((lines[0] + "\n" + lines[1][:7]).encode())
+        docs, offset, torn = read_trace_events(path, 0)
+        seen += docs
+        assert torn
+        # line 2 completes; line 3 tears — resume from the same offset
+        path.write_bytes(
+            ("\n".join(lines[:2]) + "\n" + lines[2][:5]).encode()
+        )
+        docs, offset, torn = read_trace_events(path, offset)
+        seen += docs
+        assert torn
+        # everything completes
+        path.write_bytes(("\n".join(lines) + "\n").encode())
+        docs, offset, torn = read_trace_events(path, offset)
+        seen += docs
+        assert not torn
+        assert seen == records  # each record exactly once, in order
+
 
 class TestFollowTrace:
     def test_follow_yields_exactly_the_post_hoc_records(self, live_run):
@@ -159,6 +194,26 @@ class TestFollowTrace:
             tmp_path / "never.jsonl", poll_interval=0.01, timeout=0.03
         ))
         assert docs == []
+
+    def test_follow_kinds_filters_yield(self, live_run):
+        docs = list(
+            follow_trace(live_run["stream_path"], kinds={"decision"})
+        )
+        assert docs
+        assert all(d["kind"] == "decision" for d in docs)
+
+    def test_follow_kinds_filter_cannot_hang_the_follower(self, live_run):
+        # filtering out header/summary must not break termination: the
+        # liveness logic reads every record even when none are yielded
+        docs = list(
+            follow_trace(
+                live_run["stream_path"],
+                kinds={"fleet"},
+                poll_interval=0.01,
+                timeout=5.0,
+            )
+        )
+        assert all(d["kind"] == "fleet" for d in docs)
 
 
 class TestTornTailLoading:

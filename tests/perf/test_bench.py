@@ -90,6 +90,36 @@ class TestValidateBench:
         assert any("observability.overhead_ratio" in e for e in errors)
 
 
+class TestProfileSection:
+    def test_profile_identity_gate_holds(self, quick_doc):
+        profile = quick_doc["profile"]
+        assert profile["checked"] is True
+        assert profile["byte_identical"] is True
+        assert "first_divergence" not in profile
+
+    def test_profile_phases_cover_the_hot_path(self, quick_doc):
+        phases = quick_doc["profile"]["phases"]
+        assert "gp.fit.full" in phases
+        assert "candidate-scoring" in phases
+        for stat in phases.values():
+            assert stat["count"] >= 1
+            assert stat["inclusive_seconds"] >= stat["exclusive_seconds"]
+
+    def test_profile_overhead_ratio_measured(self, quick_doc):
+        ratio = quick_doc["observability"]["profile_overhead_ratio"]
+        assert 0.5 < ratio < 2.0
+
+    def test_profile_section_is_optional_for_old_artifacts(self, quick_doc):
+        doc = {k: v for k, v in quick_doc.items() if k != "profile"}
+        assert validate_bench(doc) == []
+
+    def test_broken_profile_identity_rejected(self, quick_doc):
+        doc = json.loads(json.dumps(quick_doc))
+        doc["profile"]["byte_identical"] = False
+        errors = validate_bench(doc)
+        assert any("profile.byte_identical" in e for e in errors)
+
+
 class TestHistory:
     def test_append_assigns_sequential_numbers(self, quick_doc, tmp_path):
         path = tmp_path / "BENCH_history.jsonl"
@@ -147,6 +177,79 @@ class TestHistory:
         lines, regressed = compare_history(quick_doc, path)
         assert regressed is False
         assert "no comparable history entry" in lines[0]
+
+    def test_compare_reports_why_entries_were_skipped(
+        self, quick_doc, tmp_path
+    ):
+        # the satellite regression: mismatched-config entries are
+        # named with the offending keys, never silently passed over
+        path = tmp_path / "BENCH_history.jsonl"
+        other = json.loads(json.dumps(quick_doc))
+        other["config"]["seed"] = 999
+        append_history(other, path)
+        append_history(quick_doc, path)
+        lines, _ = compare_history(quick_doc, path)
+        assert lines[0] == "vs history entry seq=2:"
+        assert any(
+            "skipped seq=1" not in ln for ln in lines
+        )  # seq=2 matched directly, nothing skipped on the way
+        # now bury the match under a mismatched entry
+        append_history(other, path)
+        lines, _ = compare_history(quick_doc, path)
+        assert any(
+            "skipped seq=3" in ln and "seed=999" in ln for ln in lines
+        )
+
+    def test_compare_reports_skips_when_nothing_matches(
+        self, quick_doc, tmp_path
+    ):
+        path = tmp_path / "BENCH_history.jsonl"
+        other = json.loads(json.dumps(quick_doc))
+        other["config"]["seed"] = 999
+        append_history(other, path)
+        lines, regressed = compare_history(quick_doc, path)
+        assert regressed is False
+        assert "no comparable history entry" in lines[0]
+        assert any("skipped seq=1" in ln and "seed" in ln for ln in lines)
+
+    def test_history_entry_carries_per_phase_rows(self, quick_doc):
+        entry = history_entry(quick_doc)
+        assert "observability_profile_overhead_ratio" in entry
+        phase_keys = [
+            k for k in entry if k.startswith("profile_phase_")
+        ]
+        assert any("gp.fit.full" in k for k in phase_keys)
+        assert all(k.endswith("_exclusive_seconds") for k in phase_keys)
+
+    def test_compare_gates_phase_level_regressions(
+        self, quick_doc, tmp_path
+    ):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(quick_doc, path)
+        slower = json.loads(json.dumps(quick_doc))
+        for stat in slower["profile"]["phases"].values():
+            stat["exclusive_seconds"] *= 10.0
+        lines, regressed = compare_history(slower, path, threshold=0.10)
+        assert regressed is True
+        assert any(
+            "profile_phase_" in ln and "REGRESSION" in ln for ln in lines
+        )
+
+    def test_compare_tolerates_entries_without_phase_rows(
+        self, quick_doc, tmp_path
+    ):
+        # pre-profiler history entries lack profile_phase_* keys; the
+        # compare must skip those keys, not crash
+        path = tmp_path / "BENCH_history.jsonl"
+        old = history_entry(quick_doc)
+        old = {
+            k: v for k, v in old.items()
+            if not k.startswith("profile_phase_")
+        }
+        path.write_text(json.dumps({"seq": 1, **old}) + "\n")
+        lines, regressed = compare_history(quick_doc, path)
+        assert regressed is False
+        assert lines[0] == "vs history entry seq=1:"
 
     def test_negative_threshold_rejected(self, quick_doc, tmp_path):
         with pytest.raises(ValueError, match="threshold"):

@@ -80,6 +80,38 @@ class TestRunServiceBench:
         assert slo["attainment"] is None or 0 <= slo["attainment"] <= 1
 
 
+class TestProfileSection:
+    def test_profiled_replay_is_byte_identical(self, quick_doc):
+        profile = quick_doc["profile"]
+        assert profile["checked"] is True
+        assert profile["per_job_traces_byte_identical"] is True
+        assert profile["service_stream_byte_identical"] is True
+        assert "first_divergence" not in profile
+
+    def test_ledger_covers_daemon_and_search_phases(self, quick_doc):
+        phases = quick_doc["profile"]["phases"]
+        assert "scheduler.tick" in phases
+        assert "gp.fit.full" in phases
+        tick = phases["scheduler.tick"]
+        assert tick["count"] >= 1
+        assert tick["inclusive_seconds"] >= tick["exclusive_seconds"] >= 0
+
+    def test_profile_overhead_ratio_is_sane(self, quick_doc):
+        ratio = quick_doc["observability"]["profile_overhead_ratio"]
+        assert 0.5 < ratio < 2.0
+
+    def test_profile_section_is_optional_for_old_artifacts(self, quick_doc):
+        doc = {k: v for k, v in quick_doc.items() if k != "profile"}
+        assert validate_service_bench(doc) == []
+
+    def test_broken_profile_identity_is_rejected(self, quick_doc):
+        doc = json.loads(json.dumps(quick_doc))
+        doc["profile"]["service_stream_byte_identical"] = False
+        assert any(
+            "profile" in e for e in validate_service_bench(doc)
+        )
+
+
 class TestValidateServiceBench:
     def test_rejects_wrong_schema_version(self, quick_doc):
         doc = dict(quick_doc, schema_version=99)
@@ -126,6 +158,50 @@ class TestServiceHistory:
         )
         assert regressed is True
         assert any("REGRESSION" in ln for ln in lines)
+
+    def test_history_entry_carries_per_phase_rows(self, quick_doc):
+        entry = service_history_entry(quick_doc)
+        assert entry["observability_profile_overhead_ratio"] > 0
+        phase_rows = [
+            key for key in entry if key.startswith("profile_phase_")
+        ]
+        assert phase_rows
+        assert all(
+            key.endswith("_exclusive_seconds") for key in phase_rows
+        )
+        assert "profile_phase_scheduler.tick_exclusive_seconds" in entry
+
+    def test_compare_gates_phase_level_regressions(
+        self, quick_doc, tmp_path
+    ):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_service_history(quick_doc, path)
+        slower = json.loads(json.dumps(quick_doc))
+        for stat in slower["profile"]["phases"].values():
+            stat["exclusive_seconds"] *= 10.0
+        lines, regressed = compare_service_history(
+            slower, path, threshold=0.10
+        )
+        assert regressed is True
+        assert any(
+            "REGRESSION" in ln and "profile_phase_" in ln
+            for ln in lines
+        )
+
+    def test_compare_reports_why_entries_were_skipped(
+        self, quick_doc, tmp_path
+    ):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_service_history(quick_doc, path)
+        mismatched = json.loads(json.dumps(quick_doc))
+        mismatched["config"]["seed"] = 999
+        append_service_history(mismatched, path)
+        lines, regressed = compare_service_history(quick_doc, path)
+        assert regressed is False
+        assert "vs history entry seq=1" in lines[0]
+        assert any(
+            "skipped seq=2" in ln and "seed" in ln for ln in lines
+        )
 
     def test_search_entries_never_cross_match(self, quick_doc, tmp_path):
         # a search-bench entry in the shared history file must be

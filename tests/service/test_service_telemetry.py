@@ -52,12 +52,13 @@ def spec(tenant, max_steps=5, max_count=8, **overrides):
     return JobSpec(**defaults)
 
 
-def replay(tmp_path, name, *, telemetry=True):
+def replay(tmp_path, name, *, telemetry=True, profile=False):
     service = MLCDJobService(
         artifacts_dir=tmp_path / name,
         limits=AccountLimits(max_cpu_instances=8, max_gpu_instances=0),
         workers=4,
         telemetry=telemetry,
+        profile=profile,
     )
     for tenant, steps, count in _WORKLOAD:
         service.submit(spec(tenant, max_steps=steps, max_count=count))
@@ -119,6 +120,41 @@ class TestDeterminism:
         # the full lifecycle appears for at least one job
         names = {e["event"] for e in events}
         assert {"submitted", "started", "dispatched", "done"} <= names
+
+
+class TestProfiledReplayIdentity:
+    """Daemon replay with self-profiling on: sidecar only, no bytes."""
+
+    def test_profiled_replay_changes_no_trace_bytes(self, tmp_path):
+        on = replay(tmp_path, "on", telemetry=True)
+        prof = replay(tmp_path, "prof", telemetry=True, profile=True)
+        # per-job canonical traces AND the raw service stream match
+        assert job_traces(prof) == job_traces(on)
+        assert (
+            prof.service_trace_path.read_bytes()
+            == on.service_trace_path.read_bytes()
+        )
+
+    def test_profile_document_aggregates_daemon_and_jobs(self, tmp_path):
+        service = replay(tmp_path, "ledger", profile=True)
+        doc = service.profile_document()
+        assert doc["kind"] == "profile"
+        # daemon-side phases plus per-job search phases in one ledger
+        assert "scheduler.tick" in doc["phases"]
+        assert "gp.fit.full" in doc["phases"]
+        assert doc["phases"]["scheduler.tick"]["count"] >= 1
+
+    def test_write_profile_defaults_into_artifacts_dir(self, tmp_path):
+        from repro.obs import load_profile
+
+        service = replay(tmp_path, "sidecar", profile=True)
+        path = service.write_profile()
+        assert path == service.artifacts_dir / "profile.json"
+        assert load_profile(path)["phases"]
+
+    def test_unprofiled_daemon_has_an_empty_ledger(self, tmp_path):
+        service = replay(tmp_path, "plain", profile=False)
+        assert service.profile_document()["phases"] == {}
 
 
 class TestLifecycleTimestamps:

@@ -130,6 +130,113 @@ class TestTraceCommand:
         assert "invalid trace file" in capsys.readouterr().err
 
 
+class TestProfileAndDiffCommands:
+    @pytest.fixture
+    def profiled_run(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.jsonl"
+        sidecar = tmp_path / "profile.json"
+        rc = main([
+            "deploy", "--model", "char-rnn", "--dataset", "char-corpus",
+            "--epochs", "1", "--budget", "80", "--max-count", "10",
+            "--seed", "1", "--trace-out", str(trace),
+            "--profile", str(sidecar),
+        ])
+        assert rc == 0
+        capsys.readouterr()  # discard the deploy output
+        return trace, sidecar
+
+    def test_deploy_writes_a_loadable_sidecar(self, profiled_run):
+        from repro.obs import load_profile
+
+        _, sidecar = profiled_run
+        doc = load_profile(sidecar)
+        assert doc["kind"] == "profile"
+        assert "gp.fit.full" in doc["phases"]
+
+    def test_profile_renders_sidecar_table(self, profiled_run, capsys):
+        _, sidecar = profiled_run
+        assert main(["profile", str(sidecar)]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "gp.fit.full" in out
+
+    def test_profile_folded_stacks_from_trace(self, profiled_run, capsys):
+        trace, _ = profiled_run
+        assert main(["profile", str(trace), "--folded"]) == 0
+        out = capsys.readouterr().out
+        # span-derived ledger: every line is "path count" in integer µs
+        for line in out.strip().splitlines():
+            path, value = line.rsplit(" ", 1)
+            assert int(value) >= 0
+        assert any("probe" in line for line in out.splitlines())
+
+    def test_profile_flame_writes_svg(self, profiled_run, tmp_path, capsys):
+        _, sidecar = profiled_run
+        svg = tmp_path / "flame.svg"
+        assert main(["profile", str(sidecar), "--flame", str(svg)]) == 0
+        assert svg.read_text().startswith("<svg ")
+
+    def test_profile_missing_file(self, capsys):
+        assert main(["profile", "/nonexistent/profile.json"]) == 2
+        assert "no such" in capsys.readouterr().err
+
+    def test_diff_identical_canonical_pair(self, profiled_run, capsys):
+        trace, _ = profiled_run
+        rc = main(["diff", str(trace), str(trace), "--canonical"])
+        assert rc == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_pinpoints_divergence_and_exits_one(
+        self, profiled_run, tmp_path, capsys
+    ):
+        import json
+
+        trace, _ = profiled_run
+        lines = trace.read_text().splitlines()
+        target = next(
+            i for i, line in enumerate(lines)
+            if json.loads(line).get("name") == "probe"
+        )
+        doc = json.loads(lines[target])
+        doc["attributes"]["deployment"] = "999x bogus"
+        lines[target] = json.dumps(doc)
+        other = tmp_path / "perturbed.trace.jsonl"
+        other.write_text("\n".join(lines) + "\n")
+        rc = main(["diff", str(trace), str(other)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert f"diverge at line {target + 1}" in out
+        assert "deployment" in out
+
+    def test_diff_json_report(self, profiled_run, capsys):
+        import json
+
+        trace, _ = profiled_run
+        rc = main(["diff", str(trace), str(trace), "--format", "json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["identical"] is True
+
+    def test_diff_missing_file(self, capsys):
+        assert main(["diff", "/nonexistent/a", "/nonexistent/b"]) == 2
+
+
+class TestTraceKindsFlag:
+    def test_unknown_kind_is_rejected_with_the_known_list(self, capsys):
+        rc = main([
+            "trace", "/nonexistent.jsonl", "--follow", "--kinds", "bogus",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown record kind" in err
+        assert "decision" in err  # the known kinds are listed
+
+    def test_empty_kinds_is_rejected(self, capsys):
+        rc = main([
+            "trace", "/nonexistent.jsonl", "--follow", "--kinds", ",",
+        ])
+        assert rc == 2
+
+
 class TestAdviseCommand:
     @pytest.fixture
     def trace_path(self, tmp_path):
